@@ -1,0 +1,38 @@
+//! Microbenchmarks of the distance kernels (the POINT_EUCLID /
+//! POINT_ANGULAR functional semantics vs their scalar references).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hsu_core::intrinsics;
+use hsu_geometry::point;
+
+fn bench_distances(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distance");
+    for dim in [3usize, 65, 96, 128, 784] {
+        let a: Vec<f32> = (0..dim).map(|i| (i as f32 * 0.37).sin()).collect();
+        let b: Vec<f32> = (0..dim).map(|i| (i as f32 * 0.11).cos()).collect();
+        group.bench_with_input(BenchmarkId::new("euclid_scalar", dim), &dim, |bench, _| {
+            bench.iter(|| point::euclidean_squared(black_box(&a), black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("euclid_multibeat", dim), &dim, |bench, _| {
+            bench.iter(|| point::euclid_multibeat(black_box(&a), black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("angular_intrinsic", dim), &dim, |bench, _| {
+            bench.iter(|| intrinsics::angular_dist(black_box(&a), black_box(&b)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_key_compare(c: &mut Criterion) {
+    let separators: Vec<f32> = (0..255).map(|i| i as f32 * 4.0).collect();
+    c.bench_function("key_compare_255", |b| {
+        b.iter(|| intrinsics::key_compare(black_box(511.5), black_box(&separators)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_distances, bench_key_compare
+}
+criterion_main!(benches);

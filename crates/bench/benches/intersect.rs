@@ -1,0 +1,68 @@
+//! Microbenchmarks of the RAY_INTERSECT functional semantics: slab box
+//! tests, watertight triangle tests, and the four-box sorted variant.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hsu_core::exec;
+use hsu_core::node::{BoxChild, BoxNode, NodeKind, TriangleNode};
+use hsu_geometry::{Aabb, Ray, Triangle, Vec3};
+
+fn test_ray() -> Ray {
+    Ray::new(Vec3::new(-1.0, 0.3, 0.2), Vec3::new(1.0, 0.12, 0.07))
+}
+
+fn bench_slab(c: &mut Criterion) {
+    let ray = test_ray();
+    let aabb = Aabb::new(Vec3::ZERO, Vec3::splat(1.0));
+    c.bench_function("ray_box_slab", |b| {
+        b.iter(|| black_box(&ray).intersect_aabb(black_box(&aabb), f32::INFINITY))
+    });
+}
+
+fn bench_triangle(c: &mut Criterion) {
+    let ray = test_ray();
+    let tri = Triangle::new(
+        Vec3::new(0.5, -1.0, -1.0),
+        Vec3::new(0.5, 2.0, -1.0),
+        Vec3::new(0.5, 0.0, 2.0),
+    );
+    c.bench_function("ray_triangle_watertight", |b| {
+        b.iter(|| black_box(&tri).intersect(black_box(&ray), f32::INFINITY))
+    });
+}
+
+fn bench_box_node(c: &mut Criterion) {
+    let ray = test_ray();
+    let node = BoxNode::new(
+        (0..4)
+            .map(|i| BoxChild {
+                aabb: Aabb::new(
+                    Vec3::new(i as f32, -0.5, -0.5),
+                    Vec3::new(i as f32 + 0.8, 0.8, 0.8),
+                ),
+                ptr: i as u64 * 64,
+                kind: NodeKind::Box,
+            })
+            .collect(),
+    );
+    c.bench_function("ray_intersect_bvh4_node", |b| {
+        b.iter(|| exec::execute_box(black_box(&ray), black_box(&node), f32::INFINITY))
+    });
+    let tri_node = TriangleNode {
+        triangle: Triangle::new(
+            Vec3::new(0.5, -1.0, -1.0),
+            Vec3::new(0.5, 2.0, -1.0),
+            Vec3::new(0.5, 0.0, 2.0),
+        ),
+        triangle_id: 1,
+    };
+    c.bench_function("ray_intersect_triangle_node", |b| {
+        b.iter(|| exec::execute_triangle(black_box(&ray), black_box(&tri_node), f32::INFINITY))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_slab, bench_triangle, bench_box_node
+}
+criterion_main!(benches);

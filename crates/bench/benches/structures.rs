@@ -1,0 +1,79 @@
+//! Build and search throughput of the four hierarchical data structures.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hsu_btree::BPlusTree;
+use hsu_bvh::{LbvhBuilder, PointPrimitive, SahBuilder};
+use hsu_geometry::point::{Metric, PointSet};
+use hsu_geometry::Vec3;
+use hsu_graph::{GraphConfig, HnswGraph};
+use hsu_kdtree::KdTree;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn random_points3(n: usize, seed: u64) -> Vec<PointPrimitive> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            PointPrimitive::new(
+                i as u32,
+                Vec3::new(rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)),
+                0.02,
+            )
+        })
+        .collect()
+}
+
+fn random_set(n: usize, dim: usize, seed: u64) -> PointSet {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    PointSet::from_rows(dim, (0..n * dim).map(|_| rng.gen_range(-1.0..1.0)).collect())
+}
+
+fn bench_bvh(c: &mut Criterion) {
+    let prims = random_points3(4096, 1);
+    c.bench_function("lbvh_build_4k", |b| {
+        b.iter(|| LbvhBuilder::default().build(black_box(&prims)))
+    });
+    c.bench_function("sah_build_4k", |b| {
+        b.iter(|| SahBuilder::default().build(black_box(&prims)))
+    });
+    let bvh = LbvhBuilder::default().build(&prims);
+    c.bench_function("bvh_radius_search", |b| {
+        b.iter(|| bvh.radius_search(black_box(&prims), Vec3::splat(0.5), 0.05))
+    });
+}
+
+fn bench_kdtree(c: &mut Criterion) {
+    let data = random_set(4096, 8, 2);
+    c.bench_function("kdtree_build_4k_d8", |b| {
+        b.iter(|| KdTree::build(black_box(&data), Metric::Euclidean))
+    });
+    let tree = KdTree::build(&data, Metric::Euclidean);
+    let q = vec![0.1f32; 8];
+    c.bench_function("kdtree_bbf_knn", |b| {
+        b.iter(|| tree.knn_best_bin_first(black_box(&data), black_box(&q), 10, 128))
+    });
+}
+
+fn bench_graph(c: &mut Criterion) {
+    let data = random_set(2048, 32, 3);
+    let graph = HnswGraph::build(&data, Metric::Euclidean, GraphConfig::default(), 4);
+    let q = vec![0.0f32; 32];
+    c.bench_function("hnsw_search_ef64", |b| {
+        b.iter(|| graph.search(black_box(&data), black_box(&q), 10, 64))
+    });
+}
+
+fn bench_btree(c: &mut Criterion) {
+    let pairs: Vec<(u32, u64)> = (0..100_000u32).map(|k| (k * 3, k as u64)).collect();
+    let tree = BPlusTree::bulk_build(pairs, 256);
+    c.bench_function("btree_lookup_100k", |b| {
+        b.iter(|| tree.get(black_box(149_997)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_bvh, bench_kdtree, bench_graph, bench_btree
+}
+criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! `repro` — regenerate every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! repro [--sms N] [--quick] [--seed S] <item>...
+//!   items: table2 table3 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14
+//!          fig15 fig16 rtindex all
+//! ```
+
+use hsu_bench::{figures, Suite, SuiteConfig};
+
+fn main() {
+    let mut config = SuiteConfig::default();
+    let mut items: Vec<String> = Vec::new();
+    let mut out_dir: Option<std::path::PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => {
+                out_dir = Some(
+                    args.next().unwrap_or_else(|| usage("--out needs a directory")).into(),
+                );
+            }
+            "--sms" => {
+                config.sms = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--sms needs a number"));
+            }
+            "--seed" => {
+                config.seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--seed needs a number"));
+            }
+            "--quick" => {
+                config.scale_divisor = 4;
+                config.sms = config.sms.min(4);
+            }
+            "--help" | "-h" => usage(""),
+            item => items.push(item.to_string()),
+        }
+    }
+    if items.is_empty() {
+        usage("no items requested");
+    }
+    if items.iter().any(|i| i == "all") {
+        items = [
+            "table2", "table3", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+            "fig14", "fig15", "fig16", "rtindex", "ablation",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    }
+
+    let needs_suite = items.iter().any(|i| {
+        matches!(
+            i.as_str(),
+            "fig7" | "fig8" | "fig9" | "fig10" | "fig11" | "fig12" | "fig13" | "fig14"
+        )
+    });
+    let suite = if needs_suite {
+        eprintln!(
+            "building workload suite (sms={}, scale 1/{}, seed {})...",
+            config.sms, config.scale_divisor, config.seed
+        );
+        let suite = Suite::build(config.clone());
+        eprintln!("suite ready: {} app-dataset runs", suite.runs.len());
+        Some(suite)
+    } else {
+        None
+    };
+
+    for item in &items {
+        let text = match item.as_str() {
+            "table2" => figures::table2(),
+            "table3" => figures::table3(config.sms),
+            "fig7" => figures::fig7(suite.as_ref().expect("suite built")),
+            "fig8" => figures::fig8(suite.as_ref().expect("suite built")),
+            "fig9" => figures::fig9(suite.as_ref().expect("suite built")),
+            "fig10" => figures::fig10(suite.as_ref().expect("suite built")),
+            "fig11" => figures::fig11(suite.as_ref().expect("suite built")),
+            "fig12" => figures::fig12(suite.as_ref().expect("suite built")),
+            "fig13" => figures::fig13(suite.as_ref().expect("suite built")),
+            "fig14" => figures::fig14(suite.as_ref().expect("suite built")),
+            "fig6" => hsu_rtl::area::fig6_table(),
+            "fig15" => figures::fig15(),
+            "fig16" => figures::fig16(),
+            "rtindex" => figures::rtindex(config.sms, config.scale_divisor),
+            "ablation" => figures::ablation(config.sms, config.scale_divisor),
+            other => usage(&format!("unknown item '{other}'")),
+        };
+        println!("{text}");
+        if let Some(dir) = &out_dir {
+            std::fs::create_dir_all(dir).expect("create --out directory");
+            let path = dir.join(format!("{item}.txt"));
+            std::fs::write(&path, &text)
+                .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+        }
+    }
+    if let Some(suite) = &suite {
+        println!("{}", figures::summary(suite));
+    }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!(
+        "usage: repro [--sms N] [--quick] [--seed S] [--out DIR] <item>...\n\
+         items: table2 table3 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16 rtindex ablation all"
+    );
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}

@@ -1,0 +1,304 @@
+//! Workload construction and the cached simulation runs.
+
+use hsu_datasets::{Dataset, DatasetId};
+use hsu_kernels::btree::{BtreeParams, BtreeWorkload};
+use hsu_kernels::bvhnn::{BvhnnParams, BvhnnWorkload};
+use hsu_kernels::flann::{FlannParams, FlannWorkload};
+use hsu_kernels::ggnn::{GgnnParams, GgnnWorkload};
+use hsu_kernels::{offloadable_fraction, Variant};
+use hsu_sim::config::GpuConfig;
+use hsu_sim::{Gpu, SimReport};
+
+/// Which application a run belongs to (the paper's four workloads).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum App {
+    /// Graph-based ANN (GGNN).
+    Ggnn,
+    /// k-d tree ANN (FLANN) — "F" prefix in the figures.
+    Flann,
+    /// BVH radius ANN — "B" prefix in the figures.
+    Bvhnn,
+    /// B+-tree key-value store.
+    Btree,
+}
+
+impl App {
+    /// Figure label, including the paper's F/B dataset prefixes.
+    pub fn prefix(self) -> &'static str {
+        match self {
+            App::Ggnn => "",
+            App::Flann => "F-",
+            App::Bvhnn => "B-",
+            App::Btree => "",
+        }
+    }
+
+    /// Application name.
+    pub fn name(self) -> &'static str {
+        match self {
+            App::Ggnn => "GGNN",
+            App::Flann => "FLANN",
+            App::Bvhnn => "BVH-NN",
+            App::Btree => "B+",
+        }
+    }
+}
+
+/// One application × dataset simulation bundle.
+#[derive(Debug)]
+pub struct AppRun {
+    /// Application.
+    pub app: App,
+    /// Dataset label (with F-/B- prefix where the paper uses one).
+    pub label: String,
+    /// Dataset id.
+    pub dataset: DatasetId,
+    /// HSU-lowered run.
+    pub hsu: SimReport,
+    /// Baseline (no RT hardware) run.
+    pub base: SimReport,
+    /// Baseline with offloadable ops stripped (Fig. 7 probe).
+    pub stripped: SimReport,
+}
+
+impl AppRun {
+    /// HSU speedup over the baseline.
+    pub fn speedup(&self) -> f64 {
+        self.hsu.speedup_over(&self.base)
+    }
+
+    /// Offloadable-cycle fraction (Fig. 7).
+    pub fn offloadable(&self) -> f64 {
+        offloadable_fraction(&self.base, &self.stripped)
+    }
+}
+
+/// Suite-level knobs.
+#[derive(Debug, Clone)]
+pub struct SuiteConfig {
+    /// SMs to simulate (scaled machine; the paper uses 80).
+    pub sms: usize,
+    /// Global workload down-scale: 1 = the suite's standard sizes, larger
+    /// values shrink datasets/queries proportionally (used by `--quick` and
+    /// the test suite).
+    pub scale_divisor: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SuiteConfig {
+    fn default() -> Self {
+        SuiteConfig { sms: 8, scale_divisor: 1, seed: 7 }
+    }
+}
+
+impl SuiteConfig {
+    /// A fast configuration for tests and smoke runs.
+    pub fn quick() -> Self {
+        SuiteConfig { sms: 4, scale_divisor: 4, seed: 7 }
+    }
+
+    /// The GPU configuration the suite simulates.
+    pub fn gpu_config(&self) -> GpuConfig {
+        GpuConfig { num_sms: self.sms, ..GpuConfig::small() }
+    }
+
+    fn scaled(&self, n: usize) -> usize {
+        (n / self.scale_divisor).max(64)
+    }
+}
+
+/// Standard suite sizes per GGNN dataset: `(points, queries)`. Sizes are
+/// simulator-scale (documented in DESIGN.md §2); dimensions and metrics come
+/// from the catalog and are exact.
+fn ggnn_size(id: DatasetId) -> (usize, usize) {
+    match id {
+        DatasetId::Deep1b => (8000, 192),
+        DatasetId::FashionMnist => (2000, 128),
+        DatasetId::Mnist => (2000, 128),
+        DatasetId::Gist => (1500, 128),
+        DatasetId::Glove => (5000, 192),
+        DatasetId::LastFm => (6000, 192),
+        DatasetId::Nytimes => (4000, 192),
+        DatasetId::Sift1m => (6000, 192),
+        DatasetId::Sift10k => (3000, 192),
+        _ => unreachable!("not a GGNN dataset"),
+    }
+}
+
+/// The complete workload suite with cached standard-machine runs.
+#[derive(Debug)]
+pub struct Suite {
+    /// Configuration used.
+    pub config: SuiteConfig,
+    /// The simulated GPU.
+    pub gpu: Gpu,
+    /// Retained workloads for the sensitivity sweeps (Figs. 10/11).
+    pub ggnn: Vec<(DatasetId, GgnnWorkload)>,
+    /// FLANN workloads by dataset.
+    pub flann: Vec<(DatasetId, FlannWorkload)>,
+    /// BVH-NN workloads by dataset.
+    pub bvhnn: Vec<(DatasetId, BvhnnWorkload)>,
+    /// B+-tree workloads by dataset.
+    pub btree: Vec<(DatasetId, BtreeWorkload)>,
+    /// Cached standard-machine runs for every app × dataset.
+    pub runs: Vec<AppRun>,
+}
+
+impl Suite {
+    /// Builds every workload and simulates the three lowerings.
+    ///
+    /// This is the expensive entry point (tens of seconds at standard scale);
+    /// use [`SuiteConfig::quick`] for smoke tests.
+    pub fn build(config: SuiteConfig) -> Self {
+        let gpu = Gpu::new(config.gpu_config());
+        let mut runs = Vec::new();
+
+        // GGNN over the nine high-dimensional sets.
+        let mut ggnn = Vec::new();
+        for id in DatasetId::HIGH_DIM {
+            let spec = hsu_datasets::spec(id);
+            let (points, queries) = ggnn_size(id);
+            let data = Dataset::generate_scaled(id, config.seed, Some(config.scaled(points)))
+                .points()
+                .expect("point dataset")
+                .clone();
+            let params = GgnnParams {
+                points: data.len(),
+                dim: spec.dims,
+                queries: config.scaled(queries).max(48).min(queries.max(48)),
+                metric: spec.metric.expect("ANN dataset has a metric"),
+                k: 10,
+                ef: 64,
+                m: 16,
+                seed: config.seed,
+            };
+            let wl = GgnnWorkload::build_from_points(&params, &data);
+            runs.push(run_all(App::Ggnn, id, &gpu, |v| wl.trace(v)));
+            ggnn.push((id, wl));
+        }
+
+        // FLANN and BVH-NN over the five 3-D sets.
+        let mut flann = Vec::new();
+        let mut bvhnn = Vec::new();
+        for id in DatasetId::THREE_D {
+            let spec = hsu_datasets::spec(id);
+            let n = config.scaled(spec.scaled_points.min(15_000));
+            let data = Dataset::generate_scaled(id, config.seed, Some(n))
+                .points()
+                .expect("point dataset")
+                .clone();
+            let queries = config.scaled(4096).max(2048);
+
+            let fw = FlannWorkload::build_from_points(
+                &FlannParams { points: n, queries, k: 5, checks: 16, seed: config.seed },
+                &data,
+            );
+            runs.push(run_all(App::Flann, id, &gpu, |v| fw.trace(v)));
+            flann.push((id, fw));
+
+            let bw = BvhnnWorkload::build_from_points(
+                &BvhnnParams {
+                    points: n,
+                    queries,
+                    radius_scale: 1.5,
+                    flavor: Default::default(),
+                    seed: config.seed,
+                },
+                &data,
+            );
+            runs.push(run_all(App::Bvhnn, id, &gpu, |v| bw.trace(v)));
+            bvhnn.push((id, bw));
+        }
+
+        // B+-tree over the two key sets.
+        let mut btree = Vec::new();
+        for id in [DatasetId::BTree1m, DatasetId::BTree10k] {
+            let spec = hsu_datasets::spec(id);
+            let keys = config.scaled(spec.scaled_points);
+            let wl = BtreeWorkload::build(&BtreeParams {
+                keys,
+                queries: config.scaled(8192).max(2048),
+                branch: 256,
+                seed: config.seed,
+            });
+            runs.push(run_all(App::Btree, id, &gpu, |v| wl.trace(v)));
+            btree.push((id, wl));
+        }
+
+        Suite { config, gpu, ggnn, flann, bvhnn, btree, runs }
+    }
+
+    /// Runs for one application, in dataset order.
+    pub fn runs_for(&self, app: App) -> impl Iterator<Item = &AppRun> + '_ {
+        self.runs.iter().filter(move |r| r.app == app)
+    }
+
+    /// Geometric-mean HSU speedup for one application (the paper reports
+    /// per-app averages in §VI-C).
+    pub fn mean_speedup(&self, app: App) -> f64 {
+        let speedups: Vec<f64> = self.runs_for(app).map(|r| r.speedup()).collect();
+        geomean(&speedups)
+    }
+}
+
+/// Geometric mean; 1.0 for an empty slice.
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 1.0;
+    }
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+fn run_all<F>(app: App, id: DatasetId, gpu: &Gpu, trace: F) -> AppRun
+where
+    F: Fn(Variant) -> hsu_sim::trace::KernelTrace,
+{
+    let spec = hsu_datasets::spec(id);
+    AppRun {
+        app,
+        label: format!("{}{}", app.prefix(), spec.abbr),
+        dataset: id,
+        hsu: gpu.run(&trace(Variant::Hsu)),
+        base: gpu.run(&trace(Variant::Baseline)),
+        stripped: gpu.run(&trace(Variant::BaselineStripped)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_math() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 1.0);
+        assert!((geomean(&[1.5]) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quick_suite_reproduces_paper_ordering() {
+        let suite = Suite::build(SuiteConfig::quick());
+        // 9 GGNN + 5 FLANN + 5 BVH-NN + 2 B+ = 21 app-dataset runs.
+        assert_eq!(suite.runs.len(), 21);
+        // Every HSU run must beat its baseline (Fig. 9: all speedups > 1).
+        for r in &suite.runs {
+            assert!(
+                r.speedup() > 0.95,
+                "{} regressed: speedup {:.3}",
+                r.label,
+                r.speedup()
+            );
+        }
+        // The paper's per-app ordering: BVH-NN > GGNN > FLANN > B+ on
+        // average, with B+ the smallest.
+        let bvh = suite.mean_speedup(App::Bvhnn);
+        let btree = suite.mean_speedup(App::Btree);
+        assert!(bvh > btree, "BVH-NN {bvh:.3} !> B+ {btree:.3}");
+        // Offloadable fractions are sane.
+        for r in &suite.runs {
+            let f = r.offloadable();
+            assert!((0.0..1.0).contains(&f), "{}: fraction {f}", r.label);
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Property-based tests of the B+-tree against `std::collections::BTreeMap`.
+
+use hsu_btree::BPlusTree;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lookups_match_btreemap(
+        pairs in prop::collection::vec((0u32..100_000, any::<u64>()), 0..800),
+        probes in prop::collection::vec(0u32..110_000, 0..200),
+        branch in 3usize..64,
+    ) {
+        let reference: BTreeMap<u32, u64> = pairs.iter().copied().collect();
+        let tree = BPlusTree::bulk_build(pairs, branch);
+        prop_assert!(tree.validate().is_ok());
+        prop_assert_eq!(tree.len(), reference.len());
+        for k in probes {
+            prop_assert_eq!(tree.get(k), reference.get(&k).copied(), "key {}", k);
+        }
+    }
+
+    #[test]
+    fn ranges_match_btreemap(
+        pairs in prop::collection::vec((0u32..10_000, any::<u64>()), 0..500),
+        lo in 0u32..12_000,
+        span in 0u32..4_000,
+        branch in 3usize..32,
+    ) {
+        let reference: BTreeMap<u32, u64> = pairs.iter().copied().collect();
+        let tree = BPlusTree::bulk_build(pairs, branch);
+        let hi = lo.saturating_add(span);
+        let got = tree.range(lo, hi);
+        let expect: Vec<(u32, u64)> = reference.range(lo..hi).map(|(&k, &v)| (k, v)).collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn height_is_logarithmic(n in 1usize..5_000, branch in 8usize..=256) {
+        let pairs: Vec<(u32, u64)> = (0..n as u32).map(|k| (k, 0)).collect();
+        let tree = BPlusTree::bulk_build(pairs, branch);
+        prop_assert!(tree.validate().is_ok());
+        // Bulk-loaded occupancy is >= branch/3 per level.
+        let bound = (n as f64).log((branch as f64 / 3.0).max(2.0)).ceil() as usize + 2;
+        prop_assert!(tree.height() <= bound,
+            "height {} exceeds bound {} (n={}, branch={})", tree.height(), bound, n, branch);
+    }
+
+    #[test]
+    fn lookup_work_counters_are_consistent(n in 1usize..3_000) {
+        let pairs: Vec<(u32, u64)> = (0..n as u32).map(|k| (k * 2, k as u64)).collect();
+        let tree = BPlusTree::bulk_build(pairs, 32);
+        let (v, stats) = tree.get_counted((n as u32 - 1) * 2);
+        prop_assert_eq!(v, Some(n as u64 - 1));
+        prop_assert_eq!(stats.internal_visits as usize, tree.height() - 1);
+        prop_assert_eq!(stats.leaf_visits, 1);
+    }
+}

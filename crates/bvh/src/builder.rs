@@ -1,0 +1,349 @@
+//! BVH construction: fast LBVH (Morton) and quality SAH builders.
+
+use crate::bvh2::{Bvh2, Bvh2Node, NodeContent};
+use crate::primitive::Primitive;
+use hsu_geometry::{morton, Aabb};
+
+/// Builds a linear BVH by sorting primitives along the Morton curve and
+/// splitting top-down at the highest differing code bit — the Karras 2012
+/// construction the paper's BVH-NN uses ("known for its fast construction
+/// time but not for its quality", §VI-E).
+///
+/// # Examples
+///
+/// ```
+/// use hsu_bvh::{LbvhBuilder, PointPrimitive};
+/// use hsu_geometry::Vec3;
+/// let prims = vec![
+///     PointPrimitive::new(0, Vec3::ZERO, 0.1),
+///     PointPrimitive::new(1, Vec3::splat(1.0), 0.1),
+/// ];
+/// let bvh = LbvhBuilder::default().max_leaf_size(1).build(&prims);
+/// assert_eq!(bvh.primitive_count(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LbvhBuilder {
+    max_leaf_size: usize,
+}
+
+impl Default for LbvhBuilder {
+    /// One primitive per leaf, matching the paper ("Each leaf node contains
+    /// exactly one point in BVH-NN", §VI-C).
+    fn default() -> Self {
+        LbvhBuilder { max_leaf_size: 1 }
+    }
+}
+
+impl LbvhBuilder {
+    /// Creates a builder with the default single-primitive leaves.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the maximum number of primitives per leaf.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn max_leaf_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "leaf size must be positive");
+        self.max_leaf_size = n;
+        self
+    }
+
+    /// Builds the hierarchy. An empty primitive slice yields an empty BVH.
+    pub fn build<P: Primitive>(&self, prims: &[P]) -> Bvh2 {
+        if prims.is_empty() {
+            return Bvh2 { nodes: Vec::new(), prim_indices: Vec::new() };
+        }
+        let scene = Aabb::from_points(prims.iter().map(|p| p.centroid()));
+        let mut order: Vec<(u64, u32)> = prims
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (morton::code_63(p.centroid(), &scene), i as u32))
+            .collect();
+        order.sort_unstable();
+        let codes: Vec<u64> = order.iter().map(|&(c, _)| c).collect();
+        let prim_indices: Vec<u32> = order.iter().map(|&(_, i)| i).collect();
+
+        let mut builder = TopDown {
+            prims,
+            prim_indices,
+            nodes: Vec::with_capacity(2 * prims.len()),
+            max_leaf_size: self.max_leaf_size,
+        };
+        builder.nodes.push(placeholder_node());
+        builder.build_lbvh(0, 0, prims.len(), &codes);
+        Bvh2 { nodes: builder.nodes, prim_indices: builder.prim_indices }
+    }
+}
+
+/// Builds a BVH with a full-sweep surface area heuristic — the quality
+/// reference the paper points to for future improvement of BVH-NN (§VI-E).
+#[derive(Debug, Clone)]
+pub struct SahBuilder {
+    max_leaf_size: usize,
+    traversal_cost: f32,
+    intersect_cost: f32,
+}
+
+impl Default for SahBuilder {
+    fn default() -> Self {
+        SahBuilder { max_leaf_size: 2, traversal_cost: 1.0, intersect_cost: 1.0 }
+    }
+}
+
+impl SahBuilder {
+    /// Creates a builder with default costs.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the maximum number of primitives per leaf.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn max_leaf_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "leaf size must be positive");
+        self.max_leaf_size = n;
+        self
+    }
+
+    /// Builds the hierarchy. An empty primitive slice yields an empty BVH.
+    pub fn build<P: Primitive>(&self, prims: &[P]) -> Bvh2 {
+        if prims.is_empty() {
+            return Bvh2 { nodes: Vec::new(), prim_indices: Vec::new() };
+        }
+        let prim_indices: Vec<u32> = (0..prims.len() as u32).collect();
+        let mut builder = TopDown {
+            prims,
+            prim_indices,
+            nodes: Vec::with_capacity(2 * prims.len()),
+            max_leaf_size: self.max_leaf_size,
+        };
+        builder.nodes.push(placeholder_node());
+        builder.build_sah(0, 0, prims.len(), self.traversal_cost, self.intersect_cost);
+        Bvh2 { nodes: builder.nodes, prim_indices: builder.prim_indices }
+    }
+}
+
+fn placeholder_node() -> Bvh2Node {
+    Bvh2Node { aabb: Aabb::EMPTY, content: NodeContent::Leaf { start: 0, count: 1 } }
+}
+
+struct TopDown<'a, P> {
+    prims: &'a [P],
+    prim_indices: Vec<u32>,
+    nodes: Vec<Bvh2Node>,
+    max_leaf_size: usize,
+}
+
+impl<P: Primitive> TopDown<'_, P> {
+    fn range_bounds(&self, start: usize, end: usize) -> Aabb {
+        self.prim_indices[start..end]
+            .iter()
+            .fold(Aabb::EMPTY, |acc, &i| acc.union(&self.prims[i as usize].bounds()))
+    }
+
+    fn make_leaf(&mut self, node: usize, start: usize, end: usize) {
+        self.nodes[node] = Bvh2Node {
+            aabb: self.range_bounds(start, end),
+            content: NodeContent::Leaf { start: start as u32, count: (end - start) as u32 },
+        };
+    }
+
+    /// Karras-style split: partition where the highest differing Morton bit
+    /// flips. Falls back to the median for ranges of identical codes.
+    fn build_lbvh(&mut self, node: usize, start: usize, end: usize, codes: &[u64]) {
+        if end - start <= self.max_leaf_size {
+            self.make_leaf(node, start, end);
+            return;
+        }
+        let first = codes[start];
+        let last = codes[end - 1];
+        let split = if first == last {
+            (start + end) / 2
+        } else {
+            // Highest bit in which first and last differ.
+            let prefix = (first ^ last).leading_zeros();
+            // Binary search for the first index whose code differs from
+            // `first` in that bit.
+            let mask = 1u64 << (63 - prefix);
+            let mut lo = start;
+            let mut hi = end - 1;
+            while lo + 1 < hi {
+                let mid = (lo + hi) / 2;
+                if codes[mid] & mask == first & mask {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+            }
+            hi
+        };
+        let (left, right) = self.alloc_children(node);
+        self.build_lbvh(left as usize, start, split, codes);
+        self.build_lbvh(right as usize, split, end, codes);
+        self.finish_internal(node, left, right);
+    }
+
+    /// Full-sweep SAH over the three axes on centroid order.
+    fn build_sah(&mut self, node: usize, start: usize, end: usize, ct: f32, ci: f32) {
+        let n = end - start;
+        if n <= self.max_leaf_size {
+            self.make_leaf(node, start, end);
+            return;
+        }
+        let parent_bounds = self.range_bounds(start, end);
+        let parent_sa = parent_bounds.surface_area().max(f32::MIN_POSITIVE);
+
+        let mut best: Option<(f32, usize, usize)> = None; // (cost, axis, split)
+        let mut right_sa = vec![0.0f32; n];
+        for axis in 0..3 {
+            self.prim_indices[start..end].sort_by(|&a, &b| {
+                let ca = self.prims[a as usize].centroid()[axis];
+                let cb = self.prims[b as usize].centroid()[axis];
+                ca.total_cmp(&cb)
+            });
+            // Sweep from the right accumulating surface areas.
+            let mut acc = Aabb::EMPTY;
+            for i in (1..n).rev() {
+                acc = acc.union(&self.prims[self.prim_indices[start + i] as usize].bounds());
+                right_sa[i] = acc.surface_area();
+            }
+            // Sweep from the left evaluating each split.
+            let mut acc = Aabb::EMPTY;
+            for i in 1..n {
+                acc = acc.union(&self.prims[self.prim_indices[start + i - 1] as usize].bounds());
+                let cost = ct
+                    + ci * (acc.surface_area() * i as f32 + right_sa[i] * (n - i) as f32)
+                        / parent_sa;
+                if best.is_none_or(|(c, _, _)| cost < c) {
+                    best = Some((cost, axis, i));
+                }
+            }
+        }
+
+        let (best_cost, best_axis, best_split) = best.expect("n >= 2 guarantees a split");
+        // Leaf if splitting is not cheaper than testing everything here.
+        if best_cost >= ci * n as f32 && n <= 8 {
+            self.make_leaf(node, start, end);
+            return;
+        }
+        // Re-sort to the winning axis (it may not be the last one swept).
+        self.prim_indices[start..end].sort_by(|&a, &b| {
+            let ca = self.prims[a as usize].centroid()[best_axis];
+            let cb = self.prims[b as usize].centroid()[best_axis];
+            ca.total_cmp(&cb)
+        });
+        let split = start + best_split;
+        let (left, right) = self.alloc_children(node);
+        self.build_sah(left as usize, start, split, ct, ci);
+        self.build_sah(right as usize, split, end, ct, ci);
+        self.finish_internal(node, left, right);
+    }
+
+    fn alloc_children(&mut self, _node: usize) -> (u32, u32) {
+        let left = self.nodes.len() as u32;
+        self.nodes.push(placeholder_node());
+        let right = self.nodes.len() as u32;
+        self.nodes.push(placeholder_node());
+        (left, right)
+    }
+
+    fn finish_internal(&mut self, node: usize, left: u32, right: u32) {
+        let aabb = self.nodes[left as usize].aabb.union(&self.nodes[right as usize].aabb);
+        self.nodes[node] = Bvh2Node { aabb, content: NodeContent::Internal { left, right } };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::primitive::PointPrimitive;
+    use hsu_geometry::Vec3;
+    use rand::{Rng, SeedableRng};
+
+    fn random_prims(n: usize, seed: u64) -> Vec<PointPrimitive> {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                PointPrimitive::new(
+                    i as u32,
+                    Vec3::new(rng.gen_range(-5.0..5.0), rng.gen_range(-5.0..5.0), rng.gen_range(-5.0..5.0)),
+                    0.1,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn lbvh_validates_on_random_inputs() {
+        for seed in 0..5 {
+            let prims = random_prims(200, seed);
+            let bvh = LbvhBuilder::default().build(&prims);
+            bvh.validate(&prims).unwrap();
+        }
+    }
+
+    #[test]
+    fn sah_validates_on_random_inputs() {
+        for seed in 0..5 {
+            let prims = random_prims(150, seed);
+            let bvh = SahBuilder::default().build(&prims);
+            bvh.validate(&prims).unwrap();
+        }
+    }
+
+    #[test]
+    fn empty_input_builds_empty_tree() {
+        let prims: Vec<PointPrimitive> = Vec::new();
+        assert_eq!(LbvhBuilder::default().build(&prims).node_count(), 0);
+        assert_eq!(SahBuilder::default().build(&prims).node_count(), 0);
+    }
+
+    #[test]
+    fn duplicate_positions_are_handled() {
+        // All identical Morton codes force the median fallback.
+        let prims: Vec<PointPrimitive> =
+            (0..33).map(|i| PointPrimitive::new(i, Vec3::splat(1.0), 0.1)).collect();
+        let bvh = LbvhBuilder::default().build(&prims);
+        bvh.validate(&prims).unwrap();
+    }
+
+    #[test]
+    fn sah_quality_not_worse_than_lbvh() {
+        // Sum of internal-node surface areas is the standard SAH quality
+        // proxy: lower is better.
+        fn quality(bvh: &Bvh2) -> f32 {
+            bvh.nodes()
+                .iter()
+                .filter(|n| matches!(n.content, NodeContent::Internal { .. }))
+                .map(|n| n.aabb.surface_area())
+                .sum()
+        }
+        let prims = random_prims(300, 7);
+        let lbvh = LbvhBuilder::default().max_leaf_size(2).build(&prims);
+        let sah = SahBuilder::default().max_leaf_size(2).build(&prims);
+        assert!(
+            quality(&sah) <= quality(&lbvh) * 1.05,
+            "SAH {} vs LBVH {}",
+            quality(&sah),
+            quality(&lbvh)
+        );
+    }
+
+    #[test]
+    fn leaf_size_respected() {
+        let prims = random_prims(100, 3);
+        for leaf in [1usize, 2, 4, 8] {
+            let bvh = LbvhBuilder::default().max_leaf_size(leaf).build(&prims);
+            for node in bvh.nodes() {
+                if let NodeContent::Leaf { count, .. } = node.content {
+                    assert!(count as usize <= leaf);
+                }
+            }
+        }
+    }
+}

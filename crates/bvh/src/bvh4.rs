@@ -1,0 +1,276 @@
+//! Collapsing a binary BVH into the 4-wide hierarchy the RT unit's four-box
+//! `RAY_INTERSECT` is designed for.
+//!
+//! The paper notes (§VI-E) that BVH-NN's *binary* tree leaves half the
+//! ray-box hardware idle — "a BVH4 tree would likely have better performance
+//! in our unit for this reason". This module provides that ablation: a BVH4
+//! built by greedily merging each BVH2 node with its grandchildren.
+
+use crate::bvh2::{Bvh2, NodeContent};
+use crate::primitive::PointPrimitive;
+use crate::search::{Neighbor, TraversalStats};
+use hsu_geometry::{Aabb, Vec3};
+
+/// A child slot of a [`Bvh4Node`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Bvh4Child {
+    /// Child internal node.
+    Node {
+        /// Index in the node array.
+        index: u32,
+        /// Child bounds.
+        aabb: Aabb,
+    },
+    /// Leaf range into the primitive-index permutation.
+    Leaf {
+        /// First slot in the primitive-index array.
+        start: u32,
+        /// Number of primitives.
+        count: u32,
+        /// Leaf bounds.
+        aabb: Aabb,
+    },
+}
+
+impl Bvh4Child {
+    /// The child's bounding box.
+    pub fn aabb(&self) -> &Aabb {
+        match self {
+            Bvh4Child::Node { aabb, .. } | Bvh4Child::Leaf { aabb, .. } => aabb,
+        }
+    }
+}
+
+/// One node of a [`Bvh4`]: up to four children, tested by a single
+/// `RAY_INTERSECT`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bvh4Node {
+    /// The 1..=4 children.
+    pub children: Vec<Bvh4Child>,
+}
+
+/// A 4-wide bounding volume hierarchy sharing its primitive permutation with
+/// the [`Bvh2`] it was collapsed from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bvh4 {
+    nodes: Vec<Bvh4Node>,
+    prim_indices: Vec<u32>,
+    root_aabb: Aabb,
+}
+
+impl Bvh4 {
+    /// Collapses a binary BVH. Each internal node adopts its grandchildren
+    /// when both children are internal, producing nodes of up to 4 children.
+    pub fn from_bvh2(bvh2: &Bvh2) -> Self {
+        if bvh2.nodes().is_empty() {
+            return Bvh4 { nodes: Vec::new(), prim_indices: Vec::new(), root_aabb: Aabb::EMPTY };
+        }
+        let mut out = Bvh4 {
+            nodes: Vec::new(),
+            prim_indices: bvh2.prim_indices().to_vec(),
+            root_aabb: bvh2.root().aabb,
+        };
+        // Root: if the BVH2 root is a leaf, wrap it in a single-child node.
+        match bvh2.root().content {
+            NodeContent::Leaf { start, count } => {
+                out.nodes.push(Bvh4Node {
+                    children: vec![Bvh4Child::Leaf { start, count, aabb: bvh2.root().aabb }],
+                });
+            }
+            NodeContent::Internal { .. } => {
+                out.collapse(bvh2, 0);
+            }
+        }
+        out
+    }
+
+    /// Recursively emits the BVH4 node for BVH2 internal node `b2`, returning
+    /// its index.
+    fn collapse(&mut self, bvh2: &Bvh2, b2: u32) -> u32 {
+        // Gather up to four BVH2 descendants: split internal children once.
+        let NodeContent::Internal { left, right } = bvh2.nodes()[b2 as usize].content else {
+            unreachable!("collapse called on a leaf");
+        };
+        let mut slots: Vec<u32> = Vec::with_capacity(4);
+        for child in [left, right] {
+            match bvh2.nodes()[child as usize].content {
+                NodeContent::Internal { left: gl, right: gr } => {
+                    slots.push(gl);
+                    slots.push(gr);
+                }
+                NodeContent::Leaf { .. } => slots.push(child),
+            }
+        }
+
+        let index = self.nodes.len() as u32;
+        self.nodes.push(Bvh4Node { children: Vec::new() });
+        let mut children = Vec::with_capacity(slots.len());
+        for s in slots {
+            let node = &bvh2.nodes()[s as usize];
+            match node.content {
+                NodeContent::Leaf { start, count } => {
+                    children.push(Bvh4Child::Leaf { start, count, aabb: node.aabb });
+                }
+                NodeContent::Internal { .. } => {
+                    let child_index = self.collapse(bvh2, s);
+                    children.push(Bvh4Child::Node { index: child_index, aabb: node.aabb });
+                }
+            }
+        }
+        self.nodes[index as usize].children = children;
+        index
+    }
+
+    /// The node array (root at index 0).
+    #[inline]
+    pub fn nodes(&self) -> &[Bvh4Node] {
+        &self.nodes
+    }
+
+    /// The shared primitive permutation.
+    #[inline]
+    pub fn prim_indices(&self) -> &[u32] {
+        &self.prim_indices
+    }
+
+    /// Bounds of the whole hierarchy.
+    #[inline]
+    pub fn root_aabb(&self) -> &Aabb {
+        &self.root_aabb
+    }
+
+    /// Radius search equivalent to [`Bvh2::radius_search_counted`], but each
+    /// visited node tests up to four child boxes with one `RAY_INTERSECT`.
+    pub fn radius_search_counted(
+        &self,
+        prims: &[PointPrimitive],
+        query: Vec3,
+        radius: f32,
+    ) -> (Vec<Neighbor>, TraversalStats) {
+        let mut out = Vec::new();
+        let mut stats = TraversalStats::default();
+        if self.nodes.is_empty() {
+            return (out, stats);
+        }
+        let r2 = radius * radius;
+        let mut stack: Vec<u32> = vec![0];
+        while let Some(i) = stack.pop() {
+            stats.max_stack_depth = stats.max_stack_depth.max(stack.len() + 1);
+            stats.nodes_visited += 1;
+            for child in &self.nodes[i as usize].children {
+                if child.aabb().distance_squared_to(query) > r2 {
+                    continue;
+                }
+                match *child {
+                    Bvh4Child::Node { index, .. } => stack.push(index),
+                    Bvh4Child::Leaf { start, count, .. } => {
+                        stats.leaves_visited += 1;
+                        for s in start..start + count {
+                            let prim = &prims[self.prim_indices[s as usize] as usize];
+                            stats.primitive_tests += 1;
+                            let d2 = (prim.position - query).length_squared();
+                            if d2 <= r2 {
+                                out.push(Neighbor { id: prim.id, distance_squared: d2 });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        (out, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::LbvhBuilder;
+    use rand::{Rng, SeedableRng};
+
+    fn random_points(n: usize, seed: u64) -> Vec<PointPrimitive> {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                PointPrimitive::new(
+                    i as u32,
+                    Vec3::new(
+                        rng.gen_range(-2.0..2.0),
+                        rng.gen_range(-2.0..2.0),
+                        rng.gen_range(-2.0..2.0),
+                    ),
+                    0.25,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn collapse_preserves_search_results() {
+        let prims = random_points(300, 17);
+        let bvh2 = LbvhBuilder::default().build(&prims);
+        let bvh4 = Bvh4::from_bvh2(&bvh2);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..30 {
+            let q = Vec3::new(
+                rng.gen_range(-2.0..2.0),
+                rng.gen_range(-2.0..2.0),
+                rng.gen_range(-2.0..2.0),
+            );
+            let mut a: Vec<u32> =
+                bvh2.radius_search(&prims, q, 0.3).iter().map(|n| n.id).collect();
+            let mut b: Vec<u32> = bvh4
+                .radius_search_counted(&prims, q, 0.3)
+                .0
+                .iter()
+                .map(|n| n.id)
+                .collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn collapse_visits_fewer_nodes() {
+        let prims = random_points(1000, 23);
+        let bvh2 = LbvhBuilder::default().build(&prims);
+        let bvh4 = Bvh4::from_bvh2(&bvh2);
+        let q = Vec3::ZERO;
+        let (_, s2) = bvh2.radius_search_counted(&prims, q, 0.5);
+        let (_, s4) = bvh4.radius_search_counted(&prims, q, 0.5);
+        assert!(
+            s4.nodes_visited < s2.nodes_visited,
+            "bvh4 {} vs bvh2 {}",
+            s4.nodes_visited,
+            s2.nodes_visited
+        );
+    }
+
+    #[test]
+    fn all_nodes_have_at_most_four_children() {
+        let prims = random_points(500, 3);
+        let bvh4 = Bvh4::from_bvh2(&LbvhBuilder::default().build(&prims));
+        for node in bvh4.nodes() {
+            assert!(!node.children.is_empty());
+            assert!(node.children.len() <= 4);
+        }
+    }
+
+    #[test]
+    fn single_leaf_tree_collapses() {
+        let prims = vec![PointPrimitive::new(0, Vec3::ZERO, 0.5)];
+        let bvh4 = Bvh4::from_bvh2(&LbvhBuilder::default().build(&prims));
+        assert_eq!(bvh4.nodes().len(), 1);
+        let (hits, _) = bvh4.radius_search_counted(&prims, Vec3::ZERO, 1.0);
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn empty_tree_collapses() {
+        let prims: Vec<PointPrimitive> = Vec::new();
+        let bvh4 = Bvh4::from_bvh2(&LbvhBuilder::default().build(&prims));
+        assert!(bvh4.nodes().is_empty());
+        let (hits, _) = bvh4.radius_search_counted(&prims, Vec3::ZERO, 1.0);
+        assert!(hits.is_empty());
+    }
+}

@@ -1,0 +1,93 @@
+//! Primitive types a BVH can be built over.
+
+use hsu_geometry::{Aabb, Triangle, Vec3};
+
+/// Anything a BVH can bound: exposes an AABB and a centroid for builders.
+pub trait Primitive {
+    /// The primitive's bounding box (what leaf tests intersect against).
+    fn bounds(&self) -> Aabb;
+    /// Representative point used for Morton codes and SAH binning.
+    fn centroid(&self) -> Vec3;
+}
+
+/// A data point wrapped in the RTNN-style leaf box of half-side `radius`
+/// (§V-A: "leaf AABB widths at two times the search radius with each data
+/// point in the center").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PointPrimitive {
+    /// Dataset index of the point.
+    pub id: u32,
+    /// The point's position.
+    pub position: Vec3,
+    /// Half-side of the leaf box (the search radius).
+    pub radius: f32,
+}
+
+impl PointPrimitive {
+    /// Creates a point primitive.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `radius` is negative or non-finite.
+    pub fn new(id: u32, position: Vec3, radius: f32) -> Self {
+        debug_assert!(radius.is_finite() && radius >= 0.0, "invalid radius {radius}");
+        PointPrimitive { id, position, radius }
+    }
+}
+
+impl Primitive for PointPrimitive {
+    fn bounds(&self) -> Aabb {
+        Aabb::around_point(self.position, self.radius)
+    }
+
+    fn centroid(&self) -> Vec3 {
+        self.position
+    }
+}
+
+/// A triangle with its scene id, for classic ray tracing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrianglePrimitive {
+    /// Scene-global triangle id (returned by `RAY_INTERSECT`).
+    pub id: u32,
+    /// The geometry.
+    pub triangle: Triangle,
+}
+
+impl Primitive for TrianglePrimitive {
+    fn bounds(&self) -> Aabb {
+        self.triangle.bounds()
+    }
+
+    fn centroid(&self) -> Vec3 {
+        self.triangle.centroid()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_primitive_bounds_are_centred() {
+        let p = PointPrimitive::new(3, Vec3::new(1.0, 2.0, 3.0), 0.25);
+        let b = p.bounds();
+        assert_eq!(b.center(), p.position);
+        assert_eq!(b.extent(), Vec3::splat(0.5));
+        assert_eq!(p.centroid(), p.position);
+    }
+
+    #[test]
+    fn triangle_primitive_delegates() {
+        let t = TrianglePrimitive {
+            id: 9,
+            triangle: Triangle::new(
+                Vec3::ZERO,
+                Vec3::new(2.0, 0.0, 0.0),
+                Vec3::new(0.0, 2.0, 0.0),
+            ),
+        };
+        assert_eq!(t.bounds().max, Vec3::new(2.0, 2.0, 0.0));
+        assert!((t.centroid() - Vec3::new(2.0 / 3.0, 2.0 / 3.0, 0.0)).length() < 1e-6);
+    }
+}

@@ -1,0 +1,448 @@
+//! Point searches and ray traversal over a [`Bvh2`], with traversal
+//! statistics for the instruction-trace generators.
+
+use crate::bvh2::{Bvh2, NodeContent};
+use crate::primitive::{PointPrimitive, TrianglePrimitive};
+use hsu_geometry::{Ray, TriangleHit, Vec3};
+
+/// A search result: primitive id and squared distance to the query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// Dataset id of the found point.
+    pub id: u32,
+    /// Squared Euclidean distance to the query.
+    pub distance_squared: f32,
+}
+
+/// Work counters from one traversal, used to charge HSU / baseline
+/// instructions in the trace generators.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraversalStats {
+    /// Internal nodes visited (each is one ray-box `RAY_INTERSECT`, testing
+    /// both children's boxes).
+    pub nodes_visited: u64,
+    /// Leaf nodes reached.
+    pub leaves_visited: u64,
+    /// Primitive tests performed at leaves (distance tests / triangle tests).
+    pub primitive_tests: u64,
+    /// Maximum traversal-stack occupancy observed.
+    pub max_stack_depth: usize,
+}
+
+impl Bvh2 {
+    /// Finds all points within `radius` of `query` — the RTNN radius-search
+    /// formulation of nearest neighbours (§V-A). Returns the neighbours and
+    /// the traversal work counters.
+    ///
+    /// `prims` must be the primitive slice the BVH was built over.
+    pub fn radius_search_counted(
+        &self,
+        prims: &[PointPrimitive],
+        query: Vec3,
+        radius: f32,
+    ) -> (Vec<Neighbor>, TraversalStats) {
+        let mut out = Vec::new();
+        let mut stats = TraversalStats::default();
+        if self.nodes.is_empty() {
+            return (out, stats);
+        }
+        let r2 = radius * radius;
+        let mut stack: Vec<u32> = vec![0];
+        while let Some(i) = stack.pop() {
+            stats.max_stack_depth = stats.max_stack_depth.max(stack.len() + 1);
+            let node = &self.nodes[i as usize];
+            // The leaf boxes are already dilated by the search radius, so the
+            // box test is a plain containment test of the query point —
+            // exactly the ray-with-tiny-extent trick RTNN plays, minus the
+            // reformulation.
+            match node.content {
+                NodeContent::Internal { left, right } => {
+                    stats.nodes_visited += 1;
+                    // One RAY_INTERSECT tests both children; descend into the
+                    // ones whose dilated box can contain candidates.
+                    for child in [left, right] {
+                        let cb = &self.nodes[child as usize].aabb;
+                        if cb.distance_squared_to(query) <= r2 {
+                            stack.push(child);
+                        }
+                    }
+                }
+                NodeContent::Leaf { start, count } => {
+                    stats.leaves_visited += 1;
+                    for s in start..start + count {
+                        let prim = &prims[self.prim_indices[s as usize] as usize];
+                        stats.primitive_tests += 1;
+                        let d2 = (prim.position - query).length_squared();
+                        if d2 <= r2 {
+                            out.push(Neighbor { id: prim.id, distance_squared: d2 });
+                        }
+                    }
+                }
+            }
+        }
+        (out, stats)
+    }
+
+    /// [`Bvh2::radius_search_counted`] without the statistics.
+    pub fn radius_search(
+        &self,
+        prims: &[PointPrimitive],
+        query: Vec3,
+        radius: f32,
+    ) -> Vec<Neighbor> {
+        self.radius_search_counted(prims, query, radius).0
+    }
+
+    /// The `k` nearest neighbours within `radius` of `query`, closest first —
+    /// RTNN's truncated-K formulation (KNN as a radius search that keeps the
+    /// K best hits).
+    ///
+    /// Returns fewer than `k` when the ball holds fewer points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn radius_knn(
+        &self,
+        prims: &[PointPrimitive],
+        query: Vec3,
+        radius: f32,
+        k: usize,
+    ) -> (Vec<Neighbor>, TraversalStats) {
+        assert!(k > 0, "k must be positive");
+        let mut stats = TraversalStats::default();
+        // Max-heap of the K best (distance bits are order-preserving for
+        // non-negative floats).
+        let mut best: std::collections::BinaryHeap<(u32, u32)> =
+            std::collections::BinaryHeap::new();
+        if self.nodes.is_empty() {
+            return (Vec::new(), stats);
+        }
+        let mut r2 = radius * radius;
+        let mut stack: Vec<u32> = vec![0];
+        while let Some(i) = stack.pop() {
+            stats.max_stack_depth = stats.max_stack_depth.max(stack.len() + 1);
+            let node = &self.nodes[i as usize];
+            match node.content {
+                NodeContent::Internal { left, right } => {
+                    stats.nodes_visited += 1;
+                    for child in [left, right] {
+                        if self.nodes[child as usize].aabb.distance_squared_to(query) <= r2 {
+                            stack.push(child);
+                        }
+                    }
+                }
+                NodeContent::Leaf { start, count } => {
+                    stats.leaves_visited += 1;
+                    for s in start..start + count {
+                        let prim = &prims[self.prim_indices[s as usize] as usize];
+                        stats.primitive_tests += 1;
+                        let d2 = (prim.position - query).length_squared();
+                        if d2 <= r2 {
+                            best.push((d2.to_bits(), prim.id));
+                            if best.len() > k {
+                                best.pop();
+                                // Shrink the search ball to the current Kth
+                                // distance (RTNN's truncation optimization).
+                                if let Some(&(w, _)) = best.peek() {
+                                    r2 = f32::from_bits(w);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let mut out: Vec<Neighbor> = best
+            .into_iter()
+            .map(|(d, id)| Neighbor { id, distance_squared: f32::from_bits(d) })
+            .collect();
+        out.sort_by(|a, b| a.distance_squared.total_cmp(&b.distance_squared));
+        (out, stats)
+    }
+
+    /// Best-first nearest-neighbour search using box distance as the
+    /// admissible bound. Returns `None` for an empty hierarchy.
+    pub fn nearest(
+        &self,
+        prims: &[PointPrimitive],
+        query: Vec3,
+    ) -> Option<(Neighbor, TraversalStats)> {
+        if self.nodes.is_empty() {
+            return None;
+        }
+        let mut stats = TraversalStats::default();
+        let mut best: Option<Neighbor> = None;
+        // Monotone map of non-negative f32 to u64 so the binary heap can
+        // order node bounds without a float wrapper type.
+        fn key(d: f32) -> u64 {
+            d.to_bits() as u64
+        }
+        let mut pq: std::collections::BinaryHeap<std::cmp::Reverse<(u64, u32)>> =
+            std::collections::BinaryHeap::new();
+        pq.push(std::cmp::Reverse((key(self.nodes[0].aabb.distance_squared_to(query)), 0)));
+        while let Some(std::cmp::Reverse((bound_bits, i))) = pq.pop() {
+            let bound = f32::from_bits(bound_bits as u32);
+            if let Some(b) = best {
+                if bound > b.distance_squared {
+                    break;
+                }
+            }
+            stats.max_stack_depth = stats.max_stack_depth.max(pq.len() + 1);
+            let node = &self.nodes[i as usize];
+            match node.content {
+                NodeContent::Internal { left, right } => {
+                    stats.nodes_visited += 1;
+                    for child in [left, right] {
+                        let d = self.nodes[child as usize].aabb.distance_squared_to(query);
+                        if best.is_none_or(|b| d <= b.distance_squared) {
+                            pq.push(std::cmp::Reverse((key(d), child)));
+                        }
+                    }
+                }
+                NodeContent::Leaf { start, count } => {
+                    stats.leaves_visited += 1;
+                    for s in start..start + count {
+                        let prim = &prims[self.prim_indices[s as usize] as usize];
+                        stats.primitive_tests += 1;
+                        let d2 = (prim.position - query).length_squared();
+                        if best.is_none_or(|b| d2 < b.distance_squared) {
+                            best = Some(Neighbor { id: prim.id, distance_squared: d2 });
+                        }
+                    }
+                }
+            }
+        }
+        best.map(|b| (b, stats))
+    }
+
+    /// Closest-hit ray traversal over triangle primitives, front-to-back with
+    /// `t_max` shrinking — the classic RT-core workload.
+    pub fn intersect_ray(
+        &self,
+        prims: &[TrianglePrimitive],
+        ray: &Ray,
+    ) -> (Option<(u32, TriangleHit)>, TraversalStats) {
+        let mut stats = TraversalStats::default();
+        let mut closest: Option<(u32, TriangleHit)> = None;
+        if self.nodes.is_empty() {
+            return (closest, stats);
+        }
+        let mut t_max = f32::INFINITY;
+        let mut stack: Vec<u32> = vec![0];
+        // Root box test.
+        if ray.intersect_aabb(&self.nodes[0].aabb, t_max).is_none() {
+            return (closest, stats);
+        }
+        while let Some(i) = stack.pop() {
+            stats.max_stack_depth = stats.max_stack_depth.max(stack.len() + 1);
+            let node = &self.nodes[i as usize];
+            match node.content {
+                NodeContent::Internal { left, right } => {
+                    stats.nodes_visited += 1;
+                    // Test both children, push far-then-near so the near child
+                    // pops first (the "sort closest hit" the unit performs).
+                    let lh = ray.intersect_aabb(&self.nodes[left as usize].aabb, t_max);
+                    let rh = ray.intersect_aabb(&self.nodes[right as usize].aabb, t_max);
+                    match (lh, rh) {
+                        (Some(l), Some(r)) => {
+                            if l.t_near <= r.t_near {
+                                stack.push(right);
+                                stack.push(left);
+                            } else {
+                                stack.push(left);
+                                stack.push(right);
+                            }
+                        }
+                        (Some(_), None) => stack.push(left),
+                        (None, Some(_)) => stack.push(right),
+                        (None, None) => {}
+                    }
+                }
+                NodeContent::Leaf { start, count } => {
+                    stats.leaves_visited += 1;
+                    for s in start..start + count {
+                        let prim = &prims[self.prim_indices[s as usize] as usize];
+                        stats.primitive_tests += 1;
+                        if let Some(hit) = prim.triangle.intersect(ray, t_max) {
+                            t_max = hit.t();
+                            closest = Some((prim.id, hit));
+                        }
+                    }
+                }
+            }
+        }
+        (closest, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{LbvhBuilder, SahBuilder};
+    use hsu_geometry::Triangle;
+    use rand::{Rng, SeedableRng};
+
+    fn random_points(n: usize, seed: u64) -> Vec<PointPrimitive> {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                PointPrimitive::new(
+                    i as u32,
+                    Vec3::new(
+                        rng.gen_range(-2.0..2.0),
+                        rng.gen_range(-2.0..2.0),
+                        rng.gen_range(-2.0..2.0),
+                    ),
+                    0.25,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn radius_search_matches_brute_force() {
+        let prims = random_points(400, 11);
+        let bvh = LbvhBuilder::default().build(&prims);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(99);
+        for _ in 0..50 {
+            let q = Vec3::new(
+                rng.gen_range(-2.0..2.0),
+                rng.gen_range(-2.0..2.0),
+                rng.gen_range(-2.0..2.0),
+            );
+            let r = 0.25f32;
+            let mut got: Vec<u32> =
+                bvh.radius_search(&prims, q, r).iter().map(|n| n.id).collect();
+            got.sort_unstable();
+            let mut expect: Vec<u32> = prims
+                .iter()
+                .filter(|p| (p.position - q).length_squared() <= r * r)
+                .map(|p| p.id)
+                .collect();
+            expect.sort_unstable();
+            assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    fn nearest_matches_brute_force() {
+        let prims = random_points(300, 5);
+        for builder in ["lbvh", "sah"] {
+            let bvh = match builder {
+                "lbvh" => LbvhBuilder::default().build(&prims),
+                _ => SahBuilder::default().build(&prims),
+            };
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(42);
+            for _ in 0..40 {
+                let q = Vec3::new(
+                    rng.gen_range(-2.5..2.5),
+                    rng.gen_range(-2.5..2.5),
+                    rng.gen_range(-2.5..2.5),
+                );
+                let (got, _) = bvh.nearest(&prims, q).unwrap();
+                let expect = prims
+                    .iter()
+                    .map(|p| (p.id, (p.position - q).length_squared()))
+                    .min_by(|a, b| a.1.total_cmp(&b.1))
+                    .unwrap();
+                assert_eq!(got.id, expect.0, "{builder}: query {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn radius_knn_matches_brute_force_and_truncates() {
+        let prims = random_points(500, 31);
+        let bvh = LbvhBuilder::default().build(&prims);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(32);
+        for _ in 0..25 {
+            let q = Vec3::new(
+                rng.gen_range(-2.0..2.0),
+                rng.gen_range(-2.0..2.0),
+                rng.gen_range(-2.0..2.0),
+            );
+            let r = 1.0f32;
+            let k = 5;
+            let (got, _) = bvh.radius_knn(&prims, q, r, k);
+            // Brute force within the same ball, truncated to K.
+            let mut expect: Vec<(f32, u32)> = prims
+                .iter()
+                .filter_map(|p| {
+                    let d2 = (p.position - q).length_squared();
+                    (d2 <= r * r).then_some((d2, p.id))
+                })
+                .collect();
+            expect.sort_by(|a, b| a.0.total_cmp(&b.0));
+            expect.truncate(k);
+            assert_eq!(got.len(), expect.len());
+            for (g, e) in got.iter().zip(&expect) {
+                assert!((g.distance_squared - e.0).abs() < 1e-6, "{got:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn radius_knn_shrinking_ball_prunes_work() {
+        let prims = random_points(2000, 33);
+        let bvh = LbvhBuilder::default().build(&prims);
+        let q = Vec3::ZERO;
+        let (_, knn_stats) = bvh.radius_knn(&prims, q, 3.0, 3);
+        let (_, full_stats) = bvh.radius_search_counted(&prims, q, 3.0);
+        assert!(
+            knn_stats.primitive_tests < full_stats.primitive_tests,
+            "truncation must prune: {} vs {}",
+            knn_stats.primitive_tests,
+            full_stats.primitive_tests
+        );
+    }
+
+    #[test]
+    fn traversal_stats_reflect_culling() {
+        let prims = random_points(512, 2);
+        let bvh = LbvhBuilder::default().build(&prims);
+        let (_, stats) = bvh.radius_search_counted(&prims, Vec3::ZERO, 0.2);
+        // The BVH must cull most of the 511 internal nodes.
+        assert!(stats.nodes_visited < 300, "visited {}", stats.nodes_visited);
+        assert!(stats.primitive_tests < 512);
+        assert!(stats.max_stack_depth > 0);
+        // Paper §VI-C: fewer than 200 distance tests per query on 3-D sets.
+        assert!(stats.primitive_tests < 200, "tests {}", stats.primitive_tests);
+    }
+
+    #[test]
+    fn empty_bvh_searches() {
+        let prims: Vec<PointPrimitive> = Vec::new();
+        let bvh = LbvhBuilder::default().build(&prims);
+        assert!(bvh.radius_search(&prims, Vec3::ZERO, 1.0).is_empty());
+        assert!(bvh.nearest(&prims, Vec3::ZERO).is_none());
+    }
+
+    #[test]
+    fn ray_traversal_finds_closest_triangle() {
+        // A corridor of parallel quads; the ray must report the nearest.
+        let mut tris = Vec::new();
+        for (i, z) in [1.0f32, 2.0, 3.0, 4.0].iter().enumerate() {
+            tris.push(TrianglePrimitive {
+                id: i as u32,
+                triangle: Triangle::new(
+                    Vec3::new(-1.0, -1.0, *z),
+                    Vec3::new(3.0, -1.0, *z),
+                    Vec3::new(-1.0, 3.0, *z),
+                ),
+            });
+        }
+        let bvh = LbvhBuilder::default().max_leaf_size(1).build(&tris);
+        let ray = Ray::new(Vec3::new(0.0, 0.0, 0.0), Vec3::new(0.0, 0.0, 1.0));
+        let (hit, stats) = bvh.intersect_ray(&tris, &ray);
+        let (id, h) = hit.expect("must hit the corridor");
+        assert_eq!(id, 0);
+        assert!((h.t() - 1.0).abs() < 1e-5);
+        assert!(stats.primitive_tests >= 1);
+
+        // A ray missing everything.
+        let miss = Ray::new(Vec3::new(50.0, 50.0, 0.0), Vec3::new(0.0, 0.0, 1.0));
+        let (hit, _) = bvh.intersect_ray(&tris, &miss);
+        assert!(hit.is_none());
+    }
+}

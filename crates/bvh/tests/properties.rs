@@ -1,0 +1,101 @@
+//! Property-based tests of BVH construction and search invariants.
+
+use hsu_bvh::{Bvh4, LbvhBuilder, NodeContent, PointPrimitive, SahBuilder};
+use hsu_geometry::Vec3;
+use proptest::prelude::*;
+
+fn arb_points(max: usize) -> impl Strategy<Value = Vec<PointPrimitive>> {
+    prop::collection::vec((-100i32..100, -100i32..100, -100i32..100), 1..max).prop_map(|pts| {
+        pts.into_iter()
+            .enumerate()
+            .map(|(i, (x, y, z))| {
+                PointPrimitive::new(
+                    i as u32,
+                    Vec3::new(x as f32 * 0.1, y as f32 * 0.1, z as f32 * 0.1),
+                    0.2,
+                )
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lbvh_structural_invariants(prims in arb_points(300)) {
+        let bvh = LbvhBuilder::default().build(&prims);
+        prop_assert!(bvh.validate(&prims).is_ok());
+    }
+
+    #[test]
+    fn sah_structural_invariants(prims in arb_points(150)) {
+        let bvh = SahBuilder::default().build(&prims);
+        prop_assert!(bvh.validate(&prims).is_ok());
+    }
+
+    #[test]
+    fn radius_search_is_exact(
+        prims in arb_points(250),
+        qx in -12.0f32..12.0, qy in -12.0f32..12.0, qz in -12.0f32..12.0,
+        r in 0.1f32..4.0,
+    ) {
+        let bvh = LbvhBuilder::default().build(&prims);
+        let query = Vec3::new(qx, qy, qz);
+        let mut got: Vec<u32> = bvh.radius_search(&prims, query, r).iter().map(|n| n.id).collect();
+        got.sort_unstable();
+        let mut expect: Vec<u32> = prims
+            .iter()
+            .filter(|p| (p.position - query).length_squared() <= r * r)
+            .map(|p| p.id)
+            .collect();
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn nearest_is_exact(
+        prims in arb_points(200),
+        qx in -12.0f32..12.0, qy in -12.0f32..12.0, qz in -12.0f32..12.0,
+    ) {
+        let bvh = LbvhBuilder::default().build(&prims);
+        let query = Vec3::new(qx, qy, qz);
+        let (got, _) = bvh.nearest(&prims, query).expect("non-empty");
+        let best = prims
+            .iter()
+            .map(|p| (p.position - query).length_squared())
+            .fold(f32::INFINITY, f32::min);
+        prop_assert!((got.distance_squared - best).abs() <= 1e-4 * (1.0 + best));
+    }
+
+    #[test]
+    fn bvh4_collapse_preserves_results(
+        prims in arb_points(200),
+        qx in -10.0f32..10.0, qy in -10.0f32..10.0, qz in -10.0f32..10.0,
+    ) {
+        let bvh2 = LbvhBuilder::default().build(&prims);
+        let bvh4 = Bvh4::from_bvh2(&bvh2);
+        let query = Vec3::new(qx, qy, qz);
+        let mut a: Vec<u32> = bvh2.radius_search(&prims, query, 1.0).iter().map(|n| n.id).collect();
+        let mut b: Vec<u32> = bvh4
+            .radius_search_counted(&prims, query, 1.0).0
+            .iter().map(|n| n.id).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn leaf_counts_partition_primitives(prims in arb_points(300)) {
+        let bvh = LbvhBuilder::default().max_leaf_size(3).build(&prims);
+        let total: u64 = bvh
+            .nodes()
+            .iter()
+            .filter_map(|n| match n.content {
+                NodeContent::Leaf { count, .. } => Some(count as u64),
+                NodeContent::Internal { .. } => None,
+            })
+            .sum();
+        prop_assert_eq!(total, prims.len() as u64);
+    }
+}

@@ -1,0 +1,148 @@
+//! The sub-core round-robin arbiter with the multi-beat accumulate lock.
+//!
+//! One RT/HSU unit is shared by the SM's four sub-core schedulers (paper
+//! §IV-A). A round-robin arbiter selects among sub-cores with pending warp
+//! instructions. Multi-beat distance sequences must not interleave with
+//! instructions from other sub-cores (the accumulator is shared state), so
+//! when an instruction with the accumulate bit is accepted the arbiter locks
+//! onto that sub-core until the sequence's final beat is accepted (§IV-F).
+
+/// Round-robin arbiter over `n` sub-cores with an accumulate lock.
+///
+/// # Examples
+///
+/// ```
+/// use hsu_core::arbiter::SubCoreArbiter;
+/// let mut arb = SubCoreArbiter::new(4);
+/// // Sub-cores 1 and 3 are requesting; round-robin picks 1 first.
+/// assert_eq!(arb.grant(&[false, true, false, true], &[false; 4]), Some(1));
+/// // Next cycle the pointer has advanced past 1.
+/// assert_eq!(arb.grant(&[false, true, false, true], &[false; 4]), Some(3));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SubCoreArbiter {
+    n: usize,
+    next: usize,
+    locked_to: Option<usize>,
+}
+
+impl SubCoreArbiter {
+    /// Creates an arbiter over `n` sub-cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "arbiter needs at least one sub-core");
+        SubCoreArbiter { n, next: 0, locked_to: None }
+    }
+
+    /// Which sub-core the arbiter is currently locked to, if any.
+    #[inline]
+    pub fn locked_sub_core(&self) -> Option<usize> {
+        self.locked_to
+    }
+
+    /// Performs one arbitration cycle.
+    ///
+    /// `requesting[i]` is `true` when sub-core `i` has a warp instruction to
+    /// dispatch, and `accumulate[i]` is the accumulate bit of that
+    /// instruction. Returns the granted sub-core, advancing the round-robin
+    /// pointer. While locked, only the locked sub-core can be granted; the
+    /// lock is taken when an accumulate instruction is granted and released
+    /// when the final (non-accumulate) beat is granted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices are not `n` long.
+    pub fn grant(&mut self, requesting: &[bool], accumulate: &[bool]) -> Option<usize> {
+        assert_eq!(requesting.len(), self.n, "requesting mask length");
+        assert_eq!(accumulate.len(), self.n, "accumulate mask length");
+
+        let granted = match self.locked_to {
+            Some(core) => {
+                if requesting[core] {
+                    Some(core)
+                } else {
+                    None // locked sub-core idle: the unit waits (no bypass)
+                }
+            }
+            None => {
+                let mut pick = None;
+                for off in 0..self.n {
+                    let core = (self.next + off) % self.n;
+                    if requesting[core] {
+                        pick = Some(core);
+                        break;
+                    }
+                }
+                if let Some(core) = pick {
+                    self.next = (core + 1) % self.n;
+                }
+                pick
+            }
+        };
+
+        if let Some(core) = granted {
+            self.locked_to = if accumulate[core] { Some(core) } else { None };
+        }
+        granted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_is_fair() {
+        let mut arb = SubCoreArbiter::new(4);
+        let all = [true; 4];
+        let none = [false; 4];
+        let order: Vec<_> = (0..8).map(|_| arb.grant(&all, &none).unwrap()).collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn skips_idle_sub_cores() {
+        let mut arb = SubCoreArbiter::new(4);
+        let req = [false, false, true, false];
+        assert_eq!(arb.grant(&req, &[false; 4]), Some(2));
+        assert_eq!(arb.grant(&[false; 4], &[false; 4]), None);
+    }
+
+    #[test]
+    fn accumulate_locks_until_final_beat() {
+        let mut arb = SubCoreArbiter::new(4);
+        let all = [true; 4];
+        // Sub-core 0 issues beat 1 of 3 (accumulate set).
+        assert_eq!(arb.grant(&all, &[true, false, false, false]), Some(0));
+        assert_eq!(arb.locked_sub_core(), Some(0));
+        // Other sub-cores request, but only 0 may be granted.
+        assert_eq!(arb.grant(&all, &[true, true, true, true]), Some(0));
+        assert_eq!(arb.locked_sub_core(), Some(0));
+        // Final beat clears the lock.
+        assert_eq!(arb.grant(&all, &[false, true, true, true]), Some(0));
+        assert_eq!(arb.locked_sub_core(), None);
+        // Round-robin resumes at the next sub-core.
+        assert_eq!(arb.grant(&all, &[false; 4]), Some(1));
+    }
+
+    #[test]
+    fn locked_core_idle_blocks_unit() {
+        let mut arb = SubCoreArbiter::new(2);
+        assert_eq!(arb.grant(&[true, true], &[true, false]), Some(0));
+        // Sub-core 0 (locked) has nothing this cycle; nobody is granted.
+        assert_eq!(arb.grant(&[false, true], &[false, false]), None);
+        assert_eq!(arb.locked_sub_core(), Some(0));
+        // When it returns, it resumes.
+        assert_eq!(arb.grant(&[true, false], &[false, false]), Some(0));
+        assert_eq!(arb.locked_sub_core(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_sub_cores_rejected() {
+        let _ = SubCoreArbiter::new(0);
+    }
+}

@@ -1,0 +1,166 @@
+//! Binary encoding of HSU instructions.
+//!
+//! The paper's instructions are CISC operations whose operands arrive through
+//! the register file, but the *instruction word* itself — opcode, accumulate
+//! bit, fetch size, node pointer — must be representable in the SASS/RDNA
+//! instruction stream the trace post-processor splices into (§V-C). This
+//! module fixes a 128-bit encoding and provides a lossless
+//! encode/decode pair, so traces can be serialized compactly.
+//!
+//! Layout (little-endian bit order within the `u128`):
+//!
+//! | bits | field |
+//! |---|---|
+//! | 0..3 | opcode (see [`HsuOpcode`] discriminants) |
+//! | 3 | accumulate |
+//! | 4..32 | fetch bytes (28 bits, ≤ 256 MiB) |
+//! | 32..96 | node pointer (64 bits) |
+//! | 96..128 | reserved (must be zero) |
+
+use crate::isa::{HsuInstruction, HsuOpcode};
+
+/// Errors from [`decode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The opcode field holds an unassigned value.
+    BadOpcode(u8),
+    /// The accumulate bit is set on a non-distance opcode.
+    BadAccumulate,
+    /// Reserved bits are non-zero.
+    ReservedBits,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadOpcode(v) => write!(f, "unassigned opcode value {v}"),
+            DecodeError::BadAccumulate => {
+                f.write_str("accumulate bit set on a non-distance instruction")
+            }
+            DecodeError::ReservedBits => f.write_str("reserved bits are non-zero"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn opcode_value(op: HsuOpcode) -> u8 {
+    match op {
+        HsuOpcode::RayIntersect => 0,
+        HsuOpcode::PointEuclid => 1,
+        HsuOpcode::PointAngular => 2,
+        HsuOpcode::KeyCompare => 3,
+    }
+}
+
+fn opcode_from(value: u8) -> Option<HsuOpcode> {
+    match value {
+        0 => Some(HsuOpcode::RayIntersect),
+        1 => Some(HsuOpcode::PointEuclid),
+        2 => Some(HsuOpcode::PointAngular),
+        3 => Some(HsuOpcode::KeyCompare),
+        _ => None,
+    }
+}
+
+/// Packs an instruction into its 128-bit word.
+///
+/// # Panics
+///
+/// Panics if `fetch_bytes` exceeds the 28-bit field.
+pub fn encode(ins: &HsuInstruction) -> u128 {
+    assert!(ins.fetch_bytes < (1 << 28), "fetch size exceeds the 28-bit field");
+    let mut word = 0u128;
+    word |= opcode_value(ins.opcode) as u128 & 0x7;
+    word |= (ins.accumulate as u128) << 3;
+    word |= (ins.fetch_bytes as u128) << 4;
+    word |= (ins.node_ptr as u128) << 32;
+    word
+}
+
+/// Unpacks a 128-bit word, validating every field.
+pub fn decode(word: u128) -> Result<HsuInstruction, DecodeError> {
+    if word >> 96 != 0 {
+        return Err(DecodeError::ReservedBits);
+    }
+    let opcode =
+        opcode_from((word & 0x7) as u8).ok_or(DecodeError::BadOpcode((word & 0x7) as u8))?;
+    let accumulate = (word >> 3) & 1 == 1;
+    if accumulate && !matches!(opcode, HsuOpcode::PointEuclid | HsuOpcode::PointAngular) {
+        return Err(DecodeError::BadAccumulate);
+    }
+    let fetch_bytes = ((word >> 4) & 0x0fff_ffff) as u64;
+    let node_ptr = ((word >> 32) & u64::MAX as u128) as u64;
+    Ok(HsuInstruction { opcode, node_ptr, fetch_bytes, accumulate })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HsuConfig;
+    use hsu_geometry::point::Metric;
+
+    #[test]
+    fn round_trip_all_opcodes() {
+        let cases = [
+            HsuInstruction::ray_intersect(0xdead_beef_cafe, 128),
+            HsuInstruction::point_euclid(0x1000, 64, true),
+            HsuInstruction::point_euclid(0x1040, 4, false),
+            HsuInstruction::point_angular(0xffff_ffff_ffff_ffff, 32, true),
+            HsuInstruction::key_compare(0, 144),
+        ];
+        for ins in cases {
+            let word = encode(&ins);
+            assert_eq!(decode(word), Ok(ins), "word {word:#034x}");
+        }
+    }
+
+    #[test]
+    fn whole_sequences_round_trip() {
+        let cfg = HsuConfig::default();
+        for dim in [1usize, 16, 65, 96, 784] {
+            for metric in [Metric::Euclidean, Metric::Angular] {
+                for ins in HsuInstruction::distance_sequence(&cfg, metric, 0x8000, dim) {
+                    assert_eq!(decode(encode(&ins)), Ok(ins));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_bad_opcode() {
+        assert_eq!(decode(0x7), Err(DecodeError::BadOpcode(7)));
+        assert_eq!(decode(0x4), Err(DecodeError::BadOpcode(4)));
+    }
+
+    #[test]
+    fn rejects_accumulate_on_ray_intersect() {
+        // opcode 0 with bit 3 set.
+        assert_eq!(decode(0b1000), Err(DecodeError::BadAccumulate));
+        // ... and on key compare.
+        assert_eq!(decode(0b1011), Err(DecodeError::BadAccumulate));
+    }
+
+    #[test]
+    fn rejects_reserved_bits() {
+        let ok = encode(&HsuInstruction::ray_intersect(0x42, 64));
+        assert_eq!(decode(ok | (1u128 << 100)), Err(DecodeError::ReservedBits));
+    }
+
+    #[test]
+    fn error_messages_are_nonempty() {
+        for e in [
+            DecodeError::BadOpcode(9),
+            DecodeError::BadAccumulate,
+            DecodeError::ReservedBits,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "28-bit field")]
+    fn oversized_fetch_rejected() {
+        encode(&HsuInstruction::ray_intersect(0, 1 << 28));
+    }
+}

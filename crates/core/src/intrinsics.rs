@@ -1,0 +1,126 @@
+//! The HSU device library — the CUDA-visible programming interface (§III-B).
+//!
+//! These functions mirror the intrinsics the paper exposes to device code:
+//! `__euclid_dist(a, b, N)`, `__angular_dist(a, b, N)`, plus the key-compare
+//! helper used by B-tree traversal. Functionally they equal the scalar
+//! references in [`hsu_geometry::point`]; their documented *lowering* (how
+//! many HSU instructions the compiler emits) is what the trace generators in
+//! `hsu-kernels` charge to the simulator.
+
+use crate::config::HsuConfig;
+use hsu_geometry::point::{self, Metric};
+
+/// Squared Euclidean distance between two N-dimensional points — the
+/// `__euclid_dist(a, b, N)` intrinsic. Returns a single 32-bit float.
+///
+/// The compiler lowers this to [`euclid_beats`]`(N)` chained `POINT_EUCLID`
+/// instructions (§IV-F).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+///
+/// # Examples
+///
+/// ```
+/// let d = hsu_core::intrinsics::euclid_dist(&[0.0, 3.0], &[4.0, 0.0]);
+/// assert_eq!(d, 25.0);
+/// ```
+#[inline]
+pub fn euclid_dist(a: &[f32], b: &[f32]) -> f32 {
+    point::euclid_multibeat(a, b)
+}
+
+/// Angular distance between two N-dimensional points — the
+/// `__angular_dist(a, b, N)` intrinsic.
+///
+/// The HSU returns `dot_sum`/`norm_sum`; the scalar square root and division
+/// of eq. 2 run on the SIMT core, exactly as modelled here. The query norm is
+/// recomputed (callers that search many candidates should precompute it and
+/// use [`angular_dist_with_norm`]).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+#[inline]
+pub fn angular_dist(a: &[f32], b: &[f32]) -> f32 {
+    angular_dist_with_norm(a, b, point::norm_squared(a).sqrt())
+}
+
+/// [`angular_dist`] with the query's Euclidean norm precomputed, as the
+/// nearest-neighbour kernels do before their search loop (§IV-E).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+#[inline]
+pub fn angular_dist_with_norm(a: &[f32], b: &[f32], query_norm: f32) -> f32 {
+    let (dot_sum, norm_sum) = point::angular_multibeat(a, b);
+    point::angular_from_sums(dot_sum, norm_sum, query_norm)
+}
+
+/// Index of the B-tree child to descend to: the number of separators
+/// `<= key`. Lowered to `ceil(n / 36)` `KEY_COMPARE` instructions.
+///
+/// # Panics
+///
+/// Panics if `separators` is empty or unsorted in debug builds.
+#[inline]
+pub fn key_compare(key: f32, separators: &[f32]) -> usize {
+    debug_assert!(!separators.is_empty(), "key_compare needs separators");
+    debug_assert!(
+        separators.windows(2).all(|w| w[0] <= w[1]),
+        "separators must be sorted"
+    );
+    separators.iter().take_while(|&&s| key >= s).count()
+}
+
+/// Number of `POINT_EUCLID` instructions emitted for dimension `dim` at the
+/// default 16-wide datapath.
+#[inline]
+pub fn euclid_beats(dim: usize) -> usize {
+    HsuConfig::default().beats_for(Metric::Euclidean, dim)
+}
+
+/// Number of `POINT_ANGULAR` instructions emitted for dimension `dim` at the
+/// default 8-wide angular datapath.
+#[inline]
+pub fn angular_beats(dim: usize) -> usize {
+    HsuConfig::default().beats_for(Metric::Angular, dim)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn euclid_matches_reference() {
+        let a: Vec<f32> = (0..100).map(|i| i as f32).collect();
+        let b: Vec<f32> = (0..100).map(|i| (i as f32) * 0.5).collect();
+        assert!((euclid_dist(&a, &b) - point::euclidean_squared(&a, &b)).abs() < 1e-2);
+    }
+
+    #[test]
+    fn angular_matches_reference() {
+        let a: Vec<f32> = (0..50).map(|i| (i as f32).sin()).collect();
+        let b: Vec<f32> = (0..50).map(|i| (i as f32).cos()).collect();
+        assert!((angular_dist(&a, &b) - point::angular_distance(&a, &b)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn key_compare_matches_binary_search_semantics() {
+        let seps = [10.0, 20.0, 30.0];
+        assert_eq!(key_compare(5.0, &seps), 0);
+        assert_eq!(key_compare(10.0, &seps), 1);
+        assert_eq!(key_compare(15.0, &seps), 1);
+        assert_eq!(key_compare(30.0, &seps), 3);
+        assert_eq!(key_compare(35.0, &seps), 3);
+    }
+
+    #[test]
+    fn beat_helpers() {
+        assert_eq!(euclid_beats(96), 6);
+        assert_eq!(angular_beats(96), 12);
+        assert_eq!(euclid_beats(1), 1);
+    }
+}

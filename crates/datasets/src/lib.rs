@@ -1,0 +1,36 @@
+//! Synthetic stand-ins for the paper's evaluation datasets (Table II).
+//!
+//! The paper evaluates on ANN-Benchmarks feature sets (deep1b, mnist, gist,
+//! glove, …), Stanford 3-D scans, a cosmological N-body snapshot, and two key
+//! sets for the B+-tree. Those exact files are not redistributable inside
+//! this reproduction, so each dataset is replaced by a *seeded synthetic
+//! generator matching its dimension, metric and clustering character*, with
+//! the cardinality scaled down to simulator-friendly sizes (the scale factor
+//! is recorded per dataset and printed by every figure harness):
+//!
+//! * learned-embedding sets → Gaussian mixtures (clustered, anisotropic),
+//! * 3-D scans (bunny/dragon/buddha) → points sampled on a parametric
+//!   surface plus noise (a 2-D manifold in 3-D, like a scanned mesh),
+//! * cosmos → Plummer-sphere halos (gravitationally clustered),
+//! * random10k → uniform cube (exactly as in the paper),
+//! * B-tree keys → uniform random 24-bit keys.
+//!
+//! # Examples
+//!
+//! ```
+//! use hsu_datasets::{Dataset, DatasetId};
+//!
+//! let ds = Dataset::generate(DatasetId::Sift10k, 42);
+//! let points = ds.points().expect("sift10k is a point dataset");
+//! assert_eq!(points.dim(), 128);
+//! ```
+
+#![warn(missing_docs)]
+
+mod catalog;
+mod generators;
+mod queries;
+
+pub use catalog::{catalog, spec, DataFamily, DatasetId, DatasetSpec};
+pub use generators::Dataset;
+pub use queries::{ground_truth_knn, query_set, recall_at_k};

@@ -1,0 +1,140 @@
+//! Query-set generation, exact ground truth and recall measurement.
+
+use hsu_geometry::point::{Metric, PointSet};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Draws `n` queries from the same distribution as `data` by perturbing
+/// random dataset points with small Gaussian noise (the ANN-Benchmarks query
+/// sets are held-out samples of the same source distribution).
+///
+/// # Panics
+///
+/// Panics if `data` is empty or `n` is zero.
+pub fn query_set(data: &PointSet, n: usize, seed: u64) -> PointSet {
+    assert!(!data.is_empty(), "cannot sample queries from an empty set");
+    assert!(n > 0, "query set must be non-empty");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    // Perturbation sigma proportional to the average coordinate spread.
+    let dim = data.dim();
+    let sample = data.len().min(256);
+    let mut spread = 0.0f64;
+    for i in 0..sample {
+        for &v in data.point(i) {
+            spread += (v as f64).abs();
+        }
+    }
+    let sigma = (spread / (sample * dim) as f64 * 0.1) as f32;
+
+    let mut out = PointSet::empty(dim);
+    let mut q = vec![0.0f32; dim];
+    for _ in 0..n {
+        let src = data.point(rng.gen_range(0..data.len()));
+        for (dst, &s) in q.iter_mut().zip(src) {
+            let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+            let u2: f32 = rng.gen_range(0.0..1.0);
+            let g = (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos();
+            *dst = s + g * sigma;
+        }
+        out.push(&q);
+    }
+    out
+}
+
+/// Exact k-nearest-neighbour ground truth for every query (brute force).
+pub fn ground_truth_knn(
+    data: &PointSet,
+    queries: &PointSet,
+    k: usize,
+    metric: Metric,
+) -> Vec<Vec<usize>> {
+    queries
+        .iter()
+        .map(|q| {
+            data.k_nearest_brute_force(q, k, metric)
+                .into_iter()
+                .map(|(i, _)| i)
+                .collect()
+        })
+        .collect()
+}
+
+/// Mean recall@k of `found` (per-query candidate ids) against the ground
+/// truth.
+///
+/// # Panics
+///
+/// Panics if the two slices differ in length or `k` is zero.
+pub fn recall_at_k(found: &[Vec<u32>], truth: &[Vec<usize>], k: usize) -> f64 {
+    assert_eq!(found.len(), truth.len(), "query count mismatch");
+    assert!(k > 0, "k must be positive");
+    if found.is_empty() {
+        return 1.0;
+    }
+    let mut hits = 0usize;
+    let mut total = 0usize;
+    for (f, t) in found.iter().zip(truth) {
+        let want: std::collections::HashSet<usize> = t.iter().take(k).copied().collect();
+        total += want.len();
+        hits += f.iter().take(k).filter(|&&i| want.contains(&(i as usize))).count();
+    }
+    hits as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Dataset, DatasetId};
+
+    #[test]
+    fn queries_share_the_data_distribution() {
+        let ds = Dataset::generate_scaled(DatasetId::Sift10k, 1, Some(500));
+        let data = ds.points().unwrap();
+        let queries = query_set(data, 50, 2);
+        assert_eq!(queries.len(), 50);
+        assert_eq!(queries.dim(), data.dim());
+        // Every query's nearest dataset point must be close (it is a
+        // perturbed dataset point).
+        for q in queries.iter() {
+            let (_, d) = data.nearest_brute_force(q, Metric::Euclidean).unwrap();
+            assert!(d.is_finite());
+        }
+    }
+
+    #[test]
+    fn query_generation_is_deterministic() {
+        let ds = Dataset::generate_scaled(DatasetId::Glove, 3, Some(200));
+        let data = ds.points().unwrap();
+        let a = query_set(data, 10, 9);
+        let b = query_set(data, 10, 9);
+        assert_eq!(a.as_flat(), b.as_flat());
+    }
+
+    #[test]
+    fn ground_truth_is_sorted_and_exact() {
+        let ds = Dataset::generate_scaled(DatasetId::Random10k, 4, Some(300));
+        let data = ds.points().unwrap();
+        let queries = query_set(data, 5, 5);
+        let truth = ground_truth_knn(data, &queries, 3, Metric::Euclidean);
+        assert_eq!(truth.len(), 5);
+        for (q, t) in queries.iter().zip(&truth) {
+            assert_eq!(t.len(), 3);
+            let d: Vec<f32> = t
+                .iter()
+                .map(|&i| hsu_geometry::point::euclidean_squared(q, data.point(i)))
+                .collect();
+            assert!(d.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    #[test]
+    fn recall_math() {
+        let truth = vec![vec![1usize, 2, 3], vec![4, 5, 6]];
+        let perfect = vec![vec![1u32, 2, 3], vec![6, 5, 4]];
+        assert_eq!(recall_at_k(&perfect, &truth, 3), 1.0);
+        let half = vec![vec![1u32, 9, 8], vec![4, 5, 7]];
+        assert!((recall_at_k(&half, &truth, 3) - 0.5).abs() < 1e-9);
+        let none = vec![vec![7u32], vec![8]];
+        assert_eq!(recall_at_k(&none, &truth, 1), 0.0);
+    }
+}

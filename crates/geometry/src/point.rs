@@ -1,0 +1,462 @@
+//! N-dimensional points and the distance kernels the HSU accelerates.
+//!
+//! The HSU's `POINT_EUCLID` and `POINT_ANGULAR` instructions operate on
+//! fixed-width *beats* — 16 lanes for Euclidean, 8 for angular — and aggregate
+//! partial sums across beats for higher dimensions (paper §IV-F). This module
+//! provides both the plain scalar kernels (golden references) and the
+//! beat-partitioned forms whose per-beat partials the datapath model checks
+//! against.
+
+use std::fmt;
+
+/// Lane width of the `POINT_EUCLID` pipeline mode (paper §IV-C).
+pub const EUCLID_BEAT_WIDTH: usize = 16;
+/// Lane width of the `POINT_ANGULAR` pipeline mode (half of Euclidean, §VI-H).
+pub const ANGULAR_BEAT_WIDTH: usize = 8;
+
+/// Distance metric attached to a dataset (paper Table II, "Dist" column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Metric {
+    /// Squared Euclidean distance, eq. (1).
+    Euclidean,
+    /// Angular (cosine) distance, eq. (2).
+    Angular,
+}
+
+impl fmt::Display for Metric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Metric::Euclidean => f.write_str("euclidean"),
+            Metric::Angular => f.write_str("angular"),
+        }
+    }
+}
+
+impl Metric {
+    /// Pipeline beat width of the corresponding HSU operating mode.
+    #[inline]
+    pub fn beat_width(self) -> usize {
+        match self {
+            Metric::Euclidean => EUCLID_BEAT_WIDTH,
+            Metric::Angular => ANGULAR_BEAT_WIDTH,
+        }
+    }
+
+    /// Number of HSU instructions ("beats") needed for a `dim`-dimensional
+    /// point, `ceil(dim / width)` — e.g. 9 for an angular distance at
+    /// dimension 65 (paper §IV-F).
+    #[inline]
+    pub fn beats(self, dim: usize) -> usize {
+        dim.div_ceil(self.beat_width())
+    }
+
+    /// Computes the metric's comparable distance value between two points.
+    ///
+    /// For [`Metric::Euclidean`] this is the squared distance; for
+    /// [`Metric::Angular`] it is `1 - cos(q, c)` so that smaller is closer
+    /// under both metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` and `c` have different lengths.
+    #[inline]
+    pub fn distance(self, q: &[f32], c: &[f32]) -> f32 {
+        match self {
+            Metric::Euclidean => euclidean_squared(q, c),
+            Metric::Angular => angular_distance(q, c),
+        }
+    }
+}
+
+/// Squared Euclidean distance `Σ (q_i - c_i)^2` (paper eq. 1).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// let d = hsu_geometry::point::euclidean_squared(&[0.0, 0.0], &[3.0, 4.0]);
+/// assert_eq!(d, 25.0);
+/// ```
+#[inline]
+pub fn euclidean_squared(q: &[f32], c: &[f32]) -> f32 {
+    assert_eq!(q.len(), c.len(), "point dimensions must match");
+    q.iter().zip(c).map(|(a, b)| (a - b) * (a - b)).sum()
+}
+
+/// Dot product `Σ c_i * q_i` (paper eq. 3).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn dot(q: &[f32], c: &[f32]) -> f32 {
+    assert_eq!(q.len(), c.len(), "point dimensions must match");
+    q.iter().zip(c).map(|(a, b)| a * b).sum()
+}
+
+/// Squared norm `Σ c_i * c_i` (paper eq. 4).
+#[inline]
+pub fn norm_squared(c: &[f32]) -> f32 {
+    c.iter().map(|x| x * x).sum()
+}
+
+/// Cosine similarity (paper eq. 2). Zero-norm inputs yield similarity 0.
+#[inline]
+pub fn cosine_similarity(q: &[f32], c: &[f32]) -> f32 {
+    let denom = (norm_squared(q) * norm_squared(c)).sqrt();
+    if denom == 0.0 {
+        0.0
+    } else {
+        dot(q, c) / denom
+    }
+}
+
+/// Angular distance `1 - cos(q, c)`, so smaller means closer.
+#[inline]
+pub fn angular_distance(q: &[f32], c: &[f32]) -> f32 {
+    1.0 - cosine_similarity(q, c)
+}
+
+/// One Euclidean beat: the partial sum over lanes `[beat*16, beat*16+16)`.
+///
+/// Out-of-range lanes contribute zero, matching the hardware's lane masking
+/// for the final (partial) beat.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn euclid_beat(q: &[f32], c: &[f32], beat: usize) -> f32 {
+    assert_eq!(q.len(), c.len(), "point dimensions must match");
+    let lo = beat * EUCLID_BEAT_WIDTH;
+    let hi = (lo + EUCLID_BEAT_WIDTH).min(q.len());
+    if lo >= q.len() {
+        return 0.0;
+    }
+    euclidean_squared(&q[lo..hi], &c[lo..hi])
+}
+
+/// One angular beat: `(partial dot, partial candidate norm)` over lanes
+/// `[beat*8, beat*8+8)`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn angular_beat(q: &[f32], c: &[f32], beat: usize) -> (f32, f32) {
+    assert_eq!(q.len(), c.len(), "point dimensions must match");
+    let lo = beat * ANGULAR_BEAT_WIDTH;
+    let hi = (lo + ANGULAR_BEAT_WIDTH).min(q.len());
+    if lo >= q.len() {
+        return (0.0, 0.0);
+    }
+    (dot(&q[lo..hi], &c[lo..hi]), norm_squared(&c[lo..hi]))
+}
+
+/// Accumulates all Euclidean beats, as the multi-beat instruction sequence
+/// does, and returns the total squared distance.
+pub fn euclid_multibeat(q: &[f32], c: &[f32]) -> f32 {
+    (0..Metric::Euclidean.beats(q.len())).map(|b| euclid_beat(q, c, b)).sum()
+}
+
+/// Accumulates all angular beats and returns `(dot_sum, norm_sum)` — the two
+/// scalars `POINT_ANGULAR` returns through the register file. The division
+/// and square root of eq. 2 are left to "software", as in the paper.
+pub fn angular_multibeat(q: &[f32], c: &[f32]) -> (f32, f32) {
+    let mut dot_sum = 0.0;
+    let mut norm_sum = 0.0;
+    for b in 0..Metric::Angular.beats(q.len()) {
+        let (d, n) = angular_beat(q, c, b);
+        dot_sum += d;
+        norm_sum += n;
+    }
+    (dot_sum, norm_sum)
+}
+
+/// Completes an angular distance from the HSU's two scalars plus the
+/// precomputed query norm (the "software" part of eq. 2).
+#[inline]
+pub fn angular_from_sums(dot_sum: f32, norm_sum: f32, query_norm: f32) -> f32 {
+    let denom = query_norm * norm_sum.sqrt();
+    if denom == 0.0 {
+        1.0
+    } else {
+        1.0 - dot_sum / denom
+    }
+}
+
+/// A dense row-major matrix of N-dimensional points — the in-memory layout
+/// all search structures and workloads share.
+///
+/// # Examples
+///
+/// ```
+/// use hsu_geometry::point::PointSet;
+/// let set = PointSet::from_rows(2, vec![0.0, 0.0, 3.0, 4.0]);
+/// assert_eq!(set.len(), 2);
+/// assert_eq!(set.point(1), &[3.0, 4.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointSet {
+    dim: usize,
+    data: Vec<f32>,
+}
+
+impl PointSet {
+    /// Creates a point set from row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` is not a multiple of `dim`, or if `dim` is zero.
+    pub fn from_rows(dim: usize, data: Vec<f32>) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        assert!(
+            data.len() % dim == 0,
+            "data length {} is not a multiple of dim {}",
+            data.len(),
+            dim
+        );
+        PointSet { dim, data }
+    }
+
+    /// An empty set of `dim`-dimensional points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is zero.
+    pub fn empty(dim: usize) -> Self {
+        Self::from_rows(dim, Vec::new())
+    }
+
+    /// Number of points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len() / self.dim
+    }
+
+    /// Returns `true` if the set holds no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Dimensionality of every point.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Borrow of point `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    #[inline]
+    pub fn point(&self, i: usize) -> &[f32] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Appends a point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p.len() != dim()`.
+    pub fn push(&mut self, p: &[f32]) {
+        assert_eq!(p.len(), self.dim, "point dimension mismatch");
+        self.data.extend_from_slice(p);
+    }
+
+    /// Iterator over all points.
+    pub fn iter(&self) -> impl Iterator<Item = &[f32]> + '_ {
+        self.data.chunks_exact(self.dim)
+    }
+
+    /// The raw row-major buffer.
+    #[inline]
+    pub fn as_flat(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Byte address of point `i` within a virtual buffer starting at `base` —
+    /// the address the simulator charges loads of this point to.
+    #[inline]
+    pub fn address_of(&self, base: u64, i: usize) -> u64 {
+        base + (i * self.dim * std::mem::size_of::<f32>()) as u64
+    }
+
+    /// Index of the exact nearest point to `q` by brute force, with its
+    /// distance. Returns `None` for an empty set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q.len() != dim()`.
+    pub fn nearest_brute_force(&self, q: &[f32], metric: Metric) -> Option<(usize, f32)> {
+        assert_eq!(q.len(), self.dim, "query dimension mismatch");
+        self.iter()
+            .map(|c| metric.distance(q, c))
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+    }
+
+    /// Like [`PointSet::nearest_brute_force`] but skipping index `exclude`
+    /// (self-match suppression for in-set queries).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q.len() != dim()` or the set has no other point.
+    pub fn nearest_brute_force_excluding(
+        &self,
+        q: &[f32],
+        exclude: usize,
+        metric: Metric,
+    ) -> (usize, f32) {
+        assert_eq!(q.len(), self.dim, "query dimension mismatch");
+        self.iter()
+            .enumerate()
+            .filter(|&(i, _)| i != exclude)
+            .map(|(i, c)| (i, metric.distance(q, c)))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("point set needs a second point")
+    }
+
+    /// Indices of the exact `k` nearest points to `q` by brute force, closest
+    /// first. Returns fewer than `k` if the set is smaller.
+    pub fn k_nearest_brute_force(&self, q: &[f32], k: usize, metric: Metric) -> Vec<(usize, f32)> {
+        assert_eq!(q.len(), self.dim, "query dimension mismatch");
+        let mut all: Vec<(usize, f32)> =
+            self.iter().map(|c| metric.distance(q, c)).enumerate().collect();
+        all.sort_by(|a, b| a.1.total_cmp(&b.1));
+        all.truncate(k);
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn euclidean_matches_hand_computation() {
+        assert_eq!(euclidean_squared(&[1.0, 2.0], &[4.0, 6.0]), 25.0);
+        assert_eq!(euclidean_squared(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must match")]
+    fn euclidean_rejects_mismatched_dims() {
+        euclidean_squared(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn dot_and_norm() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(norm_squared(&[3.0, 4.0]), 25.0);
+    }
+
+    #[test]
+    fn cosine_of_parallel_and_orthogonal() {
+        assert!((cosine_similarity(&[1.0, 0.0], &[2.0, 0.0]) - 1.0).abs() < 1e-6);
+        assert!(cosine_similarity(&[1.0, 0.0], &[0.0, 1.0]).abs() < 1e-6);
+        assert!((angular_distance(&[1.0, 0.0], &[-1.0, 0.0]) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_norm_is_defined() {
+        assert_eq!(cosine_similarity(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+        assert_eq!(angular_distance(&[0.0; 4], &[0.0; 4]), 1.0);
+    }
+
+    #[test]
+    fn beat_counts_match_paper_example() {
+        // "9 instructions would be generated for an angular distance test on a
+        //  point with a dimension of 65 because ceil(65/8) = 9."
+        assert_eq!(Metric::Angular.beats(65), 9);
+        assert_eq!(Metric::Euclidean.beats(65), 5);
+        assert_eq!(Metric::Euclidean.beats(16), 1);
+        assert_eq!(Metric::Euclidean.beats(17), 2);
+        assert_eq!(Metric::Angular.beats(8), 1);
+    }
+
+    #[test]
+    fn multibeat_equals_scalar_euclid() {
+        let q: Vec<f32> = (0..65).map(|i| i as f32 * 0.5).collect();
+        let c: Vec<f32> = (0..65).map(|i| (64 - i) as f32 * 0.25).collect();
+        let direct = euclidean_squared(&q, &c);
+        let beats = euclid_multibeat(&q, &c);
+        assert!((direct - beats).abs() / direct.max(1.0) < 1e-5);
+    }
+
+    #[test]
+    fn multibeat_equals_scalar_angular() {
+        let q: Vec<f32> = (0..65).map(|i| (i as f32 * 0.37).sin()).collect();
+        let c: Vec<f32> = (0..65).map(|i| (i as f32 * 0.11).cos()).collect();
+        let (dot_sum, norm_sum) = angular_multibeat(&q, &c);
+        assert!((dot_sum - dot(&q, &c)).abs() < 1e-4);
+        assert!((norm_sum - norm_squared(&c)).abs() < 1e-4);
+        let qn = norm_squared(&q).sqrt();
+        let ang = angular_from_sums(dot_sum, norm_sum, qn);
+        assert!((ang - angular_distance(&q, &c)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn out_of_range_beats_contribute_zero() {
+        let q = [1.0f32; 4];
+        let c = [2.0f32; 4];
+        assert_eq!(euclid_beat(&q, &c, 1), 0.0);
+        assert_eq!(angular_beat(&q, &c, 1), (0.0, 0.0));
+    }
+
+    #[test]
+    fn point_set_roundtrip() {
+        let mut set = PointSet::empty(3);
+        assert!(set.is_empty());
+        set.push(&[1.0, 2.0, 3.0]);
+        set.push(&[4.0, 5.0, 6.0]);
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.point(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(set.iter().count(), 2);
+        assert_eq!(set.as_flat().len(), 6);
+    }
+
+    #[test]
+    fn point_set_addresses_are_row_strided() {
+        let set = PointSet::from_rows(4, vec![0.0; 16]);
+        assert_eq!(set.address_of(0x1000, 0), 0x1000);
+        assert_eq!(set.address_of(0x1000, 2), 0x1000 + 32);
+    }
+
+    #[test]
+    fn brute_force_nearest() {
+        let set = PointSet::from_rows(2, vec![0.0, 0.0, 10.0, 0.0, 3.0, 4.0]);
+        let (idx, d) = set.nearest_brute_force(&[9.0, 1.0], Metric::Euclidean).unwrap();
+        assert_eq!(idx, 1);
+        assert_eq!(d, 2.0);
+        let knn = set.k_nearest_brute_force(&[0.0, 0.0], 2, Metric::Euclidean);
+        assert_eq!(knn[0].0, 0);
+        assert_eq!(knn[1].0, 2);
+    }
+
+    #[test]
+    fn brute_force_empty_set() {
+        let set = PointSet::empty(2);
+        assert!(set.nearest_brute_force(&[0.0, 0.0], Metric::Euclidean).is_none());
+        assert!(set.k_nearest_brute_force(&[0.0, 0.0], 3, Metric::Euclidean).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn from_rows_validates_length() {
+        PointSet::from_rows(3, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn metric_display_and_widths() {
+        assert_eq!(Metric::Euclidean.to_string(), "euclidean");
+        assert_eq!(Metric::Angular.to_string(), "angular");
+        assert_eq!(Metric::Euclidean.beat_width(), 16);
+        assert_eq!(Metric::Angular.beat_width(), 8);
+    }
+}

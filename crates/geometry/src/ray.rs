@@ -1,0 +1,122 @@
+//! Rays with the precomputed constants the RT-unit datapath expects.
+
+use crate::vec3::Vec3;
+
+/// A ray with precomputed traversal constants.
+///
+/// Matching §IV-D of the paper, the inverse direction (for the slab box test)
+/// and the shear constants `kx/ky/kz`, `sx/sy/sz` (for the watertight triangle
+/// test of Woop et al.) are computed once per ray and reused by every
+/// intersection test the ray performs. The hardware receives these through the
+/// register file; here they are plain fields.
+///
+/// # Examples
+///
+/// ```
+/// use hsu_geometry::{Ray, Vec3};
+/// let ray = Ray::new(Vec3::ZERO, Vec3::new(0.0, 0.0, 1.0));
+/// assert_eq!(ray.inv_dir.z, 1.0);
+/// assert_eq!(ray.kz, 2); // z is the dominant axis
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ray {
+    /// Ray origin.
+    pub origin: Vec3,
+    /// Ray direction (not required to be normalized).
+    pub dir: Vec3,
+    /// Component-wise reciprocal of `dir`, precomputed for the slab test.
+    pub inv_dir: Vec3,
+    /// Shear dimension indices for the watertight triangle test. `kz` is the
+    /// dominant axis of `dir`; `kx`/`ky` follow in cyclic order, swapped when
+    /// `dir[kz]` is negative to preserve winding.
+    pub kx: usize,
+    /// See [`Ray::kx`].
+    pub ky: usize,
+    /// See [`Ray::kx`].
+    pub kz: usize,
+    /// Shear constants `S = (dir[kx]/dir[kz], dir[ky]/dir[kz], 1/dir[kz])`.
+    pub shear: Vec3,
+}
+
+impl Ray {
+    /// Creates a ray and precomputes its traversal constants.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `dir` is the zero vector (the dominant-axis
+    /// shear constants would be undefined).
+    pub fn new(origin: Vec3, dir: Vec3) -> Self {
+        debug_assert!(
+            dir != Vec3::ZERO,
+            "ray direction must be non-zero to define shear constants"
+        );
+        let kz = dir.max_abs_axis();
+        let mut kx = (kz + 1) % 3;
+        let mut ky = (kx + 1) % 3;
+        // Swap kx and ky to preserve triangle winding direction when the
+        // dominant component is negative (Woop et al., JCGT 2013).
+        if dir[kz] < 0.0 {
+            std::mem::swap(&mut kx, &mut ky);
+        }
+        let shear = Vec3::new(dir[kx] / dir[kz], dir[ky] / dir[kz], 1.0 / dir[kz]);
+        Ray { origin, dir, inv_dir: dir.recip(), kx, ky, kz, shear }
+    }
+
+    /// The point `origin + t * dir`.
+    #[inline]
+    pub fn at(&self, t: f32) -> Vec3 {
+        self.origin + self.dir * t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn at_walks_along_direction() {
+        let r = Ray::new(Vec3::new(1.0, 0.0, 0.0), Vec3::new(0.0, 2.0, 0.0));
+        assert_eq!(r.at(0.0), Vec3::new(1.0, 0.0, 0.0));
+        assert_eq!(r.at(1.5), Vec3::new(1.0, 3.0, 0.0));
+    }
+
+    #[test]
+    fn inv_dir_matches_reciprocal() {
+        let r = Ray::new(Vec3::ZERO, Vec3::new(2.0, -4.0, 0.5));
+        assert_eq!(r.inv_dir, Vec3::new(0.5, -0.25, 2.0));
+    }
+
+    #[test]
+    fn shear_axes_cover_all_dimensions() {
+        for dir in [
+            Vec3::new(1.0, 0.2, 0.3),
+            Vec3::new(0.1, -5.0, 0.3),
+            Vec3::new(0.1, 0.2, 3.0),
+            Vec3::new(-1.0, 0.0, 0.0),
+        ] {
+            let r = Ray::new(Vec3::ZERO, dir);
+            let mut axes = [r.kx, r.ky, r.kz];
+            axes.sort_unstable();
+            assert_eq!(axes, [0, 1, 2], "shear axes must be a permutation for {dir}");
+        }
+    }
+
+    #[test]
+    fn negative_dominant_axis_swaps_kx_ky() {
+        let pos = Ray::new(Vec3::ZERO, Vec3::new(0.0, 0.0, 1.0));
+        let neg = Ray::new(Vec3::ZERO, Vec3::new(0.0, 0.0, -1.0));
+        assert_eq!(pos.kz, neg.kz);
+        assert_eq!(pos.kx, neg.ky);
+        assert_eq!(pos.ky, neg.kx);
+    }
+
+    #[test]
+    fn shear_constants_definition() {
+        let dir = Vec3::new(0.5, 0.25, 2.0);
+        let r = Ray::new(Vec3::ZERO, dir);
+        assert_eq!(r.kz, 2);
+        assert!((r.shear.x - dir[r.kx] / dir.z).abs() < 1e-7);
+        assert!((r.shear.y - dir[r.ky] / dir.z).abs() < 1e-7);
+        assert!((r.shear.z - 0.5).abs() < 1e-7);
+    }
+}

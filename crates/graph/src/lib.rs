@@ -1,0 +1,489 @@
+//! GGNN-style hierarchical graph index for approximate nearest neighbours.
+//!
+//! GGNN (§V-A) is the paper's state-of-the-art GPU ANN baseline for
+//! high-dimensional data: a hierarchical navigable-small-world graph searched
+//! with a bounded priority queue ("parallel cache") of nodes to visit and the
+//! current best K. Its distance tests are exactly what the HSU's
+//! `POINT_EUCLID`/`POINT_ANGULAR` instructions accelerate, while the queue
+//! maintenance stays on the SIMT core (§VI-D).
+//!
+//! This crate implements the same structure as a layered graph:
+//!
+//! * [`HnswGraph::build`] — insert points with geometrically-distributed
+//!   levels, connecting each to its `m` nearest neighbours per layer
+//!   (neighbour selection by plain distance, as in GGNN's kNN graph),
+//! * [`HnswGraph::search`] — greedy descent through the upper layers, then
+//!   bounded best-first search with an `ef`-sized candidate queue on the
+//!   bottom layer,
+//! * [`GraphStats`] — distance tests vs. queue operations, the split that
+//!   drives the paper's Fig. 7 offloadable-cycle analysis.
+//!
+//! # Examples
+//!
+//! ```
+//! use hsu_geometry::point::{Metric, PointSet};
+//! use hsu_graph::{GraphConfig, HnswGraph};
+//!
+//! let data = PointSet::from_rows(2, (0..200).map(|i| i as f32 * 0.1).collect());
+//! let graph = HnswGraph::build(&data, Metric::Euclidean, GraphConfig::default(), 7);
+//! let (hits, _) = graph.search(&data, &[3.05, 3.15], 2, 16);
+//! assert_eq!(hits.len(), 2);
+//! ```
+
+#![warn(missing_docs)]
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use hsu_geometry::point::{Metric, PointSet};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Construction parameters of the hierarchical graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphConfig {
+    /// Out-degree per node per layer (GGNN's k-build; HNSW's M).
+    pub m: usize,
+    /// Candidate-queue width during construction.
+    pub ef_construction: usize,
+    /// Level-assignment factor: P(level >= l) = (1/level_base)^l.
+    pub level_base: f64,
+}
+
+impl Default for GraphConfig {
+    fn default() -> Self {
+        GraphConfig { m: 16, ef_construction: 64, level_base: 16.0 }
+    }
+}
+
+/// Search-effort counters.
+///
+/// `distance_tests` are HSU-offloadable; `queue_ops` model the parallel-cache
+/// maintenance the paper explicitly does *not* accelerate (§VI-C).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GraphStats {
+    /// Full distance computations.
+    pub distance_tests: u64,
+    /// Priority-queue / visited-cache operations.
+    pub queue_ops: u64,
+    /// Graph edges followed (node data loads).
+    pub hops: u64,
+}
+
+/// A layered navigable-small-world graph over a [`PointSet`].
+#[derive(Debug, Clone)]
+pub struct HnswGraph {
+    /// `layers[l][node]` = adjacency list of `node` at layer `l`. Nodes not
+    /// present at a layer have an empty list.
+    layers: Vec<Vec<Vec<u32>>>,
+    /// Highest layer each node appears in.
+    node_levels: Vec<u8>,
+    entry_point: u32,
+    metric: Metric,
+    config: GraphConfig,
+}
+
+impl HnswGraph {
+    /// Builds the graph by sequential insertion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty or the config degree is zero.
+    pub fn build(data: &PointSet, metric: Metric, config: GraphConfig, seed: u64) -> Self {
+        assert!(!data.is_empty(), "cannot build a graph over an empty point set");
+        assert!(config.m > 0, "graph degree must be positive");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let n = data.len();
+
+        // Draw levels up-front so the layer count is known.
+        let levels: Vec<u8> = (0..n)
+            .map(|_| {
+                let mut l = 0u8;
+                while l < 12 && rng.gen::<f64>() < 1.0 / config.level_base {
+                    l += 1;
+                }
+                l
+            })
+            .collect();
+        let max_level = *levels.iter().max().unwrap() as usize;
+        let mut graph = HnswGraph {
+            layers: (0..=max_level).map(|_| vec![Vec::new(); n]).collect(),
+            node_levels: levels,
+            entry_point: 0,
+            metric,
+            config,
+        };
+        // Insert in index order; the running entry point is the
+        // highest-level node inserted so far (standard HNSW bookkeeping, so
+        // no node is ever searched above its own level).
+        graph.entry_point = 0;
+        for id in 1..n as u32 {
+            graph.insert(data, id);
+            if graph.node_levels[id as usize] > graph.node_levels[graph.entry_point as usize] {
+                graph.entry_point = id;
+            }
+        }
+        graph
+    }
+
+    fn insert(&mut self, data: &PointSet, id: u32) {
+        let q = data.point(id as usize);
+        let node_level = self.node_levels[id as usize] as usize;
+        let entry_level = self.node_levels[self.entry_point as usize] as usize;
+        let mut entry = self.entry_point;
+
+        // Greedy descent on the entry's layers above the node's level.
+        let mut stats = GraphStats::default();
+        for l in ((node_level + 1)..=entry_level).rev() {
+            entry = self.greedy_closest(data, q, entry, l, &mut stats);
+        }
+        // Connect on each layer from min(node, entry) level down to 0.
+        for l in (0..=node_level.min(entry_level)).rev() {
+            let (candidates, _) =
+                self.layer_search(data, q, entry, l, self.config.ef_construction, &mut stats);
+            // Standard HNSW: the base layer carries twice the degree, which
+            // keeps outliers reachable after back-edge pruning.
+            let m = if l == 0 { self.config.m * 2 } else { self.config.m };
+            let chosen = self.select_neighbors_heuristic(data, &candidates, m);
+            if let Some(&(best, _)) = candidates.first() {
+                entry = best;
+            }
+            for &c in &chosen {
+                self.layers[l][id as usize].push(c);
+                let back = &mut self.layers[l][c as usize];
+                back.push(id);
+                // Prune overfull back-edge lists with the same heuristic.
+                if back.len() > m {
+                    let cp = data.point(c as usize);
+                    let mut scored: Vec<(u32, f32)> = self.layers[l][c as usize]
+                        .iter()
+                        .map(|&b| (b, self.metric.distance(cp, data.point(b as usize))))
+                        .collect();
+                    scored.sort_by(|a, b| a.1.total_cmp(&b.1));
+                    let kept = self.select_neighbors_heuristic(data, &scored, m);
+                    self.layers[l][c as usize] = kept;
+                }
+            }
+        }
+    }
+
+    /// HNSW's diversity heuristic (Malkov & Yashunin, alg. 4): keep a
+    /// candidate only if it is closer to the query point than to every
+    /// already-kept neighbour, so edges bridge clusters instead of piling up
+    /// inside one; pruned candidates back-fill remaining slots.
+    fn select_neighbors_heuristic(
+        &self,
+        data: &PointSet,
+        candidates_sorted: &[(u32, f32)],
+        m: usize,
+    ) -> Vec<u32> {
+        let mut kept: Vec<u32> = Vec::with_capacity(m);
+        let mut pruned: Vec<u32> = Vec::new();
+        for &(c, dc) in candidates_sorted {
+            if kept.len() >= m {
+                break;
+            }
+            let cp = data.point(c as usize);
+            let diverse = kept
+                .iter()
+                .all(|&r| self.metric.distance(cp, data.point(r as usize)) > dc);
+            if diverse {
+                kept.push(c);
+            } else {
+                pruned.push(c);
+            }
+        }
+        // keepPrunedConnections: refill to m from the pruned list.
+        for c in pruned {
+            if kept.len() >= m {
+                break;
+            }
+            kept.push(c);
+        }
+        kept
+    }
+
+    /// Greedy walk to the locally-closest node on one layer.
+    fn greedy_closest(
+        &self,
+        data: &PointSet,
+        q: &[f32],
+        mut current: u32,
+        layer: usize,
+        stats: &mut GraphStats,
+    ) -> u32 {
+        let mut cur_d = self.metric.distance(q, data.point(current as usize));
+        stats.distance_tests += 1;
+        loop {
+            let mut improved = false;
+            for &nb in &self.layers[layer][current as usize] {
+                stats.hops += 1;
+                stats.distance_tests += 1;
+                let d = self.metric.distance(q, data.point(nb as usize));
+                if d < cur_d {
+                    cur_d = d;
+                    current = nb;
+                    improved = true;
+                }
+            }
+            if !improved {
+                return current;
+            }
+        }
+    }
+
+    /// Bounded best-first search on one layer with an `ef`-wide queue.
+    /// Returns candidates sorted closest-first.
+    fn layer_search(
+        &self,
+        data: &PointSet,
+        q: &[f32],
+        entry: u32,
+        layer: usize,
+        ef: usize,
+        stats: &mut GraphStats,
+    ) -> (Vec<(u32, f32)>, u32) {
+        let mut visited = vec![false; data.len()];
+        let mut to_visit: BinaryHeap<Reverse<(OrdF32, u32)>> = BinaryHeap::new();
+        let mut best: BinaryHeap<(OrdF32, u32)> = BinaryHeap::new(); // max-heap
+
+        let d0 = self.metric.distance(q, data.point(entry as usize));
+        stats.distance_tests += 1;
+        stats.queue_ops += 2;
+        visited[entry as usize] = true;
+        to_visit.push(Reverse((OrdF32(d0), entry)));
+        best.push((OrdF32(d0), entry));
+
+        while let Some(Reverse((OrdF32(d), node))) = to_visit.pop() {
+            stats.queue_ops += 1;
+            let worst = best.peek().map(|&(OrdF32(w), _)| w).unwrap_or(f32::INFINITY);
+            if d > worst && best.len() >= ef {
+                break;
+            }
+            for &nb in &self.layers[layer][node as usize] {
+                if visited[nb as usize] {
+                    stats.queue_ops += 1; // cache hit check
+                    continue;
+                }
+                visited[nb as usize] = true;
+                stats.hops += 1;
+                stats.distance_tests += 1;
+                let dn = self.metric.distance(q, data.point(nb as usize));
+                let worst = best.peek().map(|&(OrdF32(w), _)| w).unwrap_or(f32::INFINITY);
+                if best.len() < ef || dn < worst {
+                    stats.queue_ops += 2;
+                    to_visit.push(Reverse((OrdF32(dn), nb)));
+                    best.push((OrdF32(dn), nb));
+                    if best.len() > ef {
+                        best.pop();
+                        stats.queue_ops += 1;
+                    }
+                }
+            }
+        }
+        let mut out: Vec<(u32, f32)> = best.into_iter().map(|(OrdF32(d), i)| (i, d)).collect();
+        out.sort_by(|a, b| a.1.total_cmp(&b.1));
+        let first = out.first().map(|&(i, _)| i).unwrap_or(entry);
+        (out, first)
+    }
+
+    /// K-nearest-neighbour search: greedy descent from the entry point
+    /// through the upper layers, then an `ef`-bounded best-first pass on the
+    /// base layer. `ef` is clamped to at least `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero or the query dimension mismatches.
+    pub fn search(
+        &self,
+        data: &PointSet,
+        query: &[f32],
+        k: usize,
+        ef: usize,
+    ) -> (Vec<(u32, f32)>, GraphStats) {
+        assert!(k > 0, "k must be positive");
+        assert_eq!(query.len(), data.dim(), "query dimension mismatch");
+        let mut stats = GraphStats::default();
+        let mut entry = self.entry_point;
+        for l in (1..self.layers.len()).rev() {
+            entry = self.greedy_closest(data, query, entry, l, &mut stats);
+        }
+        let (mut out, _) =
+            self.layer_search(data, query, entry, 0, ef.max(k), &mut stats);
+        out.truncate(k);
+        (out, stats)
+    }
+
+    /// Number of layers.
+    pub fn layer_count(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// The entry point node id.
+    pub fn entry_point(&self) -> u32 {
+        self.entry_point
+    }
+
+    /// Highest layer of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn node_level(&self, node: u32) -> usize {
+        self.node_levels[node as usize] as usize
+    }
+
+    /// Adjacency list of `node` at `layer`; exposed for the trace generators.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` or `node` is out of range.
+    pub fn neighbors(&self, layer: usize, node: u32) -> &[u32] {
+        &self.layers[layer][node as usize]
+    }
+
+    /// Average out-degree on the base layer.
+    pub fn average_degree(&self) -> f64 {
+        let total: usize = self.layers[0].iter().map(|adj| adj.len()).sum();
+        total as f64 / self.layers[0].len() as f64
+    }
+
+    /// The metric the graph was built for.
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+}
+
+/// Total-ordered f32 wrapper for heap keys.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrdF32(f32);
+
+impl Eq for OrdF32 {}
+impl PartialOrd for OrdF32 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrdF32 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn random_set(n: usize, dim: usize, seed: u64) -> PointSet {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let data: Vec<f32> = (0..n * dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        PointSet::from_rows(dim, data)
+    }
+
+    #[test]
+    fn recall_at_1_euclidean() {
+        let data = random_set(2000, 16, 1);
+        let graph = HnswGraph::build(&data, Metric::Euclidean, GraphConfig::default(), 42);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut hits = 0;
+        let total = 50;
+        for _ in 0..total {
+            let q: Vec<f32> = (0..16).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            let (found, _) = graph.search(&data, &q, 1, 64);
+            let exact = data.nearest_brute_force(&q, Metric::Euclidean).unwrap();
+            if found.first().map(|&(i, _)| i as usize) == Some(exact.0) {
+                hits += 1;
+            }
+        }
+        assert!(hits * 10 >= total * 9, "recall {hits}/{total} below 90%");
+    }
+
+    #[test]
+    fn recall_at_10_angular() {
+        let data = random_set(1500, 24, 3);
+        let graph = HnswGraph::build(&data, Metric::Angular, GraphConfig::default(), 7);
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut overlap = 0usize;
+        let total = 30;
+        for _ in 0..total {
+            let q: Vec<f32> = (0..24).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            let (found, _) = graph.search(&data, &q, 10, 96);
+            let exact = data.k_nearest_brute_force(&q, 10, Metric::Angular);
+            let exact_ids: std::collections::HashSet<usize> =
+                exact.iter().map(|&(i, _)| i).collect();
+            overlap += found.iter().filter(|&&(i, _)| exact_ids.contains(&(i as usize))).count();
+        }
+        let recall = overlap as f64 / (total * 10) as f64;
+        assert!(recall >= 0.8, "recall@10 = {recall}");
+    }
+
+    #[test]
+    fn searching_for_an_indexed_point_finds_it() {
+        let data = random_set(500, 8, 5);
+        let graph = HnswGraph::build(&data, Metric::Euclidean, GraphConfig::default(), 9);
+        for id in [0usize, 100, 250, 499] {
+            let (found, _) = graph.search(&data, data.point(id), 1, 32);
+            assert_eq!(found[0].0 as usize, id);
+            assert_eq!(found[0].1, 0.0);
+        }
+    }
+
+    #[test]
+    fn stats_track_work_split() {
+        let data = random_set(1000, 32, 6);
+        let graph = HnswGraph::build(&data, Metric::Euclidean, GraphConfig::default(), 10);
+        let (_, stats) = graph.search(&data, &vec![0.0f32; 32], 10, 64);
+        assert!(stats.distance_tests > 0);
+        assert!(stats.queue_ops > 0);
+        assert!(stats.hops > 0);
+        // The candidate queue should not grossly out-work the distances.
+        assert!(stats.queue_ops < stats.distance_tests * 20);
+    }
+
+    #[test]
+    fn layered_structure_properties() {
+        let data = random_set(3000, 8, 8);
+        let graph = HnswGraph::build(&data, Metric::Euclidean, GraphConfig::default(), 11);
+        assert!(graph.layer_count() >= 2, "expected a hierarchy, got 1 layer");
+        // Entry point lives on the top layer.
+        assert_eq!(graph.node_level(graph.entry_point()), graph.layer_count() - 1);
+        // Upper layers are sparser than the base layer.
+        let base_nodes = (0..3000u32).filter(|&i| !graph.neighbors(0, i).is_empty()).count();
+        let top = graph.layer_count() - 1;
+        let top_nodes = (0..3000u32).filter(|&i| graph.node_level(i) >= top).count();
+        assert!(top_nodes < base_nodes / 4);
+        // Degree bound holds everywhere (2x on the base layer).
+        for l in 0..graph.layer_count() {
+            let cap = if l == 0 { GraphConfig::default().m * 2 } else { GraphConfig::default().m };
+            for i in 0..3000u32 {
+                assert!(graph.neighbors(l, i).len() <= cap);
+            }
+        }
+        assert!(graph.average_degree() > 1.0);
+    }
+
+    #[test]
+    fn ef_trades_work_for_recall() {
+        let data = random_set(2000, 16, 12);
+        let graph = HnswGraph::build(&data, Metric::Euclidean, GraphConfig::default(), 13);
+        let q = vec![0.25f32; 16];
+        let (_, small) = graph.search(&data, &q, 1, 8);
+        let (_, large) = graph.search(&data, &q, 1, 128);
+        assert!(large.distance_tests > small.distance_tests);
+    }
+
+    #[test]
+    fn single_point_graph() {
+        let data = PointSet::from_rows(4, vec![1.0, 2.0, 3.0, 4.0]);
+        let graph = HnswGraph::build(&data, Metric::Euclidean, GraphConfig::default(), 1);
+        let (found, _) = graph.search(&data, &[0.0; 4], 1, 8);
+        assert_eq!(found[0].0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty point set")]
+    fn empty_set_rejected() {
+        let data = PointSet::empty(4);
+        let _ = HnswGraph::build(&data, Metric::Euclidean, GraphConfig::default(), 0);
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests of the hierarchical graph's structural invariants.
+
+use hsu_geometry::point::{Metric, PointSet};
+use hsu_graph::{GraphConfig, HnswGraph};
+use proptest::prelude::*;
+
+fn arb_set() -> impl Strategy<Value = PointSet> {
+    (2usize..300, 2usize..12, 0u64..1000).prop_map(|(n, dim, seed)| {
+        // Deterministic pseudo-random points from the seed.
+        let data: Vec<f32> = (0..n * dim)
+            .map(|i| {
+                let x = (i as u64).wrapping_mul(6364136223846793005).wrapping_add(seed);
+                ((x >> 33) % 2000) as f32 * 0.01 - 10.0
+            })
+            .collect();
+        PointSet::from_rows(dim, data)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn structural_invariants(set in arb_set(), seed in 0u64..100) {
+        let config = GraphConfig { m: 8, ef_construction: 24, ..Default::default() };
+        let graph = HnswGraph::build(&set, Metric::Euclidean, config.clone(), seed);
+
+        // Entry point is on the top layer.
+        prop_assert_eq!(graph.node_level(graph.entry_point()), graph.layer_count() - 1);
+
+        for layer in 0..graph.layer_count() {
+            for node in 0..set.len() as u32 {
+                let adj = graph.neighbors(layer, node);
+                // Degree bound (2x on the base layer, standard HNSW M0).
+                let cap = if layer == 0 { config.m * 2 } else { config.m };
+                prop_assert!(adj.len() <= cap);
+                // No self loops, no out-of-range nodes, no duplicates.
+                let mut seen = std::collections::HashSet::new();
+                for &n in adj {
+                    prop_assert!(n != node, "self loop at layer {}", layer);
+                    prop_assert!((n as usize) < set.len());
+                    prop_assert!(seen.insert(n), "duplicate edge {} -> {}", node, n);
+                }
+                // A node with edges at layer L must exist at layer L.
+                if !adj.is_empty() {
+                    prop_assert!(graph.node_level(node) >= layer);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn searching_indexed_points_finds_them(set in arb_set(), seed in 0u64..100) {
+        let graph = HnswGraph::build(
+            &set,
+            Metric::Euclidean,
+            GraphConfig { m: 8, ef_construction: 32, ..Default::default() },
+            seed,
+        );
+        // Self-queries must return the point itself at distance zero
+        // (exact-duplicate points may tie; accept any zero-distance id).
+        // HNSW can orphan the occasional extreme outlier after back-edge
+        // pruning (a known property of the construction), so require a
+        // majority rather than all three probes.
+        let mut hits = 0;
+        for i in [0usize, set.len() / 2, set.len() - 1] {
+            let (found, _) = graph.search(&set, set.point(i), 1, 48);
+            prop_assert!(!found.is_empty());
+            if found[0].1 <= 1e-6 {
+                hits += 1;
+            }
+        }
+        prop_assert!(hits >= 2, "{hits}/3 self-queries found their point");
+    }
+
+    #[test]
+    fn base_layer_is_connected_enough(n in 50usize..400, seed in 0u64..50) {
+        // Reachability from the entry point covers (almost) every node —
+        // the property greedy search relies on.
+        let data: Vec<f32> = (0..n * 4)
+            .map(|i| {
+                let x = (i as u64).wrapping_mul(2862933555777941757).wrapping_add(seed);
+                ((x >> 32) % 1000) as f32 * 0.01
+            })
+            .collect();
+        let set = PointSet::from_rows(4, data);
+        let graph = HnswGraph::build(&set, Metric::Euclidean, GraphConfig::default(), seed);
+        let mut visited = vec![false; n];
+        let mut stack = vec![graph.entry_point()];
+        visited[graph.entry_point() as usize] = true;
+        let mut count = 1;
+        while let Some(node) = stack.pop() {
+            for &nb in graph.neighbors(0, node) {
+                if !visited[nb as usize] {
+                    visited[nb as usize] = true;
+                    count += 1;
+                    stack.push(nb);
+                }
+            }
+        }
+        prop_assert!(
+            count * 10 >= n * 9,
+            "only {count}/{n} nodes reachable from the entry point"
+        );
+    }
+}

@@ -1,0 +1,92 @@
+//! Property-based tests of k-d tree construction and search.
+
+use hsu_geometry::point::{Metric, PointSet};
+use hsu_kdtree::{KdForest, KdNode, KdTree};
+use proptest::prelude::*;
+
+fn arb_set(max_points: usize, dim: usize) -> impl Strategy<Value = PointSet> {
+    prop::collection::vec(-1000i32..1000, dim..=max_points * dim).prop_map(move |vals| {
+        let n = vals.len() / dim;
+        let data: Vec<f32> = vals[..n * dim].iter().map(|&v| v as f32 * 0.01).collect();
+        PointSet::from_rows(dim, data)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn exact_nearest_matches_brute_force(set in arb_set(300, 3), qi in 0usize..100) {
+        let tree = KdTree::build(&set, Metric::Euclidean);
+        let q: Vec<f32> = set.point(qi % set.len()).to_vec();
+        let (found, _) = tree.nearest_exact(&set, &q);
+        let (_, bd) = set.nearest_brute_force(&q, Metric::Euclidean).unwrap();
+        let (_, fd) = found.unwrap();
+        prop_assert!((fd - bd).abs() <= 1e-5 * (1.0 + bd));
+    }
+
+    #[test]
+    fn indices_are_a_permutation(set in arb_set(400, 4)) {
+        let tree = KdTree::build(&set, Metric::Euclidean);
+        let mut idx: Vec<u32> = tree.indices().to_vec();
+        idx.sort_unstable();
+        let expect: Vec<u32> = (0..set.len() as u32).collect();
+        prop_assert_eq!(idx, expect);
+    }
+
+    #[test]
+    fn split_planes_partition_points(set in arb_set(300, 3)) {
+        let tree = KdTree::build(&set, Metric::Euclidean);
+        // For every split node, left-subtree leaf points satisfy p[axis] <=
+        // value... (median split puts strictly-less left; duplicates may sit
+        // either side of equal values, so check the weak inequality against
+        // the left side only).
+        fn leaves(tree: &KdTree, node: u32, out: &mut Vec<(u32, u32)>) {
+            match tree.nodes()[node as usize] {
+                KdNode::Leaf { start, count } => out.push((start, count)),
+                KdNode::Split { left, right, .. } => {
+                    leaves(tree, left, out);
+                    leaves(tree, right, out);
+                }
+            }
+        }
+        for (i, node) in tree.nodes().iter().enumerate() {
+            if let KdNode::Split { axis, value, left, .. } = *node {
+                let mut left_leaves = Vec::new();
+                leaves(&tree, left, &mut left_leaves);
+                for (start, count) in left_leaves {
+                    for s in start..start + count {
+                        let p = set.point(tree.indices()[s as usize] as usize);
+                        prop_assert!(
+                            p[axis as usize] <= value,
+                            "node {i}: left point {} > split {value}",
+                            p[axis as usize]
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bbf_with_full_budget_is_exact(set in arb_set(150, 3)) {
+        let tree = KdTree::build(&set, Metric::Euclidean);
+        let q: Vec<f32> = set.point(0).to_vec();
+        let (knn, _) = tree.knn_best_bin_first(&set, &q, 1, set.len() + 8);
+        let (bi, bd) = set.nearest_brute_force(&q, Metric::Euclidean).unwrap();
+        prop_assert!((knn[0].1 - bd).abs() <= 1e-6 * (1.0 + bd), "{} vs {}", knn[0].0, bi);
+    }
+
+    #[test]
+    fn forest_results_are_sorted_unique(set in arb_set(250, 4), k in 1usize..10) {
+        let forest = KdForest::build(&set, Metric::Euclidean, 3, 9);
+        let q: Vec<f32> = set.point(set.len() / 2).to_vec();
+        let (knn, _) = forest.knn(&set, &q, k, 256);
+        prop_assert!(knn.len() <= k);
+        prop_assert!(knn.windows(2).all(|w| w[0].1 <= w[1].1));
+        let mut ids: Vec<u32> = knn.iter().map(|n| n.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), knn.len());
+    }
+}

@@ -1,0 +1,281 @@
+//! B+-tree batched point lookups (paper §V-A, Rodinia `b+tree`).
+//!
+//! Rodinia serves each query with a whole thread group that scans a node's
+//! separators in parallel (load rounds + ballot + sync). The HSU lowering
+//! replaces that entire warp-wide scan with a single lane's `KEY_COMPARE`
+//! chain — `ceil(n/36)` instructions per node. The paper notes this workload
+//! has the smallest offloadable share (§VI-C), so its speedup is the
+//! smallest.
+
+use hsu_btree::{BPlusTree, BtNode};
+use hsu_sim::trace::{KernelTrace, ThreadOp, ThreadTrace};
+
+use crate::layout::btree_node_addr;
+use crate::lowering::{emit_key_compare, Variant};
+
+/// Workload parameters.
+#[derive(Debug, Clone)]
+pub struct BtreeParams {
+    /// Number of key-value pairs.
+    pub keys: usize,
+    /// Number of lookups.
+    pub queries: usize,
+    /// Branch factor (Rodinia: 256).
+    pub branch: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BtreeParams {
+    fn default() -> Self {
+        BtreeParams { keys: 10_000, queries: 512, branch: 256, seed: 1 }
+    }
+}
+
+/// Per-thread lookup events.
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    /// Internal-node separator scan.
+    Internal { node: u32, separators: u32 },
+    /// Leaf binary search over `keys` keys.
+    Leaf { node: u32, keys: u32 },
+}
+
+/// A prepared B+-tree lookup workload.
+#[derive(Debug)]
+pub struct BtreeWorkload {
+    events: Vec<Vec<Event>>,
+    branch: usize,
+    /// Fraction of lookups answered correctly against `BTreeMap` (must be 1).
+    pub correctness: f64,
+}
+
+impl BtreeWorkload {
+    /// Builds the tree from uniform random keys and records the lookups.
+    pub fn build(params: &BtreeParams) -> Self {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(params.seed);
+        let pairs: Vec<(u32, u64)> = (0..params.keys)
+            .map(|i| (rng.gen_range(0..1 << 24), i as u64))
+            .collect();
+        let lookups: Vec<u32> = (0..params.queries)
+            .map(|_| {
+                if rng.gen_bool(0.7) {
+                    pairs[rng.gen_range(0..pairs.len())].0 // present key
+                } else {
+                    rng.gen_range(0..1 << 24) // probably absent
+                }
+            })
+            .collect();
+        Self::build_from_pairs(pairs, &lookups, params.branch)
+    }
+
+    /// Builds from explicit pairs and lookup keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `branch < 3`.
+    pub fn build_from_pairs(pairs: Vec<(u32, u64)>, lookups: &[u32], branch: usize) -> Self {
+        let reference: std::collections::BTreeMap<u32, u64> = pairs.iter().copied().collect();
+        let tree = BPlusTree::bulk_build(pairs, branch);
+        tree.validate().expect("bulk build must produce a valid tree");
+
+        let mut events = Vec::with_capacity(lookups.len());
+        let mut correct = 0usize;
+        for &key in lookups {
+            let (evs, value) = record_lookup(&tree, key);
+            if value == reference.get(&key).copied() {
+                correct += 1;
+            }
+            events.push(evs);
+        }
+        BtreeWorkload {
+            events,
+            branch,
+            correctness: correct as f64 / lookups.len().max(1) as f64,
+        }
+    }
+
+    /// Lowers the recorded lookups into a kernel trace.
+    ///
+    /// The two lowerings use the thread mappings the respective codes use:
+    ///
+    /// * **Baseline** — Rodinia's group-per-query kernel: a 32-lane warp
+    ///   serves one query, scanning each node's separators in parallel
+    ///   rounds with a ballot + prefix pick + sync per node.
+    /// * **HSU** — thread-per-query: each lane issues its own `KEY_COMPARE`
+    ///   chain per node (the point of the instruction is that one thread can
+    ///   traverse alone), so a warp carries 32 queries.
+    pub fn trace(&self, variant: Variant) -> KernelTrace {
+        let mut kernel = KernelTrace::new(format!("btree-{variant:?}"));
+        match variant {
+            Variant::Hsu => {
+                for chunk in self.events.chunks(32) {
+                    for events in chunk {
+                        let mut t = ThreadTrace::new();
+                        t.push(ThreadOp::Alu { count: 2 });
+                        for ev in events {
+                            let (node, values) = match *ev {
+                                Event::Internal { node, separators } => (node, separators),
+                                Event::Leaf { node, keys } => (node, keys.max(1)),
+                            };
+                            let base = btree_node_addr(node as usize, self.branch);
+                            emit_key_compare(&mut t, Variant::Hsu, base, values);
+                            t.push(ThreadOp::Alu { count: 2 });
+                            if matches!(*ev, Event::Leaf { .. }) {
+                                t.push(ThreadOp::Load {
+                                    addr: base + values as u64 * 4,
+                                    bytes: 8,
+                                });
+                                t.push(ThreadOp::Alu { count: 2 });
+                            }
+                        }
+                        t.push(ThreadOp::Store {
+                            addr: crate::layout::RESULTS_BASE,
+                            bytes: 8,
+                        });
+                        kernel.push_thread(t);
+                    }
+                }
+            }
+            Variant::Baseline | Variant::BaselineStripped => {
+                // Rodinia's group-per-query scan, at warp granularity: per
+                // level the group streams the node's KEYS array, picks the
+                // child by parallel compare + ballot, then streams the
+                // node's INDICES array to fetch the child pointer — two
+                // dependent full-node fetches per level with syncs between
+                // (the structure of Rodinia's findK kernel).
+                for events in &self.events {
+                    let mut lanes: Vec<ThreadTrace> =
+                        (0..32).map(|_| ThreadTrace::new()).collect();
+                    for t in &mut lanes {
+                        t.push(ThreadOp::Alu { count: 2 });
+                    }
+                    for ev in events {
+                        let (node, values) = match *ev {
+                            Event::Internal { node, separators } => (node, separators),
+                            Event::Leaf { node, keys } => (node, keys.max(1)),
+                        };
+                        let base = btree_node_addr(node as usize, self.branch);
+                        if variant == Variant::Baseline {
+                            let lines = (values as u64 * 4).div_ceil(128).max(1);
+                            for (lane, t) in lanes.iter_mut().enumerate() {
+                                // Keys array: one parallel round, lanes
+                                // fanned across the node's lines so the
+                                // coalesced access covers the whole array.
+                                t.push(ThreadOp::Load {
+                                    addr: base + (lane as u64 % lines) * 128,
+                                    bytes: 4,
+                                });
+                                t.push(ThreadOp::Alu { count: 6 });
+                                t.push(ThreadOp::Shared { count: 2 }); // ballot + sync
+                                // Child-pointer fetch: the single matching
+                                // thread reads one indices element.
+                                t.push(ThreadOp::Load {
+                                    addr: base + lines * 128,
+                                    bytes: 4,
+                                });
+                                t.push(ThreadOp::Shared { count: 2 }); // sync
+                            }
+                        }
+                        if matches!(*ev, Event::Leaf { .. }) {
+                            // Value fetch survives in every variant (lane 0).
+                            lanes[0].push(ThreadOp::Load {
+                                addr: base + values as u64 * 4,
+                                bytes: 8,
+                            });
+                            lanes[0].push(ThreadOp::Alu { count: 2 });
+                        }
+                    }
+                    lanes[0].push(ThreadOp::Store {
+                        addr: crate::layout::RESULTS_BASE,
+                        bytes: 8,
+                    });
+                    for t in lanes {
+                        kernel.push_thread(t);
+                    }
+                }
+            }
+        }
+        kernel
+    }
+
+    /// Number of lookup queries (one warp each).
+    pub fn query_count(&self) -> usize {
+        self.events.len()
+    }
+}
+
+/// Descends the tree recording events; returns the lookup result.
+fn record_lookup(tree: &BPlusTree, key: u32) -> (Vec<Event>, Option<u64>) {
+    let mut events = Vec::new();
+    let mut node = tree.root();
+    loop {
+        match &tree.nodes()[node as usize] {
+            BtNode::Internal { separators, children } => {
+                events.push(Event::Internal {
+                    node,
+                    separators: separators.len() as u32,
+                });
+                let idx = separators.partition_point(|&s| s <= key);
+                node = children[idx];
+            }
+            BtNode::Leaf { keys, values, .. } => {
+                events.push(Event::Leaf { node, keys: keys.len() as u32 });
+                return (
+                    events,
+                    keys.binary_search(&key).ok().map(|i| values[i]),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsu_sim::config::GpuConfig;
+    use hsu_sim::Gpu;
+
+    #[test]
+    fn lookups_are_correct() {
+        let wl = BtreeWorkload::build(&BtreeParams::default());
+        assert_eq!(wl.correctness, 1.0);
+        assert_eq!(wl.query_count(), 512);
+    }
+
+    #[test]
+    fn hsu_speedup_is_smallest_but_positive() {
+        // Needs enough lookups for throughput (not latency) to dominate,
+        // like the paper's batched-query setting.
+        let wl = BtreeWorkload::build(&BtreeParams { keys: 50_000, queries: 8192, ..Default::default() });
+        let gpu = Gpu::new(GpuConfig { num_sms: 2, ..GpuConfig::tiny() });
+        let hsu = gpu.run(&wl.trace(Variant::Hsu));
+        let base = gpu.run(&wl.trace(Variant::Baseline));
+        assert!(hsu.cycles < base.cycles, "HSU {} vs base {}", hsu.cycles, base.cycles);
+        // Key-compare ops ran on the unit.
+        let key_ops = hsu.rt.pipeline.completed
+            [hsu_core::pipeline::OperatingMode::KeyCompare.index()];
+        assert!(key_ops > 0);
+    }
+
+    #[test]
+    fn offloadable_share_is_smallest_class() {
+        // Fig. 7: B+-tree has the smallest HSU-able proportion.
+        let wl = BtreeWorkload::build(&BtreeParams { keys: 20_000, queries: 512, ..Default::default() });
+        let gpu = Gpu::new(GpuConfig::tiny());
+        let base = gpu.run(&wl.trace(Variant::Baseline));
+        let stripped = gpu.run(&wl.trace(Variant::BaselineStripped));
+        let frac = crate::offloadable_fraction(&base, &stripped);
+        assert!(frac > 0.05 && frac < 0.9, "fraction {frac}");
+    }
+
+    #[test]
+    fn shallow_tree_few_events() {
+        // 10k keys at branch 256 -> height 2: one internal + one leaf event.
+        let wl = BtreeWorkload::build(&BtreeParams { keys: 10_000, queries: 4, ..Default::default() });
+        for evs in &wl.events {
+            assert!(evs.len() <= 3);
+        }
+    }
+}

@@ -1,0 +1,401 @@
+//! BVH-NN: thread-per-query radius search over an LBVH (paper §V-A, §VI-E).
+//!
+//! The RTNN-style formulation: leaf boxes of side `2r` centred on each data
+//! point, a Morton-ordered LBVH, and a per-thread traversal stack kept in
+//! shared memory. The HSU accelerates the ray-box node tests; stack
+//! maintenance and hit processing stay on the SIMT core (§VI-C).
+
+use hsu_bvh::{Bvh2, Bvh4, Bvh4Child, LbvhBuilder, NodeContent, PointPrimitive, SahBuilder};
+use hsu_datasets::query_set;
+use hsu_geometry::point::{Metric, PointSet};
+use hsu_geometry::Vec3;
+use hsu_sim::trace::{KernelTrace, ThreadOp, ThreadTrace};
+
+use crate::layout::{bvh2_node_addr, vector_addr};
+use crate::lowering::{emit_bvh2_node_test, emit_distance, Variant};
+
+/// Which hierarchy BVH-NN traverses — the §VI-E ablations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BvhFlavor {
+    /// Binary LBVH, the paper's evaluated configuration.
+    #[default]
+    Lbvh2,
+    /// The LBVH collapsed to 4-wide nodes ("a BVH4 tree would likely have
+    /// better performance in our unit", §VI-E).
+    Lbvh4,
+    /// A binary SAH tree (the "more optimized BVH" quality upgrade, §VI-E).
+    Sah2,
+}
+
+/// Workload parameters.
+#[derive(Debug, Clone)]
+pub struct BvhnnParams {
+    /// Dataset size (generated uniform cube when no set is supplied).
+    pub points: usize,
+    /// Number of queries.
+    pub queries: usize,
+    /// Search radius as a multiple of the median nearest-neighbour distance
+    /// (the paper fixes the leaf half-side to the search radius).
+    pub radius_scale: f32,
+    /// Hierarchy variant.
+    pub flavor: BvhFlavor,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BvhnnParams {
+    fn default() -> Self {
+        BvhnnParams {
+            points: 2000,
+            queries: 128,
+            radius_scale: 1.5,
+            flavor: BvhFlavor::Lbvh2,
+            seed: 1,
+        }
+    }
+}
+
+/// Per-thread traversal events.
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    /// Pop + loop control.
+    Pop,
+    /// Binary-node box test; `pushes` children were pushed.
+    NodeTest { node: u32, pushes: u32 },
+    /// 4-wide node test (one RAY_INTERSECT covering up to four boxes).
+    NodeTest4 { node: u32, pushes: u32 },
+    /// Leaf distance test against one point.
+    LeafDistance { point: u32 },
+}
+
+/// A prepared BVH-NN workload.
+#[derive(Debug)]
+pub struct BvhnnWorkload {
+    events: Vec<Vec<Event>>,
+    /// Mean neighbours found per query (functional sanity signal).
+    pub mean_neighbors: f64,
+    /// Mean distance (leaf) tests per query — the paper reports < 200 for
+    /// the 3-D datasets (§VI-C).
+    pub mean_distance_tests: f64,
+    /// The radius used.
+    pub radius: f32,
+}
+
+impl BvhnnWorkload {
+    /// Builds over a generated uniform cube.
+    pub fn build(params: &BvhnnParams) -> Self {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(params.seed);
+        let data: Vec<f32> =
+            (0..params.points * 3).map(|_| rng.gen_range(0.0f32..1.0)).collect();
+        Self::build_from_points(params, &PointSet::from_rows(3, data))
+    }
+
+    /// Builds over a caller-supplied 3-D point set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is not 3-dimensional or empty.
+    pub fn build_from_points(params: &BvhnnParams, data: &PointSet) -> Self {
+        assert_eq!(data.dim(), 3, "BVH-NN is a 3-D workload");
+        assert!(!data.is_empty(), "empty dataset");
+        let radius = median_nn_distance(data, params.seed) * params.radius_scale;
+        let prims: Vec<PointPrimitive> = data
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                PointPrimitive::new(i as u32, Vec3::new(p[0], p[1], p[2]), radius)
+            })
+            .collect();
+        let queries = query_set(data, params.queries, params.seed ^ 0xbeef);
+
+        let bvh2 = match params.flavor {
+            BvhFlavor::Sah2 => SahBuilder::default().max_leaf_size(1).build(&prims),
+            _ => LbvhBuilder::default().build(&prims),
+        };
+        let bvh4 =
+            (params.flavor == BvhFlavor::Lbvh4).then(|| Bvh4::from_bvh2(&bvh2));
+
+        let mut events = Vec::with_capacity(queries.len());
+        let mut total_neighbors = 0u64;
+        let mut total_tests = 0u64;
+        for q in queries.iter() {
+            let query = Vec3::new(q[0], q[1], q[2]);
+            let (evs, found, tests) = match &bvh4 {
+                Some(bvh4) => record_radius_search4(bvh4, &prims, query, radius),
+                None => record_radius_search(&bvh2, &prims, query, radius),
+            };
+            total_neighbors += found;
+            total_tests += tests;
+            events.push(evs);
+        }
+        let nq = queries.len() as f64;
+        BvhnnWorkload {
+            events,
+            mean_neighbors: total_neighbors as f64 / nq,
+            mean_distance_tests: total_tests as f64 / nq,
+            radius,
+        }
+    }
+
+    /// Lowers the recorded traversals into a kernel trace.
+    pub fn trace(&self, variant: Variant) -> KernelTrace {
+        let mut kernel = KernelTrace::new(format!("bvhnn-{variant:?}"));
+        for events in &self.events {
+            let mut t = ThreadTrace::new();
+            t.push(ThreadOp::Alu { count: 6 }); // ray/query setup
+            t.push(ThreadOp::Shared { count: 1 }); // stack init
+            for ev in events {
+                match *ev {
+                    Event::Pop => {
+                        t.push(ThreadOp::Shared { count: 1 });
+                        t.push(ThreadOp::Alu { count: 2 });
+                    }
+                    Event::NodeTest { node, pushes } => {
+                        emit_bvh2_node_test(&mut t, variant, bvh2_node_addr(node as usize));
+                        // Result processing + child pushes stay on the SM.
+                        t.push(ThreadOp::Alu { count: 3 });
+                        if pushes > 0 {
+                            t.push(ThreadOp::Shared { count: pushes });
+                        }
+                    }
+                    Event::NodeTest4 { node, pushes } => {
+                        // A 4-wide node: one 128-byte RAY_INTERSECT on the
+                        // HSU; eight LDG.128s plus four slab tests on the SM.
+                        let addr = crate::layout::BVH_NODES_BASE + node as u64 * 128;
+                        match variant {
+                            Variant::Hsu => {
+                                t.push(ThreadOp::HsuRayIntersect {
+                                    node_addr: addr,
+                                    bytes: 128,
+                                    triangle: false,
+                                });
+                            }
+                            Variant::Baseline => {
+                                for chunk in 0..8u64 {
+                                    t.push(ThreadOp::Load { addr: addr + chunk * 16, bytes: 16 });
+                                }
+                                t.push(ThreadOp::Alu { count: 48 });
+                            }
+                            Variant::BaselineStripped => {}
+                        }
+                        t.push(ThreadOp::Alu { count: 3 });
+                        if pushes > 0 {
+                            t.push(ThreadOp::Shared { count: pushes });
+                        }
+                    }
+                    Event::LeafDistance { point } => {
+                        emit_distance(
+                            &mut t,
+                            variant,
+                            Metric::Euclidean,
+                            3,
+                            vector_addr(point as usize, 3),
+                        );
+                        t.push(ThreadOp::Alu { count: 2 }); // compare + collect
+                    }
+                }
+            }
+            t.push(ThreadOp::Store { addr: crate::layout::RESULTS_BASE, bytes: 8 });
+            kernel.push_thread(t);
+        }
+        kernel
+    }
+
+    /// Number of query threads.
+    pub fn query_count(&self) -> usize {
+        self.events.len()
+    }
+}
+
+/// Median nearest-neighbour distance over a sample (the radius heuristic).
+fn median_nn_distance(data: &PointSet, _seed: u64) -> f32 {
+    let sample = data.len().min(128);
+    let mut ds: Vec<f32> = (0..sample)
+        .map(|i| data.nearest_brute_force_excluding(data.point(i), i, Metric::Euclidean).1)
+        .collect();
+    ds.sort_by(f32::total_cmp);
+    ds[sample / 2].sqrt().max(1e-6)
+}
+
+/// Stack traversal that records events and returns (events, neighbours
+/// found, leaf tests).
+fn record_radius_search(
+    bvh: &Bvh2,
+    prims: &[PointPrimitive],
+    query: Vec3,
+    radius: f32,
+) -> (Vec<Event>, u64, u64) {
+    let mut events = Vec::new();
+    let mut found = 0u64;
+    let mut tests = 0u64;
+    if bvh.nodes().is_empty() {
+        return (events, found, tests);
+    }
+    let r2 = radius * radius;
+    let mut stack = vec![0u32];
+    while let Some(i) = stack.pop() {
+        events.push(Event::Pop);
+        let node = &bvh.nodes()[i as usize];
+        match node.content {
+            NodeContent::Internal { left, right } => {
+                let mut pushes = 0;
+                for child in [left, right] {
+                    if bvh.nodes()[child as usize].aabb.distance_squared_to(query) <= r2 {
+                        stack.push(child);
+                        pushes += 1;
+                    }
+                }
+                events.push(Event::NodeTest { node: i, pushes });
+            }
+            NodeContent::Leaf { start, count } => {
+                for s in start..start + count {
+                    let p = &prims[bvh.prim_indices()[s as usize] as usize];
+                    events.push(Event::LeafDistance { point: p.id });
+                    tests += 1;
+                    if (p.position - query).length_squared() <= r2 {
+                        found += 1;
+                    }
+                }
+            }
+        }
+    }
+    (events, found, tests)
+}
+
+/// 4-wide stack traversal that records events.
+fn record_radius_search4(
+    bvh: &Bvh4,
+    prims: &[PointPrimitive],
+    query: Vec3,
+    radius: f32,
+) -> (Vec<Event>, u64, u64) {
+    let mut events = Vec::new();
+    let mut found = 0u64;
+    let mut tests = 0u64;
+    if bvh.nodes().is_empty() {
+        return (events, found, tests);
+    }
+    let r2 = radius * radius;
+    let mut stack = vec![0u32];
+    while let Some(i) = stack.pop() {
+        events.push(Event::Pop);
+        let mut pushes = 0;
+        let mut leaf_points: Vec<u32> = Vec::new();
+        for child in &bvh.nodes()[i as usize].children {
+            if child.aabb().distance_squared_to(query) > r2 {
+                continue;
+            }
+            match *child {
+                Bvh4Child::Node { index, .. } => {
+                    stack.push(index);
+                    pushes += 1;
+                }
+                Bvh4Child::Leaf { start, count, .. } => {
+                    for s in start..start + count {
+                        leaf_points.push(bvh.prim_indices()[s as usize]);
+                    }
+                }
+            }
+        }
+        events.push(Event::NodeTest4 { node: i, pushes });
+        for p in leaf_points {
+            let prim = &prims[p as usize];
+            events.push(Event::LeafDistance { point: prim.id });
+            tests += 1;
+            if (prim.position - query).length_squared() <= r2 {
+                found += 1;
+            }
+        }
+    }
+    (events, found, tests)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsu_sim::config::GpuConfig;
+    use hsu_sim::Gpu;
+
+    #[test]
+    fn finds_neighbors_and_culls() {
+        let wl = BvhnnWorkload::build(&BvhnnParams { points: 1500, queries: 64, ..Default::default() });
+        assert!(wl.mean_neighbors >= 1.0, "radius too small: {}", wl.mean_neighbors);
+        assert!(
+            wl.mean_distance_tests < 200.0,
+            "culling too weak: {} tests/query (paper reports < 200)",
+            wl.mean_distance_tests
+        );
+    }
+
+    #[test]
+    fn hsu_beats_baseline() {
+        let wl = BvhnnWorkload::build(&BvhnnParams { points: 1500, queries: 128, ..Default::default() });
+        let gpu = Gpu::new(GpuConfig::tiny());
+        let hsu = gpu.run(&wl.trace(Variant::Hsu));
+        let base = gpu.run(&wl.trace(Variant::Baseline));
+        assert!(hsu.cycles < base.cycles, "HSU {} vs base {}", hsu.cycles, base.cycles);
+        // Box tests dominate: ray-box ops far outnumber distance beats.
+        let box_ops =
+            hsu.rt.pipeline.completed[hsu_core::pipeline::OperatingMode::RayBox.index()];
+        let dist_ops =
+            hsu.rt.pipeline.completed[hsu_core::pipeline::OperatingMode::Euclid.index()];
+        assert!(box_ops > dist_ops, "box {box_ops} vs dist {dist_ops}");
+    }
+
+    #[test]
+    fn stripped_trace_is_cheaper() {
+        let wl = BvhnnWorkload::build(&BvhnnParams { points: 800, queries: 32, ..Default::default() });
+        let gpu = Gpu::new(GpuConfig::tiny());
+        let base = gpu.run(&wl.trace(Variant::Baseline));
+        let stripped = gpu.run(&wl.trace(Variant::BaselineStripped));
+        let frac = crate::offloadable_fraction(&base, &stripped);
+        // Box tests are the bulk of BVH-NN (Fig. 7 shows it near the top).
+        assert!(frac > 0.3, "offloadable fraction {frac}");
+    }
+
+    /// Per-thread RAY_INTERSECT count in a trace (independent of warp
+    /// grouping).
+    fn ray_ops(trace: &KernelTrace) -> u64 {
+        trace
+            .warps()
+            .iter()
+            .flat_map(|w| &w.instructions)
+            .flat_map(|i| i.lanes.iter().flatten())
+            .filter(|op| matches!(op, ThreadOp::HsuRayIntersect { .. }))
+            .count() as u64
+    }
+
+    #[test]
+    fn bvh4_flavor_reduces_node_tests() {
+        let base = BvhnnParams { points: 1200, queries: 64, ..Default::default() };
+        let wl2 = BvhnnWorkload::build(&base);
+        let wl4 = BvhnnWorkload::build(&BvhnnParams { flavor: BvhFlavor::Lbvh4, ..base.clone() });
+        // Same answers...
+        assert!((wl2.mean_neighbors - wl4.mean_neighbors).abs() < 1e-9);
+        // ...with fewer RAY_INTERSECTs per thread (4-wide nodes).
+        let ray2 = ray_ops(&wl2.trace(Variant::Hsu));
+        let ray4 = ray_ops(&wl4.trace(Variant::Hsu));
+        assert!(ray4 < ray2, "BVH4 {ray4} vs BVH2 {ray2} node tests");
+    }
+
+    #[test]
+    fn sah_flavor_matches_answers_with_quality_tree() {
+        let base = BvhnnParams { points: 1500, queries: 64, ..Default::default() };
+        let lbvh = BvhnnWorkload::build(&base);
+        let sah = BvhnnWorkload::build(&BvhnnParams { flavor: BvhFlavor::Sah2, ..base.clone() });
+        assert!((lbvh.mean_neighbors - sah.mean_neighbors).abs() < 1e-9, "answers must match");
+        // On clustered real data SAH usually wins; on a uniform cube the
+        // trees are comparable — only require the same order of magnitude.
+        let nl = ray_ops(&lbvh.trace(Variant::Hsu));
+        let ns = ray_ops(&sah.trace(Variant::Hsu));
+        assert!(ns <= nl * 2, "SAH {ns} vs LBVH {nl} node tests");
+    }
+
+    #[test]
+    fn thread_per_query() {
+        let wl = BvhnnWorkload::build(&BvhnnParams { points: 300, queries: 40, ..Default::default() });
+        assert_eq!(wl.query_count(), 40);
+        assert_eq!(wl.trace(Variant::Hsu).thread_count(), 40);
+    }
+}

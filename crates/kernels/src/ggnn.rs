@@ -1,0 +1,400 @@
+//! GGNN: warp-per-query hierarchical-graph ANN search (paper §V-A, §VI-D).
+//!
+//! GGNN assigns a whole thread group to each query to exploit intra-query
+//! parallelism: the group cooperatively fetches adjacency lists, computes
+//! candidate distances, and maintains a shared-memory priority queue / best
+//! list (the "parallel cache"). The HSU accelerates exactly the distance
+//! tests; queue maintenance stays on the SIMT core (§VI-C).
+
+use hsu_datasets::{query_set, recall_at_k};
+use hsu_geometry::point::{Metric, PointSet};
+use hsu_graph::{GraphConfig, HnswGraph};
+use hsu_sim::trace::{KernelTrace, ThreadOp, ThreadTrace};
+
+use crate::layout::{adjacency_addr, vector_addr};
+use crate::lowering::{emit_coop_distance, Variant};
+
+/// Construction/search parameters.
+#[derive(Debug, Clone)]
+pub struct GgnnParams {
+    /// Dataset size (points generated if no set is supplied).
+    pub points: usize,
+    /// Dimensionality (only used when generating).
+    pub dim: usize,
+    /// Number of queries.
+    pub queries: usize,
+    /// Distance metric.
+    pub metric: Metric,
+    /// Neighbours returned per query.
+    pub k: usize,
+    /// Best-first queue width.
+    pub ef: usize,
+    /// Graph degree.
+    pub m: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GgnnParams {
+    fn default() -> Self {
+        GgnnParams {
+            points: 2000,
+            dim: 64,
+            queries: 64,
+            metric: Metric::Euclidean,
+            k: 10,
+            ef: 32,
+            m: 12,
+            seed: 1,
+        }
+    }
+}
+
+/// Warp-level events recorded during the functional search.
+#[derive(Debug, Clone)]
+enum WarpEvent {
+    /// Cooperative fetch of one adjacency list.
+    LoadAdjacency { layer: usize, node: u32, count: u32 },
+    /// Distance tests against a batch of candidate vectors.
+    Distances { candidates: Vec<u32> },
+    /// Shared-memory priority-queue / visited-cache operations.
+    QueueOps { count: u32 },
+    /// Scalar bookkeeping on the SIMT core.
+    Scalar { count: u32 },
+}
+
+/// A prepared GGNN workload: graph + recorded per-query event streams.
+#[derive(Debug)]
+pub struct GgnnWorkload {
+    params: GgnnParams,
+    dim: usize,
+    metric: Metric,
+    events: Vec<Vec<WarpEvent>>,
+    /// Recall@k of the recorded search against brute force.
+    pub recall: f64,
+}
+
+impl GgnnWorkload {
+    /// Builds the graph over a generated Gaussian-mixture set and records
+    /// the search for every query.
+    pub fn build(params: &GgnnParams) -> Self {
+        let data = gaussian_set(params.points, params.dim, params.seed);
+        Self::build_from_points(params, &data)
+    }
+
+    /// Builds over a caller-supplied point set (the dataset catalog path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty.
+    pub fn build_from_points(params: &GgnnParams, data: &PointSet) -> Self {
+        let config = GraphConfig { m: params.m, ef_construction: params.ef.max(32), ..Default::default() };
+        let graph = HnswGraph::build(data, params.metric, config, params.seed);
+        let queries = query_set(data, params.queries, params.seed ^ 0x5eed);
+
+        let mut events = Vec::with_capacity(queries.len());
+        let mut found_all = Vec::with_capacity(queries.len());
+        for q in queries.iter() {
+            let (evs, found) = record_search(&graph, data, q, params.k, params.ef);
+            events.push(evs);
+            found_all.push(found);
+        }
+        let truth: Vec<Vec<usize>> = queries
+            .iter()
+            .map(|q| {
+                data.k_nearest_brute_force(q, params.k, params.metric)
+                    .into_iter()
+                    .map(|(i, _)| i)
+                    .collect()
+            })
+            .collect();
+        let recall = recall_at_k(&found_all, &truth, params.k);
+        GgnnWorkload {
+            params: params.clone(),
+            dim: data.dim(),
+            metric: params.metric,
+            events,
+            recall,
+        }
+    }
+
+    /// The parameters the workload was built with.
+    pub fn params(&self) -> &GgnnParams {
+        &self.params
+    }
+
+    /// Total distance tests recorded (HSU-offloadable work).
+    pub fn distance_tests(&self) -> u64 {
+        self.events
+            .iter()
+            .flatten()
+            .map(|e| match e {
+                WarpEvent::Distances { candidates } => candidates.len() as u64,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Lowers the recorded events into a kernel trace.
+    pub fn trace(&self, variant: Variant) -> KernelTrace {
+        let mut kernel = KernelTrace::new(format!("ggnn-{variant:?}"));
+        for events in &self.events {
+            let mut lanes: Vec<ThreadTrace> = (0..32).map(|_| ThreadTrace::new()).collect();
+            for ev in events {
+                match ev {
+                    WarpEvent::LoadAdjacency { layer, node, count } => {
+                        // Coalesced: lane i fetches neighbour id i.
+                        let base = adjacency_addr(*layer, *node as usize, self.params.m);
+                        for (lane, t) in lanes.iter_mut().enumerate() {
+                            if (lane as u32) < *count {
+                                t.push(ThreadOp::Load { addr: base + lane as u64 * 4, bytes: 4 });
+                            }
+                        }
+                    }
+                    WarpEvent::Distances { candidates } => match variant {
+                        Variant::Hsu => {
+                            // One HSU instruction per candidate, spread across
+                            // lanes: the warp instruction carries up to 32
+                            // independent multi-beat distances.
+                            for chunk in candidates.chunks(32) {
+                                for (lane, &cand) in chunk.iter().enumerate() {
+                                    lanes[lane].push(ThreadOp::HsuDistance {
+                                        metric: self.metric,
+                                        dim: self.dim as u32,
+                                        candidate_addr: vector_addr(cand as usize, self.dim),
+                                    });
+                                }
+                            }
+                        }
+                        Variant::Baseline | Variant::BaselineStripped => {
+                            // Cooperative: the warp computes one candidate at
+                            // a time, all 32 lanes partitioning dimensions.
+                            for &cand in candidates {
+                                let addr = vector_addr(cand as usize, self.dim);
+                                for (lane, t) in lanes.iter_mut().enumerate() {
+                                    emit_coop_distance(
+                                        t,
+                                        variant,
+                                        self.metric,
+                                        self.dim as u32,
+                                        addr,
+                                        lane as u32,
+                                    );
+                                }
+                            }
+                        }
+                    },
+                    WarpEvent::QueueOps { count } => {
+                        for t in &mut lanes {
+                            t.push(ThreadOp::Shared { count: *count });
+                        }
+                    }
+                    WarpEvent::Scalar { count } => {
+                        for t in &mut lanes {
+                            t.push(ThreadOp::Alu { count: *count });
+                        }
+                    }
+                }
+            }
+            for t in lanes {
+                kernel.push_thread(t);
+            }
+        }
+        kernel
+    }
+}
+
+/// Generates a clustered Gaussian-mixture point set (standalone so unit
+/// tests avoid the datasets crate's catalog sizes).
+fn gaussian_set(n: usize, dim: usize, seed: u64) -> PointSet {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    let clusters = (n as f64).sqrt().ceil() as usize;
+    let centres: Vec<Vec<f32>> = (0..clusters)
+        .map(|_| (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+        .collect();
+    let mut data = Vec::with_capacity(n * dim);
+    for _ in 0..n {
+        let c = &centres[rng.gen_range(0..clusters)];
+        for v in c {
+            data.push(v + rng.gen_range(-0.2f32..0.2));
+        }
+    }
+    PointSet::from_rows(dim, data)
+}
+
+/// Best-first graph search that both computes the result and records the
+/// warp-level event stream (mirrors `HnswGraph::search`).
+fn record_search(
+    graph: &HnswGraph,
+    data: &PointSet,
+    query: &[f32],
+    k: usize,
+    ef: usize,
+) -> (Vec<WarpEvent>, Vec<u32>) {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    let metric = graph.metric();
+    let mut events = Vec::new();
+    let mut entry = graph.entry_point();
+    events.push(WarpEvent::Scalar { count: 8 }); // query setup / norm precompute
+
+    // Greedy descent through the upper layers.
+    for layer in (1..graph.layer_count()).rev() {
+        let mut cur_d = metric.distance(query, data.point(entry as usize));
+        events.push(WarpEvent::Distances { candidates: vec![entry] });
+        loop {
+            let neighbors = graph.neighbors(layer, entry);
+            if neighbors.is_empty() {
+                break;
+            }
+            events.push(WarpEvent::LoadAdjacency {
+                layer,
+                node: entry,
+                count: neighbors.len() as u32,
+            });
+            events.push(WarpEvent::Distances { candidates: neighbors.to_vec() });
+            events.push(WarpEvent::Scalar { count: 4 }); // argmin select
+            let (best, best_d) = neighbors
+                .iter()
+                .map(|&n| (n, metric.distance(query, data.point(n as usize))))
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .expect("non-empty");
+            if best_d < cur_d {
+                cur_d = best_d;
+                entry = best;
+            } else {
+                break;
+            }
+        }
+    }
+
+    // Bounded best-first on the base layer with the parallel cache.
+    let ef = ef.max(k);
+    let mut visited = vec![false; data.len()];
+    let mut frontier: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+    let mut best: BinaryHeap<(u64, u32)> = BinaryHeap::new();
+    let key = |d: f32| d.to_bits() as u64;
+
+    let d0 = metric.distance(query, data.point(entry as usize));
+    events.push(WarpEvent::Distances { candidates: vec![entry] });
+    events.push(WarpEvent::QueueOps { count: 2 });
+    visited[entry as usize] = true;
+    frontier.push(Reverse((key(d0), entry)));
+    best.push((key(d0), entry));
+
+    while let Some(Reverse((d, node))) = frontier.pop() {
+        events.push(WarpEvent::QueueOps { count: 1 });
+        let worst = best.peek().map(|&(w, _)| w).unwrap_or(u64::MAX);
+        if d > worst && best.len() >= ef {
+            break;
+        }
+        let neighbors = graph.neighbors(0, node);
+        if neighbors.is_empty() {
+            continue;
+        }
+        events.push(WarpEvent::LoadAdjacency { layer: 0, node, count: neighbors.len() as u32 });
+        // Visited-cache check: one shared op per neighbour.
+        events.push(WarpEvent::QueueOps { count: neighbors.len() as u32 });
+        let fresh: Vec<u32> =
+            neighbors.iter().copied().filter(|&n| !visited[n as usize]).collect();
+        if fresh.is_empty() {
+            continue;
+        }
+        for &n in &fresh {
+            visited[n as usize] = true;
+        }
+        events.push(WarpEvent::Distances { candidates: fresh.clone() });
+        let mut queue_ops = 0;
+        for &n in &fresh {
+            let dn = metric.distance(query, data.point(n as usize));
+            let worst = best.peek().map(|&(w, _)| w).unwrap_or(u64::MAX);
+            if best.len() < ef || key(dn) < worst {
+                frontier.push(Reverse((key(dn), n)));
+                best.push((key(dn), n));
+                queue_ops += 2;
+                if best.len() > ef {
+                    best.pop();
+                    queue_ops += 1;
+                }
+            }
+        }
+        events.push(WarpEvent::QueueOps { count: queue_ops.max(1) });
+    }
+
+    let mut out: Vec<(u64, u32)> = best.into_iter().collect();
+    out.sort();
+    out.truncate(k);
+    events.push(WarpEvent::Scalar { count: 4 }); // result writeback
+    (events, out.into_iter().map(|(_, i)| i).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsu_sim::config::GpuConfig;
+    use hsu_sim::Gpu;
+
+    fn small() -> GgnnWorkload {
+        GgnnWorkload::build(&GgnnParams {
+            points: 600,
+            dim: 32,
+            queries: 16,
+            ef: 48,
+            m: 12,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn search_is_accurate() {
+        let wl = small();
+        assert!(wl.recall >= 0.8, "recall {}", wl.recall);
+        assert!(wl.distance_tests() > 0);
+    }
+
+    #[test]
+    fn hsu_variant_is_faster() {
+        let wl = small();
+        let gpu = Gpu::new(GpuConfig::tiny());
+        let hsu = gpu.run(&wl.trace(Variant::Hsu));
+        let base = gpu.run(&wl.trace(Variant::Baseline));
+        let stripped = gpu.run(&wl.trace(Variant::BaselineStripped));
+        assert!(
+            hsu.cycles < base.cycles,
+            "HSU {} vs baseline {}",
+            hsu.cycles,
+            base.cycles
+        );
+        assert!(stripped.cycles < base.cycles);
+        // The HSU run must actually use the unit.
+        assert!(hsu.rt.isa_instructions > 0);
+        assert_eq!(base.rt.isa_instructions, 0);
+    }
+
+    #[test]
+    fn angular_metric_works() {
+        let wl = GgnnWorkload::build(&GgnnParams {
+            points: 500,
+            dim: 48,
+            queries: 8,
+            metric: Metric::Angular,
+            ef: 64,
+            m: 16,
+            ..Default::default()
+        });
+        assert!(wl.recall >= 0.6, "angular recall {}", wl.recall);
+        let trace = wl.trace(Variant::Hsu);
+        assert!(trace.thread_count() == 8 * 32);
+    }
+
+    #[test]
+    fn traces_have_one_warp_per_query() {
+        let wl = small();
+        for v in Variant::ALL {
+            let t = wl.trace(v);
+            assert_eq!(t.thread_count(), 16 * 32, "{v:?}");
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! The paper's evaluation workloads as trace-recording GPU kernels.
+//!
+//! Each workload is implemented twice over the same functional execution:
+//!
+//! * an **HSU lowering**, where node tests, distance computations and key
+//!   comparisons become single CISC instructions on the RT/HSU unit, and
+//! * a **baseline lowering**, the SIMT instruction sequences a V100 without
+//!   ray-tracing hardware executes for the same work (the inverse of the
+//!   paper's SASS-trace post-processor, §V-C).
+//!
+//! A third **stripped** lowering omits the offloadable operations entirely;
+//! comparing its cycle count against the full baseline yields the
+//! offloadable-cycle share of Fig. 7.
+//!
+//! The four workloads of §V-A ([`ggnn`], [`flann`], [`bvhnn`], [`btree`])
+//! plus the RTIndeX case study of §VI-G ([`rtindex`]) all validate their
+//! functional results (recall or exact lookups) before any timing is run.
+//!
+//! # Examples
+//!
+//! ```
+//! use hsu_kernels::{bvhnn, Variant};
+//! use hsu_sim::{config::GpuConfig, Gpu};
+//!
+//! let wl = bvhnn::BvhnnWorkload::build(&bvhnn::BvhnnParams {
+//!     points: 400, queries: 64, seed: 7, ..Default::default()
+//! });
+//! let gpu = Gpu::new(GpuConfig::tiny());
+//! let hsu = gpu.run(&wl.trace(Variant::Hsu));
+//! let base = gpu.run(&wl.trace(Variant::Baseline));
+//! assert!(hsu.cycles < base.cycles);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod btree;
+pub mod bvhnn;
+pub mod flann;
+pub mod ggnn;
+pub mod layout;
+pub mod lowering;
+pub mod render;
+pub mod rtindex;
+
+pub use lowering::Variant;
+
+use hsu_sim::config::GpuConfig;
+use hsu_sim::{Gpu, SimReport};
+
+/// Runs all three lowerings of a workload trace generator on one GPU
+/// configuration, returning `(hsu, baseline, stripped)` reports.
+pub fn run_all_variants<F>(gpu: &Gpu, trace: F) -> (SimReport, SimReport, SimReport)
+where
+    F: Fn(Variant) -> hsu_sim::trace::KernelTrace,
+{
+    (
+        gpu.run(&trace(Variant::Hsu)),
+        gpu.run(&trace(Variant::Baseline)),
+        gpu.run(&trace(Variant::BaselineStripped)),
+    )
+}
+
+/// The offloadable-cycle share of Fig. 7: the fraction of baseline cycles
+/// attributable to operations the HSU could execute (arithmetic *and* their
+/// operand loads), measured by removing them.
+pub fn offloadable_fraction(baseline: &SimReport, stripped: &SimReport) -> f64 {
+    if baseline.cycles == 0 {
+        return 0.0;
+    }
+    1.0 - stripped.cycles as f64 / baseline.cycles as f64
+}
+
+/// Convenience: a baseline-RT-unit GPU config (HSU extensions off) used for
+/// the RTIndeX comparison, where both sides use ray tracing hardware.
+pub fn baseline_rt_gpu(mut cfg: GpuConfig) -> Gpu {
+    cfg.hsu = hsu_core::HsuConfig::baseline_rt();
+    Gpu::new(cfg)
+}

@@ -1,0 +1,84 @@
+//! Functional-unit kinds and 15 nm-class area/energy constants.
+//!
+//! Absolute values are representative of a 15 nm standard-cell library with
+//! HardFloat-style single-precision units; the paper's results are reported
+//! as *ratios*, which is what the tests pin down.
+
+/// A functional-unit class, matching the resource classes of Fig. 15.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FuKind {
+    /// Single-precision floating-point adder/subtractor.
+    FpAdd,
+    /// Single-precision floating-point multiplier.
+    FpMul,
+    /// Floating-point comparator (min/max/less-than).
+    Comparator,
+    /// One bit of pipeline-stage register.
+    RegisterBit,
+    /// Mode-control and result-mux logic, in equivalent NAND2 counts.
+    ControlGate,
+}
+
+impl FuKind {
+    /// All kinds, in Fig. 15's class order.
+    pub const ALL: [FuKind; 5] = [
+        FuKind::FpAdd,
+        FuKind::FpMul,
+        FuKind::Comparator,
+        FuKind::RegisterBit,
+        FuKind::ControlGate,
+    ];
+
+    /// Cell area in µm² (15 nm-class).
+    pub fn area_um2(self) -> f64 {
+        match self {
+            FuKind::FpAdd => 420.0,
+            FuKind::FpMul => 1350.0,
+            FuKind::Comparator => 65.0,
+            FuKind::RegisterBit => 1.9,
+            FuKind::ControlGate => 0.5,
+        }
+    }
+
+    /// Dynamic energy per activation in pJ at nominal voltage.
+    pub fn energy_pj(self) -> f64 {
+        match self {
+            FuKind::FpAdd => 0.55,
+            FuKind::FpMul => 1.65,
+            FuKind::Comparator => 0.06,
+            FuKind::RegisterBit => 0.0018,
+            FuKind::ControlGate => 0.0006,
+        }
+    }
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            FuKind::FpAdd => "fp-add",
+            FuKind::FpMul => "fp-mul",
+            FuKind::Comparator => "comparator",
+            FuKind::RegisterBit => "registers",
+            FuKind::ControlGate => "control",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multiplier_dominates_adder() {
+        assert!(FuKind::FpMul.area_um2() > FuKind::FpAdd.area_um2() * 2.0);
+        assert!(FuKind::FpMul.energy_pj() > FuKind::FpAdd.energy_pj() * 2.0);
+    }
+
+    #[test]
+    fn all_kinds_have_positive_constants() {
+        for k in FuKind::ALL {
+            assert!(k.area_um2() > 0.0);
+            assert!(k.energy_pj() > 0.0);
+            assert!(!k.label().is_empty());
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! Set-associative caches with LRU replacement and MSHR tracking.
+
+use std::collections::HashMap;
+
+/// Hit/miss statistics of one cache instance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that hit in the tag array.
+    pub hits: u64,
+    /// Lookups that hit on a pending miss (merged into an MSHR). The paper
+    /// counts these as hits (§VI-J).
+    pub mshr_hits: u64,
+    /// Lookups that allocated a new miss.
+    pub misses: u64,
+    /// Lookups rejected because the MSHR file was full.
+    pub mshr_stalls: u64,
+}
+
+impl CacheStats {
+    /// Total accesses that were accepted (hits + mshr hits + misses).
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.mshr_hits + self.misses
+    }
+
+    /// Miss rate with MSHR-merged accesses counted as hits, as in Fig. 13.
+    pub fn miss_rate(&self) -> f64 {
+        let total = self.accesses();
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+/// Outcome of a cache lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lookup {
+    /// Line present; data available after the hit latency.
+    Hit,
+    /// Line already being fetched; the access was merged into the MSHR.
+    MshrHit,
+    /// New miss; an MSHR was allocated and the request must go down-level.
+    Miss,
+    /// MSHR file full; the access must be retried later.
+    Stall,
+}
+
+/// A set-associative LRU cache front-end with an MSHR file.
+///
+/// The cache tracks tags and miss status only — data movement is implicit.
+/// Waiters are opaque `u64` tokens returned when a fill completes.
+#[derive(Debug)]
+pub struct Cache {
+    /// `sets[s]` holds up to `ways` entries of `(line, last_use)`.
+    sets: Vec<Vec<(u64, u64)>>,
+    ways: usize,
+    mshrs: HashMap<u64, Vec<u64>>,
+    mshr_capacity: usize,
+    use_counter: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates a cache with `sets` sets of `ways` ways and `mshr_capacity`
+    /// outstanding-miss entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is zero.
+    pub fn new(sets: usize, ways: usize, mshr_capacity: usize) -> Self {
+        assert!(sets > 0 && ways > 0 && mshr_capacity > 0, "degenerate cache geometry");
+        Cache {
+            sets: vec![Vec::with_capacity(ways); sets],
+            ways,
+            mshrs: HashMap::new(),
+            mshr_capacity,
+            use_counter: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    fn set_of(&self, line: u64) -> usize {
+        (line % self.sets.len() as u64) as usize
+    }
+
+    /// Looks up `line` on behalf of `waiter`.
+    ///
+    /// On [`Lookup::Miss`] the caller must forward the request down-level and
+    /// call [`Cache::fill`] when the data returns. On [`Lookup::MshrHit`] the
+    /// waiter is queued on the existing miss. On [`Lookup::Stall`] nothing is
+    /// recorded and the caller retries.
+    pub fn access(&mut self, line: u64, waiter: u64) -> Lookup {
+        self.use_counter += 1;
+        let set = self.set_of(line);
+        if let Some(entry) = self.sets[set].iter_mut().find(|(l, _)| *l == line) {
+            entry.1 = self.use_counter;
+            self.stats.hits += 1;
+            return Lookup::Hit;
+        }
+        if let Some(waiters) = self.mshrs.get_mut(&line) {
+            waiters.push(waiter);
+            self.stats.mshr_hits += 1;
+            return Lookup::MshrHit;
+        }
+        if self.mshrs.len() >= self.mshr_capacity {
+            self.stats.mshr_stalls += 1;
+            return Lookup::Stall;
+        }
+        self.mshrs.insert(line, vec![waiter]);
+        self.stats.misses += 1;
+        Lookup::Miss
+    }
+
+    /// A tag-only probe that never allocates (used for stores in the
+    /// write-through model). Returns `true` on hit.
+    pub fn probe(&mut self, line: u64) -> bool {
+        self.use_counter += 1;
+        let set = self.set_of(line);
+        if let Some(entry) = self.sets[set].iter_mut().find(|(l, _)| *l == line) {
+            entry.1 = self.use_counter;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Completes the fill of `line`: installs it (LRU eviction) and returns
+    /// the waiters queued on its MSHR.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no MSHR exists for `line` (fill without a miss).
+    pub fn fill(&mut self, line: u64) -> Vec<u64> {
+        let waiters = self.mshrs.remove(&line).expect("fill without outstanding miss");
+        self.use_counter += 1;
+        let counter = self.use_counter;
+        let ways = self.ways;
+        let set = self.set_of(line);
+        let entries = &mut self.sets[set];
+        if entries.len() >= ways {
+            // Evict the least recently used way.
+            let lru = entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, used))| *used)
+                .map(|(i, _)| i)
+                .expect("non-empty set");
+            entries.swap_remove(lru);
+        }
+        entries.push((line, counter));
+        waiters
+    }
+
+    /// Number of MSHR entries currently in use.
+    pub fn mshrs_in_use(&self) -> usize {
+        self.mshrs.len()
+    }
+
+    /// Returns `true` if the MSHR file is full.
+    pub fn mshrs_full(&self) -> bool {
+        self.mshrs.len() >= self.mshr_capacity
+    }
+
+    /// Lifetime statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = Cache::new(4, 2, 4);
+        assert_eq!(c.access(10, 1), Lookup::Miss);
+        assert_eq!(c.access(10, 2), Lookup::MshrHit);
+        let waiters = c.fill(10);
+        assert_eq!(waiters, vec![1, 2]);
+        assert_eq!(c.access(10, 3), Lookup::Hit);
+        let s = c.stats();
+        assert_eq!((s.hits, s.mshr_hits, s.misses), (1, 1, 1));
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        // 1 set, 2 ways: lines 0, 1, then touch 0, insert 2 -> evicts 1.
+        let mut c = Cache::new(1, 2, 8);
+        assert_eq!(c.access(0, 0), Lookup::Miss);
+        c.fill(0);
+        assert_eq!(c.access(1, 0), Lookup::Miss);
+        c.fill(1);
+        assert_eq!(c.access(0, 0), Lookup::Hit);
+        assert_eq!(c.access(2, 0), Lookup::Miss);
+        c.fill(2);
+        assert_eq!(c.access(0, 0), Lookup::Hit, "recently used line must survive");
+        assert_eq!(c.access(1, 0), Lookup::Miss, "LRU line must be evicted");
+    }
+
+    #[test]
+    fn mshr_capacity_stalls() {
+        let mut c = Cache::new(4, 2, 2);
+        assert_eq!(c.access(1, 0), Lookup::Miss);
+        assert_eq!(c.access(2, 0), Lookup::Miss);
+        assert!(c.mshrs_full());
+        assert_eq!(c.access(3, 0), Lookup::Stall);
+        assert_eq!(c.stats().mshr_stalls, 1);
+        c.fill(1);
+        assert_eq!(c.access(3, 0), Lookup::Miss);
+    }
+
+    #[test]
+    fn sets_isolate_lines() {
+        // Lines mapping to different sets never evict each other.
+        let mut c = Cache::new(4, 1, 8);
+        for line in 0..4u64 {
+            assert_eq!(c.access(line, 0), Lookup::Miss);
+            c.fill(line);
+        }
+        for line in 0..4u64 {
+            assert_eq!(c.access(line, 0), Lookup::Hit);
+        }
+    }
+
+    #[test]
+    fn probe_does_not_allocate() {
+        let mut c = Cache::new(4, 2, 4);
+        assert!(!c.probe(5));
+        assert_eq!(c.mshrs_in_use(), 0);
+        assert_eq!(c.access(5, 0), Lookup::Miss);
+        c.fill(5);
+        assert!(c.probe(5));
+    }
+
+    #[test]
+    fn miss_rate_counts_mshr_hits_as_hits() {
+        let mut c = Cache::new(4, 2, 4);
+        c.access(1, 0); // miss
+        c.access(1, 1); // mshr hit
+        c.fill(1);
+        c.access(1, 2); // hit
+        c.access(1, 3); // hit
+        assert!((c.stats().miss_rate() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "fill without outstanding miss")]
+    fn fill_requires_miss() {
+        let mut c = Cache::new(2, 2, 2);
+        c.fill(9);
+    }
+}

@@ -1,0 +1,201 @@
+//! Simulator configuration (paper Table III).
+
+use hsu_core::HsuConfig;
+
+/// How the RT/HSU unit's CISC fetches reach memory (paper §VI-I discusses
+/// both alternatives as fixes for L1/MSHR contention).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RtCachePolicy {
+    /// Time-share the SM's L1 data cache with the load-store unit (the
+    /// paper's evaluated design).
+    SharedWithLsu,
+    /// Give the RT unit its own private cache of the given size.
+    Private {
+        /// Private cache capacity in bytes.
+        bytes: usize,
+    },
+    /// Bypass the L1 entirely: RT fetches go straight to the L2.
+    Bypass,
+}
+
+/// Full machine configuration.
+///
+/// [`GpuConfig::volta_v100`] reproduces Table III; [`GpuConfig::small`] is a
+/// scaled machine (fewer SMs) used by tests and the figure harnesses, which
+/// report relative quantities only.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuConfig {
+    /// Number of streaming multiprocessors.
+    pub num_sms: usize,
+    /// Sub-cores (warp schedulers) per SM.
+    pub sub_cores: usize,
+    /// Maximum resident warps per SM.
+    pub max_warps_per_sm: usize,
+    /// RT/HSU unit configuration (one unit per SM).
+    pub hsu: HsuConfig,
+    /// How RT-unit fetches interact with the L1 (§VI-I ablation).
+    pub rt_cache: RtCachePolicy,
+    /// ALU latency in cycles (dependent issue-to-ready).
+    pub alu_latency: u64,
+    /// Shared-memory access latency in cycles.
+    pub shared_latency: u64,
+    /// L1 data cache size in bytes.
+    pub l1_bytes: usize,
+    /// L1 associativity.
+    pub l1_ways: usize,
+    /// L1 hit latency in cycles.
+    pub l1_latency: u64,
+    /// MSHR entries per L1.
+    pub l1_mshrs: usize,
+    /// Cache line size in bytes (applies to all levels).
+    pub line_bytes: usize,
+    /// L2 size in bytes.
+    pub l2_bytes: usize,
+    /// L2 associativity (24-way in Table III).
+    pub l2_ways: usize,
+    /// L2 banks (each accepts one lookup per cycle).
+    pub l2_banks: usize,
+    /// Additional round-trip latency SM ↔ L2 (interconnect + lookup).
+    pub l2_latency: u64,
+    /// HBM channels.
+    pub dram_channels: usize,
+    /// Banks per channel.
+    pub dram_banks: usize,
+    /// DRAM row size in bytes.
+    pub dram_row_bytes: usize,
+    /// Service time of a row-buffer hit, in cycles.
+    pub dram_row_hit_cycles: u64,
+    /// Service time including precharge + activate on a row miss.
+    pub dram_row_miss_cycles: u64,
+    /// Data-transfer occupancy per line, in cycles (bandwidth bound).
+    pub dram_transfer_cycles: u64,
+    /// Safety valve: abort if a kernel exceeds this many cycles.
+    pub max_cycles: u64,
+}
+
+impl GpuConfig {
+    /// The paper's Table III configuration (Volta V100-class).
+    pub fn volta_v100() -> Self {
+        GpuConfig {
+            num_sms: 80,
+            sub_cores: 4,
+            max_warps_per_sm: 64,
+            hsu: HsuConfig::default(),
+            rt_cache: RtCachePolicy::SharedWithLsu,
+            alu_latency: 4,
+            shared_latency: 24,
+            l1_bytes: 128 * 1024,
+            l1_ways: 8,
+            l1_latency: 28,
+            l1_mshrs: 48,
+            line_bytes: 128,
+            l2_bytes: 6 * 1024 * 1024,
+            l2_ways: 24,
+            l2_banks: 16,
+            l2_latency: 180,
+            dram_channels: 8,
+            dram_banks: 16,
+            dram_row_bytes: 2048,
+            dram_row_hit_cycles: 20,
+            dram_row_miss_cycles: 48,
+            dram_transfer_cycles: 4,
+            max_cycles: 2_000_000_000,
+        }
+    }
+
+    /// A scaled machine for laptop-sized experiments: 16 SMs, same per-SM
+    /// structure, proportionally scaled L2 and DRAM channels.
+    pub fn small() -> Self {
+        GpuConfig {
+            num_sms: 16,
+            l2_bytes: 2 * 1024 * 1024,
+            l2_banks: 8,
+            dram_channels: 4,
+            ..Self::volta_v100()
+        }
+    }
+
+    /// A single-SM machine for unit tests.
+    pub fn tiny() -> Self {
+        GpuConfig {
+            num_sms: 1,
+            max_warps_per_sm: 16,
+            l1_bytes: 32 * 1024,
+            l2_bytes: 256 * 1024,
+            l2_banks: 2,
+            dram_channels: 1,
+            ..Self::volta_v100()
+        }
+    }
+
+    /// Replaces the HSU configuration (width / warp-buffer sweeps).
+    pub fn with_hsu(mut self, hsu: HsuConfig) -> Self {
+        self.hsu = hsu;
+        self
+    }
+
+    /// Number of L1 sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry does not divide evenly.
+    pub fn l1_sets(&self) -> usize {
+        let sets = self.l1_bytes / (self.l1_ways * self.line_bytes);
+        assert!(sets > 0, "L1 geometry yields zero sets");
+        sets
+    }
+
+    /// Number of L2 sets.
+    pub fn l2_sets(&self) -> usize {
+        let sets = self.l2_bytes / (self.l2_ways * self.line_bytes);
+        assert!(sets > 0, "L2 geometry yields zero sets");
+        sets
+    }
+
+    /// Lines per DRAM row.
+    pub fn lines_per_row(&self) -> u64 {
+        (self.dram_row_bytes / self.line_bytes) as u64
+    }
+}
+
+impl Default for GpuConfig {
+    fn default() -> Self {
+        Self::small()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_iii_values() {
+        let cfg = GpuConfig::volta_v100();
+        assert_eq!(cfg.num_sms, 80);
+        assert_eq!(cfg.sub_cores, 4);
+        assert_eq!(cfg.max_warps_per_sm, 64);
+        assert_eq!(cfg.hsu.warp_buffer_entries, 8);
+        assert_eq!(cfg.l1_bytes, 128 * 1024);
+        assert_eq!(cfg.l2_bytes, 6 * 1024 * 1024);
+        assert_eq!(cfg.l2_ways, 24);
+        assert_eq!(cfg.line_bytes, 128);
+    }
+
+    #[test]
+    fn geometry_is_consistent() {
+        for cfg in [GpuConfig::volta_v100(), GpuConfig::small(), GpuConfig::tiny()] {
+            assert!(cfg.l1_sets().is_power_of_two());
+            assert!(cfg.l2_sets() > 0);
+            assert_eq!(cfg.lines_per_row(), 16);
+        }
+    }
+
+    #[test]
+    fn small_preserves_per_sm_structure() {
+        let small = GpuConfig::small();
+        let big = GpuConfig::volta_v100();
+        assert_eq!(small.max_warps_per_sm, big.max_warps_per_sm);
+        assert_eq!(small.l1_bytes, big.l1_bytes);
+        assert_eq!(small.hsu, big.hsu);
+    }
+}

@@ -1,0 +1,56 @@
+//! Cycle-level GPU timing simulator for the HSU evaluation.
+//!
+//! This crate stands in for the paper's Accel-Sim + GPGPU-Sim 4.0 stack
+//! (§V-C). It models a Volta-class GPU at the fidelity the paper's results
+//! depend on:
+//!
+//! * **SMs with four sub-cores** and greedy-then-oldest (GTO) warp
+//!   scheduling, one issue slot per sub-core per cycle (Table III),
+//! * **one RT/HSU unit per SM** shared by the sub-cores through a
+//!   round-robin arbiter, with the warp buffer, FIFO L1-access queue,
+//!   single-lane 9-stage datapath and result buffer of `hsu-core`,
+//! * **L1D caches with MSHRs** (128 KB, 128-B lines) time-shared between the
+//!   load-store unit and the RT unit's fetch FIFO (§VI-H),
+//! * a shared, banked **L2** (6 MB, 24-way) and **HBM channels with FR-FCFS**
+//!   row-buffer scheduling whose locality statistics feed Fig. 14,
+//! * a **trace format** ([`trace`]) the workload kernels emit: per-thread
+//!   operation logs packed into 32-lane warps with divergence-aware active
+//!   masks.
+//!
+//! The simulator is deterministic: the same trace and configuration always
+//! produce the same cycle count and statistics.
+//!
+//! # Examples
+//!
+//! ```
+//! use hsu_sim::config::GpuConfig;
+//! use hsu_sim::trace::{KernelTrace, ThreadOp, ThreadTrace};
+//! use hsu_sim::Gpu;
+//!
+//! let mut kernel = KernelTrace::new("demo");
+//! for t in 0..64 {
+//!     let mut thread = ThreadTrace::new();
+//!     thread.push(ThreadOp::Alu { count: 4 });
+//!     thread.push(ThreadOp::Load { addr: t * 128, bytes: 4 });
+//!     kernel.push_thread(thread);
+//! }
+//! let report = Gpu::new(GpuConfig::small()).run(&kernel);
+//! assert!(report.cycles > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod config;
+pub mod dram;
+pub mod memory;
+pub mod rt_unit;
+pub mod sm;
+pub mod stats;
+pub mod trace;
+pub mod trace_io;
+
+mod gpu;
+
+pub use gpu::Gpu;
+pub use stats::SimReport;

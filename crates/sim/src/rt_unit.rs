@@ -1,0 +1,502 @@
+//! Timing model of the per-SM RT/HSU unit (paper Fig. 4).
+//!
+//! One unit serves the SM's four sub-cores. A dispatched HSU warp instruction
+//! occupies a warp-buffer entry while each active lane's CISC fetch drains
+//! through the FIFO memory-access queue (which time-shares the L1 port with
+//! the load-store unit); once every lane's operands arrive, the single-lane
+//! datapath consumes one lane-beat per cycle. When all lanes complete, the
+//! result buffer writes back and the owning warp resumes.
+//!
+//! Multi-beat distance sequences are dispatched as one buffered instruction
+//! whose lanes carry `ceil(dim / width)` beats each — the timing-equivalent
+//! of the ISA's chained accumulate instructions under the paper's §IV-F
+//! ordering rule (the arbiter lock simply means no other warp's beats may
+//! interleave, which holding the warp-buffer entry through all beats
+//! enforces).
+
+use std::collections::VecDeque;
+
+use hsu_core::arbiter::SubCoreArbiter;
+use hsu_core::pipeline::{DatapathPipeline, OperatingMode, PipelineStats};
+use hsu_core::warp_buffer::{EntryId, WarpBuffer, WARP_WIDTH};
+use hsu_core::HsuConfig;
+
+use crate::trace::ThreadOp;
+
+/// A pending CISC fetch: one unique cache line needed by one or more lanes
+/// of a warp-buffer entry. Identical lane fetches are coalesced at dispatch
+/// (the CISC analogue of LSU coalescing, §VI-J).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FifoRequest {
+    /// Warp-buffer entry.
+    pub entry: EntryId,
+    /// Index into the entry's coalesced-request table.
+    pub req: usize,
+    /// Cache line to fetch.
+    pub line: u64,
+}
+
+/// Statistics of one RT/HSU unit.
+#[derive(Debug, Clone, Default)]
+pub struct RtUnitStats {
+    /// Warp instructions dispatched into the warp buffer.
+    pub warp_instructions: u64,
+    /// ISA-level HSU instructions (beats count individually, as the compiler
+    /// emits them).
+    pub isa_instructions: u64,
+    /// Sum of warp-buffer occupancy sampled each cycle (for averages).
+    pub occupancy_sum: u64,
+    /// Cycles the unit existed.
+    pub cycles: u64,
+    /// Dispatches rejected because the warp buffer was full.
+    pub dispatch_stalls: u64,
+    /// Datapath pipeline statistics.
+    pub pipeline: PipelineStats,
+}
+
+impl RtUnitStats {
+    /// Mean warp-buffer occupancy.
+    pub fn mean_occupancy(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.occupancy_sum as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// Per-lane bookkeeping inside a warp-buffer entry.
+#[derive(Debug, Clone, Copy, Default)]
+struct LaneState {
+    /// Outstanding memory lines.
+    pending_lines: u32,
+    /// Datapath beats not yet issued.
+    beats_to_issue: u32,
+    /// Datapath beats not yet completed.
+    beats_in_flight: u32,
+    /// Operating mode of this lane's beats.
+    mode: Option<OperatingMode>,
+}
+
+/// The RT/HSU unit of one SM.
+#[derive(Debug)]
+pub struct RtUnit {
+    cfg: HsuConfig,
+    warp_buffer: WarpBuffer,
+    /// Which warp owns each entry (for resume notification).
+    entry_owner: Vec<Option<usize>>,
+    lane_state: Vec<[LaneState; WARP_WIDTH]>,
+    arbiter: SubCoreArbiter,
+    pipeline: DatapathPipeline,
+    fifo: VecDeque<FifoRequest>,
+    /// Per-entry coalesced fetch table: `(line, lane mask)`.
+    entry_requests: Vec<Vec<(u64, u32)>>,
+    /// Entry currently being drained into the datapath (sticky, so beat
+    /// sequences never interleave with other warps — the accumulate lock).
+    draining: Option<EntryId>,
+    completed_warps: Vec<usize>,
+    stats: RtUnitStats,
+}
+
+impl RtUnit {
+    /// Creates a unit for `sub_cores` schedulers.
+    pub fn new(cfg: HsuConfig, sub_cores: usize) -> Self {
+        let entries = cfg.warp_buffer_entries;
+        RtUnit {
+            cfg,
+            warp_buffer: WarpBuffer::new(entries),
+            entry_owner: vec![None; entries],
+            lane_state: vec![[LaneState::default(); WARP_WIDTH]; entries],
+            arbiter: SubCoreArbiter::new(sub_cores),
+            pipeline: DatapathPipeline::new(),
+            fifo: VecDeque::new(),
+            entry_requests: vec![Vec::new(); entries],
+            draining: None,
+            completed_warps: Vec::new(),
+            stats: RtUnitStats::default(),
+        }
+    }
+
+    /// The unit's HSU configuration.
+    pub fn config(&self) -> &HsuConfig {
+        &self.cfg
+    }
+
+    /// Operating mode, beat count and fetch footprint of a lane's op.
+    fn lane_plan(&self, op: &ThreadOp) -> (OperatingMode, u32, u64, u64) {
+        match *op {
+            ThreadOp::HsuRayIntersect { node_addr, bytes, triangle } => {
+                let mode =
+                    if triangle { OperatingMode::RayTriangle } else { OperatingMode::RayBox };
+                (mode, 1, node_addr, bytes as u64)
+            }
+            ThreadOp::HsuDistance { metric, dim, candidate_addr } => {
+                let beats = self.cfg.beats_for(metric, dim as usize) as u32;
+                let mode = match metric {
+                    hsu_geometry::point::Metric::Euclidean => OperatingMode::Euclid,
+                    hsu_geometry::point::Metric::Angular => OperatingMode::Angular,
+                };
+                (mode, beats, candidate_addr, dim as u64 * 4)
+            }
+            ThreadOp::HsuKeyCompare { node_addr, separators } => {
+                let beats = self.cfg.key_compare_instructions(separators as usize) as u32;
+                (OperatingMode::KeyCompare, beats, node_addr, separators as u64 * 4)
+            }
+            ref other => panic!("non-HSU op dispatched to the RT unit: {other:?}"),
+        }
+    }
+
+    /// Whether the instruction is legal on this unit (the baseline RT unit
+    /// rejects the HSU extensions).
+    pub fn supports(&self, op: &ThreadOp) -> bool {
+        match op {
+            ThreadOp::HsuRayIntersect { .. } => true,
+            ThreadOp::HsuDistance { .. } | ThreadOp::HsuKeyCompare { .. } => {
+                self.cfg.hsu_extensions
+            }
+            _ => false,
+        }
+    }
+
+    /// Arbitrates among sub-cores with pending HSU instructions this cycle.
+    /// Returns the granted sub-core (the SM then calls
+    /// [`RtUnit::dispatch`]). `requesting[i]` marks sub-cores with a ready
+    /// HSU warp instruction.
+    pub fn grant(&mut self, requesting: &[bool]) -> Option<usize> {
+        if self.warp_buffer.is_full() {
+            if requesting.iter().any(|&r| r) {
+                self.stats.dispatch_stalls += 1;
+            }
+            return None;
+        }
+        let accumulate = vec![false; requesting.len()];
+        self.arbiter.grant(requesting, &accumulate)
+    }
+
+    /// Dispatches a warp instruction into the warp buffer, enqueueing each
+    /// active lane's line fetches. `line_bytes` is the cache-line size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is full (call [`RtUnit::grant`] first) or the
+    /// instruction holds non-HSU ops.
+    pub fn dispatch(
+        &mut self,
+        warp: usize,
+        sub_core: usize,
+        active_mask: u32,
+        lanes: &[Option<ThreadOp>],
+        line_bytes: u64,
+    ) -> EntryId {
+        // The hsu-core warp buffer tracks masks; lane instructions are kept
+        // in this struct's lane_state (richer than the ISA struct).
+        let placeholder = hsu_core::HsuInstruction::ray_intersect(0, 0);
+        let proto: Vec<Option<hsu_core::HsuInstruction>> = (0..WARP_WIDTH)
+            .map(|l| (active_mask & (1 << l) != 0).then_some(placeholder))
+            .collect();
+        let entry = self
+            .warp_buffer
+            .allocate(warp, sub_core, active_mask, proto)
+            .expect("dispatch without a free warp buffer entry");
+        self.entry_owner[entry] = Some(warp);
+        self.stats.warp_instructions += 1;
+
+        // Gather each lane's lines, coalescing identical lines across lanes
+        // into one FIFO request (the warp-level analogue of LSU coalescing).
+        let mut table: Vec<(u64, u32)> = Vec::new();
+        for (lane, op) in lanes.iter().enumerate() {
+            if active_mask & (1 << lane) == 0 {
+                continue;
+            }
+            let op = op.as_ref().expect("active lane without op");
+            let (mode, beats, addr, bytes) = self.lane_plan(op);
+            self.stats.isa_instructions += beats as u64;
+            let first = addr / line_bytes;
+            let last = (addr + bytes.max(1) - 1) / line_bytes;
+            let n_lines = (last - first + 1) as u32;
+            self.lane_state[entry][lane] = LaneState {
+                pending_lines: n_lines,
+                beats_to_issue: beats,
+                beats_in_flight: beats,
+                mode: Some(mode),
+            };
+            for line in first..=last {
+                match table.iter_mut().find(|(l, _)| *l == line) {
+                    Some((_, mask)) => *mask |= 1 << lane,
+                    None => table.push((line, 1 << lane)),
+                }
+            }
+        }
+        for (req, &(line, _)) in table.iter().enumerate() {
+            self.fifo.push_back(FifoRequest { entry, req, line });
+        }
+        self.entry_requests[entry] = table;
+        entry
+    }
+
+    /// The next CISC fetch awaiting the L1 port, if any (the SM pops it when
+    /// the RT unit wins the port this cycle).
+    pub fn peek_fifo(&self) -> Option<FifoRequest> {
+        self.fifo.front().copied()
+    }
+
+    /// Removes the request returned by [`RtUnit::peek_fifo`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the FIFO is empty.
+    pub fn pop_fifo(&mut self) -> FifoRequest {
+        self.fifo.pop_front().expect("pop from empty RT FIFO")
+    }
+
+    /// Re-inserts a request that the L1 rejected (MSHR full) at the FIFO
+    /// head, preserving order.
+    pub fn push_back_front(&mut self, req: FifoRequest) {
+        self.fifo.push_front(req);
+    }
+
+    /// A memory response for `(entry, req)` arrived; decrements every lane
+    /// that was coalesced onto the line and marks lanes valid when their
+    /// last line lands.
+    pub fn on_mem_response(&mut self, entry: EntryId, req: usize) {
+        let (_, mask) = self.entry_requests[entry][req];
+        for lane in 0..WARP_WIDTH {
+            if mask & (1 << lane) == 0 {
+                continue;
+            }
+            let state = &mut self.lane_state[entry][lane];
+            debug_assert!(state.pending_lines > 0, "response for satisfied lane");
+            state.pending_lines -= 1;
+            if state.pending_lines == 0 {
+                self.warp_buffer.mark_valid(entry, lane);
+            }
+        }
+    }
+
+    /// Advances the datapath one cycle: issues at most one lane-beat, drains
+    /// completions, and retires finished entries.
+    pub fn tick(&mut self) {
+        self.stats.cycles += 1;
+        self.stats.occupancy_sum += self.warp_buffer.occupancy() as u64;
+
+        // Issue stage: stick to the draining entry until fully issued.
+        let entry = match self.draining {
+            Some(e) if !self.warp_buffer.entry(e).fully_issued() => Some(e),
+            _ => {
+                self.draining = None;
+                let next = self.warp_buffer.ready_entries().map(|(id, _)| id).next();
+                self.draining = next;
+                next
+            }
+        };
+        if let Some(entry) = entry {
+            if let Some(lane) = self.warp_buffer.entry(entry).next_issuable_lane() {
+                let state = &mut self.lane_state[entry][lane];
+                let mode = state.mode.expect("issuable lane without mode");
+                let tag = (entry as u64) << 8 | lane as u64;
+                if self.pipeline.issue(mode, tag) {
+                    state.beats_to_issue -= 1;
+                    if state.beats_to_issue == 0 {
+                        self.warp_buffer.mark_issued(entry, lane);
+                    }
+                }
+            }
+        }
+
+        // Completion stage.
+        for done in self.pipeline.tick() {
+            let entry = (done.tag >> 8) as usize;
+            let lane = (done.tag & 0xff) as usize;
+            let state = &mut self.lane_state[entry][lane];
+            state.beats_in_flight -= 1;
+            if state.beats_in_flight == 0 {
+                self.warp_buffer.mark_completed(entry, lane);
+            }
+        }
+
+        // Writeback stage: retire finished entries.
+        let finished: Vec<EntryId> = self
+            .warp_buffer
+            .iter()
+            .filter(|(_, e)| e.writeback_ready())
+            .map(|(id, _)| id)
+            .collect();
+        for entry in finished {
+            self.warp_buffer.release(entry);
+            let warp = self.entry_owner[entry].take().expect("entry without owner");
+            self.completed_warps.push(warp);
+            self.lane_state[entry] = [LaneState::default(); WARP_WIDTH];
+            self.entry_requests[entry].clear();
+            if self.draining == Some(entry) {
+                self.draining = None;
+            }
+        }
+    }
+
+    /// Warps whose HSU instruction wrote back since the last call.
+    pub fn take_completed(&mut self) -> Vec<usize> {
+        std::mem::take(&mut self.completed_warps)
+    }
+
+    /// Returns `true` when the unit holds no work.
+    pub fn idle(&self) -> bool {
+        self.warp_buffer.occupancy() == 0 && self.fifo.is_empty() && self.pipeline.is_empty()
+    }
+
+    /// Statistics snapshot (pipeline stats copied in).
+    pub fn stats(&self) -> RtUnitStats {
+        let mut s = self.stats.clone();
+        s.pipeline = self.pipeline.stats().clone();
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsu_geometry::point::Metric;
+
+    fn euclid_op(dim: u32) -> ThreadOp {
+        ThreadOp::HsuDistance { metric: Metric::Euclidean, dim, candidate_addr: 0x1000 }
+    }
+
+    fn lanes_with(op: ThreadOp, mask: u32) -> Vec<Option<ThreadOp>> {
+        (0..WARP_WIDTH).map(|l| (mask & (1 << l) != 0).then_some(op)).collect()
+    }
+
+    /// Drives the unit until `warp` completes, answering all memory requests
+    /// after `mem_latency` ticks.
+    fn run_to_completion(unit: &mut RtUnit, mem_latency: u64, max: u64) -> (u64, Vec<usize>) {
+        let mut responses: Vec<(u64, EntryId, usize)> = Vec::new();
+        let mut all_done = Vec::new();
+        for now in 0..max {
+            // Model a perfect-bandwidth memory of fixed latency.
+            if let Some(req) = unit.peek_fifo() {
+                unit.pop_fifo();
+                responses.push((now + mem_latency, req.entry, req.req));
+            }
+            responses.retain(|&(at, entry, req)| {
+                if at == now {
+                    unit.on_mem_response(entry, req);
+                    false
+                } else {
+                    true
+                }
+            });
+            unit.tick();
+            all_done.extend(unit.take_completed());
+            if unit.idle() && !all_done.is_empty() {
+                return (now, all_done);
+            }
+        }
+        panic!("unit never went idle; completed so far: {all_done:?}");
+    }
+
+    #[test]
+    fn single_lane_ray_intersect_latency() {
+        let mut unit = RtUnit::new(HsuConfig::default(), 4);
+        let op = ThreadOp::HsuRayIntersect { node_addr: 0, bytes: 128, triangle: false };
+        unit.dispatch(7, 0, 1, &lanes_with(op, 1), 128);
+        let (cycles, done) = run_to_completion(&mut unit, 20, 1000);
+        assert_eq!(done, vec![7]);
+        // 20 (mem) + 9 (pipe) + small bookkeeping.
+        assert!((25..40).contains(&cycles), "took {cycles} cycles");
+        let s = unit.stats();
+        assert_eq!(s.warp_instructions, 1);
+        assert_eq!(s.isa_instructions, 1);
+        assert_eq!(s.pipeline.completed[OperatingMode::RayBox.index()], 1);
+    }
+
+    #[test]
+    fn multibeat_distance_counts_isa_instructions() {
+        let mut unit = RtUnit::new(HsuConfig::default(), 4);
+        unit.dispatch(3, 1, 1, &lanes_with(euclid_op(96), 1), 128);
+        let (_, done) = run_to_completion(&mut unit, 10, 1000);
+        assert_eq!(done, vec![3]);
+        let s = unit.stats();
+        assert_eq!(s.isa_instructions, 6, "96 dims / 16 lanes = 6 beats");
+        assert_eq!(s.pipeline.completed[OperatingMode::Euclid.index()], 6);
+    }
+
+    #[test]
+    fn sparse_mask_issues_only_active_lanes() {
+        let mut unit = RtUnit::new(HsuConfig::default(), 4);
+        let mask = (1 << 3) | (1 << 30);
+        unit.dispatch(1, 0, mask, &lanes_with(euclid_op(16), mask), 128);
+        let (_, _) = run_to_completion(&mut unit, 5, 1000);
+        let s = unit.stats();
+        assert_eq!(s.isa_instructions, 2, "one beat per active lane");
+    }
+
+    #[test]
+    fn datapath_width_reduces_beats() {
+        for (width, beats) in [(4usize, 24u64), (8, 12), (16, 6), (32, 3)] {
+            let cfg = HsuConfig::default().with_euclid_width(width);
+            let mut unit = RtUnit::new(cfg, 4);
+            unit.dispatch(0, 0, 1, &lanes_with(euclid_op(96), 1), 128);
+            run_to_completion(&mut unit, 5, 2000);
+            assert_eq!(unit.stats().isa_instructions, beats, "width {width}");
+        }
+    }
+
+    #[test]
+    fn key_compare_chains() {
+        let mut unit = RtUnit::new(HsuConfig::default(), 4);
+        let op = ThreadOp::HsuKeyCompare { node_addr: 0x2000, separators: 255 };
+        unit.dispatch(0, 0, 1, &lanes_with(op, 1), 128);
+        run_to_completion(&mut unit, 5, 1000);
+        let s = unit.stats();
+        assert_eq!(s.isa_instructions, 8, "ceil(255/36) = 8");
+        assert_eq!(s.pipeline.completed[OperatingMode::KeyCompare.index()], 8);
+    }
+
+    #[test]
+    fn warp_buffer_fills_and_stalls() {
+        let cfg = HsuConfig::default().with_warp_buffer(2);
+        let mut unit = RtUnit::new(cfg, 4);
+        let op = euclid_op(16);
+        assert!(unit.grant(&[true, false, false, false]).is_some());
+        unit.dispatch(0, 0, 1, &lanes_with(op, 1), 128);
+        assert!(unit.grant(&[false, true, false, false]).is_some());
+        unit.dispatch(1, 1, 1, &lanes_with(op, 1), 128);
+        // Buffer full: grant refuses and counts a stall.
+        assert!(unit.grant(&[false, false, true, false]).is_none());
+        assert_eq!(unit.stats().dispatch_stalls, 1);
+    }
+
+    #[test]
+    fn baseline_rejects_extensions() {
+        let unit = RtUnit::new(HsuConfig::baseline_rt(), 4);
+        assert!(unit.supports(&ThreadOp::HsuRayIntersect {
+            node_addr: 0,
+            bytes: 128,
+            triangle: false
+        }));
+        assert!(!unit.supports(&euclid_op(16)));
+        assert!(!unit.supports(&ThreadOp::HsuKeyCompare { node_addr: 0, separators: 8 }));
+    }
+
+    #[test]
+    fn two_entries_overlap_memory_but_serialize_datapath() {
+        let mut unit = RtUnit::new(HsuConfig::default(), 4);
+        unit.dispatch(0, 0, 1, &lanes_with(euclid_op(64), 1), 128);
+        unit.dispatch(1, 1, 1, &lanes_with(euclid_op(64), 1), 128);
+        let (cycles, mut done) = run_to_completion(&mut unit, 50, 5000);
+        done.sort_unstable();
+        assert_eq!(done, vec![0, 1]);
+        // Two 256-byte fetches (2+2 lines over the 1/cycle FIFO) under a
+        // 50-cycle memory: overlapped, so far less than 2 full serial trips.
+        assert!(cycles < 2 * (50 + 9 + 8), "no overlap: {cycles}");
+    }
+
+    #[test]
+    fn fifo_order_is_preserved_on_rejection() {
+        let mut unit = RtUnit::new(HsuConfig::default(), 4);
+        unit.dispatch(0, 0, 1, &lanes_with(euclid_op(64), 1), 128);
+        let first = unit.peek_fifo().unwrap();
+        let popped = unit.pop_fifo();
+        assert_eq!(first, popped);
+        unit.push_back_front(popped);
+        assert_eq!(unit.peek_fifo().unwrap(), first);
+    }
+}

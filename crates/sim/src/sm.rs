@@ -1,0 +1,607 @@
+//! The streaming multiprocessor: resident warps, GTO scheduling per
+//! sub-core, the load-store path, and the shared RT/HSU unit.
+
+use std::collections::VecDeque;
+
+use crate::config::GpuConfig;
+use crate::memory::{AccessOutcome, MemorySystem, Requester};
+use crate::rt_unit::RtUnit;
+use crate::trace::{OpClass, ThreadOp, WarpInstruction, WarpTrace};
+
+/// Waiter-token encoding: bit 63 selects RT-unit responses.
+const RT_FLAG: u64 = 1 << 63;
+
+/// Execution state of a resident warp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WarpStatus {
+    /// May issue its next instruction.
+    Ready,
+    /// Blocked until a fixed cycle (ALU / shared latency).
+    WaitUntil(u64),
+    /// Blocked on `outstanding` memory lines.
+    WaitMem(u32),
+    /// Blocked on the RT/HSU unit's writeback.
+    WaitHsu,
+    /// Trace exhausted.
+    Finished,
+}
+
+#[derive(Debug)]
+struct WarpSlot {
+    trace: WarpTrace,
+    pc: usize,
+    status: WarpStatus,
+    sub_core: usize,
+    /// Global program-order id (GTO's "oldest" tiebreak).
+    age: u64,
+}
+
+/// Per-SM statistics.
+#[derive(Debug, Clone, Default)]
+pub struct SmStats {
+    /// Warp instructions issued, by class.
+    pub issued: [u64; 7],
+    /// Expanded instruction count (Alu/Shared runs weighted by max lane
+    /// count), by class — the paper's cycle-share analysis (Fig. 7) uses
+    /// these weights.
+    pub issued_weighted: [u64; 7],
+    /// Cycles where at least one sub-core issued.
+    pub active_cycles: u64,
+    /// Warps run to completion.
+    pub warps_retired: u64,
+}
+
+/// One streaming multiprocessor.
+#[derive(Debug)]
+pub struct Sm {
+    index: usize,
+    sub_cores: usize,
+    max_warps: usize,
+    alu_latency: u64,
+    shared_latency: u64,
+    line_bytes: u64,
+    /// Warps waiting to become resident.
+    launch_queue: VecDeque<WarpTrace>,
+    warps: Vec<WarpSlot>,
+    /// GTO state: last-issued warp per sub-core.
+    last_issued: Vec<Option<usize>>,
+    /// Issue-slot occupancy: a sub-core executing an N-instruction ALU or
+    /// shared-memory run cannot issue anything else until it drains.
+    sub_core_busy_until: Vec<u64>,
+    /// Per-line load requests awaiting the L1 port: `(line, warp slot)`.
+    lsu_queue: VecDeque<(u64, usize)>,
+    /// Round-robin token for the shared L1 port (LSU vs RT FIFO, §VI-H).
+    port_prefers_rt: bool,
+    rt: RtUnit,
+    next_age: u64,
+    stats: SmStats,
+}
+
+impl Sm {
+    /// Creates SM `index` under `cfg`.
+    pub fn new(index: usize, cfg: &GpuConfig) -> Self {
+        Sm {
+            index,
+            sub_cores: cfg.sub_cores,
+            max_warps: cfg.max_warps_per_sm,
+            alu_latency: cfg.alu_latency,
+            shared_latency: cfg.shared_latency,
+            line_bytes: cfg.line_bytes as u64,
+            launch_queue: VecDeque::new(),
+            warps: Vec::new(),
+            last_issued: vec![None; cfg.sub_cores],
+            sub_core_busy_until: vec![0; cfg.sub_cores],
+            lsu_queue: VecDeque::new(),
+            port_prefers_rt: false,
+            rt: RtUnit::new(cfg.hsu.clone(), cfg.sub_cores),
+            next_age: 0,
+            stats: SmStats::default(),
+        }
+    }
+
+    /// Queues a warp for execution on this SM.
+    pub fn enqueue_warp(&mut self, trace: WarpTrace) {
+        self.launch_queue.push_back(trace);
+    }
+
+    /// Returns `true` when every warp has retired and all queues are empty.
+    pub fn finished(&self) -> bool {
+        self.launch_queue.is_empty()
+            && self.warps.iter().all(|w| w.status == WarpStatus::Finished)
+            && self.lsu_queue.is_empty()
+            && self.rt.idle()
+    }
+
+    /// Handles a memory completion token.
+    pub fn on_mem_done(&mut self, waiter: u64) {
+        if waiter & RT_FLAG != 0 {
+            let entry = ((waiter >> 16) & 0xffff) as usize;
+            let req = (waiter & 0xffff) as usize;
+            self.rt.on_mem_response(entry, req);
+        } else {
+            let slot = waiter as usize;
+            let warp = &mut self.warps[slot];
+            if let WarpStatus::WaitMem(outstanding) = warp.status {
+                let left = outstanding - 1;
+                warp.status = if left == 0 { WarpStatus::Ready } else { WarpStatus::WaitMem(left) };
+            } else {
+                panic!("memory completion for warp not waiting on memory");
+            }
+        }
+    }
+
+    /// Advances the SM one cycle.
+    pub fn tick(&mut self, now: u64, mem: &mut MemorySystem) {
+        self.fill_resident_slots();
+        self.unblock_timed_warps(now);
+
+        // RT unit writebacks resume their warps.
+        self.rt.tick();
+        for slot in self.rt.take_completed() {
+            debug_assert_eq!(self.warps[slot].status, WarpStatus::WaitHsu);
+            self.warps[slot].status = WarpStatus::Ready;
+        }
+
+        self.arbitrate_l1_port(now, mem);
+        self.issue(now, mem);
+    }
+
+    fn fill_resident_slots(&mut self) {
+        if self.launch_queue.is_empty() {
+            return;
+        }
+        // Reuse finished slots first, then grow up to the residency limit.
+        for i in 0..self.warps.len() {
+            if self.warps[i].status == WarpStatus::Finished {
+                if let Some(trace) = self.launch_queue.pop_front() {
+                    let sub_core = i % self.sub_cores;
+                    self.warps[i] = WarpSlot {
+                        trace,
+                        pc: 0,
+                        status: WarpStatus::Ready,
+                        sub_core,
+                        age: self.next_age,
+                    };
+                    self.next_age += 1;
+                }
+            }
+        }
+        while self.warps.len() < self.max_warps {
+            let Some(trace) = self.launch_queue.pop_front() else { break };
+            let sub_core = self.warps.len() % self.sub_cores;
+            self.warps.push(WarpSlot {
+                trace,
+                pc: 0,
+                status: WarpStatus::Ready,
+                sub_core,
+                age: self.next_age,
+            });
+            self.next_age += 1;
+        }
+    }
+
+    fn unblock_timed_warps(&mut self, now: u64) {
+        for warp in &mut self.warps {
+            if let WarpStatus::WaitUntil(t) = warp.status {
+                if t <= now {
+                    warp.status = WarpStatus::Ready;
+                }
+            }
+        }
+    }
+
+    /// One L1 access per cycle, round-robin between the LSU queue and the RT
+    /// unit's FIFO (they time-share the cache, §VI-H). Under a private or
+    /// bypass RT-cache policy (§VI-I) the RT FIFO gets its own port and both
+    /// sides proceed each cycle.
+    fn arbitrate_l1_port(&mut self, now: u64, mem: &mut MemorySystem) {
+        let lsu_pending = !self.lsu_queue.is_empty();
+        let rt_pending = self.rt.peek_fifo().is_some();
+        if mem.rt_has_private_path() {
+            if rt_pending {
+                self.issue_rt_fetch(now, mem);
+            }
+            if lsu_pending {
+                self.issue_lsu_access(now, mem);
+            }
+            return;
+        }
+        let pick_rt = match (lsu_pending, rt_pending) {
+            (false, false) => return,
+            (true, false) => false,
+            (false, true) => true,
+            (true, true) => self.port_prefers_rt,
+        };
+        self.port_prefers_rt = !pick_rt;
+        if pick_rt {
+            self.issue_rt_fetch(now, mem);
+        } else {
+            self.issue_lsu_access(now, mem);
+        }
+    }
+
+    fn issue_rt_fetch(&mut self, now: u64, mem: &mut MemorySystem) {
+        let req = self.rt.pop_fifo();
+        let waiter = RT_FLAG | ((req.entry as u64) << 16) | req.req as u64;
+        match mem.access(self.index, req.line, waiter, Requester::RtUnit, now) {
+            AccessOutcome::Accepted => {}
+            AccessOutcome::Rejected => self.rt.push_back_front(req),
+        }
+    }
+
+    fn issue_lsu_access(&mut self, now: u64, mem: &mut MemorySystem) {
+        let (line, slot) = *self.lsu_queue.front().expect("checked non-empty");
+        match mem.access(self.index, line, slot as u64, Requester::Lsu, now) {
+            AccessOutcome::Accepted => {
+                self.lsu_queue.pop_front();
+            }
+            AccessOutcome::Rejected => {}
+        }
+    }
+
+    /// GTO pick for one sub-core: the last-issued warp if still ready,
+    /// otherwise the oldest ready warp.
+    fn gto_pick(&self, sub_core: usize) -> Option<usize> {
+        let issuable = |w: &WarpSlot| {
+            w.sub_core == sub_core
+                && w.status == WarpStatus::Ready
+                && w.pc < w.trace.instructions.len()
+        };
+        if let Some(last) = self.last_issued[sub_core] {
+            if last < self.warps.len() && issuable(&self.warps[last]) {
+                return Some(last);
+            }
+        }
+        // Warps are statically assigned sub-core = slot % sub_cores, so only
+        // scan this sub-core's stripe.
+        let mut best: Option<(u64, usize)> = None;
+        let mut i = sub_core;
+        while i < self.warps.len() {
+            let w = &self.warps[i];
+            debug_assert_eq!(w.sub_core, sub_core);
+            if issuable(w) && best.is_none_or(|(age, _)| w.age < age) {
+                best = Some((w.age, i));
+            }
+            i += self.sub_cores;
+        }
+        best.map(|(_, i)| i)
+    }
+
+    fn issue(&mut self, now: u64, mem: &mut MemorySystem) {
+        // Phase 1: each sub-core picks its GTO warp; note which want the HSU.
+        // Sub-cores still draining an ALU/shared run issue nothing.
+        let picks: Vec<Option<usize>> = (0..self.sub_cores)
+            .map(|sc| {
+                if self.sub_core_busy_until[sc] > now {
+                    None
+                } else {
+                    self.gto_pick(sc)
+                }
+            })
+            .collect();
+        let hsu_requests: Vec<bool> = picks
+            .iter()
+            .map(|&p| {
+                p.is_some_and(|slot| {
+                    let w = &self.warps[slot];
+                    w.trace.instructions[w.pc]
+                        .lanes
+                        .iter()
+                        .flatten()
+                        .next()
+                        .is_some_and(|op| op.is_hsu())
+                })
+            })
+            .collect();
+
+        // Phase 2: the RT unit grants at most one sub-core's dispatch.
+        let granted = if hsu_requests.iter().any(|&r| r) {
+            self.rt.grant(&hsu_requests)
+        } else {
+            None
+        };
+
+        // Phase 3: issue per sub-core.
+        let mut any_issued = false;
+        for sc in 0..self.sub_cores {
+            let Some(slot) = picks[sc] else { continue };
+            let wants_hsu = hsu_requests[sc];
+            if wants_hsu && granted != Some(sc) {
+                continue; // arbiter did not pick this sub-core; retry next cycle
+            }
+            let instr = self.warps[slot].trace.instructions[self.warps[slot].pc].clone();
+            let class = instr.class();
+            self.stats.issued[class.index()] += 1;
+            self.stats.issued_weighted[class.index()] += weighted_count(&instr);
+            any_issued = true;
+            self.last_issued[sc] = Some(slot);
+
+            match class {
+                OpClass::Alu | OpClass::Shared => {
+                    let count = max_run(&instr) as u64;
+                    let lat = if class == OpClass::Alu {
+                        self.alu_latency
+                    } else {
+                        self.shared_latency
+                    };
+                    // The run occupies the sub-core's issue slot for `count`
+                    // cycles; the warp itself also waits out the latency.
+                    self.sub_core_busy_until[sc] = now + count;
+                    self.warps[slot].status = WarpStatus::WaitUntil(now + count + lat);
+                }
+                OpClass::Load => {
+                    let lines = coalesce(&instr, self.line_bytes);
+                    debug_assert!(!lines.is_empty());
+                    for line in &lines {
+                        self.lsu_queue.push_back((*line, slot));
+                    }
+                    self.warps[slot].status = WarpStatus::WaitMem(lines.len() as u32);
+                }
+                OpClass::Store => {
+                    for line in coalesce(&instr, self.line_bytes) {
+                        mem.store(self.index, line, Requester::Lsu);
+                    }
+                    self.warps[slot].status = WarpStatus::WaitUntil(now + 1);
+                }
+                OpClass::HsuRayIntersect | OpClass::HsuDistance | OpClass::HsuKeyCompare => {
+                    let lead = instr.lanes.iter().flatten().next().expect("active lane");
+                    assert!(
+                        self.rt.supports(lead),
+                        "kernel emitted {:?} but the unit lacks HSU extensions \
+                         (baseline traces must lower these ops)",
+                        class
+                    );
+                    self.rt.dispatch(
+                        slot,
+                        sc,
+                        instr.active_mask,
+                        &instr.lanes,
+                        self.line_bytes,
+                    );
+                    self.warps[slot].status = WarpStatus::WaitHsu;
+                }
+            }
+
+            // Advance the program counter; retire at trace end.
+            let warp = &mut self.warps[slot];
+            warp.pc += 1;
+            if warp.pc == warp.trace.instructions.len() {
+                // The warp drains its outstanding work, then is finished. We
+                // conservatively let in-flight memory/HSU complete before
+                // retirement by only marking Finished when Ready.
+                if warp.status == WarpStatus::Ready
+                    || matches!(warp.status, WarpStatus::WaitUntil(_))
+                {
+                    warp.status = WarpStatus::Finished;
+                    self.stats.warps_retired += 1;
+                } else {
+                    // Mark for retirement on final unblock.
+                }
+            }
+        }
+        if any_issued {
+            self.stats.active_cycles += 1;
+        }
+
+        // Retire warps whose last instruction's stall has resolved.
+        for warp in &mut self.warps {
+            if warp.pc == warp.trace.instructions.len()
+                && warp.status == WarpStatus::Ready
+            {
+                warp.status = WarpStatus::Finished;
+                self.stats.warps_retired += 1;
+            }
+        }
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> &SmStats {
+        &self.stats
+    }
+
+    /// The RT/HSU unit's statistics.
+    pub fn rt_stats(&self) -> crate::rt_unit::RtUnitStats {
+        self.rt.stats()
+    }
+}
+
+/// Expanded instruction weight of a warp instruction: Alu/Shared runs count
+/// their per-lane instruction totals; other classes count active lanes.
+fn weighted_count(instr: &WarpInstruction) -> u64 {
+    instr
+        .lanes
+        .iter()
+        .flatten()
+        .map(|op| match op {
+            ThreadOp::Alu { count } | ThreadOp::Shared { count } => *count as u64,
+            _ => 1,
+        })
+        .sum()
+}
+
+/// Maximum Alu/Shared run length across active lanes (lockstep SIMT executes
+/// the longest lane's count).
+fn max_run(instr: &WarpInstruction) -> u32 {
+    instr
+        .lanes
+        .iter()
+        .flatten()
+        .map(|op| match op {
+            ThreadOp::Alu { count } | ThreadOp::Shared { count } => *count,
+            _ => 1,
+        })
+        .max()
+        .unwrap_or(1)
+}
+
+/// Unique cache lines touched by a load/store warp instruction.
+fn coalesce(instr: &WarpInstruction, line_bytes: u64) -> Vec<u64> {
+    let mut lines: Vec<u64> = instr
+        .lanes
+        .iter()
+        .flatten()
+        .flat_map(|op| {
+            let (addr, bytes) = match op {
+                ThreadOp::Load { addr, bytes } | ThreadOp::Store { addr, bytes } => {
+                    (*addr, *bytes as u64)
+                }
+                other => panic!("coalesce on non-memory op {other:?}"),
+            };
+            let first = addr / line_bytes;
+            let last = (addr + bytes.max(1) - 1) / line_bytes;
+            first..=last
+        })
+        .collect();
+    lines.sort_unstable();
+    lines.dedup();
+    lines
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{KernelTrace, ThreadTrace};
+
+    fn single_warp_kernel(ops: Vec<ThreadOp>, lanes: usize) -> WarpTrace {
+        let mut k = KernelTrace::new("t");
+        for _ in 0..lanes {
+            let mut t = ThreadTrace::new();
+            for &op in &ops {
+                t.push(op);
+            }
+            k.push_thread(t);
+        }
+        k.warps().remove(0)
+    }
+
+    fn run(sm: &mut Sm, mem: &mut MemorySystem, max: u64) -> u64 {
+        let mut done = Vec::new();
+        for now in 0..max {
+            done.clear();
+            mem.tick(now, &mut done);
+            for &(sm_idx, waiter) in &done {
+                assert_eq!(sm_idx, 0);
+                sm.on_mem_done(waiter);
+            }
+            sm.tick(now, mem);
+            if sm.finished() {
+                return now;
+            }
+        }
+        panic!("SM never finished");
+    }
+
+    #[test]
+    fn alu_only_warp_finishes_quickly() {
+        let cfg = GpuConfig::tiny();
+        let mut sm = Sm::new(0, &cfg);
+        let mut mem = MemorySystem::new(&cfg);
+        sm.enqueue_warp(single_warp_kernel(vec![ThreadOp::Alu { count: 10 }], 32));
+        let cycles = run(&mut sm, &mut mem, 10_000);
+        assert!(cycles < 40, "took {cycles}");
+        assert_eq!(sm.stats().issued[OpClass::Alu.index()], 1);
+        assert_eq!(sm.stats().issued_weighted[OpClass::Alu.index()], 10 * 32);
+        assert_eq!(sm.stats().warps_retired, 1);
+    }
+
+    #[test]
+    fn coalesced_load_is_one_line() {
+        let cfg = GpuConfig::tiny();
+        let mut sm = Sm::new(0, &cfg);
+        let mut mem = MemorySystem::new(&cfg);
+        // 32 lanes loading consecutive 4-byte words: exactly one 128-B line.
+        let mut k = KernelTrace::new("c");
+        for lane in 0..32u64 {
+            let mut t = ThreadTrace::new();
+            t.push(ThreadOp::Load { addr: lane * 4, bytes: 4 });
+            k.push_thread(t);
+        }
+        sm.enqueue_warp(k.warps().remove(0));
+        run(&mut sm, &mut mem, 100_000);
+        assert_eq!(mem.stats().l1_lsu_accesses, 1, "must coalesce to one access");
+    }
+
+    #[test]
+    fn strided_load_splits_lines() {
+        let cfg = GpuConfig::tiny();
+        let mut sm = Sm::new(0, &cfg);
+        let mut mem = MemorySystem::new(&cfg);
+        let mut k = KernelTrace::new("s");
+        for lane in 0..32u64 {
+            let mut t = ThreadTrace::new();
+            t.push(ThreadOp::Load { addr: lane * 256, bytes: 4 });
+            k.push_thread(t);
+        }
+        sm.enqueue_warp(k.warps().remove(0));
+        run(&mut sm, &mut mem, 200_000);
+        assert_eq!(mem.stats().l1_lsu_accesses, 32, "non-coalescable accesses");
+    }
+
+    #[test]
+    fn hsu_instruction_round_trip() {
+        let cfg = GpuConfig::tiny();
+        let mut sm = Sm::new(0, &cfg);
+        let mut mem = MemorySystem::new(&cfg);
+        sm.enqueue_warp(single_warp_kernel(
+            vec![
+                ThreadOp::HsuRayIntersect { node_addr: 0x1000, bytes: 128, triangle: false },
+                ThreadOp::Alu { count: 2 },
+            ],
+            8,
+        ));
+        run(&mut sm, &mut mem, 100_000);
+        let rt = sm.rt_stats();
+        assert_eq!(rt.warp_instructions, 1);
+        assert_eq!(rt.isa_instructions, 8, "one per active lane");
+        // All eight lanes fetch the same node line: coalesced to one access.
+        assert_eq!(mem.stats().l1_rt_accesses, 1);
+        assert_eq!(sm.stats().warps_retired, 1);
+    }
+
+    #[test]
+    fn multiple_warps_share_sub_cores() {
+        let cfg = GpuConfig::tiny();
+        let mut sm = Sm::new(0, &cfg);
+        let mut mem = MemorySystem::new(&cfg);
+        for _ in 0..8 {
+            sm.enqueue_warp(single_warp_kernel(vec![ThreadOp::Alu { count: 100 }], 32));
+        }
+        let cycles = run(&mut sm, &mut mem, 100_000);
+        // 8 warps / 4 sub-cores = 2 per sub-core, ~2 * 100 cycles.
+        assert!(cycles < 450, "took {cycles}");
+        assert_eq!(sm.stats().warps_retired, 8);
+    }
+
+    #[test]
+    fn gto_keeps_issuing_same_warp() {
+        let cfg = GpuConfig::tiny();
+        let mut sm = Sm::new(0, &cfg);
+        let mut mem = MemorySystem::new(&cfg);
+        // Two warps of back-to-back single ALU ops on the same sub-core
+        // would interleave under round-robin; GTO sticks with the first.
+        // We verify completion (scheduling correctness), not the exact order.
+        for _ in 0..2 {
+            sm.enqueue_warp(single_warp_kernel(vec![ThreadOp::Alu { count: 1 }; 4], 32));
+        }
+        run(&mut sm, &mut mem, 100_000);
+        assert_eq!(sm.stats().warps_retired, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "lacks HSU extensions")]
+    fn baseline_unit_rejects_distance_ops() {
+        let mut cfg = GpuConfig::tiny();
+        cfg.hsu = hsu_core::HsuConfig::baseline_rt();
+        let mut sm = Sm::new(0, &cfg);
+        let mut mem = MemorySystem::new(&cfg);
+        sm.enqueue_warp(single_warp_kernel(
+            vec![ThreadOp::HsuDistance {
+                metric: hsu_geometry::point::Metric::Euclidean,
+                dim: 16,
+                candidate_addr: 0,
+            }],
+            1,
+        ));
+        run(&mut sm, &mut mem, 1000);
+    }
+}

@@ -1,0 +1,258 @@
+//! Compact binary serialization of kernel traces.
+//!
+//! The paper's methodology is trace-driven: SASS traces are post-processed
+//! once and replayed many times (§V-C). This module gives the reproduction
+//! the same workflow — a [`KernelTrace`] can be written to a byte stream and
+//! replayed later without regenerating the workload (useful for the
+//! sensitivity sweeps, which re-simulate the same trace under many machine
+//! configurations).
+//!
+//! The format is little-endian, versioned, and validated on read.
+
+use std::io::{self, Read, Write};
+
+use hsu_geometry::point::Metric;
+
+use crate::trace::{KernelTrace, ThreadOp, ThreadTrace};
+
+/// Magic bytes identifying a trace stream.
+pub const MAGIC: &[u8; 4] = b"HSUT";
+/// Current format version.
+pub const VERSION: u8 = 1;
+
+const TAG_ALU: u8 = 0;
+const TAG_LOAD: u8 = 1;
+const TAG_STORE: u8 = 2;
+const TAG_SHARED: u8 = 3;
+const TAG_RAY_BOX: u8 = 4;
+const TAG_RAY_TRI: u8 = 5;
+const TAG_EUCLID: u8 = 6;
+const TAG_ANGULAR: u8 = 7;
+const TAG_KEY: u8 = 8;
+
+/// Writes `trace` to `w`.
+///
+/// # Errors
+///
+/// Returns any I/O error from the writer.
+pub fn write_trace<W: Write>(trace: &KernelTrace, mut w: W) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&[VERSION])?;
+    let name = trace.name().as_bytes();
+    w.write_all(&(name.len() as u32).to_le_bytes())?;
+    w.write_all(name)?;
+    w.write_all(&(trace.thread_count() as u32).to_le_bytes())?;
+    for thread in trace.threads() {
+        w.write_all(&(thread.ops().len() as u32).to_le_bytes())?;
+        for op in thread.ops() {
+            write_op(op, &mut w)?;
+        }
+    }
+    Ok(())
+}
+
+fn write_op<W: Write>(op: &ThreadOp, w: &mut W) -> io::Result<()> {
+    match *op {
+        ThreadOp::Alu { count } => {
+            w.write_all(&[TAG_ALU])?;
+            w.write_all(&count.to_le_bytes())
+        }
+        ThreadOp::Load { addr, bytes } => {
+            w.write_all(&[TAG_LOAD])?;
+            w.write_all(&addr.to_le_bytes())?;
+            w.write_all(&bytes.to_le_bytes())
+        }
+        ThreadOp::Store { addr, bytes } => {
+            w.write_all(&[TAG_STORE])?;
+            w.write_all(&addr.to_le_bytes())?;
+            w.write_all(&bytes.to_le_bytes())
+        }
+        ThreadOp::Shared { count } => {
+            w.write_all(&[TAG_SHARED])?;
+            w.write_all(&count.to_le_bytes())
+        }
+        ThreadOp::HsuRayIntersect { node_addr, bytes, triangle } => {
+            w.write_all(&[if triangle { TAG_RAY_TRI } else { TAG_RAY_BOX }])?;
+            w.write_all(&node_addr.to_le_bytes())?;
+            w.write_all(&bytes.to_le_bytes())
+        }
+        ThreadOp::HsuDistance { metric, dim, candidate_addr } => {
+            let tag = match metric {
+                Metric::Euclidean => TAG_EUCLID,
+                Metric::Angular => TAG_ANGULAR,
+            };
+            w.write_all(&[tag])?;
+            w.write_all(&candidate_addr.to_le_bytes())?;
+            w.write_all(&dim.to_le_bytes())
+        }
+        ThreadOp::HsuKeyCompare { node_addr, separators } => {
+            w.write_all(&[TAG_KEY])?;
+            w.write_all(&node_addr.to_le_bytes())?;
+            w.write_all(&separators.to_le_bytes())
+        }
+    }
+}
+
+/// Reads a trace previously written by [`write_trace`].
+///
+/// # Errors
+///
+/// Returns `InvalidData` for bad magic/version/tags, or any reader error.
+pub fn read_trace<R: Read>(mut r: R) -> io::Result<KernelTrace> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad trace magic"));
+    }
+    let version = read_u8(&mut r)?;
+    if version != VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported trace version {version}"),
+        ));
+    }
+    let name_len = read_u32(&mut r)? as usize;
+    let mut name = vec![0u8; name_len];
+    r.read_exact(&mut name)?;
+    let name = String::from_utf8(name)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    let threads = read_u32(&mut r)? as usize;
+    let mut trace = KernelTrace::new(name);
+    for _ in 0..threads {
+        let ops = read_u32(&mut r)? as usize;
+        let mut thread = ThreadTrace::new();
+        for _ in 0..ops {
+            thread.push(read_op(&mut r)?);
+        }
+        trace.push_thread(thread);
+    }
+    Ok(trace)
+}
+
+fn read_op<R: Read>(r: &mut R) -> io::Result<ThreadOp> {
+    let tag = read_u8(r)?;
+    Ok(match tag {
+        TAG_ALU => ThreadOp::Alu { count: read_u32(r)? },
+        TAG_LOAD => ThreadOp::Load { addr: read_u64(r)?, bytes: read_u32(r)? },
+        TAG_STORE => ThreadOp::Store { addr: read_u64(r)?, bytes: read_u32(r)? },
+        TAG_SHARED => ThreadOp::Shared { count: read_u32(r)? },
+        TAG_RAY_BOX | TAG_RAY_TRI => ThreadOp::HsuRayIntersect {
+            node_addr: read_u64(r)?,
+            bytes: read_u32(r)?,
+            triangle: tag == TAG_RAY_TRI,
+        },
+        TAG_EUCLID | TAG_ANGULAR => ThreadOp::HsuDistance {
+            metric: if tag == TAG_EUCLID { Metric::Euclidean } else { Metric::Angular },
+            candidate_addr: read_u64(r)?,
+            dim: read_u32(r)?,
+        },
+        TAG_KEY => ThreadOp::HsuKeyCompare { node_addr: read_u64(r)?, separators: read_u32(r)? },
+        other => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unknown op tag {other}"),
+            ))
+        }
+    })
+}
+
+fn read_u8<R: Read>(r: &mut R) -> io::Result<u8> {
+    let mut b = [0u8; 1];
+    r.read_exact(&mut b)?;
+    Ok(b[0])
+}
+
+fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> KernelTrace {
+        let mut k = KernelTrace::new("sample-kernel");
+        for i in 0..70u64 {
+            let mut t = ThreadTrace::new();
+            t.push(ThreadOp::Alu { count: (i % 7 + 1) as u32 });
+            t.push(ThreadOp::Load { addr: i * 64, bytes: 16 });
+            t.push(ThreadOp::HsuRayIntersect { node_addr: i * 128, bytes: 64, triangle: i % 2 == 0 });
+            t.push(ThreadOp::HsuDistance {
+                metric: if i % 3 == 0 { Metric::Euclidean } else { Metric::Angular },
+                dim: (i % 200 + 1) as u32,
+                candidate_addr: i * 4,
+            });
+            t.push(ThreadOp::HsuKeyCompare { node_addr: i, separators: 255 });
+            t.push(ThreadOp::Store { addr: 0x7000_0000 + i, bytes: 8 });
+            t.push(ThreadOp::Shared { count: 3 });
+            k.push_thread(t);
+        }
+        k
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let original = sample_trace();
+        let mut buf = Vec::new();
+        write_trace(&original, &mut buf).unwrap();
+        let restored = read_trace(buf.as_slice()).unwrap();
+        assert_eq!(restored.name(), original.name());
+        assert_eq!(restored.thread_count(), original.thread_count());
+        assert_eq!(restored.total_instructions(), original.total_instructions());
+        for (a, b) in original.threads().iter().zip(restored.threads()) {
+            assert_eq!(a.ops(), b.ops());
+        }
+        // The simulator sees identical behaviour.
+        let gpu = crate::Gpu::new(crate::config::GpuConfig::tiny());
+        assert_eq!(gpu.run(&original).cycles, gpu.run(&restored).cycles);
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_version() {
+        assert!(read_trace(&b"NOPE\x01"[..]).is_err());
+        let mut buf = Vec::new();
+        write_trace(&KernelTrace::new("x"), &mut buf).unwrap();
+        buf[4] = 99; // version
+        assert!(read_trace(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn rejects_truncation_anywhere() {
+        let mut buf = Vec::new();
+        write_trace(&sample_trace(), &mut buf).unwrap();
+        for cut in [3usize, 5, 9, buf.len() / 2, buf.len() - 1] {
+            assert!(read_trace(&buf[..cut]).is_err(), "cut at {cut} accepted");
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_tag() {
+        let mut buf = Vec::new();
+        let mut k = KernelTrace::new("t");
+        let mut th = ThreadTrace::new();
+        th.push(ThreadOp::Alu { count: 1 });
+        k.push_thread(th);
+        write_trace(&k, &mut buf).unwrap();
+        // Corrupt the op tag (header: 4 magic + 1 ver + 4 namelen + 1 name +
+        // 4 threads + 4 ops = 18).
+        buf[18] = 200;
+        assert!(read_trace(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let mut buf = Vec::new();
+        write_trace(&KernelTrace::new("empty"), &mut buf).unwrap();
+        let restored = read_trace(buf.as_slice()).unwrap();
+        assert_eq!(restored.thread_count(), 0);
+        assert_eq!(restored.name(), "empty");
+    }
+}

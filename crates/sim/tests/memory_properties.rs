@@ -1,0 +1,155 @@
+//! Property-based tests of the memory hierarchy in isolation.
+
+use hsu_sim::config::{GpuConfig, RtCachePolicy};
+use hsu_sim::memory::{AccessOutcome, MemorySystem, Requester};
+use proptest::prelude::*;
+
+/// Drives the memory system until all issued waiters complete (or a bound).
+fn drain(mem: &mut MemorySystem, start: u64, expect: usize, max: u64) -> Vec<(u64, usize, u64)> {
+    let mut done = Vec::new();
+    let mut out = Vec::new();
+    for now in start..start + max {
+        done.clear();
+        mem.tick(now, &mut done);
+        for &(sm, w) in &done {
+            out.push((now, sm, w));
+        }
+        if out.len() >= expect && mem.quiescent() {
+            break;
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every accepted access completes exactly once, regardless of the
+    /// access pattern (conservation of waiters).
+    #[test]
+    fn every_accepted_access_completes_once(
+        lines in prop::collection::vec(0u64..512, 1..64),
+        requesters in prop::collection::vec(any::<bool>(), 1..64),
+    ) {
+        let cfg = GpuConfig::tiny();
+        let mut mem = MemorySystem::new(&cfg);
+        let mut accepted = Vec::new();
+        let mut now = 0u64;
+        for (i, &line) in lines.iter().enumerate() {
+            let req = if *requesters.get(i).unwrap_or(&false) {
+                Requester::RtUnit
+            } else {
+                Requester::Lsu
+            };
+            // Retry on MSHR-full like the SMs do.
+            loop {
+                match mem.access(0, line, i as u64, req, now) {
+                    AccessOutcome::Accepted => break,
+                    AccessOutcome::Rejected => {
+                        let mut sink = Vec::new();
+                        mem.tick(now, &mut sink);
+                        for (sm, w) in sink {
+                            accepted.push((now, sm, w));
+                        }
+                        now += 1;
+                        prop_assert!(now < 1_000_000, "livelock on MSHR retry");
+                    }
+                }
+            }
+            now += 1;
+        }
+        let done = drain(&mut mem, now, lines.len() - accepted.len(), 2_000_000);
+        let mut waiters: Vec<u64> =
+            accepted.iter().map(|&(_, _, w)| w).chain(done.iter().map(|&(_, _, w)| w)).collect();
+        waiters.sort_unstable();
+        let expect: Vec<u64> = (0..lines.len() as u64).collect();
+        prop_assert_eq!(waiters, expect);
+    }
+
+    /// Row locality is always >= 1 and total DRAM accesses never exceed the
+    /// number of distinct missed lines.
+    #[test]
+    fn dram_accounting_is_sane(lines in prop::collection::vec(0u64..10_000, 1..96)) {
+        let cfg = GpuConfig::tiny();
+        let mut mem = MemorySystem::new(&cfg);
+        let mut now = 0;
+        for (i, &line) in lines.iter().enumerate() {
+            while mem.access(0, line, i as u64, Requester::Lsu, now) == AccessOutcome::Rejected {
+                let mut sink = Vec::new();
+                mem.tick(now, &mut sink);
+                now += 1;
+            }
+            now += 1;
+        }
+        drain(&mut mem, now, lines.len(), 2_000_000);
+        let stats = mem.stats();
+        let distinct: std::collections::HashSet<u64> = lines.iter().copied().collect();
+        prop_assert!(stats.dram.accesses <= distinct.len() as u64);
+        if stats.dram.accesses > 0 {
+            prop_assert!(stats.dram.row_locality() >= 1.0);
+        }
+        // Conservation at the L1: hits + mshr hits + misses == accesses.
+        prop_assert_eq!(stats.l1.accesses(), lines.len() as u64);
+    }
+}
+
+#[test]
+fn streaming_access_has_high_row_locality() {
+    // Consecutive lines should mostly hit open DRAM rows under the
+    // row:bank:column interleaving (the Fig. 14 mechanism).
+    let cfg = GpuConfig::tiny();
+    let mut mem = MemorySystem::new(&cfg);
+    let mut now = 0;
+    for i in 0..256u64 {
+        while mem.access(0, i, i, Requester::Lsu, now) == AccessOutcome::Rejected {
+            let mut sink = Vec::new();
+            mem.tick(now, &mut sink);
+            now += 1;
+        }
+        now += 1;
+    }
+    drain(&mut mem, now, 256, 2_000_000);
+    let loc = mem.stats().dram.row_locality();
+    assert!(loc > 4.0, "streaming row locality {loc} too low");
+}
+
+#[test]
+fn private_rt_cache_isolates_pollution() {
+    // Fill the L1 with LSU lines, then stream RT lines through a private
+    // cache: the LSU lines must still hit afterwards.
+    let cfg = GpuConfig {
+        rt_cache: RtCachePolicy::Private { bytes: 8 * 1024 },
+        ..GpuConfig::tiny()
+    };
+    let mut mem = MemorySystem::new(&cfg);
+    let mut now = 0;
+    // Warm 16 LSU lines.
+    for i in 0..16u64 {
+        mem.access(0, i, i, Requester::Lsu, now);
+        now += 1;
+    }
+    drain(&mut mem, now, 16, 1_000_000);
+    now += 1_000_000;
+    // Stream 4096 RT lines (would evict everything if shared).
+    for i in 0..4096u64 {
+        while mem.access(0, 10_000 + i, 100 + i, Requester::RtUnit, now)
+            == AccessOutcome::Rejected
+        {
+            let mut sink = Vec::new();
+            mem.tick(now, &mut sink);
+            now += 1;
+        }
+        now += 1;
+    }
+    drain(&mut mem, now, 4096, 4_000_000);
+    now += 4_000_000;
+    // LSU lines still resident.
+    let before = mem.stats().l1.hits;
+    for i in 0..16u64 {
+        mem.access(0, i, 200 + i, Requester::Lsu, now);
+        now += 1;
+    }
+    drain(&mut mem, now, 16, 1_000_000);
+    let hits = mem.stats().l1.hits - before;
+    assert_eq!(hits, 16, "RT streaming must not evict LSU lines under Private policy");
+}

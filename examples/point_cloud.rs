@@ -1,0 +1,82 @@
+//! Point-cloud neighbour search: BVH (RTNN-style) vs k-d tree (FLANN-style).
+//!
+//! Builds both 3-D indices over a synthetic laser-scan stand-in, runs radius
+//! and nearest-neighbour queries, and compares traversal work — the
+//! structural difference behind the paper's BVH-NN vs FLANN results.
+//!
+//! Run with: `cargo run --release --example point_cloud`
+
+use hsu::bvh::Bvh4;
+use hsu::prelude::*;
+
+fn main() {
+    // A scanned-surface stand-in (Stanford-bunny shape class: points on a
+    // 2-D manifold embedded in 3-D).
+    let cloud = Dataset::generate_scaled(DatasetId::Bunny, 3, Some(20_000))
+        .points()
+        .expect("point dataset")
+        .clone();
+    println!("cloud: {} points (surface-sampled)", cloud.len());
+
+    // Pick a radius from the local density.
+    let sample_nn: f32 = (0..64)
+        .map(|i| {
+            cloud
+                .nearest_brute_force_excluding(cloud.point(i), i, Metric::Euclidean)
+                .1
+                .sqrt()
+        })
+        .sum::<f32>()
+        / 64.0;
+    let radius = sample_nn * 2.0;
+    println!("search radius: {radius:.4} (2x mean NN distance)");
+
+    // BVH over dilated leaf boxes, exactly the RTNN construction.
+    let prims: Vec<PointPrimitive> = cloud
+        .iter()
+        .enumerate()
+        .map(|(i, p)| PointPrimitive::new(i as u32, Vec3::new(p[0], p[1], p[2]), radius))
+        .collect();
+    let bvh2 = LbvhBuilder::default().build(&prims);
+    let bvh4 = Bvh4::from_bvh2(&bvh2);
+    bvh2.validate(&prims).expect("LBVH invariants hold");
+
+    // k-d tree over the raw points.
+    let kdtree = KdTree::build(&cloud, Metric::Euclidean);
+
+    let query = {
+        let p = cloud.point(1234);
+        Vec3::new(p[0] + radius * 0.3, p[1], p[2])
+    };
+
+    let (hits2, stats2) = bvh2.radius_search_counted(&prims, query, radius);
+    let (hits4, stats4) = bvh4.radius_search_counted(&prims, query, radius);
+    let (nn, kd_stats) = kdtree.nearest_exact(&cloud, &[query.x, query.y, query.z]);
+
+    println!("\nradius search around a perturbed cloud point:");
+    println!(
+        "  BVH2: {:>3} hits | {:>4} node tests (one RAY_INTERSECT each), {:>3} distance tests",
+        hits2.len(),
+        stats2.nodes_visited,
+        stats2.primitive_tests
+    );
+    println!(
+        "  BVH4: {:>3} hits | {:>4} node tests (4-wide, §VI-E's suggested upgrade)",
+        hits4.len(),
+        stats4.nodes_visited
+    );
+    assert_eq!(hits2.len(), hits4.len(), "BVH2 and BVH4 must agree");
+
+    let (nn_id, nn_d2) = nn.expect("non-empty cloud");
+    println!(
+        "  k-d : nearest = #{nn_id} at d={:.4} | {} splits (scalar compares), {} distance tests",
+        nn_d2.sqrt(),
+        kd_stats.splits_visited,
+        kd_stats.distance_tests
+    );
+    println!(
+        "\nthe BVH offloads its node tests to the HSU; the k-d tree's scalar\n\
+         splits stay on the SM — that is why the paper measures +33.9% for\n\
+         BVH-NN but only +16.4% for FLANN."
+    );
+}

@@ -1,0 +1,61 @@
+//! Vector search: a recommendation-system-style embedding index.
+//!
+//! Builds HNSW graphs over synthetic stand-ins for three of the paper's
+//! high-dimensional datasets, measures recall against brute force, and
+//! reports how many HSU instructions each query costs at different datapath
+//! widths (the Fig. 10 trade-off, from the software side).
+//!
+//! Run with: `cargo run --release --example vector_search`
+
+use hsu::prelude::*;
+
+fn main() {
+    for (id, n, queries) in [
+        (DatasetId::LastFm, 4_000, 50),   // 65-dim, angular
+        (DatasetId::Glove, 4_000, 50),    // 200-dim, angular
+        (DatasetId::Sift10k, 4_000, 50),  // 128-dim, euclidean
+    ] {
+        let spec = hsu::datasets::spec(id);
+        let metric = spec.metric.expect("ANN dataset");
+        let data = Dataset::generate_scaled(id, 1, Some(n))
+            .points()
+            .expect("point dataset")
+            .clone();
+        let graph = HnswGraph::build(&data, metric, GraphConfig::default(), 1);
+
+        // Held-out queries + exact ground truth.
+        let qs = hsu::datasets::query_set(&data, queries, 2);
+        let truth = hsu::datasets::ground_truth_knn(&data, &qs, 10, metric);
+
+        let mut found = Vec::new();
+        let mut dist_tests = 0u64;
+        let mut queue_ops = 0u64;
+        for q in qs.iter() {
+            let (hits, stats) = graph.search(&data, q, 10, 96);
+            dist_tests += stats.distance_tests;
+            queue_ops += stats.queue_ops;
+            found.push(hits.into_iter().map(|(i, _)| i).collect::<Vec<_>>());
+        }
+        let recall = hsu::datasets::recall_at_k(&found, &truth, 10);
+
+        // HSU instruction cost per distance at several datapath widths.
+        let beats: Vec<usize> = [4usize, 8, 16, 32]
+            .iter()
+            .map(|&w| HsuConfig::default().with_euclid_width(w).beats_for(metric, spec.dims))
+            .collect();
+
+        println!(
+            "{:<6} dim {:>4} ({}) | recall@10 {:.3} | {:.0} dist-tests/query, {:.0} queue-ops/query",
+            spec.abbr,
+            spec.dims,
+            metric,
+            recall,
+            dist_tests as f64 / queries as f64,
+            queue_ops as f64 / queries as f64,
+        );
+        println!(
+            "       beats per distance at euclid-width 4/8/16/32: {:?}",
+            beats
+        );
+    }
+}

@@ -1,0 +1,103 @@
+//! Functional quality of the three ANN structures on catalog datasets:
+//! every index must actually find neighbours before its timing means
+//! anything.
+
+use hsu::prelude::*;
+
+#[test]
+fn graph_vs_forest_vs_exact_on_sift() {
+    let data = Dataset::generate_scaled(DatasetId::Sift10k, 21, Some(1500))
+        .points()
+        .unwrap()
+        .clone();
+    let queries = hsu::datasets::query_set(&data, 40, 22);
+    let truth = hsu::datasets::ground_truth_knn(&data, &queries, 10, Metric::Euclidean);
+
+    let graph = HnswGraph::build(&data, Metric::Euclidean, GraphConfig::default(), 21);
+    let forest = KdForest::build(&data, Metric::Euclidean, 4, 21);
+
+    let mut graph_found = Vec::new();
+    let mut forest_found = Vec::new();
+    for q in queries.iter() {
+        let (g, _) = graph.search(&data, q, 10, 96);
+        graph_found.push(g.into_iter().map(|(i, _)| i).collect::<Vec<_>>());
+        let (f, _) = forest.knn(&data, q, 10, 512);
+        forest_found.push(f.into_iter().map(|(i, _)| i).collect::<Vec<_>>());
+    }
+    let graph_recall = hsu::datasets::recall_at_k(&graph_found, &truth, 10);
+    let forest_recall = hsu::datasets::recall_at_k(&forest_found, &truth, 10);
+    assert!(graph_recall >= 0.85, "graph recall {graph_recall}");
+    assert!(forest_recall >= 0.6, "forest recall {forest_recall}");
+}
+
+#[test]
+fn bvh_radius_search_is_exact_on_every_3d_dataset() {
+    for id in DatasetId::THREE_D {
+        let data = Dataset::generate_scaled(id, 31, Some(1200)).points().unwrap().clone();
+        // Radius from local density.
+        let nn = (0..32)
+            .map(|i| {
+                data.nearest_brute_force_excluding(data.point(i), i, Metric::Euclidean)
+                    .1
+                    .sqrt()
+            })
+            .sum::<f32>()
+            / 32.0;
+        let radius = (nn * 2.0).max(1e-4);
+        let prims: Vec<PointPrimitive> = data
+            .iter()
+            .enumerate()
+            .map(|(i, p)| PointPrimitive::new(i as u32, Vec3::new(p[0], p[1], p[2]), radius))
+            .collect();
+        let bvh = LbvhBuilder::default().build(&prims);
+        bvh.validate(&prims).unwrap_or_else(|e| panic!("{id}: {e}"));
+
+        for qi in [0usize, 100, 500] {
+            let q = data.point(qi);
+            let query = Vec3::new(q[0], q[1], q[2]);
+            let mut got: Vec<u32> =
+                bvh.radius_search(&prims, query, radius).iter().map(|n| n.id).collect();
+            got.sort_unstable();
+            let mut expect: Vec<u32> = prims
+                .iter()
+                .filter(|p| (p.position - query).length_squared() <= radius * radius)
+                .map(|p| p.id)
+                .collect();
+            expect.sort_unstable();
+            assert_eq!(got, expect, "{id}: radius search must be exact");
+        }
+    }
+}
+
+#[test]
+fn kdtree_exact_equals_brute_force_on_scan_data() {
+    let data = Dataset::generate_scaled(DatasetId::Dragon, 41, Some(2000))
+        .points()
+        .unwrap()
+        .clone();
+    let tree = KdTree::build(&data, Metric::Euclidean);
+    let queries = hsu::datasets::query_set(&data, 30, 42);
+    for q in queries.iter() {
+        let (found, _) = tree.nearest_exact(&data, q);
+        let (idx, d) = data.nearest_brute_force(q, Metric::Euclidean).unwrap();
+        let (fidx, fd) = found.unwrap();
+        // Equal distance wins ties; compare distances not indices.
+        assert!((fd - d).abs() <= 1e-6 * (1.0 + d), "{fidx} vs {idx}");
+    }
+}
+
+#[test]
+fn angular_datasets_search_under_angular_metric() {
+    for id in [DatasetId::Glove, DatasetId::Nytimes] {
+        let spec = hsu::datasets::spec(id);
+        assert_eq!(spec.metric, Some(Metric::Angular));
+        let data = Dataset::generate_scaled(id, 51, Some(800)).points().unwrap().clone();
+        let graph = HnswGraph::build(&data, Metric::Angular, GraphConfig::default(), 51);
+        // Self-queries must find themselves at distance ~0.
+        for i in [0usize, 13, 200] {
+            let (found, _) = graph.search(&data, data.point(i), 1, 48);
+            assert_eq!(found[0].0 as usize, i, "{id}");
+            assert!(found[0].1 < 1e-5);
+        }
+    }
+}

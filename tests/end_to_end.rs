@@ -1,0 +1,154 @@
+//! Cross-crate integration: datasets → structures → kernels → simulator.
+
+use hsu::kernels::btree::{BtreeParams, BtreeWorkload};
+use hsu::kernels::bvhnn::{BvhnnParams, BvhnnWorkload};
+use hsu::kernels::flann::{FlannParams, FlannWorkload};
+use hsu::kernels::ggnn::{GgnnParams, GgnnWorkload};
+use hsu::prelude::*;
+
+fn gpu() -> Gpu {
+    Gpu::new(GpuConfig { num_sms: 2, ..GpuConfig::tiny() })
+}
+
+#[test]
+fn ggnn_full_path_speedup_and_recall() {
+    let data = Dataset::generate_scaled(DatasetId::LastFm, 3, Some(1200))
+        .points()
+        .unwrap()
+        .clone();
+    let wl = GgnnWorkload::build_from_points(
+        &GgnnParams {
+            points: data.len(),
+            dim: data.dim(),
+            queries: 48,
+            metric: Metric::Angular,
+            k: 10,
+            ef: 64,
+            m: 16,
+            seed: 3,
+        },
+        &data,
+    );
+    assert!(wl.recall >= 0.8, "recall {}", wl.recall);
+    let gpu = gpu();
+    let hsu = gpu.run(&wl.trace(Variant::Hsu));
+    let base = gpu.run(&wl.trace(Variant::Baseline));
+    assert!(hsu.cycles < base.cycles, "HSU {} vs base {}", hsu.cycles, base.cycles);
+    // The HSU run exercises the angular mode, multi-beat (65 dims -> 9 beats).
+    let angular = hsu.rt.pipeline.completed[hsu::unit::pipeline::OperatingMode::Angular.index()];
+    assert!(angular > 0, "angular beats must flow through the datapath");
+    assert_eq!(angular % 1, 0);
+}
+
+#[test]
+fn bvhnn_full_path_on_surface_dataset() {
+    let data = Dataset::generate_scaled(DatasetId::Bunny, 5, Some(4000))
+        .points()
+        .unwrap()
+        .clone();
+    let wl = BvhnnWorkload::build_from_points(
+        &BvhnnParams {
+            points: data.len(),
+            queries: 2048,
+            radius_scale: 2.5,
+            flavor: Default::default(),
+            seed: 5,
+        },
+        &data,
+    );
+    assert!(wl.mean_neighbors >= 1.0);
+    assert!(wl.mean_distance_tests < 200.0, "paper: <200 tests/query");
+    let gpu = gpu();
+    let hsu = gpu.run(&wl.trace(Variant::Hsu));
+    let base = gpu.run(&wl.trace(Variant::Baseline));
+    let speedup = base.cycles as f64 / hsu.cycles as f64;
+    assert!(speedup > 1.0, "BVH-NN speedup {speedup}");
+    // Fig. 12's strongest effect: BVH-NN HSU reduces L1 accesses.
+    assert!(
+        hsu.l1_accesses() < base.l1_accesses(),
+        "HSU {} vs base {} L1 accesses",
+        hsu.l1_accesses(),
+        base.l1_accesses()
+    );
+}
+
+#[test]
+fn flann_full_path_on_cosmology() {
+    let data = Dataset::generate_scaled(DatasetId::Cosmos, 7, Some(5000))
+        .points()
+        .unwrap()
+        .clone();
+    let wl = FlannWorkload::build_from_points(
+        &FlannParams { points: data.len(), queries: 2048, k: 5, checks: 32, seed: 7 },
+        &data,
+    );
+    assert!(wl.recall > 0.5, "recall {}", wl.recall);
+    let gpu = gpu();
+    let hsu = gpu.run(&wl.trace(Variant::Hsu));
+    let base = gpu.run(&wl.trace(Variant::Baseline));
+    assert!(
+        hsu.cycles < base.cycles,
+        "FLANN HSU {} vs base {}",
+        hsu.cycles,
+        base.cycles
+    );
+}
+
+#[test]
+fn btree_full_path_correct_and_faster() {
+    let wl = BtreeWorkload::build(&BtreeParams {
+        keys: 50_000,
+        queries: 8192,
+        branch: 256,
+        seed: 9,
+    });
+    assert_eq!(wl.correctness, 1.0);
+    let gpu = gpu();
+    let hsu = gpu.run(&wl.trace(Variant::Hsu));
+    let base = gpu.run(&wl.trace(Variant::Baseline));
+    assert!(hsu.cycles < base.cycles, "B+ HSU {} vs base {}", hsu.cycles, base.cycles);
+    let key_ops =
+        hsu.rt.pipeline.completed[hsu::unit::pipeline::OperatingMode::KeyCompare.index()];
+    assert!(key_ops > 0);
+}
+
+#[test]
+fn simulation_is_deterministic_end_to_end() {
+    let data = Dataset::generate_scaled(DatasetId::Sift10k, 11, Some(800))
+        .points()
+        .unwrap()
+        .clone();
+    let wl = GgnnWorkload::build_from_points(
+        &GgnnParams {
+            points: data.len(),
+            dim: data.dim(),
+            queries: 16,
+            metric: Metric::Euclidean,
+            k: 5,
+            ef: 32,
+            m: 12,
+            seed: 11,
+        },
+        &data,
+    );
+    let gpu = gpu();
+    let a = gpu.run(&wl.trace(Variant::Hsu));
+    let b = gpu.run(&wl.trace(Variant::Hsu));
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.l1_accesses(), b.l1_accesses());
+    assert_eq!(a.memory.dram.accesses, b.memory.dram.accesses);
+}
+
+#[test]
+fn baseline_traces_never_touch_the_rt_unit() {
+    let wl = BtreeWorkload::build(&BtreeParams {
+        keys: 5_000,
+        queries: 256,
+        branch: 64,
+        seed: 13,
+    });
+    let base = gpu().run(&wl.trace(Variant::Baseline));
+    assert_eq!(base.rt.warp_instructions, 0);
+    assert_eq!(base.rt.isa_instructions, 0);
+    assert_eq!(base.memory.l1_rt_accesses, 0);
+}

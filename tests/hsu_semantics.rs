@@ -1,0 +1,163 @@
+//! ISA-level integration: the HSU's functional semantics against the
+//! structures it serves, end to end through the modeled hardware.
+
+use hsu::prelude::*;
+use hsu::unit::exec::{self, DistanceAccumulator};
+use hsu::unit::node::{BoxChild, BoxNode, KeyNode, NodeKind};
+use hsu::unit::pipeline::{DatapathPipeline, OperatingMode};
+use hsu::unit::HsuInstruction;
+
+/// KEY_COMPARE must navigate a real B+-tree exactly like the software path.
+#[test]
+fn key_compare_navigates_btree_like_software() {
+    let pairs: Vec<(u32, u64)> = (0..5000u32).map(|k| (k * 3, u64::from(k))).collect();
+    let tree = BPlusTree::bulk_build(pairs, 64);
+    tree.validate().unwrap();
+
+    for probe in [0u32, 1, 2999, 3000, 7500, 14_997, 20_000] {
+        // Hardware path: KEY_COMPARE per internal node.
+        let mut node = tree.root();
+        loop {
+            match &tree.nodes()[node as usize] {
+                hsu::btree::BtNode::Internal { separators, children } => {
+                    let key_node =
+                        KeyNode::new(separators.iter().map(|&s| s as f32).collect());
+                    let result = exec::execute_key_compare(probe as f32, &key_node, 64);
+                    let hw_child = result.key_child_index();
+                    // Software path: partition point.
+                    let sw_child = separators.partition_point(|&s| s <= probe);
+                    assert_eq!(hw_child, sw_child, "probe {probe} at node {node}");
+                    node = children[hw_child];
+                }
+                hsu::btree::BtNode::Leaf { keys, values, .. } => {
+                    let hw = keys.binary_search(&probe).ok().map(|i| values[i]);
+                    let sw = tree.get(probe);
+                    assert_eq!(hw, sw);
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// RAY_INTERSECT on a BVH4 node must return children in the same order a
+/// software front-to-back traversal would visit them.
+#[test]
+fn ray_intersect_orders_children_front_to_back() {
+    let children: Vec<BoxChild> = (0..4)
+        .map(|i| BoxChild {
+            aabb: Aabb::new(
+                Vec3::new(2.0 * i as f32 + 1.0, -1.0, -1.0),
+                Vec3::new(2.0 * i as f32 + 2.0, 1.0, 1.0),
+            ),
+            ptr: 100 + i as u64,
+            kind: NodeKind::Box,
+        })
+        .collect();
+    let node = BoxNode::new(children);
+    let ray = Ray::new(Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0));
+    let hsu::unit::isa::HsuResult::BoxHits { sorted } =
+        exec::execute_box(&ray, &node, f32::INFINITY)
+    else {
+        panic!("wrong result variant");
+    };
+    let order: Vec<u64> = sorted.iter().flatten().map(|&(p, _)| p).collect();
+    assert_eq!(order, vec![100, 101, 102, 103]);
+}
+
+/// Multi-beat distances through the cycle-accurate pipeline must equal the
+/// scalar reference: the full "compiler emits N instructions, hardware
+/// accumulates" path.
+#[test]
+fn multibeat_sequence_through_pipeline_matches_reference() {
+    let dims = [3usize, 16, 17, 65, 96, 200, 784];
+    for dim in dims {
+        let q: Vec<f32> = (0..dim).map(|i| (i as f32 * 0.13).sin()).collect();
+        let c: Vec<f32> = (0..dim).map(|i| (i as f32 * 0.29).cos()).collect();
+
+        // The compiler's lowering.
+        let cfg = HsuConfig::default();
+        let seq = HsuInstruction::distance_sequence(&cfg, Metric::Euclidean, 0x1000, dim);
+        assert_eq!(seq.len(), cfg.beats_for(Metric::Euclidean, dim));
+
+        // Drive the datapath beat by beat, accumulating like the hardware.
+        let mut pipe = DatapathPipeline::new();
+        let mut acc = DistanceAccumulator::new();
+        let mut result = None;
+        for (b, ins) in seq.iter().enumerate() {
+            assert!(pipe.issue(OperatingMode::Euclid, b as u64));
+            pipe.tick();
+            let lo = b * 16;
+            let hi = (lo + 16).min(dim);
+            result = acc.euclid_beat(&q[lo..hi], &c[lo..hi], ins.accumulate);
+        }
+        // Drain the pipeline.
+        while !pipe.is_empty() {
+            pipe.tick();
+        }
+        let got = result.expect("final beat yields the sum");
+        let expect = hsu::geometry::point::euclidean_squared(&q, &c);
+        assert!(
+            (got - expect).abs() <= 1e-3 * (1.0 + expect),
+            "dim {dim}: {got} vs {expect}"
+        );
+        assert_eq!(
+            pipe.stats().completed[OperatingMode::Euclid.index()],
+            seq.len() as u64
+        );
+    }
+}
+
+/// The arbiter's accumulate lock must keep a multi-beat sequence contiguous
+/// even with all four sub-cores contending.
+#[test]
+fn accumulate_lock_keeps_beats_contiguous() {
+    use hsu::unit::arbiter::SubCoreArbiter;
+    let mut arb = SubCoreArbiter::new(4);
+    let all = [true; 4];
+    // Sub-core 2 starts a 9-beat angular sequence (dim 65).
+    let seq = HsuInstruction::distance_sequence(
+        &HsuConfig::default(),
+        Metric::Angular,
+        0,
+        65,
+    );
+    assert_eq!(seq.len(), 9);
+    // First grant goes round-robin; force it to sub-core 2 by masking.
+    let mut granted = Vec::new();
+    for (i, ins) in seq.iter().enumerate() {
+        let request = if i == 0 { [false, false, true, false] } else { all };
+        let mut acc = [false; 4];
+        for (core, slot) in acc.iter_mut().enumerate() {
+            *slot = ins.accumulate && (request[core]);
+        }
+        let g = arb.grant(&request, &acc).expect("arbiter must grant");
+        granted.push(g);
+    }
+    assert!(
+        granted.iter().all(|&g| g == 2),
+        "beats interleaved across sub-cores: {granted:?}"
+    );
+    // After the final beat the lock is free.
+    assert_eq!(arb.locked_sub_core(), None);
+}
+
+/// The intrinsics must agree with the metric used by every search structure.
+#[test]
+fn intrinsics_match_structure_metrics() {
+    let data = PointSet::from_rows(
+        65,
+        (0..65 * 20).map(|i| ((i * 37) % 101) as f32 * 0.01).collect(),
+    );
+    for i in 0..19 {
+        let a = data.point(i);
+        let b = data.point(i + 1);
+        let d_intrinsic = intrinsics::euclid_dist(a, b);
+        let d_metric = Metric::Euclidean.distance(a, b);
+        assert!((d_intrinsic - d_metric).abs() < 1e-3 * (1.0 + d_metric));
+
+        let ang_intrinsic = intrinsics::angular_dist(a, b);
+        let ang_metric = Metric::Angular.distance(a, b);
+        assert!((ang_intrinsic - ang_metric).abs() < 1e-4);
+    }
+}
