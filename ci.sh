@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Local CI: exactly what .github/workflows/ci.yml runs.
+#
+# Offline-friendly by construction: all external dependencies are vendored
+# path crates (vendor/README.md), so no step needs registry or network
+# access. Run from the repository root.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== build (release) =="
+cargo build --workspace --release
+
+echo "== test (debug) =="
+cargo test --workspace -q
+
+echo "== test (release, includes the slow double-build determinism tests) =="
+cargo test --workspace -q --release
+
+echo "== fmt =="
+cargo fmt --all --check
+
+echo "== clippy =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "CI OK"

@@ -13,12 +13,16 @@ fn bench_distances(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("euclid_scalar", dim), &dim, |bench, _| {
             bench.iter(|| point::euclidean_squared(black_box(&a), black_box(&b)))
         });
-        group.bench_with_input(BenchmarkId::new("euclid_multibeat", dim), &dim, |bench, _| {
-            bench.iter(|| point::euclid_multibeat(black_box(&a), black_box(&b)))
-        });
-        group.bench_with_input(BenchmarkId::new("angular_intrinsic", dim), &dim, |bench, _| {
-            bench.iter(|| intrinsics::angular_dist(black_box(&a), black_box(&b)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("euclid_multibeat", dim),
+            &dim,
+            |bench, _| bench.iter(|| point::euclid_multibeat(black_box(&a), black_box(&b))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("angular_intrinsic", dim),
+            &dim,
+            |bench, _| bench.iter(|| intrinsics::angular_dist(black_box(&a), black_box(&b))),
+        );
     }
     group.finish();
 }

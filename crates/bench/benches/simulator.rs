@@ -13,9 +13,16 @@ fn synthetic_kernel(threads: usize) -> KernelTrace {
     let mut k = KernelTrace::new("synthetic");
     for i in 0..threads as u64 {
         let mut t = ThreadTrace::new();
-        t.push(ThreadOp::Load { addr: i * 64, bytes: 16 });
+        t.push(ThreadOp::Load {
+            addr: i * 64,
+            bytes: 16,
+        });
         t.push(ThreadOp::Alu { count: 12 });
-        t.push(ThreadOp::HsuRayIntersect { node_addr: (i % 64) * 64, bytes: 64, triangle: false });
+        t.push(ThreadOp::HsuRayIntersect {
+            node_addr: (i % 64) * 64,
+            bytes: 64,
+            triangle: false,
+        });
         t.push(ThreadOp::Shared { count: 2 });
         k.push_thread(t);
     }
@@ -42,7 +49,9 @@ fn bench_end_to_end(c: &mut Criterion) {
     let hsu = wl.trace(Variant::Hsu);
     let base = wl.trace(Variant::Baseline);
     c.bench_function("sim_bvhnn_hsu", |b| b.iter(|| gpu.run(black_box(&hsu))));
-    c.bench_function("sim_bvhnn_baseline", |b| b.iter(|| gpu.run(black_box(&base))));
+    c.bench_function("sim_bvhnn_baseline", |b| {
+        b.iter(|| gpu.run(black_box(&base)))
+    });
 }
 
 criterion_group! {

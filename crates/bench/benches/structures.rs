@@ -16,7 +16,11 @@ fn random_points3(n: usize, seed: u64) -> Vec<PointPrimitive> {
         .map(|i| {
             PointPrimitive::new(
                 i as u32,
-                Vec3::new(rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)),
+                Vec3::new(
+                    rng.gen_range(0.0..1.0),
+                    rng.gen_range(0.0..1.0),
+                    rng.gen_range(0.0..1.0),
+                ),
                 0.02,
             )
         })
@@ -25,7 +29,10 @@ fn random_points3(n: usize, seed: u64) -> Vec<PointPrimitive> {
 
 fn random_set(n: usize, dim: usize, seed: u64) -> PointSet {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    PointSet::from_rows(dim, (0..n * dim).map(|_| rng.gen_range(-1.0..1.0)).collect())
+    PointSet::from_rows(
+        dim,
+        (0..n * dim).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+    )
 }
 
 fn bench_bvh(c: &mut Criterion) {

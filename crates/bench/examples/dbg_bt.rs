@@ -1,23 +1,43 @@
 use hsu_kernels::{btree::*, Variant};
-use hsu_sim::{config::GpuConfig, Gpu};
 use hsu_sim::trace::OpClass;
+use hsu_sim::{config::GpuConfig, Gpu};
 
 fn show(name: &str, r: &hsu_sim::SimReport) {
     println!("== {name}: cycles {}", r.cycles);
     for c in OpClass::ALL {
         if r.issued[c.index()] > 0 {
-            println!("  {:10} issued {:9} weighted {:9}", c.label(), r.issued[c.index()], r.issued_weighted[c.index()]);
+            println!(
+                "  {:10} issued {:9} weighted {:9}",
+                c.label(),
+                r.issued[c.index()],
+                r.issued_weighted[c.index()]
+            );
         }
     }
-    println!("  L1 lsu {} rt {} miss {:.3} | dram {} | rt-instr {} isa {} stalls {} occ {:.2}",
-        r.memory.l1_lsu_accesses, r.memory.l1_rt_accesses, r.l1_miss_rate(),
-        r.memory.dram.accesses, r.rt.warp_instructions, r.rt.isa_instructions,
-        r.rt.dispatch_stalls, r.rt.mean_occupancy());
+    println!(
+        "  L1 lsu {} rt {} miss {:.3} | dram {} | rt-instr {} isa {} stalls {} occ {:.2}",
+        r.memory.l1_lsu_accesses,
+        r.memory.l1_rt_accesses,
+        r.l1_miss_rate(),
+        r.memory.dram.accesses,
+        r.rt.warp_instructions,
+        r.rt.isa_instructions,
+        r.rt.dispatch_stalls,
+        r.rt.mean_occupancy()
+    );
 }
 
 fn main() {
-    let bt = BtreeWorkload::build(&BtreeParams { keys: 200_000, queries: 8192, branch: 256, seed: 7 });
-    let gpu = Gpu::new(GpuConfig { num_sms: 8, ..GpuConfig::small() });
+    let bt = BtreeWorkload::build(&BtreeParams {
+        keys: 200_000,
+        queries: 8192,
+        branch: 256,
+        seed: 7,
+    });
+    let gpu = Gpu::new(GpuConfig {
+        num_sms: 8,
+        ..GpuConfig::small()
+    });
     show("btree-hsu", &gpu.run(&bt.trace(Variant::Hsu)));
     show("btree-base", &gpu.run(&bt.trace(Variant::Baseline)));
 }

@@ -1,28 +1,59 @@
-use hsu_kernels::{flann::*, btree::*, Variant};
-use hsu_sim::{config::GpuConfig, Gpu};
-use hsu_sim::trace::OpClass;
 use hsu_datasets::{Dataset, DatasetId};
+use hsu_kernels::{btree::*, flann::*, Variant};
+use hsu_sim::trace::OpClass;
+use hsu_sim::{config::GpuConfig, Gpu};
 
 fn show(name: &str, r: &hsu_sim::SimReport) {
     println!("== {name}: cycles {}", r.cycles);
     for c in OpClass::ALL {
         if r.issued[c.index()] > 0 {
-            println!("  {:10} issued {:9} weighted {:9}", c.label(), r.issued[c.index()], r.issued_weighted[c.index()]);
+            println!(
+                "  {:10} issued {:9} weighted {:9}",
+                c.label(),
+                r.issued[c.index()],
+                r.issued_weighted[c.index()]
+            );
         }
     }
-    println!("  L1 lsu {} rt {} miss {:.3} | dram {} | rt-isa {} pipe-busy {}",
-        r.memory.l1_lsu_accesses, r.memory.l1_rt_accesses, r.l1_miss_rate(),
-        r.memory.dram.accesses, r.rt.isa_instructions, r.rt.pipeline.issue_busy_cycles);
+    println!(
+        "  L1 lsu {} rt {} miss {:.3} | dram {} | rt-isa {} pipe-busy {}",
+        r.memory.l1_lsu_accesses,
+        r.memory.l1_rt_accesses,
+        r.l1_miss_rate(),
+        r.memory.dram.accesses,
+        r.rt.isa_instructions,
+        r.rt.pipeline.issue_busy_cycles
+    );
 }
 
 fn main() {
-    let data = Dataset::generate_scaled(DatasetId::Bunny, 7, Some(15000)).points().unwrap().clone();
-    let wl = FlannWorkload::build_from_points(&FlannParams { points: 15000, queries: 16384, k: 5, checks: 32, seed: 7 }, &data);
-    let gpu = Gpu::new(GpuConfig { num_sms: 8, ..GpuConfig::small() });
+    let data = Dataset::generate_scaled(DatasetId::Bunny, 7, Some(15000))
+        .points()
+        .unwrap()
+        .clone();
+    let wl = FlannWorkload::build_from_points(
+        &FlannParams {
+            points: 15000,
+            queries: 16384,
+            k: 5,
+            checks: 32,
+            seed: 7,
+        },
+        &data,
+    );
+    let gpu = Gpu::new(GpuConfig {
+        num_sms: 8,
+        ..GpuConfig::small()
+    });
     show("flann-hsu", &gpu.run(&wl.trace(Variant::Hsu)));
     show("flann-base", &gpu.run(&wl.trace(Variant::Baseline)));
 
-    let bt = BtreeWorkload::build(&BtreeParams { keys: 200_000, queries: 32768, branch: 256, seed: 7 });
+    let bt = BtreeWorkload::build(&BtreeParams {
+        keys: 200_000,
+        queries: 32768,
+        branch: 256,
+        seed: 7,
+    });
     show("btree-hsu", &gpu.run(&bt.trace(Variant::Hsu)));
     show("btree-base", &gpu.run(&bt.trace(Variant::Baseline)));
 }

@@ -1,12 +1,16 @@
 //! `repro` — regenerate every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! repro [--sms N] [--quick] [--seed S] <item>...
+//! repro [--sms N] [--quick] [--seed S] [--jobs N] <item>...
 //!   items: table2 table3 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14
 //!          fig15 fig16 rtindex all
 //! ```
+//!
+//! `--jobs N` fans the run matrix over N worker threads (0 = all cores).
+//! Figure output on stdout is byte-identical for every worker count; the
+//! per-run observability table goes to stderr.
 
-use hsu_bench::{figures, Suite, SuiteConfig};
+use hsu_bench::{figures, runner, Suite, SuiteConfig};
 
 fn main() {
     let mut config = SuiteConfig::default();
@@ -17,7 +21,9 @@ fn main() {
         match arg.as_str() {
             "--out" => {
                 out_dir = Some(
-                    args.next().unwrap_or_else(|| usage("--out needs a directory")).into(),
+                    args.next()
+                        .unwrap_or_else(|| usage("--out needs a directory"))
+                        .into(),
                 );
             }
             "--sms" => {
@@ -31,6 +37,13 @@ fn main() {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage("--seed needs a number"));
+            }
+            "--jobs" => {
+                let n: usize = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--jobs needs a number (0 = all cores)"));
+                config.jobs = if n == 0 { runner::default_jobs() } else { n };
             }
             "--quick" => {
                 config.scale_divisor = 4;
@@ -61,11 +74,12 @@ fn main() {
     });
     let suite = if needs_suite {
         eprintln!(
-            "building workload suite (sms={}, scale 1/{}, seed {})...",
-            config.sms, config.scale_divisor, config.seed
+            "building workload suite (sms={}, scale 1/{}, seed {}, jobs {})...",
+            config.sms, config.scale_divisor, config.seed, config.jobs
         );
         let suite = Suite::build(config.clone());
         eprintln!("suite ready: {} app-dataset runs", suite.runs.len());
+        eprintln!("{}", runner::records_table(&suite.records));
         Some(suite)
     } else {
         None
@@ -87,7 +101,7 @@ fn main() {
             "fig15" => figures::fig15(),
             "fig16" => figures::fig16(),
             "rtindex" => figures::rtindex(config.sms, config.scale_divisor),
-            "ablation" => figures::ablation(config.sms, config.scale_divisor),
+            "ablation" => figures::ablation(config.sms, config.scale_divisor, config.jobs),
             other => usage(&format!("unknown item '{other}'")),
         };
         println!("{text}");
@@ -108,8 +122,10 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: repro [--sms N] [--quick] [--seed S] [--out DIR] <item>...\n\
-         items: table2 table3 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16 rtindex ablation all"
+        "usage: repro [--sms N] [--quick] [--seed S] [--jobs N] [--out DIR] <item>...\n\
+         items: table2 table3 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16 rtindex ablation all\n\
+         --jobs N runs the simulation matrix on N worker threads (0 = all cores);\n\
+         stdout is byte-identical for any N"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

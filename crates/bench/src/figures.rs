@@ -46,23 +46,58 @@ pub fn table2() -> String {
 
 /// Table III: the simulator configuration actually used.
 pub fn table3(sms: usize) -> String {
-    let cfg = GpuConfig { num_sms: sms, ..GpuConfig::small() };
+    let cfg = GpuConfig {
+        num_sms: sms,
+        ..GpuConfig::small()
+    };
     let mut out = String::new();
     let paper = GpuConfig::volta_v100();
-    let _ = writeln!(out, "{:<28} {:>12} {:>12}", "Parameter", "Paper", "This run");
+    let _ = writeln!(
+        out,
+        "{:<28} {:>12} {:>12}",
+        "Parameter", "Paper", "This run"
+    );
     let mut row = |name: &str, paper: String, ours: String| {
         let _ = writeln!(out, "{name:<28} {paper:>12} {ours:>12}");
     };
     row("# SMs", paper.num_sms.to_string(), cfg.num_sms.to_string());
-    row("Sub-cores / SM", paper.sub_cores.to_string(), cfg.sub_cores.to_string());
+    row(
+        "Sub-cores / SM",
+        paper.sub_cores.to_string(),
+        cfg.sub_cores.to_string(),
+    );
     row("Warp scheduler", "GTO".into(), "GTO".into());
-    row("Max warps / SM", paper.max_warps_per_sm.to_string(), cfg.max_warps_per_sm.to_string());
+    row(
+        "Max warps / SM",
+        paper.max_warps_per_sm.to_string(),
+        cfg.max_warps_per_sm.to_string(),
+    );
     row("RT units / SM", "1".into(), "1".into());
-    row("Warp buffer size", paper.hsu.warp_buffer_entries.to_string(), cfg.hsu.warp_buffer_entries.to_string());
-    row("L1/shared per SM", format!("{} KB", paper.l1_bytes / 1024), format!("{} KB", cfg.l1_bytes / 1024));
-    row("L2 cache", format!("{}-way {} MB", paper.l2_ways, paper.l2_bytes >> 20), format!("{}-way {} MB", cfg.l2_ways, cfg.l2_bytes >> 20));
-    row("Line size", format!("{} B", paper.line_bytes), format!("{} B", cfg.line_bytes));
-    row("HBM channels", paper.dram_channels.to_string(), cfg.dram_channels.to_string());
+    row(
+        "Warp buffer size",
+        paper.hsu.warp_buffer_entries.to_string(),
+        cfg.hsu.warp_buffer_entries.to_string(),
+    );
+    row(
+        "L1/shared per SM",
+        format!("{} KB", paper.l1_bytes / 1024),
+        format!("{} KB", cfg.l1_bytes / 1024),
+    );
+    row(
+        "L2 cache",
+        format!("{}-way {} MB", paper.l2_ways, paper.l2_bytes >> 20),
+        format!("{}-way {} MB", cfg.l2_ways, cfg.l2_bytes >> 20),
+    );
+    row(
+        "Line size",
+        format!("{} B", paper.line_bytes),
+        format!("{} B", cfg.line_bytes),
+    );
+    row(
+        "HBM channels",
+        paper.dram_channels.to_string(),
+        cfg.dram_channels.to_string(),
+    );
     out
 }
 
@@ -83,10 +118,12 @@ pub fn fig7(suite: &Suite) -> String {
 
 /// Fig. 8: roofline — HSU ops/cycle vs ops per L2 line, per workload.
 pub fn fig8(suite: &Suite) -> String {
-    let mut out = String::from(
-        "Fig.8  roofline of the HSU (compute bound = 1 op/cycle/unit)\n",
+    let mut out = String::from("Fig.8  roofline of the HSU (compute bound = 1 op/cycle/unit)\n");
+    let _ = writeln!(
+        out,
+        "{:<10} {:>14} {:>12}",
+        "workload", "ops/L2-line", "ops/cycle"
     );
-    let _ = writeln!(out, "{:<10} {:>14} {:>12}", "workload", "ops/L2-line", "ops/cycle");
     for r in &suite.runs {
         let _ = writeln!(
             out,
@@ -102,7 +139,11 @@ pub fn fig8(suite: &Suite) -> String {
 /// Fig. 9: the headline HSU speedups over the non-RT baseline.
 pub fn fig9(suite: &Suite) -> String {
     let mut out = String::from("Fig.9  speedup with HSU over non-RT baseline\n");
-    let _ = writeln!(out, "{:<10} {:>10} {:>12} {:>12}", "workload", "speedup", "hsu cycles", "base cycles");
+    let _ = writeln!(
+        out,
+        "{:<10} {:>10} {:>12} {:>12}",
+        "workload", "speedup", "hsu cycles", "base cycles"
+    );
     for r in &suite.runs {
         let _ = writeln!(
             out,
@@ -113,7 +154,10 @@ pub fn fig9(suite: &Suite) -> String {
             r.base.cycles
         );
     }
-    let _ = writeln!(out, "-- per-app mean (paper: GGNN +24.8%, FLANN +16.4%, BVH-NN +33.9%, B+ +13.5%)");
+    let _ = writeln!(
+        out,
+        "-- per-app mean (paper: GGNN +24.8%, FLANN +16.4%, BVH-NN +33.9%, B+ +13.5%)"
+    );
     for app in [App::Ggnn, App::Flann, App::Bvhnn, App::Btree] {
         let _ = writeln!(
             out,
@@ -127,27 +171,44 @@ pub fn fig9(suite: &Suite) -> String {
 
 /// Fig. 10: datapath-width sensitivity on GGNN (Euclid width 4/8/16/32;
 /// angular is half).
+///
+/// The 9 × 4 (dataset × width) sweep grid runs on the work-stealing pool
+/// ([`crate::runner`], `suite.config.jobs` workers); the table is formatted
+/// from results merged in grid order, so output is identical for any worker
+/// count.
 pub fn fig10(suite: &Suite) -> String {
     let widths = [4usize, 8, 16, 32];
+    let mut jobs = Vec::new();
+    for (di, _) in suite.ggnn.iter().enumerate() {
+        for w in widths {
+            jobs.push((di, w));
+        }
+    }
+    let cycles = crate::runner::run_jobs(suite.config.jobs, jobs, |_, (di, w)| {
+        let (_, wl) = &suite.ggnn[di];
+        let cfg = GpuConfig {
+            hsu: HsuConfig::default().with_euclid_width(w),
+            ..suite.config.gpu_config()
+        };
+        Gpu::new(cfg).run(&wl.trace(Variant::Hsu)).cycles
+    });
+
     let mut out = String::from("Fig.10 GGNN speedup vs datapath width (over non-RT baseline)\n");
     let _ = write!(out, "{:<10}", "dataset");
     for w in widths {
         let _ = write!(out, " {:>8}", format!("w={w}"));
     }
     let _ = writeln!(out);
-    for (id, wl) in &suite.ggnn {
+    let mut cycles = cycles.into_iter();
+    for (id, _) in &suite.ggnn {
         let base = suite
             .runs_for(App::Ggnn)
             .find(|r| r.dataset == *id)
             .expect("run exists");
         let _ = write!(out, "{:<10}", base.label);
-        for w in widths {
-            let cfg = GpuConfig {
-                hsu: HsuConfig::default().with_euclid_width(w),
-                ..suite.config.gpu_config()
-            };
-            let report = Gpu::new(cfg).run(&wl.trace(Variant::Hsu));
-            let speedup = base.base.cycles as f64 / report.cycles as f64;
+        for _ in widths {
+            let hsu_cycles = cycles.next().expect("sweep cell");
+            let speedup = base.base.cycles as f64 / hsu_cycles as f64;
             let _ = write!(out, " {:>7.1}%", (speedup - 1.0) * 100.0);
         }
         let _ = writeln!(out);
@@ -156,11 +217,62 @@ pub fn fig10(suite: &Suite) -> String {
 }
 
 /// Fig. 11: warp-buffer-size sensitivity for GGNN (a), BVH-NN (b), FLANN (c).
+///
+/// The (9 + 5 + 5) × 5 (dataset × buffer-size) grid runs on the
+/// work-stealing pool, merged in grid order for determinism.
 pub fn fig11(suite: &Suite) -> String {
     let sizes = [1usize, 2, 4, 8, 16];
+    let panels: [(&str, App); 3] = [
+        ("(a) GGNN", App::Ggnn),
+        ("(b) BVH-NN", App::Bvhnn),
+        ("(c) FLANN", App::Flann),
+    ];
+
+    let hsu_trace = |app: App, dataset| match app {
+        App::Ggnn => {
+            let (_, wl) = suite
+                .ggnn
+                .iter()
+                .find(|(id, _)| *id == dataset)
+                .expect("workload retained");
+            wl.trace(Variant::Hsu)
+        }
+        App::Bvhnn => {
+            let (_, wl) = suite
+                .bvhnn
+                .iter()
+                .find(|(id, _)| *id == dataset)
+                .expect("workload retained");
+            wl.trace(Variant::Hsu)
+        }
+        App::Flann => {
+            let (_, wl) = suite
+                .flann
+                .iter()
+                .find(|(id, _)| *id == dataset)
+                .expect("workload retained");
+            wl.trace(Variant::Hsu)
+        }
+        App::Btree => unreachable!("no B+ panel in Fig. 11"),
+    };
+    let mut jobs = Vec::new();
+    for (_, app) in panels {
+        for base in suite.runs_for(app) {
+            for s in sizes {
+                jobs.push((app, base.dataset, s));
+            }
+        }
+    }
+    let cycles = crate::runner::run_jobs(suite.config.jobs, jobs, |_, (app, dataset, s)| {
+        let cfg = GpuConfig {
+            hsu: HsuConfig::default().with_warp_buffer(s),
+            ..suite.config.gpu_config()
+        };
+        Gpu::new(cfg).run(&hsu_trace(app, dataset)).cycles
+    });
+
     let mut out = String::from("Fig.11 speedup vs warp buffer size (over non-RT baseline)\n");
-    let panels: [(&str, App); 3] =
-        [("(a) GGNN", App::Ggnn), ("(b) BVH-NN", App::Bvhnn), ("(c) FLANN", App::Flann)];
+    let mut cycles = cycles.into_iter();
     for (title, app) in panels {
         let _ = writeln!(out, "{title}");
         let _ = write!(out, "{:<10}", "dataset");
@@ -170,40 +282,9 @@ pub fn fig11(suite: &Suite) -> String {
         let _ = writeln!(out);
         for base in suite.runs_for(app) {
             let _ = write!(out, "{:<10}", base.label);
-            for s in sizes {
-                let cfg = GpuConfig {
-                    hsu: HsuConfig::default().with_warp_buffer(s),
-                    ..suite.config.gpu_config()
-                };
-                let trace = match app {
-                    App::Ggnn => {
-                        let (_, wl) = suite
-                            .ggnn
-                            .iter()
-                            .find(|(id, _)| *id == base.dataset)
-                            .expect("workload retained");
-                        wl.trace(Variant::Hsu)
-                    }
-                    App::Bvhnn => {
-                        let (_, wl) = suite
-                            .bvhnn
-                            .iter()
-                            .find(|(id, _)| *id == base.dataset)
-                            .expect("workload retained");
-                        wl.trace(Variant::Hsu)
-                    }
-                    App::Flann => {
-                        let (_, wl) = suite
-                            .flann
-                            .iter()
-                            .find(|(id, _)| *id == base.dataset)
-                            .expect("workload retained");
-                        wl.trace(Variant::Hsu)
-                    }
-                    App::Btree => unreachable!("no B+ panel in Fig. 11"),
-                };
-                let report = Gpu::new(cfg).run(&trace);
-                let speedup = base.base.cycles as f64 / report.cycles as f64;
+            for _ in sizes {
+                let hsu_cycles = cycles.next().expect("sweep cell");
+                let speedup = base.base.cycles as f64 / hsu_cycles as f64;
                 let _ = write!(out, " {:>7.1}%", (speedup - 1.0) * 100.0);
             }
             let _ = writeln!(out);
@@ -215,7 +296,11 @@ pub fn fig11(suite: &Suite) -> String {
 /// Fig. 12: HSU L1D accesses normalized to the non-RT baseline.
 pub fn fig12(suite: &Suite) -> String {
     let mut out = String::from("Fig.12 L1D accesses, HSU / baseline\n");
-    let _ = writeln!(out, "{:<10} {:>10} {:>12} {:>12}", "workload", "ratio", "hsu", "base");
+    let _ = writeln!(
+        out,
+        "{:<10} {:>10} {:>12} {:>12}",
+        "workload", "ratio", "hsu", "base"
+    );
     for r in &suite.runs {
         let ratio = r.hsu.l1_accesses() as f64 / r.base.l1_accesses().max(1) as f64;
         let _ = writeln!(
@@ -267,7 +352,11 @@ pub fn fig15() -> String {
     let base = AreaBreakdown::of(DatapathKind::BaselineRt);
     let hsu = AreaBreakdown::of(DatapathKind::Hsu);
     let mut out = String::from("Fig.15 HSU datapath area normalized to baseline RT datapath\n");
-    let _ = writeln!(out, "{:<12} {:>12} {:>12} {:>8}", "class", "base um^2", "hsu um^2", "ratio");
+    let _ = writeln!(
+        out,
+        "{:<12} {:>12} {:>12} {:>8}",
+        "class", "base um^2", "hsu um^2", "ratio"
+    );
     for ((kind, b), (_, h)) in base.classes.iter().zip(&hsu.classes) {
         let _ = writeln!(
             out,
@@ -307,7 +396,10 @@ pub fn fig16() -> String {
             mode_power_mw(mode, DatapathKind::Hsu)
         );
     }
-    let _ = writeln!(out, "(paper: euclid 79, angular 67; HSU adds ~10/8 mW to box/tri)");
+    let _ = writeln!(
+        out,
+        "(paper: euclid 79, angular 67; HSU adds ~10/8 mW to box/tri)"
+    );
     out
 }
 
@@ -320,15 +412,27 @@ pub fn rtindex(sms: usize, scale_divisor: usize) -> String {
         seed: 11,
     };
     let wl = RtIndexWorkload::build(&params);
-    let gpu = Gpu::new(GpuConfig { num_sms: sms, ..GpuConfig::small() });
+    let gpu = Gpu::new(GpuConfig {
+        num_sms: sms,
+        ..GpuConfig::small()
+    });
     let point = gpu.run(&wl.trace(Variant::Hsu));
     let triangle = gpu.run(&wl.trace(Variant::Baseline));
     let speedup = triangle.cycles as f64 / point.cycles as f64;
-    let mut out = String::from("RTIndeX (sec.VI-G): key lookups, HSU point keys vs RT triangle keys\n");
-    let _ = writeln!(out, "keys {}  lookups {}  hit-rate {:.3}", params.keys, params.lookups, wl.hit_rate);
+    let mut out =
+        String::from("RTIndeX (sec.VI-G): key lookups, HSU point keys vs RT triangle keys\n");
+    let _ = writeln!(
+        out,
+        "keys {}  lookups {}  hit-rate {:.3}",
+        params.keys, params.lookups, wl.hit_rate
+    );
     let _ = writeln!(out, "triangle-key cycles {:>10}", triangle.cycles);
     let _ = writeln!(out, "point-key cycles    {:>10}", point.cycles);
-    let _ = writeln!(out, "speedup             {:>9.1}%  (paper: +36.6%)", (speedup - 1.0) * 100.0);
+    let _ = writeln!(
+        out,
+        "speedup             {:>9.1}%  (paper: +36.6%)",
+        (speedup - 1.0) * 100.0
+    );
     let _ = writeln!(
         out,
         "key store           {:>10} B vs {} B ({}x, paper: 9:1 unpadded)",
@@ -342,17 +446,23 @@ pub fn rtindex(sms: usize, scale_divisor: usize) -> String {
 
 /// Design-space ablations the paper calls out but does not evaluate:
 /// BVH4 and SAH hierarchies for BVH-NN (§VI-E) and private/bypass RT-unit
-/// caches (§VI-I).
-pub fn ablation(sms: usize, scale_divisor: usize) -> String {
+/// caches (§VI-I). Both ablation grids run on the work-stealing pool with
+/// `jobs` workers; rows are merged in grid order.
+pub fn ablation(sms: usize, scale_divisor: usize, jobs: usize) -> String {
     use hsu_datasets::Dataset;
     use hsu_kernels::bvhnn::{BvhFlavor, BvhnnParams, BvhnnWorkload};
     use hsu_kernels::ggnn::{GgnnParams, GgnnWorkload};
     use hsu_sim::config::RtCachePolicy;
 
     let mut out = String::from("Ablations (paper design-space notes)\n");
-    let gpu_cfg = GpuConfig { num_sms: sms, ..GpuConfig::small() };
+    let gpu_cfg = GpuConfig {
+        num_sms: sms,
+        ..GpuConfig::small()
+    };
 
-    // (a) BVH flavor for BVH-NN on the dragon scan.
+    // (a) BVH flavor for BVH-NN on the dragon scan. One job per flavor
+    // (each builds its own hierarchy over the shared point cloud); the
+    // BVH2 job also simulates the non-RT baseline all rows compare against.
     let data = Dataset::generate_scaled(
         DatasetId::Dragon,
         7,
@@ -363,40 +473,50 @@ pub fn ablation(sms: usize, scale_divisor: usize) -> String {
     .clone();
     let queries = (4096 / scale_divisor).max(512);
     let _ = writeln!(out, "(a) BVH-NN hierarchy flavor (sec.VI-E), dataset DRG");
-    let _ = writeln!(out, "{:<8} {:>12} {:>10}", "flavor", "hsu cycles", "speedup");
-    let mut base_cycles = None;
-    for (name, flavor) in [
-        ("BVH2", BvhFlavor::Lbvh2),
-        ("BVH4", BvhFlavor::Lbvh4),
-        ("SAH2", BvhFlavor::Sah2),
-    ] {
+    let _ = writeln!(
+        out,
+        "{:<8} {:>12} {:>10}",
+        "flavor", "hsu cycles", "speedup"
+    );
+    let flavor_jobs = vec![
+        ("BVH2", BvhFlavor::Lbvh2, true),
+        ("BVH4", BvhFlavor::Lbvh4, false),
+        ("SAH2", BvhFlavor::Sah2, false),
+    ];
+    let flavor_rows = crate::runner::run_jobs(jobs, flavor_jobs, |_, (name, flavor, with_base)| {
         let wl = BvhnnWorkload::build_from_points(
-            &BvhnnParams { points: data.len(), queries, radius_scale: 1.5, flavor, seed: 7 },
+            &BvhnnParams {
+                points: data.len(),
+                queries,
+                radius_scale: 1.5,
+                flavor,
+                seed: 7,
+            },
             &data,
         );
         let gpu = Gpu::new(gpu_cfg.clone());
-        let hsu = gpu.run(&wl.trace(Variant::Hsu));
-        let base = base_cycles
-            .get_or_insert_with(|| gpu.run(&wl.trace(Variant::Baseline)).cycles);
+        let hsu_cycles = gpu.run(&wl.trace(Variant::Hsu)).cycles;
+        let base_cycles = with_base.then(|| gpu.run(&wl.trace(Variant::Baseline)).cycles);
+        (name, hsu_cycles, base_cycles)
+    });
+    let base_cycles = flavor_rows[0].2.expect("BVH2 job carries the baseline");
+    for (name, hsu_cycles, _) in &flavor_rows {
         let _ = writeln!(
             out,
             "{:<8} {:>12} {:>9.1}%",
             name,
-            hsu.cycles,
-            (*base as f64 / hsu.cycles as f64 - 1.0) * 100.0
+            hsu_cycles,
+            (base_cycles as f64 / *hsu_cycles as f64 - 1.0) * 100.0
         );
     }
 
     // (b) RT-unit cache policy on GGNN mnist (the L1/MSHR-contention case).
     let spec = hsu_datasets::spec(DatasetId::Mnist);
-    let data = Dataset::generate_scaled(
-        DatasetId::Mnist,
-        7,
-        Some((2_000 / scale_divisor).max(400)),
-    )
-    .points()
-    .expect("point dataset")
-    .clone();
+    let data =
+        Dataset::generate_scaled(DatasetId::Mnist, 7, Some((2_000 / scale_divisor).max(400)))
+            .points()
+            .expect("point dataset")
+            .clone();
     let wl = GgnnWorkload::build_from_points(
         &GgnnParams {
             points: data.len(),
@@ -411,21 +531,26 @@ pub fn ablation(sms: usize, scale_divisor: usize) -> String {
         &data,
     );
     let _ = writeln!(out, "(b) RT-unit cache policy (sec.VI-I), GGNN on MNT");
-    let _ = writeln!(out, "{:<16} {:>12} {:>12}", "policy", "hsu cycles", "L1 miss");
-    for (name, policy) in [
+    let _ = writeln!(
+        out,
+        "{:<16} {:>12} {:>12}",
+        "policy", "hsu cycles", "L1 miss"
+    );
+    let policy_jobs = vec![
         ("shared-L1", RtCachePolicy::SharedWithLsu),
         ("private-32KB", RtCachePolicy::Private { bytes: 32 * 1024 }),
         ("bypass-L1", RtCachePolicy::Bypass),
-    ] {
-        let gpu = Gpu::new(GpuConfig { rt_cache: policy, ..gpu_cfg.clone() });
+    ];
+    let policy_rows = crate::runner::run_jobs(jobs, policy_jobs, |_, (name, policy)| {
+        let gpu = Gpu::new(GpuConfig {
+            rt_cache: policy,
+            ..gpu_cfg.clone()
+        });
         let r = gpu.run(&wl.trace(Variant::Hsu));
-        let _ = writeln!(
-            out,
-            "{:<16} {:>12} {:>11.1}%",
-            name,
-            r.cycles,
-            r.l1_miss_rate() * 100.0
-        );
+        (name, r.cycles, r.l1_miss_rate())
+    });
+    for (name, cycles, miss) in policy_rows {
+        let _ = writeln!(out, "{:<16} {:>12} {:>11.1}%", name, cycles, miss * 100.0);
     }
     out
 }

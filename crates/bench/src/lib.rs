@@ -28,6 +28,8 @@
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod runner;
 pub mod suite;
 
+pub use runner::{run_jobs, RunRecord};
 pub use suite::{Suite, SuiteConfig};

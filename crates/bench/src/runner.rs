@@ -1,0 +1,294 @@
+//! Work-stealing parallel execution for the simulation suite.
+//!
+//! The run matrix (application × dataset × lowering variant × GPU
+//! configuration) is embarrassingly parallel: every simulation is a pure
+//! function of its trace and config. This module fans those jobs across a
+//! small pool of scoped worker threads, using only `std` (no external
+//! dependencies):
+//!
+//! * each worker owns a deque of jobs; it pops from the back of its own
+//!   deque (LIFO, cache-warm) and **steals from the front** of a sibling's
+//!   deque when its own runs dry (FIFO, oldest-first — the classic
+//!   Arora/Blumofe/Plays split),
+//! * every job carries a **stable key** (its submission index); results are
+//!   merged in key order, never completion order, so output is
+//!   byte-identical for any worker count,
+//! * jobs never share mutable state; anything random derives a private seed
+//!   via [`job_seed`] from the suite seed and the job's stable key.
+//!
+//! Observability: heavyweight entry points wrap each simulation in a
+//! [`RunRecord`] (wall-time, simulated cycles, simulation throughput, peak
+//! warp-buffer occupancy) and the suite prints them with [`records_table`].
+//! Records go to stderr so stdout stays deterministic across `--jobs`.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use hsu_sim::SimReport;
+
+/// A sensible default worker count: the machine's available parallelism.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Derives an independent RNG seed for one job from the suite seed and the
+/// job's stable key, by FNV-1a hashing the key into a SplitMix64-style mix.
+/// Deterministic, order-free, and collision-resistant enough that no two
+/// suite jobs share a stream.
+pub fn job_seed(base_seed: u64, key: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV offset basis
+    for b in key.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x1000_0000_01b3); // FNV prime
+    }
+    let mut z = base_seed ^ h;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Runs every job on a pool of `workers` scoped threads and returns the
+/// results **in submission order** regardless of completion order.
+///
+/// The closure receives `(stable_index, job)`; the index is the job's key
+/// and is safe to fold into [`job_seed`]. With `workers <= 1` (or a single
+/// job) everything runs inline on the caller's thread — the sequential and
+/// parallel paths produce identical results by construction.
+///
+/// Panics in a job propagate to the caller once the scope joins.
+pub fn run_jobs<J, T, F>(workers: usize, jobs: Vec<J>, f: F) -> Vec<T>
+where
+    J: Send,
+    T: Send,
+    F: Fn(usize, J) -> T + Sync,
+{
+    let n = jobs.len();
+    if workers <= 1 || n <= 1 {
+        return jobs.into_iter().enumerate().map(|(i, j)| f(i, j)).collect();
+    }
+    let workers = workers.min(n);
+
+    // Per-worker deques, seeded round-robin so every worker starts busy.
+    let queues: Vec<Mutex<VecDeque<(usize, J)>>> =
+        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+    for (i, job) in jobs.into_iter().enumerate() {
+        queues[i % workers].lock().unwrap().push_back((i, job));
+    }
+
+    let remaining = AtomicUsize::new(n);
+    let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for me in 0..workers {
+            let queues = &queues;
+            let results = &results;
+            let remaining = &remaining;
+            let f = &f;
+            scope.spawn(move || loop {
+                // Own work first (back = most recently queued, cache-warm)...
+                let mut next = queues[me].lock().unwrap().pop_back();
+                // ...then steal the *oldest* job from the first busy sibling.
+                if next.is_none() {
+                    for victim in (0..queues.len()).filter(|v| *v != me) {
+                        next = queues[victim].lock().unwrap().pop_front();
+                        if next.is_some() {
+                            break;
+                        }
+                    }
+                }
+                match next {
+                    Some((key, job)) => {
+                        let out = f(key, job);
+                        *results[key].lock().unwrap() = Some(out);
+                        remaining.fetch_sub(1, Ordering::Release);
+                    }
+                    None => {
+                        // All queues drained; in-flight jobs may still add
+                        // nothing, so exit once the counter hits zero.
+                        if remaining.load(Ordering::Acquire) == 0 {
+                            break;
+                        }
+                        std::thread::yield_now();
+                    }
+                }
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|slot| slot.into_inner().unwrap().expect("pool ran every job"))
+        .collect()
+}
+
+/// One simulation's observability record.
+#[derive(Debug, Clone)]
+pub struct RunRecord {
+    /// Stable job key, e.g. `GGNN/D1B/hsu` or `fig10/MNT/w=8`.
+    pub key: String,
+    /// Host wall-time the simulation took.
+    pub wall: Duration,
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Highest warp-buffer occupancy any RT/HSU unit reached.
+    pub peak_warp_buffer: u64,
+}
+
+impl RunRecord {
+    /// Builds a record from a finished report.
+    pub fn from_report(key: impl Into<String>, wall: Duration, report: &SimReport) -> Self {
+        RunRecord {
+            key: key.into(),
+            wall,
+            cycles: report.cycles,
+            peak_warp_buffer: report.peak_warp_buffer_occupancy(),
+        }
+    }
+
+    /// Simulation throughput in simulated cycles per host second.
+    pub fn cycles_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.cycles as f64 / secs
+        }
+    }
+}
+
+/// Times `sim()` and pairs its report with a [`RunRecord`].
+pub fn timed_run(
+    key: impl Into<String>,
+    sim: impl FnOnce() -> SimReport,
+) -> (SimReport, RunRecord) {
+    let start = Instant::now();
+    let report = sim();
+    let record = RunRecord::from_report(key, start.elapsed(), &report);
+    (report, record)
+}
+
+/// Formats the suite's per-run records as an aligned summary table with a
+/// TOTAL row (summed wall-time and cycles, max peak occupancy).
+pub fn records_table(records: &[RunRecord]) -> String {
+    use std::fmt::Write as _;
+    let mut out = format!("== run records ({} simulations) ==\n", records.len());
+    let _ = writeln!(
+        out,
+        "{:<24} {:>10} {:>12} {:>10} {:>8}",
+        "job", "wall ms", "cycles", "Mcyc/s", "peak-wb"
+    );
+    let mut wall = Duration::ZERO;
+    let mut cycles = 0u64;
+    let mut peak = 0u64;
+    for r in records {
+        wall += r.wall;
+        cycles += r.cycles;
+        peak = peak.max(r.peak_warp_buffer);
+        let _ = writeln!(
+            out,
+            "{:<24} {:>10.1} {:>12} {:>10.2} {:>8}",
+            r.key,
+            r.wall.as_secs_f64() * 1e3,
+            r.cycles,
+            r.cycles_per_sec() / 1e6,
+            r.peak_warp_buffer
+        );
+    }
+    let mcps = if wall.as_secs_f64() > 0.0 {
+        cycles as f64 / wall.as_secs_f64() / 1e6
+    } else {
+        0.0
+    };
+    let _ = writeln!(
+        out,
+        "{:<24} {:>10.1} {:>12} {:>10.2} {:>8}  (wall summed over workers)",
+        "TOTAL",
+        wall.as_secs_f64() * 1e3,
+        cycles,
+        mcps,
+        peak
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        // Jobs deliberately finish out of order (larger index = shorter
+        // spin); the merged results must still be in key order.
+        let jobs: Vec<u64> = (0..64).collect();
+        for workers in [1, 2, 3, 8] {
+            let out = run_jobs(workers, jobs.clone(), |i, j| {
+                let spin = (64 - i) * 10;
+                let mut acc = j;
+                for k in 0..spin {
+                    acc = acc.wrapping_mul(31).wrapping_add(k as u64);
+                }
+                std::hint::black_box(acc);
+                (i, j * 2)
+            });
+            let expect: Vec<(usize, u64)> = (0..64).map(|i| (i as usize, i * 2)).collect();
+            assert_eq!(out, expect, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn pool_matches_sequential_for_any_worker_count() {
+        let jobs: Vec<u64> = (0..17).map(|i| i * 7 + 1).collect();
+        let sequential = run_jobs(1, jobs.clone(), |i, j| job_seed(j, &format!("k{i}")));
+        for workers in 2..=9 {
+            let parallel = run_jobs(workers, jobs.clone(), |i, j| job_seed(j, &format!("k{i}")));
+            assert_eq!(parallel, sequential, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn more_workers_than_jobs_is_fine() {
+        let out = run_jobs(32, vec![1, 2, 3], |_, j| j + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_job_list() {
+        let out: Vec<u32> = run_jobs(4, Vec::<u32>::new(), |_, j| j);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn job_seeds_are_stable_and_distinct() {
+        assert_eq!(job_seed(7, "GGNN/D1B/hsu"), job_seed(7, "GGNN/D1B/hsu"));
+        assert_ne!(job_seed(7, "GGNN/D1B/hsu"), job_seed(7, "GGNN/D1B/base"));
+        assert_ne!(job_seed(7, "a"), job_seed(8, "a"));
+    }
+
+    #[test]
+    fn records_table_has_total_row() {
+        let recs = vec![
+            RunRecord {
+                key: "x/hsu".into(),
+                wall: Duration::from_millis(2),
+                cycles: 1000,
+                peak_warp_buffer: 3,
+            },
+            RunRecord {
+                key: "x/base".into(),
+                wall: Duration::from_millis(4),
+                cycles: 3000,
+                peak_warp_buffer: 5,
+            },
+        ];
+        let table = records_table(&recs);
+        assert!(table.contains("TOTAL"));
+        assert!(table.contains("x/hsu"));
+        assert!(table.contains("4000"), "summed cycles:\n{table}");
+        let total = recs[0].clone();
+        assert!(total.cycles_per_sec() > 0.0);
+    }
+}

@@ -1,5 +1,6 @@
 //! Workload construction and the cached simulation runs.
 
+use crate::runner::RunRecord;
 use hsu_datasets::{Dataset, DatasetId};
 use hsu_kernels::btree::{BtreeParams, BtreeWorkload};
 use hsu_kernels::bvhnn::{BvhnnParams, BvhnnWorkload};
@@ -84,23 +85,45 @@ pub struct SuiteConfig {
     pub scale_divisor: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Worker threads for the run matrix (1 = fully sequential). Results
+    /// are identical for every value; only wall-time changes.
+    pub jobs: usize,
 }
 
 impl Default for SuiteConfig {
     fn default() -> Self {
-        SuiteConfig { sms: 8, scale_divisor: 1, seed: 7 }
+        SuiteConfig {
+            sms: 8,
+            scale_divisor: 1,
+            seed: 7,
+            jobs: 1,
+        }
     }
 }
 
 impl SuiteConfig {
     /// A fast configuration for tests and smoke runs.
     pub fn quick() -> Self {
-        SuiteConfig { sms: 4, scale_divisor: 4, seed: 7 }
+        SuiteConfig {
+            sms: 4,
+            scale_divisor: 4,
+            seed: 7,
+            jobs: 1,
+        }
+    }
+
+    /// The same configuration with a different worker count.
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
     }
 
     /// The GPU configuration the suite simulates.
     pub fn gpu_config(&self) -> GpuConfig {
-        GpuConfig { num_sms: self.sms, ..GpuConfig::small() }
+        GpuConfig {
+            num_sms: self.sms,
+            ..GpuConfig::small()
+        }
     }
 
     fn scaled(&self, n: usize) -> usize {
@@ -143,90 +166,153 @@ pub struct Suite {
     pub btree: Vec<(DatasetId, BtreeWorkload)>,
     /// Cached standard-machine runs for every app × dataset.
     pub runs: Vec<AppRun>,
+    /// Per-simulation observability records, in run order (three per
+    /// [`AppRun`]: hsu, base, stripped). Render with
+    /// [`crate::runner::records_table`].
+    pub records: Vec<RunRecord>,
+}
+
+/// A borrowed workload of any application, so one job type can carry the
+/// whole simulation matrix.
+#[derive(Clone, Copy)]
+enum WlRef<'a> {
+    Ggnn(&'a GgnnWorkload),
+    Flann(&'a FlannWorkload),
+    Bvhnn(&'a BvhnnWorkload),
+    Btree(&'a BtreeWorkload),
+}
+
+impl WlRef<'_> {
+    fn trace(&self, v: Variant) -> hsu_sim::trace::KernelTrace {
+        match self {
+            WlRef::Ggnn(wl) => wl.trace(v),
+            WlRef::Flann(wl) => wl.trace(v),
+            WlRef::Bvhnn(wl) => wl.trace(v),
+            WlRef::Btree(wl) => wl.trace(v),
+        }
+    }
+}
+
+/// Workload-construction jobs for phase A of [`Suite::build`]. One job per
+/// dataset; the 3-D sets build FLANN and BVH-NN together so the generated
+/// point cloud is shared, exactly as the sequential code did.
+enum BuildJob {
+    Ggnn(DatasetId),
+    ThreeD(DatasetId),
+    Btree(DatasetId),
+}
+
+enum Built {
+    Ggnn(DatasetId, GgnnWorkload),
+    ThreeD(DatasetId, FlannWorkload, BvhnnWorkload),
+    Btree(DatasetId, BtreeWorkload),
 }
 
 impl Suite {
     /// Builds every workload and simulates the three lowerings.
     ///
-    /// This is the expensive entry point (tens of seconds at standard scale);
-    /// use [`SuiteConfig::quick`] for smoke tests.
+    /// This is the expensive entry point (tens of seconds at standard
+    /// scale); use [`SuiteConfig::quick`] for smoke tests and
+    /// [`SuiteConfig::jobs`] to fan the run matrix across worker threads.
+    /// Results are bit-identical for every `jobs` value: construction and
+    /// simulation are pure functions of the config, and the runner merges
+    /// results in stable key order.
     pub fn build(config: SuiteConfig) -> Self {
         let gpu = Gpu::new(config.gpu_config());
-        let mut runs = Vec::new();
 
-        // GGNN over the nine high-dimensional sets.
-        let mut ggnn = Vec::new();
+        // Phase A: construct all workloads (validation included) in
+        // parallel. Each job derives everything from `config` — no shared
+        // RNG or other mutable state.
+        let mut build_jobs = Vec::new();
         for id in DatasetId::HIGH_DIM {
-            let spec = hsu_datasets::spec(id);
-            let (points, queries) = ggnn_size(id);
-            let data = Dataset::generate_scaled(id, config.seed, Some(config.scaled(points)))
-                .points()
-                .expect("point dataset")
-                .clone();
-            let params = GgnnParams {
-                points: data.len(),
-                dim: spec.dims,
-                queries: config.scaled(queries).max(48).min(queries.max(48)),
-                metric: spec.metric.expect("ANN dataset has a metric"),
-                k: 10,
-                ef: 64,
-                m: 16,
-                seed: config.seed,
-            };
-            let wl = GgnnWorkload::build_from_points(&params, &data);
-            runs.push(run_all(App::Ggnn, id, &gpu, |v| wl.trace(v)));
-            ggnn.push((id, wl));
+            build_jobs.push(BuildJob::Ggnn(id));
         }
+        for id in DatasetId::THREE_D {
+            build_jobs.push(BuildJob::ThreeD(id));
+        }
+        for id in [DatasetId::BTree1m, DatasetId::BTree10k] {
+            build_jobs.push(BuildJob::Btree(id));
+        }
+        let built =
+            crate::runner::run_jobs(config.jobs, build_jobs, |_, job| build_one(&config, job));
 
-        // FLANN and BVH-NN over the five 3-D sets.
+        let mut ggnn = Vec::new();
         let mut flann = Vec::new();
         let mut bvhnn = Vec::new();
-        for id in DatasetId::THREE_D {
-            let spec = hsu_datasets::spec(id);
-            let n = config.scaled(spec.scaled_points.min(15_000));
-            let data = Dataset::generate_scaled(id, config.seed, Some(n))
-                .points()
-                .expect("point dataset")
-                .clone();
-            let queries = config.scaled(4096).max(2048);
-
-            let fw = FlannWorkload::build_from_points(
-                &FlannParams { points: n, queries, k: 5, checks: 16, seed: config.seed },
-                &data,
-            );
-            runs.push(run_all(App::Flann, id, &gpu, |v| fw.trace(v)));
-            flann.push((id, fw));
-
-            let bw = BvhnnWorkload::build_from_points(
-                &BvhnnParams {
-                    points: n,
-                    queries,
-                    radius_scale: 1.5,
-                    flavor: Default::default(),
-                    seed: config.seed,
-                },
-                &data,
-            );
-            runs.push(run_all(App::Bvhnn, id, &gpu, |v| bw.trace(v)));
-            bvhnn.push((id, bw));
-        }
-
-        // B+-tree over the two key sets.
         let mut btree = Vec::new();
-        for id in [DatasetId::BTree1m, DatasetId::BTree10k] {
-            let spec = hsu_datasets::spec(id);
-            let keys = config.scaled(spec.scaled_points);
-            let wl = BtreeWorkload::build(&BtreeParams {
-                keys,
-                queries: config.scaled(8192).max(2048),
-                branch: 256,
-                seed: config.seed,
-            });
-            runs.push(run_all(App::Btree, id, &gpu, |v| wl.trace(v)));
-            btree.push((id, wl));
+        for b in built {
+            match b {
+                Built::Ggnn(id, wl) => ggnn.push((id, wl)),
+                Built::ThreeD(id, fw, bw) => {
+                    flann.push((id, fw));
+                    bvhnn.push((id, bw));
+                }
+                Built::Btree(id, wl) => btree.push((id, wl)),
+            }
         }
 
-        Suite { config, gpu, ggnn, flann, bvhnn, btree, runs }
+        // Phase B: the simulation matrix — every (app × dataset × variant)
+        // triple is one job with a stable key; reports come back in
+        // submission order, so `runs` is identical for any worker count.
+        let mut plan: Vec<(App, DatasetId, WlRef<'_>)> = Vec::new();
+        for (id, wl) in &ggnn {
+            plan.push((App::Ggnn, *id, WlRef::Ggnn(wl)));
+        }
+        for i in 0..flann.len() {
+            plan.push((App::Flann, flann[i].0, WlRef::Flann(&flann[i].1)));
+            plan.push((App::Bvhnn, bvhnn[i].0, WlRef::Bvhnn(&bvhnn[i].1)));
+        }
+        for (id, wl) in &btree {
+            plan.push((App::Btree, *id, WlRef::Btree(wl)));
+        }
+
+        const VARIANTS: [(Variant, &str); 3] = [
+            (Variant::Hsu, "hsu"),
+            (Variant::Baseline, "base"),
+            (Variant::BaselineStripped, "stripped"),
+        ];
+        let mut sim_jobs = Vec::new();
+        for (app, id, wl) in &plan {
+            let label = format!("{}{}", app.prefix(), hsu_datasets::spec(*id).abbr);
+            for (variant, vname) in VARIANTS {
+                sim_jobs.push((format!("{label}/{vname}"), *wl, variant));
+            }
+        }
+        let outs = crate::runner::run_jobs(config.jobs, sim_jobs, |_, (key, wl, variant)| {
+            let trace = wl.trace(variant);
+            crate::runner::timed_run(key, || gpu.run(&trace))
+        });
+
+        let mut runs = Vec::new();
+        let mut records = Vec::new();
+        let mut outs = outs.into_iter();
+        for (app, id, _) in &plan {
+            let (hsu, r0) = outs.next().expect("hsu report");
+            let (base, r1) = outs.next().expect("base report");
+            let (stripped, r2) = outs.next().expect("stripped report");
+            let spec = hsu_datasets::spec(*id);
+            runs.push(AppRun {
+                app: *app,
+                label: format!("{}{}", app.prefix(), spec.abbr),
+                dataset: *id,
+                hsu,
+                base,
+                stripped,
+            });
+            records.extend([r0, r1, r2]);
+        }
+        drop(plan);
+
+        Suite {
+            config,
+            gpu,
+            ggnn,
+            flann,
+            bvhnn,
+            btree,
+            runs,
+            records,
+        }
     }
 
     /// Runs for one application, in dataset order.
@@ -250,18 +336,70 @@ pub fn geomean(xs: &[f64]) -> f64 {
     (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
 }
 
-fn run_all<F>(app: App, id: DatasetId, gpu: &Gpu, trace: F) -> AppRun
-where
-    F: Fn(Variant) -> hsu_sim::trace::KernelTrace,
-{
-    let spec = hsu_datasets::spec(id);
-    AppRun {
-        app,
-        label: format!("{}{}", app.prefix(), spec.abbr),
-        dataset: id,
-        hsu: gpu.run(&trace(Variant::Hsu)),
-        base: gpu.run(&trace(Variant::Baseline)),
-        stripped: gpu.run(&trace(Variant::BaselineStripped)),
+/// Executes one phase-A construction job. Pure function of the config: the
+/// parallel build is deterministic because nothing here reads shared state.
+fn build_one(config: &SuiteConfig, job: BuildJob) -> Built {
+    match job {
+        BuildJob::Ggnn(id) => {
+            let spec = hsu_datasets::spec(id);
+            let (points, queries) = ggnn_size(id);
+            let data = Dataset::generate_scaled(id, config.seed, Some(config.scaled(points)))
+                .points()
+                .expect("point dataset")
+                .clone();
+            let params = GgnnParams {
+                points: data.len(),
+                dim: spec.dims,
+                queries: config.scaled(queries).max(48).min(queries.max(48)),
+                metric: spec.metric.expect("ANN dataset has a metric"),
+                k: 10,
+                ef: 64,
+                m: 16,
+                seed: config.seed,
+            };
+            Built::Ggnn(id, GgnnWorkload::build_from_points(&params, &data))
+        }
+        BuildJob::ThreeD(id) => {
+            let spec = hsu_datasets::spec(id);
+            let n = config.scaled(spec.scaled_points.min(15_000));
+            let data = Dataset::generate_scaled(id, config.seed, Some(n))
+                .points()
+                .expect("point dataset")
+                .clone();
+            let queries = config.scaled(4096).max(2048);
+            let fw = FlannWorkload::build_from_points(
+                &FlannParams {
+                    points: n,
+                    queries,
+                    k: 5,
+                    checks: 16,
+                    seed: config.seed,
+                },
+                &data,
+            );
+            let bw = BvhnnWorkload::build_from_points(
+                &BvhnnParams {
+                    points: n,
+                    queries,
+                    radius_scale: 1.5,
+                    flavor: Default::default(),
+                    seed: config.seed,
+                },
+                &data,
+            );
+            Built::ThreeD(id, fw, bw)
+        }
+        BuildJob::Btree(id) => {
+            let spec = hsu_datasets::spec(id);
+            let keys = config.scaled(spec.scaled_points);
+            let wl = BtreeWorkload::build(&BtreeParams {
+                keys,
+                queries: config.scaled(8192).max(2048),
+                branch: 256,
+                seed: config.seed,
+            });
+            Built::Btree(id, wl)
+        }
     }
 }
 
@@ -277,10 +415,51 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "two suite builds are slow unoptimized; run with --release"
+    )]
+    fn parallel_build_matches_sequential() {
+        let cfg = SuiteConfig {
+            sms: 2,
+            scale_divisor: 32,
+            seed: 7,
+            jobs: 1,
+        };
+        let seq = Suite::build(cfg.clone());
+        let par = Suite::build(cfg.with_jobs(8));
+        assert_eq!(seq.runs.len(), par.runs.len());
+        for (a, b) in seq.runs.iter().zip(&par.runs) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(
+                a.hsu, b.hsu,
+                "{} hsu report drifted under --jobs 8",
+                a.label
+            );
+            assert_eq!(a.base, b.base, "{} base report drifted", a.label);
+            assert_eq!(
+                a.stripped, b.stripped,
+                "{} stripped report drifted",
+                a.label
+            );
+        }
+        // Observability records keep stable keys and counters; only
+        // wall-times may differ between the two builds.
+        assert_eq!(seq.records.len(), par.records.len());
+        for (ra, rb) in seq.records.iter().zip(&par.records) {
+            assert_eq!(ra.key, rb.key);
+            assert_eq!(ra.cycles, rb.cycles);
+            assert_eq!(ra.peak_warp_buffer, rb.peak_warp_buffer);
+        }
+    }
+
+    #[test]
     fn quick_suite_reproduces_paper_ordering() {
         let suite = Suite::build(SuiteConfig::quick());
         // 9 GGNN + 5 FLANN + 5 BVH-NN + 2 B+ = 21 app-dataset runs.
         assert_eq!(suite.runs.len(), 21);
+        // Three observability records (hsu/base/stripped) per app run.
+        assert_eq!(suite.records.len(), 63);
         // Every HSU run must beat its baseline (Fig. 9: all speedups > 1).
         for r in &suite.runs {
             assert!(

@@ -103,8 +103,17 @@ impl BPlusTree {
 
         let mut nodes = Vec::new();
         if pairs.is_empty() {
-            nodes.push(BtNode::Leaf { keys: Vec::new(), values: Vec::new(), next: None });
-            return BPlusTree { nodes, root: 0, branch, len };
+            nodes.push(BtNode::Leaf {
+                keys: Vec::new(),
+                values: Vec::new(),
+                next: None,
+            });
+            return BPlusTree {
+                nodes,
+                root: 0,
+                branch,
+                len,
+            };
         }
 
         // Fill leaves at ~2/3 occupancy like a bulk loader would, but cap at
@@ -137,13 +146,21 @@ impl BPlusTree {
                 let idx = nodes.len() as u32;
                 let separators: Vec<u32> = chunk[1..].iter().map(|&(k, _)| k).collect();
                 let children: Vec<u32> = chunk.iter().map(|&(_, i)| i).collect();
-                nodes.push(BtNode::Internal { separators, children });
+                nodes.push(BtNode::Internal {
+                    separators,
+                    children,
+                });
                 next_level.push((chunk[0].0, idx));
             }
             level = next_level;
         }
 
-        BPlusTree { nodes, root: level[0].1, branch, len }
+        BPlusTree {
+            nodes,
+            root: level[0].1,
+            branch,
+            len,
+        }
     }
 
     /// Number of stored pairs.
@@ -202,7 +219,10 @@ impl BPlusTree {
         let mut node = self.root;
         loop {
             match &self.nodes[node as usize] {
-                BtNode::Internal { separators, children } => {
+                BtNode::Internal {
+                    separators,
+                    children,
+                } => {
                     stats.internal_visits += 1;
                     stats.separators_scanned += separators.len() as u64;
                     // Child index = number of separators <= key, the
@@ -230,14 +250,13 @@ impl BPlusTree {
         }
         // Descend to the leaf that could contain `lo`.
         let mut node = self.root;
-        loop {
-            match &self.nodes[node as usize] {
-                BtNode::Internal { separators, children } => {
-                    let idx = separators.partition_point(|&s| s <= lo);
-                    node = children[idx];
-                }
-                BtNode::Leaf { .. } => break,
-            }
+        while let BtNode::Internal {
+            separators,
+            children,
+        } = &self.nodes[node as usize]
+        {
+            let idx = separators.partition_point(|&s| s <= lo);
+            node = children[idx];
         }
         let mut current = Some(node);
         while let Some(n) = current {
@@ -328,13 +347,18 @@ impl BPlusTree {
                     }
                 }
             }
-            BtNode::Internal { separators, children } => {
+            BtNode::Internal {
+                separators,
+                children,
+            } => {
                 let idx = separators.partition_point(|&s| s <= key);
                 let child = children[idx];
                 match self.insert_into(child, key, value) {
                     InsertOutcome::Split { sep, right } => {
-                        let BtNode::Internal { separators, children } =
-                            &mut self.nodes[node as usize]
+                        let BtNode::Internal {
+                            separators,
+                            children,
+                        } = &mut self.nodes[node as usize]
                         else {
                             unreachable!("node kind changed during insert");
                         };
@@ -377,7 +401,10 @@ impl BPlusTree {
             leaf_depth: &mut Option<usize>,
         ) -> Result<(), String> {
             match &tree.nodes[node as usize] {
-                BtNode::Internal { separators, children } => {
+                BtNode::Internal {
+                    separators,
+                    children,
+                } => {
                     if children.len() != separators.len() + 1 {
                         return Err(format!("node {node}: fanout mismatch"));
                     }
@@ -389,7 +416,11 @@ impl BPlusTree {
                     }
                     for (i, &child) in children.iter().enumerate() {
                         let clo = if i == 0 { lo } else { Some(separators[i - 1]) };
-                        let chi = if i == separators.len() { hi } else { Some(separators[i]) };
+                        let chi = if i == separators.len() {
+                            hi
+                        } else {
+                            Some(separators[i])
+                        };
                         walk(tree, child, clo, chi, depth + 1, leaf_depth)?;
                     }
                     Ok(())
@@ -432,11 +463,8 @@ impl BPlusTree {
         let mut last: Option<u32> = None;
         // Find the leftmost leaf.
         let mut node = self.root;
-        loop {
-            match &self.nodes[node as usize] {
-                BtNode::Internal { children, .. } => node = children[0],
-                BtNode::Leaf { .. } => break,
-            }
+        while let BtNode::Internal { children, .. } = &self.nodes[node as usize] {
+            node = children[0];
         }
         let mut current = Some(node);
         while let Some(n) = current {
@@ -455,7 +483,10 @@ impl BPlusTree {
             current = *next;
         }
         if count != self.len {
-            return Err(format!("leaf chain has {count} keys, expected {}", self.len));
+            return Err(format!(
+                "leaf chain has {count} keys, expected {}",
+                self.len
+            ));
         }
         Ok(())
     }
@@ -469,7 +500,9 @@ mod tests {
 
     fn random_pairs(n: usize, seed: u64) -> Vec<(u32, u64)> {
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
-        (0..n).map(|_| (rng.gen_range(0..1_000_000), rng.gen())).collect()
+        (0..n)
+            .map(|_| (rng.gen_range(0..1_000_000), rng.gen()))
+            .collect()
     }
 
     #[test]
@@ -498,10 +531,14 @@ mod tests {
         }
         let tree = BPlusTree::bulk_build(pairs, 64);
         tree.validate().unwrap();
-        for (lo, hi) in [(0u32, 1000), (500_000, 600_000), (999_000, 2_000_000), (7, 7)] {
+        for (lo, hi) in [
+            (0u32, 1000),
+            (500_000, 600_000),
+            (999_000, 2_000_000),
+            (7, 7),
+        ] {
             let got = tree.range(lo, hi);
-            let expect: Vec<(u32, u64)> =
-                reference.range(lo..hi).map(|(&k, &v)| (k, v)).collect();
+            let expect: Vec<(u32, u64)> = reference.range(lo..hi).map(|(&k, &v)| (k, v)).collect();
             assert_eq!(got, expect, "range {lo}..{hi}");
         }
     }
@@ -603,7 +640,10 @@ mod tests {
         tree.validate().unwrap();
         assert_eq!(tree.len(), 15_000);
         assert_eq!(tree.get(4_001), Some(999));
-        assert!(tree.height() <= before + 1, "inserts must not unbalance the tree");
+        assert!(
+            tree.height() <= before + 1,
+            "inserts must not unbalance the tree"
+        );
     }
 
     #[test]
@@ -611,7 +651,8 @@ mod tests {
         let mut tree = BPlusTree::bulk_build(Vec::new(), 4);
         for k in 0..500u32 {
             tree.insert(k, u64::from(k));
-            tree.validate().unwrap_or_else(|e| panic!("after insert {k}: {e}"));
+            tree.validate()
+                .unwrap_or_else(|e| panic!("after insert {k}: {e}"));
         }
         assert_eq!(tree.len(), 500);
         assert!(tree.height() >= 4, "branch-4 tree of 500 keys must be deep");

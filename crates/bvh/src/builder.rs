@@ -54,7 +54,10 @@ impl LbvhBuilder {
     /// Builds the hierarchy. An empty primitive slice yields an empty BVH.
     pub fn build<P: Primitive>(&self, prims: &[P]) -> Bvh2 {
         if prims.is_empty() {
-            return Bvh2 { nodes: Vec::new(), prim_indices: Vec::new() };
+            return Bvh2 {
+                nodes: Vec::new(),
+                prim_indices: Vec::new(),
+            };
         }
         let scene = Aabb::from_points(prims.iter().map(|p| p.centroid()));
         let mut order: Vec<(u64, u32)> = prims
@@ -74,7 +77,10 @@ impl LbvhBuilder {
         };
         builder.nodes.push(placeholder_node());
         builder.build_lbvh(0, 0, prims.len(), &codes);
-        Bvh2 { nodes: builder.nodes, prim_indices: builder.prim_indices }
+        Bvh2 {
+            nodes: builder.nodes,
+            prim_indices: builder.prim_indices,
+        }
     }
 }
 
@@ -89,7 +95,11 @@ pub struct SahBuilder {
 
 impl Default for SahBuilder {
     fn default() -> Self {
-        SahBuilder { max_leaf_size: 2, traversal_cost: 1.0, intersect_cost: 1.0 }
+        SahBuilder {
+            max_leaf_size: 2,
+            traversal_cost: 1.0,
+            intersect_cost: 1.0,
+        }
     }
 }
 
@@ -113,7 +123,10 @@ impl SahBuilder {
     /// Builds the hierarchy. An empty primitive slice yields an empty BVH.
     pub fn build<P: Primitive>(&self, prims: &[P]) -> Bvh2 {
         if prims.is_empty() {
-            return Bvh2 { nodes: Vec::new(), prim_indices: Vec::new() };
+            return Bvh2 {
+                nodes: Vec::new(),
+                prim_indices: Vec::new(),
+            };
         }
         let prim_indices: Vec<u32> = (0..prims.len() as u32).collect();
         let mut builder = TopDown {
@@ -124,12 +137,18 @@ impl SahBuilder {
         };
         builder.nodes.push(placeholder_node());
         builder.build_sah(0, 0, prims.len(), self.traversal_cost, self.intersect_cost);
-        Bvh2 { nodes: builder.nodes, prim_indices: builder.prim_indices }
+        Bvh2 {
+            nodes: builder.nodes,
+            prim_indices: builder.prim_indices,
+        }
     }
 }
 
 fn placeholder_node() -> Bvh2Node {
-    Bvh2Node { aabb: Aabb::EMPTY, content: NodeContent::Leaf { start: 0, count: 1 } }
+    Bvh2Node {
+        aabb: Aabb::EMPTY,
+        content: NodeContent::Leaf { start: 0, count: 1 },
+    }
 }
 
 struct TopDown<'a, P> {
@@ -143,13 +162,18 @@ impl<P: Primitive> TopDown<'_, P> {
     fn range_bounds(&self, start: usize, end: usize) -> Aabb {
         self.prim_indices[start..end]
             .iter()
-            .fold(Aabb::EMPTY, |acc, &i| acc.union(&self.prims[i as usize].bounds()))
+            .fold(Aabb::EMPTY, |acc, &i| {
+                acc.union(&self.prims[i as usize].bounds())
+            })
     }
 
     fn make_leaf(&mut self, node: usize, start: usize, end: usize) {
         self.nodes[node] = Bvh2Node {
             aabb: self.range_bounds(start, end),
-            content: NodeContent::Leaf { start: start as u32, count: (end - start) as u32 },
+            content: NodeContent::Leaf {
+                start: start as u32,
+                count: (end - start) as u32,
+            },
         };
     }
 
@@ -214,11 +238,10 @@ impl<P: Primitive> TopDown<'_, P> {
             }
             // Sweep from the left evaluating each split.
             let mut acc = Aabb::EMPTY;
-            for i in 1..n {
+            for (i, &rsa) in right_sa.iter().enumerate().skip(1) {
                 acc = acc.union(&self.prims[self.prim_indices[start + i - 1] as usize].bounds());
-                let cost = ct
-                    + ci * (acc.surface_area() * i as f32 + right_sa[i] * (n - i) as f32)
-                        / parent_sa;
+                let cost =
+                    ct + ci * (acc.surface_area() * i as f32 + rsa * (n - i) as f32) / parent_sa;
                 if best.is_none_or(|(c, _, _)| cost < c) {
                     best = Some((cost, axis, i));
                 }
@@ -253,8 +276,13 @@ impl<P: Primitive> TopDown<'_, P> {
     }
 
     fn finish_internal(&mut self, node: usize, left: u32, right: u32) {
-        let aabb = self.nodes[left as usize].aabb.union(&self.nodes[right as usize].aabb);
-        self.nodes[node] = Bvh2Node { aabb, content: NodeContent::Internal { left, right } };
+        let aabb = self.nodes[left as usize]
+            .aabb
+            .union(&self.nodes[right as usize].aabb);
+        self.nodes[node] = Bvh2Node {
+            aabb,
+            content: NodeContent::Internal { left, right },
+        };
     }
 }
 
@@ -271,7 +299,11 @@ mod tests {
             .map(|i| {
                 PointPrimitive::new(
                     i as u32,
-                    Vec3::new(rng.gen_range(-5.0..5.0), rng.gen_range(-5.0..5.0), rng.gen_range(-5.0..5.0)),
+                    Vec3::new(
+                        rng.gen_range(-5.0..5.0),
+                        rng.gen_range(-5.0..5.0),
+                        rng.gen_range(-5.0..5.0),
+                    ),
                     0.1,
                 )
             })
@@ -306,8 +338,9 @@ mod tests {
     #[test]
     fn duplicate_positions_are_handled() {
         // All identical Morton codes force the median fallback.
-        let prims: Vec<PointPrimitive> =
-            (0..33).map(|i| PointPrimitive::new(i, Vec3::splat(1.0), 0.1)).collect();
+        let prims: Vec<PointPrimitive> = (0..33)
+            .map(|i| PointPrimitive::new(i, Vec3::splat(1.0), 0.1))
+            .collect();
         let bvh = LbvhBuilder::default().build(&prims);
         bvh.validate(&prims).unwrap();
     }

@@ -122,10 +122,12 @@ impl Bvh2 {
                 NodeContent::Leaf { start, count } => self.prim_indices
                     [start as usize..(start + count) as usize]
                     .iter()
-                    .fold(Aabb::EMPTY, |acc, &p| acc.union(&prims[p as usize].bounds())),
-                NodeContent::Internal { left, right } => {
-                    self.nodes[left as usize].aabb.union(&self.nodes[right as usize].aabb)
-                }
+                    .fold(Aabb::EMPTY, |acc, &p| {
+                        acc.union(&prims[p as usize].bounds())
+                    }),
+                NodeContent::Internal { left, right } => self.nodes[left as usize]
+                    .aabb
+                    .union(&self.nodes[right as usize].aabb),
             };
             self.nodes[i].aabb = aabb;
         }
@@ -264,13 +266,17 @@ mod tests {
         let mut bvh = LbvhBuilder::default().build(&prims);
         // Drift every point and refit.
         for p in &mut prims {
-            p.position = p.position + Vec3::new(0.5, -0.25, 0.1);
+            p.position += Vec3::new(0.5, -0.25, 0.1);
         }
         bvh.refit(&prims);
         bvh.validate(&prims).expect("refit tree must stay valid");
         // Search still exact after the drift.
         let q = prims[60].position;
-        let mut got: Vec<u32> = bvh.radius_search(&prims, q, 1.0).iter().map(|n| n.id).collect();
+        let mut got: Vec<u32> = bvh
+            .radius_search(&prims, q, 1.0)
+            .iter()
+            .map(|n| n.id)
+            .collect();
         got.sort_unstable();
         let mut expect: Vec<u32> = prims
             .iter()
@@ -287,7 +293,10 @@ mod tests {
         let bvh = LbvhBuilder::default().build(&prims);
         bvh.validate(&prims).unwrap();
         assert_eq!(bvh.node_count(), 1);
-        assert!(matches!(bvh.root().content, NodeContent::Leaf { count: 1, .. }));
+        assert!(matches!(
+            bvh.root().content,
+            NodeContent::Leaf { count: 1, .. }
+        ));
         assert_eq!(bvh.depth(), 0);
     }
 }

@@ -63,7 +63,11 @@ impl Bvh4 {
     /// when both children are internal, producing nodes of up to 4 children.
     pub fn from_bvh2(bvh2: &Bvh2) -> Self {
         if bvh2.nodes().is_empty() {
-            return Bvh4 { nodes: Vec::new(), prim_indices: Vec::new(), root_aabb: Aabb::EMPTY };
+            return Bvh4 {
+                nodes: Vec::new(),
+                prim_indices: Vec::new(),
+                root_aabb: Aabb::EMPTY,
+            };
         }
         let mut out = Bvh4 {
             nodes: Vec::new(),
@@ -74,7 +78,11 @@ impl Bvh4 {
         match bvh2.root().content {
             NodeContent::Leaf { start, count } => {
                 out.nodes.push(Bvh4Node {
-                    children: vec![Bvh4Child::Leaf { start, count, aabb: bvh2.root().aabb }],
+                    children: vec![Bvh4Child::Leaf {
+                        start,
+                        count,
+                        aabb: bvh2.root().aabb,
+                    }],
                 });
             }
             NodeContent::Internal { .. } => {
@@ -94,7 +102,10 @@ impl Bvh4 {
         let mut slots: Vec<u32> = Vec::with_capacity(4);
         for child in [left, right] {
             match bvh2.nodes()[child as usize].content {
-                NodeContent::Internal { left: gl, right: gr } => {
+                NodeContent::Internal {
+                    left: gl,
+                    right: gr,
+                } => {
                     slots.push(gl);
                     slots.push(gr);
                 }
@@ -103,17 +114,26 @@ impl Bvh4 {
         }
 
         let index = self.nodes.len() as u32;
-        self.nodes.push(Bvh4Node { children: Vec::new() });
+        self.nodes.push(Bvh4Node {
+            children: Vec::new(),
+        });
         let mut children = Vec::with_capacity(slots.len());
         for s in slots {
             let node = &bvh2.nodes()[s as usize];
             match node.content {
                 NodeContent::Leaf { start, count } => {
-                    children.push(Bvh4Child::Leaf { start, count, aabb: node.aabb });
+                    children.push(Bvh4Child::Leaf {
+                        start,
+                        count,
+                        aabb: node.aabb,
+                    });
                 }
                 NodeContent::Internal { .. } => {
                     let child_index = self.collapse(bvh2, s);
-                    children.push(Bvh4Child::Node { index: child_index, aabb: node.aabb });
+                    children.push(Bvh4Child::Node {
+                        index: child_index,
+                        aabb: node.aabb,
+                    });
                 }
             }
         }
@@ -170,7 +190,10 @@ impl Bvh4 {
                             stats.primitive_tests += 1;
                             let d2 = (prim.position - query).length_squared();
                             if d2 <= r2 {
-                                out.push(Neighbor { id: prim.id, distance_squared: d2 });
+                                out.push(Neighbor {
+                                    id: prim.id,
+                                    distance_squared: d2,
+                                });
                             }
                         }
                     }
@@ -216,8 +239,11 @@ mod tests {
                 rng.gen_range(-2.0..2.0),
                 rng.gen_range(-2.0..2.0),
             );
-            let mut a: Vec<u32> =
-                bvh2.radius_search(&prims, q, 0.3).iter().map(|n| n.id).collect();
+            let mut a: Vec<u32> = bvh2
+                .radius_search(&prims, q, 0.3)
+                .iter()
+                .map(|n| n.id)
+                .collect();
             let mut b: Vec<u32> = bvh4
                 .radius_search_counted(&prims, q, 0.3)
                 .0

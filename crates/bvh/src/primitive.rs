@@ -30,8 +30,15 @@ impl PointPrimitive {
     ///
     /// Panics in debug builds if `radius` is negative or non-finite.
     pub fn new(id: u32, position: Vec3, radius: f32) -> Self {
-        debug_assert!(radius.is_finite() && radius >= 0.0, "invalid radius {radius}");
-        PointPrimitive { id, position, radius }
+        debug_assert!(
+            radius.is_finite() && radius >= 0.0,
+            "invalid radius {radius}"
+        );
+        PointPrimitive {
+            id,
+            position,
+            radius,
+        }
     }
 }
 

@@ -74,7 +74,10 @@ impl Bvh2 {
                         stats.primitive_tests += 1;
                         let d2 = (prim.position - query).length_squared();
                         if d2 <= r2 {
-                            out.push(Neighbor { id: prim.id, distance_squared: d2 });
+                            out.push(Neighbor {
+                                id: prim.id,
+                                distance_squared: d2,
+                            });
                         }
                     }
                 }
@@ -155,7 +158,10 @@ impl Bvh2 {
         }
         let mut out: Vec<Neighbor> = best
             .into_iter()
-            .map(|(d, id)| Neighbor { id, distance_squared: f32::from_bits(d) })
+            .map(|(d, id)| Neighbor {
+                id,
+                distance_squared: f32::from_bits(d),
+            })
             .collect();
         out.sort_by(|a, b| a.distance_squared.total_cmp(&b.distance_squared));
         (out, stats)
@@ -180,7 +186,10 @@ impl Bvh2 {
         }
         let mut pq: std::collections::BinaryHeap<std::cmp::Reverse<(u64, u32)>> =
             std::collections::BinaryHeap::new();
-        pq.push(std::cmp::Reverse((key(self.nodes[0].aabb.distance_squared_to(query)), 0)));
+        pq.push(std::cmp::Reverse((
+            key(self.nodes[0].aabb.distance_squared_to(query)),
+            0,
+        )));
         while let Some(std::cmp::Reverse((bound_bits, i))) = pq.pop() {
             let bound = f32::from_bits(bound_bits as u32);
             if let Some(b) = best {
@@ -207,7 +216,10 @@ impl Bvh2 {
                         stats.primitive_tests += 1;
                         let d2 = (prim.position - query).length_squared();
                         if best.is_none_or(|b| d2 < b.distance_squared) {
-                            best = Some(Neighbor { id: prim.id, distance_squared: d2 });
+                            best = Some(Neighbor {
+                                id: prim.id,
+                                distance_squared: d2,
+                            });
                         }
                     }
                 }
@@ -312,8 +324,11 @@ mod tests {
                 rng.gen_range(-2.0..2.0),
             );
             let r = 0.25f32;
-            let mut got: Vec<u32> =
-                bvh.radius_search(&prims, q, r).iter().map(|n| n.id).collect();
+            let mut got: Vec<u32> = bvh
+                .radius_search(&prims, q, r)
+                .iter()
+                .map(|n| n.id)
+                .collect();
             got.sort_unstable();
             let mut expect: Vec<u32> = prims
                 .iter()
@@ -407,7 +422,11 @@ mod tests {
         assert!(stats.primitive_tests < 512);
         assert!(stats.max_stack_depth > 0);
         // Paper §VI-C: fewer than 200 distance tests per query on 3-D sets.
-        assert!(stats.primitive_tests < 200, "tests {}", stats.primitive_tests);
+        assert!(
+            stats.primitive_tests < 200,
+            "tests {}",
+            stats.primitive_tests
+        );
     }
 
     #[test]

@@ -34,7 +34,11 @@ impl SubCoreArbiter {
     /// Panics if `n` is zero.
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "arbiter needs at least one sub-core");
-        SubCoreArbiter { n, next: 0, locked_to: None }
+        SubCoreArbiter {
+            n,
+            next: 0,
+            locked_to: None,
+        }
     }
 
     /// Which sub-core the arbiter is currently locked to, if any.

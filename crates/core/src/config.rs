@@ -54,7 +54,10 @@ impl Default for HsuConfig {
 impl HsuConfig {
     /// The paper's baseline RT unit: identical front end, no HSU instructions.
     pub fn baseline_rt() -> Self {
-        HsuConfig { hsu_extensions: false, ..HsuConfig::default() }
+        HsuConfig {
+            hsu_extensions: false,
+            ..HsuConfig::default()
+        }
     }
 
     /// Returns a copy with a different Euclidean datapath width (Fig. 10).
@@ -63,7 +66,10 @@ impl HsuConfig {
     ///
     /// Panics if `width` is not a positive multiple of 2.
     pub fn with_euclid_width(mut self, width: usize) -> Self {
-        assert!(width >= 2 && width % 2 == 0, "euclid width must be an even positive number");
+        assert!(
+            width >= 2 && width.is_multiple_of(2),
+            "euclid width must be an even positive number"
+        );
         self.euclid_width = width;
         self
     }

@@ -69,7 +69,10 @@ fn opcode_from(value: u8) -> Option<HsuOpcode> {
 ///
 /// Panics if `fetch_bytes` exceeds the 28-bit field.
 pub fn encode(ins: &HsuInstruction) -> u128 {
-    assert!(ins.fetch_bytes < (1 << 28), "fetch size exceeds the 28-bit field");
+    assert!(
+        ins.fetch_bytes < (1 << 28),
+        "fetch size exceeds the 28-bit field"
+    );
     let mut word = 0u128;
     word |= opcode_value(ins.opcode) as u128 & 0x7;
     word |= (ins.accumulate as u128) << 3;
@@ -91,7 +94,12 @@ pub fn decode(word: u128) -> Result<HsuInstruction, DecodeError> {
     }
     let fetch_bytes = ((word >> 4) & 0x0fff_ffff) as u64;
     let node_ptr = ((word >> 32) & u64::MAX as u128) as u64;
-    Ok(HsuInstruction { opcode, node_ptr, fetch_bytes, accumulate })
+    Ok(HsuInstruction {
+        opcode,
+        node_ptr,
+        fetch_bytes,
+        accumulate,
+    })
 }
 
 #[cfg(test)]

@@ -20,7 +20,8 @@ pub fn execute_box(ray: &Ray, node: &BoxNode, t_max: f32) -> HsuResult {
         .children()
         .iter()
         .filter_map(|child| {
-            ray.intersect_aabb(&child.aabb, t_max).map(|h| (child.ptr, h.t_near))
+            ray.intersect_aabb(&child.aabb, t_max)
+                .map(|h| (child.ptr, h.t_near))
         })
         .collect();
     hits.sort_by(|a, b| a.1.total_cmp(&b.1));
@@ -57,7 +58,10 @@ pub fn execute_triangle(ray: &Ray, node: &TriangleNode, t_max: f32) -> HsuResult
 /// Panics if `width` exceeds 64 (the bit vector is modelled as a `u64`; the
 /// hardware width is 36).
 pub fn execute_key_compare(key: f32, node: &KeyNode, width: usize) -> HsuResult {
-    assert!(width <= 64, "key-compare width {width} exceeds the 64-bit result model");
+    assert!(
+        width <= 64,
+        "key-compare width {width} exceeds the 64-bit result model"
+    );
     let mut bits = 0u64;
     let n = node.separators().len().min(width);
     for (i, &sep) in node.separators()[..n].iter().enumerate() {
@@ -65,7 +69,10 @@ pub fn execute_key_compare(key: f32, node: &KeyNode, width: usize) -> HsuResult 
             bits |= 1 << i;
         }
     }
-    HsuResult::KeyMask { bits, count: n as u32 }
+    HsuResult::KeyMask {
+        bits,
+        count: n as u32,
+    }
 }
 
 /// The multi-beat accumulator (paper §IV-F).
@@ -159,14 +166,26 @@ mod tests {
         // Four boxes along +x at distances 1, 3, 5 and one off-axis miss.
         let mk = |x0: f32| Aabb::new(Vec3::new(x0, -1.0, -1.0), Vec3::new(x0 + 1.0, 1.0, 1.0));
         BoxNode::new(vec![
-            BoxChild { aabb: mk(5.0), ptr: 50, kind: NodeKind::Box },
-            BoxChild { aabb: mk(1.0), ptr: 10, kind: NodeKind::Box },
+            BoxChild {
+                aabb: mk(5.0),
+                ptr: 50,
+                kind: NodeKind::Box,
+            },
+            BoxChild {
+                aabb: mk(1.0),
+                ptr: 10,
+                kind: NodeKind::Box,
+            },
             BoxChild {
                 aabb: Aabb::new(Vec3::new(1.0, 5.0, 5.0), Vec3::new(2.0, 6.0, 6.0)),
                 ptr: 99,
                 kind: NodeKind::Box,
             },
-            BoxChild { aabb: mk(3.0), ptr: 30, kind: NodeKind::Box },
+            BoxChild {
+                aabb: mk(3.0),
+                ptr: 30,
+                kind: NodeKind::Box,
+            },
         ])
     }
 
@@ -206,7 +225,12 @@ mod tests {
         };
         let hit_ray = Ray::new(Vec3::new(0.2, 0.2, 0.0), Vec3::new(0.0, 0.0, 1.0));
         match execute_triangle(&hit_ray, &node, f32::INFINITY) {
-            HsuResult::TriangleHit { hit, triangle_id, t_num, t_denom } => {
+            HsuResult::TriangleHit {
+                hit,
+                triangle_id,
+                t_num,
+                t_denom,
+            } => {
                 assert!(hit);
                 assert_eq!(triangle_id, 7);
                 assert!((t_num / t_denom - 2.0).abs() < 1e-5);
@@ -261,7 +285,10 @@ mod tests {
             }
             let expected = point::euclidean_squared(&q, &c);
             let got = result.expect("final beat must produce a value");
-            assert!((got - expected).abs() < 1e-3 * (1.0 + expected), "dim {dim}");
+            assert!(
+                (got - expected).abs() < 1e-3 * (1.0 + expected),
+                "dim {dim}"
+            );
             assert!(!acc.is_pending(), "accumulator must clear after final beat");
         }
     }

@@ -94,7 +94,12 @@ pub struct HsuInstruction {
 impl HsuInstruction {
     /// A `RAY_INTERSECT` fetching `fetch_bytes` of node data at `node_ptr`.
     pub fn ray_intersect(node_ptr: u64, fetch_bytes: u64) -> Self {
-        HsuInstruction { opcode: HsuOpcode::RayIntersect, node_ptr, fetch_bytes, accumulate: false }
+        HsuInstruction {
+            opcode: HsuOpcode::RayIntersect,
+            node_ptr,
+            fetch_bytes,
+            accumulate: false,
+        }
     }
 
     /// A `POINT_EUCLID` beat.
@@ -119,7 +124,12 @@ impl HsuInstruction {
 
     /// A `KEY_COMPARE` fetching up to 36 separators.
     pub fn key_compare(node_ptr: u64, fetch_bytes: u64) -> Self {
-        HsuInstruction { opcode: HsuOpcode::KeyCompare, node_ptr, fetch_bytes, accumulate: false }
+        HsuInstruction {
+            opcode: HsuOpcode::KeyCompare,
+            node_ptr,
+            fetch_bytes,
+            accumulate: false,
+        }
     }
 
     /// Expands a full `dim`-dimensional distance computation into its beat
@@ -249,7 +259,10 @@ mod tests {
 
     #[test]
     fn key_child_index_counts_bits() {
-        let r = HsuResult::KeyMask { bits: 0b1011, count: 4 };
+        let r = HsuResult::KeyMask {
+            bits: 0b1011,
+            count: 4,
+        };
         assert_eq!(r.key_child_index(), 3);
     }
 

@@ -99,7 +99,9 @@ impl WarpBuffer {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "warp buffer needs at least one entry");
-        WarpBuffer { entries: (0..capacity).map(|_| None).collect() }
+        WarpBuffer {
+            entries: (0..capacity).map(|_| None).collect(),
+        }
     }
 
     /// Total number of entries.
@@ -132,12 +134,18 @@ impl WarpBuffer {
         active_mask: u32,
         mut lanes: Vec<Option<HsuInstruction>>,
     ) -> Option<EntryId> {
-        assert!(lanes.len() <= WARP_WIDTH, "at most {WARP_WIDTH} lanes per warp");
-        assert!(active_mask != 0, "warp instruction needs at least one active lane");
+        assert!(
+            lanes.len() <= WARP_WIDTH,
+            "at most {WARP_WIDTH} lanes per warp"
+        );
+        assert!(
+            active_mask != 0,
+            "warp instruction needs at least one active lane"
+        );
         lanes.resize(WARP_WIDTH, None);
-        for lane in 0..WARP_WIDTH {
+        for (lane, slot) in lanes.iter().enumerate() {
             if active_mask & (1 << lane) != 0 {
-                assert!(lanes[lane].is_some(), "active lane {lane} has no instruction");
+                assert!(slot.is_some(), "active lane {lane} has no instruction");
             }
         }
         let slot = self.entries.iter().position(|e| e.is_none())?;
@@ -201,19 +209,26 @@ impl WarpBuffer {
     /// Panics if the entry is vacant or not writeback-ready.
     pub fn release(&mut self, id: EntryId) -> WarpEntry {
         let entry = self.entries[id].take().expect("vacant warp buffer entry");
-        assert!(entry.writeback_ready(), "released entry has incomplete lanes");
+        assert!(
+            entry.writeback_ready(),
+            "released entry has incomplete lanes"
+        );
         entry
     }
 
     /// Iterator over occupied `(id, entry)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (EntryId, &WarpEntry)> + '_ {
-        self.entries.iter().enumerate().filter_map(|(i, e)| e.as_ref().map(|e| (i, e)))
+        self.entries
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| e.as_ref().map(|e| (i, e)))
     }
 
     /// Occupied entries that are ready to feed the datapath: operands
     /// gathered and at least one active lane unissued.
     pub fn ready_entries(&self) -> impl Iterator<Item = (EntryId, &WarpEntry)> + '_ {
-        self.iter().filter(|(_, e)| e.operands_ready() && !e.fully_issued())
+        self.iter()
+            .filter(|(_, e)| e.operands_ready() && !e.fully_issued())
     }
 }
 
@@ -227,7 +242,13 @@ mod tests {
 
     fn full_lanes(mask: u32) -> Vec<Option<HsuInstruction>> {
         (0..WARP_WIDTH)
-            .map(|l| if mask & (1 << l) != 0 { lane_instr(l as u64 * 0x10) } else { None })
+            .map(|l| {
+                if mask & (1 << l) != 0 {
+                    lane_instr(l as u64 * 0x10)
+                } else {
+                    None
+                }
+            })
             .collect()
     }
 

@@ -8,7 +8,6 @@ use hsu_core::node::{BoxChild, BoxNode, KeyNode, NodeKind, TriangleNode};
 use hsu_core::pipeline::{DatapathPipeline, OperatingMode};
 use hsu_core::warp_buffer::{WarpBuffer, WARP_WIDTH};
 use hsu_core::{HsuConfig, HsuInstruction};
-use hsu_geometry::point::Metric;
 use hsu_geometry::{Aabb, Ray, Triangle, Vec3};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -71,9 +70,17 @@ fn mixed_mode_random_stimulus() {
                     Vec3::new(rng.gen_range(-0.5..1.5), rng.gen_range(-0.5..1.5), 0.0),
                     Vec3::new(0.0, 0.0, 1.0),
                 );
-                let node = TriangleNode { triangle: tri, triangle_id: trial as u32 };
+                let node = TriangleNode {
+                    triangle: tri,
+                    triangle_id: trial as u32,
+                };
                 match exec::execute_triangle(&ray, &node, f32::INFINITY) {
-                    hsu_core::isa::HsuResult::TriangleHit { hit, t_num, t_denom, .. } => {
+                    hsu_core::isa::HsuResult::TriangleHit {
+                        hit,
+                        t_num,
+                        t_denom,
+                        ..
+                    } => {
                         let reference = tri.intersect(&ray, f32::INFINITY);
                         assert_eq!(hit, reference.is_some(), "hit status mismatch");
                         if let Some(r) = reference {
@@ -108,9 +115,7 @@ fn mixed_mode_random_stimulus() {
                     }
                     let (dot, norm) = out.unwrap();
                     assert!((dot - hsu_geometry::point::dot(&q, &c)).abs() < 1e-3);
-                    assert!(
-                        (norm - hsu_geometry::point::norm_squared(&c)).abs() < 1e-3
-                    );
+                    assert!((norm - hsu_geometry::point::norm_squared(&c)).abs() < 1e-3);
                 }
             }
             OperatingMode::KeyCompare => {
@@ -225,6 +230,9 @@ fn front_end_conserves_lanes_under_contention() {
     }
 
     assert_eq!(retired, total_warps);
-    assert_eq!(lanes_seen, lanes_expected, "every active lane completed once");
+    assert_eq!(
+        lanes_seen, lanes_expected,
+        "every active lane completed once"
+    );
     assert_eq!(buffer.occupancy(), 0);
 }

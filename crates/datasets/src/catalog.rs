@@ -126,24 +126,88 @@ pub fn spec(id: DatasetId) -> DatasetSpec {
     use DataFamily::*;
     use DatasetId::*;
     let (abbr, dims, paper_points, scaled_points, metric, family) = match id {
-        Deep1b => ("D1B", 96, 9_900_000, 20_000, Some(Metric::Angular), Embedding),
-        FashionMnist => ("FMNT", 784, 60_000, 4_000, Some(Metric::Euclidean), Embedding),
-        Mnist => ("MNT", 784, 60_000, 4_000, Some(Metric::Euclidean), Embedding),
-        Gist => ("GST", 960, 1_000_000, 3_000, Some(Metric::Euclidean), Embedding),
-        Glove => ("GLV", 200, 1_180_000, 10_000, Some(Metric::Angular), Embedding),
+        Deep1b => (
+            "D1B",
+            96,
+            9_900_000,
+            20_000,
+            Some(Metric::Angular),
+            Embedding,
+        ),
+        FashionMnist => (
+            "FMNT",
+            784,
+            60_000,
+            4_000,
+            Some(Metric::Euclidean),
+            Embedding,
+        ),
+        Mnist => (
+            "MNT",
+            784,
+            60_000,
+            4_000,
+            Some(Metric::Euclidean),
+            Embedding,
+        ),
+        Gist => (
+            "GST",
+            960,
+            1_000_000,
+            3_000,
+            Some(Metric::Euclidean),
+            Embedding,
+        ),
+        Glove => (
+            "GLV",
+            200,
+            1_180_000,
+            10_000,
+            Some(Metric::Angular),
+            Embedding,
+        ),
         LastFm => ("LFM", 65, 292_000, 10_000, Some(Metric::Angular), Embedding),
         Nytimes => ("NYT", 256, 290_000, 8_000, Some(Metric::Angular), Embedding),
-        Sift1m => ("S1M", 128, 1_000_000, 12_000, Some(Metric::Euclidean), Embedding),
-        Sift10k => ("S10K", 128, 10_000, 5_000, Some(Metric::Euclidean), Embedding),
+        Sift1m => (
+            "S1M",
+            128,
+            1_000_000,
+            12_000,
+            Some(Metric::Euclidean),
+            Embedding,
+        ),
+        Sift10k => (
+            "S10K",
+            128,
+            10_000,
+            5_000,
+            Some(Metric::Euclidean),
+            Embedding,
+        ),
         Random10k => ("R10K", 3, 10_000, 10_000, Some(Metric::Euclidean), Uniform),
         Bunny => ("BUN", 3, 35_900, 20_000, Some(Metric::Euclidean), Surface),
         Dragon => ("DRG", 3, 437_000, 30_000, Some(Metric::Euclidean), Surface),
         Buddha => ("BUD", 3, 543_000, 30_000, Some(Metric::Euclidean), Surface),
-        Cosmos => ("COS", 3, 100_000, 25_000, Some(Metric::Euclidean), Cosmology),
+        Cosmos => (
+            "COS",
+            3,
+            100_000,
+            25_000,
+            Some(Metric::Euclidean),
+            Cosmology,
+        ),
         BTree1m => ("B+1M", 1, 1_000_000, 200_000, None, Keys),
         BTree10k => ("B+10K", 1, 10_000, 10_000, None, Keys),
     };
-    DatasetSpec { id, abbr, dims, paper_points, scaled_points, metric, family }
+    DatasetSpec {
+        id,
+        abbr,
+        dims,
+        paper_points,
+        scaled_points,
+        metric,
+        family,
+    }
 }
 
 #[cfg(test)]

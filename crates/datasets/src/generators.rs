@@ -33,7 +33,11 @@ impl Dataset {
         match spec.family {
             DataFamily::Keys => {
                 let keys = gen_keys(&mut rng, n);
-                Dataset { spec, points: None, keys: Some(keys) }
+                Dataset {
+                    spec,
+                    points: None,
+                    keys: Some(keys),
+                }
             }
             family => {
                 let points = match family {
@@ -43,7 +47,11 @@ impl Dataset {
                     DataFamily::Uniform => gen_uniform(&mut rng, n, spec.dims),
                     DataFamily::Keys => unreachable!(),
                 };
-                Dataset { spec, points: Some(points), keys: None }
+                Dataset {
+                    spec,
+                    points: Some(points),
+                    keys: None,
+                }
             }
         }
     }
@@ -75,7 +83,10 @@ fn gen_keys(rng: &mut ChaCha8Rng, n: usize) -> Vec<(u32, u64)> {
             keys.push(k);
         }
     }
-    keys.into_iter().enumerate().map(|(i, k)| (k, i as u64)).collect()
+    keys.into_iter()
+        .enumerate()
+        .map(|(i, k)| (k, i as u64))
+        .collect()
 }
 
 /// Gaussian-mixture embedding: `sqrt(n)`-ish clusters with anisotropic
@@ -89,8 +100,9 @@ fn gen_embedding(rng: &mut ChaCha8Rng, n: usize, dims: usize) -> PointSet {
     let centres: Vec<Vec<f32>> = (0..n_clusters)
         .map(|_| (0..dims).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
         .collect();
-    let sigmas: Vec<f32> =
-        (0..dims).map(|d| 0.25 / (1.0 + d as f32 / 32.0).sqrt()).collect();
+    let sigmas: Vec<f32> = (0..dims)
+        .map(|d| 0.25 / (1.0 + d as f32 / 32.0).sqrt())
+        .collect();
     let mut data = Vec::with_capacity(n * dims);
     for _ in 0..n {
         let c = &centres[rng.gen_range(0..n_clusters)];
@@ -145,7 +157,7 @@ fn gen_cosmology(rng: &mut ChaCha8Rng, n: usize) -> PointSet {
         let u: f32 = rng.gen_range(1e-4f32..1.0);
         let r = a / (u.powf(-2.0 / 3.0) - 1.0).sqrt().max(1e-3);
         let r = r.min(8.0); // clamp the rare far outliers
-        // Random direction.
+                            // Random direction.
         let z = rng.gen_range(-1.0f32..1.0);
         let phi = rng.gen_range(0.0f32..std::f32::consts::TAU);
         let s = (1.0 - z * z).sqrt();
@@ -191,7 +203,10 @@ mod tests {
                 Some(p) => {
                     assert_eq!(p.dim(), ds.spec().dims, "{id:?}");
                     assert_eq!(p.len(), 50);
-                    assert!(p.as_flat().iter().all(|v| v.is_finite()), "{id:?} non-finite");
+                    assert!(
+                        p.as_flat().iter().all(|v| v.is_finite()),
+                        "{id:?} non-finite"
+                    );
                 }
                 None => {
                     let keys = ds.keys().unwrap();
@@ -229,7 +244,7 @@ mod tests {
 
         let uni = Dataset::generate_scaled(DatasetId::Random10k, 5, Some(500));
         let _ = uni; // 3-D uniform is not comparable; instead check spread:
-        // points within a cluster should be much closer than the global std.
+                     // points within a cluster should be much closer than the global std.
         let mut global = 0.0f64;
         for i in 0..100 {
             let d = hsu_geometry::point::euclidean_squared(p.point(i), p.point(i + 100));
@@ -258,7 +273,10 @@ mod tests {
         let p = ds.points().unwrap();
         // Median NN distance must be tiny relative to the 20-unit box.
         let mut ds2: Vec<f32> = (0..200)
-            .map(|i| p.nearest_brute_force_excluding(p.point(i), i, Metric::Euclidean).1)
+            .map(|i| {
+                p.nearest_brute_force_excluding(p.point(i), i, Metric::Euclidean)
+                    .1
+            })
             .collect();
         ds2.sort_by(f32::total_cmp);
         let median = ds2[100].sqrt();

@@ -76,7 +76,11 @@ pub fn recall_at_k(found: &[Vec<u32>], truth: &[Vec<usize>], k: usize) -> f64 {
     for (f, t) in found.iter().zip(truth) {
         let want: std::collections::HashSet<usize> = t.iter().take(k).copied().collect();
         total += want.len();
-        hits += f.iter().take(k).filter(|&&i| want.contains(&(i as usize))).count();
+        hits += f
+            .iter()
+            .take(k)
+            .filter(|&&i| want.contains(&(i as usize)))
+            .count();
     }
     hits as f64 / total as f64
 }

@@ -63,14 +63,19 @@ impl Aabb {
     /// The box of half-side `radius` centred on `center` (the RTNN leaf shape).
     #[inline]
     pub fn around_point(center: Vec3, radius: f32) -> Self {
-        Aabb { min: center - Vec3::splat(radius), max: center + Vec3::splat(radius) }
+        Aabb {
+            min: center - Vec3::splat(radius),
+            max: center + Vec3::splat(radius),
+        }
     }
 
     /// The tightest box containing every point in `points`.
     ///
     /// Returns [`Aabb::EMPTY`] for an empty iterator.
     pub fn from_points<I: IntoIterator<Item = Vec3>>(points: I) -> Self {
-        points.into_iter().fold(Aabb::EMPTY, |acc, p| acc.expanded_to(p))
+        points
+            .into_iter()
+            .fold(Aabb::EMPTY, |acc, p| acc.expanded_to(p))
     }
 
     /// Returns `true` if this is the empty box.
@@ -104,13 +109,19 @@ impl Aabb {
     /// Smallest box containing both `self` and `other`.
     #[inline]
     pub fn union(&self, other: &Aabb) -> Aabb {
-        Aabb { min: self.min.min(other.min), max: self.max.max(other.max) }
+        Aabb {
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+        }
     }
 
     /// Smallest box containing `self` and the point `p`.
     #[inline]
     pub fn expanded_to(&self, p: Vec3) -> Aabb {
-        Aabb { min: self.min.min(p), max: self.max.max(p) }
+        Aabb {
+            min: self.min.min(p),
+            max: self.max.max(p),
+        }
     }
 
     /// Returns `true` if `p` lies inside or on the boundary.

@@ -47,9 +47,7 @@ pub fn encode_30(x: u32, y: u32, z: u32) -> u32 {
 /// Interleaves three 21-bit coordinates into a 63-bit Morton code.
 #[inline]
 pub fn encode_63(x: u32, y: u32, z: u32) -> u64 {
-    expand_bits_21(x as u64)
-        | (expand_bits_21(y as u64) << 1)
-        | (expand_bits_21(z as u64) << 2)
+    expand_bits_21(x as u64) | (expand_bits_21(y as u64) << 1) | (expand_bits_21(z as u64) << 2)
 }
 
 /// Quantizes `p` inside `bounds` to the `[0, 2^bits)` integer lattice.

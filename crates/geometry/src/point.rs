@@ -159,7 +159,9 @@ pub fn angular_beat(q: &[f32], c: &[f32], beat: usize) -> (f32, f32) {
 /// Accumulates all Euclidean beats, as the multi-beat instruction sequence
 /// does, and returns the total squared distance.
 pub fn euclid_multibeat(q: &[f32], c: &[f32]) -> f32 {
-    (0..Metric::Euclidean.beats(q.len())).map(|b| euclid_beat(q, c, b)).sum()
+    (0..Metric::Euclidean.beats(q.len()))
+        .map(|b| euclid_beat(q, c, b))
+        .sum()
 }
 
 /// Accumulates all angular beats and returns `(dot_sum, norm_sum)` — the two
@@ -214,7 +216,7 @@ impl PointSet {
     pub fn from_rows(dim: usize, data: Vec<f32>) -> Self {
         assert!(dim > 0, "dimension must be positive");
         assert!(
-            data.len() % dim == 0,
+            data.len().is_multiple_of(dim),
             "data length {} is not a multiple of dim {}",
             data.len(),
             dim
@@ -326,8 +328,11 @@ impl PointSet {
     /// first. Returns fewer than `k` if the set is smaller.
     pub fn k_nearest_brute_force(&self, q: &[f32], k: usize, metric: Metric) -> Vec<(usize, f32)> {
         assert_eq!(q.len(), self.dim, "query dimension mismatch");
-        let mut all: Vec<(usize, f32)> =
-            self.iter().map(|c| metric.distance(q, c)).enumerate().collect();
+        let mut all: Vec<(usize, f32)> = self
+            .iter()
+            .map(|c| metric.distance(q, c))
+            .enumerate()
+            .collect();
         all.sort_by(|a, b| a.1.total_cmp(&b.1));
         all.truncate(k);
         all
@@ -431,7 +436,9 @@ mod tests {
     #[test]
     fn brute_force_nearest() {
         let set = PointSet::from_rows(2, vec![0.0, 0.0, 10.0, 0.0, 3.0, 4.0]);
-        let (idx, d) = set.nearest_brute_force(&[9.0, 1.0], Metric::Euclidean).unwrap();
+        let (idx, d) = set
+            .nearest_brute_force(&[9.0, 1.0], Metric::Euclidean)
+            .unwrap();
         assert_eq!(idx, 1);
         assert_eq!(d, 2.0);
         let knn = set.k_nearest_brute_force(&[0.0, 0.0], 2, Metric::Euclidean);
@@ -442,8 +449,12 @@ mod tests {
     #[test]
     fn brute_force_empty_set() {
         let set = PointSet::empty(2);
-        assert!(set.nearest_brute_force(&[0.0, 0.0], Metric::Euclidean).is_none());
-        assert!(set.k_nearest_brute_force(&[0.0, 0.0], 3, Metric::Euclidean).is_empty());
+        assert!(set
+            .nearest_brute_force(&[0.0, 0.0], Metric::Euclidean)
+            .is_none());
+        assert!(set
+            .k_nearest_brute_force(&[0.0, 0.0], 3, Metric::Euclidean)
+            .is_empty());
     }
 
     #[test]

@@ -59,7 +59,15 @@ impl Ray {
             std::mem::swap(&mut kx, &mut ky);
         }
         let shear = Vec3::new(dir[kx] / dir[kz], dir[ky] / dir[kz], 1.0 / dir[kz]);
-        Ray { origin, dir, inv_dir: dir.recip(), kx, ky, kz, shear }
+        Ray {
+            origin,
+            dir,
+            inv_dir: dir.recip(),
+            kx,
+            ky,
+            kz,
+            shear,
+        }
     }
 
     /// The point `origin + t * dir`.
@@ -97,7 +105,11 @@ mod tests {
             let r = Ray::new(Vec3::ZERO, dir);
             let mut axes = [r.kx, r.ky, r.kz];
             axes.sort_unstable();
-            assert_eq!(axes, [0, 1, 2], "shear axes must be a permutation for {dir}");
+            assert_eq!(
+                axes,
+                [0, 1, 2],
+                "shear axes must be a permutation for {dir}"
+            );
         }
     }
 

@@ -141,7 +141,13 @@ impl Triangle {
             return None;
         }
 
-        Some(TriangleHit { t_num, t_denom: det, u, v, w })
+        Some(TriangleHit {
+            t_num,
+            t_denom: det,
+            u,
+            v,
+            w,
+        })
     }
 }
 

@@ -30,7 +30,11 @@ pub struct Vec3 {
 
 impl Vec3 {
     /// The zero vector.
-    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+    pub const ZERO: Vec3 = Vec3 {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
 
     /// Creates a vector from its three components.
     #[inline]
@@ -107,7 +111,11 @@ impl Vec3 {
     /// Component-wise multiplication.
     #[inline]
     pub fn mul_elem(self, other: Vec3) -> Vec3 {
-        Vec3 { x: self.x * other.x, y: self.y * other.y, z: self.z * other.z }
+        Vec3 {
+            x: self.x * other.x,
+            y: self.y * other.y,
+            z: self.z * other.z,
+        }
     }
 
     /// Component-wise reciprocal, used to precompute the inverse ray direction.
@@ -116,7 +124,11 @@ impl Vec3 {
     /// slab test relies on for axis-parallel rays.
     #[inline]
     pub fn recip(self) -> Vec3 {
-        Vec3 { x: 1.0 / self.x, y: 1.0 / self.y, z: 1.0 / self.z }
+        Vec3 {
+            x: 1.0 / self.x,
+            y: 1.0 / self.y,
+            z: 1.0 / self.z,
+        }
     }
 
     /// Index of the component with the largest absolute value (0, 1 or 2).
@@ -198,7 +210,11 @@ impl Add for Vec3 {
     type Output = Vec3;
     #[inline]
     fn add(self, rhs: Vec3) -> Vec3 {
-        Vec3 { x: self.x + rhs.x, y: self.y + rhs.y, z: self.z + rhs.z }
+        Vec3 {
+            x: self.x + rhs.x,
+            y: self.y + rhs.y,
+            z: self.z + rhs.z,
+        }
     }
 }
 
@@ -213,7 +229,11 @@ impl Sub for Vec3 {
     type Output = Vec3;
     #[inline]
     fn sub(self, rhs: Vec3) -> Vec3 {
-        Vec3 { x: self.x - rhs.x, y: self.y - rhs.y, z: self.z - rhs.z }
+        Vec3 {
+            x: self.x - rhs.x,
+            y: self.y - rhs.y,
+            z: self.z - rhs.z,
+        }
     }
 }
 
@@ -228,7 +248,11 @@ impl Mul<f32> for Vec3 {
     type Output = Vec3;
     #[inline]
     fn mul(self, rhs: f32) -> Vec3 {
-        Vec3 { x: self.x * rhs, y: self.y * rhs, z: self.z * rhs }
+        Vec3 {
+            x: self.x * rhs,
+            y: self.y * rhs,
+            z: self.z * rhs,
+        }
     }
 }
 
@@ -244,7 +268,11 @@ impl Div<f32> for Vec3 {
     type Output = Vec3;
     #[inline]
     fn div(self, rhs: f32) -> Vec3 {
-        Vec3 { x: self.x / rhs, y: self.y / rhs, z: self.z / rhs }
+        Vec3 {
+            x: self.x / rhs,
+            y: self.y / rhs,
+            z: self.z / rhs,
+        }
     }
 }
 
@@ -252,7 +280,11 @@ impl Neg for Vec3 {
     type Output = Vec3;
     #[inline]
     fn neg(self) -> Vec3 {
-        Vec3 { x: -self.x, y: -self.y, z: -self.z }
+        Vec3 {
+            x: -self.x,
+            y: -self.y,
+            z: -self.z,
+        }
     }
 }
 

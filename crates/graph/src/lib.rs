@@ -52,7 +52,11 @@ pub struct GraphConfig {
 
 impl Default for GraphConfig {
     fn default() -> Self {
-        GraphConfig { m: 16, ef_construction: 64, level_base: 16.0 }
+        GraphConfig {
+            m: 16,
+            ef_construction: 64,
+            level_base: 16.0,
+        }
     }
 }
 
@@ -90,7 +94,10 @@ impl HnswGraph {
     ///
     /// Panics if `data` is empty or the config degree is zero.
     pub fn build(data: &PointSet, metric: Metric, config: GraphConfig, seed: u64) -> Self {
-        assert!(!data.is_empty(), "cannot build a graph over an empty point set");
+        assert!(
+            !data.is_empty(),
+            "cannot build a graph over an empty point set"
+        );
         assert!(config.m > 0, "graph degree must be positive");
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let n = data.len();
@@ -143,7 +150,11 @@ impl HnswGraph {
                 self.layer_search(data, q, entry, l, self.config.ef_construction, &mut stats);
             // Standard HNSW: the base layer carries twice the degree, which
             // keeps outliers reachable after back-edge pruning.
-            let m = if l == 0 { self.config.m * 2 } else { self.config.m };
+            let m = if l == 0 {
+                self.config.m * 2
+            } else {
+                self.config.m
+            };
             let chosen = self.select_neighbors_heuristic(data, &candidates, m);
             if let Some(&(best, _)) = candidates.first() {
                 entry = best;
@@ -256,7 +267,10 @@ impl HnswGraph {
 
         while let Some(Reverse((OrdF32(d), node))) = to_visit.pop() {
             stats.queue_ops += 1;
-            let worst = best.peek().map(|&(OrdF32(w), _)| w).unwrap_or(f32::INFINITY);
+            let worst = best
+                .peek()
+                .map(|&(OrdF32(w), _)| w)
+                .unwrap_or(f32::INFINITY);
             if d > worst && best.len() >= ef {
                 break;
             }
@@ -269,7 +283,10 @@ impl HnswGraph {
                 stats.hops += 1;
                 stats.distance_tests += 1;
                 let dn = self.metric.distance(q, data.point(nb as usize));
-                let worst = best.peek().map(|&(OrdF32(w), _)| w).unwrap_or(f32::INFINITY);
+                let worst = best
+                    .peek()
+                    .map(|&(OrdF32(w), _)| w)
+                    .unwrap_or(f32::INFINITY);
                 if best.len() < ef || dn < worst {
                     stats.queue_ops += 2;
                     to_visit.push(Reverse((OrdF32(dn), nb)));
@@ -308,8 +325,7 @@ impl HnswGraph {
         for l in (1..self.layers.len()).rev() {
             entry = self.greedy_closest(data, query, entry, l, &mut stats);
         }
-        let (mut out, _) =
-            self.layer_search(data, query, entry, 0, ef.max(k), &mut stats);
+        let (mut out, _) = self.layer_search(data, query, entry, 0, ef.max(k), &mut stats);
         out.truncate(k);
         (out, stats)
     }
@@ -411,7 +427,10 @@ mod tests {
             let exact = data.k_nearest_brute_force(&q, 10, Metric::Angular);
             let exact_ids: std::collections::HashSet<usize> =
                 exact.iter().map(|&(i, _)| i).collect();
-            overlap += found.iter().filter(|&&(i, _)| exact_ids.contains(&(i as usize))).count();
+            overlap += found
+                .iter()
+                .filter(|&&(i, _)| exact_ids.contains(&(i as usize)))
+                .count();
         }
         let recall = overlap as f64 / (total * 10) as f64;
         assert!(recall >= 0.8, "recall@10 = {recall}");
@@ -432,7 +451,7 @@ mod tests {
     fn stats_track_work_split() {
         let data = random_set(1000, 32, 6);
         let graph = HnswGraph::build(&data, Metric::Euclidean, GraphConfig::default(), 10);
-        let (_, stats) = graph.search(&data, &vec![0.0f32; 32], 10, 64);
+        let (_, stats) = graph.search(&data, &[0.0f32; 32], 10, 64);
         assert!(stats.distance_tests > 0);
         assert!(stats.queue_ops > 0);
         assert!(stats.hops > 0);
@@ -444,17 +463,29 @@ mod tests {
     fn layered_structure_properties() {
         let data = random_set(3000, 8, 8);
         let graph = HnswGraph::build(&data, Metric::Euclidean, GraphConfig::default(), 11);
-        assert!(graph.layer_count() >= 2, "expected a hierarchy, got 1 layer");
+        assert!(
+            graph.layer_count() >= 2,
+            "expected a hierarchy, got 1 layer"
+        );
         // Entry point lives on the top layer.
-        assert_eq!(graph.node_level(graph.entry_point()), graph.layer_count() - 1);
+        assert_eq!(
+            graph.node_level(graph.entry_point()),
+            graph.layer_count() - 1
+        );
         // Upper layers are sparser than the base layer.
-        let base_nodes = (0..3000u32).filter(|&i| !graph.neighbors(0, i).is_empty()).count();
+        let base_nodes = (0..3000u32)
+            .filter(|&i| !graph.neighbors(0, i).is_empty())
+            .count();
         let top = graph.layer_count() - 1;
         let top_nodes = (0..3000u32).filter(|&i| graph.node_level(i) >= top).count();
         assert!(top_nodes < base_nodes / 4);
         // Degree bound holds everywhere (2x on the base layer).
         for l in 0..graph.layer_count() {
-            let cap = if l == 0 { GraphConfig::default().m * 2 } else { GraphConfig::default().m };
+            let cap = if l == 0 {
+                GraphConfig::default().m * 2
+            } else {
+                GraphConfig::default().m
+            };
             for i in 0..3000u32 {
                 assert!(graph.neighbors(l, i).len() <= cap);
             }

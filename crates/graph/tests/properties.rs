@@ -9,7 +9,9 @@ fn arb_set() -> impl Strategy<Value = PointSet> {
         // Deterministic pseudo-random points from the seed.
         let data: Vec<f32> = (0..n * dim)
             .map(|i| {
-                let x = (i as u64).wrapping_mul(6364136223846793005).wrapping_add(seed);
+                let x = (i as u64)
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(seed);
                 ((x >> 33) % 2000) as f32 * 0.01 - 10.0
             })
             .collect();

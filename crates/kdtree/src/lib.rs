@@ -151,7 +151,10 @@ impl KdTree {
     ) {
         let n = end - start;
         if n <= self.max_leaf {
-            self.nodes[node] = KdNode::Leaf { start: start as u32, count: n as u32 };
+            self.nodes[node] = KdNode::Leaf {
+                start: start as u32,
+                count: n as u32,
+            };
             return;
         }
         // Axis selection: compute per-dimension variance over the range.
@@ -179,9 +182,9 @@ impl KdTree {
                 let top = order[..order.len().min(5)].to_vec();
                 top[rng.gen_range(0..top.len())]
             }
-            None => {
-                (0..self.dim).max_by(|&a, &b| var[a].total_cmp(&var[b])).unwrap_or(0)
-            }
+            None => (0..self.dim)
+                .max_by(|&a, &b| var[a].total_cmp(&var[b]))
+                .unwrap_or(0),
         };
 
         // Median split along the chosen axis.
@@ -194,7 +197,10 @@ impl KdTree {
         // Degenerate guard: if every value equals the median the partition
         // may be empty on one side; fall back to a leaf split in half.
         if self.indices[start..mid].is_empty() || self.indices[mid..end].is_empty() {
-            self.nodes[node] = KdNode::Leaf { start: start as u32, count: n as u32 };
+            self.nodes[node] = KdNode::Leaf {
+                start: start as u32,
+                count: n as u32,
+            };
             return;
         }
 
@@ -202,8 +208,12 @@ impl KdTree {
         self.nodes.push(KdNode::Leaf { start: 0, count: 0 });
         let right = self.nodes.len() as u32;
         self.nodes.push(KdNode::Leaf { start: 0, count: 0 });
-        self.nodes[node] =
-            KdNode::Split { axis: axis as u32, value: split_value, left, right };
+        self.nodes[node] = KdNode::Split {
+            axis: axis as u32,
+            value: split_value,
+            left,
+            right,
+        };
         self.split_range(data, left as usize, start, mid, rng);
         self.split_range(data, right as usize, mid, end, rng);
     }
@@ -254,10 +264,19 @@ impl KdTree {
                     }
                 }
             }
-            KdNode::Split { axis, value, left, right } => {
+            KdNode::Split {
+                axis,
+                value,
+                left,
+                right,
+            } => {
                 stats.splits_visited += 1;
                 let diff = query[axis as usize] - value;
-                let (near, far) = if diff < 0.0 { (left, right) } else { (right, left) };
+                let (near, far) = if diff < 0.0 {
+                    (left, right)
+                } else {
+                    (right, left)
+                };
                 self.exact_descend(data, query, near, best, stats);
                 // Backtrack if the plane is closer than the best distance.
                 if best.is_none_or(|(_, bd)| diff * diff < bd) {
@@ -274,10 +293,19 @@ impl KdTree {
     ///
     /// Panics if `k` is zero, the query dimension mismatches, or the metric
     /// is angular.
-    pub fn knn_exact(&self, data: &PointSet, query: &[f32], k: usize) -> (Vec<KdNeighbor>, KdStats) {
+    pub fn knn_exact(
+        &self,
+        data: &PointSet,
+        query: &[f32],
+        k: usize,
+    ) -> (Vec<KdNeighbor>, KdStats) {
         assert!(k > 0, "k must be positive");
         assert_eq!(query.len(), self.dim, "query dimension mismatch");
-        assert_eq!(self.metric, Metric::Euclidean, "exact search requires Euclidean");
+        assert_eq!(
+            self.metric,
+            Metric::Euclidean,
+            "exact search requires Euclidean"
+        );
         let mut stats = KdStats::default();
         if self.nodes.is_empty() {
             return (Vec::new(), stats);
@@ -315,12 +343,24 @@ impl KdTree {
                     }
                 }
             }
-            KdNode::Split { axis, value, left, right } => {
+            KdNode::Split {
+                axis,
+                value,
+                left,
+                right,
+            } => {
                 stats.splits_visited += 1;
                 let diff = query[axis as usize] - value;
-                let (near, far) = if diff < 0.0 { (left, right) } else { (right, left) };
+                let (near, far) = if diff < 0.0 {
+                    (left, right)
+                } else {
+                    (right, left)
+                };
                 self.knn_descend(data, query, near, k, best, stats);
-                let worst = best.peek().map(|&(OrdF32(w), _)| w).unwrap_or(f32::INFINITY);
+                let worst = best
+                    .peek()
+                    .map(|&(OrdF32(w), _)| w)
+                    .unwrap_or(f32::INFINITY);
                 if best.len() < k || diff * diff < worst {
                     self.knn_descend(data, query, far, k, best, stats);
                 }
@@ -341,7 +381,11 @@ impl KdTree {
         radius_sq: f32,
     ) -> (Vec<KdNeighbor>, KdStats) {
         assert_eq!(query.len(), self.dim, "query dimension mismatch");
-        assert_eq!(self.metric, Metric::Euclidean, "range search requires Euclidean");
+        assert_eq!(
+            self.metric,
+            Metric::Euclidean,
+            "range search requires Euclidean"
+        );
         let mut out = Vec::new();
         let mut stats = KdStats::default();
         if self.nodes.is_empty() {
@@ -361,10 +405,19 @@ impl KdTree {
                         }
                     }
                 }
-                KdNode::Split { axis, value, left, right } => {
+                KdNode::Split {
+                    axis,
+                    value,
+                    left,
+                    right,
+                } => {
                     stats.splits_visited += 1;
                     let diff = query[axis as usize] - value;
-                    let (near, far) = if diff < 0.0 { (left, right) } else { (right, left) };
+                    let (near, far) = if diff < 0.0 {
+                        (left, right)
+                    } else {
+                        (right, left)
+                    };
                     stack.push(near);
                     if diff * diff <= radius_sq {
                         stack.push(far);
@@ -411,10 +464,19 @@ impl KdTree {
             let mut node = start_node;
             loop {
                 match self.nodes[node as usize] {
-                    KdNode::Split { axis, value, left, right } => {
+                    KdNode::Split {
+                        axis,
+                        value,
+                        left,
+                        right,
+                    } => {
                         stats.splits_visited += 1;
                         let diff = query[axis as usize] - value;
-                        let (near, far) = if diff < 0.0 { (left, right) } else { (right, left) };
+                        let (near, far) = if diff < 0.0 {
+                            (left, right)
+                        } else {
+                            (right, left)
+                        };
                         frontier.push(Reverse((OrdF32(diff * diff), far)));
                         node = near;
                     }
@@ -435,8 +497,7 @@ impl KdTree {
                 }
             }
         }
-        let mut out: Vec<KdNeighbor> =
-            results.into_iter().map(|(OrdF32(d), i)| (i, d)).collect();
+        let mut out: Vec<KdNeighbor> = results.into_iter().map(|(OrdF32(d), i)| (i, d)).collect();
         out.sort_by(|a, b| a.1.total_cmp(&b.1));
         (out, stats)
     }
@@ -621,7 +682,10 @@ mod tests {
             let expect = data.k_nearest_brute_force(&q, 7, Metric::Euclidean);
             assert_eq!(got.len(), 7);
             for (g, e) in got.iter().zip(&expect) {
-                assert!((g.1 - e.1).abs() <= 1e-5 * (1.0 + e.1), "{got:?} vs {expect:?}");
+                assert!(
+                    (g.1 - e.1).abs() <= 1e-5 * (1.0 + e.1),
+                    "{got:?} vs {expect:?}"
+                );
             }
             assert!(stats.distance_tests < 600, "pruning must beat brute force");
         }
@@ -661,7 +725,10 @@ mod tests {
         let empty = PointSet::empty(3);
         let tree = KdTree::build(&empty, Metric::Euclidean);
         assert_eq!(tree.nearest_exact(&empty, &[0.0; 3]).0, None);
-        assert!(tree.knn_best_bin_first(&empty, &[0.0; 3], 1, 10).0.is_empty());
+        assert!(tree
+            .knn_best_bin_first(&empty, &[0.0; 3], 1, 10)
+            .0
+            .is_empty());
 
         let one = PointSet::from_rows(3, vec![1.0, 2.0, 3.0]);
         let tree = KdTree::build(&one, Metric::Euclidean);
@@ -671,7 +738,7 @@ mod tests {
 
     #[test]
     fn duplicate_points_build() {
-        let data = PointSet::from_rows(2, vec![1.0, 1.0].repeat(100));
+        let data = PointSet::from_rows(2, [1.0, 1.0].repeat(100));
         let tree = KdTree::build(&data, Metric::Euclidean);
         let (n, _) = tree.nearest_exact(&data, &[1.0, 1.0]);
         assert_eq!(n.unwrap().1, 0.0);

@@ -28,7 +28,12 @@ pub struct BtreeParams {
 
 impl Default for BtreeParams {
     fn default() -> Self {
-        BtreeParams { keys: 10_000, queries: 512, branch: 256, seed: 1 }
+        BtreeParams {
+            keys: 10_000,
+            queries: 512,
+            branch: 256,
+            seed: 1,
+        }
     }
 }
 
@@ -78,7 +83,8 @@ impl BtreeWorkload {
     pub fn build_from_pairs(pairs: Vec<(u32, u64)>, lookups: &[u32], branch: usize) -> Self {
         let reference: std::collections::BTreeMap<u32, u64> = pairs.iter().copied().collect();
         let tree = BPlusTree::bulk_build(pairs, branch);
-        tree.validate().expect("bulk build must produce a valid tree");
+        tree.validate()
+            .expect("bulk build must produce a valid tree");
 
         let mut events = Vec::with_capacity(lookups.len());
         let mut correct = 0usize;
@@ -146,8 +152,7 @@ impl BtreeWorkload {
                 // dependent full-node fetches per level with syncs between
                 // (the structure of Rodinia's findK kernel).
                 for events in &self.events {
-                    let mut lanes: Vec<ThreadTrace> =
-                        (0..32).map(|_| ThreadTrace::new()).collect();
+                    let mut lanes: Vec<ThreadTrace> = (0..32).map(|_| ThreadTrace::new()).collect();
                     for t in &mut lanes {
                         t.push(ThreadOp::Alu { count: 2 });
                     }
@@ -169,8 +174,8 @@ impl BtreeWorkload {
                                 });
                                 t.push(ThreadOp::Alu { count: 6 });
                                 t.push(ThreadOp::Shared { count: 2 }); // ballot + sync
-                                // Child-pointer fetch: the single matching
-                                // thread reads one indices element.
+                                                                       // Child-pointer fetch: the single matching
+                                                                       // thread reads one indices element.
                                 t.push(ThreadOp::Load {
                                     addr: base + lines * 128,
                                     bytes: 4,
@@ -212,7 +217,10 @@ fn record_lookup(tree: &BPlusTree, key: u32) -> (Vec<Event>, Option<u64>) {
     let mut node = tree.root();
     loop {
         match &tree.nodes()[node as usize] {
-            BtNode::Internal { separators, children } => {
+            BtNode::Internal {
+                separators,
+                children,
+            } => {
                 events.push(Event::Internal {
                     node,
                     separators: separators.len() as u32,
@@ -221,11 +229,11 @@ fn record_lookup(tree: &BPlusTree, key: u32) -> (Vec<Event>, Option<u64>) {
                 node = children[idx];
             }
             BtNode::Leaf { keys, values, .. } => {
-                events.push(Event::Leaf { node, keys: keys.len() as u32 });
-                return (
-                    events,
-                    keys.binary_search(&key).ok().map(|i| values[i]),
-                );
+                events.push(Event::Leaf {
+                    node,
+                    keys: keys.len() as u32,
+                });
+                return (events, keys.binary_search(&key).ok().map(|i| values[i]));
             }
         }
     }
@@ -248,21 +256,37 @@ mod tests {
     fn hsu_speedup_is_smallest_but_positive() {
         // Needs enough lookups for throughput (not latency) to dominate,
         // like the paper's batched-query setting.
-        let wl = BtreeWorkload::build(&BtreeParams { keys: 50_000, queries: 8192, ..Default::default() });
-        let gpu = Gpu::new(GpuConfig { num_sms: 2, ..GpuConfig::tiny() });
+        let wl = BtreeWorkload::build(&BtreeParams {
+            keys: 50_000,
+            queries: 8192,
+            ..Default::default()
+        });
+        let gpu = Gpu::new(GpuConfig {
+            num_sms: 2,
+            ..GpuConfig::tiny()
+        });
         let hsu = gpu.run(&wl.trace(Variant::Hsu));
         let base = gpu.run(&wl.trace(Variant::Baseline));
-        assert!(hsu.cycles < base.cycles, "HSU {} vs base {}", hsu.cycles, base.cycles);
+        assert!(
+            hsu.cycles < base.cycles,
+            "HSU {} vs base {}",
+            hsu.cycles,
+            base.cycles
+        );
         // Key-compare ops ran on the unit.
-        let key_ops = hsu.rt.pipeline.completed
-            [hsu_core::pipeline::OperatingMode::KeyCompare.index()];
+        let key_ops =
+            hsu.rt.pipeline.completed[hsu_core::pipeline::OperatingMode::KeyCompare.index()];
         assert!(key_ops > 0);
     }
 
     #[test]
     fn offloadable_share_is_smallest_class() {
         // Fig. 7: B+-tree has the smallest HSU-able proportion.
-        let wl = BtreeWorkload::build(&BtreeParams { keys: 20_000, queries: 512, ..Default::default() });
+        let wl = BtreeWorkload::build(&BtreeParams {
+            keys: 20_000,
+            queries: 512,
+            ..Default::default()
+        });
         let gpu = Gpu::new(GpuConfig::tiny());
         let base = gpu.run(&wl.trace(Variant::Baseline));
         let stripped = gpu.run(&wl.trace(Variant::BaselineStripped));
@@ -273,7 +297,11 @@ mod tests {
     #[test]
     fn shallow_tree_few_events() {
         // 10k keys at branch 256 -> height 2: one internal + one leaf event.
-        let wl = BtreeWorkload::build(&BtreeParams { keys: 10_000, queries: 4, ..Default::default() });
+        let wl = BtreeWorkload::build(&BtreeParams {
+            keys: 10_000,
+            queries: 4,
+            ..Default::default()
+        });
         for evs in &wl.events {
             assert!(evs.len() <= 3);
         }

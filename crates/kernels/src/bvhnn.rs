@@ -86,8 +86,9 @@ impl BvhnnWorkload {
     pub fn build(params: &BvhnnParams) -> Self {
         use rand::{Rng, SeedableRng};
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(params.seed);
-        let data: Vec<f32> =
-            (0..params.points * 3).map(|_| rng.gen_range(0.0f32..1.0)).collect();
+        let data: Vec<f32> = (0..params.points * 3)
+            .map(|_| rng.gen_range(0.0f32..1.0))
+            .collect();
         Self::build_from_points(params, &PointSet::from_rows(3, data))
     }
 
@@ -103,9 +104,7 @@ impl BvhnnWorkload {
         let prims: Vec<PointPrimitive> = data
             .iter()
             .enumerate()
-            .map(|(i, p)| {
-                PointPrimitive::new(i as u32, Vec3::new(p[0], p[1], p[2]), radius)
-            })
+            .map(|(i, p)| PointPrimitive::new(i as u32, Vec3::new(p[0], p[1], p[2]), radius))
             .collect();
         let queries = query_set(data, params.queries, params.seed ^ 0xbeef);
 
@@ -113,8 +112,7 @@ impl BvhnnWorkload {
             BvhFlavor::Sah2 => SahBuilder::default().max_leaf_size(1).build(&prims),
             _ => LbvhBuilder::default().build(&prims),
         };
-        let bvh4 =
-            (params.flavor == BvhFlavor::Lbvh4).then(|| Bvh4::from_bvh2(&bvh2));
+        let bvh4 = (params.flavor == BvhFlavor::Lbvh4).then(|| Bvh4::from_bvh2(&bvh2));
 
         let mut events = Vec::with_capacity(queries.len());
         let mut total_neighbors = 0u64;
@@ -173,7 +171,10 @@ impl BvhnnWorkload {
                             }
                             Variant::Baseline => {
                                 for chunk in 0..8u64 {
-                                    t.push(ThreadOp::Load { addr: addr + chunk * 16, bytes: 16 });
+                                    t.push(ThreadOp::Load {
+                                        addr: addr + chunk * 16,
+                                        bytes: 16,
+                                    });
                                 }
                                 t.push(ThreadOp::Alu { count: 48 });
                             }
@@ -196,7 +197,10 @@ impl BvhnnWorkload {
                     }
                 }
             }
-            t.push(ThreadOp::Store { addr: crate::layout::RESULTS_BASE, bytes: 8 });
+            t.push(ThreadOp::Store {
+                addr: crate::layout::RESULTS_BASE,
+                bytes: 8,
+            });
             kernel.push_thread(t);
         }
         kernel
@@ -212,7 +216,10 @@ impl BvhnnWorkload {
 fn median_nn_distance(data: &PointSet, _seed: u64) -> f32 {
     let sample = data.len().min(128);
     let mut ds: Vec<f32> = (0..sample)
-        .map(|i| data.nearest_brute_force_excluding(data.point(i), i, Metric::Euclidean).1)
+        .map(|i| {
+            data.nearest_brute_force_excluding(data.point(i), i, Metric::Euclidean)
+                .1
+        })
         .collect();
     ds.sort_by(f32::total_cmp);
     ds[sample / 2].sqrt().max(1e-6)
@@ -319,8 +326,16 @@ mod tests {
 
     #[test]
     fn finds_neighbors_and_culls() {
-        let wl = BvhnnWorkload::build(&BvhnnParams { points: 1500, queries: 64, ..Default::default() });
-        assert!(wl.mean_neighbors >= 1.0, "radius too small: {}", wl.mean_neighbors);
+        let wl = BvhnnWorkload::build(&BvhnnParams {
+            points: 1500,
+            queries: 64,
+            ..Default::default()
+        });
+        assert!(
+            wl.mean_neighbors >= 1.0,
+            "radius too small: {}",
+            wl.mean_neighbors
+        );
         assert!(
             wl.mean_distance_tests < 200.0,
             "culling too weak: {} tests/query (paper reports < 200)",
@@ -330,22 +345,33 @@ mod tests {
 
     #[test]
     fn hsu_beats_baseline() {
-        let wl = BvhnnWorkload::build(&BvhnnParams { points: 1500, queries: 128, ..Default::default() });
+        let wl = BvhnnWorkload::build(&BvhnnParams {
+            points: 1500,
+            queries: 128,
+            ..Default::default()
+        });
         let gpu = Gpu::new(GpuConfig::tiny());
         let hsu = gpu.run(&wl.trace(Variant::Hsu));
         let base = gpu.run(&wl.trace(Variant::Baseline));
-        assert!(hsu.cycles < base.cycles, "HSU {} vs base {}", hsu.cycles, base.cycles);
+        assert!(
+            hsu.cycles < base.cycles,
+            "HSU {} vs base {}",
+            hsu.cycles,
+            base.cycles
+        );
         // Box tests dominate: ray-box ops far outnumber distance beats.
-        let box_ops =
-            hsu.rt.pipeline.completed[hsu_core::pipeline::OperatingMode::RayBox.index()];
-        let dist_ops =
-            hsu.rt.pipeline.completed[hsu_core::pipeline::OperatingMode::Euclid.index()];
+        let box_ops = hsu.rt.pipeline.completed[hsu_core::pipeline::OperatingMode::RayBox.index()];
+        let dist_ops = hsu.rt.pipeline.completed[hsu_core::pipeline::OperatingMode::Euclid.index()];
         assert!(box_ops > dist_ops, "box {box_ops} vs dist {dist_ops}");
     }
 
     #[test]
     fn stripped_trace_is_cheaper() {
-        let wl = BvhnnWorkload::build(&BvhnnParams { points: 800, queries: 32, ..Default::default() });
+        let wl = BvhnnWorkload::build(&BvhnnParams {
+            points: 800,
+            queries: 32,
+            ..Default::default()
+        });
         let gpu = Gpu::new(GpuConfig::tiny());
         let base = gpu.run(&wl.trace(Variant::Baseline));
         let stripped = gpu.run(&wl.trace(Variant::BaselineStripped));
@@ -368,9 +394,16 @@ mod tests {
 
     #[test]
     fn bvh4_flavor_reduces_node_tests() {
-        let base = BvhnnParams { points: 1200, queries: 64, ..Default::default() };
+        let base = BvhnnParams {
+            points: 1200,
+            queries: 64,
+            ..Default::default()
+        };
         let wl2 = BvhnnWorkload::build(&base);
-        let wl4 = BvhnnWorkload::build(&BvhnnParams { flavor: BvhFlavor::Lbvh4, ..base.clone() });
+        let wl4 = BvhnnWorkload::build(&BvhnnParams {
+            flavor: BvhFlavor::Lbvh4,
+            ..base.clone()
+        });
         // Same answers...
         assert!((wl2.mean_neighbors - wl4.mean_neighbors).abs() < 1e-9);
         // ...with fewer RAY_INTERSECTs per thread (4-wide nodes).
@@ -381,10 +414,20 @@ mod tests {
 
     #[test]
     fn sah_flavor_matches_answers_with_quality_tree() {
-        let base = BvhnnParams { points: 1500, queries: 64, ..Default::default() };
+        let base = BvhnnParams {
+            points: 1500,
+            queries: 64,
+            ..Default::default()
+        };
         let lbvh = BvhnnWorkload::build(&base);
-        let sah = BvhnnWorkload::build(&BvhnnParams { flavor: BvhFlavor::Sah2, ..base.clone() });
-        assert!((lbvh.mean_neighbors - sah.mean_neighbors).abs() < 1e-9, "answers must match");
+        let sah = BvhnnWorkload::build(&BvhnnParams {
+            flavor: BvhFlavor::Sah2,
+            ..base.clone()
+        });
+        assert!(
+            (lbvh.mean_neighbors - sah.mean_neighbors).abs() < 1e-9,
+            "answers must match"
+        );
         // On clustered real data SAH usually wins; on a uniform cube the
         // trees are comparable — only require the same order of magnitude.
         let nl = ray_ops(&lbvh.trace(Variant::Hsu));
@@ -394,7 +437,11 @@ mod tests {
 
     #[test]
     fn thread_per_query() {
-        let wl = BvhnnWorkload::build(&BvhnnParams { points: 300, queries: 40, ..Default::default() });
+        let wl = BvhnnWorkload::build(&BvhnnParams {
+            points: 300,
+            queries: 40,
+            ..Default::default()
+        });
         assert_eq!(wl.query_count(), 40);
         assert_eq!(wl.trace(Variant::Hsu).thread_count(), 40);
     }

@@ -30,7 +30,13 @@ pub struct FlannParams {
 
 impl Default for FlannParams {
     fn default() -> Self {
-        FlannParams { points: 2000, queries: 128, k: 5, checks: 96, seed: 1 }
+        FlannParams {
+            points: 2000,
+            queries: 128,
+            k: 5,
+            checks: 96,
+            seed: 1,
+        }
     }
 }
 
@@ -64,7 +70,13 @@ impl FlannWorkload {
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(params.seed);
         let clusters = (params.points / 64).max(1);
         let centres: Vec<[f32; 3]> = (0..clusters)
-            .map(|_| [rng.gen_range(0.0f32..8.0), rng.gen_range(0.0f32..8.0), rng.gen_range(0.0f32..8.0)])
+            .map(|_| {
+                [
+                    rng.gen_range(0.0f32..8.0),
+                    rng.gen_range(0.0f32..8.0),
+                    rng.gen_range(0.0f32..8.0),
+                ]
+            })
             .collect();
         let mut data = Vec::with_capacity(params.points * 3);
         for _ in 0..params.points {
@@ -92,7 +104,9 @@ impl FlannWorkload {
         let mut hits = 0usize;
         for q in queries.iter() {
             let (evs, found) = record_bbf(&tree, data, q, params.k, params.checks);
-            let exact = data.nearest_brute_force(q, Metric::Euclidean).map(|(i, _)| i);
+            let exact = data
+                .nearest_brute_force(q, Metric::Euclidean)
+                .map(|(i, _)| i);
             if found.first().map(|&f| f as usize) == exact {
                 hits += 1;
             }
@@ -118,7 +132,10 @@ impl FlannWorkload {
                         // The traversal compare is NOT offloaded (§VI-F): a
                         // 16-byte node load plus compare/branch, identical in
                         // every variant.
-                        t.push(ThreadOp::Load { addr: kd_node_addr(node as usize), bytes: 16 });
+                        t.push(ThreadOp::Load {
+                            addr: kd_node_addr(node as usize),
+                            bytes: 16,
+                        });
                         t.push(ThreadOp::Alu { count: 3 });
                     }
                     Event::Heap { ops } => {
@@ -168,7 +185,10 @@ impl FlannWorkload {
                     }
                 }
             }
-            t.push(ThreadOp::Store { addr: crate::layout::RESULTS_BASE, bytes: 8 });
+            t.push(ThreadOp::Store {
+                addr: crate::layout::RESULTS_BASE,
+                bytes: 8,
+            });
             kernel.push_thread(t);
         }
         kernel
@@ -209,10 +229,19 @@ fn record_bbf(
         let mut node = start;
         loop {
             match tree.nodes()[node as usize] {
-                KdNode::Split { axis, value, left, right } => {
+                KdNode::Split {
+                    axis,
+                    value,
+                    left,
+                    right,
+                } => {
                     events.push(Event::Split { node });
                     let diff = query[axis as usize] - value;
-                    let (near, far) = if diff < 0.0 { (left, right) } else { (right, left) };
+                    let (near, far) = if diff < 0.0 {
+                        (left, right)
+                    } else {
+                        (right, left)
+                    };
                     frontier.push(Reverse((key(diff * diff), far)));
                     events.push(Event::Heap { ops: 1 });
                     node = near;
@@ -246,7 +275,11 @@ mod tests {
 
     #[test]
     fn search_is_accurate() {
-        let wl = FlannWorkload::build(&FlannParams { points: 1500, queries: 64, ..Default::default() });
+        let wl = FlannWorkload::build(&FlannParams {
+            points: 1500,
+            queries: 64,
+            ..Default::default()
+        });
         assert!(wl.recall >= 0.8, "recall {}", wl.recall);
     }
 
@@ -254,18 +287,34 @@ mod tests {
     fn hsu_speedup_is_modest() {
         // §VI-F: the k-d tree benefits least of the three ANN structures —
         // the traversal compare stays on the SM.
-        let wl = FlannWorkload::build(&FlannParams { points: 1500, queries: 1024, ..Default::default() });
+        let wl = FlannWorkload::build(&FlannParams {
+            points: 1500,
+            queries: 1024,
+            ..Default::default()
+        });
         let gpu = Gpu::new(GpuConfig::tiny());
         let hsu = gpu.run(&wl.trace(Variant::Hsu));
         let base = gpu.run(&wl.trace(Variant::Baseline));
-        assert!(hsu.cycles < base.cycles, "HSU {} vs base {}", hsu.cycles, base.cycles);
+        assert!(
+            hsu.cycles < base.cycles,
+            "HSU {} vs base {}",
+            hsu.cycles,
+            base.cycles
+        );
         let speedup = base.cycles as f64 / hsu.cycles as f64;
-        assert!(speedup < 2.0, "k-d tree speedup implausibly large: {speedup}");
+        assert!(
+            speedup < 2.0,
+            "k-d tree speedup implausibly large: {speedup}"
+        );
     }
 
     #[test]
     fn split_loads_survive_all_variants() {
-        let wl = FlannWorkload::build(&FlannParams { points: 400, queries: 8, ..Default::default() });
+        let wl = FlannWorkload::build(&FlannParams {
+            points: 400,
+            queries: 8,
+            ..Default::default()
+        });
         let base = wl.trace(Variant::Baseline);
         let stripped = wl.trace(Variant::BaselineStripped);
         // Stripped removes only distances, not traversal loads.

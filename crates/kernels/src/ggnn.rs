@@ -88,7 +88,11 @@ impl GgnnWorkload {
     ///
     /// Panics if `data` is empty.
     pub fn build_from_points(params: &GgnnParams, data: &PointSet) -> Self {
-        let config = GraphConfig { m: params.m, ef_construction: params.ef.max(32), ..Default::default() };
+        let config = GraphConfig {
+            m: params.m,
+            ef_construction: params.ef.max(32),
+            ..Default::default()
+        };
         let graph = HnswGraph::build(data, params.metric, config, params.seed);
         let queries = query_set(data, params.queries, params.seed ^ 0x5eed);
 
@@ -147,7 +151,10 @@ impl GgnnWorkload {
                         let base = adjacency_addr(*layer, *node as usize, self.params.m);
                         for (lane, t) in lanes.iter_mut().enumerate() {
                             if (lane as u32) < *count {
-                                t.push(ThreadOp::Load { addr: base + lane as u64 * 4, bytes: 4 });
+                                t.push(ThreadOp::Load {
+                                    addr: base + lane as u64 * 4,
+                                    bytes: 4,
+                                });
                             }
                         }
                     }
@@ -243,7 +250,9 @@ fn record_search(
     // Greedy descent through the upper layers.
     for layer in (1..graph.layer_count()).rev() {
         let mut cur_d = metric.distance(query, data.point(entry as usize));
-        events.push(WarpEvent::Distances { candidates: vec![entry] });
+        events.push(WarpEvent::Distances {
+            candidates: vec![entry],
+        });
         loop {
             let neighbors = graph.neighbors(layer, entry);
             if neighbors.is_empty() {
@@ -254,7 +263,9 @@ fn record_search(
                 node: entry,
                 count: neighbors.len() as u32,
             });
-            events.push(WarpEvent::Distances { candidates: neighbors.to_vec() });
+            events.push(WarpEvent::Distances {
+                candidates: neighbors.to_vec(),
+            });
             events.push(WarpEvent::Scalar { count: 4 }); // argmin select
             let (best, best_d) = neighbors
                 .iter()
@@ -278,7 +289,9 @@ fn record_search(
     let key = |d: f32| d.to_bits() as u64;
 
     let d0 = metric.distance(query, data.point(entry as usize));
-    events.push(WarpEvent::Distances { candidates: vec![entry] });
+    events.push(WarpEvent::Distances {
+        candidates: vec![entry],
+    });
     events.push(WarpEvent::QueueOps { count: 2 });
     visited[entry as usize] = true;
     frontier.push(Reverse((key(d0), entry)));
@@ -294,18 +307,29 @@ fn record_search(
         if neighbors.is_empty() {
             continue;
         }
-        events.push(WarpEvent::LoadAdjacency { layer: 0, node, count: neighbors.len() as u32 });
+        events.push(WarpEvent::LoadAdjacency {
+            layer: 0,
+            node,
+            count: neighbors.len() as u32,
+        });
         // Visited-cache check: one shared op per neighbour.
-        events.push(WarpEvent::QueueOps { count: neighbors.len() as u32 });
-        let fresh: Vec<u32> =
-            neighbors.iter().copied().filter(|&n| !visited[n as usize]).collect();
+        events.push(WarpEvent::QueueOps {
+            count: neighbors.len() as u32,
+        });
+        let fresh: Vec<u32> = neighbors
+            .iter()
+            .copied()
+            .filter(|&n| !visited[n as usize])
+            .collect();
         if fresh.is_empty() {
             continue;
         }
         for &n in &fresh {
             visited[n as usize] = true;
         }
-        events.push(WarpEvent::Distances { candidates: fresh.clone() });
+        events.push(WarpEvent::Distances {
+            candidates: fresh.clone(),
+        });
         let mut queue_ops = 0;
         for &n in &fresh {
             let dn = metric.distance(query, data.point(n as usize));
@@ -320,7 +344,9 @@ fn record_search(
                 }
             }
         }
-        events.push(WarpEvent::QueueOps { count: queue_ops.max(1) });
+        events.push(WarpEvent::QueueOps {
+            count: queue_ops.max(1),
+        });
     }
 
     let mut out: Vec<(u64, u32)> = best.into_iter().collect();

@@ -76,3 +76,15 @@ pub fn baseline_rt_gpu(mut cfg: GpuConfig) -> Gpu {
     cfg.hsu = hsu_core::HsuConfig::baseline_rt();
     Gpu::new(cfg)
 }
+
+// Workload builders run inside the parallel suite runner's worker threads;
+// built workloads are then shared by reference across simulation jobs. This
+// fails to compile if any workload grows non-`Send + Sync` interior state.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ggnn::GgnnWorkload>();
+    assert_send_sync::<flann::FlannWorkload>();
+    assert_send_sync::<bvhnn::BvhnnWorkload>();
+    assert_send_sync::<btree::BtreeWorkload>();
+    assert_send_sync::<rtindex::RtIndexWorkload>();
+};

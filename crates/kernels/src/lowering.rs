@@ -39,7 +39,11 @@ pub fn emit_distance(
 ) {
     match variant {
         Variant::Hsu => {
-            t.push(ThreadOp::HsuDistance { metric, dim, candidate_addr });
+            t.push(ThreadOp::HsuDistance {
+                metric,
+                dim,
+                candidate_addr,
+            });
         }
         Variant::Baseline => {
             // Vectorized loads, each a separate instruction and L1 access:
@@ -56,14 +60,19 @@ pub fn emit_distance(
                 } else {
                     4
                 };
-                t.push(ThreadOp::Load { addr: candidate_addr + off as u64, bytes });
+                t.push(ThreadOp::Load {
+                    addr: candidate_addr + off as u64,
+                    bytes,
+                });
                 off += bytes;
             }
             let per_elem = match metric {
                 Metric::Euclidean => 2, // sub + fma
                 Metric::Angular => 3,   // dot fma + norm fma + mul
             };
-            t.push(ThreadOp::Alu { count: dim * per_elem + 2 });
+            t.push(ThreadOp::Alu {
+                count: dim * per_elem + 2,
+            });
         }
         Variant::BaselineStripped => {}
     }
@@ -87,7 +96,11 @@ pub fn emit_coop_distance(
             // With the HSU the whole warp's distance is one instruction from
             // one lane; callers route it to lane 0 only.
             if lane == 0 {
-                t.push(ThreadOp::HsuDistance { metric, dim, candidate_addr });
+                t.push(ThreadOp::HsuDistance {
+                    metric,
+                    dim,
+                    candidate_addr,
+                });
             }
         }
         Variant::Baseline => {
@@ -133,7 +146,10 @@ pub fn emit_bvh2_node_test(t: &mut ThreadTrace, variant: Variant, node_addr: u64
             // so separate L1 accesses) — the coalescing the HSU's CISC fetch
             // wins back (Fig. 12).
             for chunk in 0..4u64 {
-                t.push(ThreadOp::Load { addr: node_addr + chunk * 16, bytes: 16 });
+                t.push(ThreadOp::Load {
+                    addr: node_addr + chunk * 16,
+                    bytes: 16,
+                });
             }
             t.push(ThreadOp::Alu { count: 24 });
         }
@@ -145,12 +161,19 @@ pub fn emit_bvh2_node_test(t: &mut ThreadTrace, variant: Variant, node_addr: u64
 pub fn emit_triangle_test(t: &mut ThreadTrace, variant: Variant, node_addr: u64) {
     match variant {
         Variant::Hsu => {
-            t.push(ThreadOp::HsuRayIntersect { node_addr, bytes: 48, triangle: true });
+            t.push(ThreadOp::HsuRayIntersect {
+                node_addr,
+                bytes: 48,
+                triangle: true,
+            });
         }
         Variant::Baseline => {
             // Three LDG.128s for the nine vertex floats + id.
             for chunk in 0..3u64 {
-                t.push(ThreadOp::Load { addr: node_addr + chunk * 16, bytes: 16 });
+                t.push(ThreadOp::Load {
+                    addr: node_addr + chunk * 16,
+                    bytes: 16,
+                });
             }
             // Woop test: translate (9), shear (12), edge functions (9),
             // determinant + distance (6).
@@ -165,22 +188,25 @@ pub fn emit_triangle_test(t: &mut ThreadTrace, variant: Variant, node_addr: u64)
 /// * HSU: one `KEY_COMPARE` chain (fetches all separators once).
 /// * Baseline: the separator load plus a compare+branch per separator
 ///   scanned (on average half the node before the scalar scan exits).
-pub fn emit_key_compare(
-    t: &mut ThreadTrace,
-    variant: Variant,
-    node_addr: u64,
-    separators: u32,
-) {
+pub fn emit_key_compare(t: &mut ThreadTrace, variant: Variant, node_addr: u64, separators: u32) {
     match variant {
         Variant::Hsu => {
-            t.push(ThreadOp::HsuKeyCompare { node_addr, separators });
+            t.push(ThreadOp::HsuKeyCompare {
+                node_addr,
+                separators,
+            });
         }
         Variant::Baseline => {
             // Rodinia's kernel scans a node block-parallel: the lanes stream
             // every separator (one coalesced fetch of the whole node), then a
             // ballot/prefix pick of the child plus a block sync.
-            t.push(ThreadOp::Load { addr: node_addr, bytes: separators * 4 });
-            t.push(ThreadOp::Alu { count: (separators / 8).max(2) + 6 });
+            t.push(ThreadOp::Load {
+                addr: node_addr,
+                bytes: separators * 4,
+            });
+            t.push(ThreadOp::Alu {
+                count: (separators / 8).max(2) + 6,
+            });
             // Ballot + prefix-scan of the compare results and the two block
             // syncs bracketing the level (Rodinia's findK structure).
             t.push(ThreadOp::Shared { count: 6 });
@@ -240,8 +266,13 @@ mod tests {
         for lane in 0..32 {
             let mut t = ThreadTrace::new();
             emit_coop_distance(&mut t, Variant::Baseline, Metric::Euclidean, 96, base, lane);
-            let ThreadOp::Load { addr, .. } = t.ops()[0] else { panic!() };
-            assert!(addr >= base && addr < base + 384, "lane {lane} out of vector");
+            let ThreadOp::Load { addr, .. } = t.ops()[0] else {
+                panic!()
+            };
+            assert!(
+                addr >= base && addr < base + 384,
+                "lane {lane} out of vector"
+            );
             lines.insert((addr - base) / 128);
         }
         assert_eq!(lines.len(), 3, "all three lines covered");

@@ -29,7 +29,12 @@ pub struct RenderParams {
 
 impl Default for RenderParams {
     fn default() -> Self {
-        RenderParams { width: 64, height: 32, grid: 20, seed: 1 }
+        RenderParams {
+            width: 64,
+            height: 32,
+            grid: 20,
+            seed: 1,
+        }
     }
 }
 
@@ -104,16 +109,15 @@ impl RenderWorkload {
                         }
                     }
                     Event::TriangleTest { slot } => {
-                        emit_triangle_test(
-                            &mut t,
-                            variant,
-                            PRIM_INDEX_BASE + slot as u64 * 48,
-                        );
+                        emit_triangle_test(&mut t, variant, PRIM_INDEX_BASE + slot as u64 * 48);
                         t.push(ThreadOp::Alu { count: 2 }); // closest-hit update
                     }
                 }
             }
-            t.push(ThreadOp::Store { addr: crate::layout::RESULTS_BASE, bytes: 4 });
+            t.push(ThreadOp::Store {
+                addr: crate::layout::RESULTS_BASE,
+                bytes: 4,
+            });
             kernel.push_thread(t);
         }
         kernel
@@ -163,11 +167,7 @@ fn procedural_scene(grid: usize) -> Vec<TrianglePrimitive> {
 }
 
 /// Closest-hit traversal with event recording.
-fn record_trace(
-    bvh: &Bvh2,
-    scene: &[TrianglePrimitive],
-    ray: &Ray,
-) -> (Vec<Event>, bool, u64) {
+fn record_trace(bvh: &Bvh2, scene: &[TrianglePrimitive], ray: &Ray) -> (Vec<Event>, bool, u64) {
     let mut events = Vec::new();
     let mut t_max = f32::INFINITY;
     let mut hit = false;
@@ -243,7 +243,12 @@ mod tests {
         let gpu = Gpu::new(GpuConfig::tiny());
         let hsu = gpu.run(&wl.trace(Variant::Hsu));
         let base = gpu.run(&wl.trace(Variant::Baseline));
-        assert!(hsu.cycles < base.cycles, "RT {} vs base {}", hsu.cycles, base.cycles);
+        assert!(
+            hsu.cycles < base.cycles,
+            "RT {} vs base {}",
+            hsu.cycles,
+            base.cycles
+        );
         // Both box and triangle modes flow through the unit.
         use hsu_core::pipeline::OperatingMode;
         assert!(hsu.rt.pipeline.completed[OperatingMode::RayBox.index()] > 0);

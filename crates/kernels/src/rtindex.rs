@@ -32,7 +32,11 @@ pub struct RtIndexParams {
 
 impl Default for RtIndexParams {
     fn default() -> Self {
-        RtIndexParams { keys: 4096, lookups: 2048, seed: 1 }
+        RtIndexParams {
+            keys: 4096,
+            lookups: 2048,
+            seed: 1,
+        }
     }
 }
 
@@ -185,7 +189,10 @@ impl RtIndexWorkload {
                     },
                 }
             }
-            t.push(ThreadOp::Store { addr: crate::layout::RESULTS_BASE, bytes: 8 });
+            t.push(ThreadOp::Store {
+                addr: crate::layout::RESULTS_BASE,
+                bytes: 8,
+            });
             kernel.push_thread(t);
         }
         kernel
@@ -248,13 +255,21 @@ mod tests {
 
     #[test]
     fn lookups_find_present_keys() {
-        let wl = RtIndexWorkload::build(&RtIndexParams { keys: 2048, lookups: 512, seed: 3 });
+        let wl = RtIndexWorkload::build(&RtIndexParams {
+            keys: 2048,
+            lookups: 512,
+            seed: 3,
+        });
         assert!(wl.hit_rate > 0.99, "hit rate {}", wl.hit_rate);
     }
 
     #[test]
     fn point_keys_beat_triangle_keys() {
-        let wl = RtIndexWorkload::build(&RtIndexParams { keys: 4096, lookups: 2048, seed: 1 });
+        let wl = RtIndexWorkload::build(&RtIndexParams {
+            keys: 4096,
+            lookups: 2048,
+            seed: 1,
+        });
         let gpu = Gpu::new(GpuConfig::tiny());
         let point = gpu.run(&wl.trace(Variant::Hsu));
         let triangle = gpu.run(&wl.trace(Variant::Baseline));

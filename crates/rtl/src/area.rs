@@ -57,8 +57,8 @@ pub fn mode_register_bits(mode: OperatingMode) -> u32 {
 /// parallel slab tests + hit sort) and ray-triangle (watertight Woop)
 /// requirements, mirroring the unified-datapath reuse of Fig. 6.
 pub fn baseline_stages() -> [StageInventory; PIPELINE_DEPTH] {
-    let regs = mode_register_bits(OperatingMode::RayBox)
-        + mode_register_bits(OperatingMode::RayTriangle);
+    let regs =
+        mode_register_bits(OperatingMode::RayBox) + mode_register_bits(OperatingMode::RayTriangle);
     let control = 600;
     let mk = |adders, multipliers, comparators| StageInventory {
         adders,
@@ -68,15 +68,15 @@ pub fn baseline_stages() -> [StageInventory; PIPELINE_DEPTH] {
         control_gates: control,
     };
     [
-        mk(24, 0, 0),  // s1: translate to ray origin (24-wide subtract)
-        mk(6, 24, 0),  // s2: interval scale / shear multiply
-        mk(6, 6, 36),  // s3: tmin-tmax comparators / barycentric products
-        mk(4, 0, 16),  // s4: interval reduction / determinant sums
-        mk(2, 3, 8),   // s5: hit test / z-scale
-        mk(1, 3, 4),   // s6: sort network / t_num products
-        mk(0, 3, 4),   // s7: sort network
-        mk(2, 0, 2),   // s8: sort network / distance sum
-        mk(1, 0, 4),   // s9: result select / sign tests
+        mk(24, 0, 0), // s1: translate to ray origin (24-wide subtract)
+        mk(6, 24, 0), // s2: interval scale / shear multiply
+        mk(6, 6, 36), // s3: tmin-tmax comparators / barycentric products
+        mk(4, 0, 16), // s4: interval reduction / determinant sums
+        mk(2, 3, 8),  // s5: hit test / z-scale
+        mk(1, 3, 4),  // s6: sort network / t_num products
+        mk(0, 3, 4),  // s7: sort network
+        mk(2, 0, 2),  // s8: sort network / distance sum
+        mk(1, 0, 4),  // s9: result select / sign tests
     ]
 }
 
@@ -224,7 +224,11 @@ mod tests {
             .zip(&hsu)
             .map(|(b, h)| h.adders as i64 - b.adders as i64)
             .collect();
-        assert_eq!(deltas, vec![0, 0, 2, 0, 1, 0, 0, 1, 1], "§IV-C adder additions");
+        assert_eq!(
+            deltas,
+            vec![0, 0, 2, 0, 1, 0, 0, 1, 1],
+            "§IV-C adder additions"
+        );
         // Multipliers and comparators are fully reused.
         for (b, h) in base.iter().zip(&hsu) {
             assert_eq!(b.multipliers, h.multipliers);
@@ -255,7 +259,11 @@ mod tests {
         let base = AreaBreakdown::of(DatapathKind::BaselineRt);
         let hsu = AreaBreakdown::of(DatapathKind::Hsu);
         let norm = hsu.normalized_to(&base);
-        let reg_ratio = norm.iter().find(|(k, _)| *k == FuKind::RegisterBit).unwrap().1;
+        let reg_ratio = norm
+            .iter()
+            .find(|(k, _)| *k == FuKind::RegisterBit)
+            .unwrap()
+            .1;
         let mul_ratio = norm.iter().find(|(k, _)| *k == FuKind::FpMul).unwrap().1;
         assert!(reg_ratio > 1.8, "register ratio {reg_ratio:.2}");
         assert!((mul_ratio - 1.0).abs() < 1e-9, "multipliers fully reused");
@@ -275,8 +283,16 @@ mod tests {
                     stage + 1,
                     hsu[stage].adders
                 );
-                assert!(m <= hsu[stage].multipliers, "{mode} stage {} multipliers", stage + 1);
-                assert!(c <= hsu[stage].comparators, "{mode} stage {} comparators", stage + 1);
+                assert!(
+                    m <= hsu[stage].multipliers,
+                    "{mode} stage {} multipliers",
+                    stage + 1
+                );
+                assert!(
+                    c <= hsu[stage].comparators,
+                    "{mode} stage {} comparators",
+                    stage + 1
+                );
             }
         }
         // The baseline inventory covers the two RT modes alone.
@@ -299,7 +315,10 @@ mod tests {
         let opt = AreaBreakdown::of(DatapathKind::HsuOptimized).total();
         let proto_ratio = proto / base;
         let opt_ratio = opt / base;
-        assert!(opt_ratio < proto_ratio, "{opt_ratio:.2} !< {proto_ratio:.2}");
+        assert!(
+            opt_ratio < proto_ratio,
+            "{opt_ratio:.2} !< {proto_ratio:.2}"
+        );
         assert!(
             (0.95..=1.15).contains(&opt_ratio),
             "register multiplexing should bring the HSU near baseline area, got {opt_ratio:.2}"
@@ -307,8 +326,14 @@ mod tests {
         // Arithmetic unchanged.
         let a = AreaBreakdown::of(DatapathKind::Hsu);
         let b = AreaBreakdown::of(DatapathKind::HsuOptimized);
-        assert_eq!(a.class(crate::fu::FuKind::FpAdd), b.class(crate::fu::FuKind::FpAdd));
-        assert_eq!(a.class(crate::fu::FuKind::FpMul), b.class(crate::fu::FuKind::FpMul));
+        assert_eq!(
+            a.class(crate::fu::FuKind::FpAdd),
+            b.class(crate::fu::FuKind::FpAdd)
+        );
+        assert_eq!(
+            a.class(crate::fu::FuKind::FpMul),
+            b.class(crate::fu::FuKind::FpMul)
+        );
     }
 
     #[test]

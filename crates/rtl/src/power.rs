@@ -93,11 +93,11 @@ pub fn mode_activity(mode: OperatingMode) -> [(u32, u32, u32); PIPELINE_DEPTH] {
 /// Values fanned across the datapath per operation (routing energy).
 fn routed_values(mode: OperatingMode) -> u32 {
     match mode {
-        OperatingMode::RayBox => 8,       // ray constants broadcast to 4 boxes
-        OperatingMode::RayTriangle => 6,  // shear constants to 3 vertices
-        OperatingMode::Euclid => 32,      // 16 candidate + 16 query values
-        OperatingMode::Angular => 24,     // 8 lanes x (cand, query, norm path)
-        OperatingMode::KeyCompare => 36,  // key broadcast to 36 comparators
+        OperatingMode::RayBox => 8,      // ray constants broadcast to 4 boxes
+        OperatingMode::RayTriangle => 6, // shear constants to 3 vertices
+        OperatingMode::Euclid => 32,     // 16 candidate + 16 query values
+        OperatingMode::Angular => 24,    // 8 lanes x (cand, query, norm path)
+        OperatingMode::KeyCompare => 36, // key broadcast to 36 comparators
     }
 }
 
@@ -114,9 +114,8 @@ pub fn op_energy_pj(mode: OperatingMode) -> f64 {
 
 /// Register-clocking energy per cycle for `mode` on `datapath`, in pJ.
 fn register_energy_pj(mode: OperatingMode, datapath: DatapathKind) -> f64 {
-    let own = mode_register_bits(mode) as f64
-        * PIPELINE_DEPTH as f64
-        * FuKind::RegisterBit.energy_pj();
+    let own =
+        mode_register_bits(mode) as f64 * PIPELINE_DEPTH as f64 * FuKind::RegisterBit.energy_pj();
     let overhead = match datapath {
         DatapathKind::BaselineRt => 0.0,
         DatapathKind::Hsu => own * HSU_FANOUT_FRACTION + HSU_CONTROL_PJ,
@@ -215,15 +214,27 @@ mod tests {
 
         // Paper values: baseline box ≈ 74 mW; HSU adds ~10 (box) / ~8 (tri);
         // euclid 79 ≈ baseline box + 5; angular 67.
-        assert!((base_box - 74.0).abs() < 8.0, "baseline ray-box {base_box:.1} mW");
+        assert!(
+            (base_box - 74.0).abs() < 8.0,
+            "baseline ray-box {base_box:.1} mW"
+        );
         let d_box = hsu_box - base_box;
         let d_tri = hsu_tri - base_tri;
         assert!((6.0..14.0).contains(&d_box), "box delta {d_box:.1}");
         assert!((5.0..13.0).contains(&d_tri), "tri delta {d_tri:.1}");
         let d_euclid = euclid - base_box;
-        assert!((1.0..10.0).contains(&d_euclid), "euclid - baseline box = {d_euclid:.1}");
-        assert!(angular < euclid, "angular {angular:.1} !< euclid {euclid:.1}");
-        assert!((angular / euclid - 67.0 / 79.0).abs() < 0.15, "angular/euclid ratio");
+        assert!(
+            (1.0..10.0).contains(&d_euclid),
+            "euclid - baseline box = {d_euclid:.1}"
+        );
+        assert!(
+            angular < euclid,
+            "angular {angular:.1} !< euclid {euclid:.1}"
+        );
+        assert!(
+            (angular / euclid - 67.0 / 79.0).abs() < 0.15,
+            "angular/euclid ratio"
+        );
         assert!(key < angular, "key compare must be the cheapest mode");
         assert!(base_tri < base_box, "triangle mode is narrower than box");
     }
@@ -264,7 +275,10 @@ mod tests {
         let mixed = meter.mean_power_mw();
         let min = mode_power_mw(OperatingMode::KeyCompare, DatapathKind::Hsu);
         let max = mode_power_mw(OperatingMode::RayBox, DatapathKind::Hsu);
-        assert!(mixed > min && mixed < max + 10.0, "mixed {mixed:.1} outside [{min:.1}, {max:.1}]");
+        assert!(
+            mixed > min && mixed < max + 10.0,
+            "mixed {mixed:.1} outside [{min:.1}, {max:.1}]"
+        );
     }
 
     #[test]

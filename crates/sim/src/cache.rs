@@ -69,7 +69,10 @@ impl Cache {
     ///
     /// Panics if any parameter is zero.
     pub fn new(sets: usize, ways: usize, mshr_capacity: usize) -> Self {
-        assert!(sets > 0 && ways > 0 && mshr_capacity > 0, "degenerate cache geometry");
+        assert!(
+            sets > 0 && ways > 0 && mshr_capacity > 0,
+            "degenerate cache geometry"
+        );
         Cache {
             sets: vec![Vec::with_capacity(ways); sets],
             ways,
@@ -132,7 +135,10 @@ impl Cache {
     ///
     /// Panics if no MSHR exists for `line` (fill without a miss).
     pub fn fill(&mut self, line: u64) -> Vec<u64> {
-        let waiters = self.mshrs.remove(&line).expect("fill without outstanding miss");
+        let waiters = self
+            .mshrs
+            .remove(&line)
+            .expect("fill without outstanding miss");
         self.use_counter += 1;
         let counter = self.use_counter;
         let ways = self.ways;
@@ -195,7 +201,11 @@ mod tests {
         assert_eq!(c.access(0, 0), Lookup::Hit);
         assert_eq!(c.access(2, 0), Lookup::Miss);
         c.fill(2);
-        assert_eq!(c.access(0, 0), Lookup::Hit, "recently used line must survive");
+        assert_eq!(
+            c.access(0, 0),
+            Lookup::Hit,
+            "recently used line must survive"
+        );
         assert_eq!(c.access(1, 0), Lookup::Miss, "LRU line must be evicted");
     }
 

@@ -183,7 +183,11 @@ mod tests {
 
     #[test]
     fn geometry_is_consistent() {
-        for cfg in [GpuConfig::volta_v100(), GpuConfig::small(), GpuConfig::tiny()] {
+        for cfg in [
+            GpuConfig::volta_v100(),
+            GpuConfig::small(),
+            GpuConfig::tiny(),
+        ] {
             assert!(cfg.l1_sets().is_power_of_two());
             assert!(cfg.l2_sets() > 0);
             assert_eq!(cfg.lines_per_row(), 16);

@@ -58,7 +58,12 @@ impl DramChannel {
     /// # Panics
     ///
     /// Panics if `banks` is zero.
-    pub fn new(banks: usize, row_hit_cycles: u64, row_miss_cycles: u64, transfer_cycles: u64) -> Self {
+    pub fn new(
+        banks: usize,
+        row_hit_cycles: u64,
+        row_miss_cycles: u64,
+        transfer_cycles: u64,
+    ) -> Self {
         assert!(banks > 0, "channel needs at least one bank");
         DramChannel {
             open_rows: vec![None; banks],
@@ -75,7 +80,12 @@ impl DramChannel {
     /// Enqueues a line fetch. `token` is returned on completion.
     pub fn enqueue(&mut self, token: u64, bank: usize, row: u64, now: u64) {
         debug_assert!(bank < self.open_rows.len(), "bank {bank} out of range");
-        self.queue.push_back(DramRequest { token, bank, row, arrival: now });
+        self.queue.push_back(DramRequest {
+            token,
+            bank,
+            row,
+            arrival: now,
+        });
     }
 
     /// Number of queued requests.
@@ -168,7 +178,7 @@ mod tests {
         // serve the open row first, beating strict FCFS's 8 activations.
         let mut ch = DramChannel::new(1, 20, 48, 4);
         for i in 0..8 {
-            ch.enqueue(i, 0, (i % 2) as u64, 0);
+            ch.enqueue(i, 0, i % 2, 0);
         }
         drain(&mut ch, 2000);
         let s = ch.stats();

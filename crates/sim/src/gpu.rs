@@ -47,7 +47,9 @@ impl Gpu {
     ///
     /// Panics if the kernel exceeds `cfg.max_cycles` (deadlock guard).
     pub fn run(&self, kernel: &KernelTrace) -> SimReport {
-        let mut sms: Vec<Sm> = (0..self.cfg.num_sms).map(|i| Sm::new(i, &self.cfg)).collect();
+        let mut sms: Vec<Sm> = (0..self.cfg.num_sms)
+            .map(|i| Sm::new(i, &self.cfg))
+            .collect();
         let mut mem = MemorySystem::new(&self.cfg);
 
         for (i, warp) in kernel.warps().into_iter().enumerate() {
@@ -114,9 +116,16 @@ mod tests {
         let k = kernel_of(
             256,
             vec![
-                ThreadOp::Load { addr: 0x100, bytes: 64 },
+                ThreadOp::Load {
+                    addr: 0x100,
+                    bytes: 64,
+                },
                 ThreadOp::Alu { count: 8 },
-                ThreadOp::HsuDistance { metric: Metric::Euclidean, dim: 32, candidate_addr: 0x4000 },
+                ThreadOp::HsuDistance {
+                    metric: Metric::Euclidean,
+                    dim: 32,
+                    candidate_addr: 0x4000,
+                },
             ],
         );
         let gpu = Gpu::new(GpuConfig::tiny());
@@ -130,8 +139,16 @@ mod tests {
     fn work_scales_across_sms() {
         // Compute-bound kernel: scaling SMs must scale throughput.
         let k = kernel_of(32 * 64, vec![ThreadOp::Alu { count: 64 }]);
-        let one = Gpu::new(GpuConfig { num_sms: 1, ..GpuConfig::tiny() }).run(&k);
-        let four = Gpu::new(GpuConfig { num_sms: 4, ..GpuConfig::tiny() }).run(&k);
+        let one = Gpu::new(GpuConfig {
+            num_sms: 1,
+            ..GpuConfig::tiny()
+        })
+        .run(&k);
+        let four = Gpu::new(GpuConfig {
+            num_sms: 4,
+            ..GpuConfig::tiny()
+        })
+        .run(&k);
         assert!(
             (four.cycles as f64) < one.cycles as f64 * 0.4,
             "4 SMs {} vs 1 SM {}",
@@ -167,7 +184,10 @@ mod tests {
                     th.push(ThreadOp::Shared { count: 4 });
 
                     tb.push(ThreadOp::Shared { count: 4 });
-                    tb.push(ThreadOp::Load { addr: cand, bytes: dim * 4 });
+                    tb.push(ThreadOp::Load {
+                        addr: cand,
+                        bytes: dim * 4,
+                    });
                     tb.push(ThreadOp::Alu { count: dim * 2 });
                     tb.push(ThreadOp::Shared { count: 4 });
                 }
@@ -196,7 +216,10 @@ mod tests {
         let mut k = KernelTrace::new("policy");
         for i in 0..256u64 {
             let mut t = ThreadTrace::new();
-            t.push(ThreadOp::Load { addr: i * 128, bytes: 4 });
+            t.push(ThreadOp::Load {
+                addr: i * 128,
+                bytes: 4,
+            });
             t.push(ThreadOp::HsuRayIntersect {
                 node_addr: (i % 8) * 64,
                 bytes: 64,
@@ -234,8 +257,14 @@ mod tests {
         for i in 0..512u64 {
             let mut t = ThreadTrace::new();
             // Same line for everyone: high hit rate after the first warp.
-            t.push(ThreadOp::Load { addr: 0x8000, bytes: 4 });
-            t.push(ThreadOp::Load { addr: i * 128, bytes: 4 });
+            t.push(ThreadOp::Load {
+                addr: 0x8000,
+                bytes: 4,
+            });
+            t.push(ThreadOp::Load {
+                addr: i * 128,
+                bytes: 4,
+            });
             k.push_thread(t);
         }
         let r = Gpu::new(GpuConfig::tiny()).run(&k);

@@ -54,3 +54,15 @@ mod gpu;
 
 pub use gpu::Gpu;
 pub use stats::SimReport;
+
+// The parallel suite runner fans simulations out across scoped threads, so
+// the simulator's job inputs and outputs must stay `Send + Sync`. Keep these
+// assertions next to the types they guard: adding an `Rc`/`RefCell` anywhere
+// inside breaks the build here rather than deep in `hsu-bench`.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Gpu>();
+    assert_send_sync::<SimReport>();
+    assert_send_sync::<trace::KernelTrace>();
+    assert_send_sync::<config::GpuConfig>();
+};

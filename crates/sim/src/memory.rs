@@ -47,7 +47,7 @@ enum Event {
 }
 
 /// Aggregated memory statistics.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MemoryStats {
     /// L1 accesses from the load-store unit (across all SMs).
     pub l1_lsu_accesses: u64,
@@ -97,14 +97,20 @@ impl MemorySystem {
                 RtCachePolicy::SharedWithLsu => None,
                 RtCachePolicy::Private { bytes } => {
                     let sets = (bytes / (4 * cfg.line_bytes)).max(1);
-                    Some((0..cfg.num_sms).map(|_| Cache::new(sets, 4, cfg.l1_mshrs)).collect())
+                    Some(
+                        (0..cfg.num_sms)
+                            .map(|_| Cache::new(sets, 4, cfg.l1_mshrs))
+                            .collect(),
+                    )
                 }
                 // Bypass = a degenerate one-line cache: no capacity to
                 // pollute, but in-flight duplicate fetches still merge the
                 // way a pending-request queue would.
-                RtCachePolicy::Bypass => {
-                    Some((0..cfg.num_sms).map(|_| Cache::new(1, 1, cfg.l1_mshrs)).collect())
-                }
+                RtCachePolicy::Bypass => Some(
+                    (0..cfg.num_sms)
+                        .map(|_| Cache::new(1, 1, cfg.l1_mshrs))
+                        .collect(),
+                ),
             },
             l2_banks: (0..cfg.l2_banks)
                 .map(|_| Cache::new(l2_sets_per_bank, cfg.l2_ways, 64))
@@ -152,8 +158,7 @@ impl MemorySystem {
         requester: Requester,
         now: u64,
     ) -> AccessOutcome {
-        let use_rt_cache =
-            requester == Requester::RtUnit && self.rt_caches.is_some();
+        let use_rt_cache = requester == Requester::RtUnit && self.rt_caches.is_some();
         let cache = if use_rt_cache {
             &mut self.rt_caches.as_mut().expect("checked")[sm]
         } else {
@@ -162,12 +167,22 @@ impl MemorySystem {
         match cache.access(line, waiter) {
             Lookup::Stall => return AccessOutcome::Rejected,
             Lookup::Hit => {
-                self.push(now + self.l1_latency, Event::Done { sm: sm as u32, waiter });
+                self.push(
+                    now + self.l1_latency,
+                    Event::Done {
+                        sm: sm as u32,
+                        waiter,
+                    },
+                );
             }
             Lookup::MshrHit => {} // merged; completes with the fill
             Lookup::Miss => {
                 // Tag the L2 waiter so the fill returns to the right cache.
-                let tag = if use_rt_cache { (sm as u32) | RT_FILL } else { sm as u32 };
+                let tag = if use_rt_cache {
+                    (sm as u32) | RT_FILL
+                } else {
+                    sm as u32
+                };
                 self.push(
                     now + self.half_l2_latency,
                     Event::L2Arrive { sm: tag, line },
@@ -231,7 +246,7 @@ impl MemorySystem {
             match event {
                 Event::L2Arrive { sm, line } => {
                     let bank = self.bank_of(line);
-                    if self.l2_bank_busy[bank] >= now + 1 {
+                    if self.l2_bank_busy[bank] > now {
                         // Port conflict: retry next cycle.
                         self.push(now + 1, Event::L2Arrive { sm, line });
                         continue;
@@ -239,10 +254,7 @@ impl MemorySystem {
                     self.l2_bank_busy[bank] = now + 1;
                     match self.l2_banks[bank].access(line, sm as u64) {
                         Lookup::Hit => {
-                            self.push(
-                                now + self.half_l2_latency,
-                                Event::L1Fill { sm, line },
-                            );
+                            self.push(now + self.half_l2_latency, Event::L1Fill { sm, line });
                         }
                         Lookup::MshrHit => {}
                         Lookup::Miss => {
@@ -253,8 +265,7 @@ impl MemorySystem {
                             let ch = self.channel_of(line);
                             let channel_line = line / self.dram.len() as u64;
                             let banks = 16u64;
-                            let bank_idx =
-                                ((channel_line / self.lines_per_row) % banks) as usize;
+                            let bank_idx = ((channel_line / self.lines_per_row) % banks) as usize;
                             let row = channel_line / (self.lines_per_row * banks);
                             self.dram[ch].enqueue(line, bank_idx, row, now);
                         }
@@ -268,7 +279,10 @@ impl MemorySystem {
                     for sm in self.l2_banks[bank].fill(line) {
                         self.push(
                             now + self.half_l2_latency,
-                            Event::L1Fill { sm: sm as u32, line },
+                            Event::L1Fill {
+                                sm: sm as u32,
+                                line,
+                            },
                         );
                     }
                 }
@@ -284,7 +298,10 @@ impl MemorySystem {
                     for waiter in waiters {
                         self.push(
                             now + self.l1_latency,
-                            Event::Done { sm: sm_idx as u32, waiter },
+                            Event::Done {
+                                sm: sm_idx as u32,
+                                waiter,
+                            },
                         );
                     }
                 }
@@ -379,15 +396,24 @@ mod tests {
         let cfg = GpuConfig::tiny();
         let mut mem = MemorySystem::new(&cfg);
         // Warm the line (miss then fill).
-        assert_eq!(mem.access(0, 7, 1, Requester::Lsu, 0), AccessOutcome::Accepted);
+        assert_eq!(
+            mem.access(0, 7, 1, Requester::Lsu, 0),
+            AccessOutcome::Accepted
+        );
         let first = run_until_done(&mut mem, 1, 100_000);
         assert_eq!(first.len(), 1);
         let miss_done = first[0].0;
-        assert!(miss_done > cfg.l1_latency + cfg.l2_latency / 2, "miss was too fast");
+        assert!(
+            miss_done > cfg.l1_latency + cfg.l2_latency / 2,
+            "miss was too fast"
+        );
 
         // Second access hits.
         let t0 = miss_done + 1;
-        assert_eq!(mem.access(0, 7, 2, Requester::Lsu, t0), AccessOutcome::Accepted);
+        assert_eq!(
+            mem.access(0, 7, 2, Requester::Lsu, t0),
+            AccessOutcome::Accepted
+        );
         let mut done = Vec::new();
         for now in t0..t0 + cfg.l1_latency + 2 {
             done.clear();
@@ -417,7 +443,11 @@ mod tests {
                 break;
             }
         }
-        assert_eq!(mem.stats().dram.accesses, dram_before, "L2 hit must not touch DRAM");
+        assert_eq!(
+            mem.stats().dram.accesses,
+            dram_before,
+            "L2 hit must not touch DRAM"
+        );
         assert_eq!(mem.stats().l2.hits, 1);
     }
 

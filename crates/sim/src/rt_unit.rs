@@ -37,7 +37,7 @@ pub struct FifoRequest {
 }
 
 /// Statistics of one RT/HSU unit.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RtUnitStats {
     /// Warp instructions dispatched into the warp buffer.
     pub warp_instructions: u64,
@@ -46,6 +46,8 @@ pub struct RtUnitStats {
     pub isa_instructions: u64,
     /// Sum of warp-buffer occupancy sampled each cycle (for averages).
     pub occupancy_sum: u64,
+    /// Highest warp-buffer occupancy observed in any cycle.
+    pub occupancy_peak: u64,
     /// Cycles the unit existed.
     pub cycles: u64,
     /// Dispatches rejected because the warp buffer was full.
@@ -125,12 +127,23 @@ impl RtUnit {
     /// Operating mode, beat count and fetch footprint of a lane's op.
     fn lane_plan(&self, op: &ThreadOp) -> (OperatingMode, u32, u64, u64) {
         match *op {
-            ThreadOp::HsuRayIntersect { node_addr, bytes, triangle } => {
-                let mode =
-                    if triangle { OperatingMode::RayTriangle } else { OperatingMode::RayBox };
+            ThreadOp::HsuRayIntersect {
+                node_addr,
+                bytes,
+                triangle,
+            } => {
+                let mode = if triangle {
+                    OperatingMode::RayTriangle
+                } else {
+                    OperatingMode::RayBox
+                };
                 (mode, 1, node_addr, bytes as u64)
             }
-            ThreadOp::HsuDistance { metric, dim, candidate_addr } => {
+            ThreadOp::HsuDistance {
+                metric,
+                dim,
+                candidate_addr,
+            } => {
                 let beats = self.cfg.beats_for(metric, dim as usize) as u32;
                 let mode = match metric {
                     hsu_geometry::point::Metric::Euclidean => OperatingMode::Euclid,
@@ -138,9 +151,17 @@ impl RtUnit {
                 };
                 (mode, beats, candidate_addr, dim as u64 * 4)
             }
-            ThreadOp::HsuKeyCompare { node_addr, separators } => {
+            ThreadOp::HsuKeyCompare {
+                node_addr,
+                separators,
+            } => {
                 let beats = self.cfg.key_compare_instructions(separators as usize) as u32;
-                (OperatingMode::KeyCompare, beats, node_addr, separators as u64 * 4)
+                (
+                    OperatingMode::KeyCompare,
+                    beats,
+                    node_addr,
+                    separators as u64 * 4,
+                )
             }
             ref other => panic!("non-HSU op dispatched to the RT unit: {other:?}"),
         }
@@ -277,7 +298,9 @@ impl RtUnit {
     /// completions, and retires finished entries.
     pub fn tick(&mut self) {
         self.stats.cycles += 1;
-        self.stats.occupancy_sum += self.warp_buffer.occupancy() as u64;
+        let occupancy = self.warp_buffer.occupancy() as u64;
+        self.stats.occupancy_sum += occupancy;
+        self.stats.occupancy_peak = self.stats.occupancy_peak.max(occupancy);
 
         // Issue stage: stick to the draining entry until fully issued.
         let entry = match self.draining {
@@ -357,11 +380,17 @@ mod tests {
     use hsu_geometry::point::Metric;
 
     fn euclid_op(dim: u32) -> ThreadOp {
-        ThreadOp::HsuDistance { metric: Metric::Euclidean, dim, candidate_addr: 0x1000 }
+        ThreadOp::HsuDistance {
+            metric: Metric::Euclidean,
+            dim,
+            candidate_addr: 0x1000,
+        }
     }
 
     fn lanes_with(op: ThreadOp, mask: u32) -> Vec<Option<ThreadOp>> {
-        (0..WARP_WIDTH).map(|l| (mask & (1 << l) != 0).then_some(op)).collect()
+        (0..WARP_WIDTH)
+            .map(|l| (mask & (1 << l) != 0).then_some(op))
+            .collect()
     }
 
     /// Drives the unit until `warp` completes, answering all memory requests
@@ -395,7 +424,11 @@ mod tests {
     #[test]
     fn single_lane_ray_intersect_latency() {
         let mut unit = RtUnit::new(HsuConfig::default(), 4);
-        let op = ThreadOp::HsuRayIntersect { node_addr: 0, bytes: 128, triangle: false };
+        let op = ThreadOp::HsuRayIntersect {
+            node_addr: 0,
+            bytes: 128,
+            triangle: false,
+        };
         unit.dispatch(7, 0, 1, &lanes_with(op, 1), 128);
         let (cycles, done) = run_to_completion(&mut unit, 20, 1000);
         assert_eq!(done, vec![7]);
@@ -442,7 +475,10 @@ mod tests {
     #[test]
     fn key_compare_chains() {
         let mut unit = RtUnit::new(HsuConfig::default(), 4);
-        let op = ThreadOp::HsuKeyCompare { node_addr: 0x2000, separators: 255 };
+        let op = ThreadOp::HsuKeyCompare {
+            node_addr: 0x2000,
+            separators: 255,
+        };
         unit.dispatch(0, 0, 1, &lanes_with(op, 1), 128);
         run_to_completion(&mut unit, 5, 1000);
         let s = unit.stats();
@@ -473,7 +509,10 @@ mod tests {
             triangle: false
         }));
         assert!(!unit.supports(&euclid_op(16)));
-        assert!(!unit.supports(&ThreadOp::HsuKeyCompare { node_addr: 0, separators: 8 }));
+        assert!(!unit.supports(&ThreadOp::HsuKeyCompare {
+            node_addr: 0,
+            separators: 8
+        }));
     }
 
     #[test]

@@ -37,7 +37,7 @@ struct WarpSlot {
 }
 
 /// Per-SM statistics.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SmStats {
     /// Warp instructions issued, by class.
     pub issued: [u64; 7],
@@ -123,7 +123,11 @@ impl Sm {
             let warp = &mut self.warps[slot];
             if let WarpStatus::WaitMem(outstanding) = warp.status {
                 let left = outstanding - 1;
-                warp.status = if left == 0 { WarpStatus::Ready } else { WarpStatus::WaitMem(left) };
+                warp.status = if left == 0 {
+                    WarpStatus::Ready
+                } else {
+                    WarpStatus::WaitMem(left)
+                };
             } else {
                 panic!("memory completion for warp not waiting on memory");
             }
@@ -167,7 +171,9 @@ impl Sm {
             }
         }
         while self.warps.len() < self.max_warps {
-            let Some(trace) = self.launch_queue.pop_front() else { break };
+            let Some(trace) = self.launch_queue.pop_front() else {
+                break;
+            };
             let sub_core = self.warps.len() % self.sub_cores;
             self.warps.push(WarpSlot {
                 trace,
@@ -351,13 +357,8 @@ impl Sm {
                          (baseline traces must lower these ops)",
                         class
                     );
-                    self.rt.dispatch(
-                        slot,
-                        sc,
-                        instr.active_mask,
-                        &instr.lanes,
-                        self.line_bytes,
-                    );
+                    self.rt
+                        .dispatch(slot, sc, instr.active_mask, &instr.lanes, self.line_bytes);
                     self.warps[slot].status = WarpStatus::WaitHsu;
                 }
             }
@@ -385,9 +386,7 @@ impl Sm {
 
         // Retire warps whose last instruction's stall has resolved.
         for warp in &mut self.warps {
-            if warp.pc == warp.trace.instructions.len()
-                && warp.status == WarpStatus::Ready
-            {
+            if warp.pc == warp.trace.instructions.len() && warp.status == WarpStatus::Ready {
                 warp.status = WarpStatus::Finished;
                 self.stats.warps_retired += 1;
             }
@@ -513,12 +512,19 @@ mod tests {
         let mut k = KernelTrace::new("c");
         for lane in 0..32u64 {
             let mut t = ThreadTrace::new();
-            t.push(ThreadOp::Load { addr: lane * 4, bytes: 4 });
+            t.push(ThreadOp::Load {
+                addr: lane * 4,
+                bytes: 4,
+            });
             k.push_thread(t);
         }
         sm.enqueue_warp(k.warps().remove(0));
         run(&mut sm, &mut mem, 100_000);
-        assert_eq!(mem.stats().l1_lsu_accesses, 1, "must coalesce to one access");
+        assert_eq!(
+            mem.stats().l1_lsu_accesses,
+            1,
+            "must coalesce to one access"
+        );
     }
 
     #[test]
@@ -529,7 +535,10 @@ mod tests {
         let mut k = KernelTrace::new("s");
         for lane in 0..32u64 {
             let mut t = ThreadTrace::new();
-            t.push(ThreadOp::Load { addr: lane * 256, bytes: 4 });
+            t.push(ThreadOp::Load {
+                addr: lane * 256,
+                bytes: 4,
+            });
             k.push_thread(t);
         }
         sm.enqueue_warp(k.warps().remove(0));
@@ -544,7 +553,11 @@ mod tests {
         let mut mem = MemorySystem::new(&cfg);
         sm.enqueue_warp(single_warp_kernel(
             vec![
-                ThreadOp::HsuRayIntersect { node_addr: 0x1000, bytes: 128, triangle: false },
+                ThreadOp::HsuRayIntersect {
+                    node_addr: 0x1000,
+                    bytes: 128,
+                    triangle: false,
+                },
                 ThreadOp::Alu { count: 2 },
             ],
             8,

@@ -6,7 +6,11 @@ use crate::sm::SmStats;
 use crate::trace::OpClass;
 
 /// The result of simulating one kernel trace.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq`/`Eq` compare every counter bit-for-bit — the
+/// determinism-under-parallelism tests rely on this to assert that reports
+/// are identical for any worker count.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SimReport {
     /// Kernel name.
     pub kernel: String,
@@ -51,6 +55,7 @@ impl SimReport {
             rt.warp_instructions += r.warp_instructions;
             rt.isa_instructions += r.isa_instructions;
             rt.occupancy_sum += r.occupancy_sum;
+            rt.occupancy_peak = rt.occupancy_peak.max(r.occupancy_peak);
             rt.cycles += r.cycles;
             rt.dispatch_stalls += r.dispatch_stalls;
             rt.pipeline.cycles += r.pipeline.cycles;
@@ -60,7 +65,16 @@ impl SimReport {
                 rt.pipeline.completed[i] += r.pipeline.completed[i];
             }
         }
-        SimReport { kernel, cycles, issued, issued_weighted, warps_retired, rt, memory, num_sms }
+        SimReport {
+            kernel,
+            cycles,
+            issued,
+            issued_weighted,
+            warps_retired,
+            rt,
+            memory,
+            num_sms,
+        }
     }
 
     /// HSU operations completed per cycle *per unit* — the paper's roofline
@@ -96,6 +110,13 @@ impl SimReport {
     /// DRAM row locality (Fig. 14).
     pub fn row_locality(&self) -> f64 {
         self.memory.dram.row_locality()
+    }
+
+    /// Highest warp-buffer occupancy any RT/HSU unit reached in any cycle —
+    /// the suite runner's observability tables report this to show how much
+    /// of the Fig. 11 buffering capacity a workload actually exercises.
+    pub fn peak_warp_buffer_occupancy(&self) -> u64 {
+        self.rt.occupancy_peak
     }
 
     /// Speedup of this run relative to `baseline`.
@@ -153,14 +174,7 @@ mod tests {
         b.issued[0] = 4;
         b.issued_weighted[0] = 40;
         b.warps_retired = 5;
-        let r = SimReport::aggregate(
-            "k".into(),
-            100,
-            2,
-            &[a, b],
-            &[],
-            MemoryStats::default(),
-        );
+        let r = SimReport::aggregate("k".into(), 100, 2, &[a, b], &[], MemoryStats::default());
         assert_eq!(r.issued[0], 7);
         assert_eq!(r.issued_weighted[0], 70);
         assert_eq!(r.warps_retired, 7);

@@ -228,7 +228,10 @@ pub struct KernelTrace {
 impl KernelTrace {
     /// Creates an empty kernel trace.
     pub fn new(name: impl Into<String>) -> Self {
-        KernelTrace { name: name.into(), threads: Vec::new() }
+        KernelTrace {
+            name: name.into(),
+            threads: Vec::new(),
+        }
     }
 
     /// The kernel's name (reported in stats).
@@ -297,7 +300,10 @@ impl KernelTrace {
                                 true
                             }
                         });
-                        out.instructions.push(WarpInstruction { active_mask: mask, lanes });
+                        out.instructions.push(WarpInstruction {
+                            active_mask: mask,
+                            lanes,
+                        });
                     }
                 }
                 out
@@ -329,7 +335,10 @@ mod tests {
         for i in 0..64u64 {
             let mut t = ThreadTrace::new();
             t.push(ThreadOp::Alu { count: 1 });
-            t.push(ThreadOp::Load { addr: i * 4, bytes: 4 });
+            t.push(ThreadOp::Load {
+                addr: i * 4,
+                bytes: 4,
+            });
             k.push_thread(t);
         }
         let warps = k.warps();
@@ -373,8 +382,11 @@ mod tests {
             k.push_thread(t);
         }
         let warps = k.warps();
-        let masks: Vec<u32> =
-            warps[0].instructions.iter().map(|i| i.active_mask).collect();
+        let masks: Vec<u32> = warps[0]
+            .instructions
+            .iter()
+            .map(|i| i.active_mask)
+            .collect();
         assert_eq!(masks, vec![0b111, 0b110, 0b100]);
     }
 
@@ -390,9 +402,17 @@ mod tests {
 
     #[test]
     fn hsu_ops_are_flagged() {
-        assert!(ThreadOp::HsuDistance { metric: Metric::Euclidean, dim: 8, candidate_addr: 0 }
-            .is_hsu());
-        assert!(ThreadOp::HsuKeyCompare { node_addr: 0, separators: 10 }.is_hsu());
+        assert!(ThreadOp::HsuDistance {
+            metric: Metric::Euclidean,
+            dim: 8,
+            candidate_addr: 0
+        }
+        .is_hsu());
+        assert!(ThreadOp::HsuKeyCompare {
+            node_addr: 0,
+            separators: 10
+        }
+        .is_hsu());
         assert!(!ThreadOp::Alu { count: 1 }.is_hsu());
     }
 

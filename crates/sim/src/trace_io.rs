@@ -71,12 +71,20 @@ fn write_op<W: Write>(op: &ThreadOp, w: &mut W) -> io::Result<()> {
             w.write_all(&[TAG_SHARED])?;
             w.write_all(&count.to_le_bytes())
         }
-        ThreadOp::HsuRayIntersect { node_addr, bytes, triangle } => {
+        ThreadOp::HsuRayIntersect {
+            node_addr,
+            bytes,
+            triangle,
+        } => {
             w.write_all(&[if triangle { TAG_RAY_TRI } else { TAG_RAY_BOX }])?;
             w.write_all(&node_addr.to_le_bytes())?;
             w.write_all(&bytes.to_le_bytes())
         }
-        ThreadOp::HsuDistance { metric, dim, candidate_addr } => {
+        ThreadOp::HsuDistance {
+            metric,
+            dim,
+            candidate_addr,
+        } => {
             let tag = match metric {
                 Metric::Euclidean => TAG_EUCLID,
                 Metric::Angular => TAG_ANGULAR,
@@ -85,7 +93,10 @@ fn write_op<W: Write>(op: &ThreadOp, w: &mut W) -> io::Result<()> {
             w.write_all(&candidate_addr.to_le_bytes())?;
             w.write_all(&dim.to_le_bytes())
         }
-        ThreadOp::HsuKeyCompare { node_addr, separators } => {
+        ThreadOp::HsuKeyCompare {
+            node_addr,
+            separators,
+        } => {
             w.write_all(&[TAG_KEY])?;
             w.write_all(&node_addr.to_le_bytes())?;
             w.write_all(&separators.to_le_bytes())
@@ -102,7 +113,10 @@ pub fn read_trace<R: Read>(mut r: R) -> io::Result<KernelTrace> {
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad trace magic"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "bad trace magic",
+        ));
     }
     let version = read_u8(&mut r)?;
     if version != VERSION {
@@ -114,8 +128,8 @@ pub fn read_trace<R: Read>(mut r: R) -> io::Result<KernelTrace> {
     let name_len = read_u32(&mut r)? as usize;
     let mut name = vec![0u8; name_len];
     r.read_exact(&mut name)?;
-    let name = String::from_utf8(name)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    let name =
+        String::from_utf8(name).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
     let threads = read_u32(&mut r)? as usize;
     let mut trace = KernelTrace::new(name);
     for _ in 0..threads {
@@ -132,21 +146,38 @@ pub fn read_trace<R: Read>(mut r: R) -> io::Result<KernelTrace> {
 fn read_op<R: Read>(r: &mut R) -> io::Result<ThreadOp> {
     let tag = read_u8(r)?;
     Ok(match tag {
-        TAG_ALU => ThreadOp::Alu { count: read_u32(r)? },
-        TAG_LOAD => ThreadOp::Load { addr: read_u64(r)?, bytes: read_u32(r)? },
-        TAG_STORE => ThreadOp::Store { addr: read_u64(r)?, bytes: read_u32(r)? },
-        TAG_SHARED => ThreadOp::Shared { count: read_u32(r)? },
+        TAG_ALU => ThreadOp::Alu {
+            count: read_u32(r)?,
+        },
+        TAG_LOAD => ThreadOp::Load {
+            addr: read_u64(r)?,
+            bytes: read_u32(r)?,
+        },
+        TAG_STORE => ThreadOp::Store {
+            addr: read_u64(r)?,
+            bytes: read_u32(r)?,
+        },
+        TAG_SHARED => ThreadOp::Shared {
+            count: read_u32(r)?,
+        },
         TAG_RAY_BOX | TAG_RAY_TRI => ThreadOp::HsuRayIntersect {
             node_addr: read_u64(r)?,
             bytes: read_u32(r)?,
             triangle: tag == TAG_RAY_TRI,
         },
         TAG_EUCLID | TAG_ANGULAR => ThreadOp::HsuDistance {
-            metric: if tag == TAG_EUCLID { Metric::Euclidean } else { Metric::Angular },
+            metric: if tag == TAG_EUCLID {
+                Metric::Euclidean
+            } else {
+                Metric::Angular
+            },
             candidate_addr: read_u64(r)?,
             dim: read_u32(r)?,
         },
-        TAG_KEY => ThreadOp::HsuKeyCompare { node_addr: read_u64(r)?, separators: read_u32(r)? },
+        TAG_KEY => ThreadOp::HsuKeyCompare {
+            node_addr: read_u64(r)?,
+            separators: read_u32(r)?,
+        },
         other => {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
@@ -182,16 +213,35 @@ mod tests {
         let mut k = KernelTrace::new("sample-kernel");
         for i in 0..70u64 {
             let mut t = ThreadTrace::new();
-            t.push(ThreadOp::Alu { count: (i % 7 + 1) as u32 });
-            t.push(ThreadOp::Load { addr: i * 64, bytes: 16 });
-            t.push(ThreadOp::HsuRayIntersect { node_addr: i * 128, bytes: 64, triangle: i % 2 == 0 });
+            t.push(ThreadOp::Alu {
+                count: (i % 7 + 1) as u32,
+            });
+            t.push(ThreadOp::Load {
+                addr: i * 64,
+                bytes: 16,
+            });
+            t.push(ThreadOp::HsuRayIntersect {
+                node_addr: i * 128,
+                bytes: 64,
+                triangle: i % 2 == 0,
+            });
             t.push(ThreadOp::HsuDistance {
-                metric: if i % 3 == 0 { Metric::Euclidean } else { Metric::Angular },
+                metric: if i % 3 == 0 {
+                    Metric::Euclidean
+                } else {
+                    Metric::Angular
+                },
                 dim: (i % 200 + 1) as u32,
                 candidate_addr: i * 4,
             });
-            t.push(ThreadOp::HsuKeyCompare { node_addr: i, separators: 255 });
-            t.push(ThreadOp::Store { addr: 0x7000_0000 + i, bytes: 8 });
+            t.push(ThreadOp::HsuKeyCompare {
+                node_addr: i,
+                separators: 255,
+            });
+            t.push(ThreadOp::Store {
+                addr: 0x7000_0000 + i,
+                bytes: 8,
+            });
             t.push(ThreadOp::Shared { count: 3 });
             k.push_thread(t);
         }

@@ -132,8 +132,7 @@ fn private_rt_cache_isolates_pollution() {
     now += 1_000_000;
     // Stream 4096 RT lines (would evict everything if shared).
     for i in 0..4096u64 {
-        while mem.access(0, 10_000 + i, 100 + i, Requester::RtUnit, now)
-            == AccessOutcome::Rejected
+        while mem.access(0, 10_000 + i, 100 + i, Requester::RtUnit, now) == AccessOutcome::Rejected
         {
             let mut sink = Vec::new();
             mem.tick(now, &mut sink);
@@ -151,5 +150,8 @@ fn private_rt_cache_isolates_pollution() {
     }
     drain(&mut mem, now, 16, 1_000_000);
     let hits = mem.stats().l1.hits - before;
-    assert_eq!(hits, 16, "RT streaming must not evict LSU lines under Private policy");
+    assert_eq!(
+        hits, 16,
+        "RT streaming must not evict LSU lines under Private policy"
+    );
 }

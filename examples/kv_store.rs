@@ -12,7 +12,9 @@ use hsu::unit::intrinsics;
 
 fn main() {
     // A 200k-entry store with 24-bit keys (exact in f32 for KEY_COMPARE).
-    let pairs: Vec<(u32, u64)> = (0..200_000u32).map(|k| (k * 83 % (1 << 24), u64::from(k))).collect();
+    let pairs: Vec<(u32, u64)> = (0..200_000u32)
+        .map(|k| (k * 83 % (1 << 24), u64::from(k)))
+        .collect();
     let tree = BPlusTree::bulk_build(pairs.clone(), 256);
     tree.validate().expect("B+-tree invariants hold");
     println!(
@@ -23,7 +25,7 @@ fn main() {
     );
 
     // Point lookups with work counters.
-    let (value, stats) = tree.get_counted(83 * 1000 % (1 << 24));
+    let (value, stats) = tree.get_counted(83 * 1000);
     println!(
         "get(k1000) = {value:?} | {} internal nodes, {} separators scanned",
         stats.internal_visits, stats.separators_scanned
@@ -53,7 +55,10 @@ fn main() {
         branch: 256,
         seed: 3,
     });
-    assert_eq!(wl.correctness, 1.0, "every lookup verified against BTreeMap");
+    assert_eq!(
+        wl.correctness, 1.0,
+        "every lookup verified against BTreeMap"
+    );
     let gpu = Gpu::new(GpuConfig::small());
     let hsu = gpu.run(&wl.trace(Variant::Hsu));
     let base = gpu.run(&wl.trace(Variant::Baseline));

@@ -13,7 +13,10 @@ fn main() {
     // 1. The device library: distances exactly as POINT_EUCLID computes them.
     let q = vec![0.25_f32; 96];
     let c = vec![0.75_f32; 96];
-    println!("euclid_dist(q, c)   = {:.3}", intrinsics::euclid_dist(&q, &c));
+    println!(
+        "euclid_dist(q, c)   = {:.3}",
+        intrinsics::euclid_dist(&q, &c)
+    );
     println!(
         "POINT_EUCLID beats  = {} (96 dims / 16-wide pipeline)",
         intrinsics::euclid_beats(96)

@@ -17,7 +17,10 @@ fn build_scene() -> Vec<TrianglePrimitive> {
     let h = |x: f32, z: f32| 0.35 * ((x * 1.7).sin() + (z * 1.3).cos());
     for i in 0..n {
         for j in 0..n {
-            let (x0, z0) = (i as f32 / n as f32 * 8.0 - 4.0, j as f32 / n as f32 * 8.0 - 4.0);
+            let (x0, z0) = (
+                i as f32 / n as f32 * 8.0 - 4.0,
+                j as f32 / n as f32 * 8.0 - 4.0,
+            );
             let step = 8.0 / n as f32;
             let (x1, z1) = (x0 + step, z0 + step);
             let p = |x: f32, z: f32| Vec3::new(x, h(x, z), z);

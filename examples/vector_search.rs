@@ -11,9 +11,9 @@ use hsu::prelude::*;
 
 fn main() {
     for (id, n, queries) in [
-        (DatasetId::LastFm, 4_000, 50),   // 65-dim, angular
-        (DatasetId::Glove, 4_000, 50),    // 200-dim, angular
-        (DatasetId::Sift10k, 4_000, 50),  // 128-dim, euclidean
+        (DatasetId::LastFm, 4_000, 50),  // 65-dim, angular
+        (DatasetId::Glove, 4_000, 50),   // 200-dim, angular
+        (DatasetId::Sift10k, 4_000, 50), // 128-dim, euclidean
     ] {
         let spec = hsu::datasets::spec(id);
         let metric = spec.metric.expect("ANN dataset");
@@ -41,7 +41,11 @@ fn main() {
         // HSU instruction cost per distance at several datapath widths.
         let beats: Vec<usize> = [4usize, 8, 16, 32]
             .iter()
-            .map(|&w| HsuConfig::default().with_euclid_width(w).beats_for(metric, spec.dims))
+            .map(|&w| {
+                HsuConfig::default()
+                    .with_euclid_width(w)
+                    .beats_for(metric, spec.dims)
+            })
             .collect();
 
         println!(

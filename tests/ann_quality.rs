@@ -33,7 +33,10 @@ fn graph_vs_forest_vs_exact_on_sift() {
 #[test]
 fn bvh_radius_search_is_exact_on_every_3d_dataset() {
     for id in DatasetId::THREE_D {
-        let data = Dataset::generate_scaled(id, 31, Some(1200)).points().unwrap().clone();
+        let data = Dataset::generate_scaled(id, 31, Some(1200))
+            .points()
+            .unwrap()
+            .clone();
         // Radius from local density.
         let nn = (0..32)
             .map(|i| {
@@ -55,8 +58,11 @@ fn bvh_radius_search_is_exact_on_every_3d_dataset() {
         for qi in [0usize, 100, 500] {
             let q = data.point(qi);
             let query = Vec3::new(q[0], q[1], q[2]);
-            let mut got: Vec<u32> =
-                bvh.radius_search(&prims, query, radius).iter().map(|n| n.id).collect();
+            let mut got: Vec<u32> = bvh
+                .radius_search(&prims, query, radius)
+                .iter()
+                .map(|n| n.id)
+                .collect();
             got.sort_unstable();
             let mut expect: Vec<u32> = prims
                 .iter()
@@ -91,7 +97,10 @@ fn angular_datasets_search_under_angular_metric() {
     for id in [DatasetId::Glove, DatasetId::Nytimes] {
         let spec = hsu::datasets::spec(id);
         assert_eq!(spec.metric, Some(Metric::Angular));
-        let data = Dataset::generate_scaled(id, 51, Some(800)).points().unwrap().clone();
+        let data = Dataset::generate_scaled(id, 51, Some(800))
+            .points()
+            .unwrap()
+            .clone();
         let graph = HnswGraph::build(&data, Metric::Angular, GraphConfig::default(), 51);
         // Self-queries must find themselves at distance ~0.
         for i in [0usize, 13, 200] {

@@ -7,7 +7,10 @@ use hsu::kernels::ggnn::{GgnnParams, GgnnWorkload};
 use hsu::prelude::*;
 
 fn gpu() -> Gpu {
-    Gpu::new(GpuConfig { num_sms: 2, ..GpuConfig::tiny() })
+    Gpu::new(GpuConfig {
+        num_sms: 2,
+        ..GpuConfig::tiny()
+    })
 }
 
 #[test]
@@ -33,11 +36,15 @@ fn ggnn_full_path_speedup_and_recall() {
     let gpu = gpu();
     let hsu = gpu.run(&wl.trace(Variant::Hsu));
     let base = gpu.run(&wl.trace(Variant::Baseline));
-    assert!(hsu.cycles < base.cycles, "HSU {} vs base {}", hsu.cycles, base.cycles);
+    assert!(
+        hsu.cycles < base.cycles,
+        "HSU {} vs base {}",
+        hsu.cycles,
+        base.cycles
+    );
     // The HSU run exercises the angular mode, multi-beat (65 dims -> 9 beats).
     let angular = hsu.rt.pipeline.completed[hsu::unit::pipeline::OperatingMode::Angular.index()];
     assert!(angular > 0, "angular beats must flow through the datapath");
-    assert_eq!(angular % 1, 0);
 }
 
 #[test]
@@ -79,7 +86,13 @@ fn flann_full_path_on_cosmology() {
         .unwrap()
         .clone();
     let wl = FlannWorkload::build_from_points(
-        &FlannParams { points: data.len(), queries: 2048, k: 5, checks: 32, seed: 7 },
+        &FlannParams {
+            points: data.len(),
+            queries: 2048,
+            k: 5,
+            checks: 32,
+            seed: 7,
+        },
         &data,
     );
     assert!(wl.recall > 0.5, "recall {}", wl.recall);
@@ -106,9 +119,13 @@ fn btree_full_path_correct_and_faster() {
     let gpu = gpu();
     let hsu = gpu.run(&wl.trace(Variant::Hsu));
     let base = gpu.run(&wl.trace(Variant::Baseline));
-    assert!(hsu.cycles < base.cycles, "B+ HSU {} vs base {}", hsu.cycles, base.cycles);
-    let key_ops =
-        hsu.rt.pipeline.completed[hsu::unit::pipeline::OperatingMode::KeyCompare.index()];
+    assert!(
+        hsu.cycles < base.cycles,
+        "B+ HSU {} vs base {}",
+        hsu.cycles,
+        base.cycles
+    );
+    let key_ops = hsu.rt.pipeline.completed[hsu::unit::pipeline::OperatingMode::KeyCompare.index()];
     assert!(key_ops > 0);
 }
 

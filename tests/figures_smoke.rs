@@ -1,17 +1,17 @@
 //! Smoke tests of the figure harness (static figures + RTIndeX), and
 //! consistency checks between the RTL model and the ISA.
 
-use hsu_bench::figures;
 use hsu::rtl::area::{AreaBreakdown, DatapathKind};
 use hsu::rtl::power::mode_power_mw;
 use hsu::unit::pipeline::OperatingMode;
+use hsu_bench::figures;
 
 #[test]
 fn table2_lists_all_sixteen_datasets() {
     let t = figures::table2();
     for abbr in [
-        "D1B", "FMNT", "MNT", "GST", "GLV", "LFM", "NYT", "S1M", "S10K", "R10K", "BUN",
-        "DRG", "BUD", "COS", "B+1M", "B+10K",
+        "D1B", "FMNT", "MNT", "GST", "GLV", "LFM", "NYT", "S1M", "S10K", "R10K", "BUN", "DRG",
+        "BUD", "COS", "B+1M", "B+10K",
     ] {
         assert!(t.contains(abbr), "missing {abbr}\n{t}");
     }
@@ -53,7 +53,10 @@ fn fig16_reproduces_the_power_ordering() {
 #[test]
 fn rtindex_point_keys_win() {
     let out = figures::rtindex(2, 16);
-    let line = out.lines().find(|l| l.starts_with("speedup")).expect("speedup line");
+    let line = out
+        .lines()
+        .find(|l| l.starts_with("speedup"))
+        .expect("speedup line");
     let pct: f64 = line
         .split_whitespace()
         .find(|t| t.ends_with('%'))

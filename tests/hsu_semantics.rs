@@ -19,9 +19,11 @@ fn key_compare_navigates_btree_like_software() {
         let mut node = tree.root();
         loop {
             match &tree.nodes()[node as usize] {
-                hsu::btree::BtNode::Internal { separators, children } => {
-                    let key_node =
-                        KeyNode::new(separators.iter().map(|&s| s as f32).collect());
+                hsu::btree::BtNode::Internal {
+                    separators,
+                    children,
+                } => {
+                    let key_node = KeyNode::new(separators.iter().map(|&s| s as f32).collect());
                     let result = exec::execute_key_compare(probe as f32, &key_node, 64);
                     let hw_child = result.key_child_index();
                     // Software path: partition point.
@@ -116,17 +118,16 @@ fn accumulate_lock_keeps_beats_contiguous() {
     let mut arb = SubCoreArbiter::new(4);
     let all = [true; 4];
     // Sub-core 2 starts a 9-beat angular sequence (dim 65).
-    let seq = HsuInstruction::distance_sequence(
-        &HsuConfig::default(),
-        Metric::Angular,
-        0,
-        65,
-    );
+    let seq = HsuInstruction::distance_sequence(&HsuConfig::default(), Metric::Angular, 0, 65);
     assert_eq!(seq.len(), 9);
     // First grant goes round-robin; force it to sub-core 2 by masking.
     let mut granted = Vec::new();
     for (i, ins) in seq.iter().enumerate() {
-        let request = if i == 0 { [false, false, true, false] } else { all };
+        let request = if i == 0 {
+            [false, false, true, false]
+        } else {
+            all
+        };
         let mut acc = [false; 4];
         for (core, slot) in acc.iter_mut().enumerate() {
             *slot = ins.accumulate && (request[core]);
@@ -147,7 +148,9 @@ fn accumulate_lock_keeps_beats_contiguous() {
 fn intrinsics_match_structure_metrics() {
     let data = PointSet::from_rows(
         65,
-        (0..65 * 20).map(|i| ((i * 37) % 101) as f32 * 0.01).collect(),
+        (0..65 * 20)
+            .map(|i| ((i * 37) % 101) as f32 * 0.01)
+            .collect(),
     );
     for i in 0..19 {
         let a = data.point(i);

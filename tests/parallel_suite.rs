@@ -1,0 +1,67 @@
+//! End-to-end determinism of the parallel suite runner: a suite built with
+//! `--jobs 8` must be byte-identical — figure text included — to one built
+//! with `--jobs 1`. This is the integration-level counterpart of the
+//! runner-level property test in `simulator_properties.rs`.
+
+use hsu_bench::{figures, Suite, SuiteConfig};
+
+/// Small-but-real suite configuration: all 21 app × dataset runs, heavily
+/// down-scaled so two full builds stay cheap.
+fn small_config() -> SuiteConfig {
+    SuiteConfig {
+        sms: 2,
+        scale_divisor: 64,
+        seed: 7,
+        jobs: 1,
+    }
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "two full suite builds are slow unoptimized; run with --release"
+)]
+fn fig9_is_byte_identical_for_jobs_1_and_8() {
+    let sequential = Suite::build(small_config());
+    let parallel = Suite::build(small_config().with_jobs(8));
+
+    // The rendered figure text — what `repro fig9` prints — must match byte
+    // for byte. fig9 exercises every cached run (cycles of all three
+    // lowerings per app × dataset).
+    assert_eq!(
+        figures::fig9(&sequential),
+        figures::fig9(&parallel),
+        "fig9 text differs between --jobs 1 and --jobs 8"
+    );
+
+    // And the underlying reports are equal in every counter, in order.
+    assert_eq!(sequential.runs.len(), parallel.runs.len());
+    for (a, b) in sequential.runs.iter().zip(&parallel.runs) {
+        assert_eq!(a.label, b.label, "run ordering drifted under parallelism");
+        assert_eq!(a.hsu, b.hsu, "{}: hsu report drifted", a.label);
+        assert_eq!(a.base, b.base, "{}: base report drifted", a.label);
+        assert_eq!(
+            a.stripped, b.stripped,
+            "{}: stripped report drifted",
+            a.label
+        );
+    }
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "two full suite builds are slow unoptimized; run with --release"
+)]
+fn sweep_figures_are_byte_identical_for_jobs_1_and_8() {
+    // Fig. 10/11 launch their own sweep grids on the pool, so compare their
+    // text across worker counts too. Built once per jobs value; the sweep
+    // uses the suite's `jobs` setting internally.
+    let sequential = Suite::build(small_config());
+    let parallel = Suite::build(small_config().with_jobs(8));
+    assert_eq!(
+        figures::fig10(&sequential),
+        figures::fig10(&parallel),
+        "fig10 sweep differs between --jobs 1 and --jobs 8"
+    );
+}

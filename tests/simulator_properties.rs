@@ -8,8 +8,14 @@ use proptest::prelude::*;
 fn arb_op() -> impl Strategy<Value = ThreadOp> {
     prop_oneof![
         (1u32..16).prop_map(|count| ThreadOp::Alu { count }),
-        (0u64..1 << 16, 1u32..128).prop_map(|(a, b)| ThreadOp::Load { addr: a * 8, bytes: b }),
-        (0u64..1 << 16, 1u32..64).prop_map(|(a, b)| ThreadOp::Store { addr: a * 8, bytes: b }),
+        (0u64..1 << 16, 1u32..128).prop_map(|(a, b)| ThreadOp::Load {
+            addr: a * 8,
+            bytes: b
+        }),
+        (0u64..1 << 16, 1u32..64).prop_map(|(a, b)| ThreadOp::Store {
+            addr: a * 8,
+            bytes: b
+        }),
         (1u32..8).prop_map(|count| ThreadOp::Shared { count }),
         (0u64..1 << 12).prop_map(|n| ThreadOp::HsuRayIntersect {
             node_addr: n * 64,
@@ -17,7 +23,11 @@ fn arb_op() -> impl Strategy<Value = ThreadOp> {
             triangle: n % 3 == 0,
         }),
         (0u64..1 << 12, 1u32..256).prop_map(|(a, d)| ThreadOp::HsuDistance {
-            metric: if d % 2 == 0 { Metric::Euclidean } else { Metric::Angular },
+            metric: if d % 2 == 0 {
+                Metric::Euclidean
+            } else {
+                Metric::Angular
+            },
             dim: d,
             candidate_addr: a * 4,
         }),
@@ -121,14 +131,84 @@ proptest! {
     }
 }
 
+/// A fixed pool of small deterministic kernels for the parallel-runner
+/// property below. Shapes vary by index (and by [`hsu_bench::runner::job_seed`],
+/// which doubles as a check that per-job seeds are stable) so different
+/// matrix subsets exercise different mixes of op classes.
+fn kernel_pool() -> Vec<KernelTrace> {
+    (0..6u64)
+        .map(|i| {
+            let seed = hsu_bench::runner::job_seed(7, &format!("pool/{i}"));
+            let mut k = KernelTrace::new(format!("pool-{i}"));
+            for t in 0..(16 + (seed % 48)) {
+                let mut tt = ThreadTrace::new();
+                tt.push(ThreadOp::Alu {
+                    count: (seed % 7 + 1) as u32,
+                });
+                tt.push(ThreadOp::Load {
+                    addr: (seed ^ t).wrapping_mul(64) % (1 << 20),
+                    bytes: 16,
+                });
+                match i % 3 {
+                    0 => tt.push(ThreadOp::HsuRayIntersect {
+                        node_addr: t * 64,
+                        bytes: 64,
+                        triangle: t % 2 == 0,
+                    }),
+                    1 => tt.push(ThreadOp::HsuDistance {
+                        metric: Metric::Euclidean,
+                        dim: (seed % 64 + 1) as u32,
+                        candidate_addr: t * 4,
+                    }),
+                    _ => tt.push(ThreadOp::HsuKeyCompare {
+                        node_addr: t * 4,
+                        separators: (seed % 100 + 1) as u32,
+                    }),
+                }
+                k.push_thread(tt);
+            }
+            k
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    // Determinism under parallelism: for ANY worker count and ANY subset of
+    // the run matrix, the work-stealing runner returns exactly the reports
+    // the sequential path returns, in exactly the same order.
+    #[test]
+    fn parallel_runner_matches_sequential_for_any_matrix_subset(
+        workers in 2usize..9,
+        subset in prop::collection::vec(0usize..6, 1..12),
+    ) {
+        let pool = kernel_pool();
+        let gpu = Gpu::new(GpuConfig::tiny());
+        let jobs: Vec<&KernelTrace> = subset.iter().map(|i| &pool[*i]).collect();
+        let sequential = hsu_bench::run_jobs(1, jobs.clone(), |_, k| gpu.run(k));
+        let parallel = hsu_bench::run_jobs(workers, jobs, |_, k| gpu.run(k));
+        prop_assert_eq!(sequential.len(), parallel.len());
+        for (i, (a, b)) in sequential.iter().zip(&parallel).enumerate() {
+            prop_assert_eq!(a, b, "job {} diverged with {} workers", i, workers);
+        }
+    }
+}
+
 #[test]
 fn op_class_totals_partition_issued_instructions() {
     let mut k = KernelTrace::new("classes");
     for i in 0..64u64 {
         let mut t = ThreadTrace::new();
         t.push(ThreadOp::Alu { count: 3 });
-        t.push(ThreadOp::Load { addr: i * 128, bytes: 4 });
-        t.push(ThreadOp::HsuKeyCompare { node_addr: 0, separators: 10 });
+        t.push(ThreadOp::Load {
+            addr: i * 128,
+            bytes: 4,
+        });
+        t.push(ThreadOp::HsuKeyCompare {
+            node_addr: 0,
+            separators: 10,
+        });
         k.push_thread(t);
     }
     let r = Gpu::new(GpuConfig::tiny()).run(&k);

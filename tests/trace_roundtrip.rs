@@ -1,0 +1,87 @@
+//! Trace serialization round-trips at the full-workload level.
+//!
+//! The trace-driven methodology (§V-C) only works if a serialized trace
+//! replays *identically*: for each application we lower a real workload,
+//! write the trace through `trace_io`, read it back, and require the
+//! re-simulated `SimReport` to be equal in every counter — not just cycles.
+
+use hsu_kernels::btree::{BtreeParams, BtreeWorkload};
+use hsu_kernels::bvhnn::{BvhnnParams, BvhnnWorkload};
+use hsu_kernels::flann::{FlannParams, FlannWorkload};
+use hsu_kernels::ggnn::{GgnnParams, GgnnWorkload};
+use hsu_kernels::Variant;
+use hsu_sim::config::GpuConfig;
+use hsu_sim::trace::KernelTrace;
+use hsu_sim::{trace_io, Gpu};
+
+fn assert_replay_identical(trace: &KernelTrace) {
+    let mut buf = Vec::new();
+    trace_io::write_trace(trace, &mut buf).expect("serialize");
+    let restored = trace_io::read_trace(buf.as_slice()).expect("deserialize");
+    let gpu = Gpu::new(GpuConfig::tiny());
+    let original = gpu.run(trace);
+    let replayed = gpu.run(&restored);
+    assert_eq!(
+        original,
+        replayed,
+        "replayed trace '{}' diverged from the original simulation",
+        trace.name()
+    );
+}
+
+#[test]
+fn ggnn_trace_replays_identically() {
+    let wl = GgnnWorkload::build(&GgnnParams {
+        points: 400,
+        dim: 24,
+        queries: 12,
+        k: 5,
+        ef: 16,
+        m: 8,
+        seed: 7,
+        ..Default::default()
+    });
+    for v in [Variant::Hsu, Variant::Baseline] {
+        assert_replay_identical(&wl.trace(v));
+    }
+}
+
+#[test]
+fn flann_trace_replays_identically() {
+    let wl = FlannWorkload::build(&FlannParams {
+        points: 500,
+        queries: 24,
+        k: 5,
+        checks: 16,
+        seed: 7,
+    });
+    for v in [Variant::Hsu, Variant::Baseline] {
+        assert_replay_identical(&wl.trace(v));
+    }
+}
+
+#[test]
+fn bvhnn_trace_replays_identically() {
+    let wl = BvhnnWorkload::build(&BvhnnParams {
+        points: 500,
+        queries: 24,
+        seed: 7,
+        ..Default::default()
+    });
+    for v in [Variant::Hsu, Variant::Baseline] {
+        assert_replay_identical(&wl.trace(v));
+    }
+}
+
+#[test]
+fn btree_trace_replays_identically() {
+    let wl = BtreeWorkload::build(&BtreeParams {
+        keys: 1500,
+        queries: 96,
+        branch: 64,
+        seed: 7,
+    });
+    for v in [Variant::Hsu, Variant::Baseline, Variant::BaselineStripped] {
+        assert_replay_identical(&wl.trace(v));
+    }
+}

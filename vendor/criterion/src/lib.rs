@@ -1,0 +1,256 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Covers the workspace's benchmark API surface: [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher::iter`], [`black_box`],
+//! [`criterion_group!`] and [`criterion_main!`]. Each benchmark runs a short
+//! calibrated timing loop and prints its mean iteration time. There are no
+//! statistics, baselines or plots.
+//!
+//! When the bench binary is executed by `cargo test` (bench targets default
+//! to `test = true`), it runs each benchmark for a single iteration so the
+//! tier-1 suite stays fast; pass `--bench` (as `cargo bench` does) for the
+//! timed loop.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    #[allow(dead_code)]
+    warm_up_time: Duration,
+    /// Single-iteration smoke mode (under `cargo test`).
+    smoke: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench` passes `--bench`; `cargo test` does not.
+        let smoke = !std::env::args().any(|a| a == "--bench");
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+            smoke,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the target measurement time per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up time (accepted for API compatibility).
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.smoke, self.sample_size, self.measurement_time);
+        f(&mut b);
+        b.report(id);
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named benchmark group.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.0);
+        let mut b = Bencher::new(
+            self.criterion.smoke,
+            self.criterion.sample_size,
+            self.criterion.measurement_time,
+        );
+        f(&mut b, input);
+        b.report(&full);
+        self
+    }
+
+    /// Runs one unparameterized benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        let mut b = Bencher::new(
+            self.criterion.smoke,
+            self.criterion.sample_size,
+            self.criterion.measurement_time,
+        );
+        f(&mut b);
+        b.report(&full);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier with a parameter component.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+}
+
+/// Passed to each benchmark closure; call [`Bencher::iter`] with the routine.
+pub struct Bencher {
+    smoke: bool,
+    sample_size: usize,
+    measurement_time: Duration,
+    result: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    fn new(smoke: bool, sample_size: usize, measurement_time: Duration) -> Self {
+        Bencher {
+            smoke,
+            sample_size,
+            measurement_time,
+            result: None,
+        }
+    }
+
+    /// Times the routine.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.smoke {
+            let start = Instant::now();
+            black_box(routine());
+            self.result = Some((start.elapsed(), 1));
+            return;
+        }
+        // Calibrate the per-sample iteration count so one sample lasts
+        // roughly measurement_time / sample_size.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(50));
+        let per_sample = (self.measurement_time / self.sample_size.max(1) as u32).max(once);
+        let iters = (per_sample.as_nanos() / once.as_nanos()).clamp(1, 1 << 24) as u64;
+
+        let mut total = Duration::ZERO;
+        let mut count = 0u64;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            total += start.elapsed();
+            count += iters;
+        }
+        self.result = Some((total, count));
+    }
+
+    fn report(&self, id: &str) {
+        match self.result {
+            Some((total, count)) if count > 0 => {
+                let mean_ns = total.as_nanos() as f64 / count as f64;
+                let unit = if self.smoke { "smoke" } else { "mean" };
+                println!("{id:<40} {unit} {:>12.1} ns/iter ({count} iters)", mean_ns);
+            }
+            _ => println!("{id:<40} (no measurement)"),
+        }
+    }
+}
+
+/// Declares a benchmark group, mirroring criterion's two macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(1));
+        c.smoke = true;
+        let mut runs = 0u32;
+        c.bench_function("probe", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs)
+            })
+        });
+        assert!(runs >= 1);
+    }
+
+    #[test]
+    fn groups_compose_ids() {
+        let mut c = Criterion {
+            smoke: true,
+            ..Default::default()
+        };
+        let mut group = c.benchmark_group("g");
+        group.bench_with_input(BenchmarkId::new("f", 3), &3usize, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        group.finish();
+    }
+}

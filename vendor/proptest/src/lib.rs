@@ -1,0 +1,218 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container cannot reach a crates.io registry, so the workspace
+//! vendors the property-testing API subset its tests use:
+//!
+//! - the [`proptest!`] macro (with optional `#![proptest_config(...)]`),
+//! - [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`] /
+//!   [`prop_assume!`] / [`prop_oneof!`],
+//! - [`strategy::Strategy`] with `prop_map` / `prop_filter`, range and tuple
+//!   strategies, [`collection::vec`], [`num::f32::NORMAL`], and
+//!   [`arbitrary::any`].
+//!
+//! Differences from crates.io proptest, by design:
+//!
+//! - **No shrinking.** A failing case panics with the deterministic stream
+//!   index that regenerates it (generation is a pure function of the test
+//!   name and that index), which is what the determinism-locked test suite
+//!   needs; minimal counterexamples are not.
+//! - `.proptest-regressions` files are ignored (they hold crates.io seeds).
+
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod num;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// Prelude mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// Mirrors the `prop` module path of the crates.io prelude.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::num;
+        pub use crate::sample;
+    }
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running the configured number of generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg); $($rest)*);
+    };
+    (@impl ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                $crate::test_runner::run_cases(&config, stringify!($name), |rng| {
+                    $(
+                        let $arg = match $crate::strategy::Strategy::new_value(&($strat), rng) {
+                            ::std::result::Result::Ok(v) => v,
+                            ::std::result::Result::Err(r) => {
+                                return ::std::result::Result::Err(
+                                    $crate::test_runner::TestCaseError::Reject(r.to_string()),
+                                )
+                            }
+                        };
+                    )+
+                    #[allow(unused_mut)]
+                    let mut run = || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    };
+                    run()
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a property test, failing the case (not
+/// panicking directly) so the runner can report the reproducing stream.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($a), stringify!($b), a, b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a == *b, $($fmt)+);
+    }};
+}
+
+/// Asserts two expressions are unequal inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a != *b,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($a), stringify!($b), a
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a != *b, $($fmt)+);
+    }};
+}
+
+/// Discards the current case when the assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                concat!("assumption failed: ", stringify!($cond)).to_string(),
+            ));
+        }
+    };
+}
+
+/// Chooses uniformly among the given strategies (all yielding one type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed($strat)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_tuples(a in 0u32..100, pair in (1usize..=8, -5i32..5)) {
+            prop_assert!(a < 100);
+            prop_assert!((1..=8).contains(&pair.0));
+            prop_assert!((-5..5).contains(&pair.1));
+        }
+
+        #[test]
+        fn map_filter_vec(xs in prop::collection::vec((0u64..50).prop_map(|v| v * 2), 1..10)) {
+            prop_assert!(!xs.is_empty() && xs.len() < 10);
+            for x in xs {
+                prop_assert_eq!(x % 2, 0);
+            }
+        }
+
+        #[test]
+        fn oneof_and_any(v in prop_oneof![(0u32..1).prop_map(|_| 1u8), (0u32..1).prop_map(|_| 2u8)],
+                         b in any::<bool>()) {
+            prop_assert!(v == 1 || v == 2);
+            prop_assert!(b as u8 <= 1);
+        }
+
+        #[test]
+        fn normal_floats_are_normal(f in prop::num::f32::NORMAL) {
+            prop_assert!(f.is_normal());
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(n in 0u32..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        use crate::strategy::Strategy;
+        let strat = (0u64..1_000_000, 0u64..1_000_000);
+        let mut r1 = crate::test_runner::TestRng::deterministic("t", 3);
+        let mut r2 = crate::test_runner::TestRng::deterministic("t", 3);
+        assert_eq!(
+            strat.new_value(&mut r1).unwrap(),
+            strat.new_value(&mut r2).unwrap()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at stream")]
+    fn failures_name_the_stream() {
+        crate::test_runner::run_cases(&ProptestConfig::with_cases(4), "always_fails", |_rng| {
+            Err(TestCaseError::Fail("boom".into()))
+        });
+    }
+}

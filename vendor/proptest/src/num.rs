@@ -1,0 +1,57 @@
+//! Numeric strategies (`prop::num`).
+
+use crate::strategy::{Rejection, Strategy};
+use crate::test_runner::TestRng;
+use rand::RngCore;
+
+/// `f32` strategies.
+pub mod f32 {
+    use super::*;
+
+    /// Generates normal (finite, non-zero, non-subnormal) `f32` values of
+    /// either sign across the full exponent range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Normal;
+
+    /// The normal-float strategy instance, mirroring
+    /// `proptest::num::f32::NORMAL`.
+    pub const NORMAL: Normal = Normal;
+
+    impl Strategy for Normal {
+        type Value = f32;
+        fn new_value(&self, rng: &mut TestRng) -> Result<f32, Rejection> {
+            loop {
+                let v = f32::from_bits(rng.next_u32());
+                if v.is_normal() {
+                    return Ok(v);
+                }
+            }
+        }
+    }
+}
+
+/// `f64` strategies.
+pub mod f64 {
+    use super::*;
+
+    /// Generates normal (finite, non-zero, non-subnormal) `f64` values of
+    /// either sign across the full exponent range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Normal;
+
+    /// The normal-float strategy instance, mirroring
+    /// `proptest::num::f64::NORMAL`.
+    pub const NORMAL: Normal = Normal;
+
+    impl Strategy for Normal {
+        type Value = f64;
+        fn new_value(&self, rng: &mut TestRng) -> Result<f64, Rejection> {
+            loop {
+                let v = f64::from_bits(rng.next_u64());
+                if v.is_normal() {
+                    return Ok(v);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! The deterministic case runner and its configuration.
+
+use rand::RngCore;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Runner configuration (the subset the workspace uses).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Upper bound on rejected cases (filter/assume misses) before the run
+    /// is abandoned as undertested.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 4096,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Default::default()
+        }
+    }
+}
+
+/// Why one generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case was discarded (`prop_assume!` / filter exhaustion); the
+    /// runner retries with fresh randomness.
+    Reject(String),
+    /// An assertion failed; the runner panics with this message.
+    Fail(String),
+}
+
+/// The random source handed to strategies: a ChaCha8 stream seeded from the
+/// test name and a per-case stream index, so failures reproduce exactly.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: ChaCha8Rng,
+}
+
+impl TestRng {
+    /// Creates the generator for `(test, stream)`.
+    pub fn deterministic(test: &str, stream: u64) -> Self {
+        // FNV-1a over the test name, mixed with the stream index.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test.bytes() {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng {
+            inner: ChaCha8Rng::seed_from_u64(hash ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        }
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+/// Drives `config.cases` successful executions of `case`.
+///
+/// # Panics
+///
+/// Panics when a case fails (with the reproducing stream index) or when too
+/// many cases are rejected.
+pub fn run_cases(
+    config: &ProptestConfig,
+    test: &str,
+    mut case: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+) {
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    let mut stream = 0u64;
+    while passed < config.cases {
+        let mut rng = TestRng::deterministic(test, stream);
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(why)) => {
+                rejected += 1;
+                assert!(
+                    rejected <= config.max_global_rejects,
+                    "proptest '{test}': too many rejected cases ({rejected}); last: {why}"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => panic!(
+                "proptest '{test}' failed at stream {stream} (deterministic; re-running \
+                 reproduces it — the vendored proptest does not shrink):\n{msg}"
+            ),
+        }
+        stream += 1;
+    }
+}

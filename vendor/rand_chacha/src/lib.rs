@@ -1,0 +1,157 @@
+//! Offline stand-in for the `rand_chacha` crate.
+//!
+//! Implements a genuine ChaCha8 keystream (the IETF variant's quarter-round
+//! schedule over a 16-word state, 8 rounds, 64-bit block counter) behind the
+//! vendored [`rand`] crate's [`RngCore`]/[`SeedableRng`] traits. The
+//! workspace only uses [`ChaCha8Rng`], always seeded via `seed_from_u64`.
+//!
+//! The keystream is a standard ChaCha8 keystream, but `seed_from_u64` uses
+//! the vendored `rand` SplitMix64 expansion, so streams are reproducible
+//! against *this* vendor tree — exactly what the determinism-locked golden
+//! reports require.
+
+#![warn(missing_docs)]
+
+use rand::{RngCore, SeedableRng};
+
+const BLOCK_WORDS: usize = 16;
+
+/// A ChaCha stream cipher generator with 8 rounds.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    /// Key + constant + counter + nonce state used to generate each block.
+    state: [u32; BLOCK_WORDS],
+    /// The current keystream block.
+    buffer: [u32; BLOCK_WORDS],
+    /// Next unread word in `buffer`; `BLOCK_WORDS` forces a refill.
+    index: usize,
+}
+
+#[inline(always)]
+fn quarter_round(s: &mut [u32; BLOCK_WORDS], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut working = self.state;
+        for _ in 0..4 {
+            // 8 rounds = 4 double-rounds of column + diagonal quarter-rounds.
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (out, (&w, &s)) in self
+            .buffer
+            .iter_mut()
+            .zip(working.iter().zip(self.state.iter()))
+        {
+            *out = w.wrapping_add(s);
+        }
+        // 64-bit block counter in words 12..14.
+        let counter = ((self.state[13] as u64) << 32 | self.state[12] as u64).wrapping_add(1);
+        self.state[12] = counter as u32;
+        self.state[13] = (counter >> 32) as u32;
+        self.index = 0;
+    }
+
+    /// Word position within the current 16-word block (test hook).
+    pub fn block_pos(&self) -> usize {
+        self.index
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut state = [0u32; BLOCK_WORDS];
+        // "expand 32-byte k" constants.
+        state[0] = 0x6170_7865;
+        state[1] = 0x3320_646e;
+        state[2] = 0x7962_2d32;
+        state[3] = 0x6b20_6574;
+        for (i, chunk) in seed.chunks_exact(4).enumerate() {
+            state[4 + i] = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        // Counter and nonce start at zero.
+        ChaCha8Rng {
+            state,
+            buffer: [0; BLOCK_WORDS],
+            index: BLOCK_WORDS,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= BLOCK_WORDS {
+            self.refill();
+        }
+        let word = self.buffer[self.index];
+        self.index += 1;
+        word
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn streams_are_deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(7);
+        let mut b = ChaCha8Rng::seed_from_u64(7);
+        let mut c = ChaCha8Rng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..64).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn blocks_differ_as_the_counter_advances() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let first: Vec<u32> = (0..16).map(|_| rng.next_u32()).collect();
+        let second: Vec<u32> = (0..16).map(|_| rng.next_u32()).collect();
+        assert_ne!(first, second);
+    }
+
+    #[test]
+    fn usable_through_the_rng_trait() {
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let v: u32 = rng.gen_range(0..100);
+        assert!(v < 100);
+        let f: f32 = rng.gen_range(0.0f32..1.0);
+        assert!((0.0..1.0).contains(&f));
+    }
+
+    #[test]
+    fn chacha_quarter_round_matches_rfc_vector() {
+        // RFC 7539 §2.1.1 test vector.
+        let mut s = [0u32; 16];
+        s[0] = 0x11111111;
+        s[1] = 0x01020304;
+        s[2] = 0x9b8d6f43;
+        s[3] = 0x01234567;
+        quarter_round(&mut s, 0, 1, 2, 3);
+        assert_eq!(s[0], 0xea2a92f4);
+        assert_eq!(s[1], 0xcb1cf8ce);
+        assert_eq!(s[2], 0x4581472e);
+        assert_eq!(s[3], 0x5881c4bb);
+    }
+}
