@@ -16,6 +16,13 @@ cargo test --workspace -q
 echo "== test (release, includes the slow double-build determinism tests) =="
 cargo test --workspace -q --release
 
+echo "== sim modes (differential bench: stepped oracle vs event-driven) =="
+# Runs the suite matrix under both simulation modes, asserts the reports
+# are identical, and records wall time + ticks per mode in BENCH_sim.json.
+# Quarter scale on the default 32-SM machine keeps this a few minutes;
+# drop --quick for the full-scale numbers quoted in EXPERIMENTS.md.
+cargo run --release -p hsu-bench --bin simbench -- --quick --jobs 0 --out BENCH_sim.json
+
 echo "== fmt =="
 cargo fmt --all --check
 

@@ -1,14 +1,16 @@
 //! `repro` — regenerate every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! repro [--sms N] [--quick] [--seed S] [--jobs N] <item>...
+//! repro [--sms N] [--quick] [--seed S] [--jobs N] [--sim-mode M] <item>...
 //!   items: table2 table3 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14
 //!          fig15 fig16 rtindex all
 //! ```
 //!
 //! `--jobs N` fans the run matrix over N worker threads (0 = all cores).
-//! Figure output on stdout is byte-identical for every worker count; the
-//! per-run observability table goes to stderr.
+//! `--sim-mode stepped|event` selects the run-loop strategy (default:
+//! event); reports are identical either way, so stdout does not change.
+//! Figure output on stdout is byte-identical for every worker count and
+//! simulation mode; the per-run observability table goes to stderr.
 
 use hsu_bench::{figures, runner, Suite, SuiteConfig};
 
@@ -49,6 +51,12 @@ fn main() {
                 config.scale_divisor = 4;
                 config.sms = config.sms.min(4);
             }
+            "--sim-mode" => {
+                config.sim_mode = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--sim-mode needs 'stepped' or 'event'"));
+            }
             "--help" | "-h" => usage(""),
             item => items.push(item.to_string()),
         }
@@ -74,8 +82,12 @@ fn main() {
     });
     let suite = if needs_suite {
         eprintln!(
-            "building workload suite (sms={}, scale 1/{}, seed {}, jobs {})...",
-            config.sms, config.scale_divisor, config.seed, config.jobs
+            "building workload suite (sms={}, scale 1/{}, seed {}, jobs {}, sim-mode {})...",
+            config.sms,
+            config.scale_divisor,
+            config.seed,
+            config.jobs,
+            config.sim_mode.name()
         );
         let suite = Suite::build(config.clone());
         eprintln!("suite ready: {} app-dataset runs", suite.runs.len());
@@ -100,8 +112,13 @@ fn main() {
             "fig6" => hsu_rtl::area::fig6_table(),
             "fig15" => figures::fig15(),
             "fig16" => figures::fig16(),
-            "rtindex" => figures::rtindex(config.sms, config.scale_divisor),
-            "ablation" => figures::ablation(config.sms, config.scale_divisor, config.jobs),
+            "rtindex" => figures::rtindex(config.sms, config.scale_divisor, config.sim_mode),
+            "ablation" => figures::ablation(
+                config.sms,
+                config.scale_divisor,
+                config.jobs,
+                config.sim_mode,
+            ),
             other => usage(&format!("unknown item '{other}'")),
         };
         println!("{text}");
@@ -122,10 +139,11 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: repro [--sms N] [--quick] [--seed S] [--jobs N] [--out DIR] <item>...\n\
+        "usage: repro [--sms N] [--quick] [--seed S] [--jobs N] [--sim-mode M] [--out DIR] <item>...\n\
          items: table2 table3 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16 rtindex ablation all\n\
          --jobs N runs the simulation matrix on N worker threads (0 = all cores);\n\
-         stdout is byte-identical for any N"
+         --sim-mode stepped|event picks the run loop (default: event);\n\
+         stdout is byte-identical for any N and either mode"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

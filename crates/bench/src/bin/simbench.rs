@@ -1,0 +1,191 @@
+//! `simbench` — measure the event-driven run loop against the stepped
+//! oracle on the full workload suite and emit a machine-readable report.
+//!
+//! ```text
+//! simbench [--quick] [--sms N] [--seed S] [--jobs N] [--out PATH]
+//! ```
+//!
+//! Builds the suite twice — once per [`hsu_sim::config::SimMode`] — then:
+//!
+//! 1. asserts every (app × dataset × variant) report is identical between
+//!    the modes (exits non-zero on any divergence),
+//! 2. writes a JSON summary (`BENCH_sim.json` by default) with wall time,
+//!    simulated cycles, and SM ticks executed per mode (stepped mode ticks
+//!    every SM on every cycle; event mode lets SMs sleep), plus the
+//!    derived tick-reduction and wall-clock speedup factors.
+//!
+//! The JSON is hand-rolled: the workspace deliberately has no serde.
+
+use std::time::Instant;
+
+use hsu_bench::{runner, Suite, SuiteConfig};
+use hsu_sim::config::SimMode;
+
+struct ModeRun {
+    suite: Suite,
+    build_wall_s: f64,
+    sim_wall_s: f64,
+    cycles: u64,
+    ticks_executed: u64,
+}
+
+fn run_mode(config: &SuiteConfig, mode: SimMode) -> ModeRun {
+    let start = Instant::now();
+    let suite = Suite::build(config.clone().with_sim_mode(mode));
+    let build_wall_s = start.elapsed().as_secs_f64();
+    let sim_wall_s: f64 = suite.records.iter().map(|r| r.wall.as_secs_f64()).sum();
+    let cycles: u64 = suite.records.iter().map(|r| r.cycles).sum();
+    let ticks_executed: u64 = suite.records.iter().map(|r| r.ticks_executed).sum();
+    ModeRun {
+        suite,
+        build_wall_s,
+        sim_wall_s,
+        cycles,
+        ticks_executed,
+    }
+}
+
+fn main() {
+    // The scheduler bench simulates a 32-SM machine (closer to the paper's
+    // 80 than the 8-SM default the EXPERIMENTS.md figures use): event-mode
+    // skipping is a per-SM property, so machine size is part of the result
+    // and is recorded in the JSON config block.
+    let mut config = SuiteConfig {
+        sms: 32,
+        ..SuiteConfig::default()
+    };
+    let mut out_path = std::path::PathBuf::from("BENCH_sim.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => {
+                config.scale_divisor = 4;
+            }
+            "--sms" => {
+                config.sms = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--sms needs a number"));
+            }
+            "--seed" => {
+                config.seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--seed needs a number"));
+            }
+            "--jobs" => {
+                let n: usize = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--jobs needs a number (0 = all cores)"));
+                config.jobs = if n == 0 { runner::default_jobs() } else { n };
+            }
+            "--out" => {
+                out_path = args
+                    .next()
+                    .unwrap_or_else(|| usage("--out needs a path"))
+                    .into();
+            }
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown argument '{other}'")),
+        }
+    }
+
+    eprintln!(
+        "simbench: suite sms={} scale=1/{} seed={} jobs={}",
+        config.sms, config.scale_divisor, config.seed, config.jobs
+    );
+    let stepped = run_mode(&config, SimMode::Stepped);
+    eprintln!(
+        "stepped: {:.2}s build, {:.2}s simulating, {} ticks",
+        stepped.build_wall_s, stepped.sim_wall_s, stepped.ticks_executed
+    );
+    let event = run_mode(&config, SimMode::Event);
+    eprintln!(
+        "event:   {:.2}s build, {:.2}s simulating, {} ticks",
+        event.build_wall_s, event.sim_wall_s, event.ticks_executed
+    );
+
+    // The differential check: every report in the matrix must agree on every
+    // architectural counter (sched counters differ by design).
+    let mut divergences = 0usize;
+    for (a, b) in stepped.suite.runs.iter().zip(&event.suite.runs) {
+        for (variant, ra, rb) in [
+            ("hsu", &a.hsu, &b.hsu),
+            ("base", &a.base, &b.base),
+            ("stripped", &a.stripped, &b.stripped),
+        ] {
+            if ra.normalized() != rb.normalized() {
+                eprintln!("DIVERGENCE at {}/{variant}", a.label);
+                divergences += 1;
+            }
+        }
+    }
+    let equivalent = divergences == 0;
+
+    let tick_reduction = stepped.ticks_executed as f64 / event.ticks_executed.max(1) as f64;
+    let sim_speedup = if event.sim_wall_s > 0.0 {
+        stepped.sim_wall_s / event.sim_wall_s
+    } else {
+        0.0
+    };
+
+    let json = format!(
+        "{{\n  \"config\": {{ \"sms\": {}, \"scale_divisor\": {}, \"seed\": {}, \"jobs\": {} }},\n  \
+           \"runs\": {},\n  \
+           \"modes\": {{\n    \
+             \"stepped\": {},\n    \
+             \"event\": {}\n  }},\n  \
+           \"tick_reduction\": {:.3},\n  \
+           \"sim_wall_speedup\": {:.3},\n  \
+           \"equivalent\": {}\n}}\n",
+        config.sms,
+        config.scale_divisor,
+        config.seed,
+        config.jobs,
+        stepped.suite.runs.len(),
+        mode_json(&stepped),
+        mode_json(&event),
+        tick_reduction,
+        sim_speedup,
+        equivalent,
+    );
+    std::fs::write(&out_path, &json)
+        .unwrap_or_else(|e| panic!("write {}: {e}", out_path.display()));
+
+    println!(
+        "simbench: {} runs, ticks {} -> {} ({tick_reduction:.2}x fewer), \
+         sim wall {:.2}s -> {:.2}s ({sim_speedup:.2}x), reports {}",
+        stepped.suite.runs.len(),
+        stepped.ticks_executed,
+        event.ticks_executed,
+        stepped.sim_wall_s,
+        event.sim_wall_s,
+        if equivalent { "identical" } else { "DIVERGED" },
+    );
+    println!("wrote {}", out_path.display());
+    if !equivalent {
+        eprintln!("error: {divergences} report(s) diverged between modes");
+        std::process::exit(1);
+    }
+}
+
+fn mode_json(m: &ModeRun) -> String {
+    format!(
+        "{{ \"build_wall_s\": {:.6}, \"sim_wall_s\": {:.6}, \"cycles\": {}, \"ticks_executed\": {} }}",
+        m.build_wall_s, m.sim_wall_s, m.cycles, m.ticks_executed
+    )
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!(
+        "usage: simbench [--quick] [--sms N] [--seed S] [--jobs N] [--out PATH]\n\
+         runs the workload suite under both simulation modes, checks the\n\
+         reports are identical, and writes a JSON timing/ticks summary\n\
+         (32-SM machine by default; --quick = quarter-scale datasets)"
+    );
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}

@@ -13,7 +13,7 @@ use hsu_kernels::rtindex::{RtIndexParams, RtIndexWorkload};
 use hsu_kernels::Variant;
 use hsu_rtl::area::{AreaBreakdown, DatapathKind};
 use hsu_rtl::power::mode_power_mw;
-use hsu_sim::config::GpuConfig;
+use hsu_sim::config::{GpuConfig, SimMode};
 use hsu_sim::Gpu;
 
 /// Table II: the dataset inventory.
@@ -405,7 +405,7 @@ pub fn fig16() -> String {
 
 /// §VI-G: the RTIndeX case study — native point keys vs triangle-encoded
 /// keys, both with RT hardware (paper: +36.6 % and 9:1 key-store memory).
-pub fn rtindex(sms: usize, scale_divisor: usize) -> String {
+pub fn rtindex(sms: usize, scale_divisor: usize, sim_mode: SimMode) -> String {
     let params = RtIndexParams {
         keys: (16_384 / scale_divisor).max(512),
         lookups: (8_192 / scale_divisor).max(256),
@@ -414,6 +414,7 @@ pub fn rtindex(sms: usize, scale_divisor: usize) -> String {
     let wl = RtIndexWorkload::build(&params);
     let gpu = Gpu::new(GpuConfig {
         num_sms: sms,
+        sim_mode,
         ..GpuConfig::small()
     });
     let point = gpu.run(&wl.trace(Variant::Hsu));
@@ -448,7 +449,7 @@ pub fn rtindex(sms: usize, scale_divisor: usize) -> String {
 /// BVH4 and SAH hierarchies for BVH-NN (§VI-E) and private/bypass RT-unit
 /// caches (§VI-I). Both ablation grids run on the work-stealing pool with
 /// `jobs` workers; rows are merged in grid order.
-pub fn ablation(sms: usize, scale_divisor: usize, jobs: usize) -> String {
+pub fn ablation(sms: usize, scale_divisor: usize, jobs: usize, sim_mode: SimMode) -> String {
     use hsu_datasets::Dataset;
     use hsu_kernels::bvhnn::{BvhFlavor, BvhnnParams, BvhnnWorkload};
     use hsu_kernels::ggnn::{GgnnParams, GgnnWorkload};
@@ -457,6 +458,7 @@ pub fn ablation(sms: usize, scale_divisor: usize, jobs: usize) -> String {
     let mut out = String::from("Ablations (paper design-space notes)\n");
     let gpu_cfg = GpuConfig {
         num_sms: sms,
+        sim_mode,
         ..GpuConfig::small()
     };
 
@@ -590,7 +592,7 @@ mod tests {
 
     #[test]
     fn rtindex_speedup_positive() {
-        let out = rtindex(2, 16);
+        let out = rtindex(2, 16, SimMode::default());
         assert!(out.contains("speedup"));
         // Extract the speedup percentage and check the sign.
         let line = out.lines().find(|l| l.contains("speedup")).unwrap();

@@ -134,6 +134,11 @@ pub struct RunRecord {
     pub wall: Duration,
     /// Simulated cycles.
     pub cycles: u64,
+    /// SM ticks the run loop actually executed — equal to
+    /// `cycles × num_sms` under stepped simulation, smaller under
+    /// event-driven fast-forwarding (the difference is the skipped-cycle
+    /// win; see `hsu_sim::stats::SchedStats`).
+    pub ticks_executed: u64,
     /// Highest warp-buffer occupancy any RT/HSU unit reached.
     pub peak_warp_buffer: u64,
 }
@@ -145,6 +150,7 @@ impl RunRecord {
             key: key.into(),
             wall,
             cycles: report.cycles,
+            ticks_executed: report.sched.ticks_executed,
             peak_warp_buffer: report.peak_warp_buffer_occupancy(),
         }
     }
@@ -178,22 +184,25 @@ pub fn records_table(records: &[RunRecord]) -> String {
     let mut out = format!("== run records ({} simulations) ==\n", records.len());
     let _ = writeln!(
         out,
-        "{:<24} {:>10} {:>12} {:>10} {:>8}",
-        "job", "wall ms", "cycles", "Mcyc/s", "peak-wb"
+        "{:<24} {:>10} {:>12} {:>12} {:>10} {:>8}",
+        "job", "wall ms", "cycles", "ticks", "Mcyc/s", "peak-wb"
     );
     let mut wall = Duration::ZERO;
     let mut cycles = 0u64;
+    let mut ticks = 0u64;
     let mut peak = 0u64;
     for r in records {
         wall += r.wall;
         cycles += r.cycles;
+        ticks += r.ticks_executed;
         peak = peak.max(r.peak_warp_buffer);
         let _ = writeln!(
             out,
-            "{:<24} {:>10.1} {:>12} {:>10.2} {:>8}",
+            "{:<24} {:>10.1} {:>12} {:>12} {:>10.2} {:>8}",
             r.key,
             r.wall.as_secs_f64() * 1e3,
             r.cycles,
+            r.ticks_executed,
             r.cycles_per_sec() / 1e6,
             r.peak_warp_buffer
         );
@@ -205,10 +214,11 @@ pub fn records_table(records: &[RunRecord]) -> String {
     };
     let _ = writeln!(
         out,
-        "{:<24} {:>10.1} {:>12} {:>10.2} {:>8}  (wall summed over workers)",
+        "{:<24} {:>10.1} {:>12} {:>12} {:>10.2} {:>8}  (wall summed over workers)",
         "TOTAL",
         wall.as_secs_f64() * 1e3,
         cycles,
+        ticks,
         mcps,
         peak
     );
@@ -275,12 +285,14 @@ mod tests {
                 key: "x/hsu".into(),
                 wall: Duration::from_millis(2),
                 cycles: 1000,
+                ticks_executed: 400,
                 peak_warp_buffer: 3,
             },
             RunRecord {
                 key: "x/base".into(),
                 wall: Duration::from_millis(4),
                 cycles: 3000,
+                ticks_executed: 900,
                 peak_warp_buffer: 5,
             },
         ];
@@ -288,6 +300,7 @@ mod tests {
         assert!(table.contains("TOTAL"));
         assert!(table.contains("x/hsu"));
         assert!(table.contains("4000"), "summed cycles:\n{table}");
+        assert!(table.contains("1300"), "summed ticks:\n{table}");
         let total = recs[0].clone();
         assert!(total.cycles_per_sec() > 0.0);
     }

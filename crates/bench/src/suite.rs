@@ -7,7 +7,7 @@ use hsu_kernels::bvhnn::{BvhnnParams, BvhnnWorkload};
 use hsu_kernels::flann::{FlannParams, FlannWorkload};
 use hsu_kernels::ggnn::{GgnnParams, GgnnWorkload};
 use hsu_kernels::{offloadable_fraction, Variant};
-use hsu_sim::config::GpuConfig;
+use hsu_sim::config::{GpuConfig, SimMode};
 use hsu_sim::{Gpu, SimReport};
 
 /// Which application a run belongs to (the paper's four workloads).
@@ -88,15 +88,23 @@ pub struct SuiteConfig {
     /// Worker threads for the run matrix (1 = fully sequential). Results
     /// are identical for every value; only wall-time changes.
     pub jobs: usize,
+    /// How the simulator advances time. Reports (and therefore every
+    /// figure and table) are identical for both modes; only wall-time and
+    /// the scheduler counters change.
+    pub sim_mode: SimMode,
 }
 
 impl Default for SuiteConfig {
     fn default() -> Self {
         SuiteConfig {
+            // Every measured row in EXPERIMENTS.md was produced on this
+            // 8-SM machine; `simbench` overrides to the larger 32-SM
+            // machine (closer to the paper's 80) for the scheduler bench.
             sms: 8,
             scale_divisor: 1,
             seed: 7,
             jobs: 1,
+            sim_mode: SimMode::default(),
         }
     }
 }
@@ -107,8 +115,7 @@ impl SuiteConfig {
         SuiteConfig {
             sms: 4,
             scale_divisor: 4,
-            seed: 7,
-            jobs: 1,
+            ..SuiteConfig::default()
         }
     }
 
@@ -118,10 +125,17 @@ impl SuiteConfig {
         self
     }
 
+    /// The same configuration with a different simulation mode.
+    pub fn with_sim_mode(mut self, mode: SimMode) -> Self {
+        self.sim_mode = mode;
+        self
+    }
+
     /// The GPU configuration the suite simulates.
     pub fn gpu_config(&self) -> GpuConfig {
         GpuConfig {
             num_sms: self.sms,
+            sim_mode: self.sim_mode,
             ..GpuConfig::small()
         }
     }
@@ -423,8 +437,7 @@ mod tests {
         let cfg = SuiteConfig {
             sms: 2,
             scale_divisor: 32,
-            seed: 7,
-            jobs: 1,
+            ..SuiteConfig::default()
         };
         let seq = Suite::build(cfg.clone());
         let par = Suite::build(cfg.with_jobs(8));

@@ -195,6 +195,23 @@ impl DatapathPipeline {
         out
     }
 
+    /// Accounts `cycles` idle cycles at once — the event-driven simulator
+    /// calls this instead of ticking an empty pipeline cycle by cycle, so
+    /// [`PipelineStats::cycles`] stays identical to the stepped loop's.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if operations are in flight: a non-empty pipeline
+    /// changes state every cycle and must be ticked.
+    pub fn fast_forward(&mut self, cycles: u64) {
+        debug_assert!(
+            self.is_empty(),
+            "fast-forward across an occupied pipeline would skip completions"
+        );
+        self.issued_this_cycle = false;
+        self.stats.cycles += cycles;
+    }
+
     /// Number of operations currently in flight.
     pub fn in_flight(&self) -> usize {
         self.stages.iter().flatten().count()
@@ -236,6 +253,21 @@ mod tests {
             assert!(cycles <= PIPELINE_DEPTH as u64, "op never completed");
         }
         assert_eq!(cycles, PIPELINE_DEPTH as u64);
+    }
+
+    #[test]
+    fn fast_forward_matches_idle_ticks() {
+        // N idle ticks and one fast_forward(N) must leave identical stats.
+        let mut ticked = DatapathPipeline::new();
+        let mut skipped = DatapathPipeline::new();
+        for _ in 0..37 {
+            assert!(ticked.tick().is_empty());
+        }
+        skipped.fast_forward(37);
+        assert_eq!(ticked.stats(), skipped.stats());
+        // Both can issue normally afterwards.
+        assert!(ticked.issue(OperatingMode::Euclid, 0));
+        assert!(skipped.issue(OperatingMode::Euclid, 0));
     }
 
     #[test]

@@ -18,6 +18,45 @@ pub enum RtCachePolicy {
     Bypass,
 }
 
+/// How [`crate::Gpu::run`] advances simulated time.
+///
+/// Both modes produce identical reports for every kernel — the equivalence
+/// is locked by `tests/sim_equivalence.rs` — but [`SimMode::Event`] skips
+/// cycles in which no component can change state (long DRAM stalls), which
+/// makes memory-bound workloads simulate several times faster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimMode {
+    /// Tick every SM and the memory hierarchy on every cycle. The legacy
+    /// loop, kept as the oracle for differential testing.
+    Stepped,
+    /// Fast-forward to the earliest cycle any component reports it can
+    /// change state (`next_event`), accounting skipped cycles in bulk.
+    #[default]
+    Event,
+}
+
+impl SimMode {
+    /// CLI / display name (`stepped` or `event`).
+    pub fn name(self) -> &'static str {
+        match self {
+            SimMode::Stepped => "stepped",
+            SimMode::Event => "event",
+        }
+    }
+}
+
+impl std::str::FromStr for SimMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "stepped" => Ok(SimMode::Stepped),
+            "event" => Ok(SimMode::Event),
+            other => Err(format!("unknown sim mode '{other}' (stepped|event)")),
+        }
+    }
+}
+
 /// Full machine configuration.
 ///
 /// [`GpuConfig::volta_v100`] reproduces Table III; [`GpuConfig::small`] is a
@@ -71,6 +110,8 @@ pub struct GpuConfig {
     pub dram_transfer_cycles: u64,
     /// Safety valve: abort if a kernel exceeds this many cycles.
     pub max_cycles: u64,
+    /// How the run loop advances time (identical results either way).
+    pub sim_mode: SimMode,
 }
 
 impl GpuConfig {
@@ -100,6 +141,7 @@ impl GpuConfig {
             dram_row_miss_cycles: 48,
             dram_transfer_cycles: 4,
             max_cycles: 2_000_000_000,
+            sim_mode: SimMode::default(),
         }
     }
 
@@ -131,6 +173,12 @@ impl GpuConfig {
     /// Replaces the HSU configuration (width / warp-buffer sweeps).
     pub fn with_hsu(mut self, hsu: HsuConfig) -> Self {
         self.hsu = hsu;
+        self
+    }
+
+    /// Replaces the simulation mode (stepped oracle vs event-driven).
+    pub fn with_sim_mode(mut self, mode: SimMode) -> Self {
+        self.sim_mode = mode;
         self
     }
 
@@ -192,6 +240,19 @@ mod tests {
             assert!(cfg.l2_sets() > 0);
             assert_eq!(cfg.lines_per_row(), 16);
         }
+    }
+
+    #[test]
+    fn sim_mode_round_trips_and_defaults_to_event() {
+        assert_eq!(GpuConfig::volta_v100().sim_mode, SimMode::Event);
+        assert_eq!("stepped".parse::<SimMode>().unwrap(), SimMode::Stepped);
+        assert_eq!("event".parse::<SimMode>().unwrap(), SimMode::Event);
+        assert!("cycle".parse::<SimMode>().is_err());
+        for mode in [SimMode::Stepped, SimMode::Event] {
+            assert_eq!(mode.name().parse::<SimMode>().unwrap(), mode);
+        }
+        let cfg = GpuConfig::tiny().with_sim_mode(SimMode::Stepped);
+        assert_eq!(cfg.sim_mode, SimMode::Stepped);
     }
 
     #[test]

@@ -93,6 +93,22 @@ impl DramChannel {
         self.queue.len()
     }
 
+    /// The earliest cycle at which [`DramChannel::tick`] can begin serving a
+    /// queued request, or `None` when the queue is empty.
+    ///
+    /// This is the channel's `next_event` contract for the event-driven run
+    /// loop: service requires the command/data bus free (`bus_free_at`) and
+    /// *some* queued request whose bank is free, so the earliest productive
+    /// tick is `max(bus_free_at, min over queued requests of their bank's
+    /// free time)`. Ticks strictly before that cycle are provably no-ops;
+    /// a tick at exactly that cycle serves a request. Completions already in
+    /// flight are not represented here — they were returned by `tick` as
+    /// absolute `(finish, token)` pairs and live in the caller's event heap.
+    pub fn next_service_cycle(&self) -> Option<u64> {
+        let bank_ready = self.queue.iter().map(|r| self.bank_free_at[r.bank]).min()?;
+        Some(bank_ready.max(self.bus_free_at))
+    }
+
     /// Advances one cycle; returns completed tokens.
     ///
     /// At most one request begins service per cycle (command bus); its
@@ -216,5 +232,98 @@ mod tests {
     fn row_locality_zero_when_idle() {
         let ch = DramChannel::new(2, 20, 48, 4);
         assert_eq!(ch.stats().row_locality(), 0.0);
+    }
+
+    #[test]
+    fn exact_cycles_for_row_miss_then_hit_on_one_bank() {
+        // Pin the FR-FCFS timing contract cycle-for-cycle: a row miss pays
+        // 48 + 4 transfer (finish 52), holds the bank until 48 and the bus
+        // until 4; the same-row follow-up cannot start before the bank frees
+        // at 48 and finishes at 48 + 20 + 4 = 72.
+        let mut ch = DramChannel::new(1, 20, 48, 4);
+        ch.enqueue(10, 0, 7, 0);
+        ch.enqueue(11, 0, 7, 0);
+        let mut done = Vec::new();
+        ch.tick(0, &mut done);
+        assert_eq!(done, vec![(52, 10)], "miss: 48 service + 4 transfer");
+        assert_eq!(ch.next_service_cycle(), Some(48), "bank busy until 48");
+        // Every tick strictly before the predicted cycle is a no-op.
+        for now in 1..48 {
+            ch.tick(now, &mut done);
+            assert_eq!(done.len(), 1, "early service at cycle {now}");
+        }
+        ch.tick(48, &mut done);
+        assert_eq!(done[1], (72, 11), "hit: starts at 48, 20 + 4 cycles");
+        assert_eq!(ch.next_service_cycle(), None, "queue drained");
+        assert_eq!(ch.stats().row_hits, 1);
+        assert_eq!(ch.stats().activations, 1);
+    }
+
+    #[test]
+    fn fr_fcfs_serves_open_row_before_older_request() {
+        // Bank 0's row 5 is open; an older request to row 6 waits while the
+        // younger row-5 request is served first (the "first-ready" half of
+        // FR-FCFS), and the row-6 request's activation starts only when the
+        // bank frees.
+        let mut ch = DramChannel::new(1, 20, 48, 4);
+        ch.enqueue(0, 0, 5, 0);
+        let mut done = Vec::new();
+        ch.tick(0, &mut done); // opens row 5; bank busy until 48
+        done.clear();
+        ch.enqueue(1, 0, 6, 10); // older
+        ch.enqueue(2, 0, 5, 20); // younger, but row 5 is open
+        assert_eq!(ch.next_service_cycle(), Some(48));
+        ch.tick(48, &mut done);
+        assert_eq!(done, vec![(72, 2)], "open-row request wins at 48");
+        // Row-6 activation begins when the bank frees again at 68.
+        assert_eq!(ch.next_service_cycle(), Some(68));
+        ch.tick(68, &mut done);
+        assert_eq!(done[1], (120, 1), "68 + 48 + 4");
+        assert_eq!(ch.stats().activations, 2);
+    }
+
+    #[test]
+    fn next_service_cycle_predicts_every_service_exactly() {
+        // Differential check of the next_event contract over a mixed queue:
+        // ticking cycle by cycle, the channel serves exactly at the cycles
+        // `next_service_cycle` predicted and never in between.
+        let mut ch = DramChannel::new(2, 20, 48, 4);
+        for i in 0..10u64 {
+            ch.enqueue(i, (i % 2) as usize, i % 3, i / 2);
+        }
+        let mut done = Vec::new();
+        let mut now = 0u64;
+        while let Some(at) = ch.next_service_cycle() {
+            assert!(at >= now, "prediction {at} in the past (now {now})");
+            let before = done.len();
+            for t in now..at {
+                ch.tick(t, &mut done);
+                assert_eq!(done.len(), before, "unpredicted service at {t}");
+            }
+            ch.tick(at, &mut done);
+            assert_eq!(done.len(), before + 1, "no service at predicted {at}");
+            now = at + 1;
+        }
+        assert_eq!(done.len(), 10);
+        assert_eq!(ch.stats().accesses, 10);
+    }
+
+    #[test]
+    fn bus_occupancy_gates_parallel_banks() {
+        // Two banks both free: the second service waits only for the shared
+        // bus (4 cycles), pinning the bus half of next_service_cycle.
+        let mut ch = DramChannel::new(2, 20, 48, 4);
+        ch.enqueue(0, 0, 1, 0);
+        ch.enqueue(1, 1, 1, 0);
+        let mut done = Vec::new();
+        ch.tick(0, &mut done);
+        assert_eq!(ch.next_service_cycle(), Some(4), "bus frees at 4");
+        for t in 1..4 {
+            ch.tick(t, &mut done);
+        }
+        assert_eq!(done.len(), 1);
+        ch.tick(4, &mut done);
+        assert_eq!(done.len(), 2);
+        assert_eq!(done[1], (4 + 48 + 4, 1));
     }
 }

@@ -1,9 +1,9 @@
 //! The top-level GPU: SMs + memory hierarchy + the simulation loop.
 
-use crate::config::GpuConfig;
+use crate::config::{GpuConfig, SimMode};
 use crate::memory::MemorySystem;
 use crate::sm::Sm;
-use crate::stats::SimReport;
+use crate::stats::{SchedStats, SimReport};
 use crate::trace::KernelTrace;
 
 /// A configured GPU ready to execute kernel traces.
@@ -41,11 +41,30 @@ impl Gpu {
     /// Runs one kernel to completion and returns its report.
     ///
     /// Warps are distributed round-robin across SMs (the grid-stride launch
-    /// pattern all four workloads use). The simulation is deterministic.
+    /// pattern all four workloads use). The simulation is deterministic, and
+    /// every architectural counter in the report is identical under both
+    /// [`SimMode`]s — only [`SimReport::sched`] records how time advanced.
+    ///
+    /// Under [`SimMode::Stepped`] the machine ticks on every cycle (the
+    /// oracle loop). Under [`SimMode::Event`] the loop asks each component
+    /// for the earliest cycle its state can change and jumps straight there
+    /// — and within each visited cycle it ticks only the SMs that can
+    /// observe it. An SM sleeps until one of three wakeups: a completion is
+    /// delivered to it, its L1 (or private RT cache) receives a fill (which
+    /// frees an MSHR and can flip what the port accepts), or its own
+    /// self-reported [`Sm::next_event`] cycle arrives. Every cycle an SM
+    /// sleeps through is provably a no-op for it in the stepped machine —
+    /// its warps are blocked on timers, busy issue slots, or memory
+    /// (including L1 queues whose head the cache would reject) — and is
+    /// bulk-accounted on wakeup via [`Sm::fast_forward`], down to the stall
+    /// statistics and the L1 port's round-robin state.
     ///
     /// # Panics
     ///
-    /// Panics if the kernel exceeds `cfg.max_cycles` (deadlock guard).
+    /// Panics if the kernel exceeds `cfg.max_cycles` (deadlock guard). The
+    /// guard message is identical in both modes, including when event mode
+    /// proves the deadlock early (no component reports any future event, or
+    /// the next event lies beyond the guard).
     pub fn run(&self, kernel: &KernelTrace) -> SimReport {
         let mut sms: Vec<Sm> = (0..self.cfg.num_sms)
             .map(|i| Sm::new(i, &self.cfg))
@@ -56,40 +75,144 @@ impl Gpu {
             sms[i % self.cfg.num_sms].enqueue_warp(warp);
         }
 
+        let guard = || -> ! {
+            panic!(
+                "kernel '{}' exceeded the {}-cycle guard",
+                kernel.name(),
+                self.cfg.max_cycles
+            )
+        };
+
+        let event_mode = matches!(self.cfg.sim_mode, SimMode::Event);
+        let num_sms = self.cfg.num_sms;
         let mut done = Vec::new();
-        let mut cycles = 0u64;
-        for now in 0..self.cfg.max_cycles {
-            done.clear();
-            mem.tick(now, &mut done);
-            for &(sm, waiter) in &done {
-                sms[sm].on_mem_done(waiter);
+        let mut sched = SchedStats::default();
+        // Per-SM sleep state (event mode): the cycle each SM last ticked
+        // (`u64::MAX` = never), its self-reported wakeup cycle, whether it
+        // must tick at the cycle being visited, and whether the memory
+        // system (rather than its own timer) supplied that wakeup.
+        let mut last_ticked: Vec<u64> = vec![u64::MAX; num_sms];
+        let mut wake: Vec<Option<u64>> = vec![Some(0); num_sms];
+        let mut active: Vec<bool> = vec![true; num_sms];
+        let mut woken_by_mem: Vec<bool> = vec![false; num_sms];
+        let mut now = 0u64;
+        let cycles = if self.cfg.max_cycles == 0 {
+            0
+        } else {
+            loop {
+                done.clear();
+                mem.tick(now, &mut done);
+                if event_mode {
+                    // An SM must tick at `now` iff it can observe the cycle:
+                    // its own wakeup arrived, a completion is delivered to
+                    // it, or its L1 received a fill (freeing an MSHR, which
+                    // can flip what its port would accept).
+                    for i in 0..num_sms {
+                        woken_by_mem[i] = false;
+                        active[i] = wake[i].is_some_and(|t| t <= now);
+                    }
+                    for &(sm, _) in &done {
+                        active[sm] = true;
+                        woken_by_mem[sm] = true;
+                    }
+                    for &sm in mem.l1_touched() {
+                        active[sm] = true;
+                        woken_by_mem[sm] = true;
+                    }
+                }
+                // Waking SMs first replay their sleep window in bulk, so the
+                // per-cycle order of the stepped oracle (memory, completion
+                // delivery, SM tick) is preserved for cycle `now` itself.
+                for (i, sm) in sms.iter_mut().enumerate() {
+                    if !active[i] {
+                        continue;
+                    }
+                    let slept = match last_ticked[i] {
+                        u64::MAX => now,
+                        t => now - t - 1,
+                    };
+                    if slept > 0 {
+                        sm.fast_forward(slept, &mut mem);
+                        sched.cycles_skipped += slept;
+                        if woken_by_mem[i] {
+                            sched.skipped_on_memory += slept;
+                        } else {
+                            sched.skipped_on_timers += slept;
+                        }
+                    }
+                }
+                for &(sm, waiter) in &done {
+                    sms[sm].on_mem_done(waiter);
+                }
+                for (i, sm) in sms.iter_mut().enumerate() {
+                    if !active[i] {
+                        continue;
+                    }
+                    sm.tick(now, &mut mem);
+                    sched.ticks_executed += 1;
+                    last_ticked[i] = now;
+                    if event_mode {
+                        wake[i] = sm.next_event(now, &mem);
+                    }
+                }
+                if sms.iter().all(|sm| sm.finished()) && mem.quiescent() {
+                    break now + 1;
+                }
+                if now + 1 == self.cfg.max_cycles {
+                    guard();
+                }
+                now = match self.cfg.sim_mode {
+                    SimMode::Stepped => now + 1,
+                    SimMode::Event => {
+                        let mem_next = mem.next_event(now);
+                        // Sleeping SMs' wakeups all lie in the future; SMs
+                        // that ticked at `now` just refreshed theirs.
+                        let sm_next = wake.iter().filter_map(|w| *w).min();
+                        let next = match (mem_next, sm_next) {
+                            (Some(a), Some(b)) => a.min(b),
+                            (a, b) => a.or(b).unwrap_or_else(|| guard()),
+                        };
+                        debug_assert!(next > now, "next event must lie in the future");
+                        // The stepped loop's final iteration runs at cycle
+                        // max_cycles - 1 and trips the guard *after* ticking;
+                        // jumping at or past the guard cycle deadlocks the
+                        // same way.
+                        if next >= self.cfg.max_cycles {
+                            guard();
+                        }
+                        next
+                    }
+                };
             }
-            for sm in &mut sms {
-                sm.tick(now, &mut mem);
-            }
-            if sms.iter().all(|sm| sm.finished()) && mem.quiescent() {
-                cycles = now + 1;
-                break;
-            }
-            if now + 1 == self.cfg.max_cycles {
-                panic!(
-                    "kernel '{}' exceeded the {}-cycle guard",
-                    kernel.name(),
-                    self.cfg.max_cycles
-                );
+        };
+
+        // SMs that went quiet before the machine drained still owe the
+        // bulk accounting for their final sleep window (stepped mode ticks
+        // every SM on every cycle, so this is a no-op there).
+        for (i, sm) in sms.iter_mut().enumerate() {
+            let slept = match last_ticked[i] {
+                u64::MAX => cycles,
+                t => cycles - t - 1,
+            };
+            if slept > 0 {
+                sm.fast_forward(slept, &mut mem);
+                sched.cycles_skipped += slept;
+                sched.skipped_on_timers += slept;
             }
         }
 
         let sm_stats: Vec<_> = sms.iter().map(|s| s.stats().clone()).collect();
         let rt_stats: Vec<_> = sms.iter().map(|s| s.rt_stats()).collect();
-        SimReport::aggregate(
+        let mut report = SimReport::aggregate(
             kernel.name().to_string(),
             cycles,
             self.cfg.num_sms,
             &sm_stats,
             &rt_stats,
             mem.stats(),
-        )
+        );
+        report.sched = sched;
+        report
     }
 }
 
@@ -249,6 +372,86 @@ mod tests {
         assert_eq!(shared.memory.rt_cache.accesses(), 0);
         // The private cache captures node reuse; bypass mostly misses.
         assert!(private.memory.rt_cache.miss_rate() < bypass.memory.rt_cache.miss_rate());
+    }
+
+    #[test]
+    fn event_mode_matches_stepped_oracle() {
+        use crate::config::SimMode;
+        // A mixed kernel exercising timers, loads, and the HSU path: both
+        // modes must agree on every architectural counter, and event mode
+        // must actually skip cycles to earn its keep.
+        let k = kernel_of(
+            128,
+            vec![
+                ThreadOp::Load {
+                    addr: 0x2000,
+                    bytes: 64,
+                },
+                ThreadOp::Alu { count: 12 },
+                ThreadOp::HsuDistance {
+                    metric: Metric::Euclidean,
+                    dim: 32,
+                    candidate_addr: 0x9000,
+                },
+                ThreadOp::Shared { count: 2 },
+            ],
+        );
+        let stepped = Gpu::new(GpuConfig::tiny().with_sim_mode(SimMode::Stepped)).run(&k);
+        let event = Gpu::new(GpuConfig::tiny().with_sim_mode(SimMode::Event)).run(&k);
+        assert_eq!(stepped.normalized(), event.normalized());
+        // Scheduler accounting invariants: each of an SM's cycles is either
+        // ticked or fast-forwarded, exactly once.
+        assert_eq!(
+            stepped.sched.ticks_executed,
+            stepped.cycles * stepped.num_sms as u64
+        );
+        assert_eq!(stepped.sched.cycles_skipped, 0);
+        assert_eq!(
+            event.sched.ticks_executed + event.sched.cycles_skipped,
+            event.cycles * event.num_sms as u64
+        );
+        assert_eq!(
+            event.sched.cycles_skipped,
+            event.sched.skipped_on_memory + event.sched.skipped_on_timers
+        );
+        assert!(
+            event.sched.cycles_skipped > 0,
+            "a memory-latency-bound kernel must fast-forward"
+        );
+    }
+
+    #[test]
+    fn deadlock_guard_fires_identically_in_both_modes() {
+        use crate::config::SimMode;
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        // A kernel whose ALU run wakes up far beyond max_cycles: the stepped
+        // loop grinds to the guard, the event loop proves the overrun when
+        // the only future event lies past it. Same panic, same message.
+        // (Two classes so the trace keeps a second instruction pending — a
+        // warp stalled on its *last* instruction retires immediately.)
+        let k = kernel_of(
+            32,
+            vec![
+                ThreadOp::Alu { count: 1_000 },
+                ThreadOp::Shared { count: 1 },
+            ],
+        );
+        let message_of = |mode: SimMode| -> String {
+            let cfg = GpuConfig {
+                max_cycles: 500,
+                ..GpuConfig::tiny()
+            }
+            .with_sim_mode(mode);
+            let err = catch_unwind(AssertUnwindSafe(|| Gpu::new(cfg).run(&k)))
+                .expect_err("guard must fire");
+            err.downcast_ref::<String>()
+                .cloned()
+                .expect("panic carries a String payload")
+        };
+        let stepped = message_of(SimMode::Stepped);
+        let event = message_of(SimMode::Event);
+        assert_eq!(stepped, event);
+        assert_eq!(stepped, "kernel 'k' exceeded the 500-cycle guard");
     }
 
     #[test]

@@ -20,6 +20,21 @@
 //! The simulator is deterministic: the same trace and configuration always
 //! produce the same cycle count and statistics.
 //!
+//! # Simulation modes
+//!
+//! Time advances under one of two [`config::SimMode`]s. `Stepped` is the
+//! oracle: every component ticks on every cycle. `Event` (the default) is
+//! the fast path: each component reports the earliest future cycle its
+//! state can change ([`memory::MemorySystem::next_event`],
+//! [`sm::Sm::next_event`]), the run loop jumps straight to the minimum, and
+//! within a visited cycle only the SMs that can observe it tick — the rest
+//! sleep until a completion, an L1 fill, or their own wakeup cycle arrives,
+//! and bulk-account the skipped window via `fast_forward`. Both modes
+//! produce bit-identical [`SimReport`]s (only the [`stats::SchedStats`]
+//! scheduler counters differ); `tests/sim_equivalence.rs` proves this
+//! differentially over random kernels, random machine geometries, and the
+//! full benchmark suite.
+//!
 //! # Examples
 //!
 //! ```

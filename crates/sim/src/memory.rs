@@ -75,9 +75,16 @@ pub struct MemorySystem {
     l2_banks: Vec<Cache>,
     l2_bank_busy: Vec<u64>,
     dram: Vec<DramChannel>,
+    dram_banks: u64,
     lines_per_row: u64,
     events: BinaryHeap<Reverse<(u64, Event)>>,
     dram_completions: Vec<(u64, u64)>,
+    /// SMs whose L1 (or private RT cache) received a fill during the most
+    /// recent [`MemorySystem::tick`]. A fill frees an MSHR, so it is the one
+    /// memory-side event that changes what an SM's port would accept *before*
+    /// any `Done` completion reaches the SM — the event loop uses this to
+    /// know which SMs must resume ticking.
+    l1_touched: Vec<usize>,
     lsu_accesses: u64,
     rt_accesses: u64,
 }
@@ -126,9 +133,11 @@ impl MemorySystem {
                     )
                 })
                 .collect(),
+            dram_banks: cfg.dram_banks as u64,
             lines_per_row: cfg.lines_per_row(),
             events: BinaryHeap::new(),
             dram_completions: Vec::new(),
+            l1_touched: Vec::new(),
             lsu_accesses: 0,
             rt_accesses: 0,
         }
@@ -218,6 +227,34 @@ impl MemorySystem {
         self.rt_caches.is_some()
     }
 
+    /// Whether presenting `line` on `sm`'s port for `requester` would be
+    /// accepted this cycle (i.e. [`MemorySystem::access`] would not return
+    /// [`AccessOutcome::Rejected`]). Non-mutating; used by `Sm::next_event`
+    /// to distinguish a queue that can make progress next cycle from one
+    /// blocked until a fill frees an MSHR — the latter's wakeup is already
+    /// owned by this system's event heap.
+    pub fn can_accept(&self, sm: usize, line: u64, requester: Requester) -> bool {
+        let cache = match (requester, &self.rt_caches) {
+            (Requester::RtUnit, Some(caches)) => &caches[sm],
+            _ => &self.l1s[sm],
+        };
+        cache.can_accept(line)
+    }
+
+    /// Bulk-accounts `count` rejected port presentations by `requester` on
+    /// `sm`, exactly as `count` per-cycle retries ending in
+    /// [`AccessOutcome::Rejected`] would have (stall statistics only — a
+    /// rejected access never reaches the requester counters). Called by
+    /// `Sm::fast_forward` so the stepped oracle and the event-driven loop
+    /// report identical stall streams.
+    pub fn note_stalled_probes(&mut self, sm: usize, requester: Requester, count: u64) {
+        let cache = match (requester, &mut self.rt_caches) {
+            (Requester::RtUnit, Some(caches)) => &mut caches[sm],
+            _ => &mut self.l1s[sm],
+        };
+        cache.note_stalled_probes(count);
+    }
+
     fn push(&mut self, at: u64, event: Event) {
         self.events.push(Reverse((at, event)));
     }
@@ -226,6 +263,7 @@ impl MemorySystem {
     pub fn tick(&mut self, now: u64, done: &mut Vec<(usize, u64)>) {
         // DRAM channels progress independently.
         self.dram_completions.clear();
+        self.l1_touched.clear();
         let channels = self.dram.len() as u64;
         for (ch, dram) in self.dram.iter_mut().enumerate() {
             let before = self.dram_completions.len();
@@ -264,7 +302,7 @@ impl MemorySystem {
                             // open row (standard row:bank:col interleaving).
                             let ch = self.channel_of(line);
                             let channel_line = line / self.dram.len() as u64;
-                            let banks = 16u64;
+                            let banks = self.dram_banks;
                             let bank_idx = ((channel_line / self.lines_per_row) % banks) as usize;
                             let row = channel_line / (self.lines_per_row * banks);
                             self.dram[ch].enqueue(line, bank_idx, row, now);
@@ -289,6 +327,7 @@ impl MemorySystem {
                 Event::L1Fill { sm, line } => {
                     let is_rt = sm & RT_FILL != 0;
                     let sm_idx = (sm & !RT_FILL) as usize;
+                    self.l1_touched.push(sm_idx);
                     let waiters = if is_rt {
                         self.rt_caches.as_mut().expect("rt fill without rt cache")[sm_idx]
                             .fill(line)
@@ -315,6 +354,36 @@ impl MemorySystem {
     /// Returns `true` when no request is in flight anywhere.
     pub fn quiescent(&self) -> bool {
         self.events.is_empty() && self.dram.iter().all(|d| d.queue_len() == 0)
+    }
+
+    /// The earliest future cycle at which [`MemorySystem::tick`] can do any
+    /// work, or `None` when the hierarchy is quiescent.
+    ///
+    /// Two sources of future activity exist, both expressed as absolute
+    /// cycles: the event heap (interconnect hops, fills, completions, L2
+    /// retries) and each DRAM channel's next possible FR-FCFS service
+    /// ([`DramChannel::next_service_cycle`]). Ticking strictly between `now`
+    /// and the returned cycle is provably a no-op, which is what licenses
+    /// the event-driven loop to skip those cycles. Call only after `tick
+    /// (now)` has drained everything due at `now`; the result is clamped to
+    /// `now + 1` so the caller always advances.
+    pub fn next_event(&self, now: u64) -> Option<u64> {
+        let mut next = self.events.peek().map(|Reverse((at, _))| *at);
+        for d in &self.dram {
+            next = match (next, d.next_service_cycle()) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+        }
+        next.map(|t| t.max(now + 1))
+    }
+
+    /// SMs whose L1 (or private RT cache) received a fill during the most
+    /// recent [`MemorySystem::tick`] — the set of SMs whose
+    /// [`MemorySystem::can_accept`] answers may just have flipped. May
+    /// contain duplicates; order follows event-drain order.
+    pub fn l1_touched(&self) -> &[usize] {
+        &self.l1_touched
     }
 
     fn bank_of(&self, line: u64) -> usize {
@@ -474,6 +543,64 @@ mod tests {
         assert_eq!(lines, vec![0]);
         let lines: Vec<u64> = mem.lines_of_range(256, 1).collect();
         assert_eq!(lines, vec![2]);
+    }
+
+    #[test]
+    fn next_event_predicts_every_productive_tick() {
+        // Differential pin of the hierarchy's next_event contract: drive a
+        // burst of misses to completion cycle by cycle and assert that every
+        // tick that delivered a completion (or was needed to make progress)
+        // lands exactly on a predicted cycle, and that predicted idle gaps
+        // deliver nothing.
+        let cfg = GpuConfig::tiny();
+        let mut mem = MemorySystem::new(&cfg);
+        for (i, line) in [0u64, 7, 7, 129, 4096].into_iter().enumerate() {
+            assert_eq!(
+                mem.access(0, line, i as u64, Requester::Lsu, 0),
+                AccessOutcome::Accepted
+            );
+        }
+        let mut done = Vec::new();
+        let mut now = 0u64;
+        mem.tick(now, &mut done);
+        while !mem.quiescent() {
+            let next = mem
+                .next_event(now)
+                .expect("non-quiescent hierarchy must report a next event");
+            assert!(next > now, "next_event must advance ({next} <= {now})");
+            let before = done.len();
+            for t in now + 1..next {
+                mem.tick(t, &mut done);
+                assert_eq!(done.len(), before, "completion inside skipped gap at {t}");
+            }
+            mem.tick(next, &mut done);
+            now = next;
+        }
+        assert_eq!(mem.next_event(now), None, "quiescent => no next event");
+        let mut waiters: Vec<u64> = done.iter().map(|&(_, w)| w).collect();
+        waiters.sort_unstable();
+        assert_eq!(waiters, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn next_event_sees_l1_hit_latency() {
+        // A pure L1 hit's Done event is the only future activity: next_event
+        // must report exactly now + l1_latency.
+        let cfg = GpuConfig::tiny();
+        let mut mem = MemorySystem::new(&cfg);
+        mem.access(0, 3, 1, Requester::Lsu, 0);
+        let mut done = Vec::new();
+        let mut now = 0;
+        while !mem.quiescent() {
+            mem.tick(now, &mut done);
+            now += 1;
+        }
+        done.clear();
+        let t0 = now + 100;
+        mem.access(0, 3, 2, Requester::Lsu, t0);
+        assert_eq!(mem.next_event(t0), Some(t0 + cfg.l1_latency));
+        mem.tick(t0 + cfg.l1_latency, &mut done);
+        assert_eq!(done, vec![(0, 2)]);
     }
 
     #[test]

@@ -356,6 +356,48 @@ impl RtUnit {
         }
     }
 
+    /// Returns `true` when the next [`RtUnit::tick`] itself can change
+    /// architectural state: beats in the datapath, an undelivered writeback,
+    /// or a warp-buffer entry with issuable lanes. Pending fetches in the
+    /// FIFO are deliberately *excluded* — `tick` never consumes the FIFO
+    /// (the SM's L1-port arbiter does), so whether a queued fetch can make
+    /// progress is the SM's question, answered against the cache state.
+    pub fn advances_on_tick(&self) -> bool {
+        !self.pipeline.is_empty()
+            || !self.completed_warps.is_empty()
+            || self.warp_buffer.ready_entries().next().is_some()
+    }
+
+    /// Returns `true` when the next cycle can change the unit's state
+    /// through *any* path — the datapath advancing ([`RtUnit::
+    /// advances_on_tick`]) or a queued fetch wanting the L1 port. When this
+    /// is `false` the unit is externally driven: only
+    /// [`RtUnit::on_mem_response`] can wake it, and the memory system's
+    /// event heap owns that wakeup time.
+    pub fn busy_next_cycle(&self) -> bool {
+        !self.fifo.is_empty() || self.advances_on_tick()
+    }
+
+    /// Accounts `cycles` provably-idle cycles in one step, exactly as that
+    /// many [`RtUnit::tick`] calls would have with no state change: elapsed
+    /// cycles and warp-buffer occupancy integrate forward (entries parked on
+    /// memory still occupy the buffer), and the empty pipeline ages. Queued
+    /// FIFO fetches may exist — `tick` never touches them — provided the
+    /// caller has established they cannot be accepted by the cache during
+    /// the span (the SM accounts their per-cycle rejected probes).
+    pub fn fast_forward(&mut self, cycles: u64) {
+        debug_assert!(
+            !self.advances_on_tick(),
+            "fast-forward across an active RT unit would skip state changes"
+        );
+        let occupancy = self.warp_buffer.occupancy() as u64;
+        self.stats.cycles += cycles;
+        self.stats.occupancy_sum += cycles * occupancy;
+        // occupancy_peak needs no update: occupancy is constant across the
+        // skipped span and was sampled by the last executed tick.
+        self.pipeline.fast_forward(cycles);
+    }
+
     /// Warps whose HSU instruction wrote back since the last call.
     pub fn take_completed(&mut self) -> Vec<usize> {
         std::mem::take(&mut self.completed_warps)
@@ -526,6 +568,70 @@ mod tests {
         // Two 256-byte fetches (2+2 lines over the 1/cycle FIFO) under a
         // 50-cycle memory: overlapped, so far less than 2 full serial trips.
         assert!(cycles < 2 * (50 + 9 + 8), "no overlap: {cycles}");
+    }
+
+    #[test]
+    fn busy_next_cycle_tracks_the_memory_stall_window() {
+        // The next_event contract across one instruction's lifetime: busy
+        // while fetches sit in the FIFO, idle (externally driven) while all
+        // lanes wait on memory, busy again from response to writeback.
+        let mut unit = RtUnit::new(HsuConfig::default(), 4);
+        assert!(!unit.busy_next_cycle(), "fresh unit is idle");
+        unit.dispatch(5, 0, 1, &lanes_with(euclid_op(16), 1), 128);
+        assert!(unit.busy_next_cycle(), "fetch in FIFO wants the L1 port");
+        let req = unit.pop_fifo();
+        unit.tick();
+        assert!(
+            !unit.busy_next_cycle(),
+            "all lanes stalled on memory: only on_mem_response can wake it"
+        );
+        // While parked, ticks must not change any mask/queue state —
+        // fast_forward relies on this.
+        let occ_before = unit.warp_buffer.occupancy();
+        unit.tick();
+        assert_eq!(unit.warp_buffer.occupancy(), occ_before);
+        unit.on_mem_response(req.entry, req.req);
+        assert!(unit.busy_next_cycle(), "operands arrived: lane issuable");
+        // Drain: one beat issues, then rides the pipeline to writeback.
+        let mut guard = 0;
+        while unit.take_completed().is_empty() {
+            assert!(
+                unit.busy_next_cycle(),
+                "unit with in-flight beats must stay busy"
+            );
+            unit.tick();
+            guard += 1;
+            assert!(guard < 50, "writeback never happened");
+        }
+        assert!(!unit.busy_next_cycle(), "drained unit is idle again");
+    }
+
+    #[test]
+    fn fast_forward_matches_idle_ticks_while_parked_on_memory() {
+        // Stepped mode ticks a memory-parked unit every cycle; event mode
+        // calls fast_forward once. Both must leave identical statistics —
+        // including occupancy integration for the parked entry.
+        let build = || {
+            let mut u = RtUnit::new(HsuConfig::default(), 4);
+            u.dispatch(0, 0, 1, &lanes_with(euclid_op(32), 1), 128);
+            while u.peek_fifo().is_some() {
+                u.pop_fifo();
+            }
+            // A skip never starts un-ticked: dispatch leaves the FIFO
+            // non-empty, so the run loop always executes at least one tick
+            // (sampling occupancy/peak) before the unit can report idle.
+            u.tick();
+            u
+        };
+        let mut ticked = build();
+        let mut skipped = build();
+        for _ in 0..100 {
+            ticked.tick();
+        }
+        skipped.fast_forward(100);
+        assert_eq!(ticked.stats(), skipped.stats());
+        assert_eq!(ticked.stats().occupancy_sum, 101, "1 entry × 101 cycles");
+        assert_eq!(ticked.stats().occupancy_peak, 1);
     }
 
     #[test]

@@ -112,6 +112,105 @@ impl Sm {
             && self.rt.idle()
     }
 
+    /// The earliest future cycle at which this SM's state can *observably*
+    /// change without memory-side help, or `None` when it is entirely
+    /// blocked on the memory system (or finished). The run loop additionally
+    /// wakes a sleeping SM when a completion is delivered to it or its L1
+    /// receives a fill ([`MemorySystem::l1_touched`]) — the only two
+    /// memory-side events that change what this SM can observe.
+    ///
+    /// The contract required by the event-driven run loop is soundness, not
+    /// tightness: the returned cycle must never be *later* than the true
+    /// next state change. Three refinements keep memory- and compute-bound
+    /// phases skippable without breaking it:
+    ///
+    /// * a queued L1 access (LSU or RT fetch) only forces `now + 1` if the
+    ///   cache would actually *accept* it ([`MemorySystem::can_accept`]);
+    ///   a rejected retry is a no-op whose eventual acceptance is caused by
+    ///   a fill the memory event heap already schedules,
+    /// * a `Ready` warp's next issue opportunity is its sub-core's
+    ///   `busy_until` (Alu/Shared runs occupy the issue slot for their full
+    ///   run length), not the next cycle,
+    /// * a timer wait reports `max(wakeup, sub-core free)` — waking a warp
+    ///   into a busy sub-core changes only its status word, which is
+    ///   unobservable until the warp can issue.
+    pub fn next_event(&self, now: u64, mem: &MemorySystem) -> Option<u64> {
+        // Launching needs a free or finished slot; if none exists the launch
+        // queue only drains after a retirement, which another event causes.
+        let can_launch = !self.launch_queue.is_empty()
+            && (self.warps.len() < self.max_warps
+                || self.warps.iter().any(|w| w.status == WarpStatus::Finished));
+        let lsu_can_issue = self
+            .lsu_queue
+            .front()
+            .is_some_and(|&(line, _)| mem.can_accept(self.index, line, Requester::Lsu));
+        let rt_can_fetch = self
+            .rt
+            .peek_fifo()
+            .is_some_and(|req| mem.can_accept(self.index, req.line, Requester::RtUnit));
+        if can_launch || lsu_can_issue || rt_can_fetch || self.rt.advances_on_tick() {
+            return Some(now + 1);
+        }
+        let mut next: Option<u64> = None;
+        for warp in &self.warps {
+            let wake = match warp.status {
+                WarpStatus::Ready => now + 1,
+                WarpStatus::WaitUntil(t) => t,
+                WarpStatus::WaitMem(_) | WarpStatus::WaitHsu | WarpStatus::Finished => continue,
+            };
+            let t = wake
+                .max(self.sub_core_busy_until[warp.sub_core])
+                .max(now + 1);
+            next = Some(next.map_or(t, |n| n.min(t)));
+        }
+        next
+    }
+
+    /// Bulk-accounts `cycles` provably idle cycles (see
+    /// [`Sm::next_event`]); equivalent to `cycles` calls to [`Sm::tick`] in
+    /// a state where no queue, warp, or unit can make observable progress.
+    ///
+    /// Two pieces of per-cycle bookkeeping from the stepped oracle must be
+    /// replayed so both modes stay bit-identical: blocked L1 presentations
+    /// still record one rejected probe per cycle (MSHR-stall statistics and
+    /// the cache's port-use counter), and the shared L1 port's round-robin
+    /// bit keeps toggling while both requesters are waiting.
+    pub fn fast_forward(&mut self, cycles: u64, mem: &mut MemorySystem) {
+        let lsu_pending = !self.lsu_queue.is_empty();
+        let rt_pending = self.rt.peek_fifo().is_some();
+        if mem.rt_has_private_path() {
+            // Each side has its own port and retries independently.
+            if lsu_pending {
+                mem.note_stalled_probes(self.index, Requester::Lsu, cycles);
+            }
+            if rt_pending {
+                mem.note_stalled_probes(self.index, Requester::RtUnit, cycles);
+            }
+        } else {
+            // Shared port: one presentation per cycle, alternating between
+            // the requesters when both wait (both target the same L1, so
+            // the stall accounting is one probe per cycle either way).
+            match (lsu_pending, rt_pending) {
+                (false, false) => {}
+                (true, false) => {
+                    self.port_prefers_rt = true;
+                    mem.note_stalled_probes(self.index, Requester::Lsu, cycles);
+                }
+                (false, true) => {
+                    self.port_prefers_rt = false;
+                    mem.note_stalled_probes(self.index, Requester::RtUnit, cycles);
+                }
+                (true, true) => {
+                    if cycles % 2 == 1 {
+                        self.port_prefers_rt = !self.port_prefers_rt;
+                    }
+                    mem.note_stalled_probes(self.index, Requester::Lsu, cycles);
+                }
+            }
+        }
+        self.rt.fast_forward(cycles);
+    }
+
     /// Handles a memory completion token.
     pub fn on_mem_done(&mut self, waiter: u64) {
         if waiter & RT_FLAG != 0 {
@@ -598,6 +697,111 @@ mod tests {
         }
         run(&mut sm, &mut mem, 100_000);
         assert_eq!(sm.stats().warps_retired, 2);
+    }
+
+    #[test]
+    fn next_event_reports_exact_timer_wakeup() {
+        let cfg = GpuConfig::tiny();
+        let mut sm = Sm::new(0, &cfg);
+        let mut mem = MemorySystem::new(&cfg);
+        // Distinct classes so the trace builder keeps two instructions.
+        sm.enqueue_warp(single_warp_kernel(
+            vec![ThreadOp::Alu { count: 1 }, ThreadOp::Shared { count: 1 }],
+            32,
+        ));
+        // A launchable warp is imminent work: conservative `now + 1`.
+        assert_eq!(sm.next_event(0, &mem), Some(1));
+        sm.tick(0, &mut mem);
+        // Issued at 0 with count 1: the warp waits until 1 + alu_latency,
+        // and nothing else can change state before then.
+        let wake = 1 + cfg.alu_latency;
+        assert_eq!(sm.next_event(0, &mem), Some(wake));
+        assert_eq!(
+            sm.next_event(wake - 1, &mem),
+            Some(wake),
+            "wakeup cycle is absolute, not relative"
+        );
+        sm.tick(wake, &mut mem);
+        // Second (final) instruction issued; trace end retires on the spot.
+        assert_eq!(sm.stats().warps_retired, 1);
+        assert_eq!(sm.next_event(wake, &mem), None, "finished SM has no events");
+        assert!(sm.finished());
+    }
+
+    #[test]
+    fn next_event_is_none_while_blocked_on_memory() {
+        let cfg = GpuConfig::tiny();
+        let mut sm = Sm::new(0, &cfg);
+        let mut mem = MemorySystem::new(&cfg);
+        sm.enqueue_warp(single_warp_kernel(
+            vec![
+                ThreadOp::Load {
+                    addr: 0x4000,
+                    bytes: 4,
+                },
+                ThreadOp::Alu { count: 1 },
+            ],
+            32,
+        ));
+        sm.tick(0, &mut mem);
+        // The load sits in the LSU queue awaiting the L1 port.
+        assert_eq!(sm.next_event(0, &mem), Some(1));
+        sm.tick(1, &mut mem);
+        // Access accepted: the SM is now purely memory-blocked — the wakeup
+        // belongs to the memory system's event heap, not to the SM.
+        assert_eq!(sm.next_event(1, &mem), None);
+        let mut done = Vec::new();
+        let mut woke_at = None;
+        for now in 2..100_000 {
+            done.clear();
+            mem.tick(now, &mut done);
+            if let Some(&(_, waiter)) = done.first() {
+                sm.on_mem_done(waiter);
+                woke_at = Some(now);
+                break;
+            }
+            assert_eq!(sm.next_event(now, &mem), None, "no self-wakeup at {now}");
+        }
+        let now = woke_at.expect("load never completed");
+        assert_eq!(
+            sm.next_event(now, &mem),
+            Some(now + 1),
+            "a Ready warp must run next cycle"
+        );
+    }
+
+    #[test]
+    fn timer_wakeups_order_across_warps() {
+        // Two warps on different sub-cores with staggered latencies: the SM
+        // must surface the earlier wakeup first, then the later one, pinning
+        // the exact cycles the event loop is allowed to jump to.
+        let cfg = GpuConfig::tiny();
+        let mut sm = Sm::new(0, &cfg);
+        let mut mem = MemorySystem::new(&cfg);
+        // Slot 0 -> sub-core 0, slot 1 -> sub-core 1 (slot % sub_cores).
+        sm.enqueue_warp(single_warp_kernel(
+            vec![ThreadOp::Alu { count: 2 }, ThreadOp::Shared { count: 1 }],
+            32,
+        ));
+        sm.enqueue_warp(single_warp_kernel(
+            vec![ThreadOp::Shared { count: 1 }, ThreadOp::Alu { count: 1 }],
+            32,
+        ));
+        sm.tick(0, &mut mem);
+        let alu_wake = 2 + cfg.alu_latency; // run of 2 + dependent latency
+        let shared_wake = 1 + cfg.shared_latency;
+        assert!(alu_wake < shared_wake);
+        assert_eq!(
+            sm.next_event(0, &mem),
+            Some(alu_wake),
+            "earliest wakeup wins"
+        );
+        sm.tick(alu_wake, &mut mem);
+        assert_eq!(sm.stats().warps_retired, 1, "ALU warp finishes first");
+        assert_eq!(sm.next_event(alu_wake, &mem), Some(shared_wake));
+        sm.tick(shared_wake, &mut mem);
+        assert_eq!(sm.stats().warps_retired, 2);
+        assert_eq!(sm.next_event(shared_wake, &mem), None);
     }
 
     #[test]

@@ -5,6 +5,52 @@ use crate::rt_unit::RtUnitStats;
 use crate::sm::SmStats;
 use crate::trace::OpClass;
 
+/// How the run loop spent simulated time — the observability counters for
+/// the event-driven scheduler.
+///
+/// These are *scheduler* statistics, not architectural ones: they differ
+/// between [`crate::config::SimMode`]s by design (that is the entire win),
+/// while every other [`SimReport`] field is mode-invariant. The equivalence
+/// harness compares reports with `sched` normalized to default; everything
+/// else must match bit for bit.
+///
+/// Counting is per SM: each SM contributes one tick *or* one skipped cycle
+/// for every simulated cycle, so for a completed run `ticks_executed +
+/// cycles_skipped == SimReport::cycles * num_sms` and `cycles_skipped ==
+/// skipped_on_memory + skipped_on_timers`. Stepped mode ticks every SM on
+/// every cycle (`ticks_executed == cycles * num_sms`, nothing skipped);
+/// event mode lets each SM sleep independently until a completion, an L1
+/// fill, or its own self-reported wakeup cycle arrives.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// SM ticks actually executed (the unit of simulation work).
+    pub ticks_executed: u64,
+    /// Per-SM cycles fast-forwarded past because that SM could not change
+    /// state.
+    pub cycles_skipped: u64,
+    /// Skipped SM-cycles spent waiting on the memory hierarchy (a
+    /// completion or an L1/RT-cache fill supplied the wakeup).
+    pub skipped_on_memory: u64,
+    /// Skipped SM-cycles spent waiting on fixed-latency timers (ALU/shared
+    /// latency, i.e. the SM's own `next_event` supplied the wakeup),
+    /// including each SM's idle tail after it drains but before the
+    /// machine-wide finish.
+    pub skipped_on_timers: u64,
+}
+
+impl SchedStats {
+    /// Fraction of simulated cycles that were skipped (0 under stepped
+    /// mode; the event-mode speedup headroom).
+    pub fn skip_fraction(&self) -> f64 {
+        let total = self.ticks_executed + self.cycles_skipped;
+        if total == 0 {
+            0.0
+        } else {
+            self.cycles_skipped as f64 / total as f64
+        }
+    }
+}
+
 /// The result of simulating one kernel trace.
 ///
 /// `PartialEq`/`Eq` compare every counter bit-for-bit — the
@@ -28,6 +74,9 @@ pub struct SimReport {
     pub memory: MemoryStats,
     /// Number of SMs simulated.
     pub num_sms: usize,
+    /// Run-loop scheduler counters (the only mode-dependent field; see
+    /// [`SchedStats`]).
+    pub sched: SchedStats,
 }
 
 impl SimReport {
@@ -74,7 +123,18 @@ impl SimReport {
             rt,
             memory,
             num_sms,
+            sched: SchedStats::default(),
         }
+    }
+
+    /// A copy with [`SchedStats`] zeroed — the mode-invariant projection the
+    /// differential equivalence tests compare. Two runs of the same kernel
+    /// in different [`crate::config::SimMode`]s must satisfy
+    /// `a.normalized() == b.normalized()`.
+    pub fn normalized(&self) -> SimReport {
+        let mut r = self.clone();
+        r.sched = SchedStats::default();
+        r
     }
 
     /// HSU operations completed per cycle *per unit* — the paper's roofline
@@ -187,6 +247,30 @@ mod tests {
         let fast = empty_report(100);
         assert!((fast.speedup_over(&base) - 2.0).abs() < 1e-12);
         assert!((base.speedup_over(&fast) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_erases_only_sched() {
+        let mut a = empty_report(100);
+        let mut b = empty_report(100);
+        a.sched = SchedStats {
+            ticks_executed: 10,
+            cycles_skipped: 90,
+            skipped_on_memory: 70,
+            skipped_on_timers: 20,
+        };
+        b.sched = SchedStats {
+            ticks_executed: 100,
+            ..SchedStats::default()
+        };
+        assert_ne!(a, b, "sched differences are visible in full equality");
+        assert_eq!(a.normalized(), b.normalized());
+        assert!((a.sched.skip_fraction() - 0.9).abs() < 1e-12);
+        assert_eq!(b.sched.skip_fraction(), 0.0);
+        assert_eq!(SchedStats::default().skip_fraction(), 0.0);
+        // Normalizing must not touch architectural counters.
+        b.cycles += 1;
+        assert_ne!(a.normalized(), b.normalized());
     }
 
     #[test]

@@ -63,5 +63,8 @@ pub mod prelude {
     pub use hsu_graph::{GraphConfig, HnswGraph};
     pub use hsu_kdtree::{KdForest, KdTree};
     pub use hsu_kernels::Variant;
-    pub use hsu_sim::{config::GpuConfig, Gpu, SimReport};
+    pub use hsu_sim::{
+        config::{GpuConfig, SimMode},
+        Gpu, SimReport,
+    };
 }

@@ -32,6 +32,15 @@ use hsu_sim::{Gpu, SimReport};
 const SEED: u64 = 7;
 
 /// Snapshotted counters for one (workload, variant) pair.
+///
+/// `cycles` through `dram_activations` are architectural and must be
+/// identical in both simulation modes — the suite runs under the default
+/// (event-driven) mode, so these constants double as the proof that
+/// fast-forwarding preserves the stepped oracle's results.
+/// `ticks_executed`/`cycles_skipped` snapshot the event-mode scheduler:
+/// they satisfy `ticks_executed + cycles_skipped == cycles * num_sms` (one
+/// tick or one skip per SM per cycle) and lock the fast-forward win itself
+/// against regressions.
 #[derive(Debug)]
 struct Golden {
     name: &'static str,
@@ -41,17 +50,19 @@ struct Golden {
     l1_accesses: u64,
     l1_misses: u64,
     dram_activations: u64,
+    ticks_executed: u64,
+    cycles_skipped: u64,
 }
 
 /// Golden constants for the current simulator + vendored RNG tree.
 /// Regenerate with the `bless` test above — do not hand-edit numbers.
 #[rustfmt::skip]
 const GOLDENS: &[Golden] = &[
-    Golden { name: "ggnn/hsu", cycles: 14848, issued: [240, 714, 0, 776, 0, 391, 0], l1_accesses: 2472, l1_misses: 643, dram_activations: 340 },
-    Golden { name: "flann/hsu", cycles: 23313, issued: [125, 110, 18, 96, 0, 102, 0], l1_accesses: 1333, l1_misses: 157, dram_activations: 37 },
-    Golden { name: "bvhnn/hsu", cycles: 67849, issued: [333, 0, 25, 166, 161, 138, 0], l1_accesses: 2812, l1_misses: 1015, dram_activations: 288 },
-    Golden { name: "btree/hsu", cycles: 1244, issued: [16, 4, 4, 0, 0, 0, 8], l1_accesses: 298, l1_misses: 93, dram_activations: 13 },
-    Golden { name: "rtindex/hsu", cycles: 6676, issued: [112, 0, 20, 54, 50, 0, 20], l1_accesses: 825, l1_misses: 392, dram_activations: 264 },
+    Golden { name: "ggnn/hsu", cycles: 14848, issued: [240, 714, 0, 776, 0, 391, 0], l1_accesses: 2472, l1_misses: 643, dram_activations: 340, ticks_executed: 8467, cycles_skipped: 6381 },
+    Golden { name: "flann/hsu", cycles: 23313, issued: [125, 110, 18, 96, 0, 102, 0], l1_accesses: 1333, l1_misses: 157, dram_activations: 37, ticks_executed: 4279, cycles_skipped: 19034 },
+    Golden { name: "bvhnn/hsu", cycles: 67849, issued: [333, 0, 25, 166, 161, 138, 0], l1_accesses: 2812, l1_misses: 1015, dram_activations: 288, ticks_executed: 12119, cycles_skipped: 55730 },
+    Golden { name: "btree/hsu", cycles: 1244, issued: [16, 4, 4, 0, 0, 0, 8], l1_accesses: 298, l1_misses: 93, dram_activations: 13, ticks_executed: 829, cycles_skipped: 415 },
+    Golden { name: "rtindex/hsu", cycles: 6676, issued: [112, 0, 20, 54, 50, 0, 20], l1_accesses: 825, l1_misses: 392, dram_activations: 264, ticks_executed: 2898, cycles_skipped: 3778 },
 ];
 
 /// Builds and simulates the five locked cases, in `GOLDENS` order.
@@ -141,6 +152,23 @@ fn reports_match_goldens() {
             "{}",
             explain("dram_activations")
         );
+        assert_eq!(
+            report.sched.ticks_executed,
+            golden.ticks_executed,
+            "{}",
+            explain("ticks_executed")
+        );
+        assert_eq!(
+            report.sched.cycles_skipped,
+            golden.cycles_skipped,
+            "{}",
+            explain("cycles_skipped")
+        );
+        assert_eq!(
+            report.sched.ticks_executed + report.sched.cycles_skipped,
+            report.cycles * report.num_sms as u64,
+            "scheduler accounting invariant broken for {name}"
+        );
     }
 }
 
@@ -152,13 +180,15 @@ fn bless() {
     println!("const GOLDENS: &[Golden] = &[");
     for (name, r) in simulate_cases() {
         println!(
-            "    Golden {{ name: {:?}, cycles: {}, issued: {:?}, l1_accesses: {}, l1_misses: {}, dram_activations: {} }},",
+            "    Golden {{ name: {:?}, cycles: {}, issued: {:?}, l1_accesses: {}, l1_misses: {}, dram_activations: {}, ticks_executed: {}, cycles_skipped: {} }},",
             name,
             r.cycles,
             r.issued,
             r.l1_accesses(),
             r.memory.l1.misses,
             r.memory.dram.activations,
+            r.sched.ticks_executed,
+            r.sched.cycles_skipped,
         );
     }
     println!("];");

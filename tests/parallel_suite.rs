@@ -11,8 +11,7 @@ fn small_config() -> SuiteConfig {
     SuiteConfig {
         sms: 2,
         scale_divisor: 64,
-        seed: 7,
-        jobs: 1,
+        ..SuiteConfig::default()
     }
 }
 
