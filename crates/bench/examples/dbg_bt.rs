@@ -38,6 +38,9 @@ fn main() {
         num_sms: 8,
         ..GpuConfig::small()
     });
-    show("btree-hsu", &gpu.run(&bt.trace(Variant::Hsu)));
-    show("btree-base", &gpu.run(&bt.trace(Variant::Baseline)));
+    show("btree-hsu", &gpu.run(&bt.trace(Variant::Hsu)).unwrap());
+    show(
+        "btree-base",
+        &gpu.run(&bt.trace(Variant::Baseline)).unwrap(),
+    );
 }

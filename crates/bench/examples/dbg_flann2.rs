@@ -45,8 +45,11 @@ fn main() {
         num_sms: 8,
         ..GpuConfig::small()
     });
-    show("flann-hsu", &gpu.run(&wl.trace(Variant::Hsu)));
-    show("flann-base", &gpu.run(&wl.trace(Variant::Baseline)));
+    show("flann-hsu", &gpu.run(&wl.trace(Variant::Hsu)).unwrap());
+    show(
+        "flann-base",
+        &gpu.run(&wl.trace(Variant::Baseline)).unwrap(),
+    );
 
     let bt = BtreeWorkload::build(&BtreeParams {
         keys: 200_000,
@@ -54,6 +57,9 @@ fn main() {
         branch: 256,
         seed: 7,
     });
-    show("btree-hsu", &gpu.run(&bt.trace(Variant::Hsu)));
-    show("btree-base", &gpu.run(&bt.trace(Variant::Baseline)));
+    show("btree-hsu", &gpu.run(&bt.trace(Variant::Hsu)).unwrap());
+    show(
+        "btree-base",
+        &gpu.run(&bt.trace(Variant::Baseline)).unwrap(),
+    );
 }

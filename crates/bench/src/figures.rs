@@ -14,7 +14,7 @@ use hsu_kernels::Variant;
 use hsu_rtl::area::{AreaBreakdown, DatapathKind};
 use hsu_rtl::power::mode_power_mw;
 use hsu_sim::config::{GpuConfig, SimMode};
-use hsu_sim::Gpu;
+use hsu_sim::{Gpu, SimError};
 
 /// Table II: the dataset inventory.
 pub fn table2() -> String {
@@ -176,7 +176,11 @@ pub fn fig9(suite: &Suite) -> String {
 /// ([`crate::runner`], `suite.config.jobs` workers); the table is formatted
 /// from results merged in grid order, so output is identical for any worker
 /// count.
-pub fn fig10(suite: &Suite) -> String {
+///
+/// # Errors
+///
+/// Propagates the first [`SimError`] any sweep cell hits.
+pub fn fig10(suite: &Suite) -> Result<String, SimError> {
     let widths = [4usize, 8, 16, 32];
     let mut jobs = Vec::new();
     for (di, _) in suite.ggnn.iter().enumerate() {
@@ -190,8 +194,9 @@ pub fn fig10(suite: &Suite) -> String {
             hsu: HsuConfig::default().with_euclid_width(w),
             ..suite.config.gpu_config()
         };
-        Gpu::new(cfg).run(&wl.trace(Variant::Hsu)).cycles
+        Gpu::new(cfg).run(&wl.trace(Variant::Hsu)).map(|r| r.cycles)
     });
+    let cycles: Vec<u64> = cycles.into_iter().collect::<Result<_, _>>()?;
 
     let mut out = String::from("Fig.10 GGNN speedup vs datapath width (over non-RT baseline)\n");
     let _ = write!(out, "{:<10}", "dataset");
@@ -201,26 +206,31 @@ pub fn fig10(suite: &Suite) -> String {
     let _ = writeln!(out);
     let mut cycles = cycles.into_iter();
     for (id, _) in &suite.ggnn {
-        let base = suite
-            .runs_for(App::Ggnn)
-            .find(|r| r.dataset == *id)
-            .expect("run exists");
+        let Some(base) = suite.runs_for(App::Ggnn).find(|r| r.dataset == *id) else {
+            panic!("GGNN run for {id:?} missing from the suite");
+        };
         let _ = write!(out, "{:<10}", base.label);
         for _ in widths {
-            let hsu_cycles = cycles.next().expect("sweep cell");
+            let Some(hsu_cycles) = cycles.next() else {
+                unreachable!("one sweep cell per dataset × width");
+            };
             let speedup = base.base.cycles as f64 / hsu_cycles as f64;
             let _ = write!(out, " {:>7.1}%", (speedup - 1.0) * 100.0);
         }
         let _ = writeln!(out);
     }
-    out
+    Ok(out)
 }
 
 /// Fig. 11: warp-buffer-size sensitivity for GGNN (a), BVH-NN (b), FLANN (c).
 ///
 /// The (9 + 5 + 5) × 5 (dataset × buffer-size) grid runs on the
 /// work-stealing pool, merged in grid order for determinism.
-pub fn fig11(suite: &Suite) -> String {
+///
+/// # Errors
+///
+/// Propagates the first [`SimError`] any sweep cell hits.
+pub fn fig11(suite: &Suite) -> Result<String, SimError> {
     let sizes = [1usize, 2, 4, 8, 16];
     let panels: [(&str, App); 3] = [
         ("(a) GGNN", App::Ggnn),
@@ -230,27 +240,21 @@ pub fn fig11(suite: &Suite) -> String {
 
     let hsu_trace = |app: App, dataset| match app {
         App::Ggnn => {
-            let (_, wl) = suite
-                .ggnn
-                .iter()
-                .find(|(id, _)| *id == dataset)
-                .expect("workload retained");
+            let Some((_, wl)) = suite.ggnn.iter().find(|(id, _)| *id == dataset) else {
+                panic!("GGNN workload for {dataset:?} not retained");
+            };
             wl.trace(Variant::Hsu)
         }
         App::Bvhnn => {
-            let (_, wl) = suite
-                .bvhnn
-                .iter()
-                .find(|(id, _)| *id == dataset)
-                .expect("workload retained");
+            let Some((_, wl)) = suite.bvhnn.iter().find(|(id, _)| *id == dataset) else {
+                panic!("BVH-NN workload for {dataset:?} not retained");
+            };
             wl.trace(Variant::Hsu)
         }
         App::Flann => {
-            let (_, wl) = suite
-                .flann
-                .iter()
-                .find(|(id, _)| *id == dataset)
-                .expect("workload retained");
+            let Some((_, wl)) = suite.flann.iter().find(|(id, _)| *id == dataset) else {
+                panic!("FLANN workload for {dataset:?} not retained");
+            };
             wl.trace(Variant::Hsu)
         }
         App::Btree => unreachable!("no B+ panel in Fig. 11"),
@@ -268,8 +272,11 @@ pub fn fig11(suite: &Suite) -> String {
             hsu: HsuConfig::default().with_warp_buffer(s),
             ..suite.config.gpu_config()
         };
-        Gpu::new(cfg).run(&hsu_trace(app, dataset)).cycles
+        Gpu::new(cfg)
+            .run(&hsu_trace(app, dataset))
+            .map(|r| r.cycles)
     });
+    let cycles: Vec<u64> = cycles.into_iter().collect::<Result<_, _>>()?;
 
     let mut out = String::from("Fig.11 speedup vs warp buffer size (over non-RT baseline)\n");
     let mut cycles = cycles.into_iter();
@@ -283,14 +290,16 @@ pub fn fig11(suite: &Suite) -> String {
         for base in suite.runs_for(app) {
             let _ = write!(out, "{:<10}", base.label);
             for _ in sizes {
-                let hsu_cycles = cycles.next().expect("sweep cell");
+                let Some(hsu_cycles) = cycles.next() else {
+                    unreachable!("one sweep cell per dataset × size");
+                };
                 let speedup = base.base.cycles as f64 / hsu_cycles as f64;
                 let _ = write!(out, " {:>7.1}%", (speedup - 1.0) * 100.0);
             }
             let _ = writeln!(out);
         }
     }
-    out
+    Ok(out)
 }
 
 /// Fig. 12: HSU L1D accesses normalized to the non-RT baseline.
@@ -405,7 +414,11 @@ pub fn fig16() -> String {
 
 /// §VI-G: the RTIndeX case study — native point keys vs triangle-encoded
 /// keys, both with RT hardware (paper: +36.6 % and 9:1 key-store memory).
-pub fn rtindex(sms: usize, scale_divisor: usize, sim_mode: SimMode) -> String {
+///
+/// # Errors
+///
+/// Propagates any [`SimError`] from the two key-lookup simulations.
+pub fn rtindex(sms: usize, scale_divisor: usize, sim_mode: SimMode) -> Result<String, SimError> {
     let params = RtIndexParams {
         keys: (16_384 / scale_divisor).max(512),
         lookups: (8_192 / scale_divisor).max(256),
@@ -417,8 +430,8 @@ pub fn rtindex(sms: usize, scale_divisor: usize, sim_mode: SimMode) -> String {
         sim_mode,
         ..GpuConfig::small()
     });
-    let point = gpu.run(&wl.trace(Variant::Hsu));
-    let triangle = gpu.run(&wl.trace(Variant::Baseline));
+    let point = gpu.run(&wl.trace(Variant::Hsu))?;
+    let triangle = gpu.run(&wl.trace(Variant::Baseline))?;
     let speedup = triangle.cycles as f64 / point.cycles as f64;
     let mut out =
         String::from("RTIndeX (sec.VI-G): key lookups, HSU point keys vs RT triangle keys\n");
@@ -442,14 +455,23 @@ pub fn rtindex(sms: usize, scale_divisor: usize, sim_mode: SimMode) -> String {
         wl.key_store_bytes(params.keys, Variant::Baseline)
             / wl.key_store_bytes(params.keys, Variant::Hsu)
     );
-    out
+    Ok(out)
 }
 
 /// Design-space ablations the paper calls out but does not evaluate:
 /// BVH4 and SAH hierarchies for BVH-NN (§VI-E) and private/bypass RT-unit
 /// caches (§VI-I). Both ablation grids run on the work-stealing pool with
 /// `jobs` workers; rows are merged in grid order.
-pub fn ablation(sms: usize, scale_divisor: usize, jobs: usize, sim_mode: SimMode) -> String {
+///
+/// # Errors
+///
+/// Propagates the first [`SimError`] any grid cell hits.
+pub fn ablation(
+    sms: usize,
+    scale_divisor: usize,
+    jobs: usize,
+    sim_mode: SimMode,
+) -> Result<String, SimError> {
     use hsu_datasets::Dataset;
     use hsu_kernels::bvhnn::{BvhFlavor, BvhnnParams, BvhnnWorkload};
     use hsu_kernels::ggnn::{GgnnParams, GgnnWorkload};
@@ -465,14 +487,14 @@ pub fn ablation(sms: usize, scale_divisor: usize, jobs: usize, sim_mode: SimMode
     // (a) BVH flavor for BVH-NN on the dragon scan. One job per flavor
     // (each builds its own hierarchy over the shared point cloud); the
     // BVH2 job also simulates the non-RT baseline all rows compare against.
-    let data = Dataset::generate_scaled(
+    let dragon = Dataset::generate_scaled(
         DatasetId::Dragon,
         7,
         Some((15_000 / scale_divisor).max(1_000)),
-    )
-    .points()
-    .expect("point dataset")
-    .clone();
+    );
+    let Some(data) = dragon.points().cloned() else {
+        panic!("Dragon is not a point dataset");
+    };
     let queries = (4096 / scale_divisor).max(512);
     let _ = writeln!(out, "(a) BVH-NN hierarchy flavor (sec.VI-E), dataset DRG");
     let _ = writeln!(
@@ -497,11 +519,19 @@ pub fn ablation(sms: usize, scale_divisor: usize, jobs: usize, sim_mode: SimMode
             &data,
         );
         let gpu = Gpu::new(gpu_cfg.clone());
-        let hsu_cycles = gpu.run(&wl.trace(Variant::Hsu)).cycles;
-        let base_cycles = with_base.then(|| gpu.run(&wl.trace(Variant::Baseline)).cycles);
-        (name, hsu_cycles, base_cycles)
+        let hsu_cycles = gpu.run(&wl.trace(Variant::Hsu))?.cycles;
+        let base_cycles = if with_base {
+            Some(gpu.run(&wl.trace(Variant::Baseline))?.cycles)
+        } else {
+            None
+        };
+        Ok((name, hsu_cycles, base_cycles))
     });
-    let base_cycles = flavor_rows[0].2.expect("BVH2 job carries the baseline");
+    let flavor_rows: Vec<(&str, u64, Option<u64>)> =
+        flavor_rows.into_iter().collect::<Result<_, SimError>>()?;
+    let Some(base_cycles) = flavor_rows[0].2 else {
+        unreachable!("BVH2 job carries the baseline");
+    };
     for (name, hsu_cycles, _) in &flavor_rows {
         let _ = writeln!(
             out,
@@ -514,17 +544,20 @@ pub fn ablation(sms: usize, scale_divisor: usize, jobs: usize, sim_mode: SimMode
 
     // (b) RT-unit cache policy on GGNN mnist (the L1/MSHR-contention case).
     let spec = hsu_datasets::spec(DatasetId::Mnist);
-    let data =
-        Dataset::generate_scaled(DatasetId::Mnist, 7, Some((2_000 / scale_divisor).max(400)))
-            .points()
-            .expect("point dataset")
-            .clone();
+    let mnist =
+        Dataset::generate_scaled(DatasetId::Mnist, 7, Some((2_000 / scale_divisor).max(400)));
+    let Some(data) = mnist.points().cloned() else {
+        panic!("MNIST is not a point dataset");
+    };
+    let Some(metric) = spec.metric else {
+        panic!("MNIST has no metric");
+    };
     let wl = GgnnWorkload::build_from_points(
         &GgnnParams {
             points: data.len(),
             dim: spec.dims,
             queries: (128 / scale_divisor).max(32),
-            metric: spec.metric.expect("metric"),
+            metric,
             k: 10,
             ef: 64,
             m: 16,
@@ -548,13 +581,15 @@ pub fn ablation(sms: usize, scale_divisor: usize, jobs: usize, sim_mode: SimMode
             rt_cache: policy,
             ..gpu_cfg.clone()
         });
-        let r = gpu.run(&wl.trace(Variant::Hsu));
-        (name, r.cycles, r.l1_miss_rate())
+        let r = gpu.run(&wl.trace(Variant::Hsu))?;
+        Ok((name, r.cycles, r.l1_miss_rate()))
     });
+    let policy_rows: Vec<(&str, u64, f64)> =
+        policy_rows.into_iter().collect::<Result<_, SimError>>()?;
     for (name, cycles, miss) in policy_rows {
         let _ = writeln!(out, "{:<16} {:>12} {:>11.1}%", name, cycles, miss * 100.0);
     }
-    out
+    Ok(out)
 }
 
 /// Per-app summary line used by `repro all`.
@@ -592,7 +627,7 @@ mod tests {
 
     #[test]
     fn rtindex_speedup_positive() {
-        let out = rtindex(2, 16, SimMode::default());
+        let out = rtindex(2, 16, SimMode::default()).unwrap();
         assert!(out.contains("speedup"));
         // Extract the speedup percentage and check the sign.
         let line = out.lines().find(|l| l.contains("speedup")).unwrap();

@@ -24,12 +24,24 @@
 //! caches the reports; figure functions then format different projections of
 //! the same runs, exactly as the paper derives Figs. 7–14 from one set of
 //! simulations.
+//!
+//! # Failure semantics
+//!
+//! Simulation jobs run on a fault-tolerant work-stealing pool
+//! ([`runner::run_jobs_ft`]): panics are isolated per job, each attempt can
+//! carry a wall-clock watchdog, and failed or timed-out jobs are retried
+//! once with backoff. [`suite::Suite::build_with_policy`] exposes the
+//! per-job outcomes so callers (the `repro` binary's `--keep-going` and
+//! `--job-timeout` flags) can report partial results instead of aborting.
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod figures;
 pub mod runner;
 pub mod suite;
 
-pub use runner::{run_jobs, RunRecord};
-pub use suite::{Suite, SuiteConfig};
+pub use runner::{
+    outcomes_table, run_jobs, run_jobs_ft, FaultPolicy, JobError, JobOutcome, JobStatus, RunRecord,
+};
+pub use suite::{Suite, SuiteBuild, SuiteConfig};

@@ -22,11 +22,21 @@
 //! Records go to stderr so stdout stays deterministic across `--jobs`.
 
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
-use hsu_sim::SimReport;
+use hsu_sim::error::{CancelToken, RunLimits, WatchdogCause};
+use hsu_sim::{SimError, SimReport};
+
+/// Locks a mutex, recovering the data if a panicking job poisoned it. Every
+/// lock in this module guards plain job/result storage whose invariants hold
+/// between operations, so the poison flag carries no information the
+/// fault-tolerant pool doesn't already track via job outcomes.
+fn lock_or_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
 
 /// A sensible default worker count: the machine's available parallelism.
 pub fn default_jobs() -> usize {
@@ -76,7 +86,7 @@ where
     let queues: Vec<Mutex<VecDeque<(usize, J)>>> =
         (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
     for (i, job) in jobs.into_iter().enumerate() {
-        queues[i % workers].lock().unwrap().push_back((i, job));
+        lock_or_recover(&queues[i % workers]).push_back((i, job));
     }
 
     let remaining = AtomicUsize::new(n);
@@ -90,11 +100,11 @@ where
             let f = &f;
             scope.spawn(move || loop {
                 // Own work first (back = most recently queued, cache-warm)...
-                let mut next = queues[me].lock().unwrap().pop_back();
+                let mut next = lock_or_recover(&queues[me]).pop_back();
                 // ...then steal the *oldest* job from the first busy sibling.
                 if next.is_none() {
                     for victim in (0..queues.len()).filter(|v| *v != me) {
-                        next = queues[victim].lock().unwrap().pop_front();
+                        next = lock_or_recover(&queues[victim]).pop_front();
                         if next.is_some() {
                             break;
                         }
@@ -103,7 +113,7 @@ where
                 match next {
                     Some((key, job)) => {
                         let out = f(key, job);
-                        *results[key].lock().unwrap() = Some(out);
+                        *lock_or_recover(&results[key]) = Some(out);
                         remaining.fetch_sub(1, Ordering::Release);
                     }
                     None => {
@@ -121,8 +131,254 @@ where
 
     results
         .into_iter()
-        .map(|slot| slot.into_inner().unwrap().expect("pool ran every job"))
+        .map(|slot| {
+            let Some(out) = slot.into_inner().unwrap_or_else(|p| p.into_inner()) else {
+                unreachable!("pool ran every job");
+            };
+            out
+        })
         .collect()
+}
+
+/// How the fault-tolerant pool reacts to failing jobs.
+#[derive(Debug, Clone)]
+pub struct FaultPolicy {
+    /// `false` (the default): the first job failure cancels every job that
+    /// has not started yet (fail-fast). `true`: keep running the remaining
+    /// jobs and report a partial result set.
+    pub keep_going: bool,
+    /// Wall-clock budget per job attempt; enforced cooperatively inside
+    /// `Gpu::run_guarded`, so a stuck simulation stops at its next loop
+    /// iteration, not mid-instruction.
+    pub job_timeout: Option<Duration>,
+    /// Extra attempts after the first failure/timeout (cancelled jobs are
+    /// never retried — the batch is already shutting down).
+    pub retries: u32,
+    /// Pause before each retry, scaled linearly by the attempt number.
+    pub retry_backoff: Duration,
+}
+
+impl Default for FaultPolicy {
+    fn default() -> Self {
+        FaultPolicy {
+            keep_going: false,
+            job_timeout: None,
+            retries: 1,
+            retry_backoff: Duration::from_millis(50),
+        }
+    }
+}
+
+/// Final per-job disposition in a fault-tolerant batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Succeeded on the first attempt.
+    Ok,
+    /// Succeeded, but only after at least one retry.
+    Retried,
+    /// Every attempt failed (typed error or panic).
+    Failed,
+    /// The last attempt exceeded the per-job wall-clock timeout.
+    Timeout,
+    /// Never attempted: an earlier failure cancelled the batch (fail-fast).
+    Skipped,
+}
+
+impl JobStatus {
+    /// Lower-case label used in report tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            JobStatus::Ok => "ok",
+            JobStatus::Retried => "retried",
+            JobStatus::Failed => "failed",
+            JobStatus::Timeout => "timeout",
+            JobStatus::Skipped => "skipped",
+        }
+    }
+}
+
+/// Why a job's final attempt did not produce a result.
+#[derive(Debug)]
+pub enum JobError {
+    /// The job returned a typed simulator error.
+    Sim(SimError),
+    /// The job panicked; the payload is rendered to a string (panic
+    /// isolation: the pool and its sibling jobs keep running).
+    Panic(String),
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::Sim(e) => write!(f, "{e}"),
+            JobError::Panic(p) => write!(f, "panic: {p}"),
+        }
+    }
+}
+
+/// One job's result in a fault-tolerant batch: either a value or the reason
+/// there is none, plus how we got there.
+#[derive(Debug)]
+pub struct JobOutcome<T> {
+    /// The job's stable key.
+    pub key: String,
+    /// Attempts actually started (0 for skipped jobs).
+    pub attempts: u32,
+    /// Final disposition.
+    pub status: JobStatus,
+    /// The value, or the last attempt's error.
+    pub result: Result<T, JobError>,
+}
+
+impl<T> JobOutcome<T> {
+    /// `true` when the job produced a value.
+    pub fn is_ok(&self) -> bool {
+        self.result.is_ok()
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Fault-tolerant variant of [`run_jobs`]: each keyed job runs under
+/// `catch_unwind` with an optional per-attempt wall-clock deadline, failures
+/// are retried per the [`FaultPolicy`], and under the fail-fast default the
+/// first exhausted failure cancels all not-yet-started jobs through a shared
+/// [`CancelToken`]. Every submitted job gets a [`JobOutcome`] in submission
+/// order — a poisoned job never takes down the batch, it just shows up as
+/// `failed` (or `timeout`) in the partial report.
+///
+/// The closure receives `(stable_index, &job, &RunLimits)` and must thread
+/// the limits into `Gpu::run_guarded` (or honour them itself) for timeouts
+/// and cancellation to preempt a running simulation.
+pub fn run_jobs_ft<J, T, F>(
+    workers: usize,
+    policy: &FaultPolicy,
+    jobs: Vec<(String, J)>,
+    f: F,
+) -> Vec<JobOutcome<T>>
+where
+    J: Send,
+    T: Send,
+    F: Fn(usize, &J, &RunLimits) -> Result<T, SimError> + Sync,
+{
+    let cancel = CancelToken::new();
+    let cancel_ref = &cancel;
+    let policy_ref = policy;
+    let f = &f;
+    run_jobs(workers, jobs, move |i, (key, job)| {
+        let mut attempts = 0u32;
+        loop {
+            if cancel_ref.is_cancelled() {
+                let status = if attempts == 0 {
+                    JobStatus::Skipped
+                } else {
+                    JobStatus::Failed
+                };
+                return JobOutcome {
+                    key,
+                    attempts,
+                    status,
+                    result: Err(JobError::Sim(SimError::Watchdog {
+                        kernel: String::new(),
+                        cycles_simulated: 0,
+                        cause: WatchdogCause::Cancelled,
+                    })),
+                };
+            }
+            attempts += 1;
+            let mut limits = RunLimits::none().with_cancel(cancel_ref.clone());
+            if let Some(budget) = policy_ref.job_timeout {
+                limits = limits.with_deadline(Instant::now() + budget);
+            }
+            let attempt = catch_unwind(AssertUnwindSafe(|| f(i, &job, &limits)));
+            let error = match attempt {
+                Ok(Ok(value)) => {
+                    let status = if attempts > 1 {
+                        JobStatus::Retried
+                    } else {
+                        JobStatus::Ok
+                    };
+                    return JobOutcome {
+                        key,
+                        attempts,
+                        status,
+                        result: Ok(value),
+                    };
+                }
+                Ok(Err(e)) => JobError::Sim(e),
+                Err(payload) => JobError::Panic(panic_message(payload)),
+            };
+            let cancelled = matches!(
+                &error,
+                JobError::Sim(SimError::Watchdog {
+                    cause: WatchdogCause::Cancelled,
+                    ..
+                })
+            );
+            if !cancelled && attempts <= policy_ref.retries {
+                std::thread::sleep(policy_ref.retry_backoff * attempts);
+                continue;
+            }
+            let status = match &error {
+                _ if cancelled => JobStatus::Failed,
+                JobError::Sim(SimError::Watchdog {
+                    cause: WatchdogCause::Deadline,
+                    ..
+                }) => JobStatus::Timeout,
+                _ => JobStatus::Failed,
+            };
+            if !policy_ref.keep_going {
+                cancel_ref.cancel();
+            }
+            return JobOutcome {
+                key,
+                attempts,
+                status,
+                result: Err(error),
+            };
+        }
+    })
+}
+
+/// Formats a fault-tolerant batch's per-job statuses, with error details for
+/// everything that did not produce a value (the "partial report").
+pub fn outcomes_table<T>(outcomes: &[JobOutcome<T>]) -> String {
+    use std::fmt::Write as _;
+    let failed = outcomes.iter().filter(|o| !o.is_ok()).count();
+    let mut out = format!(
+        "== job outcomes ({} jobs, {} ok, {} failed) ==\n",
+        outcomes.len(),
+        outcomes.len() - failed,
+        failed
+    );
+    let _ = writeln!(
+        out,
+        "{:<28} {:>8} {:>9}  detail",
+        "job", "status", "attempts"
+    );
+    for o in outcomes {
+        let detail = match &o.result {
+            Ok(_) => String::new(),
+            Err(e) => e.to_string().lines().next().unwrap_or("").to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "{:<28} {:>8} {:>9}  {}",
+            o.key,
+            o.status.label(),
+            o.attempts,
+            detail
+        );
+    }
+    out
 }
 
 /// One simulation's observability record.
@@ -166,15 +422,16 @@ impl RunRecord {
     }
 }
 
-/// Times `sim()` and pairs its report with a [`RunRecord`].
+/// Times `sim()` and pairs its report with a [`RunRecord`], passing typed
+/// simulation errors through untouched.
 pub fn timed_run(
     key: impl Into<String>,
-    sim: impl FnOnce() -> SimReport,
-) -> (SimReport, RunRecord) {
+    sim: impl FnOnce() -> Result<SimReport, SimError>,
+) -> Result<(SimReport, RunRecord), SimError> {
     let start = Instant::now();
-    let report = sim();
+    let report = sim()?;
     let record = RunRecord::from_report(key, start.elapsed(), &report);
-    (report, record)
+    Ok((report, record))
 }
 
 /// Formats the suite's per-run records as an aligned summary table with a
@@ -276,6 +533,109 @@ mod tests {
         assert_eq!(job_seed(7, "GGNN/D1B/hsu"), job_seed(7, "GGNN/D1B/hsu"));
         assert_ne!(job_seed(7, "GGNN/D1B/hsu"), job_seed(7, "GGNN/D1B/base"));
         assert_ne!(job_seed(7, "a"), job_seed(8, "a"));
+    }
+
+    #[test]
+    fn keep_going_isolates_a_panicking_job() {
+        let policy = FaultPolicy {
+            keep_going: true,
+            retries: 1,
+            retry_backoff: Duration::from_millis(1),
+            ..FaultPolicy::default()
+        };
+        let jobs: Vec<(String, u64)> = (0..8).map(|i| (format!("job{i}"), i)).collect();
+        for workers in [1, 4] {
+            let outcomes = run_jobs_ft(workers, &policy, jobs.clone(), |_, j, _| {
+                if *j == 3 {
+                    panic!("poisoned job payload");
+                }
+                Ok(*j * 2)
+            });
+            assert_eq!(outcomes.len(), 8, "workers={workers}");
+            for o in &outcomes {
+                if o.key == "job3" {
+                    assert_eq!(o.status, JobStatus::Failed);
+                    assert_eq!(o.attempts, 2, "failed job must be retried once");
+                    let Err(JobError::Panic(msg)) = &o.result else {
+                        panic!("expected a panic outcome, got {:?}", o.result);
+                    };
+                    assert!(msg.contains("poisoned job payload"));
+                } else {
+                    assert_eq!(o.status, JobStatus::Ok, "{} must survive", o.key);
+                    assert!(o.is_ok());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fail_fast_cancels_pending_jobs() {
+        // One worker serializes the batch, so everything queued after the
+        // poisoned job must come back skipped (never attempted).
+        let policy = FaultPolicy {
+            keep_going: false,
+            retries: 0,
+            ..FaultPolicy::default()
+        };
+        let jobs: Vec<(String, u64)> = (0..6).map(|i| (format!("job{i}"), i)).collect();
+        let outcomes = run_jobs_ft(1, &policy, jobs, |_, j, _| {
+            if *j == 1 {
+                return Err(SimError::TraceDecode {
+                    detail: "injected".into(),
+                });
+            }
+            Ok(*j)
+        });
+        assert_eq!(outcomes[0].status, JobStatus::Ok);
+        assert_eq!(outcomes[1].status, JobStatus::Failed);
+        for o in &outcomes[2..] {
+            assert_eq!(o.status, JobStatus::Skipped, "{} ran after cancel", o.key);
+            assert_eq!(o.attempts, 0);
+        }
+    }
+
+    #[test]
+    fn retried_jobs_report_retried_status() {
+        let policy = FaultPolicy {
+            keep_going: true,
+            retries: 1,
+            retry_backoff: Duration::from_millis(1),
+            ..FaultPolicy::default()
+        };
+        let flaky_done = AtomicUsize::new(0);
+        let outcomes = run_jobs_ft(1, &policy, vec![("flaky".to_string(), ())], |_, (), _| {
+            if flaky_done.fetch_add(1, Ordering::SeqCst) == 0 {
+                return Err(SimError::TraceDecode {
+                    detail: "transient".into(),
+                });
+            }
+            Ok(42u64)
+        });
+        assert_eq!(outcomes[0].status, JobStatus::Retried);
+        assert_eq!(outcomes[0].attempts, 2);
+        assert!(matches!(outcomes[0].result, Ok(42)));
+    }
+
+    #[test]
+    fn outcomes_table_lists_statuses_and_details() {
+        let outcomes = vec![
+            JobOutcome {
+                key: "a".into(),
+                attempts: 1,
+                status: JobStatus::Ok,
+                result: Ok(1u32),
+            },
+            JobOutcome {
+                key: "b".into(),
+                attempts: 2,
+                status: JobStatus::Failed,
+                result: Err(JobError::Panic("boom".into())),
+            },
+        ];
+        let table = outcomes_table(&outcomes);
+        assert!(table.contains("2 jobs, 1 ok, 1 failed"));
+        assert!(table.contains("failed"));
+        assert!(table.contains("boom"));
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Workload construction and the cached simulation runs.
 
-use crate::runner::RunRecord;
+use crate::runner::{FaultPolicy, JobOutcome, RunRecord};
 use hsu_datasets::{Dataset, DatasetId};
 use hsu_kernels::btree::{BtreeParams, BtreeWorkload};
 use hsu_kernels::bvhnn::{BvhnnParams, BvhnnWorkload};
@@ -8,7 +8,7 @@ use hsu_kernels::flann::{FlannParams, FlannWorkload};
 use hsu_kernels::ggnn::{GgnnParams, GgnnWorkload};
 use hsu_kernels::{offloadable_fraction, Variant};
 use hsu_sim::config::{GpuConfig, SimMode};
-use hsu_sim::{Gpu, SimReport};
+use hsu_sim::{Gpu, SimError, SimReport};
 
 /// Which application a run belongs to (the paper's four workloads).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -222,6 +222,26 @@ enum Built {
     Btree(DatasetId, BtreeWorkload),
 }
 
+/// Result of a fault-tolerant suite build: the suite (holding every app ×
+/// dataset whose three variants all simulated) plus the per-job dispositions
+/// for the partial report.
+#[derive(Debug)]
+pub struct SuiteBuild {
+    /// The suite; under `keep_going`, apps with any failed variant are
+    /// dropped from [`Suite::runs`].
+    pub suite: Suite,
+    /// Per-simulation outcomes in submission order (report values already
+    /// moved into the suite). Render with [`crate::runner::outcomes_table`].
+    pub outcomes: Vec<JobOutcome<()>>,
+}
+
+impl SuiteBuild {
+    /// `true` when every simulation produced a report.
+    pub fn all_ok(&self) -> bool {
+        self.outcomes.iter().all(JobOutcome::is_ok)
+    }
+}
+
 impl Suite {
     /// Builds every workload and simulates the three lowerings.
     ///
@@ -231,7 +251,43 @@ impl Suite {
     /// Results are bit-identical for every `jobs` value: construction and
     /// simulation are pure functions of the config, and the runner merges
     /// results in stable key order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or any simulation fails —
+    /// callers that need partial results use [`Suite::build_with_policy`].
     pub fn build(config: SuiteConfig) -> Self {
+        match Self::build_with_policy(config, &FaultPolicy::default()) {
+            Ok(build) => {
+                if let Some(bad) = build.outcomes.iter().find(|o| !o.is_ok()) {
+                    let detail = match &bad.result {
+                        Err(e) => e.to_string(),
+                        Ok(()) => unreachable!("failed outcome without an error"),
+                    };
+                    panic!("suite build failed at {}: {detail}", bad.key);
+                }
+                build.suite
+            }
+            Err(e) => panic!("suite build failed: {e}"),
+        }
+    }
+
+    /// Fault-tolerant variant of [`Suite::build`]: the simulation matrix
+    /// runs under [`crate::runner::run_jobs_ft`], so a panicking, failing,
+    /// or timed-out simulation is isolated, retried per `policy`, and — when
+    /// `policy.keep_going` is set — reported while the remaining jobs still
+    /// run to completion.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidConfig`] when the GPU configuration fails
+    /// validation (nothing is built or simulated). Per-job failures are
+    /// *not* errors; they are reported in [`SuiteBuild::outcomes`].
+    pub fn build_with_policy(
+        config: SuiteConfig,
+        policy: &FaultPolicy,
+    ) -> Result<SuiteBuild, SimError> {
+        config.gpu_config().validate()?;
         let gpu = Gpu::new(config.gpu_config());
 
         // Phase A: construct all workloads (validation included) in
@@ -289,44 +345,85 @@ impl Suite {
         for (app, id, wl) in &plan {
             let label = format!("{}{}", app.prefix(), hsu_datasets::spec(*id).abbr);
             for (variant, vname) in VARIANTS {
-                sim_jobs.push((format!("{label}/{vname}"), *wl, variant));
+                let key = format!("{label}/{vname}");
+                sim_jobs.push((key.clone(), (key, *wl, variant)));
             }
         }
-        let outs = crate::runner::run_jobs(config.jobs, sim_jobs, |_, (key, wl, variant)| {
-            let trace = wl.trace(variant);
-            crate::runner::timed_run(key, || gpu.run(&trace))
-        });
+        let outs = crate::runner::run_jobs_ft(
+            config.jobs,
+            policy,
+            sim_jobs,
+            |_, (key, wl, variant), limits| {
+                let trace = wl.trace(*variant);
+                crate::runner::timed_run(key.clone(), || gpu.run_guarded(&trace, limits))
+            },
+        );
 
         let mut runs = Vec::new();
         let mut records = Vec::new();
+        let mut outcomes = Vec::new();
         let mut outs = outs.into_iter();
         for (app, id, _) in &plan {
-            let (hsu, r0) = outs.next().expect("hsu report");
-            let (base, r1) = outs.next().expect("base report");
-            let (stripped, r2) = outs.next().expect("stripped report");
-            let spec = hsu_datasets::spec(*id);
-            runs.push(AppRun {
-                app: *app,
-                label: format!("{}{}", app.prefix(), spec.abbr),
-                dataset: *id,
-                hsu,
-                base,
-                stripped,
-            });
-            records.extend([r0, r1, r2]);
+            // One triple (hsu/base/stripped) per planned app × dataset; the
+            // pool returns an outcome for every submitted job.
+            let mut triple = Vec::with_capacity(3);
+            for _ in 0..VARIANTS.len() {
+                let Some(out) = outs.next() else {
+                    unreachable!("pool returned an outcome per job");
+                };
+                triple.push(out);
+            }
+            let all_ok = triple.iter().all(JobOutcome::is_ok);
+            let mut reports = Vec::with_capacity(VARIANTS.len());
+            for o in triple {
+                let result = match o.result {
+                    Ok(v) => {
+                        reports.push(v);
+                        Ok(())
+                    }
+                    Err(e) => Err(e),
+                };
+                outcomes.push(JobOutcome {
+                    key: o.key,
+                    attempts: o.attempts,
+                    status: o.status,
+                    result,
+                });
+            }
+            if all_ok {
+                let mut reports = reports.into_iter();
+                let (Some((hsu, r0)), Some((base, r1)), Some((stripped, r2))) =
+                    (reports.next(), reports.next(), reports.next())
+                else {
+                    unreachable!("all-ok triple yields three reports");
+                };
+                let spec = hsu_datasets::spec(*id);
+                runs.push(AppRun {
+                    app: *app,
+                    label: format!("{}{}", app.prefix(), spec.abbr),
+                    dataset: *id,
+                    hsu,
+                    base,
+                    stripped,
+                });
+                records.extend([r0, r1, r2]);
+            }
         }
         drop(plan);
 
-        Suite {
-            config,
-            gpu,
-            ggnn,
-            flann,
-            bvhnn,
-            btree,
-            runs,
-            records,
-        }
+        Ok(SuiteBuild {
+            suite: Suite {
+                config,
+                gpu,
+                ggnn,
+                flann,
+                bvhnn,
+                btree,
+                runs,
+                records,
+            },
+            outcomes,
+        })
     }
 
     /// Runs for one application, in dataset order.
@@ -357,15 +454,18 @@ fn build_one(config: &SuiteConfig, job: BuildJob) -> Built {
         BuildJob::Ggnn(id) => {
             let spec = hsu_datasets::spec(id);
             let (points, queries) = ggnn_size(id);
-            let data = Dataset::generate_scaled(id, config.seed, Some(config.scaled(points)))
-                .points()
-                .expect("point dataset")
-                .clone();
+            let dataset = Dataset::generate_scaled(id, config.seed, Some(config.scaled(points)));
+            let Some(data) = dataset.points().cloned() else {
+                panic!("GGNN dataset {id:?} is not a point dataset");
+            };
+            let Some(metric) = spec.metric else {
+                panic!("ANN dataset {id:?} has no metric");
+            };
             let params = GgnnParams {
                 points: data.len(),
                 dim: spec.dims,
                 queries: config.scaled(queries).max(48).min(queries.max(48)),
-                metric: spec.metric.expect("ANN dataset has a metric"),
+                metric,
                 k: 10,
                 ef: 64,
                 m: 16,
@@ -376,10 +476,10 @@ fn build_one(config: &SuiteConfig, job: BuildJob) -> Built {
         BuildJob::ThreeD(id) => {
             let spec = hsu_datasets::spec(id);
             let n = config.scaled(spec.scaled_points.min(15_000));
-            let data = Dataset::generate_scaled(id, config.seed, Some(n))
-                .points()
-                .expect("point dataset")
-                .clone();
+            let dataset = Dataset::generate_scaled(id, config.seed, Some(n));
+            let Some(data) = dataset.points().cloned() else {
+                panic!("3-D dataset {id:?} is not a point dataset");
+            };
             let queries = config.scaled(4096).max(2048);
             let fw = FlannWorkload::build_from_points(
                 &FlannParams {

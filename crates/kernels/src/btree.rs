@@ -265,8 +265,8 @@ mod tests {
             num_sms: 2,
             ..GpuConfig::tiny()
         });
-        let hsu = gpu.run(&wl.trace(Variant::Hsu));
-        let base = gpu.run(&wl.trace(Variant::Baseline));
+        let hsu = gpu.run(&wl.trace(Variant::Hsu)).unwrap();
+        let base = gpu.run(&wl.trace(Variant::Baseline)).unwrap();
         assert!(
             hsu.cycles < base.cycles,
             "HSU {} vs base {}",
@@ -288,8 +288,8 @@ mod tests {
             ..Default::default()
         });
         let gpu = Gpu::new(GpuConfig::tiny());
-        let base = gpu.run(&wl.trace(Variant::Baseline));
-        let stripped = gpu.run(&wl.trace(Variant::BaselineStripped));
+        let base = gpu.run(&wl.trace(Variant::Baseline)).unwrap();
+        let stripped = gpu.run(&wl.trace(Variant::BaselineStripped)).unwrap();
         let frac = crate::offloadable_fraction(&base, &stripped);
         assert!(frac > 0.05 && frac < 0.9, "fraction {frac}");
     }

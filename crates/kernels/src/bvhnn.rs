@@ -351,8 +351,8 @@ mod tests {
             ..Default::default()
         });
         let gpu = Gpu::new(GpuConfig::tiny());
-        let hsu = gpu.run(&wl.trace(Variant::Hsu));
-        let base = gpu.run(&wl.trace(Variant::Baseline));
+        let hsu = gpu.run(&wl.trace(Variant::Hsu)).unwrap();
+        let base = gpu.run(&wl.trace(Variant::Baseline)).unwrap();
         assert!(
             hsu.cycles < base.cycles,
             "HSU {} vs base {}",
@@ -373,8 +373,8 @@ mod tests {
             ..Default::default()
         });
         let gpu = Gpu::new(GpuConfig::tiny());
-        let base = gpu.run(&wl.trace(Variant::Baseline));
-        let stripped = gpu.run(&wl.trace(Variant::BaselineStripped));
+        let base = gpu.run(&wl.trace(Variant::Baseline)).unwrap();
+        let stripped = gpu.run(&wl.trace(Variant::BaselineStripped)).unwrap();
         let frac = crate::offloadable_fraction(&base, &stripped);
         // Box tests are the bulk of BVH-NN (Fig. 7 shows it near the top).
         assert!(frac > 0.3, "offloadable fraction {frac}");

@@ -293,8 +293,8 @@ mod tests {
             ..Default::default()
         });
         let gpu = Gpu::new(GpuConfig::tiny());
-        let hsu = gpu.run(&wl.trace(Variant::Hsu));
-        let base = gpu.run(&wl.trace(Variant::Baseline));
+        let hsu = gpu.run(&wl.trace(Variant::Hsu)).unwrap();
+        let base = gpu.run(&wl.trace(Variant::Baseline)).unwrap();
         assert!(
             hsu.cycles < base.cycles,
             "HSU {} vs base {}",

@@ -384,9 +384,9 @@ mod tests {
     fn hsu_variant_is_faster() {
         let wl = small();
         let gpu = Gpu::new(GpuConfig::tiny());
-        let hsu = gpu.run(&wl.trace(Variant::Hsu));
-        let base = gpu.run(&wl.trace(Variant::Baseline));
-        let stripped = gpu.run(&wl.trace(Variant::BaselineStripped));
+        let hsu = gpu.run(&wl.trace(Variant::Hsu)).unwrap();
+        let base = gpu.run(&wl.trace(Variant::Baseline)).unwrap();
+        let stripped = gpu.run(&wl.trace(Variant::BaselineStripped)).unwrap();
         assert!(
             hsu.cycles < base.cycles,
             "HSU {} vs baseline {}",

@@ -26,8 +26,8 @@
 //!     points: 400, queries: 64, seed: 7, ..Default::default()
 //! });
 //! let gpu = Gpu::new(GpuConfig::tiny());
-//! let hsu = gpu.run(&wl.trace(Variant::Hsu));
-//! let base = gpu.run(&wl.trace(Variant::Baseline));
+//! let hsu = gpu.run(&wl.trace(Variant::Hsu)).unwrap();
+//! let base = gpu.run(&wl.trace(Variant::Baseline)).unwrap();
 //! assert!(hsu.cycles < base.cycles);
 //! ```
 
@@ -49,14 +49,24 @@ use hsu_sim::{Gpu, SimReport};
 
 /// Runs all three lowerings of a workload trace generator on one GPU
 /// configuration, returning `(hsu, baseline, stripped)` reports.
+///
+/// # Panics
+///
+/// Panics if any of the three simulations fails (deadlock guard, invalid
+/// config); test helpers want the loud failure. Use [`hsu_sim::Gpu::run`]
+/// directly for a `Result`.
 pub fn run_all_variants<F>(gpu: &Gpu, trace: F) -> (SimReport, SimReport, SimReport)
 where
     F: Fn(Variant) -> hsu_sim::trace::KernelTrace,
 {
+    let run = |variant: Variant| match gpu.run(&trace(variant)) {
+        Ok(report) => report,
+        Err(e) => panic!("{variant:?} lowering failed to simulate: {e}"),
+    };
     (
-        gpu.run(&trace(Variant::Hsu)),
-        gpu.run(&trace(Variant::Baseline)),
-        gpu.run(&trace(Variant::BaselineStripped)),
+        run(Variant::Hsu),
+        run(Variant::Baseline),
+        run(Variant::BaselineStripped),
     )
 }
 

@@ -241,8 +241,8 @@ mod tests {
     fn rt_hardware_accelerates_rendering() {
         let wl = RenderWorkload::build(&RenderParams::default());
         let gpu = Gpu::new(GpuConfig::tiny());
-        let hsu = gpu.run(&wl.trace(Variant::Hsu));
-        let base = gpu.run(&wl.trace(Variant::Baseline));
+        let hsu = gpu.run(&wl.trace(Variant::Hsu)).unwrap();
+        let base = gpu.run(&wl.trace(Variant::Baseline)).unwrap();
         assert!(
             hsu.cycles < base.cycles,
             "RT {} vs base {}",
@@ -267,7 +267,7 @@ mod tests {
         });
         let mut cfg = GpuConfig::tiny();
         cfg.hsu = hsu_core::HsuConfig::baseline_rt();
-        let r = Gpu::new(cfg).run(&wl.trace(Variant::Hsu));
+        let r = Gpu::new(cfg).run(&wl.trace(Variant::Hsu)).unwrap();
         assert!(r.rt.isa_instructions > 0);
     }
 }

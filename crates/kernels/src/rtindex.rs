@@ -271,8 +271,8 @@ mod tests {
             seed: 1,
         });
         let gpu = Gpu::new(GpuConfig::tiny());
-        let point = gpu.run(&wl.trace(Variant::Hsu));
-        let triangle = gpu.run(&wl.trace(Variant::Baseline));
+        let point = gpu.run(&wl.trace(Variant::Hsu)).unwrap();
+        let triangle = gpu.run(&wl.trace(Variant::Baseline)).unwrap();
         let speedup = triangle.cycles as f64 / point.cycles as f64;
         assert!(speedup > 1.0, "point keys not faster: {speedup}");
         // Triangle encoding moves more data.

@@ -157,10 +157,9 @@ impl Cache {
     ///
     /// Panics if no MSHR exists for `line` (fill without a miss).
     pub fn fill(&mut self, line: u64) -> Vec<u64> {
-        let waiters = self
-            .mshrs
-            .remove(&line)
-            .expect("fill without outstanding miss");
+        let Some(waiters) = self.mshrs.remove(&line) else {
+            panic!("fill without outstanding miss");
+        };
         self.use_counter += 1;
         let counter = self.use_counter;
         let ways = self.ways;
@@ -168,12 +167,14 @@ impl Cache {
         let entries = &mut self.sets[set];
         if entries.len() >= ways {
             // Evict the least recently used way.
-            let lru = entries
+            let Some(lru) = entries
                 .iter()
                 .enumerate()
                 .min_by_key(|(_, (_, used))| *used)
                 .map(|(i, _)| i)
-                .expect("non-empty set");
+            else {
+                unreachable!("set at capacity cannot be empty");
+            };
             entries.swap_remove(lru);
         }
         entries.push((line, counter));

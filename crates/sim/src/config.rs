@@ -1,5 +1,6 @@
 //! Simulator configuration (paper Table III).
 
+use crate::error::SimError;
 use hsu_core::HsuConfig;
 
 /// How the RT/HSU unit's CISC fetches reach memory (paper §VI-I discusses
@@ -204,6 +205,131 @@ impl GpuConfig {
     pub fn lines_per_row(&self) -> u64 {
         (self.dram_row_bytes / self.line_bytes) as u64
     }
+
+    /// Rejects configurations the simulator cannot meaningfully run,
+    /// returning [`SimError::InvalidConfig`] naming the offending field.
+    ///
+    /// Called by [`crate::Gpu::run`] before simulating (and by `repro`
+    /// before building a suite), so nonsense configs surface as typed
+    /// errors instead of divide-by-zero panics or silent empty reports.
+    ///
+    /// Notably, `max_cycles == 0` is rejected rather than interpreted as
+    /// "run zero cycles": a guard that can never be satisfied is a config
+    /// bug, not a degenerate run.
+    pub fn validate(&self) -> Result<(), SimError> {
+        fn bad(field: &'static str, value: impl ToString, reason: &'static str) -> SimError {
+            SimError::InvalidConfig {
+                field,
+                value: value.to_string(),
+                reason,
+            }
+        }
+        if self.num_sms == 0 {
+            return Err(bad("num_sms", self.num_sms, "need at least one SM"));
+        }
+        if self.sub_cores == 0 {
+            return Err(bad(
+                "sub_cores",
+                self.sub_cores,
+                "need at least one sub-core",
+            ));
+        }
+        if self.max_warps_per_sm == 0 {
+            return Err(bad(
+                "max_warps_per_sm",
+                self.max_warps_per_sm,
+                "need at least one resident warp slot",
+            ));
+        }
+        if self.hsu.warp_buffer_entries == 0 {
+            return Err(bad(
+                "hsu.warp_buffer_entries",
+                self.hsu.warp_buffer_entries,
+                "the RT unit needs at least one warp-buffer entry",
+            ));
+        }
+        if self.line_bytes == 0 {
+            return Err(bad(
+                "line_bytes",
+                self.line_bytes,
+                "line size must be nonzero",
+            ));
+        }
+        if self.l1_ways == 0 {
+            return Err(bad(
+                "l1_ways",
+                self.l1_ways,
+                "associativity must be nonzero",
+            ));
+        }
+        if self.l1_mshrs == 0 {
+            return Err(bad(
+                "l1_mshrs",
+                self.l1_mshrs,
+                "an L1 without MSHRs can never service a miss",
+            ));
+        }
+        if self.l1_bytes < self.l1_ways * self.line_bytes {
+            return Err(bad(
+                "l1_bytes",
+                self.l1_bytes,
+                "L1 geometry yields zero sets (l1_bytes < l1_ways * line_bytes)",
+            ));
+        }
+        if self.l2_ways == 0 {
+            return Err(bad(
+                "l2_ways",
+                self.l2_ways,
+                "associativity must be nonzero",
+            ));
+        }
+        if self.l2_banks == 0 {
+            return Err(bad("l2_banks", self.l2_banks, "need at least one L2 bank"));
+        }
+        if self.l2_bytes < self.l2_ways * self.line_bytes {
+            return Err(bad(
+                "l2_bytes",
+                self.l2_bytes,
+                "L2 geometry yields zero sets (l2_bytes < l2_ways * line_bytes)",
+            ));
+        }
+        if self.dram_channels == 0 {
+            return Err(bad(
+                "dram_channels",
+                self.dram_channels,
+                "need at least one DRAM channel",
+            ));
+        }
+        if self.dram_banks == 0 {
+            return Err(bad(
+                "dram_banks",
+                self.dram_banks,
+                "need at least one bank per channel",
+            ));
+        }
+        if self.dram_row_bytes < self.line_bytes {
+            return Err(bad(
+                "dram_row_bytes",
+                self.dram_row_bytes,
+                "a DRAM row must hold at least one line",
+            ));
+        }
+        if self.dram_transfer_cycles == 0 {
+            return Err(bad(
+                "dram_transfer_cycles",
+                self.dram_transfer_cycles,
+                "transfer occupancy must be nonzero",
+            ));
+        }
+        if self.max_cycles == 0 {
+            return Err(bad(
+                "max_cycles",
+                self.max_cycles,
+                "a zero-cycle guard can never be satisfied",
+            ));
+        }
+        Ok(())
+    }
 }
 
 impl Default for GpuConfig {
@@ -253,6 +379,66 @@ mod tests {
         }
         let cfg = GpuConfig::tiny().with_sim_mode(SimMode::Stepped);
         assert_eq!(cfg.sim_mode, SimMode::Stepped);
+    }
+
+    #[test]
+    fn validate_accepts_every_preset() {
+        for cfg in [
+            GpuConfig::volta_v100(),
+            GpuConfig::small(),
+            GpuConfig::tiny(),
+        ] {
+            cfg.validate().expect("preset must validate");
+        }
+    }
+
+    #[test]
+    fn validate_names_the_offending_field() {
+        let cases: Vec<(&'static str, GpuConfig)> = vec![
+            (
+                "num_sms",
+                GpuConfig {
+                    num_sms: 0,
+                    ..GpuConfig::tiny()
+                },
+            ),
+            (
+                "l1_mshrs",
+                GpuConfig {
+                    l1_mshrs: 0,
+                    ..GpuConfig::tiny()
+                },
+            ),
+            (
+                "max_cycles",
+                GpuConfig {
+                    max_cycles: 0,
+                    ..GpuConfig::tiny()
+                },
+            ),
+            (
+                "l1_bytes",
+                GpuConfig {
+                    l1_bytes: 64,
+                    ..GpuConfig::tiny()
+                },
+            ),
+            (
+                "dram_row_bytes",
+                GpuConfig {
+                    dram_row_bytes: 8,
+                    ..GpuConfig::tiny()
+                },
+            ),
+        ];
+        for (want, cfg) in cases {
+            match cfg.validate() {
+                Err(SimError::InvalidConfig { field, .. }) => {
+                    assert_eq!(field, want, "wrong field blamed")
+                }
+                other => panic!("{want}: expected InvalidConfig, got {other:?}"),
+            }
+        }
     }
 
     #[test]

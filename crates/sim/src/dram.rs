@@ -137,7 +137,9 @@ impl DramChannel {
                     .map(|(i, _)| i)
             });
         let Some(idx) = pick else { return };
-        let req = self.queue.remove(idx).expect("index from enumerate");
+        let Some(req) = self.queue.remove(idx) else {
+            unreachable!("picked index came from enumerating the queue");
+        };
         let hit = self.open_rows[req.bank] == Some(req.row);
         let service = if hit {
             self.stats.row_hits += 1;

@@ -1,10 +1,12 @@
 //! The top-level GPU: SMs + memory hierarchy + the simulation loop.
 
 use crate::config::{GpuConfig, SimMode};
+use crate::error::{DeadlockReport, RunLimits, SimError, WatchdogCause};
 use crate::memory::MemorySystem;
 use crate::sm::Sm;
 use crate::stats::{SchedStats, SimReport};
 use crate::trace::KernelTrace;
+use std::time::Instant;
 
 /// A configured GPU ready to execute kernel traces.
 ///
@@ -19,7 +21,7 @@ use crate::trace::KernelTrace;
 /// let mut t = ThreadTrace::new();
 /// t.push(ThreadOp::Alu { count: 1 });
 /// k.push_thread(t);
-/// let report = Gpu::new(GpuConfig::tiny()).run(&k);
+/// let report = Gpu::new(GpuConfig::tiny()).run(&k).unwrap();
 /// assert_eq!(report.warps_retired, 1);
 /// ```
 #[derive(Debug, Clone)]
@@ -29,6 +31,11 @@ pub struct Gpu {
 
 impl Gpu {
     /// Creates a GPU with the given configuration.
+    ///
+    /// Construction is infallible; the configuration is validated by
+    /// [`Gpu::run`] (see [`GpuConfig::validate`]), so a nonsense config
+    /// surfaces as [`SimError::InvalidConfig`] at run time rather than a
+    /// panic here.
     pub fn new(cfg: GpuConfig) -> Self {
         Gpu { cfg }
     }
@@ -59,13 +66,37 @@ impl Gpu {
     /// bulk-accounted on wakeup via [`Sm::fast_forward`], down to the stall
     /// statistics and the L1 port's round-robin state.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the kernel exceeds `cfg.max_cycles` (deadlock guard). The
-    /// guard message is identical in both modes, including when event mode
-    /// proves the deadlock early (no component reports any future event, or
-    /// the next event lies beyond the guard).
-    pub fn run(&self, kernel: &KernelTrace) -> SimReport {
+    /// - [`SimError::InvalidConfig`] if the configuration fails
+    ///   [`GpuConfig::validate`].
+    /// - [`SimError::Deadlock`] if the kernel exceeds `cfg.max_cycles`. The
+    ///   diagnostic payload is identical in both modes, including when event
+    ///   mode proves the deadlock early (no component reports any future
+    ///   event, or the next event lies beyond the guard).
+    /// - [`SimError::IllegalDispatch`] if the trace routes an op to a unit
+    ///   that cannot execute it (e.g. HSU ops on a baseline RT unit).
+    pub fn run(&self, kernel: &KernelTrace) -> Result<SimReport, SimError> {
+        self.run_guarded(kernel, &RunLimits::none())
+    }
+
+    /// Like [`Gpu::run`], with cooperative cancellation and a wall-clock
+    /// deadline.
+    ///
+    /// The cancel token is checked every loop iteration (one relaxed atomic
+    /// load); the deadline every 1024 iterations (so healthy runs do not
+    /// pay a clock read per simulated event). Either trip returns
+    /// [`SimError::Watchdog`] with the matching [`WatchdogCause`].
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Gpu::run`] returns, plus [`SimError::Watchdog`].
+    pub fn run_guarded(
+        &self,
+        kernel: &KernelTrace,
+        limits: &RunLimits,
+    ) -> Result<SimReport, SimError> {
+        self.cfg.validate()?;
         let mut sms: Vec<Sm> = (0..self.cfg.num_sms)
             .map(|i| Sm::new(i, &self.cfg))
             .collect();
@@ -74,14 +105,6 @@ impl Gpu {
         for (i, warp) in kernel.warps().into_iter().enumerate() {
             sms[i % self.cfg.num_sms].enqueue_warp(warp);
         }
-
-        let guard = || -> ! {
-            panic!(
-                "kernel '{}' exceeded the {}-cycle guard",
-                kernel.name(),
-                self.cfg.max_cycles
-            )
-        };
 
         let event_mode = matches!(self.cfg.sim_mode, SimMode::Event);
         let num_sms = self.cfg.num_sms;
@@ -96,94 +119,105 @@ impl Gpu {
         let mut active: Vec<bool> = vec![true; num_sms];
         let mut woken_by_mem: Vec<bool> = vec![false; num_sms];
         let mut now = 0u64;
-        let cycles = if self.cfg.max_cycles == 0 {
-            0
-        } else {
-            loop {
-                done.clear();
-                mem.tick(now, &mut done);
-                if event_mode {
-                    // An SM must tick at `now` iff it can observe the cycle:
-                    // its own wakeup arrived, a completion is delivered to
-                    // it, or its L1 received a fill (freeing an MSHR, which
-                    // can flip what its port would accept).
-                    for i in 0..num_sms {
-                        woken_by_mem[i] = false;
-                        active[i] = wake[i].is_some_and(|t| t <= now);
-                    }
-                    for &(sm, _) in &done {
-                        active[sm] = true;
-                        woken_by_mem[sm] = true;
-                    }
-                    for &sm in mem.l1_touched() {
-                        active[sm] = true;
-                        woken_by_mem[sm] = true;
-                    }
+        let mut iterations = 0u64;
+        let cycles = loop {
+            if let Some(token) = limits.cancel.as_ref() {
+                if token.is_cancelled() {
+                    return Err(self.watchdog(kernel, now, WatchdogCause::Cancelled));
                 }
-                // Waking SMs first replay their sleep window in bulk, so the
-                // per-cycle order of the stepped oracle (memory, completion
-                // delivery, SM tick) is preserved for cycle `now` itself.
-                for (i, sm) in sms.iter_mut().enumerate() {
-                    if !active[i] {
-                        continue;
-                    }
-                    let slept = match last_ticked[i] {
-                        u64::MAX => now,
-                        t => now - t - 1,
-                    };
-                    if slept > 0 {
-                        sm.fast_forward(slept, &mut mem);
-                        sched.cycles_skipped += slept;
-                        if woken_by_mem[i] {
-                            sched.skipped_on_memory += slept;
-                        } else {
-                            sched.skipped_on_timers += slept;
-                        }
-                    }
-                }
-                for &(sm, waiter) in &done {
-                    sms[sm].on_mem_done(waiter);
-                }
-                for (i, sm) in sms.iter_mut().enumerate() {
-                    if !active[i] {
-                        continue;
-                    }
-                    sm.tick(now, &mut mem);
-                    sched.ticks_executed += 1;
-                    last_ticked[i] = now;
-                    if event_mode {
-                        wake[i] = sm.next_event(now, &mem);
-                    }
-                }
-                if sms.iter().all(|sm| sm.finished()) && mem.quiescent() {
-                    break now + 1;
-                }
-                if now + 1 == self.cfg.max_cycles {
-                    guard();
-                }
-                now = match self.cfg.sim_mode {
-                    SimMode::Stepped => now + 1,
-                    SimMode::Event => {
-                        let mem_next = mem.next_event(now);
-                        // Sleeping SMs' wakeups all lie in the future; SMs
-                        // that ticked at `now` just refreshed theirs.
-                        let sm_next = wake.iter().filter_map(|w| *w).min();
-                        let next = match (mem_next, sm_next) {
-                            (Some(a), Some(b)) => a.min(b),
-                            (a, b) => a.or(b).unwrap_or_else(|| guard()),
-                        };
-                        debug_assert!(next > now, "next event must lie in the future");
-                        // The stepped loop's final iteration runs at cycle
-                        // max_cycles - 1 and trips the guard *after* ticking;
-                        // jumping at or past the guard cycle deadlocks the
-                        // same way.
-                        if next >= self.cfg.max_cycles {
-                            guard();
-                        }
-                        next
-                    }
-                };
             }
+            if let Some(deadline) = limits.deadline {
+                if iterations & 1023 == 0 && Instant::now() >= deadline {
+                    return Err(self.watchdog(kernel, now, WatchdogCause::Deadline));
+                }
+            }
+            iterations += 1;
+            done.clear();
+            mem.tick(now, &mut done);
+            if event_mode {
+                // An SM must tick at `now` iff it can observe the cycle:
+                // its own wakeup arrived, a completion is delivered to
+                // it, or its L1 received a fill (freeing an MSHR, which
+                // can flip what its port would accept).
+                for i in 0..num_sms {
+                    woken_by_mem[i] = false;
+                    active[i] = wake[i].is_some_and(|t| t <= now);
+                }
+                for &(sm, _) in &done {
+                    active[sm] = true;
+                    woken_by_mem[sm] = true;
+                }
+                for &sm in mem.l1_touched() {
+                    active[sm] = true;
+                    woken_by_mem[sm] = true;
+                }
+            }
+            // Waking SMs first replay their sleep window in bulk, so the
+            // per-cycle order of the stepped oracle (memory, completion
+            // delivery, SM tick) is preserved for cycle `now` itself.
+            for (i, sm) in sms.iter_mut().enumerate() {
+                if !active[i] {
+                    continue;
+                }
+                let slept = match last_ticked[i] {
+                    u64::MAX => now,
+                    t => now - t - 1,
+                };
+                if slept > 0 {
+                    sm.fast_forward(slept, &mut mem);
+                    sched.cycles_skipped += slept;
+                    if woken_by_mem[i] {
+                        sched.skipped_on_memory += slept;
+                    } else {
+                        sched.skipped_on_timers += slept;
+                    }
+                }
+            }
+            for &(sm, waiter) in &done {
+                sms[sm].on_mem_done(waiter)?;
+            }
+            for (i, sm) in sms.iter_mut().enumerate() {
+                if !active[i] {
+                    continue;
+                }
+                sm.tick(now, &mut mem)?;
+                sched.ticks_executed += 1;
+                last_ticked[i] = now;
+                if event_mode {
+                    wake[i] = sm.next_event(now, &mem);
+                }
+            }
+            if sms.iter().all(|sm| sm.finished()) && mem.quiescent() {
+                break now + 1;
+            }
+            if now + 1 == self.cfg.max_cycles {
+                return Err(self.deadlock(kernel, &sms, &mem));
+            }
+            now = match self.cfg.sim_mode {
+                SimMode::Stepped => now + 1,
+                SimMode::Event => {
+                    let mem_next = mem.next_event(now);
+                    // Sleeping SMs' wakeups all lie in the future; SMs
+                    // that ticked at `now` just refreshed theirs.
+                    let sm_next = wake.iter().filter_map(|w| *w).min();
+                    let next = match (mem_next, sm_next) {
+                        (Some(a), Some(b)) => a.min(b),
+                        (Some(a), None) | (None, Some(a)) => a,
+                        // No component will ever change state again: a true
+                        // deadlock, provable without grinding to the guard.
+                        (None, None) => return Err(self.deadlock(kernel, &sms, &mem)),
+                    };
+                    debug_assert!(next > now, "next event must lie in the future");
+                    // The stepped loop's final iteration runs at cycle
+                    // max_cycles - 1 and trips the guard *after* ticking;
+                    // jumping at or past the guard cycle deadlocks the
+                    // same way.
+                    if next >= self.cfg.max_cycles {
+                        return Err(self.deadlock(kernel, &sms, &mem));
+                    }
+                    next
+                }
+            };
         };
 
         // SMs that went quiet before the machine drained still owe the
@@ -212,7 +246,38 @@ impl Gpu {
             mem.stats(),
         );
         report.sched = sched;
-        report
+        Ok(report)
+    }
+
+    /// Builds the deadlock diagnostic at the moment the guard trips.
+    ///
+    /// Every field of the snapshot is mode-invariant (see
+    /// [`DeadlockReport`]): event mode may prove the guard crossing many
+    /// cycles before the stepped oracle grinds to it, but during that gap
+    /// no SM state, queue depth, or MSHR occupancy can change — that is
+    /// exactly why the event loop was allowed to jump. Timer waits are the
+    /// one exception (the stepped loop flips expired timers to `Ready`
+    /// even when nothing can issue), which `Sm::deadlock_state` normalizes
+    /// against the guard boundary.
+    fn deadlock(&self, kernel: &KernelTrace, sms: &[Sm], mem: &MemorySystem) -> SimError {
+        SimError::Deadlock(Box::new(DeadlockReport {
+            kernel: kernel.name().to_string(),
+            cycle: self.cfg.max_cycles,
+            mem_quiescent: mem.quiescent(),
+            per_sm: sms
+                .iter()
+                .enumerate()
+                .map(|(i, sm)| sm.deadlock_state(self.cfg.max_cycles, mem.l1_mshrs_in_use(i)))
+                .collect(),
+        }))
+    }
+
+    fn watchdog(&self, kernel: &KernelTrace, now: u64, cause: WatchdogCause) -> SimError {
+        SimError::Watchdog {
+            kernel: kernel.name().to_string(),
+            cycles_simulated: now,
+            cause,
+        }
     }
 }
 
@@ -252,8 +317,8 @@ mod tests {
             ],
         );
         let gpu = Gpu::new(GpuConfig::tiny());
-        let a = gpu.run(&k);
-        let b = gpu.run(&k);
+        let a = gpu.run(&k).unwrap();
+        let b = gpu.run(&k).unwrap();
         assert_eq!(a.cycles, b.cycles);
         assert_eq!(a.l1_accesses(), b.l1_accesses());
     }
@@ -266,12 +331,14 @@ mod tests {
             num_sms: 1,
             ..GpuConfig::tiny()
         })
-        .run(&k);
+        .run(&k)
+        .unwrap();
         let four = Gpu::new(GpuConfig {
             num_sms: 4,
             ..GpuConfig::tiny()
         })
-        .run(&k);
+        .run(&k)
+        .unwrap();
         assert!(
             (four.cycles as f64) < one.cycles as f64 * 0.4,
             "4 SMs {} vs 1 SM {}",
@@ -319,8 +386,8 @@ mod tests {
             }
         }
         let gpu = Gpu::new(GpuConfig::tiny());
-        let hsu_r = gpu.run(&hsu);
-        let base_r = gpu.run(&base);
+        let hsu_r = gpu.run(&hsu).unwrap();
+        let base_r = gpu.run(&base).unwrap();
         assert!(
             hsu_r.cycles < base_r.cycles,
             "HSU {} cycles vs baseline {}",
@@ -350,17 +417,19 @@ mod tests {
             });
             k.push_thread(t);
         }
-        let shared = Gpu::new(GpuConfig::tiny()).run(&k);
+        let shared = Gpu::new(GpuConfig::tiny()).run(&k).unwrap();
         let private = Gpu::new(GpuConfig {
             rt_cache: RtCachePolicy::Private { bytes: 16 * 1024 },
             ..GpuConfig::tiny()
         })
-        .run(&k);
+        .run(&k)
+        .unwrap();
         let bypass = Gpu::new(GpuConfig {
             rt_cache: RtCachePolicy::Bypass,
             ..GpuConfig::tiny()
         })
-        .run(&k);
+        .run(&k)
+        .unwrap();
         // All three complete the same work.
         for r in [&shared, &private, &bypass] {
             assert_eq!(r.warps_retired, 8);
@@ -396,8 +465,12 @@ mod tests {
                 ThreadOp::Shared { count: 2 },
             ],
         );
-        let stepped = Gpu::new(GpuConfig::tiny().with_sim_mode(SimMode::Stepped)).run(&k);
-        let event = Gpu::new(GpuConfig::tiny().with_sim_mode(SimMode::Event)).run(&k);
+        let stepped = Gpu::new(GpuConfig::tiny().with_sim_mode(SimMode::Stepped))
+            .run(&k)
+            .unwrap();
+        let event = Gpu::new(GpuConfig::tiny().with_sim_mode(SimMode::Event))
+            .run(&k)
+            .unwrap();
         assert_eq!(stepped.normalized(), event.normalized());
         // Scheduler accounting invariants: each of an SM's cycles is either
         // ticked or fast-forwarded, exactly once.
@@ -420,13 +493,34 @@ mod tests {
         );
     }
 
+    /// Runs `k` under both modes with the given guard and returns the two
+    /// deadlock errors, asserting both guards fired with identical payloads.
+    fn deadlock_of(k: &KernelTrace, max_cycles: u64) -> SimError {
+        use crate::config::SimMode;
+        let err_of = |mode: SimMode| -> SimError {
+            let cfg = GpuConfig {
+                max_cycles,
+                ..GpuConfig::tiny()
+            }
+            .with_sim_mode(mode);
+            Gpu::new(cfg).run(k).expect_err("guard must fire")
+        };
+        let stepped = err_of(SimMode::Stepped);
+        let event = err_of(SimMode::Event);
+        assert_eq!(
+            stepped, event,
+            "deadlock payloads diverged between stepped and event modes"
+        );
+        assert!(matches!(stepped, SimError::Deadlock(_)));
+        stepped
+    }
+
     #[test]
     fn deadlock_guard_fires_identically_in_both_modes() {
-        use crate::config::SimMode;
-        use std::panic::{catch_unwind, AssertUnwindSafe};
         // A kernel whose ALU run wakes up far beyond max_cycles: the stepped
         // loop grinds to the guard, the event loop proves the overrun when
-        // the only future event lies past it. Same panic, same message.
+        // the only future event lies past it (the gpu.rs `next >= max_cycles`
+        // jump-past-guard branch). Same typed error, same diagnostic payload.
         // (Two classes so the trace keeps a second instruction pending — a
         // warp stalled on its *last* instruction retires immediately.)
         let k = kernel_of(
@@ -436,22 +530,156 @@ mod tests {
                 ThreadOp::Shared { count: 1 },
             ],
         );
-        let message_of = |mode: SimMode| -> String {
+        let err = deadlock_of(&k, 500);
+        let SimError::Deadlock(report) = err else {
+            unreachable!()
+        };
+        assert_eq!(report.kernel, "k");
+        assert_eq!(report.cycle, 500);
+        assert!(report.mem_quiescent, "pure ALU kernel never touches memory");
+        assert_eq!(report.per_sm.len(), 1);
+        let sm = &report.per_sm[0];
+        // 32 threads = 1 warp, stalled on a timer past the guard after
+        // issuing its ALU run on cycle 0.
+        assert_eq!(sm.resident, 1);
+        assert_eq!(sm.waiting_timer, 1);
+        assert_eq!(sm.last_issue_cycle, Some(0));
+        assert_eq!(sm.warps_retired, 0);
+        // The old guard wording survives in the rendered diagnostic.
+        let text = SimError::Deadlock(report).to_string();
+        assert!(text.contains("kernel 'k' exceeded the 500-cycle guard"));
+    }
+
+    #[test]
+    fn deadlock_with_memory_in_flight_reports_identical_payloads() {
+        // A guard so tight the first load cannot complete: event mode jumps
+        // past the guard while a memory event is still pending (mem_next >=
+        // max_cycles), the stepped oracle grinds to it cycle by cycle. The
+        // snapshot must agree anyway — including MSHR occupancy and the
+        // memory-quiescence bit.
+        let k = kernel_of(
+            32,
+            vec![
+                ThreadOp::Load {
+                    addr: 0x4000,
+                    bytes: 64,
+                },
+                ThreadOp::Alu { count: 1 },
+            ],
+        );
+        let SimError::Deadlock(report) = deadlock_of(&k, 4) else {
+            unreachable!()
+        };
+        assert!(!report.mem_quiescent, "the load must still be in flight");
+        let sm = &report.per_sm[0];
+        assert_eq!(sm.waiting_mem, 1);
+        assert_eq!(sm.mshrs_in_flight, 1);
+        assert_eq!(sm.last_issue_cycle, Some(0));
+    }
+
+    #[test]
+    fn deadlock_at_exact_guard_boundary_is_mode_invariant() {
+        // Sweep guards around an ALU run's wakeup so one of them lands
+        // exactly on the `now + 1 == max_cycles` boundary that the stepped
+        // loop checks *after* ticking and the event loop may jump straight
+        // past. Both modes must agree on completion vs deadlock at every
+        // guard value, with equal payloads whenever they deadlock.
+        use crate::config::SimMode;
+        let k = kernel_of(
+            32,
+            vec![ThreadOp::Alu { count: 8 }, ThreadOp::Shared { count: 1 }],
+        );
+        let run = |mode: SimMode, max_cycles: u64| {
             let cfg = GpuConfig {
-                max_cycles: 500,
+                max_cycles,
                 ..GpuConfig::tiny()
             }
             .with_sim_mode(mode);
-            let err = catch_unwind(AssertUnwindSafe(|| Gpu::new(cfg).run(&k)))
-                .expect_err("guard must fire");
-            err.downcast_ref::<String>()
-                .cloned()
-                .expect("panic carries a String payload")
+            Gpu::new(cfg).run(&k)
         };
-        let stepped = message_of(SimMode::Stepped);
-        let event = message_of(SimMode::Event);
-        assert_eq!(stepped, event);
-        assert_eq!(stepped, "kernel 'k' exceeded the 500-cycle guard");
+        let unguarded = run(SimMode::Event, 1_000_000).unwrap();
+        let finish = unguarded.cycles;
+        let mut saw_deadlock = false;
+        for guard in finish.saturating_sub(3)..finish + 3 {
+            let stepped = run(SimMode::Stepped, guard);
+            let event = run(SimMode::Event, guard);
+            assert_eq!(
+                stepped.is_ok(),
+                event.is_ok(),
+                "modes disagree on guard {guard} (finish {finish})"
+            );
+            match (stepped, event) {
+                (Ok(a), Ok(b)) => assert_eq!(a.normalized(), b.normalized()),
+                (Err(a), Err(b)) => {
+                    assert_eq!(a, b, "payloads diverged at guard {guard}");
+                    saw_deadlock = true;
+                }
+                _ => unreachable!(),
+            }
+        }
+        assert!(saw_deadlock, "sweep never crossed the guard boundary");
+    }
+
+    #[test]
+    fn watchdog_cancellation_and_deadline_stop_the_run() {
+        use crate::error::{CancelToken, WatchdogCause};
+        use std::time::Duration;
+        let k = kernel_of(64, vec![ThreadOp::Alu { count: 100 }]);
+        let gpu = Gpu::new(GpuConfig::tiny());
+
+        let token = CancelToken::new();
+        token.cancel();
+        let err = gpu
+            .run_guarded(&k, &RunLimits::none().with_cancel(token))
+            .expect_err("pre-cancelled run must stop");
+        assert!(matches!(
+            err,
+            SimError::Watchdog {
+                cause: WatchdogCause::Cancelled,
+                ..
+            }
+        ));
+
+        let past = Instant::now() - Duration::from_millis(1);
+        let err = gpu
+            .run_guarded(&k, &RunLimits::none().with_deadline(past))
+            .expect_err("expired deadline must stop the run");
+        assert!(matches!(
+            err,
+            SimError::Watchdog {
+                cause: WatchdogCause::Deadline,
+                ..
+            }
+        ));
+
+        // A generous deadline and a live token leave the run untouched.
+        let report = gpu
+            .run_guarded(
+                &k,
+                &RunLimits::none()
+                    .with_cancel(CancelToken::new())
+                    .with_deadline(Instant::now() + Duration::from_secs(600)),
+            )
+            .unwrap();
+        assert_eq!(report.normalized(), gpu.run(&k).unwrap().normalized());
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_before_simulating() {
+        let k = kernel_of(32, vec![ThreadOp::Alu { count: 1 }]);
+        let err = Gpu::new(GpuConfig {
+            num_sms: 0,
+            ..GpuConfig::tiny()
+        })
+        .run(&k)
+        .expect_err("zero SMs must be rejected");
+        assert!(matches!(
+            err,
+            SimError::InvalidConfig {
+                field: "num_sms",
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -470,7 +698,7 @@ mod tests {
             });
             k.push_thread(t);
         }
-        let r = Gpu::new(GpuConfig::tiny()).run(&k);
+        let r = Gpu::new(GpuConfig::tiny()).run(&k).unwrap();
         assert!(r.l1_accesses() > 0);
         assert!(r.l1_miss_rate() > 0.0 && r.l1_miss_rate() < 1.0);
         assert!(r.memory.dram.accesses > 0);

@@ -49,15 +49,26 @@
 //!     thread.push(ThreadOp::Load { addr: t * 128, bytes: 4 });
 //!     kernel.push_thread(thread);
 //! }
-//! let report = Gpu::new(GpuConfig::small()).run(&kernel);
+//! let report = Gpu::new(GpuConfig::small()).run(&kernel).unwrap();
 //! assert!(report.cycles > 0);
 //! ```
+//!
+//! # Failure semantics
+//!
+//! Everything a caller can trigger with bad input — malformed traces,
+//! invalid configurations, guard-exceeding kernels, cancelled or timed-out
+//! runs — surfaces as a typed [`SimError`] rather than a panic. Panics that
+//! remain (`unreachable!` sites in component internals) indicate simulator
+//! bugs, never bad input; see [`error`] for the taxonomy.
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod cache;
 pub mod config;
 pub mod dram;
+pub mod error;
+pub mod faults;
 pub mod memory;
 pub mod rt_unit;
 pub mod sm;
@@ -67,6 +78,7 @@ pub mod trace_io;
 
 mod gpu;
 
+pub use error::SimError;
 pub use gpu::Gpu;
 pub use stats::SimReport;
 
@@ -80,4 +92,8 @@ const _: () = {
     assert_send_sync::<SimReport>();
     assert_send_sync::<trace::KernelTrace>();
     assert_send_sync::<config::GpuConfig>();
+    // Errors cross the same thread boundaries as reports (the fault-tolerant
+    // runner carries them through catch_unwind + channels).
+    assert_send_sync::<SimError>();
+    assert_send_sync::<error::CancelToken>();
 };

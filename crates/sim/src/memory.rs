@@ -167,11 +167,9 @@ impl MemorySystem {
         requester: Requester,
         now: u64,
     ) -> AccessOutcome {
-        let use_rt_cache = requester == Requester::RtUnit && self.rt_caches.is_some();
-        let cache = if use_rt_cache {
-            &mut self.rt_caches.as_mut().expect("checked")[sm]
-        } else {
-            &mut self.l1s[sm]
+        let (use_rt_cache, cache) = match (requester, &mut self.rt_caches) {
+            (Requester::RtUnit, Some(caches)) => (true, &mut caches[sm]),
+            _ => (false, &mut self.l1s[sm]),
         };
         match cache.access(line, waiter) {
             Lookup::Stall => return AccessOutcome::Rejected,
@@ -219,6 +217,16 @@ impl MemorySystem {
     /// rejected).
     pub fn l1_mshrs_full(&self, sm: usize) -> bool {
         self.l1s[sm].mshrs_full()
+    }
+
+    /// Outstanding misses tracked by `sm`'s L1 plus its private RT cache, if
+    /// any (deadlock diagnostics: in-flight memory the SM is waiting on).
+    pub fn l1_mshrs_in_use(&self, sm: usize) -> usize {
+        let rt = self
+            .rt_caches
+            .as_ref()
+            .map_or(0, |caches| caches[sm].mshrs_in_use());
+        self.l1s[sm].mshrs_in_use() + rt
     }
 
     /// Returns `true` when the RT unit has a private path to memory (the
@@ -280,7 +288,9 @@ impl MemorySystem {
             if at > now {
                 break;
             }
-            let Reverse((_, event)) = self.events.pop().expect("peeked event");
+            let Some(Reverse((_, event))) = self.events.pop() else {
+                break; // unreachable: we just peeked a due event
+            };
             match event {
                 Event::L2Arrive { sm, line } => {
                     let bank = self.bank_of(line);
@@ -328,11 +338,12 @@ impl MemorySystem {
                     let is_rt = sm & RT_FILL != 0;
                     let sm_idx = (sm & !RT_FILL) as usize;
                     self.l1_touched.push(sm_idx);
-                    let waiters = if is_rt {
-                        self.rt_caches.as_mut().expect("rt fill without rt cache")[sm_idx]
-                            .fill(line)
-                    } else {
-                        self.l1s[sm_idx].fill(line)
+                    let waiters = match (is_rt, &mut self.rt_caches) {
+                        (true, Some(caches)) => caches[sm_idx].fill(line),
+                        // An RT-tagged fill can only originate from an
+                        // RT-cache access, which requires the cache to exist.
+                        (true, None) => unreachable!("RT fill without an RT cache"),
+                        (false, _) => self.l1s[sm_idx].fill(line),
                     };
                     for waiter in waiters {
                         self.push(
@@ -492,7 +503,12 @@ mod tests {
                 return;
             }
         }
-        panic!("hit never completed");
+        panic!(
+            "hit never completed within {} cycles; quiescent={}, next_event={:?}",
+            cfg.l1_latency + 2,
+            mem.quiescent(),
+            mem.next_event(t0 + cfg.l1_latency + 2),
+        );
     }
 
     #[test]

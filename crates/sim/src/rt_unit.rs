@@ -21,6 +21,7 @@ use hsu_core::pipeline::{DatapathPipeline, OperatingMode, PipelineStats};
 use hsu_core::warp_buffer::{EntryId, WarpBuffer, WARP_WIDTH};
 use hsu_core::HsuConfig;
 
+use crate::error::SimError;
 use crate::trace::ThreadOp;
 
 /// A pending CISC fetch: one unique cache line needed by one or more lanes
@@ -125,7 +126,10 @@ impl RtUnit {
     }
 
     /// Operating mode, beat count and fetch footprint of a lane's op.
-    fn lane_plan(&self, op: &ThreadOp) -> (OperatingMode, u32, u64, u64) {
+    ///
+    /// Non-HSU ops are a dispatch-routing violation (a malformed trace or a
+    /// scheduler bug) and surface as [`SimError::IllegalDispatch`].
+    fn lane_plan(&self, op: &ThreadOp) -> Result<(OperatingMode, u32, u64, u64), SimError> {
         match *op {
             ThreadOp::HsuRayIntersect {
                 node_addr,
@@ -137,7 +141,7 @@ impl RtUnit {
                 } else {
                     OperatingMode::RayBox
                 };
-                (mode, 1, node_addr, bytes as u64)
+                Ok((mode, 1, node_addr, bytes as u64))
             }
             ThreadOp::HsuDistance {
                 metric,
@@ -149,21 +153,23 @@ impl RtUnit {
                     hsu_geometry::point::Metric::Euclidean => OperatingMode::Euclid,
                     hsu_geometry::point::Metric::Angular => OperatingMode::Angular,
                 };
-                (mode, beats, candidate_addr, dim as u64 * 4)
+                Ok((mode, beats, candidate_addr, dim as u64 * 4))
             }
             ThreadOp::HsuKeyCompare {
                 node_addr,
                 separators,
             } => {
                 let beats = self.cfg.key_compare_instructions(separators as usize) as u32;
-                (
+                Ok((
                     OperatingMode::KeyCompare,
                     beats,
                     node_addr,
                     separators as u64 * 4,
-                )
+                ))
             }
-            ref other => panic!("non-HSU op dispatched to the RT unit: {other:?}"),
+            ref other => Err(SimError::IllegalDispatch {
+                detail: format!("non-HSU op dispatched to the RT unit: {other:?}"),
+            }),
         }
     }
 
@@ -197,10 +203,12 @@ impl RtUnit {
     /// Dispatches a warp instruction into the warp buffer, enqueueing each
     /// active lane's line fetches. `line_bytes` is the cache-line size.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the buffer is full (call [`RtUnit::grant`] first) or the
-    /// instruction holds non-HSU ops.
+    /// [`SimError::IllegalDispatch`] if the buffer is full (call
+    /// [`RtUnit::grant`] first), an active lane carries no op, or the
+    /// instruction holds non-HSU ops. Failed dispatches leave the unit's
+    /// state untouched.
     pub fn dispatch(
         &mut self,
         warp: usize,
@@ -208,29 +216,44 @@ impl RtUnit {
         active_mask: u32,
         lanes: &[Option<ThreadOp>],
         line_bytes: u64,
-    ) -> EntryId {
+    ) -> Result<EntryId, SimError> {
+        // Plan every active lane before committing any state, so a
+        // malformed instruction cannot leave a half-dispatched entry.
+        let mut plans: Vec<(usize, OperatingMode, u32, u64, u64)> = Vec::new();
+        for (lane, op) in lanes.iter().enumerate() {
+            if active_mask & (1 << lane) == 0 {
+                continue;
+            }
+            let Some(op) = op.as_ref() else {
+                return Err(SimError::IllegalDispatch {
+                    detail: format!("active lane {lane} without an op (mask {active_mask:#x})"),
+                });
+            };
+            let (mode, beats, addr, bytes) = self.lane_plan(op)?;
+            plans.push((lane, mode, beats, addr, bytes));
+        }
+
         // The hsu-core warp buffer tracks masks; lane instructions are kept
         // in this struct's lane_state (richer than the ISA struct).
         let placeholder = hsu_core::HsuInstruction::ray_intersect(0, 0);
         let proto: Vec<Option<hsu_core::HsuInstruction>> = (0..WARP_WIDTH)
             .map(|l| (active_mask & (1 << l) != 0).then_some(placeholder))
             .collect();
-        let entry = self
+        let Some(entry) = self
             .warp_buffer
             .allocate(warp, sub_core, active_mask, proto)
-            .expect("dispatch without a free warp buffer entry");
+        else {
+            return Err(SimError::IllegalDispatch {
+                detail: "dispatch without a free warp buffer entry".to_string(),
+            });
+        };
         self.entry_owner[entry] = Some(warp);
         self.stats.warp_instructions += 1;
 
         // Gather each lane's lines, coalescing identical lines across lanes
         // into one FIFO request (the warp-level analogue of LSU coalescing).
         let mut table: Vec<(u64, u32)> = Vec::new();
-        for (lane, op) in lanes.iter().enumerate() {
-            if active_mask & (1 << lane) == 0 {
-                continue;
-            }
-            let op = op.as_ref().expect("active lane without op");
-            let (mode, beats, addr, bytes) = self.lane_plan(op);
+        for (lane, mode, beats, addr, bytes) in plans {
             self.stats.isa_instructions += beats as u64;
             let first = addr / line_bytes;
             let last = (addr + bytes.max(1) - 1) / line_bytes;
@@ -252,7 +275,7 @@ impl RtUnit {
             self.fifo.push_back(FifoRequest { entry, req, line });
         }
         self.entry_requests[entry] = table;
-        entry
+        Ok(entry)
     }
 
     /// The next CISC fetch awaiting the L1 port, if any (the SM pops it when
@@ -261,13 +284,21 @@ impl RtUnit {
         self.fifo.front().copied()
     }
 
-    /// Removes the request returned by [`RtUnit::peek_fifo`].
-    ///
-    /// # Panics
-    ///
-    /// Panics if the FIFO is empty.
-    pub fn pop_fifo(&mut self) -> FifoRequest {
-        self.fifo.pop_front().expect("pop from empty RT FIFO")
+    /// Removes the request returned by [`RtUnit::peek_fifo`], or `None` when
+    /// the FIFO is empty.
+    pub fn pop_fifo(&mut self) -> Option<FifoRequest> {
+        self.fifo.pop_front()
+    }
+
+    /// Memory requests currently queued in the fetch FIFO (deadlock
+    /// diagnostics).
+    pub fn fifo_len(&self) -> usize {
+        self.fifo.len()
+    }
+
+    /// Occupied warp-buffer entries (deadlock diagnostics).
+    pub fn warp_buffer_occupancy(&self) -> usize {
+        self.warp_buffer.occupancy()
     }
 
     /// Re-inserts a request that the L1 rejected (MSHR full) at the FIFO
@@ -315,7 +346,11 @@ impl RtUnit {
         if let Some(entry) = entry {
             if let Some(lane) = self.warp_buffer.entry(entry).next_issuable_lane() {
                 let state = &mut self.lane_state[entry][lane];
-                let mode = state.mode.expect("issuable lane without mode");
+                // Internal invariant: dispatch sets a mode for every active
+                // lane before the lane can become issuable.
+                let Some(mode) = state.mode else {
+                    unreachable!("issuable lane without mode")
+                };
                 let tag = (entry as u64) << 8 | lane as u64;
                 if self.pipeline.issue(mode, tag) {
                     state.beats_to_issue -= 1;
@@ -346,7 +381,11 @@ impl RtUnit {
             .collect();
         for entry in finished {
             self.warp_buffer.release(entry);
-            let warp = self.entry_owner[entry].take().expect("entry without owner");
+            // Internal invariant: dispatch records an owner for every
+            // allocated entry.
+            let Some(warp) = self.entry_owner[entry].take() else {
+                unreachable!("entry without owner")
+            };
             self.completed_warps.push(warp);
             self.lane_state[entry] = [LaneState::default(); WARP_WIDTH];
             self.entry_requests[entry].clear();
@@ -443,7 +482,7 @@ mod tests {
         for now in 0..max {
             // Model a perfect-bandwidth memory of fixed latency.
             if let Some(req) = unit.peek_fifo() {
-                unit.pop_fifo();
+                let _ = unit.pop_fifo();
                 responses.push((now + mem_latency, req.entry, req.req));
             }
             responses.retain(|&(at, entry, req)| {
@@ -471,7 +510,7 @@ mod tests {
             bytes: 128,
             triangle: false,
         };
-        unit.dispatch(7, 0, 1, &lanes_with(op, 1), 128);
+        unit.dispatch(7, 0, 1, &lanes_with(op, 1), 128).unwrap();
         let (cycles, done) = run_to_completion(&mut unit, 20, 1000);
         assert_eq!(done, vec![7]);
         // 20 (mem) + 9 (pipe) + small bookkeeping.
@@ -485,7 +524,8 @@ mod tests {
     #[test]
     fn multibeat_distance_counts_isa_instructions() {
         let mut unit = RtUnit::new(HsuConfig::default(), 4);
-        unit.dispatch(3, 1, 1, &lanes_with(euclid_op(96), 1), 128);
+        unit.dispatch(3, 1, 1, &lanes_with(euclid_op(96), 1), 128)
+            .unwrap();
         let (_, done) = run_to_completion(&mut unit, 10, 1000);
         assert_eq!(done, vec![3]);
         let s = unit.stats();
@@ -497,7 +537,8 @@ mod tests {
     fn sparse_mask_issues_only_active_lanes() {
         let mut unit = RtUnit::new(HsuConfig::default(), 4);
         let mask = (1 << 3) | (1 << 30);
-        unit.dispatch(1, 0, mask, &lanes_with(euclid_op(16), mask), 128);
+        unit.dispatch(1, 0, mask, &lanes_with(euclid_op(16), mask), 128)
+            .unwrap();
         let (_, _) = run_to_completion(&mut unit, 5, 1000);
         let s = unit.stats();
         assert_eq!(s.isa_instructions, 2, "one beat per active lane");
@@ -508,7 +549,8 @@ mod tests {
         for (width, beats) in [(4usize, 24u64), (8, 12), (16, 6), (32, 3)] {
             let cfg = HsuConfig::default().with_euclid_width(width);
             let mut unit = RtUnit::new(cfg, 4);
-            unit.dispatch(0, 0, 1, &lanes_with(euclid_op(96), 1), 128);
+            unit.dispatch(0, 0, 1, &lanes_with(euclid_op(96), 1), 128)
+                .unwrap();
             run_to_completion(&mut unit, 5, 2000);
             assert_eq!(unit.stats().isa_instructions, beats, "width {width}");
         }
@@ -521,7 +563,7 @@ mod tests {
             node_addr: 0x2000,
             separators: 255,
         };
-        unit.dispatch(0, 0, 1, &lanes_with(op, 1), 128);
+        unit.dispatch(0, 0, 1, &lanes_with(op, 1), 128).unwrap();
         run_to_completion(&mut unit, 5, 1000);
         let s = unit.stats();
         assert_eq!(s.isa_instructions, 8, "ceil(255/36) = 8");
@@ -534,9 +576,9 @@ mod tests {
         let mut unit = RtUnit::new(cfg, 4);
         let op = euclid_op(16);
         assert!(unit.grant(&[true, false, false, false]).is_some());
-        unit.dispatch(0, 0, 1, &lanes_with(op, 1), 128);
+        unit.dispatch(0, 0, 1, &lanes_with(op, 1), 128).unwrap();
         assert!(unit.grant(&[false, true, false, false]).is_some());
-        unit.dispatch(1, 1, 1, &lanes_with(op, 1), 128);
+        unit.dispatch(1, 1, 1, &lanes_with(op, 1), 128).unwrap();
         // Buffer full: grant refuses and counts a stall.
         assert!(unit.grant(&[false, false, true, false]).is_none());
         assert_eq!(unit.stats().dispatch_stalls, 1);
@@ -560,8 +602,10 @@ mod tests {
     #[test]
     fn two_entries_overlap_memory_but_serialize_datapath() {
         let mut unit = RtUnit::new(HsuConfig::default(), 4);
-        unit.dispatch(0, 0, 1, &lanes_with(euclid_op(64), 1), 128);
-        unit.dispatch(1, 1, 1, &lanes_with(euclid_op(64), 1), 128);
+        unit.dispatch(0, 0, 1, &lanes_with(euclid_op(64), 1), 128)
+            .unwrap();
+        unit.dispatch(1, 1, 1, &lanes_with(euclid_op(64), 1), 128)
+            .unwrap();
         let (cycles, mut done) = run_to_completion(&mut unit, 50, 5000);
         done.sort_unstable();
         assert_eq!(done, vec![0, 1]);
@@ -577,9 +621,10 @@ mod tests {
         // lanes wait on memory, busy again from response to writeback.
         let mut unit = RtUnit::new(HsuConfig::default(), 4);
         assert!(!unit.busy_next_cycle(), "fresh unit is idle");
-        unit.dispatch(5, 0, 1, &lanes_with(euclid_op(16), 1), 128);
+        unit.dispatch(5, 0, 1, &lanes_with(euclid_op(16), 1), 128)
+            .unwrap();
         assert!(unit.busy_next_cycle(), "fetch in FIFO wants the L1 port");
-        let req = unit.pop_fifo();
+        let req = unit.pop_fifo().unwrap();
         unit.tick();
         assert!(
             !unit.busy_next_cycle(),
@@ -613,10 +658,9 @@ mod tests {
         // including occupancy integration for the parked entry.
         let build = || {
             let mut u = RtUnit::new(HsuConfig::default(), 4);
-            u.dispatch(0, 0, 1, &lanes_with(euclid_op(32), 1), 128);
-            while u.peek_fifo().is_some() {
-                u.pop_fifo();
-            }
+            u.dispatch(0, 0, 1, &lanes_with(euclid_op(32), 1), 128)
+                .unwrap();
+            while u.pop_fifo().is_some() {}
             // A skip never starts un-ticked: dispatch leaves the FIFO
             // non-empty, so the run loop always executes at least one tick
             // (sampling occupancy/peak) before the unit can report idle.
@@ -635,11 +679,41 @@ mod tests {
     }
 
     #[test]
+    fn dispatch_into_full_buffer_is_a_typed_error() {
+        let cfg = HsuConfig::default().with_warp_buffer(1);
+        let mut unit = RtUnit::new(cfg, 4);
+        unit.dispatch(0, 0, 1, &lanes_with(euclid_op(16), 1), 128)
+            .unwrap();
+        let err = unit
+            .dispatch(1, 1, 1, &lanes_with(euclid_op(16), 1), 128)
+            .expect_err("full buffer must reject");
+        assert!(matches!(err, SimError::IllegalDispatch { .. }));
+        // The failed dispatch left no trace: one entry, one instruction.
+        assert_eq!(unit.warp_buffer_occupancy(), 1);
+        assert_eq!(unit.stats().warp_instructions, 1);
+    }
+
+    #[test]
+    fn dispatch_of_non_hsu_op_is_a_typed_error_with_clean_state() {
+        let mut unit = RtUnit::new(HsuConfig::default(), 4);
+        let err = unit
+            .dispatch(0, 0, 1, &lanes_with(ThreadOp::Alu { count: 4 }, 1), 128)
+            .expect_err("ALU op must not reach the RT unit");
+        assert!(matches!(err, SimError::IllegalDispatch { .. }));
+        assert!(err.to_string().contains("non-HSU op"));
+        // Plan-before-commit: nothing was allocated or counted.
+        assert!(unit.idle());
+        assert_eq!(unit.stats().warp_instructions, 0);
+        assert_eq!(unit.fifo_len(), 0);
+    }
+
+    #[test]
     fn fifo_order_is_preserved_on_rejection() {
         let mut unit = RtUnit::new(HsuConfig::default(), 4);
-        unit.dispatch(0, 0, 1, &lanes_with(euclid_op(64), 1), 128);
+        unit.dispatch(0, 0, 1, &lanes_with(euclid_op(64), 1), 128)
+            .unwrap();
         let first = unit.peek_fifo().unwrap();
-        let popped = unit.pop_fifo();
+        let popped = unit.pop_fifo().unwrap();
         assert_eq!(first, popped);
         unit.push_back_front(popped);
         assert_eq!(unit.peek_fifo().unwrap(), first);

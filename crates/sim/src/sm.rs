@@ -4,6 +4,7 @@
 use std::collections::VecDeque;
 
 use crate::config::GpuConfig;
+use crate::error::{SimError, SmDeadlockState};
 use crate::memory::{AccessOutcome, MemorySystem, Requester};
 use crate::rt_unit::RtUnit;
 use crate::trace::{OpClass, ThreadOp, WarpInstruction, WarpTrace};
@@ -74,6 +75,9 @@ pub struct Sm {
     port_prefers_rt: bool,
     rt: RtUnit,
     next_age: u64,
+    /// Last cycle any sub-core issued an instruction (deadlock diagnostics'
+    /// "last progress" marker; `None` until the first issue).
+    last_issue_cycle: Option<u64>,
     stats: SmStats,
 }
 
@@ -95,6 +99,7 @@ impl Sm {
             port_prefers_rt: false,
             rt: RtUnit::new(cfg.hsu.clone(), cfg.sub_cores),
             next_age: 0,
+            last_issue_cycle: None,
             stats: SmStats::default(),
         }
     }
@@ -212,7 +217,13 @@ impl Sm {
     }
 
     /// Handles a memory completion token.
-    pub fn on_mem_done(&mut self, waiter: u64) {
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::IllegalDispatch`] if the completion is routed to a warp
+    /// slot that is not waiting on memory (a corrupted waiter token or a
+    /// routing bug — either way the run cannot continue meaningfully).
+    pub fn on_mem_done(&mut self, waiter: u64) -> Result<(), SimError> {
         if waiter & RT_FLAG != 0 {
             let entry = ((waiter >> 16) & 0xffff) as usize;
             let req = (waiter & 0xffff) as usize;
@@ -228,13 +239,26 @@ impl Sm {
                     WarpStatus::WaitMem(left)
                 };
             } else {
-                panic!("memory completion for warp not waiting on memory");
+                return Err(SimError::IllegalDispatch {
+                    detail: format!(
+                        "memory completion delivered to sm{} warp slot {slot}, \
+                         which is not waiting on memory ({:?})",
+                        self.index, warp.status
+                    ),
+                });
             }
         }
+        Ok(())
     }
 
     /// Advances the SM one cycle.
-    pub fn tick(&mut self, now: u64, mem: &mut MemorySystem) {
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::IllegalDispatch`] if the cycle's issue stage routes an op
+    /// to a unit that cannot execute it (see [`Sm::on_mem_done`] and the
+    /// RT-unit dispatch path).
+    pub fn tick(&mut self, now: u64, mem: &mut MemorySystem) -> Result<(), SimError> {
         self.fill_resident_slots();
         self.unblock_timed_warps(now);
 
@@ -246,7 +270,7 @@ impl Sm {
         }
 
         self.arbitrate_l1_port(now, mem);
-        self.issue(now, mem);
+        self.issue(now, mem)
     }
 
     fn fill_resident_slots(&mut self) {
@@ -326,7 +350,9 @@ impl Sm {
     }
 
     fn issue_rt_fetch(&mut self, now: u64, mem: &mut MemorySystem) {
-        let req = self.rt.pop_fifo();
+        let Some(req) = self.rt.pop_fifo() else {
+            return;
+        };
         let waiter = RT_FLAG | ((req.entry as u64) << 16) | req.req as u64;
         match mem.access(self.index, req.line, waiter, Requester::RtUnit, now) {
             AccessOutcome::Accepted => {}
@@ -335,7 +361,9 @@ impl Sm {
     }
 
     fn issue_lsu_access(&mut self, now: u64, mem: &mut MemorySystem) {
-        let (line, slot) = *self.lsu_queue.front().expect("checked non-empty");
+        let Some(&(line, slot)) = self.lsu_queue.front() else {
+            return;
+        };
         match mem.access(self.index, line, slot as u64, Requester::Lsu, now) {
             AccessOutcome::Accepted => {
                 self.lsu_queue.pop_front();
@@ -372,7 +400,7 @@ impl Sm {
         best.map(|(_, i)| i)
     }
 
-    fn issue(&mut self, now: u64, mem: &mut MemorySystem) {
+    fn issue(&mut self, now: u64, mem: &mut MemorySystem) -> Result<(), SimError> {
         // Phase 1: each sub-core picks its GTO warp; note which want the HSU.
         // Sub-cores still draining an ALU/shared run issue nothing.
         let picks: Vec<Option<usize>> = (0..self.sub_cores)
@@ -435,7 +463,7 @@ impl Sm {
                     self.warps[slot].status = WarpStatus::WaitUntil(now + count + lat);
                 }
                 OpClass::Load => {
-                    let lines = coalesce(&instr, self.line_bytes);
+                    let lines = coalesce(&instr, self.line_bytes)?;
                     debug_assert!(!lines.is_empty());
                     for line in &lines {
                         self.lsu_queue.push_back((*line, slot));
@@ -443,21 +471,30 @@ impl Sm {
                     self.warps[slot].status = WarpStatus::WaitMem(lines.len() as u32);
                 }
                 OpClass::Store => {
-                    for line in coalesce(&instr, self.line_bytes) {
+                    for line in coalesce(&instr, self.line_bytes)? {
                         mem.store(self.index, line, Requester::Lsu);
                     }
                     self.warps[slot].status = WarpStatus::WaitUntil(now + 1);
                 }
                 OpClass::HsuRayIntersect | OpClass::HsuDistance | OpClass::HsuKeyCompare => {
-                    let lead = instr.lanes.iter().flatten().next().expect("active lane");
-                    assert!(
-                        self.rt.supports(lead),
-                        "kernel emitted {:?} but the unit lacks HSU extensions \
-                         (baseline traces must lower these ops)",
-                        class
-                    );
+                    let Some(lead) = instr.lanes.iter().flatten().next() else {
+                        return Err(SimError::IllegalDispatch {
+                            detail: format!(
+                                "{class:?} warp instruction with no active lanes on sm{}",
+                                self.index
+                            ),
+                        });
+                    };
+                    if !self.rt.supports(lead) {
+                        return Err(SimError::IllegalDispatch {
+                            detail: format!(
+                                "kernel emitted {class:?} but the unit lacks HSU extensions \
+                                 (baseline traces must lower these ops)"
+                            ),
+                        });
+                    }
                     self.rt
-                        .dispatch(slot, sc, instr.active_mask, &instr.lanes, self.line_bytes);
+                        .dispatch(slot, sc, instr.active_mask, &instr.lanes, self.line_bytes)?;
                     self.warps[slot].status = WarpStatus::WaitHsu;
                 }
             }
@@ -481,6 +518,7 @@ impl Sm {
         }
         if any_issued {
             self.stats.active_cycles += 1;
+            self.last_issue_cycle = Some(now);
         }
 
         // Retire warps whose last instruction's stall has resolved.
@@ -489,6 +527,49 @@ impl Sm {
                 warp.status = WarpStatus::Finished;
                 self.stats.warps_retired += 1;
             }
+        }
+        Ok(())
+    }
+
+    /// Snapshot of this SM's stall state for a [`DeadlockReport`]
+    /// (see [`crate::error::DeadlockReport`]).
+    ///
+    /// `guard_cycles` is the run's cycle guard and `mshrs_in_flight` the
+    /// SM's current L1 MSHR occupancy (owned by the memory system). Timer
+    /// waits are normalized against the guard: a `WaitUntil(t)` with `t`
+    /// inside the guard window counts as *ready*, because the stepped
+    /// oracle flips such timers to `Ready` on its way to the boundary even
+    /// when a busy issue slot makes the flip unobservable — the event loop
+    /// may detect the deadlock before visiting those cycles, and the
+    /// snapshot must not depend on which mode found it.
+    pub fn deadlock_state(&self, guard_cycles: u64, mshrs_in_flight: usize) -> SmDeadlockState {
+        let (mut ready, mut waiting_timer, mut waiting_mem, mut waiting_hsu, mut finished) =
+            (0, 0, 0, 0, 0);
+        for warp in &self.warps {
+            match warp.status {
+                WarpStatus::Ready => ready += 1,
+                WarpStatus::WaitUntil(t) if t < guard_cycles => ready += 1,
+                WarpStatus::WaitUntil(_) => waiting_timer += 1,
+                WarpStatus::WaitMem(_) => waiting_mem += 1,
+                WarpStatus::WaitHsu => waiting_hsu += 1,
+                WarpStatus::Finished => finished += 1,
+            }
+        }
+        SmDeadlockState {
+            sm: self.index,
+            resident: self.warps.len() - finished,
+            ready,
+            waiting_timer,
+            waiting_mem,
+            waiting_hsu,
+            finished,
+            launch_queue: self.launch_queue.len(),
+            lsu_queue: self.lsu_queue.len(),
+            rt_fifo: self.rt.fifo_len(),
+            warp_buffer_occupancy: self.rt.warp_buffer_occupancy(),
+            mshrs_in_flight,
+            warps_retired: self.stats.warps_retired,
+            last_issue_cycle: self.last_issue_cycle,
         }
     }
 
@@ -533,26 +614,29 @@ fn max_run(instr: &WarpInstruction) -> u32 {
 }
 
 /// Unique cache lines touched by a load/store warp instruction.
-fn coalesce(instr: &WarpInstruction, line_bytes: u64) -> Vec<u64> {
-    let mut lines: Vec<u64> = instr
-        .lanes
-        .iter()
-        .flatten()
-        .flat_map(|op| {
-            let (addr, bytes) = match op {
-                ThreadOp::Load { addr, bytes } | ThreadOp::Store { addr, bytes } => {
-                    (*addr, *bytes as u64)
-                }
-                other => panic!("coalesce on non-memory op {other:?}"),
-            };
-            let first = addr / line_bytes;
-            let last = (addr + bytes.max(1) - 1) / line_bytes;
-            first..=last
-        })
-        .collect();
+///
+/// Rejects instructions whose lanes mix in non-memory ops (a malformed or
+/// corrupted trace) instead of panicking mid-issue.
+fn coalesce(instr: &WarpInstruction, line_bytes: u64) -> Result<Vec<u64>, SimError> {
+    let mut lines: Vec<u64> = Vec::new();
+    for op in instr.lanes.iter().flatten() {
+        let (addr, bytes) = match op {
+            ThreadOp::Load { addr, bytes } | ThreadOp::Store { addr, bytes } => {
+                (*addr, *bytes as u64)
+            }
+            other => {
+                return Err(SimError::IllegalDispatch {
+                    detail: format!("coalesce on non-memory op {other:?}"),
+                })
+            }
+        };
+        let first = addr / line_bytes;
+        let last = (addr + bytes.max(1) - 1) / line_bytes;
+        lines.extend(first..=last);
+    }
     lines.sort_unstable();
     lines.dedup();
-    lines
+    Ok(lines)
 }
 
 #[cfg(test)]
@@ -579,14 +663,19 @@ mod tests {
             mem.tick(now, &mut done);
             for &(sm_idx, waiter) in &done {
                 assert_eq!(sm_idx, 0);
-                sm.on_mem_done(waiter);
+                sm.on_mem_done(waiter).expect("completion routing");
             }
-            sm.tick(now, mem);
+            sm.tick(now, mem).expect("tick failed");
             if sm.finished() {
                 return now;
             }
         }
-        panic!("SM never finished");
+        // Bounded by `max`; on failure report what the SM is stuck on
+        // instead of a bare message.
+        panic!(
+            "SM never finished within {max} cycles; stuck state: {}",
+            sm.deadlock_state(max, mem.l1_mshrs_in_use(0))
+        );
     }
 
     #[test]
@@ -711,7 +800,7 @@ mod tests {
         ));
         // A launchable warp is imminent work: conservative `now + 1`.
         assert_eq!(sm.next_event(0, &mem), Some(1));
-        sm.tick(0, &mut mem);
+        sm.tick(0, &mut mem).unwrap();
         // Issued at 0 with count 1: the warp waits until 1 + alu_latency,
         // and nothing else can change state before then.
         let wake = 1 + cfg.alu_latency;
@@ -721,7 +810,7 @@ mod tests {
             Some(wake),
             "wakeup cycle is absolute, not relative"
         );
-        sm.tick(wake, &mut mem);
+        sm.tick(wake, &mut mem).unwrap();
         // Second (final) instruction issued; trace end retires on the spot.
         assert_eq!(sm.stats().warps_retired, 1);
         assert_eq!(sm.next_event(wake, &mem), None, "finished SM has no events");
@@ -743,10 +832,10 @@ mod tests {
             ],
             32,
         ));
-        sm.tick(0, &mut mem);
+        sm.tick(0, &mut mem).unwrap();
         // The load sits in the LSU queue awaiting the L1 port.
         assert_eq!(sm.next_event(0, &mem), Some(1));
-        sm.tick(1, &mut mem);
+        sm.tick(1, &mut mem).unwrap();
         // Access accepted: the SM is now purely memory-blocked — the wakeup
         // belongs to the memory system's event heap, not to the SM.
         assert_eq!(sm.next_event(1, &mem), None);
@@ -756,7 +845,7 @@ mod tests {
             done.clear();
             mem.tick(now, &mut done);
             if let Some(&(_, waiter)) = done.first() {
-                sm.on_mem_done(waiter);
+                sm.on_mem_done(waiter).unwrap();
                 woke_at = Some(now);
                 break;
             }
@@ -787,7 +876,7 @@ mod tests {
             vec![ThreadOp::Shared { count: 1 }, ThreadOp::Alu { count: 1 }],
             32,
         ));
-        sm.tick(0, &mut mem);
+        sm.tick(0, &mut mem).unwrap();
         let alu_wake = 2 + cfg.alu_latency; // run of 2 + dependent latency
         let shared_wake = 1 + cfg.shared_latency;
         assert!(alu_wake < shared_wake);
@@ -796,16 +885,15 @@ mod tests {
             Some(alu_wake),
             "earliest wakeup wins"
         );
-        sm.tick(alu_wake, &mut mem);
+        sm.tick(alu_wake, &mut mem).unwrap();
         assert_eq!(sm.stats().warps_retired, 1, "ALU warp finishes first");
         assert_eq!(sm.next_event(alu_wake, &mem), Some(shared_wake));
-        sm.tick(shared_wake, &mut mem);
+        sm.tick(shared_wake, &mut mem).unwrap();
         assert_eq!(sm.stats().warps_retired, 2);
         assert_eq!(sm.next_event(shared_wake, &mem), None);
     }
 
     #[test]
-    #[should_panic(expected = "lacks HSU extensions")]
     fn baseline_unit_rejects_distance_ops() {
         let mut cfg = GpuConfig::tiny();
         cfg.hsu = hsu_core::HsuConfig::baseline_rt();
@@ -819,6 +907,48 @@ mod tests {
             }],
             1,
         ));
-        run(&mut sm, &mut mem, 1000);
+        let err = (0..10)
+            .find_map(|now| sm.tick(now, &mut mem).err())
+            .expect("dispatching a distance op to a baseline RT unit must fail");
+        assert!(matches!(err, SimError::IllegalDispatch { .. }));
+        assert!(err.to_string().contains("lacks HSU extensions"));
+    }
+
+    #[test]
+    fn misrouted_completion_is_a_typed_error() {
+        let cfg = GpuConfig::tiny();
+        let mut sm = Sm::new(0, &cfg);
+        let mut mem = MemorySystem::new(&cfg);
+        sm.enqueue_warp(single_warp_kernel(vec![ThreadOp::Alu { count: 1 }], 32));
+        sm.tick(0, &mut mem).unwrap();
+        // Slot 0 is waiting on a timer, not memory: a completion for it is
+        // a routing violation, not a panic.
+        let err = sm
+            .on_mem_done(0)
+            .expect_err("completion for a non-memory-waiting warp must fail");
+        assert!(matches!(err, SimError::IllegalDispatch { .. }));
+    }
+
+    #[test]
+    fn deadlock_state_normalizes_in_window_timers_to_ready() {
+        let cfg = GpuConfig::tiny();
+        let mut sm = Sm::new(0, &cfg);
+        let mut mem = MemorySystem::new(&cfg);
+        // Distinct classes so the trace keeps two instructions pending.
+        sm.enqueue_warp(single_warp_kernel(
+            vec![ThreadOp::Alu { count: 100 }, ThreadOp::Shared { count: 1 }],
+            32,
+        ));
+        sm.tick(0, &mut mem).unwrap();
+        // The warp waits until cycle 100 + alu_latency. With a guard beyond
+        // that it counts as ready (the stepped oracle would have flipped it);
+        // with a guard before it, it is a genuine timer wait.
+        let wake = 100 + cfg.alu_latency;
+        let wide = sm.deadlock_state(wake + 1, 0);
+        assert_eq!((wide.ready, wide.waiting_timer), (1, 0));
+        let tight = sm.deadlock_state(wake, 0);
+        assert_eq!((tight.ready, tight.waiting_timer), (0, 1));
+        assert_eq!(tight.last_issue_cycle, Some(0));
+        assert_eq!(tight.resident, 1);
     }
 }

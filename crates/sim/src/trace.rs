@@ -197,12 +197,10 @@ impl WarpInstruction {
     ///
     /// Panics if the instruction has no active lane.
     pub fn class(&self) -> OpClass {
-        self.lanes
-            .iter()
-            .flatten()
-            .next()
-            .expect("warp instruction without active lanes")
-            .class()
+        let Some(op) = self.lanes.iter().flatten().next() else {
+            panic!("warp instruction without active lanes");
+        };
+        op.class()
     }
 
     /// Number of active lanes.

@@ -10,15 +10,26 @@
 //! The format is little-endian, versioned, and validated on read.
 
 use std::io::{self, Read, Write};
+use std::path::Path;
 
 use hsu_geometry::point::Metric;
 
+use crate::error::SimError;
 use crate::trace::{KernelTrace, ThreadOp, ThreadTrace};
 
 /// Magic bytes identifying a trace stream.
 pub const MAGIC: &[u8; 4] = b"HSUT";
 /// Current format version.
 pub const VERSION: u8 = 1;
+
+/// Longest kernel name accepted by [`read_trace`]. Real kernel names are a
+/// few dozen bytes; anything larger is corruption, and the cap keeps a
+/// bit-flipped length field from driving a multi-gigabyte allocation.
+pub const MAX_NAME_LEN: usize = 4096;
+/// Most threads accepted in one trace (64 Mi — far beyond any workload here).
+pub const MAX_THREADS: usize = 1 << 26;
+/// Most ops accepted per thread.
+pub const MAX_OPS_PER_THREAD: usize = 1 << 26;
 
 const TAG_ALU: u8 = 0;
 const TAG_LOAD: u8 = 1;
@@ -125,15 +136,15 @@ pub fn read_trace<R: Read>(mut r: R) -> io::Result<KernelTrace> {
             format!("unsupported trace version {version}"),
         ));
     }
-    let name_len = read_u32(&mut r)? as usize;
+    let name_len = checked_count(read_u32(&mut r)?, MAX_NAME_LEN, "kernel name length")?;
     let mut name = vec![0u8; name_len];
     r.read_exact(&mut name)?;
     let name =
         String::from_utf8(name).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-    let threads = read_u32(&mut r)? as usize;
+    let threads = checked_count(read_u32(&mut r)?, MAX_THREADS, "thread count")?;
     let mut trace = KernelTrace::new(name);
     for _ in 0..threads {
-        let ops = read_u32(&mut r)? as usize;
+        let ops = checked_count(read_u32(&mut r)?, MAX_OPS_PER_THREAD, "op count")?;
         let mut thread = ThreadTrace::new();
         for _ in 0..ops {
             thread.push(read_op(&mut r)?);
@@ -185,6 +196,49 @@ fn read_op<R: Read>(r: &mut R) -> io::Result<ThreadOp> {
             ))
         }
     })
+}
+
+/// Bounds-checks a length/count field before it drives an allocation or a
+/// read loop, so a corrupted stream fails with `InvalidData` instead of an
+/// out-of-memory abort.
+fn checked_count(raw: u32, cap: usize, what: &str) -> io::Result<usize> {
+    let n = raw as usize;
+    if n > cap {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("implausible {what} {n} (cap {cap})"),
+        ));
+    }
+    Ok(n)
+}
+
+/// Reads a trace file from `path`, mapping failures into the typed
+/// [`SimError`] taxonomy.
+///
+/// # Errors
+///
+/// [`SimError::TraceDecode`] when the stream is malformed (bad magic,
+/// version, tag, truncation, or an implausible length field);
+/// [`SimError::Io`] for filesystem-level failures.
+pub fn load_trace<P: AsRef<Path>>(path: P) -> Result<KernelTrace, SimError> {
+    let path = path.as_ref();
+    let ctx = || format!("loading trace {}", path.display());
+    let file = std::fs::File::open(path).map_err(|e| SimError::from_io(ctx(), e))?;
+    read_trace(io::BufReader::new(file)).map_err(|e| SimError::from_io(ctx(), e))
+}
+
+/// Writes a trace file to `path`, mapping failures into [`SimError::Io`].
+///
+/// # Errors
+///
+/// [`SimError::Io`] when the file cannot be created or written.
+pub fn save_trace<P: AsRef<Path>>(trace: &KernelTrace, path: P) -> Result<(), SimError> {
+    let path = path.as_ref();
+    let ctx = || format!("saving trace {}", path.display());
+    let file = std::fs::File::create(path).map_err(|e| SimError::from_io(ctx(), e))?;
+    let mut w = io::BufWriter::new(file);
+    write_trace(trace, &mut w).map_err(|e| SimError::from_io(ctx(), e))?;
+    w.flush().map_err(|e| SimError::from_io(ctx(), e))
 }
 
 fn read_u8<R: Read>(r: &mut R) -> io::Result<u8> {
@@ -262,7 +316,10 @@ mod tests {
         }
         // The simulator sees identical behaviour.
         let gpu = crate::Gpu::new(crate::config::GpuConfig::tiny());
-        assert_eq!(gpu.run(&original).cycles, gpu.run(&restored).cycles);
+        assert_eq!(
+            gpu.run(&original).unwrap().cycles,
+            gpu.run(&restored).unwrap().cycles
+        );
     }
 
     #[test]
@@ -295,6 +352,48 @@ mod tests {
         // 4 threads + 4 ops = 18).
         buf[18] = 200;
         assert!(read_trace(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn rejects_implausible_length_fields() {
+        let mut buf = Vec::new();
+        write_trace(&sample_trace(), &mut buf).unwrap();
+        // Flip the MSB of the name-length field (offset 5..9): without the
+        // plausibility cap this would try to allocate a 2 GiB name buffer.
+        let mut huge_name = buf.clone();
+        huge_name[8] |= 0x80;
+        let err = read_trace(huge_name.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("kernel name length"));
+        // Same for the thread-count field (follows the 13-byte name).
+        let name_len = sample_trace().name().len();
+        let mut huge_threads = buf.clone();
+        huge_threads[9 + name_len + 3] = 0xff;
+        let err = read_trace(huge_threads.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("thread count"));
+    }
+
+    #[test]
+    fn load_trace_surfaces_typed_errors() {
+        let dir = std::env::temp_dir().join(format!("hsu-trace-io-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let good = dir.join("good.hsut");
+        save_trace(&sample_trace(), &good).unwrap();
+        let restored = load_trace(&good).unwrap();
+        assert_eq!(restored.name(), sample_trace().name());
+
+        let missing = load_trace(dir.join("missing.hsut")).unwrap_err();
+        assert_eq!(missing.kind(), "io");
+
+        let bad = dir.join("bad.hsut");
+        std::fs::write(&bad, b"NOPE").unwrap();
+        let decode = load_trace(&bad).unwrap_err();
+        assert!(
+            matches!(decode, SimError::TraceDecode { .. }),
+            "expected TraceDecode, got {decode:?}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,0 +1,191 @@
+//! Fault-injection harness: every fault class must surface as its matching
+//! typed [`SimError`] — never a panic, never a process abort — and healthy
+//! runs must stay byte-identical to their fault-free twins in both
+//! simulation modes.
+//!
+//! The corruptions come from [`hsu_sim::faults`], which guarantees they are
+//! real faults; this suite proves the *simulator's* side of the contract.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use proptest::prelude::*;
+
+use hsu_sim::config::{GpuConfig, SimMode};
+use hsu_sim::error::{CancelToken, RunLimits, WatchdogCause};
+use hsu_sim::faults::{
+    corrupt_trace_bytes, forced_deadlock_config, forced_deadlock_kernel, pathological_configs,
+    TraceFault, TRACE_FAULTS,
+};
+use hsu_sim::trace::{KernelTrace, ThreadOp, ThreadTrace};
+use hsu_sim::trace_io::{read_trace, write_trace};
+use hsu_sim::{Gpu, SimError};
+
+fn sample_kernel(threads: u64, ops_per_thread: u32) -> KernelTrace {
+    let mut k = KernelTrace::new("fault-sample");
+    for t in 0..threads {
+        let mut tt = ThreadTrace::new();
+        for i in 0..ops_per_thread {
+            match (t + u64::from(i)) % 3 {
+                0 => tt.push(ThreadOp::Alu { count: 2 }),
+                1 => tt.push(ThreadOp::Load {
+                    addr: (t * 64).wrapping_add(u64::from(i) * 128),
+                    bytes: 8,
+                }),
+                _ => tt.push(ThreadOp::Shared { count: 1 }),
+            }
+        }
+        k.push_thread(tt);
+    }
+    k
+}
+
+fn encoded_sample() -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_trace(&sample_kernel(8, 4), &mut buf).unwrap();
+    buf
+}
+
+/// Decodes corrupted bytes under `catch_unwind`, asserting the failure is a
+/// typed error rather than any flavour of panic.
+fn decode_must_fail_cleanly(bytes: &[u8], what: &str) {
+    let outcome = catch_unwind(AssertUnwindSafe(|| read_trace(bytes)));
+    match outcome {
+        Ok(Err(_)) => {} // the contract: a typed error
+        Ok(Ok(_)) => panic!("{what}: corrupted trace decoded successfully"),
+        Err(_) => panic!("{what}: decoder panicked instead of returning an error"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn truncated_traces_fail_with_typed_errors(seed in any::<u64>()) {
+        let buf = encoded_sample();
+        let bad = corrupt_trace_bytes(&buf, TraceFault::Truncate, seed);
+        decode_must_fail_cleanly(&bad, "truncate");
+    }
+
+    #[test]
+    fn bit_flipped_traces_fail_with_typed_errors(seed in any::<u64>()) {
+        let buf = encoded_sample();
+        let bad = corrupt_trace_bytes(&buf, TraceFault::BitFlip, seed);
+        decode_must_fail_cleanly(&bad, "bit-flip");
+    }
+
+    #[test]
+    fn bogus_opcode_traces_fail_with_typed_errors(seed in any::<u64>()) {
+        let buf = encoded_sample();
+        let bad = corrupt_trace_bytes(&buf, TraceFault::BogusOpcode, seed);
+        decode_must_fail_cleanly(&bad, "bogus-opcode");
+    }
+
+    #[test]
+    fn arbitrary_byte_soup_never_panics_the_decoder(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // Stronger than the targeted faults: feed the decoder random bytes.
+        // It may reject them (it almost always will); it must never panic.
+        let outcome = catch_unwind(AssertUnwindSafe(|| read_trace(bytes.as_slice())));
+        prop_assert!(outcome.is_ok(), "decoder panicked on arbitrary input");
+    }
+
+    #[test]
+    fn healthy_traces_simulate_identically_after_a_round_trip(
+        threads in 1u64..24,
+        ops in 1u32..6,
+    ) {
+        let original = sample_kernel(threads, ops);
+        let mut buf = Vec::new();
+        write_trace(&original, &mut buf).unwrap();
+        let restored = read_trace(buf.as_slice()).unwrap();
+        for mode in [SimMode::Stepped, SimMode::Event] {
+            let cfg = GpuConfig { sim_mode: mode, ..GpuConfig::tiny() };
+            let a = Gpu::new(cfg.clone()).run(&original).unwrap();
+            let b = Gpu::new(cfg).run(&restored).unwrap();
+            prop_assert_eq!(a.normalized(), b.normalized(), "mode {:?}", mode);
+        }
+    }
+}
+
+#[test]
+fn every_fault_class_is_rejected_across_a_seed_sweep() {
+    let buf = encoded_sample();
+    for fault in TRACE_FAULTS {
+        for seed in 0..256u64 {
+            let bad = corrupt_trace_bytes(&buf, fault, seed);
+            decode_must_fail_cleanly(&bad, &format!("{fault:?} seed {seed}"));
+        }
+    }
+}
+
+#[test]
+fn pathological_configs_surface_as_invalid_config() {
+    let kernel = sample_kernel(4, 2);
+    for (field, cfg) in pathological_configs() {
+        let outcome = catch_unwind(AssertUnwindSafe(|| Gpu::new(cfg).run(&kernel)));
+        let err = match outcome {
+            Ok(Err(e)) => e,
+            Ok(Ok(_)) => panic!("pathological config ({field}) simulated successfully"),
+            Err(_) => panic!("pathological config ({field}) panicked the simulator"),
+        };
+        match err {
+            SimError::InvalidConfig { field: got, .. } => {
+                assert_eq!(got, field, "wrong offending field reported");
+            }
+            other => panic!("expected InvalidConfig for {field}, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn forced_deadlock_reports_identical_payloads_in_both_modes() {
+    let kernel = forced_deadlock_kernel();
+    let reports: Vec<SimError> = [SimMode::Stepped, SimMode::Event]
+        .into_iter()
+        .map(|mode| {
+            let cfg = GpuConfig {
+                sim_mode: mode,
+                ..forced_deadlock_config()
+            };
+            Gpu::new(cfg)
+                .run(&kernel)
+                .expect_err("forced deadlock must trip the guard")
+        })
+        .collect();
+    match (&reports[0], &reports[1]) {
+        (SimError::Deadlock(a), SimError::Deadlock(b)) => {
+            assert_eq!(a, b, "deadlock diagnostics diverged between modes");
+            assert_eq!(a.kernel, "forced-deadlock");
+            assert_eq!(a.cycle, forced_deadlock_config().max_cycles);
+            assert!(!a.per_sm.is_empty());
+        }
+        other => panic!("expected two Deadlock errors, got {other:?}"),
+    }
+}
+
+#[test]
+fn watchdog_cancellation_yields_a_typed_watchdog_error() {
+    let kernel = sample_kernel(64, 8);
+    let cancel = CancelToken::new();
+    cancel.cancel();
+    let limits = RunLimits::none().with_cancel(cancel);
+    let err = Gpu::new(GpuConfig::tiny())
+        .run_guarded(&kernel, &limits)
+        .expect_err("pre-cancelled run must stop");
+    match err {
+        SimError::Watchdog { cause, .. } => assert_eq!(cause, WatchdogCause::Cancelled),
+        other => panic!("expected Watchdog, got {other:?}"),
+    }
+}
+
+#[test]
+fn watchdog_deadline_yields_a_typed_watchdog_error() {
+    let kernel = sample_kernel(64, 8);
+    let limits = RunLimits::none().with_deadline(std::time::Instant::now());
+    let err = Gpu::new(GpuConfig::tiny())
+        .run_guarded(&kernel, &limits)
+        .expect_err("expired deadline must stop the run");
+    match err {
+        SimError::Watchdog { cause, .. } => assert_eq!(cause, WatchdogCause::Deadline),
+        other => panic!("expected Watchdog, got {other:?}"),
+    }
+}

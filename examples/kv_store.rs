@@ -60,8 +60,10 @@ fn main() {
         "every lookup verified against BTreeMap"
     );
     let gpu = Gpu::new(GpuConfig::small());
-    let hsu = gpu.run(&wl.trace(Variant::Hsu));
-    let base = gpu.run(&wl.trace(Variant::Baseline));
+    let hsu = gpu.run(&wl.trace(Variant::Hsu)).expect("simulation failed");
+    let base = gpu
+        .run(&wl.trace(Variant::Baseline))
+        .expect("simulation failed");
     println!(
         "\n4096 GPU lookups: baseline {} cycles, HSU {} cycles ({:+.1}%, paper: +13.5% avg)",
         base.cycles,

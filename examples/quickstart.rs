@@ -55,8 +55,12 @@ fn main() {
     println!("\nworkload recall@10 = {:.3}", workload.recall);
 
     let gpu = Gpu::new(GpuConfig::small());
-    let hsu = gpu.run(&workload.trace(Variant::Hsu));
-    let baseline = gpu.run(&workload.trace(Variant::Baseline));
+    let hsu = gpu
+        .run(&workload.trace(Variant::Hsu))
+        .expect("simulation failed");
+    let baseline = gpu
+        .run(&workload.trace(Variant::Baseline))
+        .expect("simulation failed");
     println!("baseline (no RT hardware): {:>10} cycles", baseline.cycles);
     println!("with HSU:                  {:>10} cycles", hsu.cycles);
     println!(

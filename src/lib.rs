@@ -65,6 +65,6 @@ pub mod prelude {
     pub use hsu_kernels::Variant;
     pub use hsu_sim::{
         config::{GpuConfig, SimMode},
-        Gpu, SimReport,
+        Gpu, SimError, SimReport,
     };
 }

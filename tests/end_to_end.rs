@@ -34,8 +34,8 @@ fn ggnn_full_path_speedup_and_recall() {
     );
     assert!(wl.recall >= 0.8, "recall {}", wl.recall);
     let gpu = gpu();
-    let hsu = gpu.run(&wl.trace(Variant::Hsu));
-    let base = gpu.run(&wl.trace(Variant::Baseline));
+    let hsu = gpu.run(&wl.trace(Variant::Hsu)).unwrap();
+    let base = gpu.run(&wl.trace(Variant::Baseline)).unwrap();
     assert!(
         hsu.cycles < base.cycles,
         "HSU {} vs base {}",
@@ -66,8 +66,8 @@ fn bvhnn_full_path_on_surface_dataset() {
     assert!(wl.mean_neighbors >= 1.0);
     assert!(wl.mean_distance_tests < 200.0, "paper: <200 tests/query");
     let gpu = gpu();
-    let hsu = gpu.run(&wl.trace(Variant::Hsu));
-    let base = gpu.run(&wl.trace(Variant::Baseline));
+    let hsu = gpu.run(&wl.trace(Variant::Hsu)).unwrap();
+    let base = gpu.run(&wl.trace(Variant::Baseline)).unwrap();
     let speedup = base.cycles as f64 / hsu.cycles as f64;
     assert!(speedup > 1.0, "BVH-NN speedup {speedup}");
     // Fig. 12's strongest effect: BVH-NN HSU reduces L1 accesses.
@@ -97,8 +97,8 @@ fn flann_full_path_on_cosmology() {
     );
     assert!(wl.recall > 0.5, "recall {}", wl.recall);
     let gpu = gpu();
-    let hsu = gpu.run(&wl.trace(Variant::Hsu));
-    let base = gpu.run(&wl.trace(Variant::Baseline));
+    let hsu = gpu.run(&wl.trace(Variant::Hsu)).unwrap();
+    let base = gpu.run(&wl.trace(Variant::Baseline)).unwrap();
     assert!(
         hsu.cycles < base.cycles,
         "FLANN HSU {} vs base {}",
@@ -117,8 +117,8 @@ fn btree_full_path_correct_and_faster() {
     });
     assert_eq!(wl.correctness, 1.0);
     let gpu = gpu();
-    let hsu = gpu.run(&wl.trace(Variant::Hsu));
-    let base = gpu.run(&wl.trace(Variant::Baseline));
+    let hsu = gpu.run(&wl.trace(Variant::Hsu)).unwrap();
+    let base = gpu.run(&wl.trace(Variant::Baseline)).unwrap();
     assert!(
         hsu.cycles < base.cycles,
         "B+ HSU {} vs base {}",
@@ -149,8 +149,8 @@ fn simulation_is_deterministic_end_to_end() {
         &data,
     );
     let gpu = gpu();
-    let a = gpu.run(&wl.trace(Variant::Hsu));
-    let b = gpu.run(&wl.trace(Variant::Hsu));
+    let a = gpu.run(&wl.trace(Variant::Hsu)).unwrap();
+    let b = gpu.run(&wl.trace(Variant::Hsu)).unwrap();
     assert_eq!(a.cycles, b.cycles);
     assert_eq!(a.l1_accesses(), b.l1_accesses());
     assert_eq!(a.memory.dram.accesses, b.memory.dram.accesses);
@@ -164,7 +164,7 @@ fn baseline_traces_never_touch_the_rt_unit() {
         branch: 64,
         seed: 13,
     });
-    let base = gpu().run(&wl.trace(Variant::Baseline));
+    let base = gpu().run(&wl.trace(Variant::Baseline)).unwrap();
     assert_eq!(base.rt.warp_instructions, 0);
     assert_eq!(base.rt.isa_instructions, 0);
     assert_eq!(base.memory.l1_rt_accesses, 0);

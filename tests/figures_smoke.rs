@@ -52,7 +52,7 @@ fn fig16_reproduces_the_power_ordering() {
 
 #[test]
 fn rtindex_point_keys_win() {
-    let out = figures::rtindex(2, 16, hsu_sim::config::SimMode::default());
+    let out = figures::rtindex(2, 16, hsu_sim::config::SimMode::default()).unwrap();
     let line = out
         .lines()
         .find(|l| l.starts_with("speedup"))

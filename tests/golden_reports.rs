@@ -80,7 +80,7 @@ fn simulate_cases() -> Vec<(&'static str, SimReport)> {
         seed: SEED,
         ..Default::default()
     });
-    out.push(("ggnn/hsu", gpu.run(&ggnn.trace(Variant::Hsu))));
+    out.push(("ggnn/hsu", gpu.run(&ggnn.trace(Variant::Hsu)).unwrap()));
 
     let flann = FlannWorkload::build(&FlannParams {
         points: 800,
@@ -89,7 +89,7 @@ fn simulate_cases() -> Vec<(&'static str, SimReport)> {
         checks: 16,
         seed: SEED,
     });
-    out.push(("flann/hsu", gpu.run(&flann.trace(Variant::Hsu))));
+    out.push(("flann/hsu", gpu.run(&flann.trace(Variant::Hsu)).unwrap()));
 
     let bvhnn = BvhnnWorkload::build(&BvhnnParams {
         points: 800,
@@ -97,7 +97,7 @@ fn simulate_cases() -> Vec<(&'static str, SimReport)> {
         seed: SEED,
         ..Default::default()
     });
-    out.push(("bvhnn/hsu", gpu.run(&bvhnn.trace(Variant::Hsu))));
+    out.push(("bvhnn/hsu", gpu.run(&bvhnn.trace(Variant::Hsu)).unwrap()));
 
     let btree = BtreeWorkload::build(&BtreeParams {
         keys: 2000,
@@ -105,14 +105,17 @@ fn simulate_cases() -> Vec<(&'static str, SimReport)> {
         branch: 64,
         seed: SEED,
     });
-    out.push(("btree/hsu", gpu.run(&btree.trace(Variant::Hsu))));
+    out.push(("btree/hsu", gpu.run(&btree.trace(Variant::Hsu)).unwrap()));
 
     let rtindex = RtIndexWorkload::build(&RtIndexParams {
         keys: 1024,
         lookups: 128,
         seed: SEED,
     });
-    out.push(("rtindex/hsu", gpu.run(&rtindex.trace(Variant::Hsu))));
+    out.push((
+        "rtindex/hsu",
+        gpu.run(&rtindex.trace(Variant::Hsu)).unwrap(),
+    ));
 
     out
 }

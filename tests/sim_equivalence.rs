@@ -20,8 +20,12 @@ use proptest::prelude::*;
 /// Runs one kernel under both modes and checks full equivalence plus the
 /// scheduler-accounting invariants.
 fn assert_modes_agree(cfg: &GpuConfig, kernel: &KernelTrace) -> (SimReport, SimReport) {
-    let stepped = Gpu::new(cfg.clone().with_sim_mode(SimMode::Stepped)).run(kernel);
-    let event = Gpu::new(cfg.clone().with_sim_mode(SimMode::Event)).run(kernel);
+    let stepped = Gpu::new(cfg.clone().with_sim_mode(SimMode::Stepped))
+        .run(kernel)
+        .expect("stepped run failed");
+    let event = Gpu::new(cfg.clone().with_sim_mode(SimMode::Event))
+        .run(kernel)
+        .expect("event run failed");
     assert_eq!(
         stepped.normalized(),
         event.normalized(),

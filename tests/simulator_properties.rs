@@ -58,7 +58,7 @@ proptest! {
     #[test]
     fn random_kernels_complete_and_conserve_instructions(kernel in arb_kernel()) {
         let gpu = Gpu::new(GpuConfig::tiny());
-        let report = gpu.run(&kernel);
+        let report = gpu.run(&kernel).unwrap();
 
         // Every warp retires, including instruction-less ones.
         let expected_warps = kernel.thread_count().div_ceil(32) as u64;
@@ -94,8 +94,8 @@ proptest! {
     #[test]
     fn simulation_is_a_pure_function_of_the_trace(kernel in arb_kernel()) {
         let gpu = Gpu::new(GpuConfig::tiny());
-        let a = gpu.run(&kernel);
-        let b = gpu.run(&kernel);
+        let a = gpu.run(&kernel).unwrap();
+        let b = gpu.run(&kernel).unwrap();
         prop_assert_eq!(a.cycles, b.cycles);
         prop_assert_eq!(a.l1_accesses(), b.l1_accesses());
         prop_assert_eq!(a.memory.l2.accesses(), b.memory.l2.accesses());
@@ -111,8 +111,8 @@ proptest! {
             t.push(ThreadOp::Load { addr: i * 256, bytes: 16 });
             k.push_thread(t);
         }
-        let one = Gpu::new(GpuConfig { num_sms: 1, ..GpuConfig::tiny() }).run(&k);
-        let two = Gpu::new(GpuConfig { num_sms: 2, ..GpuConfig::tiny() }).run(&k);
+        let one = Gpu::new(GpuConfig { num_sms: 1, ..GpuConfig::tiny() }).run(&k).unwrap();
+        let two = Gpu::new(GpuConfig { num_sms: 2, ..GpuConfig::tiny() }).run(&k).unwrap();
         // Allow small constant noise for drain effects.
         prop_assert!(two.cycles <= one.cycles + 100,
             "2 SMs {} vs 1 SM {}", two.cycles, one.cycles);
@@ -120,7 +120,7 @@ proptest! {
 
     #[test]
     fn miss_rates_are_probabilities(kernel in arb_kernel()) {
-        let report = Gpu::new(GpuConfig::tiny()).run(&kernel);
+        let report = Gpu::new(GpuConfig::tiny()).run(&kernel).unwrap();
         let m = report.l1_miss_rate();
         prop_assert!((0.0..=1.0).contains(&m));
         let l2 = report.memory.l2.miss_rate();
@@ -211,7 +211,7 @@ fn op_class_totals_partition_issued_instructions() {
         });
         k.push_thread(t);
     }
-    let r = Gpu::new(GpuConfig::tiny()).run(&k);
+    let r = Gpu::new(GpuConfig::tiny()).run(&k).unwrap();
     assert_eq!(r.issued[OpClass::Alu.index()], 2);
     assert_eq!(r.issued[OpClass::Load.index()], 2);
     assert_eq!(r.issued[OpClass::HsuKeyCompare.index()], 2);

@@ -19,8 +19,8 @@ fn assert_replay_identical(trace: &KernelTrace) {
     trace_io::write_trace(trace, &mut buf).expect("serialize");
     let restored = trace_io::read_trace(buf.as_slice()).expect("deserialize");
     let gpu = Gpu::new(GpuConfig::tiny());
-    let original = gpu.run(trace);
-    let replayed = gpu.run(&restored);
+    let original = gpu.run(trace).unwrap();
+    let replayed = gpu.run(&restored).unwrap();
     assert_eq!(
         original,
         replayed,
