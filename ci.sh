@@ -16,12 +16,25 @@ cargo test --workspace -q
 echo "== test (release, includes the slow double-build determinism tests) =="
 cargo test --workspace -q --release
 
-echo "== sim modes (differential bench: stepped oracle vs event-driven) =="
-# Runs the suite matrix under both simulation modes, asserts the reports
-# are identical, and records wall time + ticks per mode in BENCH_sim.json.
-# Quarter scale on the default 32-SM machine keeps this a few minutes;
-# drop --quick for the full-scale numbers quoted in EXPERIMENTS.md.
-cargo run --release -p hsu-bench --bin simbench -- --quick --jobs 0 --out BENCH_sim.json
+echo "== geometry bench smoke (compile only) =="
+# The criterion hot-path benches (point distance batch, aabb ray-slab,
+# triangle intersect) must keep building; timing runs stay local.
+cargo bench -p hsu-geometry --no-run
+
+echo "== sim-mode matrix (stepped / event / parallel-epoch x thread counts) =="
+# Fast three-way equivalence leg: the scaled-down suite must produce
+# byte-identical reports in all three simulation modes, for 1 and 4
+# parallel-epoch worker threads. Catches scheduling nondeterminism that the
+# unit proptests' small machines might miss.
+cargo test --release -q --test sim_equivalence full_suite_matrix_is_mode_equivalent
+
+echo "== sim modes (differential bench: stepped oracle vs event + parallel) =="
+# Runs the suite matrix under all three simulation modes, asserts the
+# reports are identical, and APPENDS wall time + ticks per mode to the
+# BENCH_sim.json trajectory (use --pr to label the entry; history is never
+# overwritten). Quarter scale on the default 32-SM machine keeps this a few
+# minutes; drop --quick for the full-scale numbers quoted in EXPERIMENTS.md.
+cargo run --release -p hsu-bench --bin simbench -- --quick --jobs 0 --pr ci --out BENCH_sim.json
 
 echo "== fault-injection smoke (typed errors + partial report, no aborts) =="
 # Generates one healthy and three corrupted trace files, replays them through

@@ -1,20 +1,30 @@
-//! `simbench` — measure the event-driven run loop against the stepped
-//! oracle on the full workload suite and emit a machine-readable report.
+//! `simbench` — measure the event-driven and parallel-epoch run loops
+//! against the stepped oracle on the full workload suite and append a
+//! machine-readable trajectory entry.
 //!
 //! ```text
-//! simbench [--quick] [--sms N] [--seed S] [--jobs N] [--out PATH]
+//! simbench [--quick] [--sms N] [--seed S] [--jobs N] [--sim-threads N]
+//!          [--pr LABEL] [--out PATH]
 //! ```
 //!
-//! Builds the suite twice — once per [`hsu_sim::config::SimMode`] — then:
+//! Builds the suite three times — once per [`hsu_sim::config::SimMode`] —
+//! then:
 //!
-//! 1. asserts every (app × dataset × variant) report is identical between
-//!    the modes (exits non-zero on any divergence),
-//! 2. writes a JSON summary (`BENCH_sim.json` by default) with wall time,
-//!    simulated cycles, and SM ticks executed per mode (stepped mode ticks
-//!    every SM on every cycle; event mode lets SMs sleep), plus the
-//!    derived tick-reduction and wall-clock speedup factors.
+//! 1. asserts every (app × dataset × variant) report is identical across
+//!    all modes (exits non-zero on any divergence),
+//! 2. **appends** an entry to the trajectory JSON (`BENCH_sim.json` by
+//!    default): `{pr, config, runs, modes, tick_reduction, speedup,
+//!    equivalent}` with wall time, simulated cycles, and SM ticks executed
+//!    per mode. The file is an append-only array so successive PRs record
+//!    their own measurements next to history instead of erasing it; a
+//!    legacy single-object snapshot is wrapped into the array on first
+//!    append.
 //!
-//! The JSON is hand-rolled: the workspace deliberately has no serde.
+//! `--jobs` (suite workers) and `--sim-threads` (parallel-epoch workers
+//! inside each simulation) share one machine budget via
+//! [`hsu_bench::runner::thread_budget`] — the product never oversubscribes
+//! the host. The JSON is hand-rolled: the workspace deliberately has no
+//! serde.
 
 use std::time::Instant;
 
@@ -47,7 +57,7 @@ fn run_mode(config: &SuiteConfig, mode: SimMode) -> ModeRun {
 
 fn main() {
     // The scheduler bench simulates a 32-SM machine (closer to the paper's
-    // 80 than the 8-SM default the EXPERIMENTS.md figures use): event-mode
+    // 80 than the 8-SM default the EXPERIMENTS.md figures use): run-loop
     // skipping is a per-SM property, so machine size is part of the result
     // and is recorded in the JSON config block.
     let mut config = SuiteConfig {
@@ -55,6 +65,7 @@ fn main() {
         ..SuiteConfig::default()
     };
     let mut out_path = std::path::PathBuf::from("BENCH_sim.json");
+    let mut pr_label = String::from("dev");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -80,6 +91,15 @@ fn main() {
                     .unwrap_or_else(|| usage("--jobs needs a number (0 = all cores)"));
                 config.jobs = if n == 0 { runner::default_jobs() } else { n };
             }
+            "--sim-threads" => {
+                config.sim_threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--sim-threads needs a number (0 = auto)"));
+            }
+            "--pr" => {
+                pr_label = args.next().unwrap_or_else(|| usage("--pr needs a label"));
+            }
             "--out" => {
                 out_path = args
                     .next()
@@ -90,33 +110,55 @@ fn main() {
             other => usage(&format!("unknown argument '{other}'")),
         }
     }
+    // One machine budget for both parallelism levels; stepped/event runs
+    // ignore `sim_threads`, so the resolved job count applies uniformly.
+    let (jobs, sim_threads) =
+        runner::thread_budget(runner::default_jobs(), config.jobs, config.sim_threads);
+    config.jobs = jobs;
+    config.sim_threads = sim_threads;
 
     eprintln!(
-        "simbench: suite sms={} scale=1/{} seed={} jobs={}",
-        config.sms, config.scale_divisor, config.seed, config.jobs
+        "simbench: suite sms={} scale=1/{} seed={} jobs={} sim-threads={}",
+        config.sms, config.scale_divisor, config.seed, config.jobs, config.sim_threads
     );
     let stepped = run_mode(&config, SimMode::Stepped);
     eprintln!(
-        "stepped: {:.2}s build, {:.2}s simulating, {} ticks",
+        "stepped:  {:.2}s build, {:.2}s simulating, {} ticks",
         stepped.build_wall_s, stepped.sim_wall_s, stepped.ticks_executed
     );
     let event = run_mode(&config, SimMode::Event);
     eprintln!(
-        "event:   {:.2}s build, {:.2}s simulating, {} ticks",
+        "event:    {:.2}s build, {:.2}s simulating, {} ticks",
         event.build_wall_s, event.sim_wall_s, event.ticks_executed
+    );
+    let parallel = run_mode(&config, SimMode::ParallelEpoch);
+    eprintln!(
+        "parallel: {:.2}s build, {:.2}s simulating, {} ticks",
+        parallel.build_wall_s, parallel.sim_wall_s, parallel.ticks_executed
     );
 
     // The differential check: every report in the matrix must agree on every
-    // architectural counter (sched counters differ by design).
+    // architectural counter across all three modes (sched counters differ
+    // between stepped and the event-driven pair by design).
     let mut divergences = 0usize;
-    for (a, b) in stepped.suite.runs.iter().zip(&event.suite.runs) {
-        for (variant, ra, rb) in [
-            ("hsu", &a.hsu, &b.hsu),
-            ("base", &a.base, &b.base),
-            ("stripped", &a.stripped, &b.stripped),
+    for ((a, b), c) in stepped
+        .suite
+        .runs
+        .iter()
+        .zip(&event.suite.runs)
+        .zip(&parallel.suite.runs)
+    {
+        for (variant, ra, rb, rc) in [
+            ("hsu", &a.hsu, &b.hsu, &c.hsu),
+            ("base", &a.base, &b.base, &c.base),
+            ("stripped", &a.stripped, &b.stripped, &c.stripped),
         ] {
             if ra.normalized() != rb.normalized() {
-                eprintln!("DIVERGENCE at {}/{variant}", a.label);
+                eprintln!("DIVERGENCE at {}/{variant} (event)", a.label);
+                divergences += 1;
+            }
+            if ra.normalized() != rc.normalized() {
+                eprintln!("DIVERGENCE at {}/{variant} (parallel-epoch)", a.label);
                 divergences += 1;
             }
         }
@@ -124,46 +166,57 @@ fn main() {
     let equivalent = divergences == 0;
 
     let tick_reduction = stepped.ticks_executed as f64 / event.ticks_executed.max(1) as f64;
-    let sim_speedup = if event.sim_wall_s > 0.0 {
-        stepped.sim_wall_s / event.sim_wall_s
-    } else {
-        0.0
+    let speedup_of = |m: &ModeRun| {
+        if m.sim_wall_s > 0.0 {
+            stepped.sim_wall_s / m.sim_wall_s
+        } else {
+            0.0
+        }
     };
 
-    let json = format!(
-        "{{\n  \"config\": {{ \"sms\": {}, \"scale_divisor\": {}, \"seed\": {}, \"jobs\": {} }},\n  \
-           \"runs\": {},\n  \
-           \"modes\": {{\n    \
-             \"stepped\": {},\n    \
-             \"event\": {}\n  }},\n  \
-           \"tick_reduction\": {:.3},\n  \
-           \"sim_wall_speedup\": {:.3},\n  \
-           \"equivalent\": {}\n}}\n",
+    let entry = format!(
+        "  {{\n    \"pr\": \"{}\",\n    \
+           \"config\": {{ \"sms\": {}, \"scale_divisor\": {}, \"seed\": {}, \"jobs\": {}, \"sim_threads\": {} }},\n    \
+           \"runs\": {},\n    \
+           \"modes\": {{\n      \
+             \"stepped\": {},\n      \
+             \"event\": {},\n      \
+             \"parallel\": {}\n    }},\n    \
+           \"tick_reduction\": {:.3},\n    \
+           \"speedup\": {{ \"event\": {:.3}, \"parallel\": {:.3} }},\n    \
+           \"equivalent\": {}\n  }}",
+        json_escape(&pr_label),
         config.sms,
         config.scale_divisor,
         config.seed,
         config.jobs,
+        config.sim_threads,
         stepped.suite.runs.len(),
         mode_json(&stepped),
         mode_json(&event),
+        mode_json(&parallel),
         tick_reduction,
-        sim_speedup,
+        speedup_of(&event),
+        speedup_of(&parallel),
         equivalent,
     );
-    std::fs::write(&out_path, &json)
-        .unwrap_or_else(|e| panic!("write {}: {e}", out_path.display()));
+    append_entry(&out_path, &entry)
+        .unwrap_or_else(|e| panic!("append {}: {e}", out_path.display()));
 
     println!(
         "simbench: {} runs, ticks {} -> {} ({tick_reduction:.2}x fewer), \
-         sim wall {:.2}s -> {:.2}s ({sim_speedup:.2}x), reports {}",
+         sim wall {:.2}s -> event {:.2}s ({:.2}x) / parallel {:.2}s ({:.2}x), reports {}",
         stepped.suite.runs.len(),
         stepped.ticks_executed,
         event.ticks_executed,
         stepped.sim_wall_s,
         event.sim_wall_s,
+        speedup_of(&event),
+        parallel.sim_wall_s,
+        speedup_of(&parallel),
         if equivalent { "identical" } else { "DIVERGED" },
     );
-    println!("wrote {}", out_path.display());
+    println!("appended entry '{}' to {}", pr_label, out_path.display());
     if !equivalent {
         eprintln!("error: {divergences} report(s) diverged between modes");
         std::process::exit(1);
@@ -177,15 +230,60 @@ fn mode_json(m: &ModeRun) -> String {
     )
 }
 
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            c if c.is_control() => "?".chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Appends one entry to the trajectory array at `path`, creating it when
+/// missing and wrapping a legacy single-object snapshot into the array on
+/// first contact. Never erases prior entries.
+fn append_entry(path: &std::path::Path, entry: &str) -> std::io::Result<()> {
+    let existing = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+        Err(e) => return Err(e),
+    };
+    let trimmed = existing.trim();
+    let json = if trimmed.is_empty() {
+        format!("[\n{entry}\n]\n")
+    } else if let Some(body) = trimmed.strip_suffix(']') {
+        let body = body.trim_end().trim_end_matches(',');
+        if body.trim() == "[" {
+            format!("[\n{entry}\n]\n")
+        } else {
+            format!("{body},\n{entry}\n]\n")
+        }
+    } else if trimmed.ends_with('}') {
+        // Legacy pre-trajectory snapshot (a single object): keep it as the
+        // first element so history survives the format change.
+        format!("[\n{trimmed},\n{entry}\n]\n")
+    } else {
+        eprintln!(
+            "warning: {} is neither a JSON array nor an object; starting a fresh trajectory",
+            path.display()
+        );
+        format!("[\n{entry}\n]\n")
+    };
+    std::fs::write(path, json)
+}
+
 fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: simbench [--quick] [--sms N] [--seed S] [--jobs N] [--out PATH]\n\
-         runs the workload suite under both simulation modes, checks the\n\
-         reports are identical, and writes a JSON timing/ticks summary\n\
-         (32-SM machine by default; --quick = quarter-scale datasets)"
+        "usage: simbench [--quick] [--sms N] [--seed S] [--jobs N] [--sim-threads N]\n\
+         \x20               [--pr LABEL] [--out PATH]\n\
+         runs the workload suite under all three simulation modes, checks the\n\
+         reports are identical, and appends a JSON timing/ticks trajectory\n\
+         entry (32-SM machine by default; --quick = quarter-scale datasets;\n\
+         --jobs and --sim-threads share one machine budget)"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

@@ -45,6 +45,34 @@ pub fn default_jobs() -> usize {
         .unwrap_or(1)
 }
 
+/// Splits `machine` hardware threads between the two levels of parallelism:
+/// `jobs` suite workers (each running whole simulations) × `sim_threads`
+/// parallel-epoch workers *inside* each simulation. Returns the resolved
+/// `(jobs, sim_threads)` pair.
+///
+/// Policy — the product never oversubscribes the machine:
+///
+/// * `sim_threads == 0` (auto): outer parallelism wins, because suite jobs
+///   are independent and scale near-linearly while epoch workers synchronize
+///   twice per simulated cycle. Each job gets the leftover share,
+///   `max(1, machine / jobs)`, so `jobs × sim_threads <= machine` whenever
+///   `jobs <= machine`.
+/// * `sim_threads` explicit: the per-simulation count is honoured (the user
+///   asked for it — e.g. to exercise barrier behaviour) and the *job* count
+///   is clamped to `max(1, machine / sim_threads)` instead.
+///
+/// Both knobs are floored at 1; results are identical for every resolved
+/// value — only wall-time changes.
+pub fn thread_budget(machine: usize, jobs: usize, sim_threads: usize) -> (usize, usize) {
+    let machine = machine.max(1);
+    let jobs = jobs.max(1);
+    match machine.checked_div(sim_threads) {
+        // sim_threads == 0: auto mode, outer parallelism wins.
+        None => (jobs, (machine / jobs).max(1)),
+        Some(job_cap) => (jobs.min(job_cap.max(1)), sim_threads),
+    }
+}
+
 /// Derives an independent RNG seed for one job from the suite seed and the
 /// job's stable key, by FNV-1a hashing the key into a SplitMix64-style mix.
 /// Deterministic, order-free, and collision-resistant enough that no two
@@ -526,6 +554,35 @@ mod tests {
     fn empty_job_list() {
         let out: Vec<u32> = run_jobs(4, Vec::<u32>::new(), |_, j| j);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn thread_budget_never_oversubscribes() {
+        // Auto: outer jobs win, inner threads get the leftover share.
+        assert_eq!(thread_budget(16, 4, 0), (4, 4));
+        assert_eq!(thread_budget(8, 8, 0), (8, 1));
+        assert_eq!(thread_budget(1, 8, 0), (8, 1));
+        assert_eq!(thread_budget(16, 1, 0), (1, 16));
+        // Explicit: the per-simulation count is honoured, jobs are clamped.
+        assert_eq!(thread_budget(16, 8, 4), (4, 4));
+        assert_eq!(thread_budget(8, 8, 8), (1, 8));
+        assert_eq!(thread_budget(1, 8, 2), (1, 2));
+        // The product never exceeds the machine beyond what a single level
+        // of parallelism already requested on its own (each knob floors at
+        // 1, and an explicit over-request is honoured on its own axis —
+        // never *multiplied* by the other axis).
+        for machine in 1..=32 {
+            for jobs in 1..=16 {
+                for st in 0..=8 {
+                    let (j, t) = thread_budget(machine, jobs, st);
+                    assert!(j >= 1 && t >= 1);
+                    assert!(
+                        j * t <= machine.max(j).max(t),
+                        "machine={machine} jobs={jobs} st={st} -> {j}x{t}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -89,9 +89,15 @@ pub struct SuiteConfig {
     /// are identical for every value; only wall-time changes.
     pub jobs: usize,
     /// How the simulator advances time. Reports (and therefore every
-    /// figure and table) are identical for both modes; only wall-time and
+    /// figure and table) are identical for every mode; only wall-time and
     /// the scheduler counters change.
     pub sim_mode: SimMode,
+    /// Worker threads *inside* each simulation when `sim_mode` is
+    /// [`SimMode::ParallelEpoch`] (0 = derive from the machine). Reports are
+    /// identical for every value. [`crate::runner::thread_budget`] splits
+    /// the machine between `jobs` and this knob so the two levels of
+    /// parallelism never oversubscribe the host.
+    pub sim_threads: usize,
 }
 
 impl Default for SuiteConfig {
@@ -105,6 +111,7 @@ impl Default for SuiteConfig {
             seed: 7,
             jobs: 1,
             sim_mode: SimMode::default(),
+            sim_threads: 0,
         }
     }
 }
@@ -131,11 +138,18 @@ impl SuiteConfig {
         self
     }
 
+    /// The same configuration with a different per-simulation thread count.
+    pub fn with_sim_threads(mut self, threads: usize) -> Self {
+        self.sim_threads = threads;
+        self
+    }
+
     /// The GPU configuration the suite simulates.
     pub fn gpu_config(&self) -> GpuConfig {
         GpuConfig {
             num_sms: self.sms,
             sim_mode: self.sim_mode,
+            sim_threads: self.sim_threads,
             ..GpuConfig::small()
         }
     }

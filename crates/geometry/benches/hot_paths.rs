@@ -1,0 +1,146 @@
+//! Microbenchmarks of the geometry hot paths: scalar kernels against their
+//! candidate-parallel batch forms from [`hsu_geometry::batch`].
+//!
+//! Three groups mirror the simulator's inner loops: point-distance batches
+//! (workload construction / kNN refine), the ray-slab box test (BVH node
+//! tests), and watertight triangle intersection. CI compiles these as a
+//! smoke test (`cargo bench -p hsu-geometry --no-run`); run them locally to
+//! quantify the batch-vs-scalar gap on a given host.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hsu_geometry::batch::{self, AabbSoA};
+use hsu_geometry::point::{self, Metric, PointSet};
+use hsu_geometry::{Aabb, Ray, Triangle, Vec3};
+use rand::{Rng, SeedableRng};
+
+fn rng() -> rand_chacha::ChaCha8Rng {
+    rand_chacha::ChaCha8Rng::seed_from_u64(7)
+}
+
+fn bench_point_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("point_distance_batch");
+    let n = 1024usize;
+    for dim in [3usize, 96, 128] {
+        let mut rng = rng();
+        let q: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let rows: Vec<f32> = (0..n * dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let set = PointSet::from_rows(dim, rows.clone());
+        group.bench_with_input(BenchmarkId::new("scalar", dim), &dim, |b, _| {
+            b.iter(|| {
+                let q = black_box(&q);
+                set.iter()
+                    .map(|c| point::euclidean_squared(q, c))
+                    .sum::<f32>()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("batch", dim), &dim, |b, _| {
+            let mut out = Vec::with_capacity(n);
+            b.iter(|| {
+                out.clear();
+                batch::euclid_to_rows(black_box(&q), black_box(&rows), &mut out);
+                out.iter().sum::<f32>()
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("nearest_brute_force", dim),
+            &dim,
+            |b, _| b.iter(|| set.nearest_brute_force(black_box(&q), Metric::Euclidean)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_aabb_slab(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aabb_ray_slab");
+    let n = 1024usize;
+    let mut rng = rng();
+    let boxes: Vec<Aabb> = (0..n)
+        .map(|_| {
+            let center = Vec3::new(
+                rng.gen_range(-4.0f32..4.0),
+                rng.gen_range(-4.0f32..4.0),
+                rng.gen_range(-4.0f32..4.0),
+            );
+            Aabb::around_point(center, rng.gen_range(0.05f32..0.5))
+        })
+        .collect();
+    let soa = AabbSoA::from_aabbs(&boxes);
+    let ray = Ray::new(Vec3::new(-8.0, 0.1, -0.2), Vec3::new(1.0, 0.02, 0.03));
+    group.bench_function("scalar", |b| {
+        b.iter(|| {
+            boxes
+                .iter()
+                .filter(|bx| black_box(&ray).intersect_aabb(bx, f32::INFINITY).is_some())
+                .count()
+        })
+    });
+    group.bench_function("soa", |b| {
+        let mut hits = Vec::with_capacity(n);
+        b.iter(|| {
+            hits.clear();
+            soa.intersect(black_box(&ray), f32::INFINITY, &mut hits);
+            hits.iter().flatten().count()
+        })
+    });
+    let p = Vec3::new(0.3, -0.6, 1.2);
+    group.bench_function("distance_scalar", |b| {
+        b.iter(|| {
+            boxes
+                .iter()
+                .map(|bx| bx.distance_squared_to(black_box(p)))
+                .sum::<f32>()
+        })
+    });
+    group.bench_function("distance_soa", |b| {
+        let mut d = Vec::with_capacity(n);
+        b.iter(|| {
+            d.clear();
+            soa.distance_squared_to(black_box(p), &mut d);
+            d.iter().sum::<f32>()
+        })
+    });
+    group.finish();
+}
+
+fn bench_triangle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("triangle_intersect");
+    let n = 1024usize;
+    let mut rng = rng();
+    let mut v = |z0: f32| {
+        Vec3::new(
+            rng.gen_range(-2.0f32..2.0),
+            rng.gen_range(-2.0f32..2.0),
+            rng.gen_range(z0..z0 + 2.0),
+        )
+    };
+    let tris: Vec<Triangle> = (0..n)
+        .map(|_| Triangle::new(v(1.0), v(1.0), v(1.0)))
+        .collect();
+    let ray = Ray::new(Vec3::new(0.05, -0.1, -1.0), Vec3::new(0.01, 0.02, 1.0));
+    group.bench_function("scalar", |b| {
+        b.iter(|| {
+            tris.iter()
+                .filter(|t| t.intersect(black_box(&ray), f32::INFINITY).is_some())
+                .count()
+        })
+    });
+    group.bench_function("batch", |b| {
+        let mut hits = Vec::with_capacity(n);
+        b.iter(|| {
+            hits.clear();
+            batch::triangles_intersect(black_box(&tris), black_box(&ray), f32::INFINITY, &mut hits);
+            hits.iter().flatten().count()
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_point_batch, bench_aabb_slab, bench_triangle
+}
+criterion_main!(benches);

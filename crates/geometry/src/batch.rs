@@ -1,0 +1,422 @@
+//! SoA batch variants of the hot distance/intersection kernels.
+//!
+//! The scalar kernels in [`point`](crate::point), [`aabb`](crate::Aabb) and
+//! [`triangle`](crate::Triangle) are golden references: every workload
+//! build, ground-truth check and trace lowering in the workspace consumes
+//! their exact `f32` results, and the simulator's golden reports lock the
+//! downstream cycle counts bit for bit. The batch variants here are
+//! therefore **bit-identical by construction**: they vectorize *across
+//! candidates* (one accumulator per candidate, advanced in the same
+//! dimension/stage order as the scalar code) and never reassociate a
+//! per-candidate reduction. Each function documents the scalar kernel it
+//! mirrors, and the test suite asserts `to_bits()` equality against it on
+//! random inputs.
+//!
+//! Layout notes for the auto-vectorizer:
+//!
+//! * candidates are processed in blocks of [`LANES`] with independent
+//!   accumulators (unroll-and-jam — LLVM turns the block into SIMD lanes),
+//! * [`Vec3`] is `#[repr(C)]`, so a `&[Vec3]` is a dense `x,y,z` stream,
+//! * the box and triangle batches replace the scalar early-exits with
+//!   branch-free selects of the same values, keeping the per-lane math
+//!   identical while letting whole blocks retire without branches.
+
+use crate::aabb::{Aabb, BoxHit};
+use crate::ray::Ray;
+use crate::triangle::{Triangle, TriangleHit};
+use crate::vec3::Vec3;
+
+/// Batch block width. Eight `f32` lanes: one AVX register, two SSE ops —
+/// wide enough to fill either ISA, small enough that remainders stay cheap.
+pub const LANES: usize = 8;
+
+/// Squared Euclidean distances from `q` to every row of `rows` (row-major,
+/// `q.len()` wide), appended to `out`.
+///
+/// Bit-identical to calling [`crate::point::euclidean_squared`] per row:
+/// each row keeps its own accumulator, advanced in dimension order.
+///
+/// # Panics
+///
+/// Panics if `rows.len()` is not a multiple of `q.len()`, or `q` is empty.
+pub fn euclid_to_rows(q: &[f32], rows: &[f32], out: &mut Vec<f32>) {
+    let dim = q.len();
+    assert!(dim > 0, "dimension must be positive");
+    assert!(
+        rows.len().is_multiple_of(dim),
+        "rows length {} is not a multiple of dim {dim}",
+        rows.len()
+    );
+    let n = rows.len() / dim;
+    out.reserve(n);
+    let mut blocks = rows.chunks_exact(dim * LANES);
+    for block in &mut blocks {
+        let mut acc = [0.0f32; LANES];
+        for (j, &qj) in q.iter().enumerate() {
+            for (l, a) in acc.iter_mut().enumerate() {
+                let d = qj - block[l * dim + j];
+                *a += d * d;
+            }
+        }
+        out.extend_from_slice(&acc);
+    }
+    for row in blocks.remainder().chunks_exact(dim) {
+        out.push(crate::point::euclidean_squared(q, row));
+    }
+}
+
+/// Per-row `(dot(q, row), norm_squared(row))` pairs — the two scalars of the
+/// angular metric (paper eqs. 3–4) — appended to `out`.
+///
+/// Bit-identical to calling [`crate::point::dot`] and
+/// [`crate::point::norm_squared`] per row.
+///
+/// # Panics
+///
+/// Panics if `rows.len()` is not a multiple of `q.len()`, or `q` is empty.
+pub fn dot_norm_to_rows(q: &[f32], rows: &[f32], out: &mut Vec<(f32, f32)>) {
+    let dim = q.len();
+    assert!(dim > 0, "dimension must be positive");
+    assert!(
+        rows.len().is_multiple_of(dim),
+        "rows length {} is not a multiple of dim {dim}",
+        rows.len()
+    );
+    let n = rows.len() / dim;
+    out.reserve(n);
+    let mut blocks = rows.chunks_exact(dim * LANES);
+    for block in &mut blocks {
+        let mut dots = [0.0f32; LANES];
+        let mut norms = [0.0f32; LANES];
+        for (j, &qj) in q.iter().enumerate() {
+            for l in 0..LANES {
+                let c = block[l * dim + j];
+                dots[l] += qj * c;
+                norms[l] += c * c;
+            }
+        }
+        for l in 0..LANES {
+            out.push((dots[l], norms[l]));
+        }
+    }
+    for row in blocks.remainder().chunks_exact(dim) {
+        out.push((crate::point::dot(q, row), crate::point::norm_squared(row)));
+    }
+}
+
+/// Squared distances from `q` to each point, appended to `out`.
+///
+/// Bit-identical to `(p - q).length_squared()` per point (the BVH leaf
+/// refine test): the `x`, then `y`, then `z` contributions accumulate in
+/// the scalar order.
+pub fn vec3_distance_squared(q: Vec3, points: &[Vec3], out: &mut Vec<f32>) {
+    out.reserve(points.len());
+    let mut blocks = points.chunks_exact(LANES);
+    for block in &mut blocks {
+        let mut acc = [0.0f32; LANES];
+        for (l, p) in block.iter().enumerate() {
+            let dx = p.x - q.x;
+            let dy = p.y - q.y;
+            let dz = p.z - q.z;
+            acc[l] = dx * dx + dy * dy + dz * dz;
+        }
+        out.extend_from_slice(&acc);
+    }
+    for p in blocks.remainder() {
+        out.push((*p - q).length_squared());
+    }
+}
+
+/// A struct-of-arrays block of axis-aligned boxes: each corner component is
+/// a dense `f32` column, so one ray can be tested against the whole block
+/// with unit-stride vector loads (the RT unit's "4 boxes per instruction"
+/// shape, extended to any count).
+#[derive(Debug, Clone, Default)]
+pub struct AabbSoA {
+    min_x: Vec<f32>,
+    min_y: Vec<f32>,
+    min_z: Vec<f32>,
+    max_x: Vec<f32>,
+    max_y: Vec<f32>,
+    max_z: Vec<f32>,
+}
+
+impl AabbSoA {
+    /// Transposes an AoS slice of boxes into columns.
+    pub fn from_aabbs(boxes: &[Aabb]) -> Self {
+        let mut soa = AabbSoA::default();
+        soa.min_x.reserve(boxes.len());
+        for b in boxes {
+            soa.min_x.push(b.min.x);
+            soa.min_y.push(b.min.y);
+            soa.min_z.push(b.min.z);
+            soa.max_x.push(b.max.x);
+            soa.max_y.push(b.max.y);
+            soa.max_z.push(b.max.z);
+        }
+        soa
+    }
+
+    /// Number of boxes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.min_x.len()
+    }
+
+    /// Returns `true` when the block holds no boxes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.min_x.is_empty()
+    }
+
+    /// Slab test of `ray` against every box, appending one entry per box to
+    /// `out` — bit-identical to [`Ray::intersect_aabb`] per box. The scalar
+    /// kernel's per-axis swap and NaN suppression become branch-free
+    /// selects of the same values, so the lane math is unchanged.
+    pub fn intersect(&self, ray: &Ray, t_max: f32, out: &mut Vec<Option<BoxHit>>) {
+        // Mirrors the scalar `slab`: `min`/`max` equal its `a <= b` swap for
+        // non-NaN inputs, and the NaN select reproduces the "axis imposes no
+        // constraint" interval exactly.
+        #[inline]
+        fn slab(lo: f32, hi: f32, origin: f32, inv: f32) -> (f32, f32) {
+            let a = (lo - origin) * inv;
+            let b = (hi - origin) * inv;
+            let nan = a.is_nan() || b.is_nan();
+            let near = if nan { f32::NEG_INFINITY } else { a.min(b) };
+            let far = if nan { f32::INFINITY } else { a.max(b) };
+            (near, far)
+        }
+        out.reserve(self.len());
+        for i in 0..self.len() {
+            let (nx, fx) = slab(self.min_x[i], self.max_x[i], ray.origin.x, ray.inv_dir.x);
+            let (ny, fy) = slab(self.min_y[i], self.max_y[i], ray.origin.y, ray.inv_dir.y);
+            let (nz, fz) = slab(self.min_z[i], self.max_z[i], ray.origin.z, ray.inv_dir.z);
+            let t_near = nx.max(ny).max(nz).max(0.0);
+            let t_far = fx.min(fy).min(fz).min(t_max);
+            out.push((t_near <= t_far).then_some(BoxHit { t_near, t_far }));
+        }
+    }
+
+    /// Squared point-to-box distances (the best-first lower bound), one per
+    /// box, appended to `out` — bit-identical to
+    /// [`Aabb::distance_squared_to`] per box.
+    pub fn distance_squared_to(&self, p: Vec3, out: &mut Vec<f32>) {
+        out.reserve(self.len());
+        for i in 0..self.len() {
+            let dx = (self.min_x[i] - p.x).max(0.0).max(p.x - self.max_x[i]);
+            let dy = (self.min_y[i] - p.y).max(0.0).max(p.y - self.max_y[i]);
+            let dz = (self.min_z[i] - p.z).max(0.0).max(p.z - self.max_z[i]);
+            out.push(dx * dx + dy * dy + dz * dz);
+        }
+    }
+}
+
+/// Watertight intersection of `ray` against a slice of triangles, one entry
+/// per triangle appended to `out` — bit-identical to
+/// [`Triangle::intersect`] per triangle. The scalar early-exits (sign test,
+/// zero determinant, `t` window) become a final branch-free accept mask
+/// over values computed in the same stage order.
+pub fn triangles_intersect(
+    tris: &[Triangle],
+    ray: &Ray,
+    t_max: f32,
+    out: &mut Vec<Option<TriangleHit>>,
+) {
+    let (kx, ky, kz) = (ray.kx, ray.ky, ray.kz);
+    let (sx, sy, sz) = (ray.shear.x, ray.shear.y, ray.shear.z);
+    out.reserve(tris.len());
+    for tri in tris {
+        let a = tri.a - ray.origin;
+        let b = tri.b - ray.origin;
+        let c = tri.c - ray.origin;
+        let ax = a[kx] - sx * a[kz];
+        let ay = a[ky] - sy * a[kz];
+        let bx = b[kx] - sx * b[kz];
+        let by = b[ky] - sy * b[kz];
+        let cx = c[kx] - sx * c[kz];
+        let cy = c[ky] - sy * c[kz];
+        let u = cx * by - cy * bx;
+        let v = ax * cy - ay * cx;
+        let w = bx * ay - by * ax;
+        let signs_ok = (u >= 0.0 && v >= 0.0 && w >= 0.0) || (u <= 0.0 && v <= 0.0 && w <= 0.0);
+        let det = u + v + w;
+        let az = sz * a[kz];
+        let bz = sz * b[kz];
+        let cz = sz * c[kz];
+        let t_num = u * az + v * bz + w * cz;
+        let t_num_signed = if det.is_sign_negative() {
+            -t_num
+        } else {
+            t_num
+        };
+        // Negated form of the scalar reject so NaN comparisons resolve the
+        // same way they do in `Triangle::intersect`.
+        let accept =
+            signs_ok && det != 0.0 && !(t_num_signed <= 0.0 || t_num_signed > t_max * det.abs());
+        out.push(accept.then_some(TriangleHit {
+            t_num,
+            t_denom: det,
+            u,
+            v,
+            w,
+        }));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::{dot, euclidean_squared, norm_squared, PointSet};
+    use rand::{Rng, SeedableRng};
+
+    fn rng() -> rand_chacha::ChaCha8Rng {
+        rand_chacha::ChaCha8Rng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn euclid_batch_is_bit_identical() {
+        let mut rng = rng();
+        for dim in [1usize, 3, 7, 16, 33] {
+            // Cross the LANES boundary and leave a remainder.
+            for n in [0usize, 1, LANES - 1, LANES, LANES + 3, 3 * LANES + 5] {
+                let q: Vec<f32> = (0..dim).map(|_| rng.gen_range(-4.0f32..4.0)).collect();
+                let rows: Vec<f32> = (0..n * dim).map(|_| rng.gen_range(-4.0f32..4.0)).collect();
+                let mut batch = Vec::new();
+                euclid_to_rows(&q, &rows, &mut batch);
+                let set = PointSet::from_rows(dim, rows);
+                assert_eq!(batch.len(), n);
+                for (i, c) in set.iter().enumerate() {
+                    assert_eq!(
+                        batch[i].to_bits(),
+                        euclidean_squared(&q, c).to_bits(),
+                        "dim {dim} row {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dot_norm_batch_is_bit_identical() {
+        let mut rng = rng();
+        let dim = 19;
+        let n = 2 * LANES + 3;
+        let q: Vec<f32> = (0..dim).map(|_| rng.gen_range(-2.0f32..2.0)).collect();
+        let rows: Vec<f32> = (0..n * dim).map(|_| rng.gen_range(-2.0f32..2.0)).collect();
+        let mut batch = Vec::new();
+        dot_norm_to_rows(&q, &rows, &mut batch);
+        assert_eq!(batch.len(), n);
+        for (i, row) in rows.chunks_exact(dim).enumerate() {
+            assert_eq!(batch[i].0.to_bits(), dot(&q, row).to_bits(), "dot row {i}");
+            assert_eq!(
+                batch[i].1.to_bits(),
+                norm_squared(row).to_bits(),
+                "norm row {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn vec3_batch_is_bit_identical() {
+        let mut rng = rng();
+        let q = Vec3::new(0.3, -0.7, 1.1);
+        let pts: Vec<Vec3> = (0..LANES * 2 + 5)
+            .map(|_| {
+                Vec3::new(
+                    rng.gen_range(-3.0f32..3.0),
+                    rng.gen_range(-3.0f32..3.0),
+                    rng.gen_range(-3.0f32..3.0),
+                )
+            })
+            .collect();
+        let mut batch = Vec::new();
+        vec3_distance_squared(q, &pts, &mut batch);
+        for (i, p) in pts.iter().enumerate() {
+            assert_eq!(
+                batch[i].to_bits(),
+                (*p - q).length_squared().to_bits(),
+                "point {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn aabb_soa_matches_scalar_slab_test() {
+        let mut rng = rng();
+        let boxes: Vec<Aabb> = (0..37)
+            .map(|_| {
+                let c = Vec3::new(
+                    rng.gen_range(-2.0f32..2.0),
+                    rng.gen_range(-2.0f32..2.0),
+                    rng.gen_range(-2.0f32..2.0),
+                );
+                Aabb::around_point(c, rng.gen_range(0.01f32..1.0))
+            })
+            .collect();
+        let soa = AabbSoA::from_aabbs(&boxes);
+        assert_eq!(soa.len(), boxes.len());
+        // Include an axis-parallel ray (inv_dir infinities + NaN products).
+        let rays = [
+            Ray::new(Vec3::new(-4.0, 0.1, 0.2), Vec3::new(1.0, 0.05, -0.02)),
+            Ray::new(Vec3::new(0.0, 0.5, -3.0), Vec3::new(0.0, 0.0, 1.0)),
+        ];
+        for ray in &rays {
+            for t_max in [f32::INFINITY, 2.5] {
+                let mut batch = Vec::new();
+                soa.intersect(ray, t_max, &mut batch);
+                for (i, b) in boxes.iter().enumerate() {
+                    assert_eq!(batch[i], ray.intersect_aabb(b, t_max), "box {i}");
+                }
+            }
+        }
+        let p = Vec3::new(0.4, -1.3, 2.0);
+        let mut dists = Vec::new();
+        soa.distance_squared_to(p, &mut dists);
+        for (i, b) in boxes.iter().enumerate() {
+            assert_eq!(
+                dists[i].to_bits(),
+                b.distance_squared_to(p).to_bits(),
+                "box {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn triangle_batch_matches_scalar_watertight_test() {
+        let mut rng = rng();
+        let mut v = || {
+            Vec3::new(
+                rng.gen_range(-1.5f32..1.5),
+                rng.gen_range(-1.5f32..1.5),
+                rng.gen_range(0.5f32..2.0),
+            )
+        };
+        let mut tris: Vec<Triangle> = (0..29).map(|_| Triangle::new(v(), v(), v())).collect();
+        // A degenerate triangle exercises the zero-determinant reject.
+        tris.push(Triangle::new(Vec3::ZERO, Vec3::ZERO, Vec3::ZERO));
+        let ray = Ray::new(Vec3::new(0.1, -0.2, -1.0), Vec3::new(0.02, 0.01, 1.0));
+        for t_max in [f32::INFINITY, 1.5] {
+            let mut batch = Vec::new();
+            triangles_intersect(&tris, &ray, t_max, &mut batch);
+            for (i, t) in tris.iter().enumerate() {
+                assert_eq!(batch[i], t.intersect(&ray, t_max), "triangle {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let mut out = Vec::new();
+        euclid_to_rows(&[1.0], &[], &mut out);
+        assert!(out.is_empty());
+        let soa = AabbSoA::from_aabbs(&[]);
+        assert!(soa.is_empty());
+        let mut hits = Vec::new();
+        soa.intersect(
+            &Ray::new(Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0)),
+            1.0,
+            &mut hits,
+        );
+        assert!(hits.is_empty());
+    }
+}

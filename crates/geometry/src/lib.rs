@@ -10,7 +10,10 @@
 //! * [`morton`] — Morton (Z-order) codes used by the LBVH builder,
 //! * [`point`] — N-dimensional points with squared-Euclidean and angular
 //!   distance, including the beat-partitioned forms that mirror the 16-wide
-//!   and 8-wide HSU pipeline modes.
+//!   and 8-wide HSU pipeline modes,
+//! * [`batch`] — struct-of-arrays batch variants of the distance and
+//!   intersection kernels, bit-identical to the scalar forms but laid out
+//!   so the compiler vectorizes across candidates.
 //!
 //! Everything here is deterministic, allocation-light, and heavily unit- and
 //! property-tested: the cycle-level machinery elsewhere in the workspace treats
@@ -30,6 +33,7 @@
 #![warn(missing_docs)]
 
 mod aabb;
+pub mod batch;
 pub mod morton;
 pub mod point;
 mod ray;

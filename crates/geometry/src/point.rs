@@ -289,6 +289,37 @@ impl PointSet {
         base + (i * self.dim * std::mem::size_of::<f32>()) as u64
     }
 
+    /// Distances from `q` to every point in index order, computed through
+    /// the candidate-parallel kernels in [`crate::batch`]. Bit-identical to
+    /// `metric.distance(q, c)` per point: the batch kernels keep each
+    /// candidate's scalar accumulation order, and the angular epilogue below
+    /// repeats [`cosine_similarity`]'s exact operation sequence.
+    fn distances_to_all(&self, q: &[f32], metric: Metric) -> Vec<f32> {
+        match metric {
+            Metric::Euclidean => {
+                let mut out = Vec::new();
+                crate::batch::euclid_to_rows(q, &self.data, &mut out);
+                out
+            }
+            Metric::Angular => {
+                let mut pairs = Vec::new();
+                crate::batch::dot_norm_to_rows(q, &self.data, &mut pairs);
+                let nq = norm_squared(q);
+                pairs
+                    .into_iter()
+                    .map(|(d, n)| {
+                        let denom = (nq * n).sqrt();
+                        if denom == 0.0 {
+                            1.0
+                        } else {
+                            1.0 - d / denom
+                        }
+                    })
+                    .collect()
+            }
+        }
+    }
+
     /// Index of the exact nearest point to `q` by brute force, with its
     /// distance. Returns `None` for an empty set.
     ///
@@ -297,8 +328,8 @@ impl PointSet {
     /// Panics if `q.len() != dim()`.
     pub fn nearest_brute_force(&self, q: &[f32], metric: Metric) -> Option<(usize, f32)> {
         assert_eq!(q.len(), self.dim, "query dimension mismatch");
-        self.iter()
-            .map(|c| metric.distance(q, c))
+        self.distances_to_all(q, metric)
+            .into_iter()
             .enumerate()
             .min_by(|a, b| a.1.total_cmp(&b.1))
     }
@@ -316,10 +347,10 @@ impl PointSet {
         metric: Metric,
     ) -> (usize, f32) {
         assert_eq!(q.len(), self.dim, "query dimension mismatch");
-        self.iter()
+        self.distances_to_all(q, metric)
+            .into_iter()
             .enumerate()
             .filter(|&(i, _)| i != exclude)
-            .map(|(i, c)| (i, metric.distance(q, c)))
             .min_by(|a, b| a.1.total_cmp(&b.1))
             .expect("point set needs a second point")
     }
@@ -329,8 +360,8 @@ impl PointSet {
     pub fn k_nearest_brute_force(&self, q: &[f32], k: usize, metric: Metric) -> Vec<(usize, f32)> {
         assert_eq!(q.len(), self.dim, "query dimension mismatch");
         let mut all: Vec<(usize, f32)> = self
-            .iter()
-            .map(|c| metric.distance(q, c))
+            .distances_to_all(q, metric)
+            .into_iter()
             .enumerate()
             .collect();
         all.sort_by(|a, b| a.1.total_cmp(&b.1));

@@ -19,6 +19,7 @@ use std::ops::{Add, AddAssign, Div, Index, Mul, Neg, Sub, SubAssign};
 /// assert_eq!((a + b).x, 3.0);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[repr(C)]
 pub struct Vec3 {
     /// X component.
     pub x: f32,

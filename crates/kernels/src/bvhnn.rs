@@ -7,6 +7,7 @@
 
 use hsu_bvh::{Bvh2, Bvh4, Bvh4Child, LbvhBuilder, NodeContent, PointPrimitive, SahBuilder};
 use hsu_datasets::query_set;
+use hsu_geometry::batch;
 use hsu_geometry::point::{Metric, PointSet};
 use hsu_geometry::Vec3;
 use hsu_sim::trace::{KernelTrace, ThreadOp, ThreadTrace};
@@ -241,6 +242,11 @@ fn record_radius_search(
     }
     let r2 = radius * radius;
     let mut stack = vec![0u32];
+    // Leaf-refine scratch, reused across pops so the batched distance pass
+    // allocates nothing in steady state.
+    let mut leaf_ids: Vec<u32> = Vec::new();
+    let mut leaf_pos: Vec<Vec3> = Vec::new();
+    let mut dists: Vec<f32> = Vec::new();
     while let Some(i) = stack.pop() {
         events.push(Event::Pop);
         let node = &bvh.nodes()[i as usize];
@@ -256,11 +262,19 @@ fn record_radius_search(
                 events.push(Event::NodeTest { node: i, pushes });
             }
             NodeContent::Leaf { start, count } => {
+                leaf_ids.clear();
+                leaf_pos.clear();
                 for s in start..start + count {
                     let p = &prims[bvh.prim_indices()[s as usize] as usize];
-                    events.push(Event::LeafDistance { point: p.id });
+                    leaf_ids.push(p.id);
+                    leaf_pos.push(p.position);
+                }
+                dists.clear();
+                batch::vec3_distance_squared(query, &leaf_pos, &mut dists);
+                for (&id, &d2) in leaf_ids.iter().zip(&dists) {
+                    events.push(Event::LeafDistance { point: id });
                     tests += 1;
-                    if (p.position - query).length_squared() <= r2 {
+                    if d2 <= r2 {
                         found += 1;
                     }
                 }
@@ -285,10 +299,15 @@ fn record_radius_search4(
     }
     let r2 = radius * radius;
     let mut stack = vec![0u32];
+    // Scratch reused across pops: a 4-wide node can surface several leaves'
+    // worth of points, which the batched distance pass refines in one go.
+    let mut leaf_points: Vec<u32> = Vec::new();
+    let mut leaf_pos: Vec<Vec3> = Vec::new();
+    let mut dists: Vec<f32> = Vec::new();
     while let Some(i) = stack.pop() {
         events.push(Event::Pop);
         let mut pushes = 0;
-        let mut leaf_points: Vec<u32> = Vec::new();
+        leaf_points.clear();
         for child in &bvh.nodes()[i as usize].children {
             if child.aabb().distance_squared_to(query) > r2 {
                 continue;
@@ -306,11 +325,16 @@ fn record_radius_search4(
             }
         }
         events.push(Event::NodeTest4 { node: i, pushes });
-        for p in leaf_points {
-            let prim = &prims[p as usize];
-            events.push(Event::LeafDistance { point: prim.id });
+        leaf_pos.clear();
+        leaf_pos.extend(leaf_points.iter().map(|&p| prims[p as usize].position));
+        dists.clear();
+        batch::vec3_distance_squared(query, &leaf_pos, &mut dists);
+        for (&p, &d2) in leaf_points.iter().zip(&dists) {
+            events.push(Event::LeafDistance {
+                point: prims[p as usize].id,
+            });
             tests += 1;
-            if (prim.position - query).length_squared() <= r2 {
+            if d2 <= r2 {
                 found += 1;
             }
         }

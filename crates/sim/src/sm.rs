@@ -5,7 +5,7 @@ use std::collections::VecDeque;
 
 use crate::config::GpuConfig;
 use crate::error::{SimError, SmDeadlockState};
-use crate::memory::{AccessOutcome, MemorySystem, Requester};
+use crate::memory::{AccessOutcome, MemPort, Requester};
 use crate::rt_unit::RtUnit;
 use crate::trace::{OpClass, ThreadOp, WarpInstruction, WarpTrace};
 
@@ -78,6 +78,21 @@ pub struct Sm {
     /// Last cycle any sub-core issued an instruction (deadlock diagnostics'
     /// "last progress" marker; `None` until the first issue).
     last_issue_cycle: Option<u64>,
+    /// Conservative lower bound on every resident `WaitUntil` target
+    /// (`u64::MAX` when none are pending): lets the per-tick timer scan
+    /// exit without walking the warp array. May be stale-low (a retired
+    /// warp's target lingers), never stale-high.
+    earliest_timer: u64,
+    /// Per-sub-core "this stripe may hold an issuable warp" hint: set on
+    /// every transition to `Ready`, cleared only when a full stripe scan
+    /// proves the stripe empty. Purely an accelerator for `gto_pick` —
+    /// conservatively true is always safe.
+    ready_hint: Vec<bool>,
+    /// Scratch buffers reused across `issue` calls so the per-tick hot
+    /// path allocates nothing.
+    scratch_picks: Vec<Option<usize>>,
+    scratch_hsu: Vec<bool>,
+    coalesce_buf: Vec<u64>,
     stats: SmStats,
 }
 
@@ -100,6 +115,11 @@ impl Sm {
             rt: RtUnit::new(cfg.hsu.clone(), cfg.sub_cores),
             next_age: 0,
             last_issue_cycle: None,
+            earliest_timer: u64::MAX,
+            ready_hint: vec![false; cfg.sub_cores],
+            scratch_picks: Vec::new(),
+            scratch_hsu: Vec::new(),
+            coalesce_buf: Vec::new(),
             stats: SmStats::default(),
         }
     }
@@ -139,7 +159,7 @@ impl Sm {
     /// * a timer wait reports `max(wakeup, sub-core free)` — waking a warp
     ///   into a busy sub-core changes only its status word, which is
     ///   unobservable until the warp can issue.
-    pub fn next_event(&self, now: u64, mem: &MemorySystem) -> Option<u64> {
+    pub fn next_event(&self, now: u64, mem: &impl MemPort) -> Option<u64> {
         // Launching needs a free or finished slot; if none exists the launch
         // queue only drains after a retirement, which another event causes.
         let can_launch = !self.launch_queue.is_empty()
@@ -180,7 +200,7 @@ impl Sm {
     /// still record one rejected probe per cycle (MSHR-stall statistics and
     /// the cache's port-use counter), and the shared L1 port's round-robin
     /// bit keeps toggling while both requesters are waiting.
-    pub fn fast_forward(&mut self, cycles: u64, mem: &mut MemorySystem) {
+    pub fn fast_forward(&mut self, cycles: u64, mem: &mut impl MemPort) {
         let lsu_pending = !self.lsu_queue.is_empty();
         let rt_pending = self.rt.peek_fifo().is_some();
         if mem.rt_has_private_path() {
@@ -233,11 +253,12 @@ impl Sm {
             let warp = &mut self.warps[slot];
             if let WarpStatus::WaitMem(outstanding) = warp.status {
                 let left = outstanding - 1;
-                warp.status = if left == 0 {
-                    WarpStatus::Ready
+                if left == 0 {
+                    warp.status = WarpStatus::Ready;
+                    self.ready_hint[warp.sub_core] = true;
                 } else {
-                    WarpStatus::WaitMem(left)
-                };
+                    warp.status = WarpStatus::WaitMem(left);
+                }
             } else {
                 return Err(SimError::IllegalDispatch {
                     detail: format!(
@@ -258,7 +279,7 @@ impl Sm {
     /// [`SimError::IllegalDispatch`] if the cycle's issue stage routes an op
     /// to a unit that cannot execute it (see [`Sm::on_mem_done`] and the
     /// RT-unit dispatch path).
-    pub fn tick(&mut self, now: u64, mem: &mut MemorySystem) -> Result<(), SimError> {
+    pub fn tick(&mut self, now: u64, mem: &mut impl MemPort) -> Result<(), SimError> {
         self.fill_resident_slots();
         self.unblock_timed_warps(now);
 
@@ -267,6 +288,7 @@ impl Sm {
         for slot in self.rt.take_completed() {
             debug_assert_eq!(self.warps[slot].status, WarpStatus::WaitHsu);
             self.warps[slot].status = WarpStatus::Ready;
+            self.ready_hint[self.warps[slot].sub_core] = true;
         }
 
         self.arbitrate_l1_port(now, mem);
@@ -290,6 +312,7 @@ impl Sm {
                         age: self.next_age,
                     };
                     self.next_age += 1;
+                    self.ready_hint[sub_core] = true;
                 }
             }
         }
@@ -306,24 +329,33 @@ impl Sm {
                 age: self.next_age,
             });
             self.next_age += 1;
+            self.ready_hint[sub_core] = true;
         }
     }
 
     fn unblock_timed_warps(&mut self, now: u64) {
+        if now < self.earliest_timer {
+            return; // no resident timer can have expired yet
+        }
+        let mut earliest = u64::MAX;
         for warp in &mut self.warps {
             if let WarpStatus::WaitUntil(t) = warp.status {
                 if t <= now {
                     warp.status = WarpStatus::Ready;
+                    self.ready_hint[warp.sub_core] = true;
+                } else {
+                    earliest = earliest.min(t);
                 }
             }
         }
+        self.earliest_timer = earliest;
     }
 
     /// One L1 access per cycle, round-robin between the LSU queue and the RT
     /// unit's FIFO (they time-share the cache, §VI-H). Under a private or
     /// bypass RT-cache policy (§VI-I) the RT FIFO gets its own port and both
     /// sides proceed each cycle.
-    fn arbitrate_l1_port(&mut self, now: u64, mem: &mut MemorySystem) {
+    fn arbitrate_l1_port(&mut self, now: u64, mem: &mut impl MemPort) {
         let lsu_pending = !self.lsu_queue.is_empty();
         let rt_pending = self.rt.peek_fifo().is_some();
         if mem.rt_has_private_path() {
@@ -349,7 +381,7 @@ impl Sm {
         }
     }
 
-    fn issue_rt_fetch(&mut self, now: u64, mem: &mut MemorySystem) {
+    fn issue_rt_fetch(&mut self, now: u64, mem: &mut impl MemPort) {
         let Some(req) = self.rt.pop_fifo() else {
             return;
         };
@@ -360,7 +392,7 @@ impl Sm {
         }
     }
 
-    fn issue_lsu_access(&mut self, now: u64, mem: &mut MemorySystem) {
+    fn issue_lsu_access(&mut self, now: u64, mem: &mut impl MemPort) {
         let Some(&(line, slot)) = self.lsu_queue.front() else {
             return;
         };
@@ -374,7 +406,7 @@ impl Sm {
 
     /// GTO pick for one sub-core: the last-issued warp if still ready,
     /// otherwise the oldest ready warp.
-    fn gto_pick(&self, sub_core: usize) -> Option<usize> {
+    fn gto_pick(&mut self, sub_core: usize) -> Option<usize> {
         let issuable = |w: &WarpSlot| {
             w.sub_core == sub_core
                 && w.status == WarpStatus::Ready
@@ -384,6 +416,11 @@ impl Sm {
             if last < self.warps.len() && issuable(&self.warps[last]) {
                 return Some(last);
             }
+        }
+        // A cleared hint means the last full scan proved the stripe empty
+        // and no warp on it has become Ready since — skip the scan.
+        if !self.ready_hint[sub_core] {
+            return None;
         }
         // Warps are statically assigned sub-core = slot % sub_cores, so only
         // scan this sub-core's stripe.
@@ -397,39 +434,56 @@ impl Sm {
             }
             i += self.sub_cores;
         }
+        if best.is_none() {
+            self.ready_hint[sub_core] = false;
+        }
         best.map(|(_, i)| i)
     }
 
-    fn issue(&mut self, now: u64, mem: &mut MemorySystem) -> Result<(), SimError> {
+    fn issue(&mut self, now: u64, mem: &mut impl MemPort) -> Result<(), SimError> {
+        // The pick/request buffers live on the SM so the hot path allocates
+        // nothing; a terminal error may leave them taken, which only costs
+        // a fresh allocation on a run that is already dead.
+        let mut picks = std::mem::take(&mut self.scratch_picks);
+        let mut hsu_requests = std::mem::take(&mut self.scratch_hsu);
+        let result = self.issue_inner(now, mem, &mut picks, &mut hsu_requests);
+        self.scratch_picks = picks;
+        self.scratch_hsu = hsu_requests;
+        result
+    }
+
+    fn issue_inner(
+        &mut self,
+        now: u64,
+        mem: &mut impl MemPort,
+        picks: &mut Vec<Option<usize>>,
+        hsu_requests: &mut Vec<bool>,
+    ) -> Result<(), SimError> {
         // Phase 1: each sub-core picks its GTO warp; note which want the HSU.
         // Sub-cores still draining an ALU/shared run issue nothing.
-        let picks: Vec<Option<usize>> = (0..self.sub_cores)
-            .map(|sc| {
-                if self.sub_core_busy_until[sc] > now {
-                    None
-                } else {
-                    self.gto_pick(sc)
-                }
-            })
-            .collect();
-        let hsu_requests: Vec<bool> = picks
-            .iter()
-            .map(|&p| {
-                p.is_some_and(|slot| {
-                    let w = &self.warps[slot];
-                    w.trace.instructions[w.pc]
-                        .lanes
-                        .iter()
-                        .flatten()
-                        .next()
-                        .is_some_and(|op| op.is_hsu())
-                })
-            })
-            .collect();
+        picks.clear();
+        hsu_requests.clear();
+        for sc in 0..self.sub_cores {
+            let pick = if self.sub_core_busy_until[sc] > now {
+                None
+            } else {
+                self.gto_pick(sc)
+            };
+            picks.push(pick);
+            hsu_requests.push(pick.is_some_and(|slot| {
+                let w = &self.warps[slot];
+                w.trace.instructions[w.pc]
+                    .lanes
+                    .iter()
+                    .flatten()
+                    .next()
+                    .is_some_and(|op| op.is_hsu())
+            }));
+        }
 
         // Phase 2: the RT unit grants at most one sub-core's dispatch.
         let granted = if hsu_requests.iter().any(|&r| r) {
-            self.rt.grant(&hsu_requests)
+            self.rt.grant(hsu_requests)
         } else {
             None
         };
@@ -442,16 +496,20 @@ impl Sm {
             if wants_hsu && granted != Some(sc) {
                 continue; // arbiter did not pick this sub-core; retry next cycle
             }
-            let instr = self.warps[slot].trace.instructions[self.warps[slot].pc].clone();
+            // Split borrows: `instr` pins `self.warps` immutably, so this
+            // block touches only disjoint fields (stats, queues, rt, ...)
+            // until the status write below.
+            let warp = &self.warps[slot];
+            let instr = &warp.trace.instructions[warp.pc];
             let class = instr.class();
             self.stats.issued[class.index()] += 1;
-            self.stats.issued_weighted[class.index()] += weighted_count(&instr);
+            self.stats.issued_weighted[class.index()] += weighted_count(instr);
             any_issued = true;
             self.last_issued[sc] = Some(slot);
 
-            match class {
+            let new_status = match class {
                 OpClass::Alu | OpClass::Shared => {
-                    let count = max_run(&instr) as u64;
+                    let count = max_run(instr) as u64;
                     let lat = if class == OpClass::Alu {
                         self.alu_latency
                     } else {
@@ -460,21 +518,35 @@ impl Sm {
                     // The run occupies the sub-core's issue slot for `count`
                     // cycles; the warp itself also waits out the latency.
                     self.sub_core_busy_until[sc] = now + count;
-                    self.warps[slot].status = WarpStatus::WaitUntil(now + count + lat);
+                    WarpStatus::WaitUntil(now + count + lat)
                 }
                 OpClass::Load => {
-                    let lines = coalesce(&instr, self.line_bytes)?;
-                    debug_assert!(!lines.is_empty());
-                    for line in &lines {
-                        self.lsu_queue.push_back((*line, slot));
+                    let mut lines = std::mem::take(&mut self.coalesce_buf);
+                    let coalesced = coalesce_into(instr, self.line_bytes, &mut lines);
+                    if let Err(e) = coalesced {
+                        self.coalesce_buf = lines;
+                        return Err(e);
                     }
-                    self.warps[slot].status = WarpStatus::WaitMem(lines.len() as u32);
+                    debug_assert!(!lines.is_empty());
+                    for &line in &lines {
+                        self.lsu_queue.push_back((line, slot));
+                    }
+                    let outstanding = lines.len() as u32;
+                    self.coalesce_buf = lines;
+                    WarpStatus::WaitMem(outstanding)
                 }
                 OpClass::Store => {
-                    for line in coalesce(&instr, self.line_bytes)? {
+                    let mut lines = std::mem::take(&mut self.coalesce_buf);
+                    let coalesced = coalesce_into(instr, self.line_bytes, &mut lines);
+                    if let Err(e) = coalesced {
+                        self.coalesce_buf = lines;
+                        return Err(e);
+                    }
+                    for &line in &lines {
                         mem.store(self.index, line, Requester::Lsu);
                     }
-                    self.warps[slot].status = WarpStatus::WaitUntil(now + 1);
+                    self.coalesce_buf = lines;
+                    WarpStatus::WaitUntil(now + 1)
                 }
                 OpClass::HsuRayIntersect | OpClass::HsuDistance | OpClass::HsuKeyCompare => {
                     let Some(lead) = instr.lanes.iter().flatten().next() else {
@@ -495,25 +567,25 @@ impl Sm {
                     }
                     self.rt
                         .dispatch(slot, sc, instr.active_mask, &instr.lanes, self.line_bytes)?;
-                    self.warps[slot].status = WarpStatus::WaitHsu;
+                    WarpStatus::WaitHsu
                 }
-            }
+            };
 
             // Advance the program counter; retire at trace end.
             let warp = &mut self.warps[slot];
+            warp.status = new_status;
             warp.pc += 1;
-            if warp.pc == warp.trace.instructions.len() {
+            if warp.pc == warp.trace.instructions.len()
+                && matches!(warp.status, WarpStatus::Ready | WarpStatus::WaitUntil(_))
+            {
                 // The warp drains its outstanding work, then is finished. We
                 // conservatively let in-flight memory/HSU complete before
-                // retirement by only marking Finished when Ready.
-                if warp.status == WarpStatus::Ready
-                    || matches!(warp.status, WarpStatus::WaitUntil(_))
-                {
-                    warp.status = WarpStatus::Finished;
-                    self.stats.warps_retired += 1;
-                } else {
-                    // Mark for retirement on final unblock.
-                }
+                // retirement by only marking Finished when Ready or timed.
+                warp.status = WarpStatus::Finished;
+                self.stats.warps_retired += 1;
+            }
+            if let WarpStatus::WaitUntil(t) = warp.status {
+                self.earliest_timer = self.earliest_timer.min(t);
             }
         }
         if any_issued {
@@ -613,12 +685,18 @@ fn max_run(instr: &WarpInstruction) -> u32 {
         .unwrap_or(1)
 }
 
-/// Unique cache lines touched by a load/store warp instruction.
+/// Unique cache lines touched by a load/store warp instruction, written
+/// into a caller-owned scratch buffer (cleared first) so the per-issue hot
+/// path allocates nothing.
 ///
 /// Rejects instructions whose lanes mix in non-memory ops (a malformed or
 /// corrupted trace) instead of panicking mid-issue.
-fn coalesce(instr: &WarpInstruction, line_bytes: u64) -> Result<Vec<u64>, SimError> {
-    let mut lines: Vec<u64> = Vec::new();
+fn coalesce_into(
+    instr: &WarpInstruction,
+    line_bytes: u64,
+    lines: &mut Vec<u64>,
+) -> Result<(), SimError> {
+    lines.clear();
     for op in instr.lanes.iter().flatten() {
         let (addr, bytes) = match op {
             ThreadOp::Load { addr, bytes } | ThreadOp::Store { addr, bytes } => {
@@ -636,12 +714,13 @@ fn coalesce(instr: &WarpInstruction, line_bytes: u64) -> Result<Vec<u64>, SimErr
     }
     lines.sort_unstable();
     lines.dedup();
-    Ok(lines)
+    Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::memory::MemorySystem;
     use crate::trace::{KernelTrace, ThreadTrace};
 
     fn single_warp_kernel(ops: Vec<ThreadOp>, lanes: usize) -> WarpTrace {

@@ -1,7 +1,7 @@
 //! Fault-injection harness: every fault class must surface as its matching
 //! typed [`SimError`] — never a panic, never a process abort — and healthy
-//! runs must stay byte-identical to their fault-free twins in both
-//! simulation modes.
+//! runs must stay byte-identical to their fault-free twins in every
+//! simulation mode (parallel-epoch included, for every thread count).
 //!
 //! The corruptions come from [`hsu_sim::faults`], which guarantees they are
 //! real faults; this suite proves the *simulator's* side of the contract.
@@ -97,7 +97,7 @@ proptest! {
         let mut buf = Vec::new();
         write_trace(&original, &mut buf).unwrap();
         let restored = read_trace(buf.as_slice()).unwrap();
-        for mode in [SimMode::Stepped, SimMode::Event] {
+        for mode in SimMode::ALL {
             let cfg = GpuConfig { sim_mode: mode, ..GpuConfig::tiny() };
             let a = Gpu::new(cfg.clone()).run(&original).unwrap();
             let b = Gpu::new(cfg).run(&restored).unwrap();
@@ -136,29 +136,53 @@ fn pathological_configs_surface_as_invalid_config() {
     }
 }
 
+/// Thread counts the parallel-epoch fault cases sweep: the inline path,
+/// real barriers with an uneven lane split, and more workers than SMs.
+const FAULT_THREAD_SWEEP: [usize; 3] = [1, 2, 8];
+
 #[test]
-fn forced_deadlock_reports_identical_payloads_in_both_modes() {
+fn forced_deadlock_reports_identical_payloads_in_every_mode() {
     let kernel = forced_deadlock_kernel();
-    let reports: Vec<SimError> = [SimMode::Stepped, SimMode::Event]
+    // Every (mode, threads) pair that can execute the kernel; `sim_threads`
+    // is ignored outside parallel-epoch, so the serial modes run once.
+    let mut configs = vec![
+        GpuConfig {
+            sim_mode: SimMode::Stepped,
+            ..forced_deadlock_config()
+        },
+        GpuConfig {
+            sim_mode: SimMode::Event,
+            ..forced_deadlock_config()
+        },
+    ];
+    for threads in FAULT_THREAD_SWEEP {
+        configs.push(GpuConfig {
+            sim_mode: SimMode::ParallelEpoch,
+            sim_threads: threads,
+            ..forced_deadlock_config()
+        });
+    }
+    let reports: Vec<SimError> = configs
         .into_iter()
-        .map(|mode| {
-            let cfg = GpuConfig {
-                sim_mode: mode,
-                ..forced_deadlock_config()
-            };
+        .map(|cfg| {
             Gpu::new(cfg)
                 .run(&kernel)
                 .expect_err("forced deadlock must trip the guard")
         })
         .collect();
-    match (&reports[0], &reports[1]) {
-        (SimError::Deadlock(a), SimError::Deadlock(b)) => {
-            assert_eq!(a, b, "deadlock diagnostics diverged between modes");
-            assert_eq!(a.kernel, "forced-deadlock");
-            assert_eq!(a.cycle, forced_deadlock_config().max_cycles);
-            assert!(!a.per_sm.is_empty());
+    let SimError::Deadlock(oracle) = &reports[0] else {
+        panic!("expected a Deadlock error, got {:?}", reports[0]);
+    };
+    assert_eq!(oracle.kernel, "forced-deadlock");
+    assert_eq!(oracle.cycle, forced_deadlock_config().max_cycles);
+    assert!(!oracle.per_sm.is_empty());
+    for (i, report) in reports.iter().enumerate().skip(1) {
+        match report {
+            SimError::Deadlock(d) => {
+                assert_eq!(d, oracle, "deadlock diagnostics diverged (config {i})");
+            }
+            other => panic!("expected Deadlock for config {i}, got {other:?}"),
         }
-        other => panic!("expected two Deadlock errors, got {other:?}"),
     }
 }
 
@@ -187,5 +211,45 @@ fn watchdog_deadline_yields_a_typed_watchdog_error() {
     match err {
         SimError::Watchdog { cause, .. } => assert_eq!(cause, WatchdogCause::Deadline),
         other => panic!("expected Watchdog, got {other:?}"),
+    }
+}
+
+/// The parallel-epoch loop must shut its worker pool down cleanly on every
+/// watchdog path and surface the same typed error as the serial modes —
+/// a hang here (a worker parked on a barrier that never releases) would
+/// time the test out rather than fail an assertion.
+#[test]
+fn watchdog_faults_are_typed_identically_under_parallel_epoch() {
+    let kernel = sample_kernel(64, 8);
+    for threads in FAULT_THREAD_SWEEP {
+        let cfg = GpuConfig {
+            sim_mode: SimMode::ParallelEpoch,
+            sim_threads: threads,
+            ..GpuConfig::tiny()
+        };
+
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let limits = RunLimits::none().with_cancel(cancel);
+        let err = Gpu::new(cfg.clone())
+            .run_guarded(&kernel, &limits)
+            .expect_err("pre-cancelled run must stop");
+        match err {
+            SimError::Watchdog { cause, .. } => {
+                assert_eq!(cause, WatchdogCause::Cancelled, "{threads} threads");
+            }
+            other => panic!("expected Watchdog ({threads} threads), got {other:?}"),
+        }
+
+        let limits = RunLimits::none().with_deadline(std::time::Instant::now());
+        let err = Gpu::new(cfg)
+            .run_guarded(&kernel, &limits)
+            .expect_err("expired deadline must stop the run");
+        match err {
+            SimError::Watchdog { cause, .. } => {
+                assert_eq!(cause, WatchdogCause::Deadline, "{threads} threads");
+            }
+            other => panic!("expected Watchdog ({threads} threads), got {other:?}"),
+        }
     }
 }
