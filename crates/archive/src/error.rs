@@ -1,0 +1,209 @@
+//! The typed decode-error taxonomy for `.hsar` archives.
+//!
+//! Every way an archive can fail to open or a chunk can fail to read maps to
+//! exactly one [`ArchiveError`] variant — the corruption test suite pins each
+//! fault class in [`crate::faults`] to its variant, and consumers (the
+//! simulator, the bench cache) branch on [`ArchiveError::kind`] to decide
+//! between "rebuild the cache entry" and "report an I/O problem".
+
+use std::fmt;
+
+/// A typed `.hsar` decode or I/O failure. Never panics, never silent data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArchiveError {
+    /// The first four bytes are not the `HSAR` magic — not an archive.
+    BadMagic {
+        /// The bytes found where the magic should be.
+        found: [u8; 4],
+    },
+    /// The header's format version is not one this reader understands.
+    VersionSkew {
+        /// Version byte in the file.
+        found: u8,
+        /// Version this library writes and reads.
+        expected: u8,
+    },
+    /// The file ends before a structure it promised — header, chunk
+    /// payload, footer, index, or trailer.
+    Truncated {
+        /// What was being read when the bytes ran out.
+        detail: String,
+    },
+    /// A stored checksum does not match the bytes it covers.
+    ChecksumMismatch {
+        /// Path of the chunk (or `"<index>"` for the index table).
+        chunk: String,
+        /// Checksum recorded in the file.
+        stored: u64,
+        /// Checksum computed over the bytes actually present.
+        computed: u64,
+    },
+    /// A chunk exists but carries a different type tag than the caller
+    /// asked for.
+    BadChunkKind {
+        /// Path of the offending chunk.
+        chunk: String,
+        /// Kind tag found in the index.
+        found: u32,
+        /// Kind tag the caller expected.
+        expected: u32,
+    },
+    /// The index table failed structural validation (counts out of range,
+    /// names too long, offsets outside the data region, dangling group
+    /// references).
+    MalformedIndex {
+        /// What the validator tripped on.
+        detail: String,
+    },
+    /// A lookup by path found no chunk.
+    MissingChunk {
+        /// The `group/name` path that was requested.
+        path: String,
+    },
+    /// The archive's `meta/key` chunk does not match the content key the
+    /// reader expected — same file name, different generator inputs. Cache
+    /// layers treat this as a miss, not an error.
+    KeyMismatch {
+        /// Key the reader required.
+        expected: String,
+        /// Key stored in the archive.
+        found: String,
+    },
+    /// A chunk's payload decoded structurally (checksums fine) but its
+    /// contents violate the codec's schema.
+    Payload {
+        /// Path of the chunk being decoded.
+        chunk: String,
+        /// What the codec rejected.
+        detail: String,
+    },
+    /// An operating-system I/O failure, distinct from data corruption.
+    Io {
+        /// What was being done (usually the file path).
+        context: String,
+        /// The OS error text.
+        detail: String,
+    },
+}
+
+impl ArchiveError {
+    /// Stable machine-readable tag for each variant, mirroring
+    /// `SimError::kind`.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ArchiveError::BadMagic { .. } => "bad-magic",
+            ArchiveError::VersionSkew { .. } => "version-skew",
+            ArchiveError::Truncated { .. } => "truncated",
+            ArchiveError::ChecksumMismatch { .. } => "checksum-mismatch",
+            ArchiveError::BadChunkKind { .. } => "bad-chunk-kind",
+            ArchiveError::MalformedIndex { .. } => "malformed-index",
+            ArchiveError::MissingChunk { .. } => "missing-chunk",
+            ArchiveError::KeyMismatch { .. } => "key-mismatch",
+            ArchiveError::Payload { .. } => "payload",
+            ArchiveError::Io { .. } => "io",
+        }
+    }
+
+    /// Wraps an OS error with the operation it interrupted.
+    pub fn io(context: impl Into<String>, err: std::io::Error) -> Self {
+        ArchiveError::Io {
+            context: context.into(),
+            detail: err.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for ArchiveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchiveError::BadMagic { found } => {
+                write!(f, "bad archive magic {found:02x?} (expected \"HSAR\")")
+            }
+            ArchiveError::VersionSkew { found, expected } => {
+                write!(
+                    f,
+                    "archive format version {found} (this reader understands {expected})"
+                )
+            }
+            ArchiveError::Truncated { detail } => write!(f, "archive truncated: {detail}"),
+            ArchiveError::ChecksumMismatch {
+                chunk,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "checksum mismatch in '{chunk}': stored {stored:#018x}, computed {computed:#018x}"
+            ),
+            ArchiveError::BadChunkKind {
+                chunk,
+                found,
+                expected,
+            } => write!(
+                f,
+                "chunk '{chunk}' has kind {found:#010x}, expected {expected:#010x}"
+            ),
+            ArchiveError::MalformedIndex { detail } => {
+                write!(f, "malformed archive index: {detail}")
+            }
+            ArchiveError::MissingChunk { path } => write!(f, "no chunk at '{path}'"),
+            ArchiveError::KeyMismatch { expected, found } => write!(
+                f,
+                "archive key mismatch: expected '{expected}', found '{found}'"
+            ),
+            ArchiveError::Payload { chunk, detail } => {
+                write!(f, "malformed payload in '{chunk}': {detail}")
+            }
+            ArchiveError::Io { context, detail } => write!(f, "{context}: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ArchiveError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_distinct_and_stable() {
+        let variants = [
+            ArchiveError::BadMagic { found: *b"NOPE" },
+            ArchiveError::VersionSkew {
+                found: 9,
+                expected: 1,
+            },
+            ArchiveError::Truncated { detail: "x".into() },
+            ArchiveError::ChecksumMismatch {
+                chunk: "a/b".into(),
+                stored: 1,
+                computed: 2,
+            },
+            ArchiveError::BadChunkKind {
+                chunk: "a/b".into(),
+                found: 3,
+                expected: 4,
+            },
+            ArchiveError::MalformedIndex { detail: "x".into() },
+            ArchiveError::MissingChunk { path: "a/b".into() },
+            ArchiveError::KeyMismatch {
+                expected: "k1".into(),
+                found: "k2".into(),
+            },
+            ArchiveError::Payload {
+                chunk: "a/b".into(),
+                detail: "x".into(),
+            },
+            ArchiveError::Io {
+                context: "open".into(),
+                detail: "denied".into(),
+            },
+        ];
+        let mut kinds: Vec<&str> = variants.iter().map(|v| v.kind()).collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        assert_eq!(kinds.len(), variants.len(), "kind() tags must be unique");
+        for v in &variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Deterministic archive corruptions for fault-injection tests.
+//!
+//! Mirrors `hsu_sim::faults` for traces: every [`ArchiveFault`] class is a
+//! *guaranteed* fault (the corrupted bytes can never decode as the original
+//! archive), generated deterministically from a seed so test failures
+//! reproduce. The corruption tests pin each class to its typed
+//! [`ArchiveError`](crate::ArchiveError):
+//!
+//! | fault                         | pinned error                         |
+//! |-------------------------------|--------------------------------------|
+//! | [`ArchiveFault::Truncate`]    | `Truncated` / `BadMagic` / `MalformedIndex` / `ChecksumMismatch` |
+//! | [`ArchiveFault::ChecksumFlip`]| `ChecksumMismatch`                   |
+//! | [`ArchiveFault::BogusChunkKind`] | `BadChunkKind`                    |
+//! | [`ArchiveFault::VersionSkew`] | `VersionSkew`                        |
+//!
+//! Truncation maps to a *set* because the typed error depends on where the
+//! cut lands (inside the header, the data region, the index, or the
+//! trailer) — the contract is that it is always one of those four decode
+//! errors, never a panic, never an `Io`, and never success.
+//!
+//! `BogusChunkKind` is the subtle one: the kind tag lives inside the
+//! checksummed index, so naively patching the byte would surface as an index
+//! `ChecksumMismatch` rather than the intended `BadChunkKind`. The injector
+//! therefore re-encodes the doctored index and trailer through the same
+//! code path the writer uses, keeping every checksum consistent so the only
+//! fault a reader can trip on is the bogus tag itself.
+
+use crate::format::{self, parse_trailer, HEADER_LEN, TRAILER_LEN, VERSION};
+
+/// A chunk-kind value outside the registry, used by [`ArchiveFault::BogusChunkKind`].
+pub const BOGUS_KIND: u32 = 0xdead_beef;
+
+/// One class of archive corruption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArchiveFault {
+    /// Cut the file short at a seed-chosen offset (any offset, including 0).
+    Truncate,
+    /// Flip one bit of a seed-chosen chunk's stored footer checksum.
+    ChecksumFlip,
+    /// Rewrite a seed-chosen chunk's kind tag to [`BOGUS_KIND`], with the
+    /// index and trailer re-encoded so their checksums stay valid.
+    BogusChunkKind,
+    /// Overwrite the header version byte with a seed-chosen wrong version.
+    VersionSkew,
+}
+
+/// Every archive fault class, for sweep-style tests.
+pub const ARCHIVE_FAULTS: [ArchiveFault; 4] = [
+    ArchiveFault::Truncate,
+    ArchiveFault::ChecksumFlip,
+    ArchiveFault::BogusChunkKind,
+    ArchiveFault::VersionSkew,
+];
+
+/// The same splitmix64 the trace fault injector uses: a tiny, deterministic
+/// seed-to-offset mixer, not a statistical RNG.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn truncate(bytes: &[u8], r: u64) -> Vec<u8> {
+    let cut = (r % bytes.len().max(1) as u64) as usize;
+    bytes[..cut].to_vec()
+}
+
+/// Parses the index of a healthy archive image. Returns `None` when the
+/// input is not a well-formed archive (fault generators then fall back to
+/// truncation, which is a guaranteed fault on any input).
+#[allow(clippy::type_complexity)]
+fn parsed_index(bytes: &[u8]) -> Option<(u64, Vec<format::GroupRec>, Vec<format::ChunkRec>)> {
+    if bytes.len() < HEADER_LEN + TRAILER_LEN {
+        return None;
+    }
+    let trailer_bytes: &[u8; TRAILER_LEN] = bytes[bytes.len() - TRAILER_LEN..].try_into().ok()?;
+    let trailer = parse_trailer(trailer_bytes, bytes.len() as u64).ok()?;
+    let index_bytes =
+        &bytes[trailer.index_offset as usize..(trailer.index_offset + trailer.index_len) as usize];
+    let (groups, chunks) = format::decode_index(index_bytes).ok()?;
+    if chunks.is_empty() {
+        return None;
+    }
+    Some((trailer.index_offset, groups, chunks))
+}
+
+/// Applies `fault` to an archive image, deterministically in `seed`.
+/// The result is guaranteed corrupt: decoding it must yield the fault's
+/// pinned typed error, never the original data.
+pub fn corrupt_archive_bytes(bytes: &[u8], fault: ArchiveFault, seed: u64) -> Vec<u8> {
+    let r = splitmix64(seed);
+    match fault {
+        ArchiveFault::Truncate => truncate(bytes, r),
+        ArchiveFault::ChecksumFlip => {
+            let Some((_, _, chunks)) = parsed_index(bytes) else {
+                return truncate(bytes, r);
+            };
+            let chunk = &chunks[(r % chunks.len() as u64) as usize];
+            // The footer checksum's 8 bytes start right after the payload
+            // and its 8-byte length field.
+            let field = (chunk.offset + chunk.len + 8) as usize;
+            let bit = (splitmix64(r) % 64) as usize;
+            let mut out = bytes.to_vec();
+            out[field + bit / 8] ^= 1 << (bit % 8);
+            out
+        }
+        ArchiveFault::BogusChunkKind => {
+            let Some((index_offset, groups, mut chunks)) = parsed_index(bytes) else {
+                return truncate(bytes, r);
+            };
+            let victim = (r % chunks.len() as u64) as usize;
+            chunks[victim].kind = BOGUS_KIND;
+            let index = format::encode_index(&groups, &chunks);
+            let mut out = bytes[..index_offset as usize].to_vec();
+            let checksum = format::fnv1a64(&index);
+            out.extend_from_slice(&index);
+            out.extend_from_slice(&format::encode_trailer(
+                index_offset,
+                index.len() as u64,
+                checksum,
+            ));
+            out
+        }
+        ArchiveFault::VersionSkew => {
+            let mut out = bytes.to_vec();
+            if out.len() > 4 {
+                let mut v = (r % 255) as u8;
+                if v >= VERSION {
+                    v = v.wrapping_add(1);
+                }
+                out[4] = v;
+            }
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::kind;
+    use crate::reader::SliceArchive;
+    use crate::writer::ArchiveWriter;
+
+    fn sample() -> Vec<u8> {
+        let mut w = ArchiveWriter::new();
+        w.set_key("fault-sample");
+        w.begin_group("g");
+        w.add_chunk("a", kind::TRACE, &[1u8; 64]);
+        w.add_chunk("b", kind::POINTS, &[2u8; 33]);
+        w.end_group();
+        w.finish()
+    }
+
+    #[test]
+    fn bogus_kind_keeps_index_checksum_valid() {
+        let bytes = sample();
+        let bad = corrupt_archive_bytes(&bytes, ArchiveFault::BogusChunkKind, 3);
+        // The archive still opens (index checksum intact) …
+        let a = SliceArchive::parse(&bad).expect("doctored index must still parse");
+        // … and exactly one chunk now carries the bogus tag.
+        let bogus = a.entries().iter().filter(|e| e.kind == BOGUS_KIND).count();
+        assert_eq!(bogus, 1);
+    }
+
+    #[test]
+    fn version_skew_never_produces_the_real_version() {
+        let bytes = sample();
+        for seed in 0..512 {
+            let bad = corrupt_archive_bytes(&bytes, ArchiveFault::VersionSkew, seed);
+            assert_ne!(bad[4], VERSION, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn faults_are_deterministic_in_the_seed() {
+        let bytes = sample();
+        for fault in ARCHIVE_FAULTS {
+            assert_eq!(
+                corrupt_archive_bytes(&bytes, fault, 99),
+                corrupt_archive_bytes(&bytes, fault, 99),
+                "{fault:?}"
+            );
+        }
+    }
+}

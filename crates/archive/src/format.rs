@@ -1,0 +1,347 @@
+//! On-disk layout constants, the FNV-1a checksum, the chunk-kind registry,
+//! and the index encode/decode shared by the writer, the readers, and the
+//! fault injector.
+//!
+//! Everything in a `.hsar` file is little-endian:
+//!
+//! ```text
+//! header  : "HSAR" magic (4) | version u8 | reserved [0u8; 3]        =  8 B
+//! chunk i : payload bytes | footer { len u64 | fnv1a64(payload) }    = len + 16 B
+//! index   : group records | chunk records (see encode_index)
+//! trailer : index_offset u64 | index_len u64 | fnv1a64(index) | "RASH" = 28 B
+//! ```
+//!
+//! The file is written strictly forward — no seeking — and read from the
+//! tail: the trailer locates the index, the index locates every chunk.
+
+use crate::error::ArchiveError;
+use crate::payload::{put_u16, put_u32, put_u64, Cursor};
+
+/// Leading file magic.
+pub const MAGIC: [u8; 4] = *b"HSAR";
+/// Trailing file magic (the header magic reversed), confirming the trailer
+/// is really a trailer and the file was not cut short.
+pub const TRAILER_MAGIC: [u8; 4] = *b"RASH";
+/// Format version this library writes and reads.
+pub const VERSION: u8 = 1;
+/// Fixed header size in bytes.
+pub const HEADER_LEN: usize = 8;
+/// Fixed per-chunk footer size in bytes (length + checksum).
+pub const FOOTER_LEN: usize = 16;
+/// Fixed trailer size in bytes.
+pub const TRAILER_LEN: usize = 28;
+
+/// Longest permitted group or chunk name (same cap as the trace codec).
+pub const MAX_NAME_LEN: usize = 4096;
+/// Most groups an index may declare.
+pub const MAX_GROUPS: usize = 1 << 16;
+/// Most chunks an index may declare.
+pub const MAX_CHUNKS: usize = 1 << 20;
+
+/// `parent` value marking the root group.
+pub(crate) const ROOT_PARENT: u32 = u32::MAX;
+
+/// FNV-1a 64-bit hash: the archive checksum and the cache-key hash.
+///
+/// Chosen because it is dependency-free, fast on short inputs, and byte-order
+/// independent; the format stores it little-endian like every other integer.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The chunk-kind registry: a `u32` tag stored per chunk in the index so a
+/// reader can reject a payload wired to the wrong decoder
+/// ([`ArchiveError::BadChunkKind`]) before parsing a byte of it.
+pub mod kind {
+    /// Archive metadata (the content key, format notes).
+    pub const META: u32 = 0x4d45_5441; // "META"
+    /// A packed warp trace in the `HSUT` stream format.
+    pub const TRACE: u32 = 0x5452_4143; // "TRAC"
+    /// A flat `f32` point set (dim × count).
+    pub const POINTS: u32 = 0x504e_5453; // "PNTS"
+    /// Sorted `(u32, u64)` key/value pairs.
+    pub const KEYS: u32 = 0x4b45_5953; // "KEYS"
+    /// An HNSW graph (layers, levels, entry point, build config).
+    pub const GRAPH: u32 = 0x4752_5048; // "GRPH"
+    /// A k-d tree (nodes, permutation, metric, build params).
+    pub const KDTREE: u32 = 0x4b44_5452; // "KDTR"
+    /// A binary BVH (AABB nodes + primitive permutation).
+    pub const BVH2: u32 = 0x4256_4832; // "BVH2"
+    /// A B+-tree (nodes, root, branch factor).
+    pub const BTREE: u32 = 0x4254_5245; // "BTRE"
+    /// A single scalar value (e.g. a search radius).
+    pub const SCALAR: u32 = 0x5343_4c52; // "SCLR"
+
+    /// Every registered kind, for corruption tests picking a bogus tag.
+    pub const ALL: [u32; 9] = [
+        META, TRACE, POINTS, KEYS, GRAPH, KDTREE, BVH2, BTREE, SCALAR,
+    ];
+}
+
+/// One group record: a named node in the group tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct GroupRec {
+    /// Index of the parent group, or [`ROOT_PARENT`] for the root.
+    pub parent: u32,
+    /// Group name (empty for the root).
+    pub name: String,
+}
+
+/// One chunk record: where a typed payload lives and what guards it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct ChunkRec {
+    /// Index of the owning group.
+    pub group: u32,
+    /// Kind tag from [`kind`].
+    pub kind: u32,
+    /// Chunk name within its group.
+    pub name: String,
+    /// Byte offset of the payload from the start of the file.
+    pub offset: u64,
+    /// Payload length in bytes (footer excluded).
+    pub len: u64,
+    /// FNV-1a 64 checksum of the payload.
+    pub checksum: u64,
+}
+
+fn put_name(buf: &mut Vec<u8>, name: &str) {
+    debug_assert!(name.len() <= MAX_NAME_LEN);
+    put_u16(buf, name.len() as u16);
+    buf.extend_from_slice(name.as_bytes());
+}
+
+/// Serializes the index table. Shared between [`crate::ArchiveWriter`] and
+/// the fault injector (which must re-encode a doctored index so the trailer
+/// checksum stays consistent and the *intended* fault is the one a reader
+/// trips on).
+pub(crate) fn encode_index(groups: &[GroupRec], chunks: &[ChunkRec]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    put_u32(&mut buf, groups.len() as u32);
+    for g in groups {
+        put_u32(&mut buf, g.parent);
+        put_name(&mut buf, &g.name);
+    }
+    put_u32(&mut buf, chunks.len() as u32);
+    for c in chunks {
+        put_u32(&mut buf, c.group);
+        put_u32(&mut buf, c.kind);
+        put_name(&mut buf, &c.name);
+        put_u64(&mut buf, c.offset);
+        put_u64(&mut buf, c.len);
+        put_u64(&mut buf, c.checksum);
+    }
+    buf
+}
+
+fn index_name(c: &mut Cursor<'_>, what: &str) -> Result<String, ArchiveError> {
+    let len = usize::from(c.u16()?);
+    if len > MAX_NAME_LEN {
+        return Err(ArchiveError::MalformedIndex {
+            detail: format!("{what} name of {len} bytes exceeds the {MAX_NAME_LEN} cap"),
+        });
+    }
+    let bytes = c.take(len)?;
+    String::from_utf8(bytes.to_vec()).map_err(|_| ArchiveError::MalformedIndex {
+        detail: format!("{what} name is not UTF-8"),
+    })
+}
+
+/// Parses and structurally validates an index table (the inverse of
+/// [`encode_index`]). Offsets are validated against the data region by the
+/// caller, which knows where the index starts.
+pub(crate) fn decode_index(bytes: &[u8]) -> Result<(Vec<GroupRec>, Vec<ChunkRec>), ArchiveError> {
+    let mut c = Cursor::new(bytes, "<index>");
+    let group_count = c.u32()? as usize;
+    if group_count == 0 || group_count > MAX_GROUPS {
+        return Err(ArchiveError::MalformedIndex {
+            detail: format!("group count {group_count} outside 1..={MAX_GROUPS}"),
+        });
+    }
+    let mut groups = Vec::with_capacity(group_count.min(1024));
+    for i in 0..group_count {
+        let parent = c.u32()?;
+        let name = index_name(&mut c, "group")?;
+        if i == 0 {
+            if parent != ROOT_PARENT || !name.is_empty() {
+                return Err(ArchiveError::MalformedIndex {
+                    detail: "group 0 must be the unnamed root".into(),
+                });
+            }
+        } else if parent as usize >= i {
+            // Parents must precede children: bans cycles and forward refs.
+            return Err(ArchiveError::MalformedIndex {
+                detail: format!("group {i} references parent {parent} at or after itself"),
+            });
+        }
+        groups.push(GroupRec { parent, name });
+    }
+    let chunk_count = c.u32()? as usize;
+    if chunk_count > MAX_CHUNKS {
+        return Err(ArchiveError::MalformedIndex {
+            detail: format!("chunk count {chunk_count} exceeds the {MAX_CHUNKS} cap"),
+        });
+    }
+    let mut chunks = Vec::with_capacity(chunk_count.min(1024));
+    for _ in 0..chunk_count {
+        let group = c.u32()?;
+        if group as usize >= groups.len() {
+            return Err(ArchiveError::MalformedIndex {
+                detail: format!("chunk references group {group} of {}", groups.len()),
+            });
+        }
+        let kind = c.u32()?;
+        let name = index_name(&mut c, "chunk")?;
+        let offset = c.u64()?;
+        let len = c.u64()?;
+        let checksum = c.u64()?;
+        chunks.push(ChunkRec {
+            group,
+            kind,
+            name,
+            offset,
+            len,
+            checksum,
+        });
+    }
+    c.finish()?;
+    Ok((groups, chunks))
+}
+
+/// Serializes the 28-byte trailer.
+pub(crate) fn encode_trailer(
+    index_offset: u64,
+    index_len: u64,
+    index_checksum: u64,
+) -> [u8; TRAILER_LEN] {
+    let mut t = [0u8; TRAILER_LEN];
+    t[0..8].copy_from_slice(&index_offset.to_le_bytes());
+    t[8..16].copy_from_slice(&index_len.to_le_bytes());
+    t[16..24].copy_from_slice(&index_checksum.to_le_bytes());
+    t[24..28].copy_from_slice(&TRAILER_MAGIC);
+    t
+}
+
+/// Parsed trailer fields.
+pub(crate) struct Trailer {
+    pub index_offset: u64,
+    pub index_len: u64,
+    pub index_checksum: u64,
+}
+
+/// Validates the fixed header (magic + version). `bytes` must hold at least
+/// [`HEADER_LEN`] bytes.
+pub(crate) fn check_header(bytes: &[u8]) -> Result<(), ArchiveError> {
+    let found: [u8; 4] = bytes[0..4].try_into().expect("caller checked length");
+    if found != MAGIC {
+        return Err(ArchiveError::BadMagic { found });
+    }
+    if bytes[4] != VERSION {
+        return Err(ArchiveError::VersionSkew {
+            found: bytes[4],
+            expected: VERSION,
+        });
+    }
+    Ok(())
+}
+
+/// Validates and parses the trailer given the total file length. The index
+/// must sit flush between the data region and the trailer — the write-once
+/// format never leaves a gap, so any slack is corruption.
+pub(crate) fn parse_trailer(
+    bytes: &[u8; TRAILER_LEN],
+    file_len: u64,
+) -> Result<Trailer, ArchiveError> {
+    if bytes[24..28] != TRAILER_MAGIC {
+        return Err(ArchiveError::Truncated {
+            detail: "trailer magic missing from the file tail".into(),
+        });
+    }
+    let index_offset = u64::from_le_bytes(bytes[0..8].try_into().expect("fixed slice"));
+    let index_len = u64::from_le_bytes(bytes[8..16].try_into().expect("fixed slice"));
+    let index_checksum = u64::from_le_bytes(bytes[16..24].try_into().expect("fixed slice"));
+    let data_end = file_len - TRAILER_LEN as u64;
+    if index_offset < HEADER_LEN as u64
+        || index_offset > data_end
+        || index_offset.checked_add(index_len) != Some(data_end)
+    {
+        return Err(ArchiveError::MalformedIndex {
+            detail: format!(
+                "index span {index_offset}+{index_len} does not end flush at the trailer ({data_end})"
+            ),
+        });
+    }
+    Ok(Trailer {
+        index_offset,
+        index_len,
+        index_checksum,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a64_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn index_round_trips() {
+        let groups = vec![
+            GroupRec {
+                parent: ROOT_PARENT,
+                name: String::new(),
+            },
+            GroupRec {
+                parent: 0,
+                name: "traces".into(),
+            },
+        ];
+        let chunks = vec![ChunkRec {
+            group: 1,
+            kind: kind::TRACE,
+            name: "hsu".into(),
+            offset: 8,
+            len: 100,
+            checksum: 42,
+        }];
+        let bytes = encode_index(&groups, &chunks);
+        let (g2, c2) = decode_index(&bytes).expect("round trip");
+        assert_eq!(groups, g2);
+        assert_eq!(chunks, c2);
+    }
+
+    #[test]
+    fn forward_group_references_are_rejected() {
+        let groups = vec![
+            GroupRec {
+                parent: ROOT_PARENT,
+                name: String::new(),
+            },
+            GroupRec {
+                parent: 2,
+                name: "broken".into(),
+            },
+        ];
+        let bytes = encode_index(&groups, &[]);
+        let err = decode_index(&bytes).expect_err("forward parent must fail");
+        assert_eq!(err.kind(), "malformed-index");
+    }
+
+    #[test]
+    fn registry_kinds_are_distinct() {
+        let mut all = kind::ALL.to_vec();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), kind::ALL.len());
+    }
+}

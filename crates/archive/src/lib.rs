@@ -1,0 +1,62 @@
+//! `.hsar` — the HSU chunked archive format.
+//!
+//! A compact write-once container for packed warp traces, generated
+//! datasets, and built search indexes: a magic/version header, a group tree
+//! of typed data chunks — each payload immediately followed by a length +
+//! checksum footer — and an index table at the tail that locates every
+//! chunk, so readers seek straight to the data they need instead of
+//! scanning the file.
+//!
+//! ```text
+//! +--------+-----------------+--------+-...-+-------+---------+
+//! | header | chunk 0 payload | footer | ... | index | trailer |
+//! +--------+-----------------+--------+-...-+-------+---------+
+//! header  = "HSAR" magic, version u8, 3 reserved bytes         (8 B)
+//! footer  = payload length u64, FNV-1a-64 checksum u64        (16 B)
+//! index   = group tree + per-chunk {group, kind, name,
+//!           offset, length, checksum} records
+//! trailer = index offset/length/checksum, "RASH" end magic    (28 B)
+//! ```
+//!
+//! Everything is little-endian. Files are written strictly forward (no
+//! seeking), so producers can stream; readers start from the trailer.
+//! [`SliceArchive`] hands out zero-copy payload borrows from an in-memory
+//! or memory-mapped image; [`FileArchive`] streams chunks through seeks
+//! without ever loading the whole file.
+//!
+//! Two disciplines, both enforced by this crate's test suite:
+//!
+//! * **Parity** (`tests/parity.rs`): encode → decode → re-encode is
+//!   byte-identical for every payload codec in the workspace. The encoding
+//!   is fully deterministic — no timestamps, no padding, insertion order
+//!   preserved — so equal content means equal bytes.
+//! * **Typed corruption** (`tests/corruption.rs`): every fault class in
+//!   [`faults`] decodes to its pinned [`ArchiveError`] variant — never a
+//!   panic, never silent wrong data.
+//!
+//! Archives may carry a content key (`meta/key` chunk, written with
+//! [`ArchiveWriter::set_key`]) naming the exact generator inputs that
+//! produced them; `expect_key` turns a stale cache file into a typed
+//! [`ArchiveError::KeyMismatch`] miss instead of wrong data.
+
+#![warn(missing_docs)]
+
+mod error;
+pub mod faults;
+mod format;
+pub mod payload;
+mod reader;
+mod writer;
+
+pub use error::ArchiveError;
+pub use format::{
+    fnv1a64, kind, FOOTER_LEN, HEADER_LEN, MAGIC, MAX_NAME_LEN, TRAILER_LEN, VERSION,
+};
+pub use reader::{ChunkEntry, FileArchive, SliceArchive};
+pub use writer::{ArchiveWriter, KEY_PATH, META_GROUP};
+
+/// Hashes a content-key string into the compact hex fragment cache layers
+/// embed in archive file names (`{stem}-{hash:016x}.hsar`).
+pub fn key_hash(key: &str) -> u64 {
+    fnv1a64(key.as_bytes())
+}

@@ -1,0 +1,188 @@
+//! Payload codec helpers: a bounds-checked little-endian [`Cursor`] for
+//! decoding chunk payloads, and `put_*` writers for encoding them.
+//!
+//! Every overrun surfaces as [`ArchiveError::Payload`] naming the chunk, and
+//! [`Cursor::count`] caps element counts by the bytes actually remaining so
+//! a corrupt length field can never drive a huge allocation.
+
+use crate::error::ArchiveError;
+
+/// A little-endian read cursor over one chunk's payload.
+#[derive(Debug)]
+pub struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    chunk: String,
+}
+
+impl<'a> Cursor<'a> {
+    /// Starts decoding `bytes`; `chunk` labels errors (usually the chunk
+    /// path).
+    pub fn new(bytes: &'a [u8], chunk: impl Into<String>) -> Self {
+        Cursor {
+            bytes,
+            pos: 0,
+            chunk: chunk.into(),
+        }
+    }
+
+    fn fail(&self, detail: String) -> ArchiveError {
+        ArchiveError::Payload {
+            chunk: self.chunk.clone(),
+            detail,
+        }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Takes the next `n` raw bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], ArchiveError> {
+        if self.remaining() < n {
+            return Err(self.fail(format!(
+                "needed {n} bytes at offset {}, only {} left",
+                self.pos,
+                self.remaining()
+            )));
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, ArchiveError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16, ArchiveError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("len 2")))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, ArchiveError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, ArchiveError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+    }
+
+    /// Reads a little-endian `f32` (bit pattern preserved exactly).
+    pub fn f32(&mut self) -> Result<f32, ArchiveError> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
+    }
+
+    /// Reads a little-endian `f64` (bit pattern preserved exactly).
+    pub fn f64(&mut self) -> Result<f64, ArchiveError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+    }
+
+    /// Validates a decoded element count against the bytes remaining:
+    /// `n` elements of at least `elem_size` bytes each must still fit.
+    /// Returns `n` as `usize` so callers can `Vec::with_capacity` it safely.
+    pub fn count(&self, n: u64, elem_size: usize, what: &str) -> Result<usize, ArchiveError> {
+        debug_assert!(elem_size > 0);
+        let fit = (self.remaining() / elem_size.max(1)) as u64;
+        if n > fit {
+            return Err(self.fail(format!(
+                "{what} count {n} cannot fit in {} remaining bytes ({elem_size} B each)",
+                self.remaining()
+            )));
+        }
+        Ok(n as usize)
+    }
+
+    /// Asserts the payload is fully consumed — trailing garbage is a decode
+    /// error, which is what makes re-encode parity meaningful.
+    pub fn finish(self) -> Result<(), ArchiveError> {
+        if self.remaining() != 0 {
+            let n = self.remaining();
+            return Err(self.fail(format!("{n} trailing bytes after the last field")));
+        }
+        Ok(())
+    }
+}
+
+/// Appends a `u8`.
+pub fn put_u8(buf: &mut Vec<u8>, v: u8) {
+    buf.push(v);
+}
+
+/// Appends a little-endian `u16`.
+pub fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a little-endian `u32`.
+pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a little-endian `u64`.
+pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a little-endian `f32` (bit pattern preserved exactly).
+pub fn put_f32(buf: &mut Vec<u8>, v: f32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a little-endian `f64` (bit pattern preserved exactly).
+pub fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trip() {
+        let mut buf = Vec::new();
+        put_u8(&mut buf, 7);
+        put_u16(&mut buf, 300);
+        put_u32(&mut buf, 70_000);
+        put_u64(&mut buf, u64::MAX - 1);
+        put_f32(&mut buf, -0.0);
+        put_f64(&mut buf, f64::NAN);
+        let mut c = Cursor::new(&buf, "test");
+        assert_eq!(c.u8().unwrap(), 7);
+        assert_eq!(c.u16().unwrap(), 300);
+        assert_eq!(c.u32().unwrap(), 70_000);
+        assert_eq!(c.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(c.f32().unwrap().to_bits(), (-0.0f32).to_bits());
+        assert!(c.f64().unwrap().is_nan());
+        c.finish().unwrap();
+    }
+
+    #[test]
+    fn overrun_is_a_typed_payload_error() {
+        let mut c = Cursor::new(&[1, 2], "tiny");
+        let err = c.u32().expect_err("2 bytes cannot yield a u32");
+        assert_eq!(err.kind(), "payload");
+    }
+
+    #[test]
+    fn absurd_counts_are_rejected_before_allocation() {
+        let c = Cursor::new(&[0u8; 16], "caps");
+        let err = c
+            .count(u64::MAX, 4, "points")
+            .expect_err("count beyond remaining must fail");
+        assert_eq!(err.kind(), "payload");
+        assert_eq!(c.count(4, 4, "points").unwrap(), 4);
+    }
+
+    #[test]
+    fn trailing_bytes_fail_finish() {
+        let mut c = Cursor::new(&[1, 2, 3], "trail");
+        c.u8().unwrap();
+        let err = c.finish().expect_err("2 bytes left");
+        assert_eq!(err.kind(), "payload");
+    }
+}

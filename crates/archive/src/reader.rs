@@ -1,0 +1,397 @@
+//! The two archive readers.
+//!
+//! [`SliceArchive`] parses an in-memory (or memory-mapped) byte slice and
+//! hands out zero-copy payload borrows. [`FileArchive`] opens a file, reads
+//! only the header, trailer, and index, and then seeks per chunk — a
+//! streaming reader that never loads the whole archive.
+//!
+//! Both verify the same things in the same order: header magic and version,
+//! trailer magic, index span, index checksum, index structure, and — per
+//! chunk read — the footer length, the footer checksum, and the payload
+//! checksum against the index record.
+
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom};
+use std::path::Path;
+
+use crate::error::ArchiveError;
+use crate::format::{
+    check_header, decode_index, fnv1a64, kind, parse_trailer, ChunkRec, GroupRec, FOOTER_LEN,
+    HEADER_LEN, TRAILER_LEN,
+};
+use crate::writer::KEY_PATH;
+
+/// One chunk's identity and location, resolved from the index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkEntry {
+    /// Full `group/.../name` path.
+    pub path: String,
+    /// Kind tag from [`crate::kind`].
+    pub kind: u32,
+    /// Payload offset from the start of the file.
+    pub offset: u64,
+    /// Payload length in bytes.
+    pub len: u64,
+    /// FNV-1a 64 checksum of the payload.
+    pub checksum: u64,
+}
+
+/// Builds full chunk paths and validates every chunk span against the data
+/// region `[HEADER_LEN, index_offset)`.
+fn build_entries(
+    groups: &[GroupRec],
+    chunks: &[ChunkRec],
+    index_offset: u64,
+) -> Result<Vec<ChunkEntry>, ArchiveError> {
+    let mut group_paths = Vec::with_capacity(groups.len());
+    for (i, g) in groups.iter().enumerate() {
+        let path = if i == 0 {
+            String::new()
+        } else {
+            let parent: &String = &group_paths[g.parent as usize];
+            if parent.is_empty() {
+                g.name.clone()
+            } else {
+                format!("{parent}/{}", g.name)
+            }
+        };
+        group_paths.push(path);
+    }
+    let mut entries = Vec::with_capacity(chunks.len());
+    for c in chunks {
+        let gp = &group_paths[c.group as usize];
+        let path = if gp.is_empty() {
+            c.name.clone()
+        } else {
+            format!("{gp}/{}", c.name)
+        };
+        let end = c
+            .offset
+            .checked_add(c.len)
+            .and_then(|e| e.checked_add(FOOTER_LEN as u64));
+        match end {
+            Some(end) if c.offset >= HEADER_LEN as u64 && end <= index_offset => {}
+            _ => {
+                return Err(ArchiveError::MalformedIndex {
+                    detail: format!(
+                        "chunk '{path}' spans {}+{} outside the data region",
+                        c.offset, c.len
+                    ),
+                });
+            }
+        }
+        entries.push(ChunkEntry {
+            path,
+            kind: c.kind,
+            offset: c.offset,
+            len: c.len,
+            checksum: c.checksum,
+        });
+    }
+    Ok(entries)
+}
+
+/// Verifies one chunk's footer and payload against its index record.
+fn verify_chunk(entry: &ChunkEntry, payload: &[u8], footer: &[u8]) -> Result<(), ArchiveError> {
+    let flen = u64::from_le_bytes(footer[0..8].try_into().expect("fixed slice"));
+    if flen != entry.len {
+        return Err(ArchiveError::Truncated {
+            detail: format!(
+                "chunk '{}' footer records {flen} bytes, index records {}",
+                entry.path, entry.len
+            ),
+        });
+    }
+    let fchk = u64::from_le_bytes(footer[8..16].try_into().expect("fixed slice"));
+    if fchk != entry.checksum {
+        return Err(ArchiveError::ChecksumMismatch {
+            chunk: entry.path.clone(),
+            stored: fchk,
+            computed: entry.checksum,
+        });
+    }
+    let computed = fnv1a64(payload);
+    if computed != entry.checksum {
+        return Err(ArchiveError::ChecksumMismatch {
+            chunk: entry.path.clone(),
+            stored: entry.checksum,
+            computed,
+        });
+    }
+    Ok(())
+}
+
+fn find_entry<'e>(entries: &'e [ChunkEntry], path: &str) -> Result<&'e ChunkEntry, ArchiveError> {
+    entries
+        .iter()
+        .find(|e| e.path == path)
+        .ok_or_else(|| ArchiveError::MissingChunk { path: path.into() })
+}
+
+fn check_kind(entry: &ChunkEntry, expected: u32) -> Result<(), ArchiveError> {
+    if entry.kind != expected {
+        return Err(ArchiveError::BadChunkKind {
+            chunk: entry.path.clone(),
+            found: entry.kind,
+            expected,
+        });
+    }
+    Ok(())
+}
+
+fn check_key(entry_key: &[u8], expected: &str) -> Result<(), ArchiveError> {
+    let found = String::from_utf8_lossy(entry_key);
+    if found != expected {
+        return Err(ArchiveError::KeyMismatch {
+            expected: expected.to_string(),
+            found: found.into_owned(),
+        });
+    }
+    Ok(())
+}
+
+/// Zero-copy reader over a complete archive image in memory. Works equally
+/// over a heap buffer or a memory-mapped region — the format never requires
+/// mutation or ownership of the bytes.
+#[derive(Debug)]
+pub struct SliceArchive<'a> {
+    bytes: &'a [u8],
+    entries: Vec<ChunkEntry>,
+}
+
+impl<'a> SliceArchive<'a> {
+    /// Parses and validates the header, trailer, and index of `bytes`.
+    pub fn parse(bytes: &'a [u8]) -> Result<Self, ArchiveError> {
+        if bytes.len() < HEADER_LEN + TRAILER_LEN {
+            return Err(ArchiveError::Truncated {
+                detail: format!(
+                    "{} bytes cannot hold the {HEADER_LEN}-byte header and {TRAILER_LEN}-byte trailer",
+                    bytes.len()
+                ),
+            });
+        }
+        check_header(bytes)?;
+        let trailer_bytes: &[u8; TRAILER_LEN] = bytes[bytes.len() - TRAILER_LEN..]
+            .try_into()
+            .expect("fixed slice");
+        let trailer = parse_trailer(trailer_bytes, bytes.len() as u64)?;
+        let index_bytes = &bytes
+            [trailer.index_offset as usize..(trailer.index_offset + trailer.index_len) as usize];
+        let computed = fnv1a64(index_bytes);
+        if computed != trailer.index_checksum {
+            return Err(ArchiveError::ChecksumMismatch {
+                chunk: "<index>".into(),
+                stored: trailer.index_checksum,
+                computed,
+            });
+        }
+        let (groups, chunks) = decode_index(index_bytes)?;
+        let entries = build_entries(&groups, &chunks, trailer.index_offset)?;
+        Ok(SliceArchive { bytes, entries })
+    }
+
+    /// Every chunk in index order.
+    pub fn entries(&self) -> &[ChunkEntry] {
+        &self.entries
+    }
+
+    /// Looks a chunk up by its `group/.../name` path.
+    pub fn find(&self, path: &str) -> Option<&ChunkEntry> {
+        self.entries.iter().find(|e| e.path == path)
+    }
+
+    /// Returns a chunk's payload, verified, zero-copy.
+    pub fn chunk_bytes(&self, entry: &ChunkEntry) -> Result<&'a [u8], ArchiveError> {
+        let start = entry.offset as usize;
+        let payload = &self.bytes[start..start + entry.len as usize];
+        let footer =
+            &self.bytes[start + entry.len as usize..start + entry.len as usize + FOOTER_LEN];
+        verify_chunk(entry, payload, footer)?;
+        Ok(payload)
+    }
+
+    /// Path + kind-checked payload read: the usual consumer entry point.
+    pub fn read(&self, path: &str, expected_kind: u32) -> Result<&'a [u8], ArchiveError> {
+        let entry = find_entry(&self.entries, path)?;
+        check_kind(entry, expected_kind)?;
+        self.chunk_bytes(entry)
+    }
+
+    /// Verifies the archive's `meta/key` content key; a mismatch is the
+    /// typed cache-miss signal [`ArchiveError::KeyMismatch`].
+    pub fn expect_key(&self, expected: &str) -> Result<(), ArchiveError> {
+        check_key(self.read(KEY_PATH, kind::META)?, expected)
+    }
+}
+
+/// Streaming reader: opens a file, loads only header + trailer + index, and
+/// seeks to chunks on demand. Memory use is bounded by the largest single
+/// chunk, not the archive.
+#[derive(Debug)]
+pub struct FileArchive {
+    file: File,
+    context: String,
+    entries: Vec<ChunkEntry>,
+}
+
+impl FileArchive {
+    /// Opens and validates `path` without reading any chunk payloads.
+    pub fn open(path: &Path) -> Result<Self, ArchiveError> {
+        let context = path.display().to_string();
+        let mut file = File::open(path).map_err(|e| ArchiveError::io(&context, e))?;
+        let file_len = file
+            .metadata()
+            .map_err(|e| ArchiveError::io(&context, e))?
+            .len();
+        if file_len < (HEADER_LEN + TRAILER_LEN) as u64 {
+            return Err(ArchiveError::Truncated {
+                detail: format!(
+                    "{file_len} bytes cannot hold the {HEADER_LEN}-byte header and {TRAILER_LEN}-byte trailer"
+                ),
+            });
+        }
+        let mut header = [0u8; HEADER_LEN];
+        file.read_exact(&mut header)
+            .map_err(|e| ArchiveError::io(&context, e))?;
+        check_header(&header)?;
+        let mut trailer_bytes = [0u8; TRAILER_LEN];
+        file.seek(SeekFrom::End(-(TRAILER_LEN as i64)))
+            .map_err(|e| ArchiveError::io(&context, e))?;
+        file.read_exact(&mut trailer_bytes)
+            .map_err(|e| ArchiveError::io(&context, e))?;
+        let trailer = parse_trailer(&trailer_bytes, file_len)?;
+        let mut index_bytes = vec![0u8; trailer.index_len as usize];
+        file.seek(SeekFrom::Start(trailer.index_offset))
+            .map_err(|e| ArchiveError::io(&context, e))?;
+        file.read_exact(&mut index_bytes)
+            .map_err(|e| ArchiveError::io(&context, e))?;
+        let computed = fnv1a64(&index_bytes);
+        if computed != trailer.index_checksum {
+            return Err(ArchiveError::ChecksumMismatch {
+                chunk: "<index>".into(),
+                stored: trailer.index_checksum,
+                computed,
+            });
+        }
+        let (groups, chunks) = decode_index(&index_bytes)?;
+        let entries = build_entries(&groups, &chunks, trailer.index_offset)?;
+        Ok(FileArchive {
+            file,
+            context,
+            entries,
+        })
+    }
+
+    /// Every chunk in index order.
+    pub fn entries(&self) -> &[ChunkEntry] {
+        &self.entries
+    }
+
+    /// Looks a chunk up by its `group/.../name` path.
+    pub fn find(&self, path: &str) -> Option<&ChunkEntry> {
+        self.entries.iter().find(|e| e.path == path)
+    }
+
+    /// Seeks to one chunk and returns its verified payload.
+    pub fn read(&mut self, path: &str, expected_kind: u32) -> Result<Vec<u8>, ArchiveError> {
+        let entry = find_entry(&self.entries, path)?.clone();
+        check_kind(&entry, expected_kind)?;
+        let mut buf = vec![0u8; entry.len as usize + FOOTER_LEN];
+        self.file
+            .seek(SeekFrom::Start(entry.offset))
+            .map_err(|e| ArchiveError::io(&self.context, e))?;
+        self.file
+            .read_exact(&mut buf)
+            .map_err(|e| ArchiveError::io(&self.context, e))?;
+        let (payload, footer) = buf.split_at(entry.len as usize);
+        verify_chunk(&entry, payload, footer)?;
+        buf.truncate(entry.len as usize);
+        Ok(buf)
+    }
+
+    /// Verifies the archive's `meta/key` content key; a mismatch is the
+    /// typed cache-miss signal [`ArchiveError::KeyMismatch`].
+    pub fn expect_key(&mut self, expected: &str) -> Result<(), ArchiveError> {
+        check_key(&self.read(KEY_PATH, kind::META)?, expected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::ArchiveWriter;
+
+    fn sample() -> Vec<u8> {
+        let mut w = ArchiveWriter::new();
+        w.set_key("sample-key");
+        w.begin_group("traces");
+        w.add_chunk("hsu", kind::TRACE, b"trace-bytes-hsu");
+        w.add_chunk("base", kind::TRACE, b"trace-bytes-base");
+        w.end_group();
+        w.add_chunk("radius", kind::SCALAR, &1.5f32.to_le_bytes());
+        w.finish()
+    }
+
+    #[test]
+    fn slice_reader_round_trips_paths_and_payloads() {
+        let bytes = sample();
+        let a = SliceArchive::parse(&bytes).expect("valid archive");
+        assert_eq!(a.entries().len(), 4);
+        assert_eq!(
+            a.read("traces/hsu", kind::TRACE).unwrap(),
+            b"trace-bytes-hsu"
+        );
+        assert_eq!(
+            a.read("traces/base", kind::TRACE).unwrap(),
+            b"trace-bytes-base"
+        );
+        assert_eq!(
+            a.read("radius", kind::SCALAR).unwrap(),
+            &1.5f32.to_le_bytes()
+        );
+        a.expect_key("sample-key").expect("key matches");
+    }
+
+    #[test]
+    fn wrong_kind_and_missing_path_are_typed() {
+        let bytes = sample();
+        let a = SliceArchive::parse(&bytes).unwrap();
+        let err = a.read("traces/hsu", kind::POINTS).unwrap_err();
+        assert_eq!(err.kind(), "bad-chunk-kind");
+        let err = a.read("traces/nope", kind::TRACE).unwrap_err();
+        assert_eq!(err.kind(), "missing-chunk");
+    }
+
+    #[test]
+    fn key_mismatch_is_typed() {
+        let bytes = sample();
+        let a = SliceArchive::parse(&bytes).unwrap();
+        let err = a.expect_key("other-key").unwrap_err();
+        assert_eq!(err.kind(), "key-mismatch");
+    }
+
+    #[test]
+    fn file_reader_matches_slice_reader() {
+        let bytes = sample();
+        let dir = std::env::temp_dir().join(format!("hsar-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.hsar");
+        std::fs::write(&path, &bytes).unwrap();
+        let mut f = FileArchive::open(&path).expect("open");
+        f.expect_key("sample-key").unwrap();
+        let slice = SliceArchive::parse(&bytes).unwrap();
+        for entry in slice.entries() {
+            let a = slice.chunk_bytes(entry).unwrap().to_vec();
+            let b = f.read(&entry.path, entry.kind).unwrap();
+            assert_eq!(a, b, "{}", entry.path);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_not_corruption() {
+        let err = FileArchive::open(Path::new("/nonexistent/definitely-not-here.hsar"))
+            .expect_err("must fail");
+        assert_eq!(err.kind(), "io");
+    }
+}

@@ -1,0 +1,232 @@
+//! The forward-only archive writer.
+//!
+//! An [`ArchiveWriter`] streams chunks into an in-memory buffer (header
+//! first, each payload immediately followed by its length + checksum
+//! footer), then [`ArchiveWriter::finish`] appends the index and trailer.
+//! No seeking ever happens, so the same code could stream to a socket; and
+//! because the encoding is fully deterministic — insertion order is
+//! preserved, no timestamps, no padding — identical content produces
+//! identical bytes, which is what the parity tests lock down.
+
+use std::path::Path;
+
+use crate::error::ArchiveError;
+use crate::format::{
+    encode_index, encode_trailer, fnv1a64, kind, ChunkRec, GroupRec, MAGIC, MAX_CHUNKS,
+    MAX_NAME_LEN, ROOT_PARENT, VERSION,
+};
+use crate::payload::put_u64;
+
+/// Name of the group holding archive metadata.
+pub const META_GROUP: &str = "meta";
+/// Path of the content-key chunk written by [`ArchiveWriter::set_key`].
+pub const KEY_PATH: &str = "meta/key";
+
+/// Builds a `.hsar` archive in memory, forward-only.
+#[derive(Debug)]
+pub struct ArchiveWriter {
+    buf: Vec<u8>,
+    groups: Vec<GroupRec>,
+    chunks: Vec<ChunkRec>,
+    /// Stack of open groups; the last entry is where chunks land.
+    stack: Vec<u32>,
+}
+
+impl Default for ArchiveWriter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ArchiveWriter {
+    /// Starts an empty archive (header already emitted, root group open).
+    pub fn new() -> Self {
+        let mut buf = Vec::with_capacity(4096);
+        buf.extend_from_slice(&MAGIC);
+        buf.push(VERSION);
+        buf.extend_from_slice(&[0u8; 3]);
+        ArchiveWriter {
+            buf,
+            groups: vec![GroupRec {
+                parent: ROOT_PARENT,
+                name: String::new(),
+            }],
+            chunks: Vec::new(),
+            stack: vec![0],
+        }
+    }
+
+    fn check_name(name: &str) {
+        assert!(
+            !name.is_empty() && name.len() <= MAX_NAME_LEN && !name.contains('/'),
+            "archive names must be non-empty, at most {MAX_NAME_LEN} bytes, and '/'-free: {name:?}"
+        );
+    }
+
+    fn current_group(&self) -> u32 {
+        *self.stack.last().expect("root group is never popped")
+    }
+
+    fn group_path(&self, group: u32) -> String {
+        let mut parts = Vec::new();
+        let mut g = group;
+        while g != 0 {
+            let rec = &self.groups[g as usize];
+            parts.push(rec.name.as_str());
+            g = rec.parent;
+        }
+        parts.reverse();
+        parts.join("/")
+    }
+
+    /// Opens a child group of the current group. Groups nest; close with
+    /// [`ArchiveWriter::end_group`].
+    pub fn begin_group(&mut self, name: &str) {
+        Self::check_name(name);
+        let parent = self.current_group();
+        let id = self.groups.len() as u32;
+        self.groups.push(GroupRec {
+            parent,
+            name: name.to_string(),
+        });
+        self.stack.push(id);
+    }
+
+    /// Closes the most recently opened group.
+    ///
+    /// # Panics
+    /// If only the root group is open.
+    pub fn end_group(&mut self) {
+        assert!(self.stack.len() > 1, "cannot end the root group");
+        self.stack.pop();
+    }
+
+    /// Appends a typed chunk to the current group: payload bytes followed by
+    /// the 16-byte length + FNV-1a checksum footer.
+    ///
+    /// # Panics
+    /// On an invalid name, a duplicate path within the archive, or more than
+    /// [`MAX_CHUNKS`] chunks — all programmer errors, not data errors.
+    pub fn add_chunk(&mut self, name: &str, kind: u32, payload: &[u8]) {
+        Self::check_name(name);
+        assert!(self.chunks.len() < MAX_CHUNKS, "too many chunks");
+        let group = self.current_group();
+        let path = self.chunk_path(group, name);
+        assert!(
+            !self
+                .chunks
+                .iter()
+                .any(|c| c.group == group && c.name == name),
+            "duplicate chunk path '{path}'"
+        );
+        let offset = self.buf.len() as u64;
+        let checksum = fnv1a64(payload);
+        self.buf.extend_from_slice(payload);
+        put_u64(&mut self.buf, payload.len() as u64);
+        put_u64(&mut self.buf, checksum);
+        self.chunks.push(ChunkRec {
+            group,
+            kind,
+            name: name.to_string(),
+            offset,
+            len: payload.len() as u64,
+            checksum,
+        });
+    }
+
+    fn chunk_path(&self, group: u32, name: &str) -> String {
+        let gp = self.group_path(group);
+        if gp.is_empty() {
+            name.to_string()
+        } else {
+            format!("{gp}/{name}")
+        }
+    }
+
+    /// Records the archive's content key as a `meta/key` chunk (created in a
+    /// `meta` group under the root regardless of the currently open group).
+    /// Readers check it with `expect_key` to turn stale cache files into
+    /// typed [`ArchiveError::KeyMismatch`] misses instead of wrong data.
+    pub fn set_key(&mut self, key: &str) {
+        let saved = std::mem::replace(&mut self.stack, vec![0]);
+        self.begin_group(META_GROUP);
+        self.add_chunk("key", kind::META, key.as_bytes());
+        self.stack = saved;
+    }
+
+    /// Seals the archive: appends the index and trailer, returning the
+    /// complete file image.
+    pub fn finish(self) -> Vec<u8> {
+        let mut buf = self.buf;
+        let index = encode_index(&self.groups, &self.chunks);
+        let index_offset = buf.len() as u64;
+        let checksum = fnv1a64(&index);
+        buf.extend_from_slice(&index);
+        buf.extend_from_slice(&encode_trailer(index_offset, index.len() as u64, checksum));
+        buf
+    }
+
+    /// Seals the archive and writes it atomically: the bytes land in a
+    /// `.tmp` sibling first and are renamed into place, so a reader never
+    /// observes a half-written archive and a crash leaves the old file
+    /// intact.
+    pub fn finish_to_file(self, path: &Path) -> Result<(), ArchiveError> {
+        let bytes = self.finish();
+        let tmp = path.with_extension("hsar.tmp");
+        std::fs::write(&tmp, &bytes).map_err(|e| ArchiveError::io(tmp.display().to_string(), e))?;
+        std::fs::rename(&tmp, path).map_err(|e| {
+            let _ = std::fs::remove_file(&tmp);
+            ArchiveError::io(format!("rename {} -> {}", tmp.display(), path.display()), e)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::{FOOTER_LEN, HEADER_LEN, TRAILER_LEN};
+
+    #[test]
+    fn empty_archive_is_header_index_trailer() {
+        let bytes = ArchiveWriter::new().finish();
+        assert_eq!(&bytes[0..4], b"HSAR");
+        assert_eq!(bytes[4], VERSION);
+        assert_eq!(&bytes[bytes.len() - 4..], b"RASH");
+        assert!(bytes.len() > HEADER_LEN + TRAILER_LEN);
+    }
+
+    #[test]
+    fn chunk_bytes_and_footer_are_laid_out_in_order() {
+        let mut w = ArchiveWriter::new();
+        w.add_chunk("a", kind::META, b"hello");
+        let bytes = w.finish();
+        assert_eq!(&bytes[HEADER_LEN..HEADER_LEN + 5], b"hello");
+        let footer = &bytes[HEADER_LEN + 5..HEADER_LEN + 5 + FOOTER_LEN];
+        assert_eq!(u64::from_le_bytes(footer[0..8].try_into().unwrap()), 5);
+        assert_eq!(
+            u64::from_le_bytes(footer[8..16].try_into().unwrap()),
+            fnv1a64(b"hello")
+        );
+    }
+
+    #[test]
+    fn identical_content_produces_identical_bytes() {
+        let build = || {
+            let mut w = ArchiveWriter::new();
+            w.set_key("k");
+            w.begin_group("g");
+            w.add_chunk("x", kind::POINTS, &[1, 2, 3]);
+            w.end_group();
+            w.finish()
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate chunk path")]
+    fn duplicate_paths_panic() {
+        let mut w = ArchiveWriter::new();
+        w.add_chunk("a", kind::META, b"1");
+        w.add_chunk("a", kind::META, b"2");
+    }
+}

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! repro [--sms N] [--quick] [--seed S] [--jobs N] [--sim-mode M]
-//!       [--sim-threads N] [--keep-going] [--job-timeout SECS] <item>...
+//!       [--sim-threads N] [--keep-going] [--job-timeout SECS]
+//!       [--archive-dir DIR] [--no-cache] <item>...
 //!   items: table2 table3 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14
 //!          fig15 fig16 rtindex ablation all
 //!          traces (--trace FILE ...) gen-fault-traces (--out DIR)
@@ -30,6 +31,14 @@
 //! fault-tolerant pool, and `gen-fault-traces` emits one healthy and three
 //! deliberately corrupted trace files for exercising that path (CI does
 //! exactly this).
+//!
+//! `--archive-dir DIR` attaches the content-keyed `.hsar` build cache
+//! ([`hsu_bench::ArchiveCache`]): generated datasets, built indexes, and
+//! lowered traces are stored on the first run and loaded on re-runs, so the
+//! expensive build phase collapses to file reads. Figure output stays
+//! byte-identical warm or cold — the cache key pins every parameter the
+//! artifact bytes depend on. `--no-cache` is the escape hatch that forces a
+//! cold build even when `--archive-dir` is given.
 
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
@@ -48,6 +57,7 @@ fn main() {
     let mut items: Vec<String> = Vec::new();
     let mut trace_files: Vec<std::path::PathBuf> = Vec::new();
     let mut out_dir: Option<std::path::PathBuf> = None;
+    let mut no_cache = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -100,6 +110,14 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage("--sim-threads needs a number (0 = auto)"));
             }
+            "--archive-dir" => {
+                config.archive_dir = Some(
+                    args.next()
+                        .unwrap_or_else(|| usage("--archive-dir needs a directory"))
+                        .into(),
+                );
+            }
+            "--no-cache" => no_cache = true,
             "--keep-going" => policy.keep_going = true,
             "--job-timeout" => {
                 let secs: u64 = args
@@ -114,6 +132,11 @@ fn main() {
     }
     if items.is_empty() {
         usage("no items requested");
+    }
+    // `--no-cache` wins over `--archive-dir`: the escape hatch forces a
+    // cold build without touching (or trusting) the cache directory.
+    if no_cache {
+        config.archive_dir = None;
     }
     // Split the machine between suite workers and per-simulation epoch
     // workers so the two levels of parallelism never oversubscribe it. The
@@ -311,13 +334,16 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: repro [--sms N] [--quick] [--seed S] [--jobs N] [--sim-mode M] [--out DIR]\n\
          \x20            [--sim-threads N] [--keep-going] [--job-timeout SECS]\n\
-         \x20            [--trace FILE]... <item>...\n\
+         \x20            [--archive-dir DIR] [--no-cache] [--trace FILE]... <item>...\n\
          items: table2 table3 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16\n\
          \x20      rtindex ablation all traces gen-fault-traces\n\
          --jobs N runs the simulation matrix on N worker threads (0 = all cores);\n\
          --sim-mode stepped|event|parallel picks the run loop (default: event);\n\
          --sim-threads N sets parallel-epoch workers per simulation (0 = auto;\n\
          \x20  shares one machine budget with --jobs, never multiplies it);\n\
+         --archive-dir DIR caches datasets/indexes/traces as content-keyed .hsar\n\
+         \x20  archives so re-runs skip the build phase (stdout is byte-identical\n\
+         \x20  warm or cold); --no-cache forces a cold build, ignoring --archive-dir;\n\
          stdout is byte-identical for any N and every mode;\n\
          --keep-going reports partial results instead of failing fast;\n\
          --job-timeout SECS bounds each simulation's wall-clock (watchdog);\n\

@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! simbench [--quick] [--sms N] [--seed S] [--jobs N] [--sim-threads N]
-//!          [--pr LABEL] [--out PATH]
+//!          [--archive-dir DIR] [--pr LABEL] [--out PATH]
 //! ```
 //!
 //! Builds the suite three times — once per [`hsu_sim::config::SimMode`] —
@@ -13,12 +13,22 @@
 //! 1. asserts every (app × dataset × variant) report is identical across
 //!    all modes (exits non-zero on any divergence),
 //! 2. **appends** an entry to the trajectory JSON (`BENCH_sim.json` by
-//!    default): `{pr, config, runs, modes, tick_reduction, speedup,
-//!    equivalent}` with wall time, simulated cycles, and SM ticks executed
-//!    per mode. The file is an append-only array so successive PRs record
-//!    their own measurements next to history instead of erasing it; a
-//!    legacy single-object snapshot is wrapped into the array on first
+//!    default): `{pr, config, runs, build_phase, modes, tick_reduction,
+//!    speedup, equivalent}` with wall time, simulated cycles, and SM ticks
+//!    executed per mode. The file is an append-only array so successive PRs
+//!    record their own measurements next to history instead of erasing it;
+//!    a legacy single-object snapshot is wrapped into the array on first
 //!    append.
+//!
+//! Before the mode runs, the workload build phase is probed through the
+//! `.hsar` archive cache: once against an empty cache directory (cold —
+//! generators and index builders run, archives are written) and once again
+//! (warm — everything loads from the archives). Both wall-times land in the
+//! entry's `build_phase` block, and the three mode runs then reuse the warm
+//! cache, which also exercises cold-vs-warm equivalence: any divergence the
+//! cache introduced would trip the cross-mode report check. The probe uses
+//! a throwaway directory under the system temp dir unless `--archive-dir`
+//! pins it somewhere persistent.
 //!
 //! `--jobs` (suite workers) and `--sim-threads` (parallel-epoch workers
 //! inside each simulation) share one machine budget via
@@ -66,6 +76,7 @@ fn main() {
     };
     let mut out_path = std::path::PathBuf::from("BENCH_sim.json");
     let mut pr_label = String::from("dev");
+    let mut archive_dir: Option<std::path::PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -97,6 +108,13 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage("--sim-threads needs a number (0 = auto)"));
             }
+            "--archive-dir" => {
+                archive_dir = Some(
+                    args.next()
+                        .unwrap_or_else(|| usage("--archive-dir needs a directory"))
+                        .into(),
+                );
+            }
             "--pr" => {
                 pr_label = args.next().unwrap_or_else(|| usage("--pr needs a label"));
             }
@@ -121,6 +139,29 @@ fn main() {
         "simbench: suite sms={} scale=1/{} seed={} jobs={} sim-threads={}",
         config.sms, config.scale_divisor, config.seed, config.jobs, config.sim_threads
     );
+
+    // Cold/warm build-phase probe: time phase A against an empty archive
+    // cache (populating it), then again against the populated one. The
+    // probe directory is throwaway unless --archive-dir pinned it.
+    let (probe_dir, cleanup_probe) = match archive_dir {
+        Some(d) => (d, false),
+        None => (
+            std::env::temp_dir().join(format!("hsu-simbench-cache-{}", std::process::id())),
+            true,
+        ),
+    };
+    let cold_s = time_build_phase(&config, &probe_dir);
+    let warm_s = time_build_phase(&config, &probe_dir);
+    eprintln!(
+        "build phase: {cold_s:.2}s cold -> {warm_s:.2}s warm ({:.1}x) via {}",
+        cold_s / warm_s.max(1e-9),
+        probe_dir.display()
+    );
+    // The mode runs reuse the warm cache: phase A collapses to archive
+    // reads, and the cross-mode report check doubles as a cold-vs-warm
+    // equivalence check (the cold stepped history established the goldens).
+    config.archive_dir = Some(probe_dir.clone());
+
     let stepped = run_mode(&config, SimMode::Stepped);
     eprintln!(
         "stepped:  {:.2}s build, {:.2}s simulating, {} ticks",
@@ -178,6 +219,7 @@ fn main() {
         "  {{\n    \"pr\": \"{}\",\n    \
            \"config\": {{ \"sms\": {}, \"scale_divisor\": {}, \"seed\": {}, \"jobs\": {}, \"sim_threads\": {} }},\n    \
            \"runs\": {},\n    \
+           \"build_phase\": {{ \"cold_s\": {:.6}, \"warm_s\": {:.6} }},\n    \
            \"modes\": {{\n      \
              \"stepped\": {},\n      \
              \"event\": {},\n      \
@@ -192,6 +234,8 @@ fn main() {
         config.jobs,
         config.sim_threads,
         stepped.suite.runs.len(),
+        cold_s,
+        warm_s,
         mode_json(&stepped),
         mode_json(&event),
         mode_json(&parallel),
@@ -202,9 +246,13 @@ fn main() {
     );
     append_entry(&out_path, &entry)
         .unwrap_or_else(|e| panic!("append {}: {e}", out_path.display()));
+    if cleanup_probe {
+        let _ = std::fs::remove_dir_all(&probe_dir);
+    }
 
     println!(
-        "simbench: {} runs, ticks {} -> {} ({tick_reduction:.2}x fewer), \
+        "simbench: {} runs, build {cold_s:.2}s cold / {warm_s:.2}s warm, \
+         ticks {} -> {} ({tick_reduction:.2}x fewer), \
          sim wall {:.2}s -> event {:.2}s ({:.2}x) / parallel {:.2}s ({:.2}x), reports {}",
         stepped.suite.runs.len(),
         stepped.ticks_executed,
@@ -221,6 +269,25 @@ fn main() {
         eprintln!("error: {divergences} report(s) diverged between modes");
         std::process::exit(1);
     }
+}
+
+/// Times one pass of the suite's build phase (phase A only — no
+/// simulation) through the archive cache at `dir`. First call against an
+/// empty directory is the cold measurement and populates the cache; the
+/// second is the warm one.
+fn time_build_phase(config: &SuiteConfig, dir: &std::path::Path) -> f64 {
+    let cache = hsu_bench::ArchiveCache::new(Some(dir.to_path_buf()));
+    let start = Instant::now();
+    let traces = Suite::prepare_traces(config, &cache);
+    let elapsed = start.elapsed().as_secs_f64();
+    eprintln!(
+        "  build-phase pass: {:.2}s, {} trace bundles, cache {} hits / {} misses",
+        elapsed,
+        traces.len(),
+        cache.hits(),
+        cache.misses()
+    );
+    elapsed
 }
 
 fn mode_json(m: &ModeRun) -> String {
@@ -279,11 +346,14 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: simbench [--quick] [--sms N] [--seed S] [--jobs N] [--sim-threads N]\n\
-         \x20               [--pr LABEL] [--out PATH]\n\
+         \x20               [--archive-dir DIR] [--pr LABEL] [--out PATH]\n\
          runs the workload suite under all three simulation modes, checks the\n\
          reports are identical, and appends a JSON timing/ticks trajectory\n\
          entry (32-SM machine by default; --quick = quarter-scale datasets;\n\
-         --jobs and --sim-threads share one machine budget)"
+         --jobs and --sim-threads share one machine budget). The build phase\n\
+         is timed cold and warm through the .hsar archive cache first\n\
+         (--archive-dir pins the cache; default is a throwaway temp dir) and\n\
+         both timings are recorded in the entry's build_phase block"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

@@ -1,0 +1,348 @@
+//! Content-keyed `.hsar` archive cache for the suite's build phase.
+//!
+//! The suite's phase A (dataset generation → index construction → trace
+//! lowering) dominates a cold run's wall-clock. [`ArchiveCache`] keys every
+//! artifact by a string that embeds the codec version plus every parameter
+//! the artifact's bytes depend on (generator seed, scaled sizes, index
+//! parameters — **never** machine knobs like SM count, `--jobs`, or the
+//! simulation mode), hashes it with [`hsu_archive::key_hash`], and stores
+//! the artifact in `<dir>/<stem>-<hash>.hsar`. A warm re-run with the same
+//! key loads bytes that decode to the identical artifact, so suite stdout
+//! is byte-for-byte the same as a cold run.
+//!
+//! The cache is strictly best-effort and self-healing: a missing, corrupt,
+//! truncated, or key-mismatched archive is treated as a miss (the typed
+//! [`hsu_archive::ArchiveError`] is reported on stderr), the artifact is
+//! rebuilt from scratch, and the bad file is overwritten atomically. A
+//! failed *store* never fails the run either — it only costs the next run
+//! its warm start.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use hsu_archive::{key_hash, kind, ArchiveWriter, FileArchive};
+use hsu_btree::BPlusTree;
+use hsu_bvh::Bvh2;
+use hsu_datasets::{Dataset, DatasetId};
+use hsu_graph::HnswGraph;
+use hsu_kdtree::KdTree;
+use hsu_sim::trace::KernelTrace;
+
+/// Best-effort, content-keyed archive store shared by the suite's build
+/// jobs. `None` for the directory disables every method (all loads miss,
+/// all stores are no-ops), which is the default cold path.
+#[derive(Debug)]
+pub struct ArchiveCache {
+    dir: Option<PathBuf>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl ArchiveCache {
+    /// A cache rooted at `dir` (created if missing), or a disabled cache
+    /// for `None`. An unwritable directory disables the cache with a
+    /// warning rather than failing the run.
+    pub fn new(dir: Option<PathBuf>) -> Self {
+        let dir = dir.and_then(|d| match std::fs::create_dir_all(&d) {
+            Ok(()) => Some(d),
+            Err(e) => {
+                eprintln!(
+                    "warning: archive cache disabled: creating {}: {e}",
+                    d.display()
+                );
+                None
+            }
+        });
+        ArchiveCache {
+            dir,
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        }
+    }
+
+    /// A cache that never hits and never stores.
+    pub fn disabled() -> Self {
+        Self::new(None)
+    }
+
+    /// Whether a directory is attached.
+    pub fn enabled(&self) -> bool {
+        self.dir.is_some()
+    }
+
+    /// Successful loads so far.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Failed loads (including every load while disabled).
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// The file a `(stem, key)` pair maps to: `<dir>/<stem>-<hash16>.hsar`.
+    /// The stem keeps the directory human-readable; the key hash carries
+    /// the actual identity.
+    pub fn path_for(&self, stem: &str, key: &str) -> Option<PathBuf> {
+        self.dir
+            .as_ref()
+            .map(|d| d.join(format!("{stem}-{:016x}.hsar", key_hash(key))))
+    }
+
+    fn hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn report_load<T, E: std::fmt::Display>(&self, path: &Path, result: Result<T, E>) -> Option<T> {
+        match result {
+            Ok(v) => {
+                self.hit();
+                Some(v)
+            }
+            Err(e) => {
+                // A plain missing file is the normal cold case — stay quiet.
+                if path.exists() {
+                    eprintln!("warning: archive cache: rebuilding {}: {e}", path.display());
+                }
+                self.miss();
+                None
+            }
+        }
+    }
+
+    fn report_store<E: std::fmt::Display>(path: &Path, result: Result<(), E>) {
+        if let Err(e) = result {
+            eprintln!(
+                "warning: archive cache: writing {} failed (continuing uncached): {e}",
+                path.display()
+            );
+        }
+    }
+
+    /// Loads the named traces from the trace archive for `(stem, key)`.
+    pub fn load_traces(&self, stem: &str, key: &str, names: &[&str]) -> Option<Vec<KernelTrace>> {
+        let path = self.path_for(stem, key)?;
+        self.report_load(
+            &path,
+            hsu_sim::archive_io::read_trace_archive(&path, key, names),
+        )
+    }
+
+    /// Stores named traces under `(stem, key)`.
+    pub fn store_traces(&self, stem: &str, key: &str, traces: &[(&str, &KernelTrace)]) {
+        let Some(path) = self.path_for(stem, key) else {
+            return;
+        };
+        Self::report_store(
+            &path,
+            hsu_sim::archive_io::write_trace_archive(&path, key, traces),
+        );
+    }
+
+    /// Loads a generated dataset.
+    pub fn load_dataset(&self, stem: &str, key: &str, id: DatasetId) -> Option<Dataset> {
+        let path = self.path_for(stem, key)?;
+        self.report_load(
+            &path,
+            hsu_datasets::archive_io::read_dataset_archive(&path, key, id),
+        )
+    }
+
+    /// Stores a generated dataset.
+    pub fn store_dataset(&self, stem: &str, key: &str, dataset: &Dataset) {
+        let Some(path) = self.path_for(stem, key) else {
+            return;
+        };
+        Self::report_store(
+            &path,
+            hsu_datasets::archive_io::write_dataset_archive(&path, key, dataset),
+        );
+    }
+
+    /// Loads an HNSW graph index.
+    pub fn load_graph(&self, stem: &str, key: &str) -> Option<HnswGraph> {
+        self.load_index(stem, key, kind::GRAPH, "graph", |b| {
+            hsu_graph::archive_io::graph_from_chunk(b, "index/graph")
+        })
+    }
+
+    /// Stores an HNSW graph index.
+    pub fn store_graph(&self, stem: &str, key: &str, graph: &HnswGraph) {
+        self.store_index(stem, key, kind::GRAPH, "graph", || {
+            hsu_graph::archive_io::graph_to_chunk(graph)
+        });
+    }
+
+    /// Loads a k-d tree index.
+    pub fn load_kdtree(&self, stem: &str, key: &str) -> Option<KdTree> {
+        self.load_index(stem, key, kind::KDTREE, "kdtree", |b| {
+            hsu_kdtree::archive_io::kdtree_from_chunk(b, "index/kdtree")
+        })
+    }
+
+    /// Stores a k-d tree index.
+    pub fn store_kdtree(&self, stem: &str, key: &str, tree: &KdTree) {
+        self.store_index(stem, key, kind::KDTREE, "kdtree", || {
+            hsu_kdtree::archive_io::kdtree_to_chunk(tree)
+        });
+    }
+
+    /// Loads a BVH2 index plus the search radius planned with it (stored as
+    /// a `SCALAR` side chunk so the planner's O(n²) median pass is skipped
+    /// on warm runs too).
+    pub fn load_bvh(&self, stem: &str, key: &str) -> Option<(Bvh2, f32)> {
+        let path = self.path_for(stem, key)?;
+        let result = (|| {
+            let mut archive = FileArchive::open(&path)?;
+            archive.expect_key(key)?;
+            let bytes = archive.read("index/bvh2", kind::BVH2)?;
+            let bvh = hsu_bvh::archive_io::bvh2_from_chunk(&bytes, "index/bvh2")?;
+            let rbytes = archive.read("index/radius", kind::SCALAR)?;
+            let mut c = hsu_archive::payload::Cursor::new(&rbytes, "index/radius");
+            let radius = c.f32()?;
+            c.finish()?;
+            Ok::<_, hsu_archive::ArchiveError>((bvh, radius))
+        })();
+        self.report_load(&path, result)
+    }
+
+    /// Stores a BVH2 index plus its planned radius.
+    pub fn store_bvh(&self, stem: &str, key: &str, bvh: &Bvh2, radius: f32) {
+        let Some(path) = self.path_for(stem, key) else {
+            return;
+        };
+        let mut w = ArchiveWriter::new();
+        w.set_key(key);
+        w.begin_group("index");
+        w.add_chunk("bvh2", kind::BVH2, &hsu_bvh::archive_io::bvh2_to_chunk(bvh));
+        let mut rbytes = Vec::new();
+        hsu_archive::payload::put_f32(&mut rbytes, radius);
+        w.add_chunk("radius", kind::SCALAR, &rbytes);
+        w.end_group();
+        Self::report_store(&path, w.finish_to_file(&path));
+    }
+
+    /// Loads a B+-tree index.
+    pub fn load_btree(&self, stem: &str, key: &str) -> Option<BPlusTree> {
+        self.load_index(stem, key, kind::BTREE, "btree", |b| {
+            hsu_btree::archive_io::btree_from_chunk(b, "index/btree")
+        })
+    }
+
+    /// Stores a B+-tree index.
+    pub fn store_btree(&self, stem: &str, key: &str, tree: &BPlusTree) {
+        self.store_index(stem, key, kind::BTREE, "btree", || {
+            hsu_btree::archive_io::btree_to_chunk(tree)
+        });
+    }
+
+    /// Shared single-chunk index load: open, check key, read
+    /// `index/<name>`, decode.
+    fn load_index<T>(
+        &self,
+        stem: &str,
+        key: &str,
+        chunk_kind: u32,
+        name: &str,
+        decode: impl FnOnce(&[u8]) -> Result<T, hsu_archive::ArchiveError>,
+    ) -> Option<T> {
+        let path = self.path_for(stem, key)?;
+        let result = (|| {
+            let mut archive = FileArchive::open(&path)?;
+            archive.expect_key(key)?;
+            let bytes = archive.read(&format!("index/{name}"), chunk_kind)?;
+            decode(&bytes)
+        })();
+        self.report_load(&path, result)
+    }
+
+    /// Shared single-chunk index store.
+    fn store_index(
+        &self,
+        stem: &str,
+        key: &str,
+        chunk_kind: u32,
+        name: &str,
+        encode: impl FnOnce() -> Vec<u8>,
+    ) {
+        let Some(path) = self.path_for(stem, key) else {
+            return;
+        };
+        let mut w = ArchiveWriter::new();
+        w.set_key(key);
+        w.begin_group("index");
+        w.add_chunk(name, chunk_kind, &encode());
+        w.end_group();
+        Self::report_store(&path, w.finish_to_file(&path));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("hsu-cache-test-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn disabled_cache_never_hits() {
+        let cache = ArchiveCache::disabled();
+        assert!(!cache.enabled());
+        assert!(cache.path_for("x", "k").is_none());
+        assert!(cache.load_btree("x", "k").is_none());
+        // Loads while disabled don't even count as misses (no path).
+        assert_eq!(cache.misses(), 0);
+    }
+
+    #[test]
+    fn btree_round_trip_and_self_heal() {
+        let dir = tmp("btree");
+        let cache = ArchiveCache::new(Some(dir.clone()));
+        let tree = BPlusTree::bulk_build((0..500u32).map(|k| (k, u64::from(k))).collect(), 8);
+        assert!(cache.load_btree("bt", "key-1").is_none());
+        cache.store_btree("bt", "key-1", &tree);
+        let restored = cache.load_btree("bt", "key-1").expect("warm hit");
+        assert_eq!(restored.len(), tree.len());
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+
+        // Corrupt the file: the load reports a miss and the caller rebuilds.
+        let path = cache.path_for("bt", "key-1").unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes.truncate(mid);
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(cache.load_btree("bt", "key-1").is_none());
+        // Different key, same stem -> different file, still a miss.
+        assert!(cache.load_btree("bt", "key-2").is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bvh_round_trip_keeps_radius() {
+        use hsu_bvh::{LbvhBuilder, PointPrimitive};
+        use hsu_geometry::Vec3;
+        let dir = tmp("bvh");
+        let cache = ArchiveCache::new(Some(dir.clone()));
+        let prims: Vec<PointPrimitive> = (0..64)
+            .map(|i| PointPrimitive::new(i, Vec3::new(i as f32, 0.5, -1.0), 0.25))
+            .collect();
+        let bvh = LbvhBuilder::default().build(&prims);
+        cache.store_bvh("bvh", "k", &bvh, 0.75);
+        let (restored, radius) = cache.load_bvh("bvh", "k").expect("warm hit");
+        assert_eq!(radius, 0.75);
+        assert_eq!(
+            hsu_bvh::archive_io::bvh2_to_chunk(&restored),
+            hsu_bvh::archive_io::bvh2_to_chunk(&bvh)
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

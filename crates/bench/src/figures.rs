@@ -182,19 +182,19 @@ pub fn fig9(suite: &Suite) -> String {
 /// Propagates the first [`SimError`] any sweep cell hits.
 pub fn fig10(suite: &Suite) -> Result<String, SimError> {
     let widths = [4usize, 8, 16, 32];
+    let ggnn: Vec<&crate::suite::AppTraces> = suite.traces_for(App::Ggnn).collect();
     let mut jobs = Vec::new();
-    for (di, _) in suite.ggnn.iter().enumerate() {
+    for at in &ggnn {
         for w in widths {
-            jobs.push((di, w));
+            jobs.push((*at, w));
         }
     }
-    let cycles = crate::runner::run_jobs(suite.config.jobs, jobs, |_, (di, w)| {
-        let (_, wl) = &suite.ggnn[di];
+    let cycles = crate::runner::run_jobs(suite.config.jobs, jobs, |_, (at, w)| {
         let cfg = GpuConfig {
             hsu: HsuConfig::default().with_euclid_width(w),
             ..suite.config.gpu_config()
         };
-        Gpu::new(cfg).run(&wl.trace(Variant::Hsu)).map(|r| r.cycles)
+        Gpu::new(cfg).run(&at.hsu).map(|r| r.cycles)
     });
     let cycles: Vec<u64> = cycles.into_iter().collect::<Result<_, _>>()?;
 
@@ -205,8 +205,9 @@ pub fn fig10(suite: &Suite) -> Result<String, SimError> {
     }
     let _ = writeln!(out);
     let mut cycles = cycles.into_iter();
-    for (id, _) in &suite.ggnn {
-        let Some(base) = suite.runs_for(App::Ggnn).find(|r| r.dataset == *id) else {
+    for at in &ggnn {
+        let id = at.dataset;
+        let Some(base) = suite.runs_for(App::Ggnn).find(|r| r.dataset == id) else {
             panic!("GGNN run for {id:?} missing from the suite");
         };
         let _ = write!(out, "{:<10}", base.label);
@@ -238,26 +239,11 @@ pub fn fig11(suite: &Suite) -> Result<String, SimError> {
         ("(c) FLANN", App::Flann),
     ];
 
-    let hsu_trace = |app: App, dataset| match app {
-        App::Ggnn => {
-            let Some((_, wl)) = suite.ggnn.iter().find(|(id, _)| *id == dataset) else {
-                panic!("GGNN workload for {dataset:?} not retained");
-            };
-            wl.trace(Variant::Hsu)
-        }
-        App::Bvhnn => {
-            let Some((_, wl)) = suite.bvhnn.iter().find(|(id, _)| *id == dataset) else {
-                panic!("BVH-NN workload for {dataset:?} not retained");
-            };
-            wl.trace(Variant::Hsu)
-        }
-        App::Flann => {
-            let Some((_, wl)) = suite.flann.iter().find(|(id, _)| *id == dataset) else {
-                panic!("FLANN workload for {dataset:?} not retained");
-            };
-            wl.trace(Variant::Hsu)
-        }
-        App::Btree => unreachable!("no B+ panel in Fig. 11"),
+    let hsu_trace = |app: App, dataset| {
+        let Some(at) = suite.traces_for(app).find(|t| t.dataset == dataset) else {
+            panic!("{app:?} traces for {dataset:?} not retained");
+        };
+        &at.hsu
     };
     let mut jobs = Vec::new();
     for (_, app) in panels {
@@ -272,9 +258,7 @@ pub fn fig11(suite: &Suite) -> Result<String, SimError> {
             hsu: HsuConfig::default().with_warp_buffer(s),
             ..suite.config.gpu_config()
         };
-        Gpu::new(cfg)
-            .run(&hsu_trace(app, dataset))
-            .map(|r| r.cycles)
+        Gpu::new(cfg).run(hsu_trace(app, dataset)).map(|r| r.cycles)
     });
     let cycles: Vec<u64> = cycles.into_iter().collect::<Result<_, _>>()?;
 

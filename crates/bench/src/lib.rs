@@ -37,11 +37,13 @@
 #![warn(missing_docs)]
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod cache;
 pub mod figures;
 pub mod runner;
 pub mod suite;
 
+pub use cache::ArchiveCache;
 pub use runner::{
     outcomes_table, run_jobs, run_jobs_ft, FaultPolicy, JobError, JobOutcome, JobStatus, RunRecord,
 };
-pub use suite::{Suite, SuiteBuild, SuiteConfig};
+pub use suite::{AppTraces, Suite, SuiteBuild, SuiteConfig};

@@ -1,5 +1,6 @@
 //! Workload construction and the cached simulation runs.
 
+use crate::cache::ArchiveCache;
 use crate::runner::{FaultPolicy, JobOutcome, RunRecord};
 use hsu_datasets::{Dataset, DatasetId};
 use hsu_kernels::btree::{BtreeParams, BtreeWorkload};
@@ -8,6 +9,7 @@ use hsu_kernels::flann::{FlannParams, FlannWorkload};
 use hsu_kernels::ggnn::{GgnnParams, GgnnWorkload};
 use hsu_kernels::{offloadable_fraction, Variant};
 use hsu_sim::config::{GpuConfig, SimMode};
+use hsu_sim::trace::KernelTrace;
 use hsu_sim::{Gpu, SimError, SimReport};
 
 /// Which application a run belongs to (the paper's four workloads).
@@ -98,6 +100,11 @@ pub struct SuiteConfig {
     /// the machine between `jobs` and this knob so the two levels of
     /// parallelism never oversubscribe the host.
     pub sim_threads: usize,
+    /// Directory for the content-keyed `.hsar` build cache
+    /// ([`crate::cache::ArchiveCache`]). `None` (the default) builds cold.
+    /// Warm or cold, populated or empty, suite output is byte-identical —
+    /// the cache only skips the dataset/index/trace construction work.
+    pub archive_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for SuiteConfig {
@@ -112,6 +119,7 @@ impl Default for SuiteConfig {
             jobs: 1,
             sim_mode: SimMode::default(),
             sim_threads: 0,
+            archive_dir: None,
         }
     }
 }
@@ -141,6 +149,12 @@ impl SuiteConfig {
     /// The same configuration with a different per-simulation thread count.
     pub fn with_sim_threads(mut self, threads: usize) -> Self {
         self.sim_threads = threads;
+        self
+    }
+
+    /// The same configuration with an archive-cache directory attached.
+    pub fn with_archive_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.archive_dir = Some(dir.into());
         self
     }
 
@@ -177,6 +191,37 @@ fn ggnn_size(id: DatasetId) -> (usize, usize) {
     }
 }
 
+/// The three lowered traces of one application × dataset — everything phase
+/// B (simulation) and the sensitivity sweeps (Figs. 10/11) need, and exactly
+/// what the archive cache stores. A warm run reconstructs these from
+/// `.hsar` files without touching the generators or index builders.
+#[derive(Debug)]
+pub struct AppTraces {
+    /// Application.
+    pub app: App,
+    /// Dataset id.
+    pub dataset: DatasetId,
+    /// Figure label (with F-/B- prefix where the paper uses one).
+    pub label: String,
+    /// HSU-lowered trace.
+    pub hsu: KernelTrace,
+    /// Baseline (no RT hardware) trace.
+    pub base: KernelTrace,
+    /// Baseline with offloadable ops stripped (Fig. 7 probe).
+    pub stripped: KernelTrace,
+}
+
+impl AppTraces {
+    /// The trace for one lowering variant.
+    pub fn trace(&self, v: Variant) -> &KernelTrace {
+        match v {
+            Variant::Hsu => &self.hsu,
+            Variant::Baseline => &self.base,
+            Variant::BaselineStripped => &self.stripped,
+        }
+    }
+}
+
 /// The complete workload suite with cached standard-machine runs.
 #[derive(Debug)]
 pub struct Suite {
@@ -184,41 +229,16 @@ pub struct Suite {
     pub config: SuiteConfig,
     /// The simulated GPU.
     pub gpu: Gpu,
-    /// Retained workloads for the sensitivity sweeps (Figs. 10/11).
-    pub ggnn: Vec<(DatasetId, GgnnWorkload)>,
-    /// FLANN workloads by dataset.
-    pub flann: Vec<(DatasetId, FlannWorkload)>,
-    /// BVH-NN workloads by dataset.
-    pub bvhnn: Vec<(DatasetId, BvhnnWorkload)>,
-    /// B+-tree workloads by dataset.
-    pub btree: Vec<(DatasetId, BtreeWorkload)>,
+    /// Retained lowered traces per app × dataset, in plan order (GGNN,
+    /// then FLANN/BVH-NN interleaved per 3-D set, then B+). The
+    /// sensitivity sweeps (Figs. 10/11) re-simulate these.
+    pub traces: Vec<AppTraces>,
     /// Cached standard-machine runs for every app × dataset.
     pub runs: Vec<AppRun>,
     /// Per-simulation observability records, in run order (three per
     /// [`AppRun`]: hsu, base, stripped). Render with
     /// [`crate::runner::records_table`].
     pub records: Vec<RunRecord>,
-}
-
-/// A borrowed workload of any application, so one job type can carry the
-/// whole simulation matrix.
-#[derive(Clone, Copy)]
-enum WlRef<'a> {
-    Ggnn(&'a GgnnWorkload),
-    Flann(&'a FlannWorkload),
-    Bvhnn(&'a BvhnnWorkload),
-    Btree(&'a BtreeWorkload),
-}
-
-impl WlRef<'_> {
-    fn trace(&self, v: Variant) -> hsu_sim::trace::KernelTrace {
-        match self {
-            WlRef::Ggnn(wl) => wl.trace(v),
-            WlRef::Flann(wl) => wl.trace(v),
-            WlRef::Bvhnn(wl) => wl.trace(v),
-            WlRef::Btree(wl) => wl.trace(v),
-        }
-    }
 }
 
 /// Workload-construction jobs for phase A of [`Suite::build`]. One job per
@@ -228,12 +248,6 @@ enum BuildJob {
     Ggnn(DatasetId),
     ThreeD(DatasetId),
     Btree(DatasetId),
-}
-
-enum Built {
-    Ggnn(DatasetId, GgnnWorkload),
-    ThreeD(DatasetId, FlannWorkload, BvhnnWorkload),
-    Btree(DatasetId, BtreeWorkload),
 }
 
 /// Result of a fault-tolerant suite build: the suite (holding every app ×
@@ -304,72 +318,47 @@ impl Suite {
         config.gpu_config().validate()?;
         let gpu = Gpu::new(config.gpu_config());
 
-        // Phase A: construct all workloads (validation included) in
-        // parallel. Each job derives everything from `config` — no shared
-        // RNG or other mutable state.
-        let mut build_jobs = Vec::new();
-        for id in DatasetId::HIGH_DIM {
-            build_jobs.push(BuildJob::Ggnn(id));
-        }
-        for id in DatasetId::THREE_D {
-            build_jobs.push(BuildJob::ThreeD(id));
-        }
-        for id in [DatasetId::BTree1m, DatasetId::BTree10k] {
-            build_jobs.push(BuildJob::Btree(id));
-        }
-        let built =
-            crate::runner::run_jobs(config.jobs, build_jobs, |_, job| build_one(&config, job));
-
-        let mut ggnn = Vec::new();
-        let mut flann = Vec::new();
-        let mut bvhnn = Vec::new();
-        let mut btree = Vec::new();
-        for b in built {
-            match b {
-                Built::Ggnn(id, wl) => ggnn.push((id, wl)),
-                Built::ThreeD(id, fw, bw) => {
-                    flann.push((id, fw));
-                    bvhnn.push((id, bw));
-                }
-                Built::Btree(id, wl) => btree.push((id, wl)),
-            }
+        // Phase A: construct (or load from the archive cache) every
+        // lowered trace in parallel. Each job derives everything from
+        // `config` — no shared RNG or other mutable state — so results are
+        // identical for any worker count, and identical warm or cold.
+        let cache = ArchiveCache::new(config.archive_dir.clone());
+        let traces = Self::prepare_traces(&config, &cache);
+        if cache.enabled() {
+            eprintln!(
+                "archive cache: {} hits, {} misses ({})",
+                cache.hits(),
+                cache.misses(),
+                config
+                    .archive_dir
+                    .as_deref()
+                    .unwrap_or_else(|| std::path::Path::new("?"))
+                    .display()
+            );
         }
 
         // Phase B: the simulation matrix — every (app × dataset × variant)
         // triple is one job with a stable key; reports come back in
         // submission order, so `runs` is identical for any worker count.
-        let mut plan: Vec<(App, DatasetId, WlRef<'_>)> = Vec::new();
-        for (id, wl) in &ggnn {
-            plan.push((App::Ggnn, *id, WlRef::Ggnn(wl)));
-        }
-        for i in 0..flann.len() {
-            plan.push((App::Flann, flann[i].0, WlRef::Flann(&flann[i].1)));
-            plan.push((App::Bvhnn, bvhnn[i].0, WlRef::Bvhnn(&bvhnn[i].1)));
-        }
-        for (id, wl) in &btree {
-            plan.push((App::Btree, *id, WlRef::Btree(wl)));
-        }
-
         const VARIANTS: [(Variant, &str); 3] = [
             (Variant::Hsu, "hsu"),
             (Variant::Baseline, "base"),
             (Variant::BaselineStripped, "stripped"),
         ];
         let mut sim_jobs = Vec::new();
-        for (app, id, wl) in &plan {
-            let label = format!("{}{}", app.prefix(), hsu_datasets::spec(*id).abbr);
+        for at in &traces {
             for (variant, vname) in VARIANTS {
-                let key = format!("{label}/{vname}");
-                sim_jobs.push((key.clone(), (key, *wl, variant)));
+                let key = format!("{}/{vname}", at.label);
+                sim_jobs.push((key.clone(), (key, at, variant)));
             }
         }
         let outs = crate::runner::run_jobs_ft(
             config.jobs,
             policy,
             sim_jobs,
-            |_, (key, wl, variant), limits| {
-                let trace = wl.trace(*variant);
-                crate::runner::timed_run(key.clone(), || gpu.run_guarded(&trace, limits))
+            |_, (key, at, variant), limits| {
+                let trace = at.trace(*variant);
+                crate::runner::timed_run(key.clone(), || gpu.run_guarded(trace, limits))
             },
         );
 
@@ -377,7 +366,7 @@ impl Suite {
         let mut records = Vec::new();
         let mut outcomes = Vec::new();
         let mut outs = outs.into_iter();
-        for (app, id, _) in &plan {
+        for at in &traces {
             // One triple (hsu/base/stripped) per planned app × dataset; the
             // pool returns an outcome for every submitted job.
             let mut triple = Vec::with_capacity(3);
@@ -411,11 +400,10 @@ impl Suite {
                 else {
                     unreachable!("all-ok triple yields three reports");
                 };
-                let spec = hsu_datasets::spec(*id);
                 runs.push(AppRun {
-                    app: *app,
-                    label: format!("{}{}", app.prefix(), spec.abbr),
-                    dataset: *id,
+                    app: at.app,
+                    label: at.label.clone(),
+                    dataset: at.dataset,
                     hsu,
                     base,
                     stripped,
@@ -423,16 +411,12 @@ impl Suite {
                 records.extend([r0, r1, r2]);
             }
         }
-        drop(plan);
 
         Ok(SuiteBuild {
             suite: Suite {
                 config,
                 gpu,
-                ggnn,
-                flann,
-                bvhnn,
-                btree,
+                traces,
                 runs,
                 records,
             },
@@ -440,9 +424,37 @@ impl Suite {
         })
     }
 
+    /// Phase A on its own: produce every lowered trace the simulation
+    /// matrix consumes, in plan order, consulting `cache` before building.
+    /// This is the part of a suite run the archive cache can skip entirely;
+    /// `simbench` times it cold vs warm.
+    pub fn prepare_traces(config: &SuiteConfig, cache: &ArchiveCache) -> Vec<AppTraces> {
+        let mut build_jobs = Vec::new();
+        for id in DatasetId::HIGH_DIM {
+            build_jobs.push(BuildJob::Ggnn(id));
+        }
+        for id in DatasetId::THREE_D {
+            build_jobs.push(BuildJob::ThreeD(id));
+        }
+        for id in [DatasetId::BTree1m, DatasetId::BTree10k] {
+            build_jobs.push(BuildJob::Btree(id));
+        }
+        crate::runner::run_jobs(config.jobs, build_jobs, |_, job| {
+            build_one(config, cache, job)
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+
     /// Runs for one application, in dataset order.
     pub fn runs_for(&self, app: App) -> impl Iterator<Item = &AppRun> + '_ {
         self.runs.iter().filter(move |r| r.app == app)
+    }
+
+    /// Retained traces for one application, in dataset order.
+    pub fn traces_for(&self, app: App) -> impl Iterator<Item = &AppTraces> + '_ {
+        self.traces.iter().filter(move |t| t.app == app)
     }
 
     /// Geometric-mean HSU speedup for one application (the paper reports
@@ -461,72 +473,218 @@ pub fn geomean(xs: &[f64]) -> f64 {
     (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
 }
 
+/// The three variant traces of one workload, in the fixed (hsu, base,
+/// stripped) order the trace archives use.
+fn lower_all(wl: &impl Lowerable) -> [KernelTrace; 3] {
+    [
+        wl.trace(Variant::Hsu),
+        wl.trace(Variant::Baseline),
+        wl.trace(Variant::BaselineStripped),
+    ]
+}
+
+/// The one method every workload shares that phase A needs.
+trait Lowerable {
+    fn trace(&self, v: Variant) -> KernelTrace;
+}
+
+macro_rules! impl_lowerable {
+    ($($ty:ty),*) => {$(
+        impl Lowerable for $ty {
+            fn trace(&self, v: Variant) -> KernelTrace {
+                <$ty>::trace(self, v)
+            }
+        }
+    )*};
+}
+impl_lowerable!(GgnnWorkload, FlannWorkload, BvhnnWorkload, BtreeWorkload);
+
+fn app_traces(app: App, id: DatasetId, traces: Vec<KernelTrace>) -> AppTraces {
+    let mut it = traces.into_iter();
+    let (Some(hsu), Some(base), Some(stripped)) = (it.next(), it.next(), it.next()) else {
+        unreachable!("trace archives carry exactly three variants per app");
+    };
+    AppTraces {
+        app,
+        dataset: id,
+        label: format!("{}{}", app.prefix(), hsu_datasets::spec(id).abbr),
+        hsu,
+        base,
+        stripped,
+    }
+}
+
+/// The generated dataset for one suite slot, via the cache when possible.
+/// The key pins the generator version, dataset id, seed, and exact size, so
+/// a restored dataset is bit-identical to a regenerated one.
+fn cached_dataset(cache: &ArchiveCache, id: DatasetId, seed: u64, n: usize) -> Dataset {
+    let dkey = format!("hsar-dataset-v1|{id:?}|seed={seed}|n={n}");
+    let stem = format!("dataset-{id:?}");
+    if let Some(ds) = cache.load_dataset(&stem, &dkey, id) {
+        return ds;
+    }
+    let ds = Dataset::generate_scaled(id, seed, Some(n));
+    cache.store_dataset(&stem, &dkey, &ds);
+    ds
+}
+
 /// Executes one phase-A construction job. Pure function of the config: the
-/// parallel build is deterministic because nothing here reads shared state.
-fn build_one(config: &SuiteConfig, job: BuildJob) -> Built {
+/// parallel build is deterministic because nothing here reads shared state
+/// (the archive cache only short-circuits work whose result the key fully
+/// determines). Returns the job's [`AppTraces`] in plan order — one entry
+/// for GGNN and B+ jobs, `[FLANN, BVH-NN]` for the shared 3-D jobs.
+///
+/// Cache layering, outermost first: a trace-archive hit skips everything;
+/// on a miss the dataset and index archives are consulted before their
+/// generators run, and every rebuilt artifact is stored back.
+fn build_one(config: &SuiteConfig, cache: &ArchiveCache, job: BuildJob) -> Vec<AppTraces> {
+    let seed = config.seed;
     match job {
         BuildJob::Ggnn(id) => {
             let spec = hsu_datasets::spec(id);
             let (points, queries) = ggnn_size(id);
-            let dataset = Dataset::generate_scaled(id, config.seed, Some(config.scaled(points)));
-            let Some(data) = dataset.points().cloned() else {
-                panic!("GGNN dataset {id:?} is not a point dataset");
-            };
+            let n = config.scaled(points);
             let Some(metric) = spec.metric else {
                 panic!("ANN dataset {id:?} has no metric");
             };
             let params = GgnnParams {
-                points: data.len(),
+                points: n,
                 dim: spec.dims,
                 queries: config.scaled(queries).max(48).min(queries.max(48)),
                 metric,
                 k: 10,
                 ef: 64,
                 m: 16,
-                seed: config.seed,
+                seed,
             };
-            Built::Ggnn(id, GgnnWorkload::build_from_points(&params, &data))
+            let tkey = format!("hsar-traces-v1|ggnn|{id:?}|{params:?}");
+            let tstem = format!("traces-ggnn-{id:?}");
+            let names = ["hsu", "base", "stripped"];
+            if let Some(traces) = cache.load_traces(&tstem, &tkey, &names) {
+                return vec![app_traces(App::Ggnn, id, traces)];
+            }
+            let data = cached_dataset(cache, id, seed, n);
+            let Some(data) = data.points().cloned() else {
+                panic!("GGNN dataset {id:?} is not a point dataset");
+            };
+            let gcfg = GgnnWorkload::graph_config(&params);
+            let gkey = format!("hsar-graph-v1|{id:?}|seed={seed}|n={n}|metric={metric:?}|{gcfg:?}");
+            let gstem = format!("graph-{id:?}");
+            let graph = cache.load_graph(&gstem, &gkey).unwrap_or_else(|| {
+                let graph = hsu_graph::HnswGraph::build(&data, metric, gcfg, seed);
+                cache.store_graph(&gstem, &gkey, &graph);
+                graph
+            });
+            let wl = GgnnWorkload::build_with_graph(&params, &data, &graph);
+            let traces = lower_all(&wl);
+            cache.store_traces(
+                &tstem,
+                &tkey,
+                &names.iter().copied().zip(traces.iter()).collect::<Vec<_>>(),
+            );
+            vec![app_traces(App::Ggnn, id, traces.into())]
         }
         BuildJob::ThreeD(id) => {
             let spec = hsu_datasets::spec(id);
             let n = config.scaled(spec.scaled_points.min(15_000));
-            let dataset = Dataset::generate_scaled(id, config.seed, Some(n));
-            let Some(data) = dataset.points().cloned() else {
+            let queries = config.scaled(4096).max(2048);
+            let fparams = FlannParams {
+                points: n,
+                queries,
+                k: 5,
+                checks: 16,
+                seed,
+            };
+            let bparams = BvhnnParams {
+                points: n,
+                queries,
+                radius_scale: 1.5,
+                flavor: Default::default(),
+                seed,
+            };
+            let tkey = format!("hsar-traces-v1|3d|{id:?}|{fparams:?}|{bparams:?}");
+            let tstem = format!("traces-3d-{id:?}");
+            let names = [
+                "flann-hsu",
+                "flann-base",
+                "flann-stripped",
+                "bvhnn-hsu",
+                "bvhnn-base",
+                "bvhnn-stripped",
+            ];
+            if let Some(mut traces) = cache.load_traces(&tstem, &tkey, &names) {
+                let bvhnn = traces.split_off(3);
+                return vec![
+                    app_traces(App::Flann, id, traces),
+                    app_traces(App::Bvhnn, id, bvhnn),
+                ];
+            }
+            let data = cached_dataset(cache, id, seed, n);
+            let Some(data) = data.points().cloned() else {
                 panic!("3-D dataset {id:?} is not a point dataset");
             };
-            let queries = config.scaled(4096).max(2048);
-            let fw = FlannWorkload::build_from_points(
-                &FlannParams {
-                    points: n,
-                    queries,
-                    k: 5,
-                    checks: 16,
-                    seed: config.seed,
-                },
-                &data,
+            let kkey = format!("hsar-kdtree-v1|{id:?}|seed={seed}|n={n}|leaf=4|metric=euclid");
+            let kstem = format!("kdtree-{id:?}");
+            let tree = cache.load_kdtree(&kstem, &kkey).unwrap_or_else(|| {
+                let tree = FlannWorkload::build_tree(&data);
+                cache.store_kdtree(&kstem, &kkey, &tree);
+                tree
+            });
+            let fw = FlannWorkload::build_with_tree(&fparams, &data, &tree);
+            let bkey = format!(
+                "hsar-bvh-v1|{id:?}|seed={seed}|n={n}|flavor={:?}|rs={}",
+                bparams.flavor, bparams.radius_scale
             );
-            let bw = BvhnnWorkload::build_from_points(
-                &BvhnnParams {
-                    points: n,
-                    queries,
-                    radius_scale: 1.5,
-                    flavor: Default::default(),
-                    seed: config.seed,
-                },
-                &data,
-            );
-            Built::ThreeD(id, fw, bw)
+            let bstem = format!("bvh-{id:?}");
+            let (bvh2, radius) = cache.load_bvh(&bstem, &bkey).unwrap_or_else(|| {
+                let (bvh2, radius) = BvhnnWorkload::plan(&bparams, &data);
+                cache.store_bvh(&bstem, &bkey, &bvh2, radius);
+                (bvh2, radius)
+            });
+            let bw = BvhnnWorkload::build_with_bvh(&bparams, &data, &bvh2, radius);
+            let ftr = lower_all(&fw);
+            let btr = lower_all(&bw);
+            let all: Vec<(&str, &KernelTrace)> = names
+                .iter()
+                .copied()
+                .zip(ftr.iter().chain(btr.iter()))
+                .collect();
+            cache.store_traces(&tstem, &tkey, &all);
+            vec![
+                app_traces(App::Flann, id, ftr.into()),
+                app_traces(App::Bvhnn, id, btr.into()),
+            ]
         }
         BuildJob::Btree(id) => {
             let spec = hsu_datasets::spec(id);
-            let keys = config.scaled(spec.scaled_points);
-            let wl = BtreeWorkload::build(&BtreeParams {
-                keys,
+            let params = BtreeParams {
+                keys: config.scaled(spec.scaled_points),
                 queries: config.scaled(8192).max(2048),
                 branch: 256,
-                seed: config.seed,
+                seed,
+            };
+            let tkey = format!("hsar-traces-v1|btree|{id:?}|{params:?}");
+            let tstem = format!("traces-btree-{id:?}");
+            let names = ["hsu", "base", "stripped"];
+            if let Some(traces) = cache.load_traces(&tstem, &tkey, &names) {
+                return vec![app_traces(App::Btree, id, traces)];
+            }
+            let (pairs, lookups) = BtreeWorkload::generate_inputs(&params);
+            let ikey = format!("hsar-btree-v1|{id:?}|{params:?}");
+            let istem = format!("btree-{id:?}");
+            let tree = cache.load_btree(&istem, &ikey).unwrap_or_else(|| {
+                let tree = hsu_btree::BPlusTree::bulk_build(pairs.clone(), params.branch);
+                cache.store_btree(&istem, &ikey, &tree);
+                tree
             });
-            Built::Btree(id, wl)
+            let wl = BtreeWorkload::build_with_tree(&pairs, &lookups, tree);
+            let traces = lower_all(&wl);
+            cache.store_traces(
+                &tstem,
+                &tkey,
+                &names.iter().copied().zip(traces.iter()).collect::<Vec<_>>(),
+            );
+            vec![app_traces(App::Btree, id, traces.into())]
         }
     }
 }

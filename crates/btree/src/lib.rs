@@ -22,6 +22,8 @@
 
 #![warn(missing_docs)]
 
+pub mod archive_io;
+
 /// Maximum branch factor of the Rodinia configuration (255 separators).
 pub const RODINIA_BRANCH: usize = 256;
 

@@ -1,0 +1,163 @@
+//! `.hsar` payload codec for [`Bvh2`] ([`hsu_archive::kind::BVH2`]).
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! node_count u64
+//! per node: min.x f32 | min.y | min.z | max.x | max.y | max.z
+//!           tag u8 — 0 = Internal { left u32, right u32 }
+//!                    1 = Leaf     { start u32, count u32 }
+//! prim_count u64 | prim_count × u32
+//! ```
+//!
+//! Only the binary BVH is archived: the wide [`crate::Bvh4`] is a cheap
+//! deterministic collapse of it (`Bvh4::from_bvh2`), so consumers re-derive
+//! it after restore instead of storing a second copy. AABB coordinates keep
+//! their exact `f32` bit patterns, so decode → re-encode is byte-identical.
+
+use hsu_archive::payload::{put_f32, put_u32, put_u64, put_u8, Cursor};
+use hsu_archive::ArchiveError;
+use hsu_geometry::{Aabb, Vec3};
+
+use crate::{Bvh2, Bvh2Node, NodeContent};
+
+/// Encodes a binary BVH as a `BVH2` chunk payload.
+pub fn bvh2_to_chunk(bvh: &Bvh2) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(16 + bvh.nodes.len() * 33 + bvh.prim_indices.len() * 4);
+    put_u64(&mut buf, bvh.nodes.len() as u64);
+    for node in &bvh.nodes {
+        for v in [node.aabb.min, node.aabb.max] {
+            put_f32(&mut buf, v.x);
+            put_f32(&mut buf, v.y);
+            put_f32(&mut buf, v.z);
+        }
+        match node.content {
+            NodeContent::Internal { left, right } => {
+                put_u8(&mut buf, 0);
+                put_u32(&mut buf, left);
+                put_u32(&mut buf, right);
+            }
+            NodeContent::Leaf { start, count } => {
+                put_u8(&mut buf, 1);
+                put_u32(&mut buf, start);
+                put_u32(&mut buf, count);
+            }
+        }
+    }
+    put_u64(&mut buf, bvh.prim_indices.len() as u64);
+    for &i in &bvh.prim_indices {
+        put_u32(&mut buf, i);
+    }
+    buf
+}
+
+/// Decodes a `BVH2` chunk payload; `chunk` labels errors.
+pub fn bvh2_from_chunk(bytes: &[u8], chunk: &str) -> Result<Bvh2, ArchiveError> {
+    let fail = |detail: String| ArchiveError::Payload {
+        chunk: chunk.into(),
+        detail,
+    };
+    let mut c = Cursor::new(bytes, chunk);
+    let node_count = c.u64()?;
+    // A node is 6 × f32 + tag + two u32s = 33 bytes.
+    let node_count = c.count(node_count, 33, "node")?;
+    let mut nodes = Vec::with_capacity(node_count);
+    for _ in 0..node_count {
+        let mut corners = [Vec3::new(0.0, 0.0, 0.0); 2];
+        for corner in &mut corners {
+            let x = c.f32()?;
+            let y = c.f32()?;
+            let z = c.f32()?;
+            *corner = Vec3::new(x, y, z);
+        }
+        let content = match c.u8()? {
+            0 => NodeContent::Internal {
+                left: c.u32()?,
+                right: c.u32()?,
+            },
+            1 => NodeContent::Leaf {
+                start: c.u32()?,
+                count: c.u32()?,
+            },
+            other => return Err(fail(format!("unknown node tag {other}"))),
+        };
+        nodes.push(Bvh2Node {
+            aabb: Aabb {
+                min: corners[0],
+                max: corners[1],
+            },
+            content,
+        });
+    }
+    let prim_count = c.u64()?;
+    let prim_count = c.count(prim_count, 4, "primitive index")?;
+    let mut prim_indices = Vec::with_capacity(prim_count);
+    for _ in 0..prim_count {
+        prim_indices.push(c.u32()?);
+    }
+    c.finish()?;
+    for node in &nodes {
+        match node.content {
+            NodeContent::Internal { left, right } => {
+                if left as usize >= nodes.len() || right as usize >= nodes.len() {
+                    return Err(fail(format!(
+                        "children {left}/{right} outside {} nodes",
+                        nodes.len()
+                    )));
+                }
+            }
+            NodeContent::Leaf { start, count } => {
+                if (start as usize) + (count as usize) > prim_indices.len() {
+                    return Err(fail(format!(
+                        "leaf range {start}+{count} outside {} primitives",
+                        prim_indices.len()
+                    )));
+                }
+            }
+        }
+    }
+    Ok(Bvh2 {
+        nodes,
+        prim_indices,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LbvhBuilder, PointPrimitive};
+
+    fn sample_bvh() -> Bvh2 {
+        let prims: Vec<PointPrimitive> = (0..120)
+            .map(|i| {
+                let f = i as f32;
+                PointPrimitive::new(
+                    i,
+                    Vec3::new((f * 0.37).sin(), (f * 0.11).cos(), f * 0.01),
+                    0.05,
+                )
+            })
+            .collect();
+        LbvhBuilder::default().build(&prims)
+    }
+
+    #[test]
+    fn bvh_chunk_round_trips_with_byte_parity() {
+        let bvh = sample_bvh();
+        let bytes = bvh2_to_chunk(&bvh);
+        let back = bvh2_from_chunk(&bytes, "t").expect("decode");
+        assert_eq!(back, bvh);
+        assert_eq!(bvh2_to_chunk(&back), bytes, "re-encode parity");
+    }
+
+    #[test]
+    fn dangling_children_are_rejected() {
+        let bvh = sample_bvh();
+        let mut bytes = bvh2_to_chunk(&bvh);
+        // Root is internal for 120 prims: corrupt its left-child index
+        // (offset 8 for the count, 24 for the AABB, 1 for the tag).
+        bytes[33..37].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = bvh2_from_chunk(&bytes, "t").unwrap_err();
+        assert_eq!(err.kind(), "payload");
+    }
+}

@@ -32,6 +32,7 @@
 
 #![warn(missing_docs)]
 
+pub mod archive_io;
 mod builder;
 mod bvh2;
 mod bvh4;

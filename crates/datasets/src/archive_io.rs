@@ -1,0 +1,178 @@
+//! `.hsar` payload codecs for generated datasets.
+//!
+//! A point set is stored as one [`hsu_archive::kind::POINTS`] chunk
+//! (`dim u32 | count u64 | count × dim f32`, row-major, bit patterns
+//! preserved exactly); a key set as one [`hsu_archive::kind::KEYS`] chunk
+//! (`count u64 | count × (key u32, value u64)`). Whole datasets live in a
+//! keyed archive with a single `data/points` or `data/keys` chunk, so a
+//! cached dataset restores without running its generator.
+
+use std::path::Path;
+
+use hsu_archive::payload::{put_f32, put_u32, put_u64, Cursor};
+use hsu_archive::{kind, ArchiveError, ArchiveWriter, FileArchive};
+use hsu_geometry::point::PointSet;
+
+use crate::catalog::DataFamily;
+use crate::generators::Dataset;
+use crate::DatasetId;
+
+/// Encodes a point set as a `POINTS` chunk payload.
+pub fn points_to_chunk(points: &PointSet) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(12 + points.as_flat().len() * 4);
+    put_u32(&mut buf, points.dim() as u32);
+    put_u64(&mut buf, points.len() as u64);
+    for &v in points.as_flat() {
+        put_f32(&mut buf, v);
+    }
+    buf
+}
+
+/// Decodes a `POINTS` chunk payload; `chunk` labels errors.
+pub fn points_from_chunk(bytes: &[u8], chunk: &str) -> Result<PointSet, ArchiveError> {
+    let mut c = Cursor::new(bytes, chunk);
+    let dim = c.u32()? as usize;
+    if dim == 0 {
+        return Err(ArchiveError::Payload {
+            chunk: chunk.into(),
+            detail: "zero-dimensional point set".into(),
+        });
+    }
+    let count = c.u64()?;
+    let count = c.count(count, dim.saturating_mul(4), "point")?;
+    let mut data = Vec::with_capacity(count * dim);
+    for _ in 0..count * dim {
+        data.push(c.f32()?);
+    }
+    c.finish()?;
+    Ok(PointSet::from_rows(dim, data))
+}
+
+/// Encodes `(key, value)` pairs as a `KEYS` chunk payload.
+pub fn keys_to_chunk(keys: &[(u32, u64)]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(8 + keys.len() * 12);
+    put_u64(&mut buf, keys.len() as u64);
+    for &(k, v) in keys {
+        put_u32(&mut buf, k);
+        put_u64(&mut buf, v);
+    }
+    buf
+}
+
+/// Decodes a `KEYS` chunk payload; `chunk` labels errors.
+pub fn keys_from_chunk(bytes: &[u8], chunk: &str) -> Result<Vec<(u32, u64)>, ArchiveError> {
+    let mut c = Cursor::new(bytes, chunk);
+    let count = c.u64()?;
+    let count = c.count(count, 12, "key pair")?;
+    let mut keys = Vec::with_capacity(count);
+    for _ in 0..count {
+        let k = c.u32()?;
+        let v = c.u64()?;
+        keys.push((k, v));
+    }
+    c.finish()?;
+    Ok(keys)
+}
+
+/// Writes `dataset` to `path` as a keyed archive (atomically).
+pub fn write_dataset_archive(
+    path: &Path,
+    key: &str,
+    dataset: &Dataset,
+) -> Result<(), ArchiveError> {
+    let mut w = ArchiveWriter::new();
+    w.set_key(key);
+    w.begin_group("data");
+    if let Some(points) = dataset.points() {
+        w.add_chunk("points", kind::POINTS, &points_to_chunk(points));
+    }
+    if let Some(keys) = dataset.keys() {
+        w.add_chunk("keys", kind::KEYS, &keys_to_chunk(keys));
+    }
+    w.end_group();
+    w.finish_to_file(path)
+}
+
+/// Restores the dataset `id` from the keyed archive at `path`, verifying the
+/// content key first (a mismatch is [`ArchiveError::KeyMismatch`], the typed
+/// cache-miss signal).
+pub fn read_dataset_archive(
+    path: &Path,
+    key: &str,
+    id: DatasetId,
+) -> Result<Dataset, ArchiveError> {
+    let mut archive = FileArchive::open(path)?;
+    archive.expect_key(key)?;
+    let spec = crate::spec(id);
+    if spec.family == DataFamily::Keys {
+        let keys = keys_from_chunk(&archive.read("data/keys", kind::KEYS)?, "data/keys")?;
+        Ok(Dataset::from_keys(id, keys))
+    } else {
+        let points = points_from_chunk(&archive.read("data/points", kind::POINTS)?, "data/points")?;
+        if points.dim() != spec.dims {
+            return Err(ArchiveError::Payload {
+                chunk: "data/points".into(),
+                detail: format!(
+                    "dimension {} does not match {id:?}'s spec dimension {}",
+                    points.dim(),
+                    spec.dims
+                ),
+            });
+        }
+        Ok(Dataset::from_points(id, points))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn points_chunk_round_trips_bit_exactly() {
+        let ps = PointSet::from_rows(3, vec![0.0, -0.0, 1.5, f32::MIN_POSITIVE, 2.0, -7.25]);
+        let bytes = points_to_chunk(&ps);
+        let back = points_from_chunk(&bytes, "t").unwrap();
+        assert_eq!(back.dim(), 3);
+        let a: Vec<u32> = ps.as_flat().iter().map(|v| v.to_bits()).collect();
+        let b: Vec<u32> = back.as_flat().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(a, b);
+        assert_eq!(points_to_chunk(&back), bytes, "re-encode parity");
+    }
+
+    #[test]
+    fn keys_chunk_round_trips() {
+        let keys = vec![(7u32, 0u64), (0, u64::MAX), (1 << 23, 42)];
+        let bytes = keys_to_chunk(&keys);
+        assert_eq!(keys_from_chunk(&bytes, "t").unwrap(), keys);
+        assert_eq!(keys_to_chunk(&keys_from_chunk(&bytes, "t").unwrap()), bytes);
+    }
+
+    #[test]
+    fn oversized_counts_are_typed_payload_errors() {
+        let mut bytes = points_to_chunk(&PointSet::from_rows(2, vec![1.0, 2.0]));
+        // Claim 2^50 points in a chunk that holds one.
+        bytes[4..12].copy_from_slice(&(1u64 << 50).to_le_bytes());
+        let err = points_from_chunk(&bytes, "t").unwrap_err();
+        assert_eq!(err.kind(), "payload");
+    }
+
+    #[test]
+    fn dataset_archive_round_trips_through_a_file() {
+        let dir = std::env::temp_dir().join(format!("hsar-ds-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        for (id, key) in [(DatasetId::Sift10k, "sift"), (DatasetId::BTree10k, "btree")] {
+            let ds = Dataset::generate_scaled(id, 7, Some(100));
+            let path = dir.join(format!("{id:?}.hsar"));
+            write_dataset_archive(&path, key, &ds).unwrap();
+            let back = read_dataset_archive(&path, key, id).unwrap();
+            assert_eq!(
+                ds.points().map(|p| p.as_flat()),
+                back.points().map(|p| p.as_flat())
+            );
+            assert_eq!(ds.keys(), back.keys());
+            let err = read_dataset_archive(&path, "wrong-key", id).unwrap_err();
+            assert_eq!(err.kind(), "key-mismatch");
+            std::fs::remove_file(&path).ok();
+        }
+    }
+}

@@ -70,6 +70,47 @@ impl Dataset {
     pub fn keys(&self) -> Option<&[(u32, u64)]> {
         self.keys.as_deref()
     }
+
+    /// Rebuilds a point dataset from an already-materialized payload (the
+    /// archive restore path — the cache layer guarantees via content keys
+    /// that `points` came from this `id`'s generator).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is a key dataset or the dimensions disagree with the
+    /// catalog spec.
+    pub fn from_points(id: DatasetId, points: PointSet) -> Self {
+        let spec = spec(id);
+        assert!(
+            spec.family != DataFamily::Keys,
+            "{id:?} is a key dataset, not a point dataset"
+        );
+        assert_eq!(points.dim(), spec.dims, "{id:?} dimension mismatch");
+        Dataset {
+            spec,
+            points: Some(points),
+            keys: None,
+        }
+    }
+
+    /// Rebuilds a key dataset from an already-materialized payload (the
+    /// archive restore path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a key dataset.
+    pub fn from_keys(id: DatasetId, keys: Vec<(u32, u64)>) -> Self {
+        let spec = spec(id);
+        assert!(
+            spec.family == DataFamily::Keys,
+            "{id:?} is a point dataset, not a key dataset"
+        );
+        Dataset {
+            spec,
+            points: None,
+            keys: Some(keys),
+        }
+    }
 }
 
 /// Uniform random 24-bit keys (exactly representable in f32 for

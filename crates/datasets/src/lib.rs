@@ -27,6 +27,7 @@
 
 #![warn(missing_docs)]
 
+pub mod archive_io;
 mod catalog;
 mod generators;
 mod queries;

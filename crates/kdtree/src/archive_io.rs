@@ -1,0 +1,181 @@
+//! `.hsar` payload codec for [`KdTree`] ([`hsu_archive::kind::KDTREE`]).
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! metric u8 | dim u64 | max_leaf u64
+//! node_count u64
+//! per node: tag u8 — 0 = Split { axis u32, value f32, left u32, right u32 }
+//!                    1 = Leaf  { start u32, count u32 }
+//! index_count u64 | index_count × u32
+//! ```
+//!
+//! Split values keep their exact `f32` bit patterns, so decode → re-encode
+//! is byte-identical (the parity discipline).
+
+use hsu_archive::payload::{put_f32, put_u32, put_u64, put_u8, Cursor};
+use hsu_archive::ArchiveError;
+use hsu_geometry::point::Metric;
+
+use crate::{KdNode, KdTree};
+
+fn metric_to_u8(metric: Metric) -> u8 {
+    match metric {
+        Metric::Euclidean => 0,
+        Metric::Angular => 1,
+    }
+}
+
+fn metric_from_u8(v: u8, chunk: &str) -> Result<Metric, ArchiveError> {
+    match v {
+        0 => Ok(Metric::Euclidean),
+        1 => Ok(Metric::Angular),
+        other => Err(ArchiveError::Payload {
+            chunk: chunk.into(),
+            detail: format!("unknown metric tag {other}"),
+        }),
+    }
+}
+
+/// Encodes a tree as a `KDTREE` chunk payload.
+pub fn kdtree_to_chunk(tree: &KdTree) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(32 + tree.nodes.len() * 14 + tree.indices.len() * 4);
+    put_u8(&mut buf, metric_to_u8(tree.metric));
+    put_u64(&mut buf, tree.dim as u64);
+    put_u64(&mut buf, tree.max_leaf as u64);
+    put_u64(&mut buf, tree.nodes.len() as u64);
+    for node in &tree.nodes {
+        match *node {
+            KdNode::Split {
+                axis,
+                value,
+                left,
+                right,
+            } => {
+                put_u8(&mut buf, 0);
+                put_u32(&mut buf, axis);
+                put_f32(&mut buf, value);
+                put_u32(&mut buf, left);
+                put_u32(&mut buf, right);
+            }
+            KdNode::Leaf { start, count } => {
+                put_u8(&mut buf, 1);
+                put_u32(&mut buf, start);
+                put_u32(&mut buf, count);
+            }
+        }
+    }
+    put_u64(&mut buf, tree.indices.len() as u64);
+    for &i in &tree.indices {
+        put_u32(&mut buf, i);
+    }
+    buf
+}
+
+/// Decodes a `KDTREE` chunk payload; `chunk` labels errors.
+pub fn kdtree_from_chunk(bytes: &[u8], chunk: &str) -> Result<KdTree, ArchiveError> {
+    let fail = |detail: String| ArchiveError::Payload {
+        chunk: chunk.into(),
+        detail,
+    };
+    let mut c = Cursor::new(bytes, chunk);
+    let metric = metric_from_u8(c.u8()?, chunk)?;
+    let dim = c.u64()? as usize;
+    let max_leaf = c.u64()? as usize;
+    if dim == 0 || max_leaf == 0 {
+        return Err(fail("dim and max_leaf must be positive".into()));
+    }
+    let node_count = c.u64()?;
+    // A node is at least 9 bytes (tag + leaf fields).
+    let node_count = c.count(node_count, 9, "node")?;
+    let mut nodes = Vec::with_capacity(node_count);
+    for _ in 0..node_count {
+        match c.u8()? {
+            0 => {
+                let axis = c.u32()?;
+                let value = c.f32()?;
+                let left = c.u32()?;
+                let right = c.u32()?;
+                if axis as usize >= dim {
+                    return Err(fail(format!("split axis {axis} outside dim {dim}")));
+                }
+                nodes.push(KdNode::Split {
+                    axis,
+                    value,
+                    left,
+                    right,
+                });
+            }
+            1 => {
+                let start = c.u32()?;
+                let count = c.u32()?;
+                nodes.push(KdNode::Leaf { start, count });
+            }
+            other => return Err(fail(format!("unknown node tag {other}"))),
+        }
+    }
+    let index_count = c.u64()?;
+    let index_count = c.count(index_count, 4, "index")?;
+    let mut indices = Vec::with_capacity(index_count);
+    for _ in 0..index_count {
+        indices.push(c.u32()?);
+    }
+    c.finish()?;
+    // Structural checks: children and leaf ranges must stay in bounds.
+    for node in &nodes {
+        match *node {
+            KdNode::Split { left, right, .. } => {
+                if left as usize >= nodes.len() || right as usize >= nodes.len() {
+                    return Err(fail(format!(
+                        "split children {left}/{right} outside {} nodes",
+                        nodes.len()
+                    )));
+                }
+            }
+            KdNode::Leaf { start, count } => {
+                if (start as usize) + (count as usize) > indices.len() {
+                    return Err(fail(format!(
+                        "leaf range {start}+{count} outside {} indices",
+                        indices.len()
+                    )));
+                }
+            }
+        }
+    }
+    Ok(KdTree {
+        nodes,
+        indices,
+        metric,
+        dim,
+        max_leaf,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsu_geometry::point::PointSet;
+
+    #[test]
+    fn kdtree_chunk_round_trips_with_byte_parity() {
+        let data = PointSet::from_rows(
+            3,
+            (0..300).map(|i| ((i * 37) % 101) as f32 * 0.13).collect(),
+        );
+        let tree = KdTree::build_with(&data, Metric::Euclidean, 4, None);
+        let bytes = kdtree_to_chunk(&tree);
+        let back = kdtree_from_chunk(&bytes, "t").expect("decode");
+        assert_eq!(back, tree);
+        assert_eq!(kdtree_to_chunk(&back), bytes, "re-encode parity");
+    }
+
+    #[test]
+    fn corrupt_node_tag_is_a_typed_payload_error() {
+        let data = PointSet::from_rows(2, (0..64).map(|i| i as f32).collect());
+        let tree = KdTree::build(&data, Metric::Euclidean);
+        let mut bytes = kdtree_to_chunk(&tree);
+        bytes[25] = 9; // first node tag
+        let err = kdtree_from_chunk(&bytes, "t").unwrap_err();
+        assert_eq!(err.kind(), "payload");
+    }
+}

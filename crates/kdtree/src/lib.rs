@@ -28,6 +28,8 @@
 
 #![warn(missing_docs)]
 
+pub mod archive_io;
+
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 

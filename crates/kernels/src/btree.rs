@@ -58,6 +58,15 @@ pub struct BtreeWorkload {
 impl BtreeWorkload {
     /// Builds the tree from uniform random keys and records the lookups.
     pub fn build(params: &BtreeParams) -> Self {
+        let (pairs, lookups) = Self::generate_inputs(params);
+        Self::build_from_pairs(pairs, &lookups, params.branch)
+    }
+
+    /// The seeded input streams `build` draws: uniform random 24-bit keyed
+    /// pairs and a 70 %-present lookup mix. Exposed so cache layers can
+    /// regenerate the inputs without rebuilding the tree (the pairs and the
+    /// tree are cached separately).
+    pub fn generate_inputs(params: &BtreeParams) -> (Vec<(u32, u64)>, Vec<u32>) {
         use rand::{Rng, SeedableRng};
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(params.seed);
         let pairs: Vec<(u32, u64)> = (0..params.keys)
@@ -72,7 +81,7 @@ impl BtreeWorkload {
                 }
             })
             .collect();
-        Self::build_from_pairs(pairs, &lookups, params.branch)
+        (pairs, lookups)
     }
 
     /// Builds from explicit pairs and lookup keys.
@@ -83,8 +92,30 @@ impl BtreeWorkload {
     pub fn build_from_pairs(pairs: Vec<(u32, u64)>, lookups: &[u32], branch: usize) -> Self {
         let reference: std::collections::BTreeMap<u32, u64> = pairs.iter().copied().collect();
         let tree = BPlusTree::bulk_build(pairs, branch);
+        Self::record_lookups(reference, lookups, tree)
+    }
+
+    /// Records the lookups over an already-built tree (the archive-cache
+    /// restore path). `tree` must equal `BPlusTree::bulk_build(pairs,
+    /// tree.branch())` — the caller's content key guarantees it; given
+    /// that, the result is byte-identical to [`Self::build_from_pairs`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tree` fails its own structural validation.
+    pub fn build_with_tree(pairs: &[(u32, u64)], lookups: &[u32], tree: BPlusTree) -> Self {
+        let reference: std::collections::BTreeMap<u32, u64> = pairs.iter().copied().collect();
+        Self::record_lookups(reference, lookups, tree)
+    }
+
+    fn record_lookups(
+        reference: std::collections::BTreeMap<u32, u64>,
+        lookups: &[u32],
+        tree: BPlusTree,
+    ) -> Self {
+        let branch = tree.branch();
         tree.validate()
-            .expect("bulk build must produce a valid tree");
+            .expect("archived or bulk-built tree must be structurally valid");
 
         let mut events = Vec::with_capacity(lookups.len());
         let mut correct = 0usize;

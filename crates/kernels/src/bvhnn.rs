@@ -99,21 +99,46 @@ impl BvhnnWorkload {
     ///
     /// Panics if `data` is not 3-dimensional or empty.
     pub fn build_from_points(params: &BvhnnParams, data: &PointSet) -> Self {
+        let (bvh2, radius) = Self::plan(params, data);
+        Self::build_with_bvh(params, data, &bvh2, radius)
+    }
+
+    /// The expensive pre-search state: the query radius (median-NN heuristic
+    /// × `radius_scale`) and the binary BVH over `data`'s points at that
+    /// radius. This pair is what the archive cache stores; everything else
+    /// (primitives, the wide BVH) is a cheap deterministic function of it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is not 3-dimensional or empty.
+    pub fn plan(params: &BvhnnParams, data: &PointSet) -> (Bvh2, f32) {
         assert_eq!(data.dim(), 3, "BVH-NN is a 3-D workload");
         assert!(!data.is_empty(), "empty dataset");
         let radius = median_nn_distance(data, params.seed) * params.radius_scale;
-        let prims: Vec<PointPrimitive> = data
-            .iter()
-            .enumerate()
-            .map(|(i, p)| PointPrimitive::new(i as u32, Vec3::new(p[0], p[1], p[2]), radius))
-            .collect();
-        let queries = query_set(data, params.queries, params.seed ^ 0xbeef);
-
+        let prims = Self::primitives(data, radius);
         let bvh2 = match params.flavor {
             BvhFlavor::Sah2 => SahBuilder::default().max_leaf_size(1).build(&prims),
             _ => LbvhBuilder::default().build(&prims),
         };
-        let bvh4 = (params.flavor == BvhFlavor::Lbvh4).then(|| Bvh4::from_bvh2(&bvh2));
+        (bvh2, radius)
+    }
+
+    fn primitives(data: &PointSet, radius: f32) -> Vec<PointPrimitive> {
+        data.iter()
+            .enumerate()
+            .map(|(i, p)| PointPrimitive::new(i as u32, Vec3::new(p[0], p[1], p[2]), radius))
+            .collect()
+    }
+
+    /// Records the searches over an already-built BVH (the archive-cache
+    /// restore path). `(bvh2, radius)` must equal [`Self::plan`]`(params,
+    /// data)` — the caller's content key guarantees it; given that, the
+    /// result is byte-identical to [`Self::build_from_points`].
+    pub fn build_with_bvh(params: &BvhnnParams, data: &PointSet, bvh2: &Bvh2, radius: f32) -> Self {
+        assert_eq!(data.dim(), 3, "BVH-NN is a 3-D workload");
+        let prims = Self::primitives(data, radius);
+        let queries = query_set(data, params.queries, params.seed ^ 0xbeef);
+        let bvh4 = (params.flavor == BvhFlavor::Lbvh4).then(|| Bvh4::from_bvh2(bvh2));
 
         let mut events = Vec::with_capacity(queries.len());
         let mut total_neighbors = 0u64;
@@ -122,7 +147,7 @@ impl BvhnnWorkload {
             let query = Vec3::new(q[0], q[1], q[2]);
             let (evs, found, tests) = match &bvh4 {
                 Some(bvh4) => record_radius_search4(bvh4, &prims, query, radius),
-                None => record_radius_search(&bvh2, &prims, query, radius),
+                None => record_radius_search(bvh2, &prims, query, radius),
             };
             total_neighbors += found;
             total_tests += tests;

@@ -95,15 +95,28 @@ impl FlannWorkload {
     /// Panics if `data` is empty.
     pub fn build_from_points(params: &FlannParams, data: &PointSet) -> Self {
         assert!(!data.is_empty(), "empty dataset");
-        // Bucket size 4: FLANN's CUDA trees are deep, so traversal (the
-        // non-offloadable part) dominates leaf distance work.
-        let tree = KdTree::build_with(data, Metric::Euclidean, 4, None);
+        Self::build_with_tree(params, data, &Self::build_tree(data))
+    }
+
+    /// Builds the k-d tree `build_from_points` uses: bucket size 4, because
+    /// FLANN's CUDA trees are deep, so traversal (the non-offloadable part)
+    /// dominates leaf distance work. Exposed so cache layers rebuild the
+    /// index identically.
+    pub fn build_tree(data: &PointSet) -> KdTree {
+        KdTree::build_with(data, Metric::Euclidean, 4, None)
+    }
+
+    /// Records the searches over an already-built tree (the archive-cache
+    /// restore path). `tree` must equal [`Self::build_tree`]`(data)` — the
+    /// caller's content key guarantees it; given that, the result is
+    /// byte-identical to [`Self::build_from_points`].
+    pub fn build_with_tree(params: &FlannParams, data: &PointSet, tree: &KdTree) -> Self {
         let queries = query_set(data, params.queries, params.seed ^ 0xf1a);
 
         let mut events = Vec::with_capacity(queries.len());
         let mut hits = 0usize;
         for q in queries.iter() {
-            let (evs, found) = record_bbf(&tree, data, q, params.k, params.checks);
+            let (evs, found) = record_bbf(tree, data, q, params.k, params.checks);
             let exact = data
                 .nearest_brute_force(q, Metric::Euclidean)
                 .map(|(i, _)| i);

@@ -88,18 +88,33 @@ impl GgnnWorkload {
     ///
     /// Panics if `data` is empty.
     pub fn build_from_points(params: &GgnnParams, data: &PointSet) -> Self {
-        let config = GraphConfig {
+        let graph = HnswGraph::build(data, params.metric, Self::graph_config(params), params.seed);
+        Self::build_with_graph(params, data, &graph)
+    }
+
+    /// The graph-construction config `build_from_points` derives from
+    /// `params` — exposed so cache layers key and rebuild the index with
+    /// exactly the same settings.
+    pub fn graph_config(params: &GgnnParams) -> GraphConfig {
+        GraphConfig {
             m: params.m,
             ef_construction: params.ef.max(32),
             ..Default::default()
-        };
-        let graph = HnswGraph::build(data, params.metric, config, params.seed);
+        }
+    }
+
+    /// Records the searches over an already-built graph (the archive-cache
+    /// restore path). `graph` must have been built over `data` with
+    /// [`Self::graph_config`] and `params.seed` — the caller's content key
+    /// guarantees it; given that, the result is byte-identical to
+    /// [`Self::build_from_points`].
+    pub fn build_with_graph(params: &GgnnParams, data: &PointSet, graph: &HnswGraph) -> Self {
         let queries = query_set(data, params.queries, params.seed ^ 0x5eed);
 
         let mut events = Vec::with_capacity(queries.len());
         let mut found_all = Vec::with_capacity(queries.len());
         for q in queries.iter() {
-            let (evs, found) = record_search(&graph, data, q, params.k, params.ef);
+            let (evs, found) = record_search(graph, data, q, params.k, params.ef);
             events.push(evs);
             found_all.push(found);
         }

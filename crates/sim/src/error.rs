@@ -92,6 +92,24 @@ impl SimError {
         }
     }
 
+    /// Lifts a typed archive failure into the simulator's taxonomy: OS-level
+    /// failures stay [`SimError::Io`]; every corruption class (bad magic,
+    /// version skew, truncation, checksum or key mismatches, malformed
+    /// payloads) is data that cannot be decoded, i.e.
+    /// [`SimError::TraceDecode`] — the same split [`SimError::from_io`]
+    /// applies to the raw `.hsut` stream.
+    pub fn from_archive(context: impl Into<String>, err: hsu_archive::ArchiveError) -> Self {
+        match err {
+            hsu_archive::ArchiveError::Io { context: c, detail } => SimError::Io {
+                context: format!("{}: {c}", context.into()),
+                detail,
+            },
+            other => SimError::TraceDecode {
+                detail: format!("{}: {other}", context.into()),
+            },
+        }
+    }
+
     /// Short lowercase tag for the variant, for status tables and logs.
     pub fn kind(&self) -> &'static str {
         match self {

@@ -12,6 +12,12 @@
 use crate::config::GpuConfig;
 use crate::trace::{KernelTrace, ThreadOp, ThreadTrace};
 
+// Chunk-level archive corruptions (truncation, checksum bit-flips, bogus
+// chunk kinds, header version skew), re-exported so the fault harness has
+// one home: each class is pinned to its typed `ArchiveError`, which
+// `SimError::from_archive` folds into the `TraceDecode`/`Io` taxonomy.
+pub use hsu_archive::faults::{corrupt_archive_bytes, ArchiveFault, ARCHIVE_FAULTS, BOGUS_KIND};
+
 /// A class of byte-level trace corruption.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TraceFault {

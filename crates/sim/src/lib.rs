@@ -68,6 +68,7 @@
 #![warn(missing_docs)]
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod archive_io;
 pub mod cache;
 pub mod config;
 pub mod dram;

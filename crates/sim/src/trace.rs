@@ -217,7 +217,7 @@ pub struct WarpTrace {
 }
 
 /// A kernel launch: one trace per thread, packed into warps on demand.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct KernelTrace {
     name: String,
     threads: Vec<ThreadTrace>,

@@ -253,3 +253,117 @@ fn watchdog_faults_are_typed_identically_under_parallel_epoch() {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Archive-level faults: chunk corruptions surfacing through the simulator's
+// typed error taxonomy
+// ---------------------------------------------------------------------------
+
+/// A keyed trace archive image holding two sample kernels, as the bench
+/// cache would write it.
+fn encoded_archive_sample() -> Vec<u8> {
+    use hsu_sim::archive_io::encode_trace_archive;
+    let hsu = sample_kernel(8, 4);
+    let base = sample_kernel(6, 3);
+    encode_trace_archive("fault-archive", &[("hsu", &hsu), ("base", &base)])
+        .expect("healthy traces encode")
+}
+
+/// Decoding a corrupted archive must yield a typed [`SimError`] — every
+/// archive corruption maps to `trace-decode` (OS failures alone map to
+/// `io`, and there are none on the in-memory path) — and must never panic.
+fn archive_decode_must_fail_cleanly(bytes: &[u8], what: &str) {
+    use hsu_sim::archive_io::decode_trace_archive;
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        decode_trace_archive(bytes, "fault-archive", &["hsu", "base"])
+    }));
+    match outcome {
+        Ok(Err(err)) => assert_eq!(
+            err.kind(),
+            "trace-decode",
+            "{what}: archive corruption must surface as trace-decode, got {err}"
+        ),
+        Ok(Ok(_)) => panic!("{what}: corrupted archive decoded successfully"),
+        Err(_) => panic!("{what}: archive decoder panicked instead of returning an error"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn corrupted_trace_archives_fail_with_typed_errors(
+        seed in any::<u64>(),
+        fault_pick in 0usize..hsu_archive::faults::ARCHIVE_FAULTS.len(),
+    ) {
+        let bytes = encoded_archive_sample();
+        let fault = hsu_archive::faults::ARCHIVE_FAULTS[fault_pick];
+        let bad = hsu_archive::faults::corrupt_archive_bytes(&bytes, fault, seed);
+        archive_decode_must_fail_cleanly(&bad, "archive fault");
+    }
+
+    #[test]
+    fn arbitrary_byte_soup_never_panics_the_archive_decoder(
+        bytes in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        use hsu_sim::archive_io::decode_trace_archive;
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            decode_trace_archive(&bytes, "fault-archive", &["hsu"])
+        }));
+        prop_assert!(outcome.is_ok(), "archive decoder panicked on byte soup");
+        if let Ok(Ok(_)) = outcome {
+            // A 256-byte random blob can't carry the magic, key chunk, and
+            // valid checksums all at once.
+            prop_assert!(false, "byte soup decoded as a keyed trace archive");
+        }
+    }
+}
+
+/// Mirror of `every_fault_class_is_rejected_across_a_seed_sweep` for the
+/// archive layer: each chunk-level fault class, 256 seeds, always a typed
+/// `trace-decode` rejection through the simulator's error taxonomy.
+#[test]
+fn every_archive_fault_class_is_rejected_across_a_seed_sweep() {
+    let bytes = encoded_archive_sample();
+    for fault in hsu_archive::faults::ARCHIVE_FAULTS {
+        for seed in 0..256u64 {
+            let bad = hsu_archive::faults::corrupt_archive_bytes(&bytes, fault, seed);
+            archive_decode_must_fail_cleanly(&bad, &format!("{fault:?} seed {seed}"));
+        }
+    }
+}
+
+/// The on-disk reader keeps OS failures (`io`) distinct from corruption
+/// (`trace-decode`): a missing file is the former, a truncated file the
+/// latter — the bench cache branches on exactly this distinction to decide
+/// between "rebuild" and "report".
+#[test]
+fn file_archive_faults_keep_io_and_decode_errors_distinct() {
+    use hsu_sim::archive_io::{read_trace_archive, write_trace_archive};
+    let dir = std::env::temp_dir().join(format!("hsu-fault-archive-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+
+    let missing = dir.join("missing.hsar");
+    let err = read_trace_archive(&missing, "fault-archive", &["hsu"]).unwrap_err();
+    assert_eq!(err.kind(), "io", "missing file must be an io error");
+
+    let hsu = sample_kernel(8, 4);
+    let path = dir.join("traces.hsar");
+    write_trace_archive(&path, "fault-archive", &[("hsu", &hsu)]).expect("write");
+    let full = std::fs::read(&path).expect("read back");
+    for seed in 0..64u64 {
+        let bad = hsu_archive::faults::corrupt_archive_bytes(
+            &full,
+            hsu_archive::faults::ArchiveFault::Truncate,
+            seed,
+        );
+        std::fs::write(&path, &bad).expect("write corrupted");
+        let err = read_trace_archive(&path, "fault-archive", &["hsu"]).unwrap_err();
+        assert_eq!(
+            err.kind(),
+            "trace-decode",
+            "seed {seed}: truncated file must be a decode error, got {err}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

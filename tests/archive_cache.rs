@@ -1,0 +1,140 @@
+//! The warm-cache golden guarantee, end to end: a suite built from a
+//! populated `--archive-dir` must be byte-identical — reports, run order,
+//! and rendered figure text — to a cold build with an empty cache dir and
+//! to a build with no cache at all, across `--jobs` 1 and 8. Re-running
+//! from the archive must *skip* work, never change it.
+
+use hsu_bench::{figures, ArchiveCache, Suite, SuiteConfig};
+
+/// Down-scaled but complete configuration: all app × dataset runs.
+fn small_config() -> SuiteConfig {
+    SuiteConfig {
+        sms: 2,
+        scale_divisor: 64,
+        ..SuiteConfig::default()
+    }
+}
+
+fn fresh_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("hsu-cache-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn assert_suites_identical(a: &Suite, b: &Suite, what: &str) {
+    assert_eq!(a.runs.len(), b.runs.len(), "{what}: run count differs");
+    for (x, y) in a.runs.iter().zip(&b.runs) {
+        assert_eq!(x.label, y.label, "{what}: run ordering drifted");
+        assert_eq!(x.hsu, y.hsu, "{what}: {} hsu report drifted", x.label);
+        assert_eq!(x.base, y.base, "{what}: {} base report drifted", x.label);
+        assert_eq!(
+            x.stripped, y.stripped,
+            "{what}: {} stripped report drifted",
+            x.label
+        );
+    }
+    assert_eq!(
+        figures::fig9(a),
+        figures::fig9(b),
+        "{what}: fig9 text differs"
+    );
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "multiple full suite builds are slow unoptimized; run with --release"
+)]
+fn warm_cache_build_is_byte_identical_to_cold_and_uncached() {
+    let dir = fresh_dir("coldwarm");
+
+    // No cache at all — the pre-archive behavior, our reference.
+    let uncached = Suite::build(small_config());
+
+    // Cold: empty archive dir, populated as a side effect.
+    let cold = Suite::build(small_config().with_archive_dir(&dir));
+    assert_suites_identical(&uncached, &cold, "cold-vs-uncached");
+    assert!(
+        std::fs::read_dir(&dir)
+            .map(|d| d.count() > 0)
+            .unwrap_or(false),
+        "cold build must populate the archive dir"
+    );
+
+    // Warm: every build product loads from the archive.
+    let warm = Suite::build(small_config().with_archive_dir(&dir));
+    assert_suites_identical(&cold, &warm, "warm-vs-cold");
+
+    // And the warm phase A really did come from the cache: zero misses.
+    let cache = ArchiveCache::new(Some(dir.clone()));
+    Suite::prepare_traces(&small_config(), &cache);
+    assert_eq!(cache.misses(), 0, "warm phase A must not rebuild anything");
+    assert!(cache.hits() > 0, "warm phase A must hit the cache");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "multiple full suite builds are slow unoptimized; run with --release"
+)]
+fn warm_cache_is_byte_identical_across_jobs_1_and_8() {
+    let dir = fresh_dir("jobs");
+
+    // Populate with jobs=1, then consume warm with jobs=8 (and vice versa):
+    // cache state must be invisible to the parallel scheduler and the
+    // scheduler invisible to the cache.
+    let cold_seq = Suite::build(small_config().with_archive_dir(&dir));
+    let warm_par = Suite::build(small_config().with_archive_dir(&dir).with_jobs(8));
+    assert_suites_identical(&cold_seq, &warm_par, "warm-jobs8-vs-cold-jobs1");
+
+    let warm_seq = Suite::build(small_config().with_archive_dir(&dir));
+    assert_suites_identical(&warm_par, &warm_seq, "warm-jobs1-vs-warm-jobs8");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Trace archives alone are enough to reconstruct phase A: the prepared
+/// traces from a warm cache equal the cold-built ones exactly.
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "full phase A is slow unoptimized; run with --release"
+)]
+fn prepared_traces_match_between_cold_and_warm() {
+    let dir = fresh_dir("traces");
+    let config = small_config();
+
+    let cold_cache = ArchiveCache::new(Some(dir.clone()));
+    let cold = Suite::prepare_traces(&config, &cold_cache);
+    assert_eq!(cold_cache.hits(), 0, "first build must be all misses");
+
+    let warm_cache = ArchiveCache::new(Some(dir.clone()));
+    let warm = Suite::prepare_traces(&config, &warm_cache);
+    assert_eq!(warm_cache.misses(), 0, "second build must be all hits");
+
+    assert_eq!(cold.len(), warm.len());
+    for (c, w) in cold.iter().zip(&warm) {
+        assert_eq!(c.label, w.label, "plan order drifted");
+        assert_eq!(c.hsu, w.hsu, "{}: hsu trace drifted", c.label);
+        assert_eq!(c.base, w.base, "{}: base trace drifted", c.label);
+        assert_eq!(
+            c.stripped, w.stripped,
+            "{}: stripped trace drifted",
+            c.label
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A disabled cache (no `--archive-dir`, i.e. `--no-cache`) builds
+/// everything and records nothing — quick enough to run in debug.
+#[test]
+fn disabled_cache_counts_nothing() {
+    let cache = ArchiveCache::new(None);
+    assert!(!cache.enabled());
+    assert_eq!(cache.hits(), 0);
+    assert_eq!(cache.misses(), 0);
+}
