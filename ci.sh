@@ -78,6 +78,14 @@ diff "$FAULT_DIR/cold.txt" "$FAULT_DIR/nocache.txt" \
   || { echo "FAIL: --no-cache run differs from cached runs"; exit 1; }
 echo "warm-cache smoke OK"
 
+echo "== servebench smoke (serving engine determinism cross-check) =="
+# Opens all four index families, replays a small seeded stream across the
+# shards x batch x workers grid, and exits nonzero if any per-family replay
+# hash diverges. --smoke keeps the query count small and skips the
+# BENCH_sim.json append; the full open-loop numbers live under the pr8
+# entry (see EXPERIMENTS.md "Serving").
+cargo run --release -q -p hsu-serve --bin servebench -- --smoke
+
 echo "== fmt =="
 cargo fmt --all --check
 

@@ -38,6 +38,7 @@
 
 use std::time::Instant;
 
+use hsu_bench::trajectory::{append_entry, json_escape};
 use hsu_bench::{runner, Suite, SuiteConfig};
 use hsu_sim::config::SimMode;
 
@@ -130,8 +131,12 @@ fn main() {
     }
     // One machine budget for both parallelism levels; stepped/event runs
     // ignore `sim_threads`, so the resolved job count applies uniformly.
-    let (jobs, sim_threads) =
-        runner::thread_budget(runner::default_jobs(), config.jobs, config.sim_threads);
+    // The host core count and the *resolved* knobs go into the entry's
+    // config block: a 1-core host resolves every request to 1×1, and
+    // without the context the near-1.0 "parallel" speedups such a host
+    // measures would read as regressions.
+    let host_cores = runner::default_jobs();
+    let (jobs, sim_threads) = runner::thread_budget(host_cores, config.jobs, config.sim_threads);
     config.jobs = jobs;
     config.sim_threads = sim_threads;
 
@@ -217,7 +222,7 @@ fn main() {
 
     let entry = format!(
         "  {{\n    \"pr\": \"{}\",\n    \
-           \"config\": {{ \"sms\": {}, \"scale_divisor\": {}, \"seed\": {}, \"jobs\": {}, \"sim_threads\": {} }},\n    \
+           \"config\": {{ \"sms\": {}, \"scale_divisor\": {}, \"seed\": {}, \"host_cores\": {}, \"jobs\": {}, \"sim_threads\": {} }},\n    \
            \"runs\": {},\n    \
            \"build_phase\": {{ \"cold_s\": {:.6}, \"warm_s\": {:.6} }},\n    \
            \"modes\": {{\n      \
@@ -231,6 +236,7 @@ fn main() {
         config.sms,
         config.scale_divisor,
         config.seed,
+        host_cores,
         config.jobs,
         config.sim_threads,
         stepped.suite.runs.len(),
@@ -295,49 +301,6 @@ fn mode_json(m: &ModeRun) -> String {
         "{{ \"build_wall_s\": {:.6}, \"sim_wall_s\": {:.6}, \"cycles\": {}, \"ticks_executed\": {} }}",
         m.build_wall_s, m.sim_wall_s, m.cycles, m.ticks_executed
     )
-}
-
-fn json_escape(s: &str) -> String {
-    s.chars()
-        .flat_map(|c| match c {
-            '"' | '\\' => vec!['\\', c],
-            c if c.is_control() => "?".chars().collect(),
-            c => vec![c],
-        })
-        .collect()
-}
-
-/// Appends one entry to the trajectory array at `path`, creating it when
-/// missing and wrapping a legacy single-object snapshot into the array on
-/// first contact. Never erases prior entries.
-fn append_entry(path: &std::path::Path, entry: &str) -> std::io::Result<()> {
-    let existing = match std::fs::read_to_string(path) {
-        Ok(s) => s,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
-        Err(e) => return Err(e),
-    };
-    let trimmed = existing.trim();
-    let json = if trimmed.is_empty() {
-        format!("[\n{entry}\n]\n")
-    } else if let Some(body) = trimmed.strip_suffix(']') {
-        let body = body.trim_end().trim_end_matches(',');
-        if body.trim() == "[" {
-            format!("[\n{entry}\n]\n")
-        } else {
-            format!("{body},\n{entry}\n]\n")
-        }
-    } else if trimmed.ends_with('}') {
-        // Legacy pre-trajectory snapshot (a single object): keep it as the
-        // first element so history survives the format change.
-        format!("[\n{trimmed},\n{entry}\n]\n")
-    } else {
-        eprintln!(
-            "warning: {} is neither a JSON array nor an object; starting a fresh trajectory",
-            path.display()
-        );
-        format!("[\n{entry}\n]\n")
-    };
-    std::fs::write(path, json)
 }
 
 fn usage(err: &str) -> ! {

@@ -41,6 +41,7 @@ pub mod cache;
 pub mod figures;
 pub mod runner;
 pub mod suite;
+pub mod trajectory;
 
 pub use cache::ArchiveCache;
 pub use runner::{

@@ -1,0 +1,92 @@
+//! Append-only JSON trajectory files (`BENCH_sim.json`).
+//!
+//! Every bench binary (`simbench`, `servebench`) records its
+//! measurements by appending one entry to a shared JSON array, so
+//! successive PRs accumulate history instead of erasing it. The JSON is
+//! hand-rolled: the workspace deliberately has no serde.
+
+use std::path::Path;
+
+/// Escapes a string for embedding in a JSON string literal (control
+/// characters are replaced, not escaped — labels are ASCII in practice).
+pub fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            c if c.is_control() => "?".chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Appends one entry (a serialized JSON object, typically indented two
+/// spaces) to the trajectory array at `path`, creating the file when
+/// missing and wrapping a legacy single-object snapshot into the array
+/// on first contact. Never erases prior entries.
+///
+/// # Errors
+///
+/// Propagates I/O errors from reading or writing `path`.
+pub fn append_entry(path: &Path, entry: &str) -> std::io::Result<()> {
+    let existing = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+        Err(e) => return Err(e),
+    };
+    let trimmed = existing.trim();
+    let json = if trimmed.is_empty() {
+        format!("[\n{entry}\n]\n")
+    } else if let Some(body) = trimmed.strip_suffix(']') {
+        let body = body.trim_end().trim_end_matches(',');
+        if body.trim() == "[" {
+            format!("[\n{entry}\n]\n")
+        } else {
+            format!("{body},\n{entry}\n]\n")
+        }
+    } else if trimmed.ends_with('}') {
+        // Legacy pre-trajectory snapshot (a single object): keep it as the
+        // first element so history survives the format change.
+        format!("[\n{trimmed},\n{entry}\n]\n")
+    } else {
+        eprintln!(
+            "warning: {} is neither a JSON array nor an object; starting a fresh trajectory",
+            path.display()
+        );
+        format!("[\n{entry}\n]\n")
+    };
+    std::fs::write(path, json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_grows_an_array_and_wraps_legacy_objects() {
+        let dir = std::env::temp_dir().join(format!("hsu-traj-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.json");
+        let _ = std::fs::remove_file(&path);
+
+        append_entry(&path, "  { \"pr\": \"a\" }").unwrap();
+        append_entry(&path, "  { \"pr\": \"b\" }").unwrap();
+        let got = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(got.matches("\"pr\"").count(), 2);
+        assert!(got.trim_start().starts_with('[') && got.trim_end().ends_with(']'));
+
+        // Legacy single-object file gets wrapped, history preserved.
+        std::fs::write(&path, "{ \"old\": 1 }\n").unwrap();
+        append_entry(&path, "  { \"pr\": \"c\" }").unwrap();
+        let got = std::fs::read_to_string(&path).unwrap();
+        assert!(got.contains("\"old\"") && got.contains("\"pr\""));
+        assert!(got.trim_start().starts_with('['));
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn escape_handles_quotes_and_controls() {
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\ny"), "x?y");
+    }
+}

@@ -243,6 +243,14 @@ impl BPlusTree {
         }
     }
 
+    /// Point lookups for a batch of keys, one result per key in input
+    /// order. Each lookup is exactly a [`BPlusTree::get_counted`] call,
+    /// so batch results are bit-identical to per-key results in any
+    /// order or partition of the key stream.
+    pub fn get_many_counted(&self, keys: &[u32]) -> Vec<(Option<u64>, BtStats)> {
+        keys.iter().map(|&k| self.get_counted(k)).collect()
+    }
+
     /// All `(key, value)` pairs with `lo <= key < hi`, in key order, walking
     /// the leaf chain.
     pub fn range(&self, lo: u32, hi: u32) -> Vec<(u32, u64)> {
@@ -521,6 +529,21 @@ mod tests {
         for _ in 0..2000 {
             let k = rng.gen_range(0..1_000_100);
             assert_eq!(tree.get(k), reference.get(&k).copied(), "key {k}");
+        }
+    }
+
+    #[test]
+    fn get_many_matches_per_key_lookups() {
+        let pairs = random_pairs(4000, 5);
+        let tree = BPlusTree::bulk_build(pairs, RODINIA_BRANCH);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(6);
+        let keys: Vec<u32> = (0..300).map(|_| rng.gen_range(0..1_000_100)).collect();
+        let batched = tree.get_many_counted(&keys);
+        assert_eq!(batched.len(), keys.len());
+        for (&k, (v, stats)) in keys.iter().zip(&batched) {
+            let (solo_v, solo_stats) = tree.get_counted(k);
+            assert_eq!(solo_v, *v, "key {k}");
+            assert_eq!(solo_stats, *stats, "key {k}");
         }
     }
 

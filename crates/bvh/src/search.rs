@@ -123,6 +123,13 @@ impl Bvh2 {
         }
         let mut r2 = radius * radius;
         let mut stack: Vec<u32> = vec![0];
+        // Scratch for the candidate-parallel leaf refine, reused across
+        // leaves. Distances never depend on the shrinking ball — only the
+        // sequential accept test does — so the whole bucket can be computed
+        // in one SoA batch before the heap updates replay in prim order.
+        let mut positions: Vec<hsu_geometry::Vec3> = Vec::new();
+        let mut leaf_ids: Vec<u32> = Vec::new();
+        let mut dists: Vec<f32> = Vec::new();
         while let Some(i) = stack.pop() {
             stats.max_stack_depth = stats.max_stack_depth.max(stack.len() + 1);
             let node = &self.nodes[i as usize];
@@ -137,12 +144,19 @@ impl Bvh2 {
                 }
                 NodeContent::Leaf { start, count } => {
                     stats.leaves_visited += 1;
+                    positions.clear();
+                    leaf_ids.clear();
                     for s in start..start + count {
                         let prim = &prims[self.prim_indices[s as usize] as usize];
-                        stats.primitive_tests += 1;
-                        let d2 = (prim.position - query).length_squared();
+                        positions.push(prim.position);
+                        leaf_ids.push(prim.id);
+                    }
+                    dists.clear();
+                    hsu_geometry::batch::vec3_distance_squared(query, &positions, &mut dists);
+                    stats.primitive_tests += leaf_ids.len() as u64;
+                    for (&id, &d2) in leaf_ids.iter().zip(&dists) {
                         if d2 <= r2 {
-                            best.push((d2.to_bits(), prim.id));
+                            best.push((d2.to_bits(), id));
                             if best.len() > k {
                                 best.pop();
                                 // Shrink the search ball to the current Kth
@@ -165,6 +179,26 @@ impl Bvh2 {
             .collect();
         out.sort_by(|a, b| a.distance_squared.total_cmp(&b.distance_squared));
         (out, stats)
+    }
+
+    /// [`Bvh2::radius_knn`] over a batch of queries. Each query is
+    /// answered exactly as a standalone call would answer it, so batch
+    /// results are bit-identical to per-query results in any order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn radius_knn_batch(
+        &self,
+        prims: &[PointPrimitive],
+        queries: &[Vec3],
+        radius: f32,
+        k: usize,
+    ) -> Vec<(Vec<Neighbor>, TraversalStats)> {
+        queries
+            .iter()
+            .map(|&q| self.radius_knn(prims, q, radius, k))
+            .collect()
     }
 
     /// Best-first nearest-neighbour search using box distance as the
@@ -393,6 +427,33 @@ mod tests {
             assert_eq!(got.len(), expect.len());
             for (g, e) in got.iter().zip(&expect) {
                 assert!((g.distance_squared - e.0).abs() < 1e-6, "{got:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn radius_knn_batch_matches_per_query_search() {
+        let prims = random_points(700, 41);
+        let bvh = LbvhBuilder::default().build(&prims);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(42);
+        let queries: Vec<Vec3> = (0..9)
+            .map(|_| {
+                Vec3::new(
+                    rng.gen_range(-2.0..2.0),
+                    rng.gen_range(-2.0..2.0),
+                    rng.gen_range(-2.0..2.0),
+                )
+            })
+            .collect();
+        let batched = bvh.radius_knn_batch(&prims, &queries, 0.8, 4);
+        assert_eq!(batched.len(), queries.len());
+        for (&q, (hits, stats)) in queries.iter().zip(&batched) {
+            let (solo_hits, solo_stats) = bvh.radius_knn(&prims, q, 0.8, 4);
+            assert_eq!(solo_stats, *stats);
+            assert_eq!(solo_hits.len(), hits.len());
+            for (a, b) in solo_hits.iter().zip(hits) {
+                assert_eq!(a.id, b.id);
+                assert_eq!(a.distance_squared.to_bits(), b.distance_squared.to_bits());
             }
         }
     }

@@ -34,4 +34,4 @@ mod queries;
 
 pub use catalog::{catalog, spec, DataFamily, DatasetId, DatasetSpec};
 pub use generators::Dataset;
-pub use queries::{ground_truth_knn, query_set, recall_at_k};
+pub use queries::{ground_truth_knn, key_stream_nth, query_set, recall_at_k, QueryStream};

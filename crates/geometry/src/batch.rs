@@ -22,6 +22,7 @@
 //!   identical while letting whole blocks retire without branches.
 
 use crate::aabb::{Aabb, BoxHit};
+use crate::point::Metric;
 use crate::ray::Ray;
 use crate::triangle::{Triangle, TriangleHit};
 use crate::vec3::Vec3;
@@ -124,6 +125,71 @@ pub fn vec3_distance_squared(q: Vec3, points: &[Vec3], out: &mut Vec<f32>) {
     }
     for p in blocks.remainder() {
         out.push((*p - q).length_squared());
+    }
+}
+
+/// Copies the rows of `flat` (row-major, `dim` wide) selected by `ids` into
+/// `out` as one contiguous row-major block — the gather step that turns a
+/// hierarchical index's scattered candidate list (graph adjacency, k-d leaf
+/// bucket) into the dense layout [`euclid_to_rows`] and friends vectorize
+/// over.
+///
+/// # Panics
+///
+/// Panics if `flat.len()` is not a multiple of `dim`, or an id is out of
+/// range.
+pub fn gather_rows(flat: &[f32], dim: usize, ids: &[u32], out: &mut Vec<f32>) {
+    assert!(dim > 0, "dimension must be positive");
+    assert!(
+        flat.len().is_multiple_of(dim),
+        "flat length {} is not a multiple of dim {dim}",
+        flat.len()
+    );
+    out.reserve(ids.len() * dim);
+    for &id in ids {
+        let start = id as usize * dim;
+        out.extend_from_slice(&flat[start..start + dim]);
+    }
+}
+
+/// Per-row [`Metric::distance`] values from `q` to every row of `rows`,
+/// appended to `out` — the candidate-parallel form of the one call every
+/// index search hot loop makes.
+///
+/// Bit-identical to the scalar metric per row: the Euclidean arm is
+/// [`euclid_to_rows`]; the angular arm combines [`dot_norm_to_rows`] with
+/// exactly the scalar completion (`1 - dot / sqrt(|q|² |c|²)`, zero
+/// denominator ⇒ similarity 0). `pairs` is caller-owned scratch for the
+/// angular `(dot, norm²)` stage so hot loops can reuse one allocation.
+///
+/// # Panics
+///
+/// Panics if `rows.len()` is not a multiple of `q.len()`, or `q` is empty.
+pub fn metric_to_rows(
+    metric: Metric,
+    q: &[f32],
+    rows: &[f32],
+    pairs: &mut Vec<(f32, f32)>,
+    out: &mut Vec<f32>,
+) {
+    match metric {
+        Metric::Euclidean => euclid_to_rows(q, rows, out),
+        Metric::Angular => {
+            // `norm_squared(q)` is a pure function, so hoisting it out of
+            // the per-row loop keeps the same bits the scalar path computes
+            // per candidate.
+            let qn = crate::point::norm_squared(q);
+            pairs.clear();
+            dot_norm_to_rows(q, rows, pairs);
+            out.reserve(pairs.len());
+            for &(d, n) in pairs.iter() {
+                // Mirrors `angular_distance`: cosine first (0 on a zero
+                // denominator), then `1 - cosine`.
+                let denom = (qn * n).sqrt();
+                let cos = if denom == 0.0 { 0.0 } else { d / denom };
+                out.push(1.0 - cos);
+            }
+        }
     }
 }
 
@@ -402,6 +468,56 @@ mod tests {
                 assert_eq!(batch[i], t.intersect(&ray, t_max), "triangle {i}");
             }
         }
+    }
+
+    #[test]
+    fn gather_rows_selects_rows_in_order() {
+        let flat: Vec<f32> = (0..12).map(|i| i as f32).collect(); // 4 rows × 3
+        let mut out = vec![99.0]; // appended, not overwritten
+        gather_rows(&flat, 3, &[2, 0, 2], &mut out);
+        assert_eq!(out, vec![99.0, 6.0, 7.0, 8.0, 0.0, 1.0, 2.0, 6.0, 7.0, 8.0]);
+        let mut empty = Vec::new();
+        gather_rows(&flat, 3, &[], &mut empty);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn metric_batch_is_bit_identical_for_both_metrics() {
+        let mut rng = rng();
+        for metric in [Metric::Euclidean, Metric::Angular] {
+            for dim in [1usize, 4, 17, 65] {
+                for n in [0usize, 1, LANES, 2 * LANES + 3] {
+                    let q: Vec<f32> = (0..dim).map(|_| rng.gen_range(-3.0f32..3.0)).collect();
+                    let rows: Vec<f32> =
+                        (0..n * dim).map(|_| rng.gen_range(-3.0f32..3.0)).collect();
+                    let mut pairs = Vec::new();
+                    let mut batch = Vec::new();
+                    metric_to_rows(metric, &q, &rows, &mut pairs, &mut batch);
+                    assert_eq!(batch.len(), n);
+                    for (i, c) in rows.chunks_exact(dim).enumerate() {
+                        assert_eq!(
+                            batch[i].to_bits(),
+                            metric.distance(&q, c).to_bits(),
+                            "{metric:?} dim {dim} row {i}"
+                        );
+                    }
+                }
+            }
+        }
+        // The zero-denominator arm must reproduce the scalar's distance 1.
+        let mut pairs = Vec::new();
+        let mut batch = Vec::new();
+        metric_to_rows(
+            Metric::Angular,
+            &[0.0, 0.0],
+            &[1.0, 2.0],
+            &mut pairs,
+            &mut batch,
+        );
+        assert_eq!(
+            batch[0].to_bits(),
+            Metric::Angular.distance(&[0.0, 0.0], &[1.0, 2.0]).to_bits()
+        );
     }
 
     #[test]

@@ -217,6 +217,12 @@ impl HnswGraph {
     }
 
     /// Greedy walk to the locally-closest node on one layer.
+    ///
+    /// Each visited node's whole adjacency list is gathered into a dense
+    /// block and its distances computed candidate-parallel
+    /// ([`batch::metric_to_rows`]) before the sequential min scan — the
+    /// distance values, work counters, and chosen walk are bit-identical to
+    /// the scalar one-candidate-at-a-time loop.
     fn greedy_closest(
         &self,
         data: &PointSet,
@@ -227,12 +233,17 @@ impl HnswGraph {
     ) -> u32 {
         let mut cur_d = self.metric.distance(q, data.point(current as usize));
         stats.distance_tests += 1;
+        let mut scratch = DistScratch::default();
         loop {
+            let neighbors = &self.layers[layer][current as usize];
+            if neighbors.is_empty() {
+                return current;
+            }
+            stats.hops += neighbors.len() as u64;
+            stats.distance_tests += neighbors.len() as u64;
+            let dists = scratch.distances(self.metric, data, q, neighbors);
             let mut improved = false;
-            for &nb in &self.layers[layer][current as usize] {
-                stats.hops += 1;
-                stats.distance_tests += 1;
-                let d = self.metric.distance(q, data.point(nb as usize));
+            for (&nb, &d) in neighbors.iter().zip(dists) {
                 if d < cur_d {
                     cur_d = d;
                     current = nb;
@@ -267,6 +278,11 @@ impl HnswGraph {
         to_visit.push(Reverse((OrdF32(d0), entry)));
         best.push((OrdF32(d0), entry));
 
+        // Scratch for the candidate-parallel distance stage, reused across
+        // every expanded node of this search.
+        let mut cand: Vec<u32> = Vec::new();
+        let mut scratch = DistScratch::default();
+
         while let Some(Reverse((OrdF32(d), node))) = to_visit.pop() {
             stats.queue_ops += 1;
             let worst = best
@@ -276,6 +292,12 @@ impl HnswGraph {
             if d > worst && best.len() >= ef {
                 break;
             }
+            // Collect this node's unvisited neighbours first, then compute
+            // their distances in one gathered SoA batch. The visited set
+            // fixes the candidate list before any distance is needed, so the
+            // batch changes neither the values nor the queue decisions —
+            // results and counters are bit-identical to the scalar loop.
+            cand.clear();
             for &nb in &self.layers[layer][node as usize] {
                 if visited[nb as usize] {
                     stats.queue_ops += 1; // cache hit check
@@ -284,7 +306,10 @@ impl HnswGraph {
                 visited[nb as usize] = true;
                 stats.hops += 1;
                 stats.distance_tests += 1;
-                let dn = self.metric.distance(q, data.point(nb as usize));
+                cand.push(nb);
+            }
+            let dists = scratch.distances(self.metric, data, q, &cand);
+            for (&nb, &dn) in cand.iter().zip(dists) {
                 let worst = best
                     .peek()
                     .map(|&(OrdF32(w), _)| w)
@@ -304,6 +329,34 @@ impl HnswGraph {
         out.sort_by(|a, b| a.1.total_cmp(&b.1));
         let first = out.first().map(|&(i, _)| i).unwrap_or(entry);
         (out, first)
+    }
+
+    /// [`HnswGraph::search`] over a dense row-major block of queries
+    /// (`queries.len() / data.dim()` of them) — the entry point the serving
+    /// engine's coalesced batches feed. Per-query results and counters are
+    /// identical to calling [`HnswGraph::search`] once per row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queries.len()` is not a multiple of the data dimension,
+    /// or `k` is zero.
+    pub fn search_batch(
+        &self,
+        data: &PointSet,
+        queries: &[f32],
+        k: usize,
+        ef: usize,
+    ) -> Vec<(Vec<(u32, f32)>, GraphStats)> {
+        assert!(
+            queries.len().is_multiple_of(data.dim().max(1)),
+            "query block length {} is not a multiple of dim {}",
+            queries.len(),
+            data.dim()
+        );
+        queries
+            .chunks_exact(data.dim())
+            .map(|q| self.search(data, q, k, ef))
+            .collect()
     }
 
     /// K-nearest-neighbour search: greedy descent from the entry point
@@ -369,6 +422,34 @@ impl HnswGraph {
     /// The metric the graph was built for.
     pub fn metric(&self) -> Metric {
         self.metric
+    }
+}
+
+/// Reusable buffers for the gathered candidate-parallel distance stage:
+/// candidate rows are copied into one dense block and measured with the
+/// bit-identical SoA kernels from [`hsu_geometry::batch`].
+#[derive(Debug, Default)]
+struct DistScratch {
+    rows: Vec<f32>,
+    pairs: Vec<(f32, f32)>,
+    dists: Vec<f32>,
+}
+
+impl DistScratch {
+    /// Distances from `q` to every id in `ids`, in order. The returned
+    /// slice lives in the scratch and is valid until the next call.
+    fn distances(&mut self, metric: Metric, data: &PointSet, q: &[f32], ids: &[u32]) -> &[f32] {
+        self.rows.clear();
+        hsu_geometry::batch::gather_rows(data.as_flat(), data.dim(), ids, &mut self.rows);
+        self.dists.clear();
+        hsu_geometry::batch::metric_to_rows(
+            metric,
+            q,
+            &self.rows,
+            &mut self.pairs,
+            &mut self.dists,
+        );
+        &self.dists
     }
 }
 
@@ -503,6 +584,27 @@ mod tests {
         let (_, small) = graph.search(&data, &q, 1, 8);
         let (_, large) = graph.search(&data, &q, 1, 128);
         assert!(large.distance_tests > small.distance_tests);
+    }
+
+    #[test]
+    fn search_batch_matches_per_query_search() {
+        for (metric, seed) in [(Metric::Euclidean, 21), (Metric::Angular, 22)] {
+            let data = random_set(800, 12, seed);
+            let graph = HnswGraph::build(&data, metric, GraphConfig::default(), 31);
+            let mut rng = ChaCha8Rng::seed_from_u64(23);
+            let queries: Vec<f32> = (0..7 * 12).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            let batched = graph.search_batch(&data, &queries, 5, 32);
+            assert_eq!(batched.len(), 7);
+            for (i, q) in queries.chunks_exact(12).enumerate() {
+                let (hits, stats) = graph.search(&data, q, 5, 32);
+                assert_eq!(batched[i].0, hits, "{metric:?} query {i}");
+                assert_eq!(batched[i].1, stats, "{metric:?} query {i} counters");
+                for (&(id, d), &(bid, bd)) in hits.iter().zip(&batched[i].0) {
+                    assert_eq!(id, bid);
+                    assert_eq!(d.to_bits(), bd.to_bits());
+                }
+            }
+        }
     }
 
     #[test]

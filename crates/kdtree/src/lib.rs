@@ -458,6 +458,11 @@ impl KdTree {
         let mut frontier: BinaryHeap<Reverse<(OrdF32, u32)>> = BinaryHeap::new();
         frontier.push(Reverse((OrdF32(0.0), 0)));
         let mut checked = 0usize;
+        // Scratch for the candidate-parallel leaf refine, reused across
+        // every leaf this search reaches.
+        let mut rows: Vec<f32> = Vec::new();
+        let mut pairs: Vec<(f32, f32)> = Vec::new();
+        let mut dists: Vec<f32> = Vec::new();
         while let Some(Reverse((_, start_node))) = frontier.pop() {
             if checked >= checks {
                 break;
@@ -484,11 +489,25 @@ impl KdTree {
                     }
                     KdNode::Leaf { start, count } => {
                         stats.leaves_visited += 1;
-                        for s in start..start + count {
-                            let idx = self.indices[s as usize];
-                            stats.distance_tests += 1;
-                            checked += 1;
-                            let d = self.metric.distance(query, data.point(idx as usize));
+                        // The whole bucket's distances come from one
+                        // gathered SoA batch (bit-identical to the scalar
+                        // metric per candidate); the `checks` budget is
+                        // only consulted between leaves, so batching the
+                        // bucket changes neither results nor counters.
+                        let ids = &self.indices[start as usize..(start + count) as usize];
+                        rows.clear();
+                        hsu_geometry::batch::gather_rows(data.as_flat(), self.dim, ids, &mut rows);
+                        dists.clear();
+                        hsu_geometry::batch::metric_to_rows(
+                            self.metric,
+                            query,
+                            &rows,
+                            &mut pairs,
+                            &mut dists,
+                        );
+                        stats.distance_tests += ids.len() as u64;
+                        checked += ids.len();
+                        for (&idx, &d) in ids.iter().zip(&dists) {
                             results.push((OrdF32(d), idx));
                             if results.len() > k {
                                 results.pop();
@@ -502,6 +521,33 @@ impl KdTree {
         let mut out: Vec<KdNeighbor> = results.into_iter().map(|(OrdF32(d), i)| (i, d)).collect();
         out.sort_by(|a, b| a.1.total_cmp(&b.1));
         (out, stats)
+    }
+
+    /// Approximate k-nearest-neighbour search for a flat batch of
+    /// queries (`queries.len()` must be a multiple of the tree
+    /// dimension). Each query is answered exactly as a standalone
+    /// [`KdTree::knn_best_bin_first`] call would answer it, so batch
+    /// results are bit-identical to per-query results in any order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flat query buffer is not a whole number of
+    /// `dim`-sized rows, or `k` is zero.
+    pub fn knn_batch(
+        &self,
+        data: &PointSet,
+        queries: &[f32],
+        k: usize,
+        checks: usize,
+    ) -> Vec<(Vec<KdNeighbor>, KdStats)> {
+        assert!(
+            queries.len().is_multiple_of(self.dim.max(1)),
+            "flat query buffer must be a whole number of rows"
+        );
+        queries
+            .chunks_exact(self.dim)
+            .map(|q| self.knn_best_bin_first(data, q, k, checks))
+            .collect()
     }
 }
 
@@ -648,6 +694,27 @@ mod tests {
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), 10);
+    }
+
+    #[test]
+    fn knn_batch_matches_per_query_search() {
+        for metric in [Metric::Euclidean, Metric::Angular] {
+            let data = random_set(900, 12, 9);
+            let tree = KdTree::build(&data, metric);
+            let mut rng = ChaCha8Rng::seed_from_u64(10);
+            let flat: Vec<f32> = (0..7 * 12).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let batched = tree.knn_batch(&data, &flat, 5, 128);
+            assert_eq!(batched.len(), 7);
+            for (q, (hits, stats)) in flat.chunks_exact(12).zip(&batched) {
+                let (solo_hits, solo_stats) = tree.knn_best_bin_first(&data, q, 5, 128);
+                assert_eq!(solo_stats, *stats);
+                assert_eq!(solo_hits.len(), hits.len());
+                for (a, b) in solo_hits.iter().zip(hits) {
+                    assert_eq!(a.0, b.0);
+                    assert_eq!(a.1.to_bits(), b.1.to_bits());
+                }
+            }
+        }
     }
 
     #[test]

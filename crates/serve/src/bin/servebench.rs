@@ -1,0 +1,449 @@
+//! `servebench` — open-loop load driver for the sharded serving engine.
+//!
+//! ```text
+//! servebench [--smoke] [--family graph|kd|bvh|btree|all] [--queries N]
+//!            [--shards N] [--workers N] [--batch N] [--queue-capacity N]
+//!            [--seed S] [--archive-dir DIR] [--pr LABEL] [--out PATH]
+//! ```
+//!
+//! For each index family the driver:
+//!
+//! 1. opens the pre-built index through the `.hsar` archive cache (cold
+//!    open builds and stores, warm open is an archive read),
+//! 2. **determinism cross-check** — replays a seeded query-stream prefix
+//!    under every `--shards {1,4} × --batch {1,64} × workers {1,2}`
+//!    combination and asserts the submission-order replay hash is
+//!    byte-identical across all eight configurations (exits non-zero on
+//!    any mismatch),
+//! 3. drives `--queries` queries of open-loop load through the engine at
+//!    the requested topology, measuring sustained QPS and p50/p99/p999
+//!    latency (latency = admission request to worker fulfillment, taken
+//!    from the ticket's completion timestamp so redeeming tickets in
+//!    submission order adds no head-of-line skew).
+//!
+//! Unless `--smoke` is set, one entry is appended to the trajectory JSON
+//! (`BENCH_sim.json` by default) with the per-family numbers, replay
+//! hashes, and the host core count. `--smoke` shrinks the counts for CI
+//! and skips the append; the determinism cross-check still runs.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Instant;
+
+use hsu_bench::trajectory::{append_entry, json_escape};
+use hsu_bench::{runner, ArchiveCache};
+use hsu_datasets::{key_stream_nth, DatasetId, QueryStream};
+use hsu_serve::prelude::*;
+
+/// One family ready to serve: the index plus its seeded query stream.
+struct Served {
+    family: IndexFamily,
+    index: Arc<dyn SearchIndex>,
+    gen: Arc<dyn Fn(u64) -> Query + Send + Sync>,
+}
+
+/// One measured open-loop run.
+struct LoadResult {
+    queries: u64,
+    wall_s: f64,
+    qps: f64,
+    p50_us: f64,
+    p99_us: f64,
+    p999_us: f64,
+    replay_hash: u64,
+}
+
+struct Options {
+    families: Vec<IndexFamily>,
+    queries: u64,
+    shards: usize,
+    workers: usize,
+    batch: usize,
+    queue_capacity: usize,
+    seed: u64,
+    smoke: bool,
+    archive_dir: Option<std::path::PathBuf>,
+    pr_label: String,
+    out_path: std::path::PathBuf,
+}
+
+fn main() {
+    let opts = parse_args();
+    let host_cores = runner::default_jobs();
+    // Serving owns the whole machine here (no co-resident suite or
+    // simulation), so the three-way budget degenerates to the serve
+    // share; co-located callers should size `shards × workers` with
+    // `runner::thread_budget3` instead.
+    let (_, _, serve_share) = runner::thread_budget3(host_cores, 1, 1, opts.shards * opts.workers);
+    eprintln!(
+        "servebench: host_cores={host_cores} shards={} workers={} (serve share {serve_share}) \
+         batch={} capacity={} seed={} queries/family={}",
+        opts.shards, opts.workers, opts.batch, opts.queue_capacity, opts.seed, opts.queries
+    );
+
+    let (cache_dir, cleanup_cache) = match opts.archive_dir.clone() {
+        Some(d) => (d, false),
+        None => (
+            std::env::temp_dir().join(format!("hsu-servebench-cache-{}", std::process::id())),
+            true,
+        ),
+    };
+    let cache = ArchiveCache::new(Some(cache_dir.clone()));
+
+    let t0 = Instant::now();
+    let served = open_families(&cache, opts.seed, &opts.families);
+    eprintln!(
+        "opened {} index families in {:.2}s ({} cache hits / {} misses) via {}",
+        served.len(),
+        t0.elapsed().as_secs_f64(),
+        cache.hits(),
+        cache.misses(),
+        cache_dir.display()
+    );
+
+    // Determinism cross-check: the same seeded prefix must hash
+    // identically under every topology.
+    let dcheck_n = if opts.smoke { 400 } else { 10_000 };
+    let mut mismatches = 0usize;
+    for s in &served {
+        let mut hashes: Vec<(String, u64)> = Vec::new();
+        for shards in [1usize, 4] {
+            for batch in [1usize, 64] {
+                for workers in [1usize, 2] {
+                    let cfg = EngineConfig {
+                        shards,
+                        workers_per_shard: workers,
+                        batch,
+                        queue_capacity: opts.queue_capacity,
+                    };
+                    let r = run_load(s, cfg, dcheck_n);
+                    hashes.push((format!("s{shards}b{batch}w{workers}"), r.replay_hash));
+                }
+            }
+        }
+        let first = hashes[0].1;
+        if hashes.iter().all(|&(_, h)| h == first) {
+            eprintln!(
+                "determinism[{}]: {} queries x {} configs -> {first:#018x} identical",
+                s.family,
+                dcheck_n,
+                hashes.len()
+            );
+        } else {
+            mismatches += 1;
+            eprintln!("determinism[{}]: HASH MISMATCH across configs:", s.family);
+            for (label, h) in &hashes {
+                eprintln!("  {label}: {h:#018x}");
+            }
+        }
+    }
+    if mismatches > 0 {
+        eprintln!("error: {mismatches} famil(ies) diverged across shard/batch/worker configs");
+        std::process::exit(1);
+    }
+
+    // The measured open-loop runs at the requested topology.
+    let cfg = EngineConfig {
+        shards: opts.shards,
+        workers_per_shard: opts.workers,
+        batch: opts.batch,
+        queue_capacity: opts.queue_capacity,
+    };
+    let mut results: Vec<(IndexFamily, LoadResult)> = Vec::new();
+    for s in &served {
+        let r = run_load(s, cfg.clone(), opts.queries);
+        println!(
+            "{:<6} {:>9} queries in {:>7.2}s | {:>10.0} qps | p50 {:>8.1}us p99 {:>8.1}us \
+             p999 {:>8.1}us | hash {:#018x}",
+            s.family.to_string(),
+            r.queries,
+            r.wall_s,
+            r.qps,
+            r.p50_us,
+            r.p99_us,
+            r.p999_us,
+            r.replay_hash
+        );
+        results.push((s.family, r));
+    }
+
+    if !opts.smoke {
+        let entry = json_entry(&opts, host_cores, dcheck_n, &results);
+        append_entry(&opts.out_path, &entry)
+            .unwrap_or_else(|e| panic!("append {}: {e}", opts.out_path.display()));
+        println!(
+            "appended entry '{}' to {}",
+            opts.pr_label,
+            opts.out_path.display()
+        );
+    }
+    if cleanup_cache {
+        let _ = std::fs::remove_dir_all(&cache_dir);
+    }
+}
+
+/// Opens every requested family through the cache, in parallel on the
+/// bench runner's work-stealing pool (1-core hosts run inline).
+fn open_families(cache: &ArchiveCache, seed: u64, families: &[IndexFamily]) -> Vec<Served> {
+    runner::run_jobs(
+        families.len().min(runner::default_jobs()),
+        families.to_vec(),
+        |_, family| open_one(cache, seed, family),
+    )
+}
+
+fn open_one(cache: &ArchiveCache, seed: u64, family: IndexFamily) -> Served {
+    match family {
+        IndexFamily::Graph => {
+            let index = GraphIndex::open(cache, DatasetId::Sift10k, 2000, seed, 10, 32);
+            let stream = QueryStream::new(index.data(), seed ^ 0x5e7e);
+            let data = index.data().clone();
+            Served {
+                family,
+                index: Arc::new(index),
+                gen: Arc::new(move |i| Query::Vector(stream.nth(&data, i))),
+            }
+        }
+        IndexFamily::Kd => {
+            let index = KdIndex::open(cache, DatasetId::Bunny, 5000, seed, 5, 16);
+            let stream = QueryStream::new(index.data(), seed ^ 0x5e7e);
+            let data = index.data().clone();
+            Served {
+                family,
+                index: Arc::new(index),
+                gen: Arc::new(move |i| Query::Vector(stream.nth(&data, i))),
+            }
+        }
+        IndexFamily::Bvh => {
+            let index = BvhIndex::open(cache, DatasetId::Bunny, 5000, seed, 5);
+            let stream = QueryStream::new(index.data(), seed ^ 0x5e7e);
+            let data = index.data().clone();
+            Served {
+                family,
+                index: Arc::new(index),
+                gen: Arc::new(move |i| Query::Vector(stream.nth(&data, i))),
+            }
+        }
+        IndexFamily::Btree => {
+            let index = BtreeIndex::open(cache, 100_000, seed);
+            let space = index.key_space();
+            let kseed = seed ^ 0xb7ee;
+            Served {
+                family,
+                index: Arc::new(index),
+                gen: Arc::new(move |i| Query::Key(key_stream_nth(kseed, i, space))),
+            }
+        }
+    }
+}
+
+/// Drives `n` open-loop queries through a fresh engine at `cfg`,
+/// bounding outstanding tickets with a sliding window redeemed in
+/// submission order (which is also the replay-hash fold order).
+fn run_load(s: &Served, cfg: EngineConfig, n: u64) -> LoadResult {
+    const WINDOW: usize = 4096;
+    let engine = Engine::new(Arc::clone(&s.index), cfg);
+    let mut outstanding: VecDeque<(Ticket, Instant)> = VecDeque::with_capacity(WINDOW);
+    let mut lat_ns: Vec<u64> = Vec::with_capacity(n as usize);
+    let mut hashes: Vec<u64> = Vec::with_capacity(n as usize);
+    let t0 = Instant::now();
+    let mut last_done = t0;
+    let redeem = |(ticket, submitted): (Ticket, Instant),
+                  lat_ns: &mut Vec<u64>,
+                  hashes: &mut Vec<u64>,
+                  last_done: &mut Instant| {
+        let (result, done_at) = ticket.wait_timed();
+        let out = result.unwrap_or_else(|e| panic!("{} query failed: {e}", s.family));
+        hashes.push(hash_output(&out));
+        lat_ns.push(done_at.saturating_duration_since(submitted).as_nanos() as u64);
+        if done_at > *last_done {
+            *last_done = done_at;
+        }
+    };
+    for i in 0..n {
+        let query = (s.gen)(i);
+        let submitted = Instant::now();
+        let ticket = engine
+            .submit(query)
+            .unwrap_or_else(|e| panic!("{} submit failed: {e}", s.family));
+        outstanding.push_back((ticket, submitted));
+        if outstanding.len() >= WINDOW {
+            if let Some(front) = outstanding.pop_front() {
+                redeem(front, &mut lat_ns, &mut hashes, &mut last_done);
+            }
+        }
+    }
+    for front in outstanding.drain(..) {
+        redeem(front, &mut lat_ns, &mut hashes, &mut last_done);
+    }
+    drop(engine);
+    let wall_s = last_done.saturating_duration_since(t0).as_secs_f64();
+    let replay_hash = combine_hashes(hashes);
+    lat_ns.sort_unstable();
+    LoadResult {
+        queries: n,
+        wall_s,
+        qps: n as f64 / wall_s.max(1e-9),
+        p50_us: percentile_us(&lat_ns, 0.50),
+        p99_us: percentile_us(&lat_ns, 0.99),
+        p999_us: percentile_us(&lat_ns, 0.999),
+        replay_hash,
+    }
+}
+
+/// Nearest-rank percentile of sorted nanosecond latencies, in microseconds.
+fn percentile_us(sorted_ns: &[u64], p: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p * sorted_ns.len() as f64).ceil() as usize).clamp(1, sorted_ns.len()) - 1;
+    sorted_ns[rank] as f64 / 1_000.0
+}
+
+fn json_entry(
+    opts: &Options,
+    host_cores: usize,
+    dcheck_n: u64,
+    results: &[(IndexFamily, LoadResult)],
+) -> String {
+    let families = results
+        .iter()
+        .map(|(f, r)| {
+            format!(
+                "      \"{}\": {{ \"queries\": {}, \"wall_s\": {:.6}, \"qps\": {:.1}, \
+                 \"p50_us\": {:.3}, \"p99_us\": {:.3}, \"p999_us\": {:.3}, \
+                 \"replay_hash\": \"{:#018x}\" }}",
+                f, r.queries, r.wall_s, r.qps, r.p50_us, r.p99_us, r.p999_us, r.replay_hash
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    format!(
+        "  {{\n    \"pr\": \"{}\",\n    \"bench\": \"servebench\",\n    \
+         \"config\": {{ \"host_cores\": {}, \"shards\": {}, \"workers_per_shard\": {}, \
+         \"batch\": {}, \"queue_capacity\": {}, \"seed\": {}, \"queries_per_family\": {} }},\n    \
+         \"determinism\": {{ \"queries\": {}, \"configs\": 8, \"identical\": true }},\n    \
+         \"families\": {{\n{}\n    }}\n  }}",
+        json_escape(&opts.pr_label),
+        host_cores,
+        opts.shards,
+        opts.workers,
+        opts.batch,
+        opts.queue_capacity,
+        opts.seed,
+        opts.queries,
+        dcheck_n,
+        families
+    )
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        families: IndexFamily::ALL.to_vec(),
+        queries: 250_000,
+        shards: 2,
+        workers: 1,
+        batch: 64,
+        queue_capacity: 1024,
+        seed: 1,
+        smoke: false,
+        archive_dir: None,
+        pr_label: String::from("dev"),
+        out_path: std::path::PathBuf::from("BENCH_sim.json"),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => {
+                opts.smoke = true;
+                opts.queries = 2_000;
+            }
+            "--family" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| usage("--family needs a name"));
+                opts.families = match v.as_str() {
+                    "all" => IndexFamily::ALL.to_vec(),
+                    "graph" => vec![IndexFamily::Graph],
+                    "kd" => vec![IndexFamily::Kd],
+                    "bvh" => vec![IndexFamily::Bvh],
+                    "btree" => vec![IndexFamily::Btree],
+                    other => usage(&format!("unknown family '{other}'")),
+                };
+            }
+            "--queries" => {
+                opts.queries = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--queries needs a number"));
+            }
+            "--shards" => {
+                opts.shards = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--shards needs a number"));
+            }
+            "--workers" => {
+                opts.workers = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--workers needs a number"));
+            }
+            "--batch" => {
+                opts.batch = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--batch needs a number"));
+            }
+            "--queue-capacity" => {
+                opts.queue_capacity = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--queue-capacity needs a number"));
+            }
+            "--seed" => {
+                opts.seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--seed needs a number"));
+            }
+            "--archive-dir" => {
+                opts.archive_dir = Some(
+                    args.next()
+                        .unwrap_or_else(|| usage("--archive-dir needs a directory"))
+                        .into(),
+                );
+            }
+            "--pr" => {
+                opts.pr_label = args.next().unwrap_or_else(|| usage("--pr needs a label"));
+            }
+            "--out" => {
+                opts.out_path = args
+                    .next()
+                    .unwrap_or_else(|| usage("--out needs a path"))
+                    .into();
+            }
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown argument '{other}'")),
+        }
+    }
+    opts
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!(
+        "usage: servebench [--smoke] [--family graph|kd|bvh|btree|all] [--queries N]\n\
+         \x20                 [--shards N] [--workers N] [--batch N] [--queue-capacity N]\n\
+         \x20                 [--seed S] [--archive-dir DIR] [--pr LABEL] [--out PATH]\n\
+         drives seeded open-loop query load through the sharded serving engine for\n\
+         each index family: first a determinism cross-check (replay hashes must be\n\
+         identical across shards {{1,4}} x batch {{1,64}} x workers {{1,2}}), then a\n\
+         measured run at the requested topology reporting sustained QPS and\n\
+         p50/p99/p999 latency. Appends a JSON entry to the trajectory file unless\n\
+         --smoke (small counts, no append) is set. --queries is per family."
+    );
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}

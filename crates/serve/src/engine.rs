@@ -1,0 +1,271 @@
+//! The sharded serving engine: bounded admission queues, per-shard
+//! worker pools, and batch coalescing.
+//!
+//! Topology: `shards` admission queues, each with `workers_per_shard`
+//! dedicated worker threads. A worker drains up to `batch` queries from
+//! its own shard's queue (FIFO), coalesces them into one SoA
+//! [`QueryBatch`], and answers them through the index's batch kernels.
+//! An idle worker steals from sibling shards' queue fronts before
+//! sleeping — the same steal-siblings-FIFO discipline as
+//! `hsu_bench::runner::run_jobs` — so a hot shard cannot strand idle
+//! capacity.
+//!
+//! Determinism: every per-query answer is a pure function of
+//! `(index, query)` (see [`SearchIndex`]), and tickets carry globally
+//! ordered submission ids, so any fold over results **in submission-id
+//! order** is byte-identical across shard counts, batch sizes, and
+//! worker counts. Scheduling only moves latency, never results.
+//!
+//! Backpressure: a full shard queue makes [`Engine::try_submit`] return
+//! [`ServeError::Overloaded`] immediately; [`Engine::submit`] instead
+//! blocks until space frees. Queues never grow past `queue_capacity`.
+//!
+//! Shutdown: dropping the engine stops admission ([`ServeError::ShuttingDown`]),
+//! lets the workers drain every admitted query, then joins them — no
+//! ticket is ever dropped unfulfilled.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use crate::batch::QueryBatch;
+use crate::error::ServeError;
+use crate::handle::{Ticket, TicketState};
+use crate::index::{Query, QueryOutput, SearchIndex};
+
+/// Engine topology and admission knobs.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Admission queues (and worker pools) to run. Floored at 1.
+    pub shards: usize,
+    /// Worker threads per shard. Floored at 1. Size the product with
+    /// `hsu_bench::runner::thread_budget3` when a suite or simulation
+    /// shares the host.
+    pub workers_per_shard: usize,
+    /// Most queries one worker coalesces into a single SoA batch.
+    /// Floored at 1.
+    pub batch: usize,
+    /// Per-shard admission bound; a full queue is backpressure.
+    /// Floored at 1.
+    pub queue_capacity: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            shards: 1,
+            workers_per_shard: 1,
+            batch: 32,
+            queue_capacity: 1024,
+        }
+    }
+}
+
+/// One admitted query waiting for a worker.
+struct Pending {
+    ticket: Arc<TicketState>,
+    query: Query,
+}
+
+/// One shard's admission queue and its wakeup channels.
+#[derive(Default)]
+struct Shard {
+    queue: Mutex<VecDeque<Pending>>,
+    /// Workers sleep here when every queue they can reach is empty.
+    work: Condvar,
+    /// Blocking submitters sleep here when this queue is full.
+    space: Condvar,
+}
+
+/// Everything the worker threads share with the handle.
+struct Inner {
+    index: Arc<dyn SearchIndex>,
+    shards: Vec<Shard>,
+    shutdown: AtomicBool,
+    cfg: EngineConfig,
+}
+
+/// A running sharded query service over one [`SearchIndex`].
+pub struct Engine {
+    inner: Arc<Inner>,
+    next_id: AtomicU64,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Engine {
+    /// Starts the shard workers and returns the serving handle.
+    pub fn new(index: Arc<dyn SearchIndex>, cfg: EngineConfig) -> Self {
+        let cfg = EngineConfig {
+            shards: cfg.shards.max(1),
+            workers_per_shard: cfg.workers_per_shard.max(1),
+            batch: cfg.batch.max(1),
+            queue_capacity: cfg.queue_capacity.max(1),
+        };
+        let inner = Arc::new(Inner {
+            index,
+            shards: (0..cfg.shards).map(|_| Shard::default()).collect(),
+            shutdown: AtomicBool::new(false),
+            cfg: cfg.clone(),
+        });
+        let workers = (0..cfg.shards)
+            .flat_map(|s| (0..cfg.workers_per_shard).map(move |w| (s, w)))
+            .map(|(s, w)| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("serve-{s}-{w}"))
+                    .spawn(move || worker_loop(&inner, s))
+                    .unwrap_or_else(|e| panic!("spawn shard {s} worker {w}: {e}"))
+            })
+            .collect();
+        Engine {
+            inner,
+            next_id: AtomicU64::new(0),
+            workers,
+        }
+    }
+
+    /// The resolved configuration (after flooring).
+    pub fn config(&self) -> &EngineConfig {
+        &self.inner.cfg
+    }
+
+    /// Submits a query without blocking. Returns
+    /// [`ServeError::Overloaded`] when the target shard's queue is full,
+    /// [`ServeError::BadQuery`] / [`ServeError::ShuttingDown`] when the
+    /// query can never be served.
+    pub fn try_submit(&self, query: Query) -> Result<Ticket, ServeError> {
+        self.admit(query, false)
+    }
+
+    /// Submits a query, blocking while the target shard's queue is full
+    /// (cooperative backpressure for closed-loop callers).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::BadQuery`] or [`ServeError::ShuttingDown`];
+    /// never `Overloaded`.
+    pub fn submit(&self, query: Query) -> Result<Ticket, ServeError> {
+        self.admit(query, true)
+    }
+
+    /// Convenience synchronous round trip: submit and wait.
+    pub fn query(&self, query: Query) -> Result<QueryOutput, ServeError> {
+        self.try_submit(query)?.wait()
+    }
+
+    #[allow(clippy::unwrap_used)] // poisoned queue = panicked worker; propagate
+    fn admit(&self, query: Query, block: bool) -> Result<Ticket, ServeError> {
+        if self.inner.shutdown.load(Ordering::Acquire) {
+            return Err(ServeError::ShuttingDown);
+        }
+        self.inner.index.validate(&query)?;
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let shard_ix = (id % self.inner.cfg.shards as u64) as usize;
+        let shard = &self.inner.shards[shard_ix];
+        let state = Arc::new(TicketState::default());
+        let pending = Pending {
+            ticket: Arc::clone(&state),
+            query,
+        };
+        let mut queue = shard.queue.lock().unwrap();
+        while queue.len() >= self.inner.cfg.queue_capacity {
+            if !block {
+                return Err(ServeError::Overloaded {
+                    shard: shard_ix,
+                    capacity: self.inner.cfg.queue_capacity,
+                });
+            }
+            if self.inner.shutdown.load(Ordering::Acquire) {
+                return Err(ServeError::ShuttingDown);
+            }
+            queue = shard.space.wait(queue).unwrap();
+        }
+        queue.push_back(pending);
+        drop(queue);
+        shard.work.notify_one();
+        Ok(Ticket::new(id, state))
+    }
+}
+
+impl Drop for Engine {
+    /// Stops admission, drains every admitted query, joins the workers.
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        for shard in &self.inner.shards {
+            shard.work.notify_all();
+            shard.space.notify_all();
+        }
+        for w in self.workers.drain(..) {
+            if w.join().is_err() {
+                eprintln!("serve: worker panicked during drain");
+            }
+        }
+    }
+}
+
+/// Pops up to `limit` pending queries from the front of shard `s`'s
+/// queue, waking one blocked submitter when space was freed.
+#[allow(clippy::unwrap_used)] // poisoned queue = panicked worker; propagate
+fn drain(inner: &Inner, s: usize, limit: usize, out: &mut Vec<Pending>) {
+    let shard = &inner.shards[s];
+    let mut queue = shard.queue.lock().unwrap();
+    let take = queue.len().min(limit);
+    out.extend(queue.drain(..take));
+    drop(queue);
+    if take > 0 {
+        shard.space.notify_all();
+    }
+}
+
+/// The body of one shard worker thread: drain own shard, steal from
+/// siblings when idle, sleep when everything is empty, exit once the
+/// engine is shutting down and every queue has drained.
+#[allow(clippy::unwrap_used)] // poisoned queue = panicked worker; propagate
+fn worker_loop(inner: &Inner, home: usize) {
+    let shards = inner.cfg.shards;
+    let mut taken: Vec<Pending> = Vec::new();
+    let mut batch = QueryBatch::new();
+    loop {
+        taken.clear();
+        // Own queue first, then steal round-robin from siblings.
+        drain(inner, home, inner.cfg.batch, &mut taken);
+        if taken.is_empty() {
+            for off in 1..shards {
+                drain(inner, (home + off) % shards, inner.cfg.batch, &mut taken);
+                if !taken.is_empty() {
+                    break;
+                }
+            }
+        }
+        if taken.is_empty() {
+            if inner.shutdown.load(Ordering::Acquire) {
+                // Shutdown is only final once every queue is empty —
+                // another worker may still be admitting steals.
+                let all_empty =
+                    (0..shards).all(|s| inner.shards[s].queue.lock().unwrap().is_empty());
+                if all_empty {
+                    return;
+                }
+                continue;
+            }
+            let shard = &inner.shards[home];
+            let queue = shard.queue.lock().unwrap();
+            if queue.is_empty() && !inner.shutdown.load(Ordering::Acquire) {
+                // Timed wait: a steal target may fill while we sleep on
+                // our own shard's condvar.
+                let _ = shard.work.wait_timeout(queue, Duration::from_millis(5));
+            }
+            continue;
+        }
+        batch.clear();
+        for p in &taken {
+            batch.push(&p.query);
+        }
+        let outputs = inner.index.query_batch(&batch);
+        debug_assert_eq!(outputs.len(), taken.len(), "index answered wrong count");
+        for (p, out) in taken.drain(..).zip(outputs) {
+            p.ticket.fulfill(Ok(out));
+        }
+    }
+}

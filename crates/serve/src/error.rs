@@ -1,0 +1,36 @@
+//! Typed serving errors — the engine refuses work it cannot take instead
+//! of queueing without bound or panicking.
+
+use std::fmt;
+
+/// Why the engine rejected (or failed) a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The target shard's admission queue is full. Open-loop callers
+    /// should treat this as backpressure: shed the query or retry later.
+    Overloaded {
+        /// The shard whose queue was full.
+        shard: usize,
+        /// The per-shard admission-queue bound that was hit.
+        capacity: usize,
+    },
+    /// The engine is draining and no longer admits new queries.
+    ShuttingDown,
+    /// The query does not fit the served index (wrong variant for the
+    /// family, or wrong vector dimension).
+    BadQuery(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overloaded { shard, capacity } => {
+                write!(f, "shard {shard} admission queue full ({capacity} pending)")
+            }
+            ServeError::ShuttingDown => write!(f, "engine is shutting down"),
+            ServeError::BadQuery(why) => write!(f, "bad query: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}

@@ -1,0 +1,183 @@
+//! Completion handles for submitted queries.
+//!
+//! A [`Ticket`] is both a blocking handle ([`Ticket::wait`]) and a
+//! pollable `std::future::Future`, with no async runtime required:
+//! [`block_on`] drives any future on the calling thread via
+//! `std::task::Wake` + park/unpark. The engine fulfills the ticket from
+//! a shard worker; whichever consumer is attached (a parked waiter, a
+//! stored waker, or a later poll) observes the same single result.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::{Arc, Condvar, Mutex};
+use std::task::{Context, Poll, Waker};
+
+use crate::error::ServeError;
+use crate::index::QueryOutput;
+
+/// One query's result slot.
+#[derive(Debug, Default)]
+struct Slot {
+    result: Option<Result<QueryOutput, ServeError>>,
+    /// When the worker fulfilled the slot — lets a latency harness that
+    /// redeems tickets in submission order still measure true per-query
+    /// completion times, free of head-of-line waiting skew.
+    completed: Option<std::time::Instant>,
+    waker: Option<Waker>,
+}
+
+/// Shared completion state between the engine and the ticket holder.
+#[derive(Debug, Default)]
+pub(crate) struct TicketState {
+    slot: Mutex<Slot>,
+    done: Condvar,
+}
+
+impl TicketState {
+    /// Stores the result and wakes every kind of waiter exactly once.
+    #[allow(clippy::unwrap_used)] // a poisoned slot means a panicked worker; propagate
+    pub(crate) fn fulfill(&self, result: Result<QueryOutput, ServeError>) {
+        let waker = {
+            let mut slot = self.slot.lock().unwrap();
+            debug_assert!(slot.result.is_none(), "ticket fulfilled twice");
+            slot.result = Some(result);
+            slot.completed = Some(std::time::Instant::now());
+            slot.waker.take()
+        };
+        self.done.notify_all();
+        if let Some(w) = waker {
+            w.wake();
+        }
+    }
+}
+
+/// A claim on one submitted query's eventual result.
+///
+/// Obtain one from `Engine::submit`/`Engine::try_submit`; redeem it by
+/// blocking ([`Ticket::wait`]), polling ([`Ticket::try_take`]), or
+/// awaiting it as a future (e.g. under [`block_on`]).
+#[derive(Debug)]
+pub struct Ticket {
+    id: u64,
+    state: Arc<TicketState>,
+}
+
+impl Ticket {
+    pub(crate) fn new(id: u64, state: Arc<TicketState>) -> Self {
+        Self { id, state }
+    }
+
+    /// The engine-assigned submission id — globally ordered, so callers
+    /// can fold result hashes in submission order regardless of
+    /// completion order.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Blocks until the query completes and returns its result.
+    #[allow(clippy::unwrap_used)] // a poisoned slot means a panicked worker; propagate
+    pub fn wait(self) -> Result<QueryOutput, ServeError> {
+        let mut slot = self.state.slot.lock().unwrap();
+        loop {
+            if let Some(r) = slot.result.take() {
+                return r;
+            }
+            slot = self.state.done.wait(slot).unwrap();
+        }
+    }
+
+    /// Takes the result if the query already completed, without blocking.
+    #[allow(clippy::unwrap_used)] // a poisoned slot means a panicked worker; propagate
+    pub fn try_take(&self) -> Option<Result<QueryOutput, ServeError>> {
+        let mut slot = self.state.slot.lock().unwrap();
+        slot.result.take()
+    }
+
+    /// Like [`Ticket::wait`], but also returns the instant the worker
+    /// fulfilled the query — the end point a latency harness should
+    /// measure against, even when it redeems tickets in submission order
+    /// long after they completed.
+    #[allow(clippy::unwrap_used)] // a poisoned slot means a panicked worker; propagate
+    pub fn wait_timed(self) -> (Result<QueryOutput, ServeError>, std::time::Instant) {
+        let mut slot = self.state.slot.lock().unwrap();
+        loop {
+            if let Some(r) = slot.result.take() {
+                let at = slot.completed.unwrap_or_else(std::time::Instant::now);
+                return (r, at);
+            }
+            slot = self.state.done.wait(slot).unwrap();
+        }
+    }
+}
+
+impl Future for Ticket {
+    type Output = Result<QueryOutput, ServeError>;
+
+    #[allow(clippy::unwrap_used)] // a poisoned slot means a panicked worker; propagate
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut slot = self.state.slot.lock().unwrap();
+        match slot.result.take() {
+            Some(r) => Poll::Ready(r),
+            None => {
+                slot.waker = Some(cx.waker().clone());
+                Poll::Pending
+            }
+        }
+    }
+}
+
+/// Drives a future to completion on the calling thread — the minimal
+/// executor the pollable handle needs, built on `std::task::Wake` and
+/// thread park/unpark (no external async runtime).
+pub fn block_on<F: Future>(fut: F) -> F::Output {
+    struct ThreadWaker(std::thread::Thread);
+    impl std::task::Wake for ThreadWaker {
+        fn wake(self: Arc<Self>) {
+            self.0.unpark();
+        }
+    }
+    let waker = Waker::from(Arc::new(ThreadWaker(std::thread::current())));
+    let mut cx = Context::from_waker(&waker);
+    let mut fut = std::pin::pin!(fut);
+    loop {
+        match fut.as_mut().poll(&mut cx) {
+            Poll::Ready(v) => return v,
+            Poll::Pending => std::thread::park(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wait_returns_a_prior_fulfillment() {
+        let state = Arc::new(TicketState::default());
+        state.fulfill(Ok(QueryOutput::Value(Some(9))));
+        let t = Ticket::new(0, state);
+        assert_eq!(t.wait(), Ok(QueryOutput::Value(Some(9))));
+    }
+
+    #[test]
+    fn future_polls_ready_after_cross_thread_fulfillment() {
+        let state = Arc::new(TicketState::default());
+        let t = Ticket::new(1, Arc::clone(&state));
+        let worker = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            state.fulfill(Ok(QueryOutput::Value(None)));
+        });
+        assert_eq!(block_on(t), Ok(QueryOutput::Value(None)));
+        worker.join().expect("fulfiller panicked");
+    }
+
+    #[test]
+    fn try_take_is_non_blocking() {
+        let state = Arc::new(TicketState::default());
+        let t = Ticket::new(2, Arc::clone(&state));
+        assert!(t.try_take().is_none());
+        state.fulfill(Err(ServeError::ShuttingDown));
+        assert_eq!(t.try_take(), Some(Err(ServeError::ShuttingDown)));
+        assert!(t.try_take().is_none(), "result is taken exactly once");
+    }
+}

@@ -1,0 +1,123 @@
+//! Replay determinism: a seeded query stream's per-query result hashes
+//! must be byte-identical across shard counts, batch sizes, and worker
+//! counts, for every index family. This is the service-side analogue of
+//! the suite's golden tests — scheduling may move latency, never results.
+
+use std::sync::Arc;
+
+use hsu_bench::ArchiveCache;
+use hsu_datasets::{key_stream_nth, DatasetId, QueryStream};
+use hsu_serve::prelude::*;
+
+/// Per-query result hashes for `n` stream queries under one topology,
+/// in submission order.
+fn replay_hashes(
+    index: &Arc<dyn SearchIndex>,
+    gen: &dyn Fn(u64) -> Query,
+    cfg: EngineConfig,
+    n: u64,
+) -> Vec<u64> {
+    let engine = Engine::new(Arc::clone(index), cfg);
+    let tickets: Vec<Ticket> = (0..n)
+        .map(|i| engine.submit(gen(i)).expect("admission failed"))
+        .collect();
+    tickets
+        .into_iter()
+        .map(|t| hash_output(&t.wait().expect("query failed")))
+        .collect()
+}
+
+/// Asserts per-query hashes agree across the full shard × batch × worker
+/// grid the issue pins: shards {1,4} × batch {1,64} × workers {1,2}.
+fn assert_grid_deterministic(name: &str, index: Arc<dyn SearchIndex>, gen: impl Fn(u64) -> Query) {
+    const N: u64 = 200;
+    let reference = replay_hashes(
+        &index,
+        &gen,
+        EngineConfig {
+            shards: 1,
+            workers_per_shard: 1,
+            batch: 1,
+            queue_capacity: 512,
+        },
+        N,
+    );
+    assert_eq!(reference.len(), N as usize);
+    for shards in [1usize, 4] {
+        for batch in [1usize, 64] {
+            for workers in [1usize, 2] {
+                let cfg = EngineConfig {
+                    shards,
+                    workers_per_shard: workers,
+                    batch,
+                    queue_capacity: 512,
+                };
+                let got = replay_hashes(&index, &gen, cfg, N);
+                assert_eq!(
+                    got, reference,
+                    "{name}: per-query hashes diverged at shards={shards} batch={batch} \
+                     workers={workers}"
+                );
+            }
+        }
+    }
+    // And the combined digest is stable too (what servebench records).
+    assert_eq!(
+        combine_hashes(replay_hashes(
+            &index,
+            &gen,
+            EngineConfig {
+                shards: 4,
+                workers_per_shard: 2,
+                batch: 64,
+                queue_capacity: 512,
+            },
+            N,
+        )),
+        combine_hashes(reference),
+        "{name}: combined replay digest diverged"
+    );
+}
+
+#[test]
+fn graph_family_replays_identically_across_topologies() {
+    let cache = ArchiveCache::disabled();
+    let index = GraphIndex::open(&cache, DatasetId::Sift10k, 400, 7, 10, 32);
+    let stream = QueryStream::new(index.data(), 99);
+    let data = index.data().clone();
+    assert_grid_deterministic("graph", Arc::new(index), move |i| {
+        Query::Vector(stream.nth(&data, i))
+    });
+}
+
+#[test]
+fn kd_family_replays_identically_across_topologies() {
+    let cache = ArchiveCache::disabled();
+    let index = KdIndex::open(&cache, DatasetId::Bunny, 800, 7, 5, 16);
+    let stream = QueryStream::new(index.data(), 99);
+    let data = index.data().clone();
+    assert_grid_deterministic("kd", Arc::new(index), move |i| {
+        Query::Vector(stream.nth(&data, i))
+    });
+}
+
+#[test]
+fn bvh_family_replays_identically_across_topologies() {
+    let cache = ArchiveCache::disabled();
+    let index = BvhIndex::open(&cache, DatasetId::Bunny, 800, 7, 5);
+    let stream = QueryStream::new(index.data(), 99);
+    let data = index.data().clone();
+    assert_grid_deterministic("bvh", Arc::new(index), move |i| {
+        Query::Vector(stream.nth(&data, i))
+    });
+}
+
+#[test]
+fn btree_family_replays_identically_across_topologies() {
+    let cache = ArchiveCache::disabled();
+    let index = BtreeIndex::open(&cache, 5_000, 7);
+    let space = index.key_space();
+    assert_grid_deterministic("btree", Arc::new(index), move |i| {
+        Query::Key(key_stream_nth(99, i, space))
+    });
+}

@@ -1,13 +1,21 @@
-//! Vector search: a recommendation-system-style embedding index.
+//! Vector search: a recommendation-system-style embedding service.
 //!
-//! Builds HNSW graphs over synthetic stand-ins for three of the paper's
-//! high-dimensional datasets, measures recall against brute force, and
-//! reports how many HSU instructions each query costs at different datapath
-//! widths (the Fig. 10 trade-off, from the software side).
+//! Builds HNSW indexes over synthetic stand-ins for three of the paper's
+//! high-dimensional datasets and serves seeded query streams through the
+//! sharded `hsu::serve` engine — the same batched submission path that
+//! `servebench` load-tests. Measures recall against brute force, reports
+//! sustained throughput plus the replay digest (byte-stable across shard
+//! and worker topologies), and shows how many HSU instructions each
+//! distance costs at different datapath widths (the Fig. 10 trade-off,
+//! from the software side).
 //!
 //! Run with: `cargo run --release --example vector_search`
 
+use std::sync::Arc;
+use std::time::Instant;
+
 use hsu::prelude::*;
+use hsu::serve::prelude::*;
 
 fn main() {
     for (id, n, queries) in [
@@ -17,26 +25,54 @@ fn main() {
     ] {
         let spec = hsu::datasets::spec(id);
         let metric = spec.metric.expect("ANN dataset");
-        let data = Dataset::generate_scaled(id, 1, Some(n))
-            .points()
-            .expect("point dataset")
-            .clone();
-        let graph = HnswGraph::build(&data, metric, GraphConfig::default(), 1);
 
-        // Held-out queries + exact ground truth.
-        let qs = hsu::datasets::query_set(&data, queries, 2);
-        let truth = hsu::datasets::ground_truth_knn(&data, &qs, 10, metric);
+        // Open the index (in-memory here; pass a real archive dir to
+        // persist the build across runs) and stand up a small service.
+        let cache = ArchiveCache::disabled();
+        let index = GraphIndex::open(&cache, id, n, 1, 10, 96);
+        let data = index.data().clone();
+        let engine = Engine::new(
+            Arc::new(index),
+            EngineConfig {
+                shards: 2,
+                workers_per_shard: 1,
+                batch: 16,
+                queue_capacity: 256,
+            },
+        );
 
-        let mut found = Vec::new();
-        let mut dist_tests = 0u64;
-        let mut queue_ops = 0u64;
-        for q in qs.iter() {
-            let (hits, stats) = graph.search(&data, q, 10, 96);
-            dist_tests += stats.distance_tests;
-            queue_ops += stats.queue_ops;
-            found.push(hits.into_iter().map(|(i, _)| i).collect::<Vec<_>>());
+        // Held-out seeded query stream + exact ground truth.
+        let stream = hsu::datasets::QueryStream::new(&data, 2);
+        let qs: Vec<Vec<f32>> = (0..queries).map(|i| stream.nth(&data, i as u64)).collect();
+        let mut qset = PointSet::empty(data.dim());
+        for q in &qs {
+            qset.push(q);
         }
+        let truth = hsu::datasets::ground_truth_knn(&data, &qset, 10, metric);
+
+        // Submit the whole stream, then redeem tickets in submission
+        // order — answers and the replay digest are independent of the
+        // engine topology above.
+        let t0 = Instant::now();
+        let tickets: Vec<_> = qs
+            .iter()
+            .map(|q| engine.submit(Query::Vector(q.clone())).expect("admission"))
+            .collect();
+        let mut found = Vec::new();
+        let mut hashes = Vec::new();
+        for t in tickets {
+            let out = t.wait().expect("query failed");
+            hashes.push(hash_output(&out));
+            match out {
+                QueryOutput::Neighbors(hits) => {
+                    found.push(hits.into_iter().map(|(i, _)| i).collect::<Vec<_>>())
+                }
+                other => panic!("graph family answered {other:?}"),
+            }
+        }
+        let elapsed = t0.elapsed();
         let recall = hsu::datasets::recall_at_k(&found, &truth, 10);
+        let digest = combine_hashes(hashes);
 
         // HSU instruction cost per distance at several datapath widths.
         let beats: Vec<usize> = [4usize, 8, 16, 32]
@@ -49,13 +85,13 @@ fn main() {
             .collect();
 
         println!(
-            "{:<6} dim {:>4} ({}) | recall@10 {:.3} | {:.0} dist-tests/query, {:.0} queue-ops/query",
+            "{:<6} dim {:>4} ({}) | recall@10 {:.3} | {:.0} queries/s | replay {:#018x}",
             spec.abbr,
             spec.dims,
             metric,
             recall,
-            dist_tests as f64 / queries as f64,
-            queue_ops as f64 / queries as f64,
+            queries as f64 / elapsed.as_secs_f64(),
+            digest,
         );
         println!(
             "       beats per distance at euclid-width 4/8/16/32: {:?}",

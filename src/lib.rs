@@ -18,7 +18,10 @@
 //!   caches/MSHRs, FR-FCFS HBM, one RT/HSU unit per SM),
 //! * [`kernels`] — the workloads as trace-recording kernels with HSU and
 //!   baseline lowerings,
-//! * [`rtl`] — the functional-unit area and dynamic-power model.
+//! * [`rtl`] — the functional-unit area and dynamic-power model,
+//! * [`serve`] — a sharded, batched query-serving engine over the four
+//!   index families, with archive-backed index loading and deterministic
+//!   replay (`servebench` drives open-loop load against it).
 //!
 //! ## Quickstart
 //!
@@ -50,6 +53,7 @@ pub use hsu_graph as graph;
 pub use hsu_kdtree as kdtree;
 pub use hsu_kernels as kernels;
 pub use hsu_rtl as rtl;
+pub use hsu_serve as serve;
 pub use hsu_sim as sim;
 
 /// The most common types, one `use` away.
@@ -63,6 +67,7 @@ pub mod prelude {
     pub use hsu_graph::{GraphConfig, HnswGraph};
     pub use hsu_kdtree::{KdForest, KdTree};
     pub use hsu_kernels::Variant;
+    pub use hsu_serve::{Engine, EngineConfig, Query, QueryOutput, ServeError};
     pub use hsu_sim::{
         config::{GpuConfig, SimMode},
         Gpu, SimError, SimReport,
