@@ -12,13 +12,19 @@
 //!
 //! 1. asserts every (app × dataset × variant) report is identical across
 //!    all modes (exits non-zero on any divergence),
-//! 2. **appends** an entry to the trajectory JSON (`BENCH_sim.json` by
+//! 2. runs the suite a fourth time under the treelet-scheduled RT core
+//!    ([`hsu_sim::config::RtCoreKind::Treelet`], event mode) and asserts
+//!    the functional projection of every report — instruction issue,
+//!    warp retirement, RT instruction counts — matches the baseline
+//!    organization (cycles and memory behaviour legitimately differ),
+//! 3. **appends** an entry to the trajectory JSON (`BENCH_sim.json` by
 //!    default): `{pr, config, runs, build_phase, modes, tick_reduction,
-//!    speedup, equivalent}` with wall time, simulated cycles, and SM ticks
-//!    executed per mode. The file is an append-only array so successive PRs
-//!    record their own measurements next to history instead of erasing it;
-//!    a legacy single-object snapshot is wrapped into the array on first
-//!    append.
+//!    speedup, organizations, equivalent}` with wall time, simulated
+//!    cycles, and SM ticks executed per mode, plus both RT organizations'
+//!    sim wall-clock and per-workload HSU speedup. The file is an
+//!    append-only array so successive PRs record their own measurements
+//!    next to history instead of erasing it; a legacy single-object
+//!    snapshot is wrapped into the array on first append.
 //!
 //! Before the mode runs, the workload build phase is probed through the
 //! `.hsar` archive cache: once against an empty cache directory (cold —
@@ -40,7 +46,7 @@ use std::time::Instant;
 
 use hsu_bench::trajectory::{append_entry, json_escape};
 use hsu_bench::{runner, Suite, SuiteConfig};
-use hsu_sim::config::SimMode;
+use hsu_sim::config::{RtCoreKind, SimMode};
 
 struct ModeRun {
     suite: Suite,
@@ -209,6 +215,42 @@ fn main() {
             }
         }
     }
+    // RT-organization leg: re-run the suite under the treelet-scheduled
+    // core (event mode reuses the same warm cache — rt_core is a machine
+    // knob, so phase A is all hits) and check the *functional* projection
+    // of every report against the baseline organization. Cycles, memory
+    // behaviour, and the staging/treelet counters legitimately differ
+    // between the cores; instruction counts and retirement must not.
+    let treelet = run_mode(
+        &config.clone().with_rt_core(RtCoreKind::Treelet),
+        SimMode::Event,
+    );
+    eprintln!(
+        "treelet:  {:.2}s build, {:.2}s simulating, {} ticks",
+        treelet.build_wall_s, treelet.sim_wall_s, treelet.ticks_executed
+    );
+    for (a, b) in event.suite.runs.iter().zip(&treelet.suite.runs) {
+        for (variant, ra, rb) in [
+            ("hsu", &a.hsu, &b.hsu),
+            ("base", &a.base, &b.base),
+            ("stripped", &a.stripped, &b.stripped),
+        ] {
+            let functional = |r: &hsu_sim::SimReport| {
+                (
+                    r.kernel.clone(),
+                    r.issued,
+                    r.issued_weighted,
+                    r.warps_retired,
+                    r.rt.warp_instructions,
+                    r.rt.isa_instructions,
+                )
+            };
+            if functional(ra) != functional(rb) {
+                eprintln!("DIVERGENCE at {}/{variant} (treelet organization)", a.label);
+                divergences += 1;
+            }
+        }
+    }
     let equivalent = divergences == 0;
 
     let tick_reduction = stepped.ticks_executed as f64 / event.ticks_executed.max(1) as f64;
@@ -231,6 +273,9 @@ fn main() {
              \"parallel\": {}\n    }},\n    \
            \"tick_reduction\": {:.3},\n    \
            \"speedup\": {{ \"event\": {:.3}, \"parallel\": {:.3} }},\n    \
+           \"organizations\": {{\n      \
+             \"baseline\": {},\n      \
+             \"treelet\": {}\n    }},\n    \
            \"equivalent\": {}\n  }}",
         json_escape(&pr_label),
         config.sms,
@@ -248,6 +293,8 @@ fn main() {
         tick_reduction,
         speedup_of(&event),
         speedup_of(&parallel),
+        org_json(&event),
+        org_json(&treelet),
         equivalent,
     );
     append_entry(&out_path, &entry)
@@ -259,7 +306,8 @@ fn main() {
     println!(
         "simbench: {} runs, build {cold_s:.2}s cold / {warm_s:.2}s warm, \
          ticks {} -> {} ({tick_reduction:.2}x fewer), \
-         sim wall {:.2}s -> event {:.2}s ({:.2}x) / parallel {:.2}s ({:.2}x), reports {}",
+         sim wall {:.2}s -> event {:.2}s ({:.2}x) / parallel {:.2}s ({:.2}x), \
+         treelet org {:.2}s, reports {}",
         stepped.suite.runs.len(),
         stepped.ticks_executed,
         event.ticks_executed,
@@ -268,6 +316,7 @@ fn main() {
         speedup_of(&event),
         parallel.sim_wall_s,
         speedup_of(&parallel),
+        treelet.sim_wall_s,
         if equivalent { "identical" } else { "DIVERGED" },
     );
     println!("appended entry '{}' to {}", pr_label, out_path.display());
@@ -296,6 +345,36 @@ fn time_build_phase(config: &SuiteConfig, dir: &std::path::Path) -> f64 {
     elapsed
 }
 
+/// Per-organization ablation block: sim wall-clock plus each workload's
+/// HSU-vs-baseline speedup under that RT core. Both organizations run in
+/// event mode, so the wall-clock columns compare like for like; the
+/// speedups are *within*-organization (HSU over that core's own baseline),
+/// which is the comparison the cross-organization ablation table reports.
+fn org_json(m: &ModeRun) -> String {
+    let workloads: Vec<String> = m
+        .suite
+        .runs
+        .iter()
+        .map(|r| {
+            format!(
+                "{{ \"label\": \"{}\", \"app\": \"{}\", \"hsu_cycles\": {}, \
+                 \"base_cycles\": {}, \"hsu_speedup\": {:.4} }}",
+                json_escape(&r.label),
+                r.app.name(),
+                r.hsu.cycles,
+                r.base.cycles,
+                r.speedup()
+            )
+        })
+        .collect();
+    format!(
+        "{{ \"sim_wall_s\": {:.6}, \"cycles\": {}, \"workloads\": [\n        {}\n      ] }}",
+        m.sim_wall_s,
+        m.cycles,
+        workloads.join(",\n        ")
+    )
+}
+
 fn mode_json(m: &ModeRun) -> String {
     format!(
         "{{ \"build_wall_s\": {:.6}, \"sim_wall_s\": {:.6}, \"cycles\": {}, \"ticks_executed\": {} }}",
@@ -310,9 +389,11 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: simbench [--quick] [--sms N] [--seed S] [--jobs N] [--sim-threads N]\n\
          \x20               [--archive-dir DIR] [--pr LABEL] [--out PATH]\n\
-         runs the workload suite under all three simulation modes, checks the\n\
-         reports are identical, and appends a JSON timing/ticks trajectory\n\
-         entry (32-SM machine by default; --quick = quarter-scale datasets;\n\
+         runs the workload suite under all three simulation modes plus the\n\
+         treelet RT organization, checks the reports are identical (and the\n\
+         organizations functionally equivalent), and appends a JSON\n\
+         timing/ticks trajectory entry with a per-organization ablation\n\
+         block (32-SM machine by default; --quick = quarter-scale datasets;\n\
          --jobs and --sim-threads share one machine budget). The build phase\n\
          is timed cold and warm through the .hsar archive cache first\n\
          (--archive-dir pins the cache; default is a throwaway temp dir) and\n\

@@ -1,0 +1,397 @@
+//! BVH4-packed wide nodes: the fixed-footprint memory layout the treelet
+//! RT core fetches.
+//!
+//! [`crate::Bvh4`] is the *logical* 4-wide hierarchy (variable-length child
+//! vectors, no footprint model). This module is its *memory layout*: every
+//! node is exactly four child slots — four AABBs plus four child references
+//! padded to the full width — so a node occupies one 128-byte line-pair
+//! footprint no matter how many slots are populated:
+//!
+//! ```text
+//! 4 × AABB   (6 × f32)   = 96 B
+//! 4 × child ref (u64)    = 32 B   (tag ∣ index ∣ leaf start/count)
+//!                         ------
+//!                          128 B  = one RT-core wide-node fetch
+//! ```
+//!
+//! The fixed stride is what the simulator's trace lowering charges
+//! (`BVH_NODES_BASE + node * 128`) and what the treelet core's cache-line
+//! staging buffers are sized against. Traversal results are bit-exact
+//! versus [`crate::Bvh2`]: the child boxes are copied verbatim (same f32
+//! bits, same dilated-box tests) and the leaf ranges address the same
+//! primitive permutation, so radius search returns the same neighbor set
+//! and kNN the same k smallest `(distance_bits, id)` pairs —
+//! `tests/layout_equivalence.rs` proves both over random point clouds.
+
+use crate::bvh2::{Bvh2, NodeContent};
+use crate::bvh4::{Bvh4, Bvh4Child};
+use crate::primitive::PointPrimitive;
+use crate::search::{Neighbor, TraversalStats};
+use hsu_geometry::{Aabb, Vec3};
+
+/// One child slot of a packed wide node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PackedChild {
+    /// Unpopulated slot (the padding that buys the fixed stride).
+    #[default]
+    Empty,
+    /// Internal child: index into the node array.
+    Node(u32),
+    /// Leaf child: a range into the primitive-index permutation.
+    Leaf {
+        /// First slot in the primitive-index array.
+        start: u32,
+        /// Number of primitives.
+        count: u32,
+    },
+}
+
+/// One 128-byte wide node: four AABB slots and four child references.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bvh4PackedNode {
+    /// Child bounds, slot-aligned with `children`. Empty slots hold
+    /// [`Aabb::EMPTY`], which fails every box test.
+    pub aabbs: [Aabb; 4],
+    /// Child references, slot-aligned with `aabbs`.
+    pub children: [PackedChild; 4],
+}
+
+/// Bytes one packed wide node occupies (the trace-lowering stride).
+pub const BVH4_PACKED_NODE_BYTES: u64 = 128;
+
+/// A BVH4 in the packed fixed-slot layout, sharing its primitive
+/// permutation with the [`Bvh2`] it came from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bvh4Packed {
+    nodes: Vec<Bvh4PackedNode>,
+    prim_indices: Vec<u32>,
+    root_aabb: Aabb,
+}
+
+impl Bvh4Packed {
+    /// Packs the collapse of `bvh2` into fixed-slot wide nodes.
+    pub fn from_bvh2(bvh2: &Bvh2) -> Self {
+        let wide = Bvh4::from_bvh2(bvh2);
+        let nodes = wide
+            .nodes()
+            .iter()
+            .map(|n| {
+                let mut packed = Bvh4PackedNode {
+                    aabbs: [Aabb::EMPTY; 4],
+                    children: [PackedChild::Empty; 4],
+                };
+                for (slot, child) in n.children.iter().enumerate() {
+                    packed.aabbs[slot] = *child.aabb();
+                    packed.children[slot] = match *child {
+                        Bvh4Child::Node { index, .. } => PackedChild::Node(index),
+                        Bvh4Child::Leaf { start, count, .. } => PackedChild::Leaf { start, count },
+                    };
+                }
+                packed
+            })
+            .collect();
+        Bvh4Packed {
+            nodes,
+            prim_indices: bvh2.prim_indices().to_vec(),
+            root_aabb: if bvh2.nodes().is_empty() {
+                Aabb::EMPTY
+            } else {
+                bvh2.root().aabb
+            },
+        }
+    }
+
+    /// The packed node array (root at index 0).
+    #[inline]
+    pub fn nodes(&self) -> &[Bvh4PackedNode] {
+        &self.nodes
+    }
+
+    /// The shared primitive permutation.
+    #[inline]
+    pub fn prim_indices(&self) -> &[u32] {
+        &self.prim_indices
+    }
+
+    /// Bounds of the whole hierarchy.
+    #[inline]
+    pub fn root_aabb(&self) -> &Aabb {
+        &self.root_aabb
+    }
+
+    /// Radius search over the packed layout; neighbor set is bit-exact
+    /// versus [`Bvh2::radius_search_counted`] (output order may differ).
+    pub fn radius_search_counted(
+        &self,
+        prims: &[PointPrimitive],
+        query: Vec3,
+        radius: f32,
+    ) -> (Vec<Neighbor>, TraversalStats) {
+        let mut out = Vec::new();
+        let mut stats = TraversalStats::default();
+        if self.nodes.is_empty() {
+            return (out, stats);
+        }
+        let r2 = radius * radius;
+        let mut stack: Vec<u32> = vec![0];
+        while let Some(i) = stack.pop() {
+            stats.max_stack_depth = stats.max_stack_depth.max(stack.len() + 1);
+            stats.nodes_visited += 1;
+            let node = &self.nodes[i as usize];
+            for slot in 0..4 {
+                // One wide RAY_INTERSECT tests all four slots; empty slots
+                // hold AABB::EMPTY and fail like any culled box.
+                if node.aabbs[slot].distance_squared_to(query) > r2 {
+                    continue;
+                }
+                match node.children[slot] {
+                    PackedChild::Empty => {}
+                    PackedChild::Node(index) => stack.push(index),
+                    PackedChild::Leaf { start, count } => {
+                        stats.leaves_visited += 1;
+                        for s in start..start + count {
+                            let prim = &prims[self.prim_indices[s as usize] as usize];
+                            stats.primitive_tests += 1;
+                            let d2 = (prim.position - query).length_squared();
+                            if d2 <= r2 {
+                                out.push(Neighbor {
+                                    id: prim.id,
+                                    distance_squared: d2,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        (out, stats)
+    }
+
+    /// Truncated-K radius search; the returned set is the k smallest
+    /// `(distance_bits, id)` pairs inside the ball — bit-identical to
+    /// [`Bvh2::radius_knn`] regardless of traversal order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn radius_knn(
+        &self,
+        prims: &[PointPrimitive],
+        query: Vec3,
+        radius: f32,
+        k: usize,
+    ) -> (Vec<Neighbor>, TraversalStats) {
+        assert!(k > 0, "k must be positive");
+        let mut stats = TraversalStats::default();
+        let mut best: std::collections::BinaryHeap<(u32, u32)> =
+            std::collections::BinaryHeap::new();
+        if self.nodes.is_empty() {
+            return (Vec::new(), stats);
+        }
+        let mut r2 = radius * radius;
+        let mut stack: Vec<u32> = vec![0];
+        while let Some(i) = stack.pop() {
+            stats.max_stack_depth = stats.max_stack_depth.max(stack.len() + 1);
+            stats.nodes_visited += 1;
+            let node = &self.nodes[i as usize];
+            for slot in 0..4 {
+                if node.aabbs[slot].distance_squared_to(query) > r2 {
+                    continue;
+                }
+                match node.children[slot] {
+                    PackedChild::Empty => {}
+                    PackedChild::Node(index) => stack.push(index),
+                    PackedChild::Leaf { start, count } => {
+                        stats.leaves_visited += 1;
+                        for s in start..start + count {
+                            let prim = &prims[self.prim_indices[s as usize] as usize];
+                            stats.primitive_tests += 1;
+                            let d2 = (prim.position - query).length_squared();
+                            if d2 <= r2 {
+                                best.push((d2.to_bits(), prim.id));
+                                if best.len() > k {
+                                    best.pop();
+                                    if let Some(&(w, _)) = best.peek() {
+                                        r2 = f32::from_bits(w);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let mut out: Vec<Neighbor> = best
+            .into_iter()
+            .map(|(d, id)| Neighbor {
+                id,
+                distance_squared: f32::from_bits(d),
+            })
+            .collect();
+        out.sort_by(|a, b| a.distance_squared.total_cmp(&b.distance_squared));
+        (out, stats)
+    }
+
+    /// The leaf visit set of a radius query: the `start` slots of every
+    /// leaf whose dilated box intersects the ball, sorted. Because the
+    /// packed layout copies the [`Bvh2`] boxes bit for bit and shares its
+    /// primitive permutation, this set is identical to
+    /// [`Bvh2::radius_visited_leaves`] for every query.
+    pub fn radius_visited_leaves(&self, query: Vec3, radius: f32) -> Vec<u32> {
+        let r2 = radius * radius;
+        let mut out = Vec::new();
+        let mut stack: Vec<u32> = if self.nodes.is_empty() {
+            vec![]
+        } else {
+            vec![0]
+        };
+        while let Some(i) = stack.pop() {
+            let node = &self.nodes[i as usize];
+            for slot in 0..4 {
+                if node.aabbs[slot].distance_squared_to(query) > r2 {
+                    continue;
+                }
+                match node.children[slot] {
+                    PackedChild::Empty => {}
+                    PackedChild::Node(index) => stack.push(index),
+                    PackedChild::Leaf { start, .. } => out.push(start),
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+impl Bvh2 {
+    /// The leaf visit set of a radius query — the `start` slots of every
+    /// leaf whose dilated box intersects the ball, sorted. This is the
+    /// layout-independent projection of "which leaves did traversal
+    /// examine": a leaf's own box test decides (its ancestors' boxes
+    /// contain it, so they can never cull a passing leaf), which makes the
+    /// set well-defined across [`Bvh2`], [`Bvh4Packed`] and
+    /// [`crate::TreeletPacked`] arrangements of the same tree.
+    pub fn radius_visited_leaves(&self, query: Vec3, radius: f32) -> Vec<u32> {
+        let r2 = radius * radius;
+        let mut out = Vec::new();
+        let mut stack: Vec<u32> = if self.nodes().is_empty() {
+            vec![]
+        } else {
+            vec![0]
+        };
+        while let Some(i) = stack.pop() {
+            let node = &self.nodes()[i as usize];
+            match node.content {
+                NodeContent::Internal { left, right } => {
+                    for child in [left, right] {
+                        stack.push(child);
+                    }
+                }
+                NodeContent::Leaf { start, .. } => {
+                    if node.aabb.distance_squared_to(query) <= r2 {
+                        out.push(start);
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::LbvhBuilder;
+    use rand::{Rng, SeedableRng};
+
+    fn random_points(n: usize, seed: u64) -> Vec<PointPrimitive> {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                PointPrimitive::new(
+                    i as u32,
+                    Vec3::new(
+                        rng.gen_range(-2.0..2.0),
+                        rng.gen_range(-2.0..2.0),
+                        rng.gen_range(-2.0..2.0),
+                    ),
+                    0.25,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn packing_mirrors_the_logical_bvh4() {
+        let prims = random_points(400, 9);
+        let bvh2 = LbvhBuilder::default().build(&prims);
+        let wide = Bvh4::from_bvh2(&bvh2);
+        let packed = Bvh4Packed::from_bvh2(&bvh2);
+        assert_eq!(wide.nodes().len(), packed.nodes().len());
+        for (w, p) in wide.nodes().iter().zip(packed.nodes()) {
+            for (slot, child) in w.children.iter().enumerate() {
+                assert_eq!(p.aabbs[slot], *child.aabb());
+            }
+            for slot in w.children.len()..4 {
+                assert_eq!(p.children[slot], PackedChild::Empty);
+            }
+        }
+    }
+
+    #[test]
+    fn radius_search_matches_bvh2_bitwise() {
+        let prims = random_points(500, 21);
+        let bvh2 = LbvhBuilder::default().build(&prims);
+        let packed = Bvh4Packed::from_bvh2(&bvh2);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+        for _ in 0..40 {
+            let q = Vec3::new(
+                rng.gen_range(-2.0..2.0),
+                rng.gen_range(-2.0..2.0),
+                rng.gen_range(-2.0..2.0),
+            );
+            let mut a = bvh2.radius_search_counted(&prims, q, 0.4).0;
+            let mut b = packed.radius_search_counted(&prims, q, 0.4).0;
+            a.sort_by_key(|n| (n.distance_squared.to_bits(), n.id));
+            b.sort_by_key(|n| (n.distance_squared.to_bits(), n.id));
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn visited_leaves_match_bvh2() {
+        let prims = random_points(700, 2);
+        let bvh2 = LbvhBuilder::default().build(&prims);
+        let packed = Bvh4Packed::from_bvh2(&bvh2);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(77);
+        for _ in 0..40 {
+            let q = Vec3::new(
+                rng.gen_range(-2.5..2.5),
+                rng.gen_range(-2.5..2.5),
+                rng.gen_range(-2.5..2.5),
+            );
+            assert_eq!(
+                bvh2.radius_visited_leaves(q, 0.6),
+                packed.radius_visited_leaves(q, 0.6)
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_single_trees_pack() {
+        let none: Vec<PointPrimitive> = Vec::new();
+        let packed = Bvh4Packed::from_bvh2(&LbvhBuilder::default().build(&none));
+        assert!(packed.nodes().is_empty());
+        assert!(packed
+            .radius_search_counted(&none, Vec3::ZERO, 1.0)
+            .0
+            .is_empty());
+
+        let one = vec![PointPrimitive::new(0, Vec3::ZERO, 0.5)];
+        let packed = Bvh4Packed::from_bvh2(&LbvhBuilder::default().build(&one));
+        assert_eq!(packed.nodes().len(), 1);
+        let (hits, _) = packed.radius_search_counted(&one, Vec3::ZERO, 1.0);
+        assert_eq!(hits.len(), 1);
+    }
+}

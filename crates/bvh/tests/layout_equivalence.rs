@@ -1,0 +1,179 @@
+//! Layout-equivalence suite: the BVH4-packed and treelet-packed
+//! arrangements must be *indistinguishable from [`Bvh2`] in results* —
+//! same leaf visit sets, bit-identical kNN and radius neighbors — over
+//! random point clouds, for every builder.
+//!
+//! Two layers:
+//!
+//! 1. proptests over generated clouds × queries × radii × treelet sizes
+//!    (shrinking finds the minimal divergent tree if a packing bug slips
+//!    in; `layout_equivalence.proptest-regressions` pins past finds),
+//! 2. a deterministic 256-seed sweep — ChaCha-seeded clouds 0..256, one
+//!    query batch each — which is the bulk-volume leg CI runs in release.
+
+use hsu_bvh::{Bvh2, Bvh4Packed, LbvhBuilder, PointPrimitive, SahBuilder, TreeletPacked};
+use hsu_geometry::Vec3;
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+
+/// Sorts neighbors into the canonical order both layouts must agree on:
+/// `(distance_bits, id)` — total, and independent of traversal order.
+fn canon(mut hits: Vec<hsu_bvh::Neighbor>) -> Vec<(u32, u32)> {
+    hits.sort_by_key(|n| (n.distance_squared.to_bits(), n.id));
+    hits.iter()
+        .map(|n| (n.distance_squared.to_bits(), n.id))
+        .collect()
+}
+
+/// Asserts every layout agrees with `bvh2` on one query: leaf visit set,
+/// full radius result, and truncated-K result, all bitwise.
+fn assert_layouts_agree(
+    bvh2: &Bvh2,
+    packed4: &Bvh4Packed,
+    treelet: &TreeletPacked,
+    prims: &[PointPrimitive],
+    query: Vec3,
+    radius: f32,
+    k: usize,
+) {
+    let leaves = bvh2.radius_visited_leaves(query, radius);
+    assert_eq!(
+        leaves,
+        packed4.radius_visited_leaves(query, radius),
+        "BVH4-packed visited a different leaf set"
+    );
+    // The treelet permutation renumbers nodes but not leaf ranges, so the
+    // `start`-slot visit set must survive the re-pack untouched.
+    assert_eq!(
+        leaves,
+        treelet.as_bvh2().radius_visited_leaves(query, radius),
+        "treelet-packed visited a different leaf set"
+    );
+
+    let base = canon(bvh2.radius_search_counted(prims, query, radius).0);
+    assert_eq!(
+        base,
+        canon(packed4.radius_search_counted(prims, query, radius).0),
+        "BVH4-packed radius result diverged"
+    );
+    assert_eq!(
+        base,
+        canon(
+            treelet
+                .as_bvh2()
+                .radius_search_counted(prims, query, radius)
+                .0
+        ),
+        "treelet-packed radius result diverged"
+    );
+
+    let knn = canon(bvh2.radius_knn(prims, query, radius, k).0);
+    assert_eq!(
+        knn,
+        canon(packed4.radius_knn(prims, query, radius, k).0),
+        "BVH4-packed kNN diverged"
+    );
+    assert_eq!(
+        knn,
+        canon(treelet.as_bvh2().radius_knn(prims, query, radius, k).0),
+        "treelet-packed kNN diverged"
+    );
+}
+
+fn arb_points(max: usize) -> impl Strategy<Value = Vec<PointPrimitive>> {
+    prop::collection::vec((-100i32..100, -100i32..100, -100i32..100), 1..max).prop_map(|pts| {
+        pts.into_iter()
+            .enumerate()
+            .map(|(i, (x, y, z))| {
+                PointPrimitive::new(
+                    i as u32,
+                    Vec3::new(x as f32 * 0.1, y as f32 * 0.1, z as f32 * 0.1),
+                    0.2,
+                )
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The core layout property: any cloud, any query ball, any treelet
+    /// granularity — all three arrangements return the same answers.
+    /// Integer-grid points make duplicate positions common, so the
+    /// `(distance_bits, id)` tie-breaking is exercised, not just assumed.
+    #[test]
+    fn layouts_agree_on_random_clouds(
+        prims in arb_points(250),
+        qx in -12.0f32..12.0, qy in -12.0f32..12.0, qz in -12.0f32..12.0,
+        r in 0.1f32..4.0,
+        k in 1usize..12,
+        treelet_nodes in 1usize..16,
+    ) {
+        let bvh2 = LbvhBuilder::default().build(&prims);
+        let packed4 = Bvh4Packed::from_bvh2(&bvh2);
+        let treelet = TreeletPacked::pack(&bvh2, treelet_nodes);
+        assert_layouts_agree(
+            &bvh2, &packed4, &treelet, &prims,
+            Vec3::new(qx, qy, qz), r, k,
+        );
+    }
+
+    /// Same property over the SAH builder's very different tree shapes
+    /// (deeper, uneven splits stress the packing budget logic).
+    #[test]
+    fn layouts_agree_on_sah_trees(
+        prims in arb_points(150),
+        qx in -12.0f32..12.0, qy in -12.0f32..12.0, qz in -12.0f32..12.0,
+        r in 0.1f32..4.0,
+    ) {
+        let bvh2 = SahBuilder::default().build(&prims);
+        let packed4 = Bvh4Packed::from_bvh2(&bvh2);
+        let treelet = TreeletPacked::pack(&bvh2, 8);
+        assert_layouts_agree(
+            &bvh2, &packed4, &treelet, &prims,
+            Vec3::new(qx, qy, qz), r, 5,
+        );
+    }
+}
+
+/// The deterministic 256-seed sweep: ChaCha-generated clouds, eight
+/// queries each, both packings at the staging-pool-matched granularity.
+/// Debug builds sweep a prefix; release builds (`ci.sh`) sweep all 256.
+#[test]
+fn layouts_agree_across_256_seeds() {
+    let seeds: u64 = if cfg!(debug_assertions) { 24 } else { 256 };
+    for seed in 0..seeds {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let n = 64 + (seed as usize * 37) % 640;
+        let prims: Vec<PointPrimitive> = (0..n)
+            .map(|i| {
+                PointPrimitive::new(
+                    i as u32,
+                    Vec3::new(
+                        rng.gen_range(-2.0..2.0),
+                        rng.gen_range(-2.0..2.0),
+                        rng.gen_range(-2.0..2.0),
+                    ),
+                    0.25,
+                )
+            })
+            .collect();
+        let bvh2 = LbvhBuilder::default().build(&prims);
+        let packed4 = Bvh4Packed::from_bvh2(&bvh2);
+        let treelet = TreeletPacked::pack(&bvh2, 8);
+        treelet
+            .as_bvh2()
+            .validate(&prims)
+            .unwrap_or_else(|e| panic!("seed {seed}: packed tree invalid: {e}"));
+        for _ in 0..8 {
+            let q = Vec3::new(
+                rng.gen_range(-2.5..2.5),
+                rng.gen_range(-2.5..2.5),
+                rng.gen_range(-2.5..2.5),
+            );
+            let r = rng.gen_range(0.2..1.5);
+            assert_layouts_agree(&bvh2, &packed4, &treelet, &prims, q, r, 5);
+        }
+    }
+}

@@ -1,9 +1,10 @@
 //! `servebench` — open-loop load driver for the sharded serving engine.
 //!
 //! ```text
-//! servebench [--smoke] [--family graph|kd|bvh|btree|all] [--queries N]
-//!            [--shards N] [--workers N] [--batch N] [--queue-capacity N]
-//!            [--seed S] [--archive-dir DIR] [--pr LABEL] [--out PATH]
+//! servebench [--smoke] [--closed-loop] [--family graph|kd|bvh|btree|all]
+//!            [--queries N] [--shards N] [--workers N] [--batch N]
+//!            [--queue-capacity N] [--seed S] [--archive-dir DIR]
+//!            [--pr LABEL] [--out PATH]
 //! ```
 //!
 //! For each index family the driver:
@@ -15,11 +16,20 @@
 //!    combination and asserts the submission-order replay hash is
 //!    byte-identical across all eight configurations (exits non-zero on
 //!    any mismatch),
-//! 3. drives `--queries` queries of open-loop load through the engine at
-//!    the requested topology, measuring sustained QPS and p50/p99/p999
-//!    latency (latency = admission request to worker fulfillment, taken
-//!    from the ticket's completion timestamp so redeeming tickets in
-//!    submission order adds no head-of-line skew).
+//! 3. drives `--queries` queries through the engine at the requested
+//!    topology, measuring sustained QPS and p50/p99/p999 latency (latency
+//!    = admission request to worker fulfillment, taken from the ticket's
+//!    completion timestamp so redeeming tickets in submission order adds
+//!    no head-of-line skew).
+//!
+//! The default discipline is **open-loop**: up to 4096 tickets ride in
+//! flight, so at saturation the reported latency is dominated by
+//! time-in-queue, not service time — the classic open-loop caveat.
+//! `--closed-loop` switches the measured run to one outstanding query at a
+//! time (submit, redeem, repeat): the queue is empty at every admission,
+//! so the percentiles are pure *service* latency. The two disciplines
+//! change only timing — the answer stream (and therefore the replay hash)
+//! is identical, which a unit test in this file pins.
 //!
 //! Unless `--smoke` is set, one entry is appended to the trajectory JSON
 //! (`BENCH_sim.json` by default) with the per-family numbers, replay
@@ -62,10 +72,16 @@ struct Options {
     queue_capacity: usize,
     seed: u64,
     smoke: bool,
+    closed_loop: bool,
     archive_dir: Option<std::path::PathBuf>,
     pr_label: String,
     out_path: std::path::PathBuf,
 }
+
+/// Outstanding-ticket window of the open-loop discipline. Closed-loop runs
+/// use a window of 1: the queue is empty at every admission, so measured
+/// latency is service time alone.
+const OPEN_WINDOW: usize = 4096;
 
 fn main() {
     let opts = parse_args();
@@ -116,7 +132,7 @@ fn main() {
                         batch,
                         queue_capacity: opts.queue_capacity,
                     };
-                    let r = run_load(s, cfg, dcheck_n);
+                    let r = run_load(s, cfg, dcheck_n, OPEN_WINDOW);
                     hashes.push((format!("s{shards}b{batch}w{workers}"), r.replay_hash));
                 }
             }
@@ -142,19 +158,21 @@ fn main() {
         std::process::exit(1);
     }
 
-    // The measured open-loop runs at the requested topology.
+    // The measured runs at the requested topology and load discipline.
     let cfg = EngineConfig {
         shards: opts.shards,
         workers_per_shard: opts.workers,
         batch: opts.batch,
         queue_capacity: opts.queue_capacity,
     };
+    let window = if opts.closed_loop { 1 } else { OPEN_WINDOW };
+    let mode = if opts.closed_loop { "closed" } else { "open" };
     let mut results: Vec<(IndexFamily, LoadResult)> = Vec::new();
     for s in &served {
-        let r = run_load(s, cfg.clone(), opts.queries);
+        let r = run_load(s, cfg.clone(), opts.queries, window);
         println!(
-            "{:<6} {:>9} queries in {:>7.2}s | {:>10.0} qps | p50 {:>8.1}us p99 {:>8.1}us \
-             p999 {:>8.1}us | hash {:#018x}",
+            "{:<6} [{mode}-loop] {:>9} queries in {:>7.2}s | {:>10.0} qps | p50 {:>8.1}us \
+             p99 {:>8.1}us p999 {:>8.1}us | hash {:#018x}",
             s.family.to_string(),
             r.queries,
             r.wall_s,
@@ -237,13 +255,13 @@ fn open_one(cache: &ArchiveCache, seed: u64, family: IndexFamily) -> Served {
     }
 }
 
-/// Drives `n` open-loop queries through a fresh engine at `cfg`,
-/// bounding outstanding tickets with a sliding window redeemed in
-/// submission order (which is also the replay-hash fold order).
-fn run_load(s: &Served, cfg: EngineConfig, n: u64) -> LoadResult {
-    const WINDOW: usize = 4096;
+/// Drives `n` queries through a fresh engine at `cfg`, bounding
+/// outstanding tickets with a sliding `window` redeemed in submission
+/// order (which is also the replay-hash fold order). `OPEN_WINDOW` is the
+/// open-loop discipline; `1` is closed-loop (pure service latency).
+fn run_load(s: &Served, cfg: EngineConfig, n: u64, window: usize) -> LoadResult {
     let engine = Engine::new(Arc::clone(&s.index), cfg);
-    let mut outstanding: VecDeque<(Ticket, Instant)> = VecDeque::with_capacity(WINDOW);
+    let mut outstanding: VecDeque<(Ticket, Instant)> = VecDeque::with_capacity(window);
     let mut lat_ns: Vec<u64> = Vec::with_capacity(n as usize);
     let mut hashes: Vec<u64> = Vec::with_capacity(n as usize);
     let t0 = Instant::now();
@@ -267,7 +285,7 @@ fn run_load(s: &Served, cfg: EngineConfig, n: u64) -> LoadResult {
             .submit(query)
             .unwrap_or_else(|e| panic!("{} submit failed: {e}", s.family));
         outstanding.push_back((ticket, submitted));
-        if outstanding.len() >= WINDOW {
+        if outstanding.len() >= window {
             if let Some(front) = outstanding.pop_front() {
                 redeem(front, &mut lat_ns, &mut hashes, &mut last_done);
             }
@@ -321,7 +339,8 @@ fn json_entry(
     format!(
         "  {{\n    \"pr\": \"{}\",\n    \"bench\": \"servebench\",\n    \
          \"config\": {{ \"host_cores\": {}, \"shards\": {}, \"workers_per_shard\": {}, \
-         \"batch\": {}, \"queue_capacity\": {}, \"seed\": {}, \"queries_per_family\": {} }},\n    \
+         \"batch\": {}, \"queue_capacity\": {}, \"seed\": {}, \"queries_per_family\": {}, \
+         \"mode\": \"{}\" }},\n    \
          \"determinism\": {{ \"queries\": {}, \"configs\": 8, \"identical\": true }},\n    \
          \"families\": {{\n{}\n    }}\n  }}",
         json_escape(&opts.pr_label),
@@ -332,6 +351,11 @@ fn json_entry(
         opts.queue_capacity,
         opts.seed,
         opts.queries,
+        if opts.closed_loop {
+            "closed-loop"
+        } else {
+            "open-loop"
+        },
         dcheck_n,
         families
     )
@@ -347,6 +371,7 @@ fn parse_args() -> Options {
         queue_capacity: 1024,
         seed: 1,
         smoke: false,
+        closed_loop: false,
         archive_dir: None,
         pr_label: String::from("dev"),
         out_path: std::path::PathBuf::from("BENCH_sim.json"),
@@ -357,6 +382,9 @@ fn parse_args() -> Options {
             "--smoke" => {
                 opts.smoke = true;
                 opts.queries = 2_000;
+            }
+            "--closed-loop" => {
+                opts.closed_loop = true;
             }
             "--family" => {
                 let v = args
@@ -435,15 +463,55 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: servebench [--smoke] [--family graph|kd|bvh|btree|all] [--queries N]\n\
-         \x20                 [--shards N] [--workers N] [--batch N] [--queue-capacity N]\n\
-         \x20                 [--seed S] [--archive-dir DIR] [--pr LABEL] [--out PATH]\n\
-         drives seeded open-loop query load through the sharded serving engine for\n\
-         each index family: first a determinism cross-check (replay hashes must be\n\
-         identical across shards {{1,4}} x batch {{1,64}} x workers {{1,2}}), then a\n\
-         measured run at the requested topology reporting sustained QPS and\n\
-         p50/p99/p999 latency. Appends a JSON entry to the trajectory file unless\n\
-         --smoke (small counts, no append) is set. --queries is per family."
+        "usage: servebench [--smoke] [--closed-loop] [--family graph|kd|bvh|btree|all]\n\
+         \x20                 [--queries N] [--shards N] [--workers N] [--batch N]\n\
+         \x20                 [--queue-capacity N] [--seed S] [--archive-dir DIR]\n\
+         \x20                 [--pr LABEL] [--out PATH]\n\
+         drives seeded query load through the sharded serving engine for each index\n\
+         family: first a determinism cross-check (replay hashes must be identical\n\
+         across shards {{1,4}} x batch {{1,64}} x workers {{1,2}}), then a measured\n\
+         run at the requested topology reporting sustained QPS and p50/p99/p999\n\
+         latency. The default discipline is open-loop (4096 tickets in flight:\n\
+         latency at saturation is queue time); --closed-loop keeps one query\n\
+         outstanding so the percentiles are pure service latency. Appends a JSON\n\
+         entry to the trajectory file unless --smoke (small counts, no append) is\n\
+         set. --queries is per family."
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsu_bench::ArchiveCache;
+
+    /// The load discipline is a *measurement* choice, not a semantic one:
+    /// open-loop (windowed) and closed-loop (one outstanding) runs over
+    /// the same seeded stream must fold to the same replay hash. This is
+    /// the pin that makes the `--closed-loop` percentiles comparable with
+    /// the open-loop history in BENCH_sim.json.
+    #[test]
+    fn open_and_closed_loop_replay_hashes_are_identical() {
+        let cache = ArchiveCache::disabled();
+        let index = BtreeIndex::open(&cache, 2_000, 3);
+        let space = index.key_space();
+        let s = Served {
+            family: IndexFamily::Btree,
+            index: Arc::new(index),
+            gen: Arc::new(move |i| Query::Key(key_stream_nth(0xb7ee, i, space))),
+        };
+        let cfg = EngineConfig {
+            shards: 2,
+            workers_per_shard: 2,
+            batch: 8,
+            queue_capacity: 256,
+        };
+        let open = run_load(&s, cfg.clone(), 500, OPEN_WINDOW);
+        let closed = run_load(&s, cfg, 500, 1);
+        assert_eq!(open.queries, closed.queries);
+        assert_eq!(
+            open.replay_hash, closed.replay_hash,
+            "the load discipline changed the answer stream"
+        );
+    }
 }

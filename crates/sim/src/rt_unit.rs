@@ -53,6 +53,15 @@ pub struct RtUnitStats {
     pub cycles: u64,
     /// Dispatches rejected because the warp buffer was full.
     pub dispatch_stalls: u64,
+    /// Node-line fetches satisfied by a staged line without touching memory
+    /// (treelet core only; always zero under the baseline organization).
+    pub staging_hits: u64,
+    /// Staged lines evicted to make room for a new fetch (treelet core
+    /// only).
+    pub staging_evictions: u64,
+    /// Dispatches whose node treelet differed from the same warp's previous
+    /// dispatch (treelet core only) — the treelet-stack switch count.
+    pub treelet_transitions: u64,
     /// Datapath pipeline statistics.
     pub pipeline: PipelineStats,
 }
@@ -68,17 +77,83 @@ impl RtUnitStats {
     }
 }
 
-/// Per-lane bookkeeping inside a warp-buffer entry.
+/// Per-lane bookkeeping inside a warp-buffer entry (shared by both RT-unit
+/// organizations).
 #[derive(Debug, Clone, Copy, Default)]
-struct LaneState {
+pub(crate) struct LaneState {
     /// Outstanding memory lines.
-    pending_lines: u32,
+    pub(crate) pending_lines: u32,
     /// Datapath beats not yet issued.
-    beats_to_issue: u32,
+    pub(crate) beats_to_issue: u32,
     /// Datapath beats not yet completed.
-    beats_in_flight: u32,
+    pub(crate) beats_in_flight: u32,
     /// Operating mode of this lane's beats.
-    mode: Option<OperatingMode>,
+    pub(crate) mode: Option<OperatingMode>,
+}
+
+/// Operating mode, beat count and fetch footprint `(mode, beats, addr,
+/// bytes)` of a lane's op. Shared by both RT-unit organizations so a
+/// malformed instruction produces the *identical* typed error under either
+/// — the cross-organization payload-parity tests rely on this.
+///
+/// Non-HSU ops are a dispatch-routing violation (a malformed trace or a
+/// scheduler bug) and surface as [`SimError::IllegalDispatch`].
+pub(crate) fn lane_plan(
+    cfg: &HsuConfig,
+    op: &ThreadOp,
+) -> Result<(OperatingMode, u32, u64, u64), SimError> {
+    match *op {
+        ThreadOp::HsuRayIntersect {
+            node_addr,
+            bytes,
+            triangle,
+        } => {
+            let mode = if triangle {
+                OperatingMode::RayTriangle
+            } else {
+                OperatingMode::RayBox
+            };
+            Ok((mode, 1, node_addr, bytes as u64))
+        }
+        ThreadOp::HsuDistance {
+            metric,
+            dim,
+            candidate_addr,
+        } => {
+            let beats = cfg.beats_for(metric, dim as usize) as u32;
+            let mode = match metric {
+                hsu_geometry::point::Metric::Euclidean => OperatingMode::Euclid,
+                hsu_geometry::point::Metric::Angular => OperatingMode::Angular,
+            };
+            Ok((mode, beats, candidate_addr, dim as u64 * 4))
+        }
+        ThreadOp::HsuKeyCompare {
+            node_addr,
+            separators,
+        } => {
+            let beats = cfg.key_compare_instructions(separators as usize) as u32;
+            Ok((
+                OperatingMode::KeyCompare,
+                beats,
+                node_addr,
+                separators as u64 * 4,
+            ))
+        }
+        ref other => Err(SimError::IllegalDispatch {
+            detail: format!("non-HSU op dispatched to the RT unit: {other:?}"),
+        }),
+    }
+}
+
+/// Whether `op` is legal on a unit with HSU configuration `cfg` (the
+/// baseline RT unit rejects the HSU extensions). Shared by both RT-unit
+/// organizations.
+pub(crate) fn unit_supports(cfg: &HsuConfig, op: &ThreadOp) -> bool {
+    match op {
+        ThreadOp::HsuRayIntersect { .. } => true,
+        ThreadOp::HsuDistance { .. } | ThreadOp::HsuKeyCompare { .. } => cfg.hsu_extensions,
+        _ => false,
+    }
 }
 
 /// The RT/HSU unit of one SM.
@@ -125,64 +200,10 @@ impl RtUnit {
         &self.cfg
     }
 
-    /// Operating mode, beat count and fetch footprint of a lane's op.
-    ///
-    /// Non-HSU ops are a dispatch-routing violation (a malformed trace or a
-    /// scheduler bug) and surface as [`SimError::IllegalDispatch`].
-    fn lane_plan(&self, op: &ThreadOp) -> Result<(OperatingMode, u32, u64, u64), SimError> {
-        match *op {
-            ThreadOp::HsuRayIntersect {
-                node_addr,
-                bytes,
-                triangle,
-            } => {
-                let mode = if triangle {
-                    OperatingMode::RayTriangle
-                } else {
-                    OperatingMode::RayBox
-                };
-                Ok((mode, 1, node_addr, bytes as u64))
-            }
-            ThreadOp::HsuDistance {
-                metric,
-                dim,
-                candidate_addr,
-            } => {
-                let beats = self.cfg.beats_for(metric, dim as usize) as u32;
-                let mode = match metric {
-                    hsu_geometry::point::Metric::Euclidean => OperatingMode::Euclid,
-                    hsu_geometry::point::Metric::Angular => OperatingMode::Angular,
-                };
-                Ok((mode, beats, candidate_addr, dim as u64 * 4))
-            }
-            ThreadOp::HsuKeyCompare {
-                node_addr,
-                separators,
-            } => {
-                let beats = self.cfg.key_compare_instructions(separators as usize) as u32;
-                Ok((
-                    OperatingMode::KeyCompare,
-                    beats,
-                    node_addr,
-                    separators as u64 * 4,
-                ))
-            }
-            ref other => Err(SimError::IllegalDispatch {
-                detail: format!("non-HSU op dispatched to the RT unit: {other:?}"),
-            }),
-        }
-    }
-
     /// Whether the instruction is legal on this unit (the baseline RT unit
     /// rejects the HSU extensions).
     pub fn supports(&self, op: &ThreadOp) -> bool {
-        match op {
-            ThreadOp::HsuRayIntersect { .. } => true,
-            ThreadOp::HsuDistance { .. } | ThreadOp::HsuKeyCompare { .. } => {
-                self.cfg.hsu_extensions
-            }
-            _ => false,
-        }
+        unit_supports(&self.cfg, op)
     }
 
     /// Arbitrates among sub-cores with pending HSU instructions this cycle.
@@ -229,7 +250,7 @@ impl RtUnit {
                     detail: format!("active lane {lane} without an op (mask {active_mask:#x})"),
                 });
             };
-            let (mode, beats, addr, bytes) = self.lane_plan(op)?;
+            let (mode, beats, addr, bytes) = lane_plan(&self.cfg, op)?;
             plans.push((lane, mode, beats, addr, bytes));
         }
 

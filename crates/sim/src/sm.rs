@@ -6,7 +6,7 @@ use std::collections::VecDeque;
 use crate::config::GpuConfig;
 use crate::error::{SimError, SmDeadlockState};
 use crate::memory::{AccessOutcome, MemPort, Requester};
-use crate::rt_unit::RtUnit;
+use crate::rt_core::RtCore;
 use crate::trace::{OpClass, ThreadOp, WarpInstruction, WarpTrace};
 
 /// Waiter-token encoding: bit 63 selects RT-unit responses.
@@ -73,7 +73,7 @@ pub struct Sm {
     lsu_queue: VecDeque<(u64, usize)>,
     /// Round-robin token for the shared L1 port (LSU vs RT FIFO, §VI-H).
     port_prefers_rt: bool,
-    rt: RtUnit,
+    rt: RtCore,
     next_age: u64,
     /// Last cycle any sub-core issued an instruction (deadlock diagnostics'
     /// "last progress" marker; `None` until the first issue).
@@ -112,7 +112,7 @@ impl Sm {
             sub_core_busy_until: vec![0; cfg.sub_cores],
             lsu_queue: VecDeque::new(),
             port_prefers_rt: false,
-            rt: RtUnit::new(cfg.hsu.clone(), cfg.sub_cores),
+            rt: RtCore::new(cfg),
             next_age: 0,
             last_issue_cycle: None,
             earliest_timer: u64::MAX,
