@@ -35,7 +35,7 @@ echo "== RT-organization golden matrix (baseline vs treelet cores, smoke scale) 
 # in all three simulation modes, and the baseline core must still hit its
 # pinned golden cycle counts. Fails if the two organizations ever diverge
 # in anything but timing/stat columns.
-cargo test --release -q --test rt_organization \
+cargo test --release -q --test rt_organization -- \
     golden_workloads_agree_across_organizations \
     baseline_organization_still_matches_the_golden_cycles
 
@@ -96,6 +96,25 @@ echo "== servebench smoke (serving engine determinism cross-check) =="
 # BENCH_sim.json append; the full open-loop numbers live under the pr8
 # entry (see EXPERIMENTS.md "Serving").
 cargo run --release -q -p hsu-serve --bin servebench -- --smoke
+
+echo "== servebench chaos smoke (supervised restart + typed failure counts) =="
+# Injects one worker panic and one persistently slow shard into a smoke-scale
+# btree run. servebench itself exits nonzero if any query fails with an
+# unexpected error class or the supervisor never restarts the dead worker;
+# on top of that, assert the report shows the injected panic was counted and
+# the crashed queries surfaced as typed worker-crashed failures.
+cargo run --release -q -p hsu-serve --bin servebench -- --smoke --chaos --family btree \
+    > "$FAULT_DIR/chaos.txt"
+grep -q "panics 1 restarts" "$FAULT_DIR/chaos.txt" \
+  || { echo "FAIL: chaos report missing the injected worker panic"; \
+       cat "$FAULT_DIR/chaos.txt"; exit 1; }
+grep -qE "worker-crashed [1-9]" "$FAULT_DIR/chaos.txt" \
+  || { echo "FAIL: no query surfaced as typed worker-crashed"; \
+       cat "$FAULT_DIR/chaos.txt"; exit 1; }
+grep -q "unexpected 0" "$FAULT_DIR/chaos.txt" \
+  || { echo "FAIL: chaos run produced unexpected failure classes"; \
+       cat "$FAULT_DIR/chaos.txt"; exit 1; }
+echo "servebench chaos smoke OK"
 
 echo "== fmt =="
 cargo fmt --all --check

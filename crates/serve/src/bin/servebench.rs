@@ -3,8 +3,9 @@
 //! ```text
 //! servebench [--smoke] [--closed-loop] [--family graph|kd|bvh|btree|all]
 //!            [--queries N] [--shards N] [--workers N] [--batch N]
-//!            [--queue-capacity N] [--seed S] [--archive-dir DIR]
-//!            [--pr LABEL] [--out PATH]
+//!            [--queue-capacity N] [--window N] [--seed S]
+//!            [--priority-mix PCT] [--deadline-us N] [--slo-us N] [--chaos]
+//!            [--archive-dir DIR] [--pr LABEL] [--out PATH]
 //! ```
 //!
 //! For each index family the driver:
@@ -22,27 +23,48 @@
 //!    completion timestamp so redeeming tickets in submission order adds
 //!    no head-of-line skew).
 //!
-//! The default discipline is **open-loop**: up to 4096 tickets ride in
-//! flight, so at saturation the reported latency is dominated by
-//! time-in-queue, not service time — the classic open-loop caveat.
-//! `--closed-loop` switches the measured run to one outstanding query at a
-//! time (submit, redeem, repeat): the queue is empty at every admission,
-//! so the percentiles are pure *service* latency. The two disciplines
-//! change only timing — the answer stream (and therefore the replay hash)
-//! is identical, which a unit test in this file pins.
+//! The default discipline is **open-loop**: up to `--window` (default
+//! 4096) tickets ride in flight, so at saturation the reported latency is
+//! dominated by time-in-queue, not service time — the classic open-loop
+//! caveat. `--closed-loop` switches the measured run to one outstanding
+//! query at a time (submit, redeem, repeat): the queue is empty at every
+//! admission, so the percentiles are pure *service* latency. The two
+//! disciplines change only timing — the answer stream (and therefore the
+//! replay hash) is identical, which a unit test in this file pins.
+//!
+//! **Resilience drivers** exercise the PR-10 overload/failure layer:
+//!
+//! - `--priority-mix PCT` submits PCT% of the stream as `Interactive`
+//!   and the rest as `Batch` via non-blocking admission; per-class
+//!   latency percentiles and shed counts are reported separately.
+//! - `--slo-us N` sets a uniform per-family p99 target: shards over
+//!   target shed `Batch` (typed `Overloaded`) while `Interactive`
+//!   keeps admitting.
+//! - `--deadline-us N` attaches a deadline to every query; expired work
+//!   resolves `DeadlineExceeded`, never a silent late answer.
+//! - `--chaos` wraps the index in the `hsu_serve::chaos` harness (one
+//!   injected worker panic + one slow shard) and asserts the engine
+//!   kept serving: the run fails unless the supervisor restarted the
+//!   dead worker.
+//!
+//! Per-query failures are **counted by typed class, never panicked on**:
+//! the exit code is non-zero only for unexpected classes (`bad-query`,
+//! `shutting-down`, `bad-index`) or a chaos run with no restart.
 //!
 //! Unless `--smoke` is set, one entry is appended to the trajectory JSON
-//! (`BENCH_sim.json` by default) with the per-family numbers, replay
-//! hashes, and the host core count. `--smoke` shrinks the counts for CI
-//! and skips the append; the determinism cross-check still runs.
+//! (`BENCH_sim.json` by default) with the per-family numbers, failure
+//! counters, engine stats, replay hashes, and the host core count.
+//! `--smoke` shrinks the counts for CI and skips the append; the
+//! determinism cross-check still runs.
 
 use std::collections::VecDeque;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use hsu_bench::trajectory::{append_entry, json_escape};
 use hsu_bench::{runner, ArchiveCache};
 use hsu_datasets::{key_stream_nth, DatasetId, QueryStream};
+use hsu_serve::chaos::{install_quiet_panic_hook, ChaosIndex, ChaosPlan};
 use hsu_serve::prelude::*;
 
 /// One family ready to serve: the index plus its seeded query stream.
@@ -52,15 +74,61 @@ struct Served {
     gen: Arc<dyn Fn(u64) -> Query + Send + Sync>,
 }
 
+/// Per-priority-class latency slice of a measured run.
+struct ClassLat {
+    name: &'static str,
+    served: u64,
+    shed: u64,
+    p50_us: f64,
+    p99_us: f64,
+}
+
 /// One measured open-loop run.
 struct LoadResult {
     queries: u64,
+    completed: u64,
     wall_s: f64,
     qps: f64,
     p50_us: f64,
     p99_us: f64,
     p999_us: f64,
     replay_hash: u64,
+    // Typed per-query failure classes (satellite: counted, not panicked).
+    shed: u64,
+    deadline_exceeded: u64,
+    worker_crashed: u64,
+    unexpected: u64,
+    classes: Vec<ClassLat>,
+    stats: EngineStats,
+}
+
+/// How the measured run drives the resilience layer. The zero value
+/// (`LoadPlan::plain()`) is the PR-9 behavior: blocking admission, no
+/// deadlines, no faults — any per-query failure is then *unexpected*.
+#[derive(Clone, Default)]
+struct LoadPlan {
+    /// Percent of the stream submitted as `Interactive` (rest `Batch`).
+    /// Implies non-blocking admission so overload sheds instead of
+    /// stalling the driver.
+    mix_interactive_pct: Option<u32>,
+    /// Per-query latency budget.
+    deadline: Option<Duration>,
+    /// Non-blocking admission even without a mix (set when an SLO can
+    /// shed submissions).
+    shed_on_overload: bool,
+    /// Wrap the index in the chaos harness: one worker panic mid-run,
+    /// one slow shard.
+    chaos: bool,
+}
+
+impl LoadPlan {
+    fn plain() -> Self {
+        LoadPlan::default()
+    }
+
+    fn nonblocking(&self) -> bool {
+        self.mix_interactive_pct.is_some() || self.shed_on_overload
+    }
 }
 
 struct Options {
@@ -70,21 +138,29 @@ struct Options {
     workers: usize,
     batch: usize,
     queue_capacity: usize,
+    window: Option<usize>,
     seed: u64,
     smoke: bool,
     closed_loop: bool,
+    priority_mix: Option<u32>,
+    deadline_us: Option<u64>,
+    slo_us: Option<u64>,
+    chaos: bool,
     archive_dir: Option<std::path::PathBuf>,
     pr_label: String,
     out_path: std::path::PathBuf,
 }
 
-/// Outstanding-ticket window of the open-loop discipline. Closed-loop runs
-/// use a window of 1: the queue is empty at every admission, so measured
-/// latency is service time alone.
+/// Default outstanding-ticket window of the open-loop discipline.
+/// Closed-loop runs use a window of 1: the queue is empty at every
+/// admission, so measured latency is service time alone.
 const OPEN_WINDOW: usize = 4096;
 
 fn main() {
     let opts = parse_args();
+    if opts.chaos {
+        install_quiet_panic_hook();
+    }
     let host_cores = runner::default_jobs();
     // Serving owns the whole machine here (no co-resident suite or
     // simulation), so the three-way budget degenerates to the serve
@@ -96,6 +172,12 @@ fn main() {
          batch={} capacity={} seed={} queries/family={}",
         opts.shards, opts.workers, opts.batch, opts.queue_capacity, opts.seed, opts.queries
     );
+    if opts.priority_mix.is_some() || opts.slo_us.is_some() || opts.deadline_us.is_some() {
+        eprintln!(
+            "resilience: priority-mix={:?} slo-us={:?} deadline-us={:?} chaos={}",
+            opts.priority_mix, opts.slo_us, opts.deadline_us, opts.chaos
+        );
+    }
 
     let (cache_dir, cleanup_cache) = match opts.archive_dir.clone() {
         Some(d) => (d, false),
@@ -118,7 +200,8 @@ fn main() {
     );
 
     // Determinism cross-check: the same seeded prefix must hash
-    // identically under every topology.
+    // identically under every topology. Always unfaulted and blocking —
+    // resilience flags apply only to the measured run.
     let dcheck_n = if opts.smoke { 400 } else { 10_000 };
     let mut mismatches = 0usize;
     for s in &served {
@@ -131,8 +214,9 @@ fn main() {
                         workers_per_shard: workers,
                         batch,
                         queue_capacity: opts.queue_capacity,
+                        ..Default::default()
                     };
-                    let r = run_load(s, cfg, dcheck_n, OPEN_WINDOW);
+                    let r = run_load(s, cfg, dcheck_n, OPEN_WINDOW, &LoadPlan::plain());
                     hashes.push((format!("s{shards}b{batch}w{workers}"), r.replay_hash));
                 }
             }
@@ -164,17 +248,33 @@ fn main() {
         workers_per_shard: opts.workers,
         batch: opts.batch,
         queue_capacity: opts.queue_capacity,
+        slo: match opts.slo_us {
+            Some(us) => SloPolicy::uniform(us),
+            None => SloPolicy::none(),
+        },
+        ..Default::default()
     };
-    let window = if opts.closed_loop { 1 } else { OPEN_WINDOW };
+    let plan = LoadPlan {
+        mix_interactive_pct: opts.priority_mix,
+        deadline: opts.deadline_us.map(Duration::from_micros),
+        shed_on_overload: opts.slo_us.is_some(),
+        chaos: opts.chaos,
+    };
+    let window = if opts.closed_loop {
+        1
+    } else {
+        opts.window.unwrap_or(OPEN_WINDOW)
+    };
     let mode = if opts.closed_loop { "closed" } else { "open" };
     let mut results: Vec<(IndexFamily, LoadResult)> = Vec::new();
+    let mut failed = false;
     for s in &served {
-        let r = run_load(s, cfg.clone(), opts.queries, window);
+        let r = run_load(s, cfg.clone(), opts.queries, window, &plan);
         println!(
             "{:<6} [{mode}-loop] {:>9} queries in {:>7.2}s | {:>10.0} qps | p50 {:>8.1}us \
              p99 {:>8.1}us p999 {:>8.1}us | hash {:#018x}",
             s.family.to_string(),
-            r.queries,
+            r.completed,
             r.wall_s,
             r.qps,
             r.p50_us,
@@ -182,6 +282,46 @@ fn main() {
             r.p999_us,
             r.replay_hash
         );
+        for c in &r.classes {
+            println!(
+                "       class {:<11} served {:>9} shed {:>7} | p50 {:>8.1}us p99 {:>8.1}us",
+                c.name, c.served, c.shed, c.p50_us, c.p99_us
+            );
+        }
+        if r.shed + r.deadline_exceeded + r.worker_crashed + r.unexpected > 0 || plan.chaos {
+            println!(
+                "       failures: shed {} | deadline-exceeded {} | worker-crashed {} \
+                 | unexpected {}",
+                r.shed, r.deadline_exceeded, r.worker_crashed, r.unexpected
+            );
+            println!(
+                "       engine: admitted {} completed {} queue-sheds {} slo-sheds {} \
+                 deadline-drops {} panics {} restarts {} restarts-denied {}",
+                r.stats.admitted,
+                r.stats.completed,
+                r.stats.queue_full_sheds,
+                r.stats.slo_sheds,
+                r.stats.deadline_drops,
+                r.stats.worker_panics,
+                r.stats.worker_restarts,
+                r.stats.restarts_denied
+            );
+        }
+        if r.unexpected > 0 {
+            eprintln!(
+                "error[{}]: {} queries failed with unexpected error classes",
+                s.family, r.unexpected
+            );
+            failed = true;
+        }
+        if plan.chaos && r.stats.worker_panics > 0 && r.stats.worker_restarts == 0 {
+            eprintln!(
+                "error[{}]: chaos injected {} worker panic(s) but the supervisor never \
+                 restarted a worker",
+                s.family, r.stats.worker_panics
+            );
+            failed = true;
+        }
         results.push((s.family, r));
     }
 
@@ -198,6 +338,9 @@ fn main() {
     if cleanup_cache {
         let _ = std::fs::remove_dir_all(&cache_dir);
     }
+    if failed {
+        std::process::exit(1);
+    }
 }
 
 /// Opens every requested family through the cache, in parallel on the
@@ -213,7 +356,8 @@ fn open_families(cache: &ArchiveCache, seed: u64, families: &[IndexFamily]) -> V
 fn open_one(cache: &ArchiveCache, seed: u64, family: IndexFamily) -> Served {
     match family {
         IndexFamily::Graph => {
-            let index = GraphIndex::open(cache, DatasetId::Sift10k, 2000, seed, 10, 32);
+            let index = GraphIndex::open(cache, DatasetId::Sift10k, 2000, seed, 10, 32)
+                .unwrap_or_else(|e| panic!("open graph index: {e}"));
             let stream = QueryStream::new(index.data(), seed ^ 0x5e7e);
             let data = index.data().clone();
             Served {
@@ -223,7 +367,8 @@ fn open_one(cache: &ArchiveCache, seed: u64, family: IndexFamily) -> Served {
             }
         }
         IndexFamily::Kd => {
-            let index = KdIndex::open(cache, DatasetId::Bunny, 5000, seed, 5, 16);
+            let index = KdIndex::open(cache, DatasetId::Bunny, 5000, seed, 5, 16)
+                .unwrap_or_else(|e| panic!("open kd index: {e}"));
             let stream = QueryStream::new(index.data(), seed ^ 0x5e7e);
             let data = index.data().clone();
             Served {
@@ -233,7 +378,8 @@ fn open_one(cache: &ArchiveCache, seed: u64, family: IndexFamily) -> Served {
             }
         }
         IndexFamily::Bvh => {
-            let index = BvhIndex::open(cache, DatasetId::Bunny, 5000, seed, 5);
+            let index = BvhIndex::open(cache, DatasetId::Bunny, 5000, seed, 5)
+                .unwrap_or_else(|e| panic!("open bvh index: {e}"));
             let stream = QueryStream::new(index.data(), seed ^ 0x5e7e);
             let data = index.data().clone();
             Served {
@@ -255,57 +401,198 @@ fn open_one(cache: &ArchiveCache, seed: u64, family: IndexFamily) -> Served {
     }
 }
 
+/// Deterministic priority assignment for `--priority-mix`: query `i` is
+/// `Interactive` with probability `pct`%, `Batch` otherwise.
+fn pick_priority(i: u64, pct: u32) -> Priority {
+    let h = i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33;
+    if h % 100 < u64::from(pct) {
+        Priority::Interactive
+    } else {
+        Priority::Batch
+    }
+}
+
 /// Drives `n` queries through a fresh engine at `cfg`, bounding
 /// outstanding tickets with a sliding `window` redeemed in submission
 /// order (which is also the replay-hash fold order). `OPEN_WINDOW` is the
 /// open-loop discipline; `1` is closed-loop (pure service latency).
-fn run_load(s: &Served, cfg: EngineConfig, n: u64, window: usize) -> LoadResult {
-    let engine = Engine::new(Arc::clone(&s.index), cfg);
-    let mut outstanding: VecDeque<(Ticket, Instant)> = VecDeque::with_capacity(window);
+///
+/// Per-query failures are counted by typed class, never panicked on;
+/// the replay hash folds the successfully served subset in submission
+/// order (in an unfaulted, unshed run that is every query).
+fn run_load(s: &Served, cfg: EngineConfig, n: u64, window: usize, plan: &LoadPlan) -> LoadResult {
+    let shards = cfg.shards;
+    let index: Arc<dyn SearchIndex> = if plan.chaos {
+        // One worker panic mid-run plus one persistently slow shard —
+        // the ci smoke fault pair.
+        let chaos_plan = ChaosPlan {
+            panic_on: vec![(n / 2).max(1)],
+            slow_shard: Some(shards - 1),
+            slow_delay: Duration::from_micros(500),
+        };
+        Arc::new(ChaosIndex::new(Arc::clone(&s.index), chaos_plan))
+    } else {
+        Arc::clone(&s.index)
+    };
+    let engine = Engine::new(index, cfg);
+    let mut outstanding: VecDeque<(Ticket, Instant, Priority)> = VecDeque::with_capacity(window);
     let mut lat_ns: Vec<u64> = Vec::with_capacity(n as usize);
+    // Per-class latency slices, indexed by `Priority::band()`.
+    let mut class_lat_ns: [Vec<u64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    let mut class_shed: [u64; 3] = [0; 3];
     let mut hashes: Vec<u64> = Vec::with_capacity(n as usize);
+    let mut shed = 0u64;
+    let mut counts = RedeemCounts::default();
     let t0 = Instant::now();
     let mut last_done = t0;
-    let redeem = |(ticket, submitted): (Ticket, Instant),
-                  lat_ns: &mut Vec<u64>,
-                  hashes: &mut Vec<u64>,
-                  last_done: &mut Instant| {
-        let (result, done_at) = ticket.wait_timed();
-        let out = result.unwrap_or_else(|e| panic!("{} query failed: {e}", s.family));
-        hashes.push(hash_output(&out));
-        lat_ns.push(done_at.saturating_duration_since(submitted).as_nanos() as u64);
-        if done_at > *last_done {
-            *last_done = done_at;
-        }
-    };
     for i in 0..n {
         let query = (s.gen)(i);
+        let priority = match plan.mix_interactive_pct {
+            Some(pct) => pick_priority(i, pct),
+            None => Priority::Normal,
+        };
+        let qopts = SubmitOptions {
+            priority,
+            deadline: plan.deadline.map(|d| Instant::now() + d),
+        };
         let submitted = Instant::now();
-        let ticket = engine
-            .submit(query)
-            .unwrap_or_else(|e| panic!("{} submit failed: {e}", s.family));
-        outstanding.push_back((ticket, submitted));
+        let admitted = if plan.nonblocking() {
+            engine.try_submit_with(query, qopts)
+        } else {
+            engine.submit_with(query, qopts)
+        };
+        match admitted {
+            Ok(ticket) => outstanding.push_back((ticket, submitted, priority)),
+            Err(ServeError::Overloaded { .. }) if plan.nonblocking() => {
+                shed += 1;
+                class_shed[priority.band()] += 1;
+            }
+            Err(e) => {
+                eprintln!(
+                    "{} submit failed unexpectedly: {e} [{}]",
+                    s.family,
+                    e.kind()
+                );
+                counts.unexpected += 1;
+            }
+        }
         if outstanding.len() >= window {
             if let Some(front) = outstanding.pop_front() {
-                redeem(front, &mut lat_ns, &mut hashes, &mut last_done);
+                redeem(
+                    s.family,
+                    front,
+                    &mut lat_ns,
+                    &mut class_lat_ns,
+                    &mut hashes,
+                    &mut last_done,
+                    &mut counts,
+                );
             }
         }
     }
     for front in outstanding.drain(..) {
-        redeem(front, &mut lat_ns, &mut hashes, &mut last_done);
+        redeem(
+            s.family,
+            front,
+            &mut lat_ns,
+            &mut class_lat_ns,
+            &mut hashes,
+            &mut last_done,
+            &mut counts,
+        );
     }
+    if plan.chaos {
+        // Panic/restart counters are bumped after the doomed batch's
+        // tickets are failed (and restarts happen on the supervisor's
+        // clock), so let them quiesce before snapshotting.
+        let t_poll = Instant::now();
+        while t_poll.elapsed() < Duration::from_secs(5) {
+            let st = engine.stats();
+            if st.worker_panics > 0 && st.worker_restarts + st.restarts_denied >= st.worker_panics {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+    let stats = engine.stats();
     drop(engine);
     let wall_s = last_done.saturating_duration_since(t0).as_secs_f64();
     let replay_hash = combine_hashes(hashes);
+    let completed = lat_ns.len() as u64;
     lat_ns.sort_unstable();
+    let classes = match plan.mix_interactive_pct {
+        Some(_) => [Priority::Interactive, Priority::Batch]
+            .iter()
+            .map(|p| {
+                let slice = &mut class_lat_ns[p.band()];
+                slice.sort_unstable();
+                ClassLat {
+                    name: p.name(),
+                    served: slice.len() as u64,
+                    shed: class_shed[p.band()],
+                    p50_us: percentile_us(slice, 0.50),
+                    p99_us: percentile_us(slice, 0.99),
+                }
+            })
+            .collect(),
+        None => Vec::new(),
+    };
     LoadResult {
         queries: n,
+        completed,
         wall_s,
-        qps: n as f64 / wall_s.max(1e-9),
+        qps: completed as f64 / wall_s.max(1e-9),
         p50_us: percentile_us(&lat_ns, 0.50),
         p99_us: percentile_us(&lat_ns, 0.99),
         p999_us: percentile_us(&lat_ns, 0.999),
         replay_hash,
+        shed,
+        deadline_exceeded: counts.deadline_exceeded,
+        worker_crashed: counts.worker_crashed,
+        unexpected: counts.unexpected,
+        classes,
+        stats,
+    }
+}
+
+/// Typed per-query failure tallies of one measured run.
+#[derive(Default)]
+struct RedeemCounts {
+    deadline_exceeded: u64,
+    worker_crashed: u64,
+    unexpected: u64,
+}
+
+/// Redeems one outstanding ticket: successes feed the latency and
+/// replay-hash folds, typed failures are tallied, unexpected classes are
+/// tallied *and* logged (they flip the exit code in `main`).
+#[allow(clippy::too_many_arguments)]
+fn redeem(
+    family: IndexFamily,
+    (ticket, submitted, priority): (Ticket, Instant, Priority),
+    lat_ns: &mut Vec<u64>,
+    class_lat_ns: &mut [Vec<u64>; 3],
+    hashes: &mut Vec<u64>,
+    last_done: &mut Instant,
+    counts: &mut RedeemCounts,
+) {
+    let (result, done_at) = ticket.wait_timed();
+    match result {
+        Ok(out) => {
+            hashes.push(hash_output(&out));
+            let ns = done_at.saturating_duration_since(submitted).as_nanos() as u64;
+            lat_ns.push(ns);
+            class_lat_ns[priority.band()].push(ns);
+            if done_at > *last_done {
+                *last_done = done_at;
+            }
+        }
+        Err(ServeError::DeadlineExceeded) => counts.deadline_exceeded += 1,
+        Err(ServeError::WorkerCrashed { .. }) => counts.worker_crashed += 1,
+        Err(e) => {
+            eprintln!("{family} query failed unexpectedly: {e} [{}]", e.kind());
+            counts.unexpected += 1;
+        }
     }
 }
 
@@ -327,11 +614,44 @@ fn json_entry(
     let families = results
         .iter()
         .map(|(f, r)| {
+            let classes = r
+                .classes
+                .iter()
+                .map(|c| {
+                    format!(
+                        "\"{}\": {{ \"served\": {}, \"shed\": {}, \"p50_us\": {:.3}, \
+                         \"p99_us\": {:.3} }}",
+                        c.name, c.served, c.shed, c.p50_us, c.p99_us
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
             format!(
-                "      \"{}\": {{ \"queries\": {}, \"wall_s\": {:.6}, \"qps\": {:.1}, \
+                "      \"{}\": {{ \"queries\": {}, \"completed\": {}, \"wall_s\": {:.6}, \
+                 \"qps\": {:.1}, \
                  \"p50_us\": {:.3}, \"p99_us\": {:.3}, \"p999_us\": {:.3}, \
+                 \"shed\": {}, \"deadline_exceeded\": {}, \"worker_crashed\": {}, \
+                 \"slo_sheds\": {}, \"deadline_drops\": {}, \"worker_panics\": {}, \
+                 \"worker_restarts\": {}, \
+                 \"classes\": {{ {} }}, \
                  \"replay_hash\": \"{:#018x}\" }}",
-                f, r.queries, r.wall_s, r.qps, r.p50_us, r.p99_us, r.p999_us, r.replay_hash
+                f,
+                r.queries,
+                r.completed,
+                r.wall_s,
+                r.qps,
+                r.p50_us,
+                r.p99_us,
+                r.p999_us,
+                r.shed,
+                r.deadline_exceeded,
+                r.worker_crashed,
+                r.stats.slo_sheds,
+                r.stats.deadline_drops,
+                r.stats.worker_panics,
+                r.stats.worker_restarts,
+                classes,
+                r.replay_hash
             )
         })
         .collect::<Vec<_>>()
@@ -339,8 +659,9 @@ fn json_entry(
     format!(
         "  {{\n    \"pr\": \"{}\",\n    \"bench\": \"servebench\",\n    \
          \"config\": {{ \"host_cores\": {}, \"shards\": {}, \"workers_per_shard\": {}, \
-         \"batch\": {}, \"queue_capacity\": {}, \"seed\": {}, \"queries_per_family\": {}, \
-         \"mode\": \"{}\" }},\n    \
+         \"batch\": {}, \"queue_capacity\": {}, \"window\": {}, \"seed\": {}, \
+         \"queries_per_family\": {}, \"mode\": \"{}\", \
+         \"priority_mix_pct\": {}, \"slo_us\": {}, \"deadline_us\": {}, \"chaos\": {} }},\n    \
          \"determinism\": {{ \"queries\": {}, \"configs\": 8, \"identical\": true }},\n    \
          \"families\": {{\n{}\n    }}\n  }}",
         json_escape(&opts.pr_label),
@@ -349,6 +670,11 @@ fn json_entry(
         opts.workers,
         opts.batch,
         opts.queue_capacity,
+        if opts.closed_loop {
+            1
+        } else {
+            opts.window.unwrap_or(OPEN_WINDOW)
+        },
         opts.seed,
         opts.queries,
         if opts.closed_loop {
@@ -356,6 +682,12 @@ fn json_entry(
         } else {
             "open-loop"
         },
+        opts.priority_mix
+            .map_or_else(|| "null".into(), |v| v.to_string()),
+        opts.slo_us.map_or_else(|| "null".into(), |v| v.to_string()),
+        opts.deadline_us
+            .map_or_else(|| "null".into(), |v| v.to_string()),
+        opts.chaos,
         dcheck_n,
         families
     )
@@ -369,9 +701,14 @@ fn parse_args() -> Options {
         workers: 1,
         batch: 64,
         queue_capacity: 1024,
+        window: None,
         seed: 1,
         smoke: false,
         closed_loop: false,
+        priority_mix: None,
+        deadline_us: None,
+        slo_us: None,
+        chaos: false,
         archive_dir: None,
         pr_label: String::from("dev"),
         out_path: std::path::PathBuf::from("BENCH_sim.json"),
@@ -385,6 +722,9 @@ fn parse_args() -> Options {
             }
             "--closed-loop" => {
                 opts.closed_loop = true;
+            }
+            "--chaos" => {
+                opts.chaos = true;
             }
             "--family" => {
                 let v = args
@@ -429,6 +769,36 @@ fn parse_args() -> Options {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage("--queue-capacity needs a number"));
             }
+            "--window" => {
+                opts.window = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&w: &usize| w >= 1)
+                        .unwrap_or_else(|| usage("--window needs a number >= 1")),
+                );
+            }
+            "--priority-mix" => {
+                opts.priority_mix = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&p: &u32| p <= 100)
+                        .unwrap_or_else(|| usage("--priority-mix needs a percentage 0-100")),
+                );
+            }
+            "--deadline-us" => {
+                opts.deadline_us = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--deadline-us needs a number")),
+                );
+            }
+            "--slo-us" => {
+                opts.slo_us = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--slo-us needs a number")),
+                );
+            }
             "--seed" => {
                 opts.seed = args
                     .next()
@@ -465,17 +835,24 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: servebench [--smoke] [--closed-loop] [--family graph|kd|bvh|btree|all]\n\
          \x20                 [--queries N] [--shards N] [--workers N] [--batch N]\n\
-         \x20                 [--queue-capacity N] [--seed S] [--archive-dir DIR]\n\
-         \x20                 [--pr LABEL] [--out PATH]\n\
+         \x20                 [--queue-capacity N] [--window N] [--seed S]\n\
+         \x20                 [--priority-mix PCT] [--deadline-us N] [--slo-us N] [--chaos]\n\
+         \x20                 [--archive-dir DIR] [--pr LABEL] [--out PATH]\n\
          drives seeded query load through the sharded serving engine for each index\n\
          family: first a determinism cross-check (replay hashes must be identical\n\
          across shards {{1,4}} x batch {{1,64}} x workers {{1,2}}), then a measured\n\
          run at the requested topology reporting sustained QPS and p50/p99/p999\n\
-         latency. The default discipline is open-loop (4096 tickets in flight:\n\
-         latency at saturation is queue time); --closed-loop keeps one query\n\
-         outstanding so the percentiles are pure service latency. Appends a JSON\n\
-         entry to the trajectory file unless --smoke (small counts, no append) is\n\
-         set. --queries is per family."
+         latency. The default discipline is open-loop (--window tickets in flight,\n\
+         default 4096: latency at saturation is queue time); --closed-loop keeps one\n\
+         query outstanding so the percentiles are pure service latency.\n\
+         --priority-mix PCT submits PCT% of queries as Interactive and the rest as\n\
+         Batch through non-blocking admission (per-class percentiles and shed counts\n\
+         are reported); --slo-us sets the adaptive-shedding p99 target; --deadline-us\n\
+         attaches a latency budget to every query; --chaos injects one worker panic\n\
+         and one slow shard and requires the supervisor to restart the dead worker.\n\
+         Per-query failures are counted by typed class; the exit code is non-zero\n\
+         only for unexpected classes. Appends a JSON entry to the trajectory file\n\
+         unless --smoke (small counts, no append) is set. --queries is per family."
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
@@ -485,6 +862,17 @@ mod tests {
     use super::*;
     use hsu_bench::ArchiveCache;
 
+    fn btree_served(n: usize, seed: u64) -> Served {
+        let cache = ArchiveCache::disabled();
+        let index = BtreeIndex::open(&cache, n, seed);
+        let space = index.key_space();
+        Served {
+            family: IndexFamily::Btree,
+            index: Arc::new(index),
+            gen: Arc::new(move |i| Query::Key(key_stream_nth(0xb7ee, i, space))),
+        }
+    }
+
     /// The load discipline is a *measurement* choice, not a semantic one:
     /// open-loop (windowed) and closed-loop (one outstanding) runs over
     /// the same seeded stream must fold to the same replay hash. This is
@@ -492,26 +880,65 @@ mod tests {
     /// the open-loop history in BENCH_sim.json.
     #[test]
     fn open_and_closed_loop_replay_hashes_are_identical() {
-        let cache = ArchiveCache::disabled();
-        let index = BtreeIndex::open(&cache, 2_000, 3);
-        let space = index.key_space();
-        let s = Served {
-            family: IndexFamily::Btree,
-            index: Arc::new(index),
-            gen: Arc::new(move |i| Query::Key(key_stream_nth(0xb7ee, i, space))),
-        };
+        let s = btree_served(2_000, 3);
         let cfg = EngineConfig {
             shards: 2,
             workers_per_shard: 2,
             batch: 8,
             queue_capacity: 256,
+            ..Default::default()
         };
-        let open = run_load(&s, cfg.clone(), 500, OPEN_WINDOW);
-        let closed = run_load(&s, cfg, 500, 1);
+        let open = run_load(&s, cfg.clone(), 500, OPEN_WINDOW, &LoadPlan::plain());
+        let closed = run_load(&s, cfg, 500, 1, &LoadPlan::plain());
         assert_eq!(open.queries, closed.queries);
+        assert_eq!(open.completed, 500);
+        assert_eq!(closed.completed, 500);
         assert_eq!(
             open.replay_hash, closed.replay_hash,
             "the load discipline changed the answer stream"
         );
+    }
+
+    /// A chaos run counts its casualties typed instead of panicking the
+    /// driver, and the supervisor restart shows up in the engine stats.
+    #[test]
+    fn chaos_load_counts_typed_failures_and_restarts() {
+        install_quiet_panic_hook();
+        let s = btree_served(2_000, 7);
+        let cfg = EngineConfig {
+            shards: 2,
+            workers_per_shard: 1,
+            batch: 8,
+            queue_capacity: 256,
+            ..Default::default()
+        };
+        let plan = LoadPlan {
+            chaos: true,
+            ..Default::default()
+        };
+        let r = run_load(&s, cfg, 400, OPEN_WINDOW, &plan);
+        assert_eq!(r.unexpected, 0, "chaos faults must all be typed");
+        assert!(r.worker_crashed > 0, "the injected panic killed nobody");
+        assert_eq!(
+            r.completed + r.worker_crashed,
+            400,
+            "every query resolved served-or-crashed"
+        );
+        assert_eq!(r.stats.worker_panics, 1);
+        assert!(r.stats.worker_restarts > 0, "supervisor never respawned");
+    }
+
+    /// The deterministic mix splitter roughly honors the requested
+    /// percentage and is stable across calls.
+    #[test]
+    fn priority_mix_is_deterministic_and_roughly_proportional() {
+        let interactive = (0..10_000u64)
+            .filter(|&i| pick_priority(i, 30) == Priority::Interactive)
+            .count();
+        assert!(
+            (2_000..4_000).contains(&interactive),
+            "30% mix produced {interactive}/10000 interactive"
+        );
+        assert_eq!(pick_priority(1234, 30), pick_priority(1234, 30));
     }
 }

@@ -1,17 +1,22 @@
 //! Typed serving errors — the engine refuses work it cannot take instead
-//! of queueing without bound or panicking.
+//! of queueing without bound or panicking, and fails work it could not
+//! finish with an error that names the fault class.
 
 use std::fmt;
 
 /// Why the engine rejected (or failed) a query.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ServeError {
-    /// The target shard's admission queue is full. Open-loop callers
-    /// should treat this as backpressure: shed the query or retry later.
+    /// The target shard refused the query: either its admission queue is
+    /// full past the submitting class's share, or adaptive SLO shedding
+    /// kicked in (the shard's sliding-window p99 is over its SLO target,
+    /// so low-priority work sheds before the queue is actually full).
+    /// Open-loop callers should treat this as backpressure: shed the
+    /// query or retry later.
     Overloaded {
-        /// The shard whose queue was full.
+        /// The shard that refused admission.
         shard: usize,
-        /// The per-shard admission-queue bound that was hit.
+        /// The per-shard admission-queue bound in force.
         capacity: usize,
     },
     /// The engine is draining and no longer admits new queries.
@@ -19,18 +24,83 @@ pub enum ServeError {
     /// The query does not fit the served index (wrong variant for the
     /// family, or wrong vector dimension).
     BadQuery(String),
+    /// The query's deadline expired before a worker could serve it (or
+    /// before the caller's `wait` saw a result). The query was dropped,
+    /// never silently served late.
+    DeadlineExceeded,
+    /// The worker serving this query's batch panicked. The query was
+    /// admitted but not answered; the engine respawned the worker (or
+    /// exhausted its restart budget) and kept the shard serving.
+    WorkerCrashed {
+        /// The home shard of the worker that crashed.
+        shard: usize,
+    },
+    /// The index could not be opened (non-point dataset for a vector
+    /// family, missing ANN metric, …). Opening never aborts the process.
+    BadIndex(String),
+}
+
+impl ServeError {
+    /// Stable lowercase tag naming the fault class — what harnesses and
+    /// `servebench` count by.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ServeError::Overloaded { .. } => "overloaded",
+            ServeError::ShuttingDown => "shutting-down",
+            ServeError::BadQuery(_) => "bad-query",
+            ServeError::DeadlineExceeded => "deadline-exceeded",
+            ServeError::WorkerCrashed { .. } => "worker-crashed",
+            ServeError::BadIndex(_) => "bad-index",
+        }
+    }
 }
 
 impl fmt::Display for ServeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ServeError::Overloaded { shard, capacity } => {
-                write!(f, "shard {shard} admission queue full ({capacity} pending)")
+                write!(f, "shard {shard} shed the query (queue bound {capacity})")
             }
             ServeError::ShuttingDown => write!(f, "engine is shutting down"),
             ServeError::BadQuery(why) => write!(f, "bad query: {why}"),
+            ServeError::DeadlineExceeded => write!(f, "deadline exceeded before service"),
+            ServeError::WorkerCrashed { shard } => {
+                write!(
+                    f,
+                    "worker on shard {shard} crashed while serving this batch"
+                )
+            }
+            ServeError::BadIndex(why) => write!(f, "bad index: {why}"),
         }
     }
 }
 
 impl std::error::Error for ServeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_stable_and_distinct() {
+        let all = [
+            ServeError::Overloaded {
+                shard: 0,
+                capacity: 1,
+            },
+            ServeError::ShuttingDown,
+            ServeError::BadQuery("x".into()),
+            ServeError::DeadlineExceeded,
+            ServeError::WorkerCrashed { shard: 0 },
+            ServeError::BadIndex("x".into()),
+        ];
+        let kinds: Vec<_> = all.iter().map(ServeError::kind).collect();
+        let mut dedup = kinds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), all.len(), "kind tags must be distinct");
+        assert_eq!(kinds[0], "overloaded");
+        assert_eq!(kinds[3], "deadline-exceeded");
+        assert_eq!(kinds[4], "worker-crashed");
+    }
+}

@@ -6,14 +6,31 @@
 //! `std::task::Wake` + park/unpark. The engine fulfills the ticket from
 //! a shard worker; whichever consumer is attached (a parked waiter, a
 //! stored waker, or a later poll) observes the same single result.
+//!
+//! Tickets carry their submission's deadline: `wait`/`wait_timed` stop
+//! blocking once it passes (returning `ServeError::DeadlineExceeded`),
+//! and a `poll` past the deadline resolves the same way — a caller is
+//! never parked beyond the latency budget it declared.
 
 use std::future::Future;
 use std::pin::Pin;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::task::{Context, Poll, Waker};
+use std::time::{Duration, Instant};
 
 use crate::error::ServeError;
 use crate::index::QueryOutput;
+
+/// Locks a mutex, recovering the guard from a poisoned lock.
+///
+/// A poisoned serve mutex means some worker panicked while holding it;
+/// the protected state (queues, result slots) is push/pop-consistent at
+/// every instant, so the data is still valid — supervision handles the
+/// crashed worker, and the lock keeps serving instead of cascading the
+/// panic into every submitter.
+pub(crate) fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// One query's result slot.
 #[derive(Debug, Default)]
@@ -22,7 +39,7 @@ struct Slot {
     /// When the worker fulfilled the slot — lets a latency harness that
     /// redeems tickets in submission order still measure true per-query
     /// completion times, free of head-of-line waiting skew.
-    completed: Option<std::time::Instant>,
+    completed: Option<Instant>,
     waker: Option<Waker>,
 }
 
@@ -31,23 +48,51 @@ struct Slot {
 pub(crate) struct TicketState {
     slot: Mutex<Slot>,
     done: Condvar,
+    /// The submission's absolute deadline, if one was declared.
+    deadline: Option<Instant>,
 }
 
 impl TicketState {
-    /// Stores the result and wakes every kind of waiter exactly once.
-    #[allow(clippy::unwrap_used)] // a poisoned slot means a panicked worker; propagate
-    pub(crate) fn fulfill(&self, result: Result<QueryOutput, ServeError>) {
+    /// State for a submission with an optional deadline.
+    pub(crate) fn with_deadline(deadline: Option<Instant>) -> Self {
+        TicketState {
+            deadline,
+            ..Default::default()
+        }
+    }
+
+    /// The submission's deadline, if any.
+    pub(crate) fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Stores the result and wakes every kind of waiter — first write
+    /// wins, later writes are dropped. Returns whether this call won.
+    ///
+    /// Idempotency matters for crash recovery: a panicking worker fails
+    /// its whole in-flight batch, and must not clobber entries it had
+    /// already answered.
+    pub(crate) fn try_fulfill(&self, result: Result<QueryOutput, ServeError>) -> bool {
         let waker = {
-            let mut slot = self.slot.lock().unwrap();
-            debug_assert!(slot.result.is_none(), "ticket fulfilled twice");
+            let mut slot = lock_recover(&self.slot);
+            if slot.result.is_some() {
+                return false;
+            }
             slot.result = Some(result);
-            slot.completed = Some(std::time::Instant::now());
+            slot.completed = Some(Instant::now());
             slot.waker.take()
         };
         self.done.notify_all();
         if let Some(w) = waker {
             w.wake();
         }
+        true
+    }
+
+    /// Stores the result, asserting (in debug builds) nobody beat us.
+    pub(crate) fn fulfill(&self, result: Result<QueryOutput, ServeError>) {
+        let won = self.try_fulfill(result);
+        debug_assert!(won, "ticket fulfilled twice");
     }
 }
 
@@ -74,38 +119,59 @@ impl Ticket {
         self.id
     }
 
-    /// Blocks until the query completes and returns its result.
-    #[allow(clippy::unwrap_used)] // a poisoned slot means a panicked worker; propagate
+    /// The submission's absolute deadline, if one was declared.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.state.deadline()
+    }
+
+    /// Blocks until the query completes — or, when the submission
+    /// carried a deadline, until that deadline passes, in which case it
+    /// returns [`ServeError::DeadlineExceeded`] instead of blocking on.
+    /// A result that is already present is always returned, even past
+    /// the deadline.
     pub fn wait(self) -> Result<QueryOutput, ServeError> {
-        let mut slot = self.state.slot.lock().unwrap();
-        loop {
-            if let Some(r) = slot.result.take() {
-                return r;
-            }
-            slot = self.state.done.wait(slot).unwrap();
-        }
+        self.wait_timed().0
     }
 
     /// Takes the result if the query already completed, without blocking.
-    #[allow(clippy::unwrap_used)] // a poisoned slot means a panicked worker; propagate
     pub fn try_take(&self) -> Option<Result<QueryOutput, ServeError>> {
-        let mut slot = self.state.slot.lock().unwrap();
+        let mut slot = lock_recover(&self.state.slot);
         slot.result.take()
     }
 
     /// Like [`Ticket::wait`], but also returns the instant the worker
     /// fulfilled the query — the end point a latency harness should
     /// measure against, even when it redeems tickets in submission order
-    /// long after they completed.
-    #[allow(clippy::unwrap_used)] // a poisoned slot means a panicked worker; propagate
-    pub fn wait_timed(self) -> (Result<QueryOutput, ServeError>, std::time::Instant) {
-        let mut slot = self.state.slot.lock().unwrap();
+    /// long after they completed. Deadline expiry reports the expiry
+    /// instant.
+    pub fn wait_timed(self) -> (Result<QueryOutput, ServeError>, Instant) {
+        let mut slot = lock_recover(&self.state.slot);
         loop {
             if let Some(r) = slot.result.take() {
-                let at = slot.completed.unwrap_or_else(std::time::Instant::now);
+                let at = slot.completed.unwrap_or_else(Instant::now);
                 return (r, at);
             }
-            slot = self.state.done.wait(slot).unwrap();
+            match self.state.deadline {
+                None => {
+                    slot = self
+                        .state
+                        .done
+                        .wait(slot)
+                        .unwrap_or_else(|p| p.into_inner())
+                }
+                Some(deadline) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return (Err(ServeError::DeadlineExceeded), now);
+                    }
+                    let (guard, _) = self
+                        .state
+                        .done
+                        .wait_timeout(slot, deadline - now)
+                        .unwrap_or_else(|p| p.into_inner());
+                    slot = guard;
+                }
+            }
         }
     }
 }
@@ -113,12 +179,20 @@ impl Ticket {
 impl Future for Ticket {
     type Output = Result<QueryOutput, ServeError>;
 
-    #[allow(clippy::unwrap_used)] // a poisoned slot means a panicked worker; propagate
+    /// Resolves with the result, or with
+    /// [`ServeError::DeadlineExceeded`] once the deadline has passed at
+    /// poll time. There is no embedded timer: an executor learns of the
+    /// expiry at its next poll (a present result still wins that race).
     fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
-        let mut slot = self.state.slot.lock().unwrap();
+        let mut slot = lock_recover(&self.state.slot);
         match slot.result.take() {
             Some(r) => Poll::Ready(r),
             None => {
+                if let Some(deadline) = self.state.deadline {
+                    if Instant::now() >= deadline {
+                        return Poll::Ready(Err(ServeError::DeadlineExceeded));
+                    }
+                }
                 slot.waker = Some(cx.waker().clone());
                 Poll::Pending
             }
@@ -142,7 +216,7 @@ pub fn block_on<F: Future>(fut: F) -> F::Output {
     loop {
         match fut.as_mut().poll(&mut cx) {
             Poll::Ready(v) => return v,
-            Poll::Pending => std::thread::park(),
+            Poll::Pending => std::thread::park_timeout(Duration::from_millis(5)),
         }
     }
 }
@@ -164,7 +238,7 @@ mod tests {
         let state = Arc::new(TicketState::default());
         let t = Ticket::new(1, Arc::clone(&state));
         let worker = std::thread::spawn(move || {
-            std::thread::sleep(std::time::Duration::from_millis(20));
+            std::thread::sleep(Duration::from_millis(20));
             state.fulfill(Ok(QueryOutput::Value(None)));
         });
         assert_eq!(block_on(t), Ok(QueryOutput::Value(None)));
@@ -179,5 +253,53 @@ mod tests {
         state.fulfill(Err(ServeError::ShuttingDown));
         assert_eq!(t.try_take(), Some(Err(ServeError::ShuttingDown)));
         assert!(t.try_take().is_none(), "result is taken exactly once");
+    }
+
+    #[test]
+    fn first_fulfillment_wins() {
+        let state = Arc::new(TicketState::default());
+        assert!(state.try_fulfill(Ok(QueryOutput::Value(Some(1)))));
+        assert!(!state.try_fulfill(Err(ServeError::WorkerCrashed { shard: 0 })));
+        let t = Ticket::new(3, state);
+        assert_eq!(t.wait(), Ok(QueryOutput::Value(Some(1))));
+    }
+
+    #[test]
+    fn wait_expires_at_the_deadline_instead_of_blocking() {
+        let state = Arc::new(TicketState::with_deadline(Some(
+            Instant::now() + Duration::from_millis(30),
+        )));
+        let t = Ticket::new(4, state);
+        let t0 = Instant::now();
+        let (result, at) = t.wait_timed();
+        assert_eq!(result, Err(ServeError::DeadlineExceeded));
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "wait_timed blocked far past the deadline"
+        );
+        assert!(at >= t0, "expiry instant is the observation time");
+    }
+
+    #[test]
+    fn poll_past_the_deadline_resolves_deadline_exceeded() {
+        let state = Arc::new(TicketState::with_deadline(Some(
+            Instant::now() - Duration::from_millis(1),
+        )));
+        let t = Ticket::new(5, state);
+        assert_eq!(block_on(t), Err(ServeError::DeadlineExceeded));
+    }
+
+    #[test]
+    fn a_present_result_beats_the_deadline() {
+        let state = Arc::new(TicketState::with_deadline(Some(
+            Instant::now() - Duration::from_millis(1),
+        )));
+        state.fulfill(Ok(QueryOutput::Value(Some(7))));
+        let t = Ticket::new(6, state);
+        assert_eq!(
+            t.wait(),
+            Ok(QueryOutput::Value(Some(7))),
+            "late results are delivered, not dropped, once fulfilled"
+        );
     }
 }

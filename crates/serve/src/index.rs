@@ -129,7 +129,15 @@ pub trait SearchIndex: Send + Sync {
 
 /// The generated dataset for a served index, via the cache when
 /// possible — same key grammar as the suite, so archives are shared.
-fn cached_dataset(cache: &ArchiveCache, id: DatasetId, seed: u64, n: usize) -> PointSet {
+///
+/// A non-point dataset is a typed [`ServeError::BadIndex`], never an
+/// abort: index opening is a service-startup path.
+fn cached_dataset(
+    cache: &ArchiveCache,
+    id: DatasetId,
+    seed: u64,
+    n: usize,
+) -> Result<PointSet, ServeError> {
     let dkey = format!("hsar-dataset-v1|{id:?}|seed={seed}|n={n}");
     let stem = format!("dataset-{id:?}");
     let ds = cache.load_dataset(&stem, &dkey, id).unwrap_or_else(|| {
@@ -138,8 +146,10 @@ fn cached_dataset(cache: &ArchiveCache, id: DatasetId, seed: u64, n: usize) -> P
         ds
     });
     match ds.points() {
-        Some(p) => p.clone(),
-        None => panic!("dataset {id:?} is not a point dataset"),
+        Some(p) => Ok(p.clone()),
+        None => Err(ServeError::BadIndex(format!(
+            "dataset {id:?} is not a point dataset"
+        ))),
     }
 }
 
@@ -156,9 +166,10 @@ impl GraphIndex {
     /// dataset `id`, using the suite's graph cache key so `servebench`
     /// and `repro` share archives.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `id` is not an ANN point dataset.
+    /// [`ServeError::BadIndex`] if `id` is not an ANN point dataset (no
+    /// metric, or not a point cloud) — opening never aborts the process.
     pub fn open(
         cache: &ArchiveCache,
         id: DatasetId,
@@ -166,12 +177,14 @@ impl GraphIndex {
         seed: u64,
         k: usize,
         ef: usize,
-    ) -> Self {
+    ) -> Result<Self, ServeError> {
         let spec = hsu_datasets::spec(id);
         let Some(metric) = spec.metric else {
-            panic!("ANN dataset {id:?} has no metric");
+            return Err(ServeError::BadIndex(format!(
+                "ANN dataset {id:?} has no metric"
+            )));
         };
-        let data = cached_dataset(cache, id, seed, n);
+        let data = cached_dataset(cache, id, seed, n)?;
         let gcfg = GraphConfig {
             m: 16,
             ef_construction: ef.max(32),
@@ -184,7 +197,7 @@ impl GraphIndex {
             cache.store_graph(&gstem, &gkey, &graph);
             graph
         });
-        Self { data, graph, k, ef }
+        Ok(Self { data, graph, k, ef })
     }
 
     /// The dataset the index serves — query generators sample from it.
@@ -223,9 +236,9 @@ impl KdIndex {
     /// Loads (or builds and caches) a k-d index over `n` points of the
     /// 3-D dataset `id`, using the suite's k-d cache key.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `id` is not a point dataset.
+    /// [`ServeError::BadIndex`] if `id` is not a point dataset.
     pub fn open(
         cache: &ArchiveCache,
         id: DatasetId,
@@ -233,8 +246,8 @@ impl KdIndex {
         seed: u64,
         k: usize,
         checks: usize,
-    ) -> Self {
-        let data = cached_dataset(cache, id, seed, n);
+    ) -> Result<Self, ServeError> {
+        let data = cached_dataset(cache, id, seed, n)?;
         let kkey = format!("hsar-kdtree-v1|{id:?}|seed={seed}|n={n}|leaf=4|metric=euclid");
         let kstem = format!("kdtree-{id:?}");
         let tree = cache.load_kdtree(&kstem, &kkey).unwrap_or_else(|| {
@@ -242,12 +255,12 @@ impl KdIndex {
             cache.store_kdtree(&kstem, &kkey, &tree);
             tree
         });
-        Self {
+        Ok(Self {
             data,
             tree,
             k,
             checks,
-        }
+        })
     }
 
     /// The dataset the index serves — query generators sample from it.
@@ -288,11 +301,23 @@ impl BvhIndex {
     /// 3-D dataset `id`, using the suite's BVH cache key (LBVH flavor,
     /// radius 1.5× the median-NN heuristic).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `id` is not a 3-D point dataset.
-    pub fn open(cache: &ArchiveCache, id: DatasetId, n: usize, seed: u64, k: usize) -> Self {
-        let data = cached_dataset(cache, id, seed, n);
+    /// [`ServeError::BadIndex`] if `id` is not a 3-D point dataset.
+    pub fn open(
+        cache: &ArchiveCache,
+        id: DatasetId,
+        n: usize,
+        seed: u64,
+        k: usize,
+    ) -> Result<Self, ServeError> {
+        let data = cached_dataset(cache, id, seed, n)?;
+        if data.dim() != 3 {
+            return Err(ServeError::BadIndex(format!(
+                "BVH family serves 3-D points, dataset {id:?} has dimension {}",
+                data.dim()
+            )));
+        }
         let bparams = BvhnnParams {
             points: n,
             queries: 0,
@@ -315,13 +340,13 @@ impl BvhIndex {
             .enumerate()
             .map(|(i, p)| PointPrimitive::new(i as u32, Vec3::new(p[0], p[1], p[2]), radius))
             .collect();
-        Self {
+        Ok(Self {
             data,
             bvh,
             prims,
             radius,
             k,
-        }
+        })
     }
 
     /// The dataset the index serves — query generators sample from it.

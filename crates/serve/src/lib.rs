@@ -15,6 +15,19 @@
 //! - **Sharding + backpressure**: bounded per-shard admission queues
 //!   (full queue → typed [`error::ServeError::Overloaded`]), per-shard
 //!   worker pools with sibling work-stealing.
+//! - **Overload resilience**: class-aware admission
+//!   ([`admission::SubmitOptions`] — `Interactive` still admits while
+//!   `Batch` sheds first), adaptive SLO shedding
+//!   ([`admission::SloPolicy`]: a shard over its sliding-window p99
+//!   target rejects low-class work before its queue fills), and
+//!   per-query deadlines (expired work dropped typed at dequeue and at
+//!   `wait`).
+//! - **Failure resilience**: a panicking worker fails its in-flight
+//!   batch with [`error::ServeError::WorkerCrashed`] and is respawned by
+//!   a supervisor under a bounded restart budget; the shard keeps
+//!   serving and [`engine::Engine::stats`] counts every panic, restart,
+//!   shed, and deadline drop. The [`chaos`] harness injects each fault
+//!   class deterministically.
 //! - **Sync and async handles**: a [`handle::Ticket`] both blocks
 //!   ([`handle::Ticket::wait`]) and implements `Future`
 //!   ([`handle::block_on`] drives it with no runtime dependency).
@@ -40,15 +53,18 @@
 #![warn(missing_docs)]
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod admission;
 pub mod batch;
+pub mod chaos;
 pub mod engine;
 pub mod error;
 pub mod handle;
 pub mod index;
 pub mod replay;
 
+pub use admission::{Priority, SloPolicy, SubmitOptions};
 pub use batch::QueryBatch;
-pub use engine::{Engine, EngineConfig};
+pub use engine::{Engine, EngineConfig, EngineStats};
 pub use error::ServeError;
 pub use handle::{block_on, Ticket};
 pub use hsu_bench::ArchiveCache;
@@ -58,7 +74,8 @@ pub use index::{
 
 /// The common imports for service users.
 pub mod prelude {
-    pub use crate::engine::{Engine, EngineConfig};
+    pub use crate::admission::{Priority, SloPolicy, SubmitOptions};
+    pub use crate::engine::{Engine, EngineConfig, EngineStats};
     pub use crate::error::ServeError;
     pub use crate::handle::{block_on, Ticket};
     pub use crate::index::{

@@ -39,6 +39,7 @@ fn assert_grid_deterministic(name: &str, index: Arc<dyn SearchIndex>, gen: impl 
             workers_per_shard: 1,
             batch: 1,
             queue_capacity: 512,
+            ..Default::default()
         },
         N,
     );
@@ -51,6 +52,7 @@ fn assert_grid_deterministic(name: &str, index: Arc<dyn SearchIndex>, gen: impl 
                     workers_per_shard: workers,
                     batch,
                     queue_capacity: 512,
+                    ..Default::default()
                 };
                 let got = replay_hashes(&index, &gen, cfg, N);
                 assert_eq!(
@@ -71,6 +73,7 @@ fn assert_grid_deterministic(name: &str, index: Arc<dyn SearchIndex>, gen: impl 
                 workers_per_shard: 2,
                 batch: 64,
                 queue_capacity: 512,
+                ..Default::default()
             },
             N,
         )),
@@ -82,7 +85,7 @@ fn assert_grid_deterministic(name: &str, index: Arc<dyn SearchIndex>, gen: impl 
 #[test]
 fn graph_family_replays_identically_across_topologies() {
     let cache = ArchiveCache::disabled();
-    let index = GraphIndex::open(&cache, DatasetId::Sift10k, 400, 7, 10, 32);
+    let index = GraphIndex::open(&cache, DatasetId::Sift10k, 400, 7, 10, 32).expect("open graph");
     let stream = QueryStream::new(index.data(), 99);
     let data = index.data().clone();
     assert_grid_deterministic("graph", Arc::new(index), move |i| {
@@ -93,7 +96,7 @@ fn graph_family_replays_identically_across_topologies() {
 #[test]
 fn kd_family_replays_identically_across_topologies() {
     let cache = ArchiveCache::disabled();
-    let index = KdIndex::open(&cache, DatasetId::Bunny, 800, 7, 5, 16);
+    let index = KdIndex::open(&cache, DatasetId::Bunny, 800, 7, 5, 16).expect("open kd");
     let stream = QueryStream::new(index.data(), 99);
     let data = index.data().clone();
     assert_grid_deterministic("kd", Arc::new(index), move |i| {
@@ -104,7 +107,7 @@ fn kd_family_replays_identically_across_topologies() {
 #[test]
 fn bvh_family_replays_identically_across_topologies() {
     let cache = ArchiveCache::disabled();
-    let index = BvhIndex::open(&cache, DatasetId::Bunny, 800, 7, 5);
+    let index = BvhIndex::open(&cache, DatasetId::Bunny, 800, 7, 5).expect("open bvh");
     let stream = QueryStream::new(index.data(), 99);
     let data = index.data().clone();
     assert_grid_deterministic("bvh", Arc::new(index), move |i| {

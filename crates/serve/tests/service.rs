@@ -81,6 +81,7 @@ fn full_queue_backpressures_with_typed_overloaded() {
             workers_per_shard: 1,
             batch: 1,
             queue_capacity: 2,
+            ..Default::default()
         },
     );
     // Flood a 2-deep queue behind a 50 ms/query worker: rejections must
@@ -120,6 +121,7 @@ fn drop_drains_every_admitted_query() {
             workers_per_shard: 1,
             batch: 4,
             queue_capacity: 64,
+            ..Default::default()
         },
     );
     let tickets: Vec<_> = (0..32u32)
@@ -147,6 +149,7 @@ fn work_stealing_drains_a_hot_shard() {
             workers_per_shard: 1,
             batch: 1,
             queue_capacity: 1024,
+            ..Default::default()
         },
     );
     let tickets: Vec<_> = (0..64u32)

@@ -29,7 +29,7 @@ fn main() {
         // Open the index (in-memory here; pass a real archive dir to
         // persist the build across runs) and stand up a small service.
         let cache = ArchiveCache::disabled();
-        let index = GraphIndex::open(&cache, id, n, 1, 10, 96);
+        let index = GraphIndex::open(&cache, id, n, 1, 10, 96).expect("open graph index");
         let data = index.data().clone();
         let engine = Engine::new(
             Arc::new(index),
@@ -38,6 +38,7 @@ fn main() {
                 workers_per_shard: 1,
                 batch: 16,
                 queue_capacity: 256,
+                ..Default::default()
             },
         );
 
